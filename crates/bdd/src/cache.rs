@@ -1,0 +1,188 @@
+//! Direct-mapped operation cache (BuDDy-style).
+//!
+//! Every recursive BDD algorithm is memoized through a single fixed-size,
+//! direct-mapped cache: a hash of the operation code and its (up to three)
+//! operands selects a slot, and a colliding insert simply overwrites. This
+//! trades a small amount of recomputation for O(1) lookup with no
+//! allocation on the hot path — the standard design in production BDD
+//! packages. The cache must be invalidated whenever node indices are
+//! recycled (i.e. after garbage collection).
+
+use crate::hash::mix3;
+
+/// Operation codes for cache keys. Binary connectives use the low bits of
+/// their [`crate::Op`] discriminant offset into the `APPLY` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpCode {
+    /// `apply(op, f, g)`; the connective is encoded in the code itself.
+    Apply(u8),
+    /// `not(f)`.
+    Not,
+    /// `ite(f, g, h)`.
+    Ite,
+    /// `exists(f, varset)`.
+    Exists,
+    /// `forall(f, varset)`.
+    Forall,
+    /// `app_exists(op, f, g, varset)`.
+    AppExists(u8),
+    /// `app_forall(op, f, g, varset)`.
+    AppForall(u8),
+    /// `replace(f, map)`.
+    Replace,
+    /// `restrict(f, cube)`.
+    Restrict,
+    /// `constrain(f, care)` — Coudert–Madre generalized cofactor.
+    Constrain,
+}
+
+impl OpCode {
+    #[inline]
+    fn encode(self) -> u32 {
+        match self {
+            OpCode::Apply(op) => 0x100 | op as u32,
+            OpCode::Not => 0x200,
+            OpCode::Ite => 0x300,
+            OpCode::Exists => 0x400,
+            OpCode::Forall => 0x500,
+            OpCode::AppExists(op) => 0x600 | op as u32,
+            OpCode::AppForall(op) => 0x700 | op as u32,
+            OpCode::Replace => 0x800,
+            OpCode::Restrict => 0x900,
+            OpCode::Constrain => 0xA00,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Entry {
+    op: u32,
+    a: u32,
+    b: u32,
+    c: u32,
+    result: u32,
+}
+
+const EMPTY: Entry = Entry { op: 0, a: 0, b: 0, c: 0, result: u32::MAX };
+
+/// The direct-mapped cache. `a`, `b` are operand node indices; `c` carries a
+/// third operand (for `ite`), an interned varset id (quantification), or an
+/// interned map id (`replace`).
+pub(crate) struct OpCache {
+    slots: Vec<Entry>,
+    mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl OpCache {
+    /// `capacity` is rounded up to the next power of two, minimum 1024.
+    pub(crate) fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(1024);
+        OpCache {
+            slots: vec![EMPTY; cap],
+            mask: (cap - 1) as u64,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn index(&self, op: u32, a: u32, b: u32, c: u32) -> usize {
+        ((mix3(a, b, c) ^ (op as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) & self.mask) as usize
+    }
+
+    #[inline]
+    pub(crate) fn get(&mut self, op: OpCode, a: u32, b: u32, c: u32) -> Option<u32> {
+        let op = op.encode();
+        let e = &self.slots[self.index(op, a, b, c)];
+        if e.result != u32::MAX && e.op == op && e.a == a && e.b == b && e.c == c {
+            self.hits += 1;
+            Some(e.result)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    #[inline]
+    pub(crate) fn put(&mut self, op: OpCode, a: u32, b: u32, c: u32, result: u32) {
+        let op = op.encode();
+        let idx = self.index(op, a, b, c);
+        self.slots[idx] = Entry { op, a, b, c, result };
+    }
+
+    /// Drop all entries. Must be called whenever node indices may be reused
+    /// (after a GC sweep) — a stale hit would silently corrupt results.
+    pub(crate) fn invalidate(&mut self) {
+        self.slots.fill(EMPTY);
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut c = OpCache::new(1024);
+        assert_eq!(c.get(OpCode::Apply(0), 5, 7, 0), None);
+        c.put(OpCode::Apply(0), 5, 7, 0, 42);
+        assert_eq!(c.get(OpCode::Apply(0), 5, 7, 0), Some(42));
+    }
+
+    #[test]
+    fn distinguishes_op_codes() {
+        let mut c = OpCache::new(1024);
+        c.put(OpCode::Apply(0), 5, 7, 0, 42);
+        // Same operands, different op: must not hit (it may have been
+        // overwritten, but it must never return 42 for the wrong op).
+        assert_ne!(c.get(OpCode::Apply(1), 5, 7, 0), Some(42));
+        assert_ne!(c.get(OpCode::Exists, 5, 7, 0), Some(42));
+    }
+
+    #[test]
+    fn distinguishes_third_operand() {
+        let mut c = OpCache::new(1024);
+        c.put(OpCode::Ite, 5, 7, 9, 42);
+        assert_ne!(c.get(OpCode::Ite, 5, 7, 10), Some(42));
+    }
+
+    #[test]
+    fn invalidate_clears_everything() {
+        let mut c = OpCache::new(1024);
+        for i in 0..500u32 {
+            c.put(OpCode::Not, i, 0, 0, i + 1);
+        }
+        c.invalidate();
+        for i in 0..500u32 {
+            assert_eq!(c.get(OpCode::Not, i, 0, 0), None);
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let c = OpCache::new(1000);
+        assert_eq!(c.slots.len(), 1024);
+        let c = OpCache::new(0);
+        assert_eq!(c.slots.len(), 1024);
+    }
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let mut c = OpCache::new(1024);
+        c.get(OpCode::Not, 1, 0, 0);
+        c.put(OpCode::Not, 1, 0, 0, 9);
+        c.get(OpCode::Not, 1, 0, 0);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+}

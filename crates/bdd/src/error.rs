@@ -1,0 +1,92 @@
+//! Error type for BDD operations.
+//!
+//! The only recoverable failure the engine reports is exceeding the
+//! configured node limit; it is the signal the constraint checker uses to
+//! abandon BDD evaluation and fall back to SQL (paper, Section 4). A few
+//! usage errors (bad domain values, oversized domains) are also surfaced
+//! rather than panicking so that callers driving the engine from user input
+//! can degrade gracefully.
+
+use std::fmt;
+
+/// Errors produced by [`crate::BddManager`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BddError {
+    /// The live node count exceeded the configured limit. The in-flight
+    /// operation was aborted; the manager remains usable (garbage from the
+    /// aborted operation can be reclaimed with
+    /// [`crate::BddManager::gc`]).
+    NodeLimit {
+        /// The limit that was in force.
+        limit: usize,
+        /// Live nodes at the moment the operation aborted.
+        live: usize,
+    },
+    /// A value outside `0..domain_size` was used with a finite domain.
+    ValueOutOfDomain {
+        /// The offending value.
+        value: u64,
+        /// The size of the domain it was used with.
+        domain_size: u64,
+    },
+    /// A domain was declared with size zero.
+    EmptyDomain,
+    /// The total bit width of a tuple layout exceeds what the engine packs
+    /// into a single machine word (64 bits) for sorted-tuple construction.
+    TupleTooWide {
+        /// Total bits required.
+        bits: u32,
+    },
+    /// A row passed to a relation builder has the wrong arity.
+    ArityMismatch {
+        /// Number of domains in the layout.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A domain rename paired two domains of different bit widths.
+    DomainWidthMismatch {
+        /// Bit width of the source domain.
+        from_bits: u32,
+        /// Bit width of the target domain.
+        to_bits: u32,
+    },
+    /// The same domain was used for two different columns of one relation
+    /// layout — each column needs its own variable block.
+    DuplicateDomain,
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::NodeLimit { limit, live } => write!(
+                f,
+                "BDD node limit exceeded: {live} live nodes > limit {limit}"
+            ),
+            BddError::ValueOutOfDomain { value, domain_size } => write!(
+                f,
+                "value {value} out of range for finite domain of size {domain_size}"
+            ),
+            BddError::EmptyDomain => write!(f, "finite domains must have at least one value"),
+            BddError::TupleTooWide { bits } => write!(
+                f,
+                "tuple layout needs {bits} bits; sorted-tuple construction packs into 64"
+            ),
+            BddError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: layout has {expected} domains, row has {got} values")
+            }
+            BddError::DomainWidthMismatch { from_bits, to_bits } => write!(
+                f,
+                "domain rename requires equal bit widths, got {from_bits} vs {to_bits}"
+            ),
+            BddError::DuplicateDomain => {
+                write!(f, "a relation layout listed the same domain twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BddError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, BddError>;

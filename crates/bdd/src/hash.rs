@@ -1,0 +1,125 @@
+//! A fast, non-cryptographic hasher for the unique table and caches.
+//!
+//! The unique table is the hottest structure in a BDD package: every `mk`
+//! call probes it. SipHash (std's default) is measurably slow for the small
+//! fixed-size keys we hash, so we use an FxHash-style multiply-xor hasher —
+//! the same algorithm rustc uses for its internal tables. HashDoS is not a
+//! concern: keys are internally generated node triples, not attacker input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from FxHash (64-bit variant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An FxHash-style streaming hasher over machine words.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`], usable with `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Mix three 32-bit words into a single well-distributed 64-bit value.
+///
+/// Used for direct-mapped cache indexing where we want a one-shot hash
+/// without constructing a `Hasher`.
+#[inline]
+pub fn mix3(a: u32, b: u32, c: u32) -> u64 {
+    let mut h = (a as u64).wrapping_mul(SEED);
+    h = (h.rotate_left(5) ^ b as u64).wrapping_mul(SEED);
+    h = (h.rotate_left(5) ^ c as u64).wrapping_mul(SEED);
+    // Final avalanche so that low bits (used for cache indexing) depend on
+    // all inputs.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn hasher_is_deterministic() {
+        let bh = FxBuildHasher::default();
+        let h1 = bh.hash_one((3u32, 4u32, 5u32));
+        let h2 = bh.hash_one((3u32, 4u32, 5u32));
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn hasher_distinguishes_field_order() {
+        let bh = FxBuildHasher::default();
+        assert_ne!(bh.hash_one((1u32, 2u32)), bh.hash_one((2u32, 1u32)));
+    }
+
+    #[test]
+    fn mix3_spreads_low_bits() {
+        // Sequential inputs must not collide in the low bits that index the
+        // direct-mapped cache.
+        let mask = (1u64 << 16) - 1;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u32 {
+            seen.insert(mix3(i, 0, 0) & mask);
+        }
+        // With a good mix, nearly all 1000 values land in distinct slots.
+        assert!(seen.len() > 900, "only {} distinct slots", seen.len());
+    }
+
+    #[test]
+    fn mix3_differs_on_each_argument() {
+        assert_ne!(mix3(1, 2, 3), mix3(3, 2, 1));
+        assert_ne!(mix3(1, 2, 3), mix3(1, 3, 2));
+        assert_ne!(mix3(0, 0, 1), mix3(0, 1, 0));
+    }
+
+    #[test]
+    fn write_bytes_handles_partial_chunks() {
+        let bh = FxBuildHasher::default();
+        // Strings of different lengths sharing a prefix must hash apart.
+        assert_ne!(bh.hash_one("abcdefghi"), bh.hash_one("abcdefgh"));
+    }
+}

@@ -1,0 +1,559 @@
+//! The BDD manager: shared node store, unique table, GC, and node limits.
+//!
+//! All BDDs live inside one [`BddManager`]; a [`Bdd`] handle is just an index
+//! into the manager's node arena. Handles are `Copy` and cheap, but they are
+//! only valid for the manager that produced them, and they do **not** keep
+//! nodes alive across [`BddManager::gc`] — callers pass the set of roots they
+//! still care about to `gc` explicitly. This mirrors how the constraint
+//! checker uses the engine: it knows exactly which relation indices and
+//! intermediate results are live at any point.
+
+use crate::cache::OpCache;
+use crate::error::{BddError, Result};
+use crate::fdd::Domain;
+use crate::hash::FxHashMap;
+use crate::quant::VarSetData;
+
+/// A boolean variable, identified by its level in the (fixed) global order.
+/// Variable `0` is tested first (nearest the root).
+pub type Var = u32;
+
+/// Size in bytes of one BDD node in this implementation (the paper's BuDDy
+/// build used 20 bytes per node; ours packs into 12).
+pub const NODE_BYTES: usize = std::mem::size_of::<Node>();
+
+/// Sentinel level for the two terminal nodes.
+pub(crate) const LEVEL_TERMINAL: u32 = u32::MAX;
+
+/// A handle to a BDD node (and thereby to the boolean function rooted
+/// there). `Copy`-able; valid only within the manager that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant-false BDD (empty relation).
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true BDD (full relation).
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Is this the constant `false`?
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Is this the constant `true`?
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self.0 == 1
+    }
+
+    /// Is this either terminal?
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Raw index, exposed for diagnostics and cache keys.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Node {
+    pub(crate) level: u32,
+    pub(crate) low: u32,
+    pub(crate) high: u32,
+}
+
+/// Statistics returned by [`BddManager::gc`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Nodes reclaimed by this sweep.
+    pub freed: usize,
+    /// Live nodes after the sweep.
+    pub live: usize,
+}
+
+/// Cumulative manager statistics (see [`BddManager::stats`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ManagerStats {
+    /// Nodes currently live (excluding the two terminals).
+    pub live_nodes: usize,
+    /// High-water mark of live nodes.
+    pub peak_nodes: usize,
+    /// Total nodes ever created (counting re-creations after GC).
+    pub created_nodes: u64,
+    /// Operation-cache hits.
+    pub cache_hits: u64,
+    /// Operation-cache misses.
+    pub cache_misses: u64,
+    /// Number of GC sweeps performed.
+    pub gc_runs: u64,
+    /// Number of boolean variables allocated.
+    pub num_vars: u32,
+}
+
+/// The shared-node BDD store. See the [crate-level docs](crate) for an
+/// overview and the paper mapping.
+pub struct BddManager {
+    pub(crate) nodes: Vec<Node>,
+    unique: FxHashMap<(u32, u32, u32), u32>,
+    free: Vec<u32>,
+    pub(crate) cache: OpCache,
+    num_vars: u32,
+    node_limit: Option<usize>,
+    pub(crate) domains: Vec<Domain>,
+    pub(crate) varsets: Vec<VarSetData>,
+    pub(crate) varset_lookup: FxHashMap<Vec<Var>, u32>,
+    pub(crate) replace_maps: Vec<Vec<Var>>,
+    pub(crate) replace_lookup: FxHashMap<Vec<Var>, u32>,
+    peak_nodes: usize,
+    created_nodes: u64,
+    gc_runs: u64,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Create a manager with default cache size (2¹⁸ slots).
+    pub fn new() -> Self {
+        Self::with_capacity(1 << 18)
+    }
+
+    /// Create a manager with a caller-chosen operation-cache size (slots,
+    /// rounded up to a power of two).
+    pub fn with_capacity(cache_slots: usize) -> Self {
+        let nodes = vec![
+            // false terminal
+            Node { level: LEVEL_TERMINAL, low: 0, high: 0 },
+            // true terminal
+            Node { level: LEVEL_TERMINAL, low: 1, high: 1 },
+        ];
+        BddManager {
+            nodes,
+            unique: FxHashMap::default(),
+            free: Vec::new(),
+            cache: OpCache::new(cache_slots),
+            num_vars: 0,
+            node_limit: None,
+            domains: Vec::new(),
+            varsets: Vec::new(),
+            varset_lookup: FxHashMap::default(),
+            replace_maps: Vec::new(),
+            replace_lookup: FxHashMap::default(),
+            peak_nodes: 0,
+            created_nodes: 0,
+            gc_runs: 0,
+        }
+    }
+
+    /// Set (or clear) the live-node limit. When the limit is exceeded the
+    /// in-flight operation aborts with [`BddError::NodeLimit`] — the paper's
+    /// size-threshold strategy for falling back to SQL.
+    pub fn set_node_limit(&mut self, limit: Option<usize>) {
+        self.node_limit = limit;
+    }
+
+    /// The configured live-node limit, if any.
+    pub fn node_limit(&self) -> Option<usize> {
+        self.node_limit
+    }
+
+    /// Number of live (reachable-or-not, but unreclaimed) nodes, excluding
+    /// the two terminals.
+    #[inline]
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.len() - 2 - self.free.len()
+    }
+
+    /// Number of boolean variables allocated so far.
+    #[inline]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Allocate a fresh boolean variable at the next (deepest) level.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        v
+    }
+
+    /// The BDD of the literal `x_v` (true iff variable `v` is set).
+    pub fn var(&mut self, v: Var) -> Result<Bdd> {
+        debug_assert!(v < self.num_vars, "variable {v} not allocated");
+        self.mk(v, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The BDD of the negative literal `¬x_v`.
+    pub fn nvar(&mut self, v: Var) -> Result<Bdd> {
+        debug_assert!(v < self.num_vars, "variable {v} not allocated");
+        self.mk(v, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    #[inline]
+    pub(crate) fn node(&self, f: Bdd) -> Node {
+        self.nodes[f.0 as usize]
+    }
+
+    /// Level of the root node (`LEVEL_TERMINAL` for constants).
+    #[inline]
+    pub(crate) fn level(&self, f: Bdd) -> u32 {
+        self.nodes[f.0 as usize].level
+    }
+
+    /// The variable tested at the root, if `f` is not a constant.
+    pub fn root_var(&self, f: Bdd) -> Option<Var> {
+        let l = self.level(f);
+        (l != LEVEL_TERMINAL).then_some(l)
+    }
+
+    /// Low (else) and high (then) cofactors at the root. Constants cofactor
+    /// to themselves.
+    pub fn cofactors(&self, f: Bdd) -> (Bdd, Bdd) {
+        let n = self.node(f);
+        (Bdd(n.low), Bdd(n.high))
+    }
+
+    /// Hash-consing constructor: returns the canonical node for
+    /// `(level, low, high)`, applying the ROBDD reduction rules.
+    pub(crate) fn mk(&mut self, level: u32, low: Bdd, high: Bdd) -> Result<Bdd> {
+        if low == high {
+            return Ok(low);
+        }
+        debug_assert!(
+            self.level(low) > level && self.level(high) > level,
+            "mk would violate variable order: level {level}, children at {} and {}",
+            self.level(low),
+            self.level(high)
+        );
+        let key = (level, low.0, high.0);
+        if let Some(&idx) = self.unique.get(&key) {
+            return Ok(Bdd(idx));
+        }
+        if let Some(limit) = self.node_limit {
+            if self.live_nodes() >= limit {
+                return Err(BddError::NodeLimit { limit, live: self.live_nodes() });
+            }
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Node { level, low: low.0, high: high.0 };
+                i
+            }
+            None => {
+                let i = self.nodes.len() as u32;
+                self.nodes.push(Node { level, low: low.0, high: high.0 });
+                i
+            }
+        };
+        self.unique.insert(key, idx);
+        self.created_nodes += 1;
+        self.peak_nodes = self.peak_nodes.max(self.live_nodes());
+        Ok(Bdd(idx))
+    }
+
+    /// Evaluate `f` under a total assignment given as a closure from
+    /// variable to boolean. Allocation-free.
+    pub fn eval(&self, f: Bdd, assignment: impl Fn(Var) -> bool) -> bool {
+        let mut cur = f;
+        loop {
+            if cur.is_const() {
+                return cur.is_true();
+            }
+            let n = self.node(cur);
+            cur = if assignment(n.level) { Bdd(n.high) } else { Bdd(n.low) };
+        }
+    }
+
+    /// Number of nodes in the (shared) graph rooted at `f`, excluding
+    /// terminals. This is the "BDD size" the paper reports.
+    pub fn size(&self, f: Bdd) -> usize {
+        if f.is_const() {
+            return 0;
+        }
+        let mut seen = std::collections::HashSet::with_hasher(
+            crate::hash::FxBuildHasher::default(),
+        );
+        let mut stack = vec![f.0];
+        while let Some(i) = stack.pop() {
+            if i <= 1 || !seen.insert(i) {
+                continue;
+            }
+            let n = self.nodes[i as usize];
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        seen.len()
+    }
+
+    /// Combined node count of several roots, counting shared nodes once —
+    /// what an index set actually occupies.
+    pub fn size_shared(&self, roots: &[Bdd]) -> usize {
+        let mut seen = std::collections::HashSet::with_hasher(
+            crate::hash::FxBuildHasher::default(),
+        );
+        let mut stack: Vec<u32> = roots.iter().map(|b| b.0).collect();
+        while let Some(i) = stack.pop() {
+            if i <= 1 || !seen.insert(i) {
+                continue;
+            }
+            let n = self.nodes[i as usize];
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        seen.len()
+    }
+
+    /// The set of variables appearing in `f`, sorted ascending.
+    pub fn support(&self, f: Bdd) -> Vec<Var> {
+        let mut seen = std::collections::HashSet::with_hasher(
+            crate::hash::FxBuildHasher::default(),
+        );
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f.0];
+        while let Some(i) = stack.pop() {
+            if i <= 1 || !seen.insert(i) {
+                continue;
+            }
+            let n = self.nodes[i as usize];
+            vars.insert(n.level);
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Mark-and-sweep garbage collection. Every node not reachable from
+    /// `roots` is reclaimed onto the free list; the operation cache is
+    /// invalidated (node indices may be recycled).
+    pub fn gc(&mut self, roots: &[Bdd]) -> GcStats {
+        let mut marked = vec![false; self.nodes.len()];
+        marked[0] = true;
+        marked[1] = true;
+        let mut stack: Vec<u32> = roots.iter().map(|b| b.0).collect();
+        while let Some(i) = stack.pop() {
+            let i = i as usize;
+            if marked[i] {
+                continue;
+            }
+            marked[i] = true;
+            let n = self.nodes[i];
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        // Nodes already on the free list must not be freed twice.
+        for &i in &self.free {
+            marked[i as usize] = true;
+        }
+        let mut freed = 0;
+        #[allow(clippy::needless_range_loop)] // i indexes both marked and nodes
+        for i in 2..self.nodes.len() {
+            if !marked[i] {
+                let n = self.nodes[i];
+                self.unique.remove(&(n.level, n.low, n.high));
+                // Poison the entry so stale handles fail fast in debug runs.
+                self.nodes[i] = Node { level: LEVEL_TERMINAL - 1, low: 0, high: 0 };
+                self.free.push(i as u32);
+                freed += 1;
+            }
+        }
+        self.cache.invalidate();
+        self.gc_runs += 1;
+        GcStats { freed, live: self.live_nodes() }
+    }
+
+    /// Snapshot of cumulative statistics.
+    pub fn stats(&self) -> ManagerStats {
+        ManagerStats {
+            live_nodes: self.live_nodes(),
+            peak_nodes: self.peak_nodes,
+            created_nodes: self.created_nodes,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            gc_runs: self.gc_runs,
+            num_vars: self.num_vars,
+        }
+    }
+
+    /// Approximate heap footprint of the node store in bytes (the paper
+    /// reports 20 bytes per BuDDy node; see [`NODE_BYTES`]).
+    pub fn node_bytes(&self) -> usize {
+        self.live_nodes() * NODE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_fixed() {
+        let m = BddManager::new();
+        assert!(Bdd::FALSE.is_false());
+        assert!(Bdd::TRUE.is_true());
+        assert!(Bdd::TRUE.is_const() && Bdd::FALSE.is_const());
+        assert_eq!(m.live_nodes(), 0);
+        assert_eq!(m.size(Bdd::TRUE), 0);
+    }
+
+    #[test]
+    fn mk_reduces_equal_children() {
+        let mut m = BddManager::new();
+        let v = m.new_var();
+        let f = m.mk(v, Bdd::TRUE, Bdd::TRUE).unwrap();
+        assert_eq!(f, Bdd::TRUE);
+        assert_eq!(m.live_nodes(), 0);
+    }
+
+    #[test]
+    fn mk_is_hash_consed() {
+        let mut m = BddManager::new();
+        let v = m.new_var();
+        let a = m.var(v).unwrap();
+        let b = m.var(v).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(m.live_nodes(), 1);
+    }
+
+    #[test]
+    fn var_and_nvar_evaluate() {
+        let mut m = BddManager::new();
+        let v = m.new_var();
+        let x = m.var(v).unwrap();
+        let nx = m.nvar(v).unwrap();
+        assert!(m.eval(x, |_| true));
+        assert!(!m.eval(x, |_| false));
+        assert!(!m.eval(nx, |_| true));
+        assert!(m.eval(nx, |_| false));
+    }
+
+    #[test]
+    fn node_limit_aborts_and_recovers() {
+        let mut m = BddManager::new();
+        for _ in 0..8 {
+            m.new_var();
+        }
+        m.set_node_limit(Some(3));
+        // Building x0 ∧ x1 ∧ ... eventually needs more than 3 nodes.
+        let mut err = None;
+        let mut acc = Bdd::TRUE;
+        for v in 0..8 {
+            let x = match m.var(v) {
+                Ok(x) => x,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            };
+            match m.and(acc, x) {
+                Ok(f) => acc = f,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(matches!(err, Some(BddError::NodeLimit { limit: 3, .. })));
+        // Manager remains usable after raising the limit.
+        m.set_node_limit(None);
+        let x = m.var(7).unwrap();
+        let y = m.var(6).unwrap();
+        let f = m.and(x, y).unwrap();
+        assert!(m.eval(f, |_| true));
+    }
+
+    #[test]
+    fn gc_reclaims_unrooted_nodes() {
+        let mut m = BddManager::new();
+        let v0 = m.new_var();
+        let v1 = m.new_var();
+        let x = m.var(v0).unwrap();
+        let y = m.var(v1).unwrap();
+        let keep = m.and(x, y).unwrap();
+        let _dead = m.or(x, y).unwrap();
+        let before = m.live_nodes();
+        let stats = m.gc(&[keep]);
+        assert!(stats.freed > 0);
+        assert_eq!(stats.live, before - stats.freed);
+        // keep is still correct.
+        assert!(m.eval(keep, |_| true));
+        assert!(!m.eval(keep, |v| v == v0));
+    }
+
+    #[test]
+    fn gc_reuses_freed_slots() {
+        let mut m = BddManager::new();
+        let v0 = m.new_var();
+        let v1 = m.new_var();
+        let x = m.var(v0).unwrap();
+        let y = m.var(v1).unwrap();
+        let _dead = m.and(x, y).unwrap();
+        m.gc(&[x, y]);
+        let arena_len = m.nodes.len();
+        // New allocation should reuse the freed slot, not grow the arena.
+        let f = m.or(x, y).unwrap();
+        assert_eq!(m.nodes.len(), arena_len);
+        assert!(m.eval(f, |v| v == v0));
+    }
+
+    #[test]
+    fn double_gc_does_not_double_free() {
+        let mut m = BddManager::new();
+        let v0 = m.new_var();
+        let v1 = m.new_var();
+        let x = m.var(v0).unwrap();
+        let y = m.var(v1).unwrap();
+        let _dead = m.and(x, y).unwrap();
+        m.gc(&[x, y]);
+        let free_after_first = m.free.len();
+        m.gc(&[x, y]);
+        assert_eq!(m.free.len(), free_after_first);
+    }
+
+    #[test]
+    fn size_counts_distinct_nodes() {
+        let mut m = BddManager::new();
+        let v0 = m.new_var();
+        let v1 = m.new_var();
+        let x = m.var(v0).unwrap();
+        let y = m.var(v1).unwrap();
+        let f = m.and(x, y).unwrap();
+        // x0 ∧ x1 is two internal nodes.
+        assert_eq!(m.size(f), 2);
+        assert_eq!(m.size_shared(&[f, y]), 2); // y is shared inside f
+    }
+
+    #[test]
+    fn support_reports_used_vars() {
+        let mut m = BddManager::new();
+        let vars: Vec<Var> = (0..4).map(|_| m.new_var()).collect();
+        let x0 = m.var(vars[0]).unwrap();
+        let x2 = m.var(vars[2]).unwrap();
+        let f = m.xor(x0, x2).unwrap();
+        assert_eq!(m.support(f), vec![vars[0], vars[2]]);
+        assert!(m.support(Bdd::TRUE).is_empty());
+    }
+
+    #[test]
+    fn stats_track_peak_and_cache() {
+        let mut m = BddManager::new();
+        let v0 = m.new_var();
+        let v1 = m.new_var();
+        let x = m.var(v0).unwrap();
+        let y = m.var(v1).unwrap();
+        let _f = m.and(x, y).unwrap();
+        let _g = m.and(x, y).unwrap(); // cache hit
+        let s = m.stats();
+        assert!(s.peak_nodes >= s.live_nodes);
+        assert!(s.cache_hits >= 1);
+        assert_eq!(s.num_vars, 2);
+    }
+}

@@ -1,0 +1,304 @@
+//! Quantification: `exists`/`forall` over variable sets, and the fused
+//! apply-quantify operators `app_exists` / `app_forall`.
+//!
+//! The fused operators are BuDDy's `bdd_appex` and `bdd_appall`: they
+//! evaluate `∃x̄ (f op g)` / `∀x̄ (f op g)` in one traversal, without
+//! materializing the potentially large intermediate `f op g`. The paper's
+//! quantifier pull-up rule (∃ over ∨) exists precisely to expose calls of
+//! this shape, and its push-down rule (∀ over ∧) exists because `∀x φᵢ`
+//! results are usually far smaller than `φᵢ` (Section 4.3).
+
+use crate::cache::OpCode;
+use crate::error::Result;
+use crate::manager::{Bdd, BddManager, Var, LEVEL_TERMINAL};
+use crate::Op;
+
+/// An interned, sorted set of variables to quantify over. Interning gives
+/// the operation cache a compact id to key on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarSet(pub(crate) u32);
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarSetData {
+    /// Sorted ascending.
+    pub(crate) vars: Vec<Var>,
+    /// Largest member, for early exit (`LEVEL_TERMINAL` if empty).
+    pub(crate) max: u32,
+}
+
+impl BddManager {
+    /// Intern a set of variables for quantification. Duplicates are removed;
+    /// order does not matter.
+    pub fn varset(&mut self, vars: &[Var]) -> VarSet {
+        let mut sorted: Vec<Var> = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if let Some(&id) = self.varset_lookup.get(&sorted) {
+            return VarSet(id);
+        }
+        let id = self.varsets.len() as u32;
+        let max = sorted.last().copied().unwrap_or(LEVEL_TERMINAL);
+        self.varsets.push(VarSetData { vars: sorted.clone(), max });
+        self.varset_lookup.insert(sorted, id);
+        VarSet(id)
+    }
+
+    /// The members of an interned varset, sorted ascending.
+    pub fn varset_vars(&self, vs: VarSet) -> &[Var] {
+        &self.varsets[vs.0 as usize].vars
+    }
+
+    /// `∃ vars. f` — existential quantification.
+    pub fn exists(&mut self, f: Bdd, vs: VarSet) -> Result<Bdd> {
+        self.quant(f, vs, true)
+    }
+
+    /// `∀ vars. f` — universal quantification.
+    pub fn forall(&mut self, f: Bdd, vs: VarSet) -> Result<Bdd> {
+        self.quant(f, vs, false)
+    }
+
+    fn quant(&mut self, f: Bdd, vs: VarSet, is_exists: bool) -> Result<Bdd> {
+        let data = &self.varsets[vs.0 as usize];
+        if f.is_const() || data.vars.is_empty() || self.level(f) > data.max {
+            // No quantified variable can occur in f below this point.
+            return Ok(f);
+        }
+        let code = if is_exists { OpCode::Exists } else { OpCode::Forall };
+        if let Some(r) = self.cache.get(code, f.0, vs.0, 0) {
+            return Ok(Bdd(r));
+        }
+        let n = self.node(f);
+        let low = self.quant(Bdd(n.low), vs, is_exists)?;
+        let high = self.quant(Bdd(n.high), vs, is_exists)?;
+        let in_set = self.varsets[vs.0 as usize].vars.binary_search(&n.level).is_ok();
+        let r = if in_set {
+            if is_exists {
+                self.or(low, high)?
+            } else {
+                self.and(low, high)?
+            }
+        } else {
+            self.mk(n.level, low, high)?
+        };
+        self.cache.put(code, f.0, vs.0, 0, r.0);
+        Ok(r)
+    }
+
+    /// Fused `∃ vars. (f op g)` — BuDDy's `bdd_appex`. Avoids building the
+    /// intermediate `f op g`.
+    pub fn app_exists(&mut self, op: Op, f: Bdd, g: Bdd, vs: VarSet) -> Result<Bdd> {
+        self.app_quant(op, f, g, vs, true)
+    }
+
+    /// Fused `∀ vars. (f op g)` — BuDDy's `bdd_appall`.
+    pub fn app_forall(&mut self, op: Op, f: Bdd, g: Bdd, vs: VarSet) -> Result<Bdd> {
+        self.app_quant(op, f, g, vs, false)
+    }
+
+    fn app_quant(&mut self, op: Op, f: Bdd, g: Bdd, vs: VarSet, is_exists: bool) -> Result<Bdd> {
+        // When both operands are below every quantified variable, this is a
+        // plain apply.
+        let data = &self.varsets[vs.0 as usize];
+        let top = self.level(f).min(self.level(g));
+        if data.vars.is_empty() || top > data.max {
+            return self.apply(op, f, g);
+        }
+        if f.is_const() && g.is_const() {
+            return Ok(if op.eval(f.is_true(), g.is_true()) { Bdd::TRUE } else { Bdd::FALSE });
+        }
+        let opc = op_discriminant(op);
+        let code = if is_exists { OpCode::AppExists(opc) } else { OpCode::AppForall(opc) };
+        if let Some(r) = self.cache.get(code, f.0, g.0, vs.0) {
+            return Ok(Bdd(r));
+        }
+        let (lf, lg) = (self.level(f), self.level(g));
+        let (f0, f1) = if lf == top { self.cofactors(f) } else { (f, f) };
+        let (g0, g1) = if lg == top { self.cofactors(g) } else { (g, g) };
+        let low = self.app_quant(op, f0, g0, vs, is_exists)?;
+        let high = self.app_quant(op, f1, g1, vs, is_exists)?;
+        let in_set = self.varsets[vs.0 as usize].vars.binary_search(&top).is_ok();
+        let r = if in_set {
+            if is_exists {
+                self.or(low, high)?
+            } else {
+                self.and(low, high)?
+            }
+        } else {
+            self.mk(top, low, high)?
+        };
+        self.cache.put(code, f.0, g.0, vs.0, r.0);
+        Ok(r)
+    }
+}
+
+#[inline]
+fn op_discriminant(op: Op) -> u8 {
+    match op {
+        Op::And => 0,
+        Op::Or => 1,
+        Op::Xor => 2,
+        Op::Nand => 3,
+        Op::Nor => 4,
+        Op::Imp => 5,
+        Op::Biimp => 6,
+        Op::Diff => 7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BddManager, Vec<Var>) {
+        let mut m = BddManager::new();
+        let vars = (0..4).map(|_| m.new_var()).collect();
+        (m, vars)
+    }
+
+    #[test]
+    fn varset_interning_dedupes_and_sorts() {
+        let (mut m, v) = setup();
+        let a = m.varset(&[v[2], v[0], v[2]]);
+        let b = m.varset(&[v[0], v[2]]);
+        assert_eq!(a, b);
+        assert_eq!(m.varset_vars(a), &[v[0], v[2]]);
+    }
+
+    #[test]
+    fn exists_drops_variable() {
+        let (mut m, v) = setup();
+        let x = m.var(v[0]).unwrap();
+        let y = m.var(v[1]).unwrap();
+        let f = m.and(x, y).unwrap();
+        let vs = m.varset(&[v[0]]);
+        let e = m.exists(f, vs).unwrap();
+        // ∃x (x ∧ y) = y
+        assert_eq!(e, y);
+    }
+
+    #[test]
+    fn forall_of_conjunction() {
+        let (mut m, v) = setup();
+        let x = m.var(v[0]).unwrap();
+        let y = m.var(v[1]).unwrap();
+        let f = m.and(x, y).unwrap();
+        let vs = m.varset(&[v[0]]);
+        // ∀x (x ∧ y) = false (the x=0 branch kills it)
+        assert_eq!(m.forall(f, vs).unwrap(), Bdd::FALSE);
+        let g = m.or(x, y).unwrap();
+        // ∀x (x ∨ y) = y
+        assert_eq!(m.forall(g, vs).unwrap(), y);
+    }
+
+    #[test]
+    fn quantifying_absent_variable_is_identity() {
+        let (mut m, v) = setup();
+        let y = m.var(v[1]).unwrap();
+        let vs = m.varset(&[v[0], v[3]]);
+        assert_eq!(m.exists(y, vs).unwrap(), y);
+        assert_eq!(m.forall(y, vs).unwrap(), y);
+    }
+
+    #[test]
+    fn exists_and_forall_are_dual() {
+        let (mut m, v) = setup();
+        let x = m.var(v[0]).unwrap();
+        let y = m.var(v[1]).unwrap();
+        let z = m.var(v[2]).unwrap();
+        let xy = m.xor(x, y).unwrap();
+        let f = m.or(xy, z).unwrap();
+        let vs = m.varset(&[v[0], v[1]]);
+        // ∀x̄ f == ¬∃x̄ ¬f
+        let lhs = m.forall(f, vs).unwrap();
+        let nf = m.not(f).unwrap();
+        let e = m.exists(nf, vs).unwrap();
+        let rhs = m.not(e).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn app_exists_matches_unfused() {
+        let (mut m, v) = setup();
+        let x = m.var(v[0]).unwrap();
+        let y = m.var(v[1]).unwrap();
+        let z = m.var(v[2]).unwrap();
+        let f = m.biimp(x, z).unwrap();
+        let g = m.xor(y, z).unwrap();
+        let vs = m.varset(&[v[2]]);
+        for op in [Op::And, Op::Or, Op::Xor, Op::Imp] {
+            let fused = m.app_exists(op, f, g, vs).unwrap();
+            let applied = m.apply(op, f, g).unwrap();
+            let unfused = m.exists(applied, vs).unwrap();
+            assert_eq!(fused, unfused, "op {op:?}");
+        }
+    }
+
+    #[test]
+    fn app_forall_matches_unfused() {
+        let (mut m, v) = setup();
+        let x = m.var(v[0]).unwrap();
+        let y = m.var(v[1]).unwrap();
+        let z = m.var(v[3]).unwrap();
+        let f = m.or(x, z).unwrap();
+        let g = m.imp(z, y).unwrap();
+        let vs = m.varset(&[v[3]]);
+        for op in [Op::And, Op::Or, Op::Biimp, Op::Diff] {
+            let fused = m.app_forall(op, f, g, vs).unwrap();
+            let applied = m.apply(op, f, g).unwrap();
+            let unfused = m.forall(applied, vs).unwrap();
+            assert_eq!(fused, unfused, "op {op:?}");
+        }
+    }
+
+    #[test]
+    fn app_quant_with_empty_varset_is_apply() {
+        let (mut m, v) = setup();
+        let x = m.var(v[0]).unwrap();
+        let y = m.var(v[1]).unwrap();
+        let vs = m.varset(&[]);
+        let fused = m.app_exists(Op::And, x, y, vs).unwrap();
+        let plain = m.and(x, y).unwrap();
+        assert_eq!(fused, plain);
+    }
+
+    #[test]
+    fn quantifier_pullup_identity_rule3() {
+        // Equation 3 of the paper: ∃x φ1 ∨ ∃x φ2 ⇔ ∃x (φ1 ∨ φ2).
+        let (mut m, v) = setup();
+        let x = m.var(v[2]).unwrap();
+        let a = m.var(v[0]).unwrap();
+        let b = m.var(v[1]).unwrap();
+        let phi1 = m.and(a, x).unwrap();
+        let nx = m.not(x).unwrap();
+        let phi2 = m.and(b, nx).unwrap();
+        let vs = m.varset(&[v[2]]);
+        let lhs = {
+            let e1 = m.exists(phi1, vs).unwrap();
+            let e2 = m.exists(phi2, vs).unwrap();
+            m.or(e1, e2).unwrap()
+        };
+        let rhs = m.app_exists(Op::Or, phi1, phi2, vs).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn quantifier_pushdown_identity_rule4() {
+        // Equation 4: ∀x φ1 ∧ ∀x φ2 ⇔ ∀x (φ1 ∧ φ2).
+        let (mut m, v) = setup();
+        let x = m.var(v[2]).unwrap();
+        let a = m.var(v[0]).unwrap();
+        let b = m.var(v[1]).unwrap();
+        let phi1 = m.or(a, x).unwrap();
+        let nx = m.not(x).unwrap();
+        let phi2 = m.or(b, nx).unwrap();
+        let vs = m.varset(&[v[2]]);
+        let lhs = {
+            let a1 = m.forall(phi1, vs).unwrap();
+            let a2 = m.forall(phi2, vs).unwrap();
+            m.and(a1, a2).unwrap()
+        };
+        let rhs = m.app_forall(Op::And, phi1, phi2, vs).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,248 @@
+//! Variable renaming (`replace`) and restriction by a cube.
+//!
+//! `replace` renames variables according to an interned map — BuDDy's
+//! `bdd_replace`. It is the cheap half of the paper's equi-join rewrite rule
+//! (Section 4.2): `R1 ⋈ R2` becomes `BDD(R1) ∧ BDD(R2[x/y])`, and when the
+//! renamed variables keep their relative order the rename is a single linear
+//! pass over `BDD(R2)`. When a rename *would* cross the global order, we fall
+//! back to an `ite`-based correction at the crossing node (BuDDy's
+//! `bdd_correctify`), which stays correct at some extra cost.
+//!
+//! `restrict` cofactors a function by a conjunction of literals (a *cube*) —
+//! how constants in constraints (`city = "Toronto"`) are pinned before
+//! quantification.
+
+use crate::cache::OpCode;
+use crate::error::Result;
+use crate::manager::{Bdd, BddManager, Var};
+
+/// An interned variable-renaming map (total over all variables; identity by
+/// default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplaceMap(pub(crate) u32);
+
+impl BddManager {
+    /// Intern a renaming given as `(from, to)` pairs. Unlisted variables map
+    /// to themselves. Panics if a `from` variable is listed twice with
+    /// different targets.
+    pub fn replace_map(&mut self, pairs: &[(Var, Var)]) -> ReplaceMap {
+        let mut map: Vec<Var> = (0..self.num_vars()).collect();
+        for &(from, to) in pairs {
+            assert!(
+                map[from as usize] == from || map[from as usize] == to,
+                "variable {from} renamed twice"
+            );
+            map[from as usize] = to;
+        }
+        if let Some(&id) = self.replace_lookup.get(&map) {
+            return ReplaceMap(id);
+        }
+        let id = self.replace_maps.len() as u32;
+        self.replace_maps.push(map.clone());
+        self.replace_lookup.insert(map, id);
+        ReplaceMap(id)
+    }
+
+    /// Rename the variables of `f` according to `map`.
+    pub fn replace(&mut self, f: Bdd, map: ReplaceMap) -> Result<Bdd> {
+        if f.is_const() {
+            return Ok(f);
+        }
+        if let Some(r) = self.cache.get(OpCode::Replace, f.0, map.0, 0) {
+            return Ok(Bdd(r));
+        }
+        let n = self.node(f);
+        let low = self.replace(Bdd(n.low), map)?;
+        let high = self.replace(Bdd(n.high), map)?;
+        let new_var = self.replace_maps[map.0 as usize][n.level as usize];
+        // Fast path: the renamed variable still sits above both children, so
+        // a plain mk preserves ordering. Otherwise correct with ite on the
+        // literal, which handles arbitrary level crossings.
+        let r = if new_var < self.level(low) && new_var < self.level(high) {
+            self.mk(new_var, low, high)?
+        } else {
+            let x = self.var(new_var)?;
+            self.ite(x, high, low)?
+        };
+        self.cache.put(OpCode::Replace, f.0, map.0, 0, r.0);
+        Ok(r)
+    }
+
+    /// Restrict `f` by the partial assignment encoded in the cube `c` (a
+    /// conjunction of literals): variables set positively in `c` are fixed
+    /// to 1, negatively to 0. The restricted variables vanish from the
+    /// result. Cubes with branching structure are rejected by debug
+    /// assertion — use [`BddManager::and`] for general conjunction.
+    pub fn restrict(&mut self, f: Bdd, c: Bdd) -> Result<Bdd> {
+        if f.is_const() || c.is_true() {
+            return Ok(f);
+        }
+        debug_assert!(!c.is_false(), "restriction by the empty cube");
+        if let Some(r) = self.cache.get(OpCode::Restrict, f.0, c.0, 0) {
+            return Ok(Bdd(r));
+        }
+        let (lf, lc) = (self.level(f), self.level(c));
+        let r = if lc < lf {
+            // The cube constrains a variable above f's root: skip it.
+            let nc = self.node(c);
+            let next = if nc.low == 0 { Bdd(nc.high) } else { Bdd(nc.low) };
+            self.restrict(f, next)?
+        } else if lc == lf {
+            let nf = self.node(f);
+            let nc = self.node(c);
+            debug_assert!(
+                (nc.low == 0) != (nc.high == 0),
+                "restrict expects a cube (conjunction of literals)"
+            );
+            if nc.low == 0 {
+                // positive literal: take the high branch
+                self.restrict(Bdd(nf.high), Bdd(nc.high))?
+            } else {
+                self.restrict(Bdd(nf.low), Bdd(nc.low))?
+            }
+        } else {
+            let nf = self.node(f);
+            let low = self.restrict(Bdd(nf.low), c)?;
+            let high = self.restrict(Bdd(nf.high), c)?;
+            self.mk(nf.level, low, high)?
+        };
+        self.cache.put(OpCode::Restrict, f.0, c.0, 0, r.0);
+        Ok(r)
+    }
+
+    /// Build the cube (conjunction of literals) for a partial assignment.
+    pub fn cube(&mut self, literals: &[(Var, bool)]) -> Result<Bdd> {
+        let mut lits: Vec<(Var, bool)> = literals.to_vec();
+        lits.sort_unstable_by_key(|&(v, _)| std::cmp::Reverse(v));
+        let mut acc = Bdd::TRUE;
+        for (v, positive) in lits {
+            acc = if positive {
+                self.mk(v, Bdd::FALSE, acc)?
+            } else {
+                self.mk(v, acc, Bdd::FALSE)?
+            };
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replace_order_preserving() {
+        let mut m = BddManager::new();
+        let v: Vec<Var> = (0..4).map(|_| m.new_var()).collect();
+        let x0 = m.var(v[0]).unwrap();
+        let x1 = m.var(v[1]).unwrap();
+        let f = m.and(x0, x1).unwrap();
+        // Rename {0→2, 1→3}: order preserved (0<1, 2<3).
+        let map = m.replace_map(&[(v[0], v[2]), (v[1], v[3])]);
+        let g = m.replace(f, map).unwrap();
+        let x2 = m.var(v[2]).unwrap();
+        let x3 = m.var(v[3]).unwrap();
+        let expected = m.and(x2, x3).unwrap();
+        assert_eq!(g, expected);
+    }
+
+    #[test]
+    fn replace_order_crossing_corrects() {
+        let mut m = BddManager::new();
+        let v: Vec<Var> = (0..4).map(|_| m.new_var()).collect();
+        let x2 = m.var(v[2]).unwrap();
+        let x3 = m.var(v[3]).unwrap();
+        let f = m.imp(x2, x3).unwrap();
+        // Rename {2→1, 3→0}: inverts relative order, forcing correction.
+        let map = m.replace_map(&[(v[2], v[1]), (v[3], v[0])]);
+        let g = m.replace(f, map).unwrap();
+        let x0 = m.var(v[0]).unwrap();
+        let x1 = m.var(v[1]).unwrap();
+        let expected = m.imp(x1, x0).unwrap();
+        assert_eq!(g, expected);
+    }
+
+    #[test]
+    fn replace_swap_within_function() {
+        let mut m = BddManager::new();
+        let v: Vec<Var> = (0..2).map(|_| m.new_var()).collect();
+        let x0 = m.var(v[0]).unwrap();
+        let x1 = m.var(v[1]).unwrap();
+        let nx1 = m.not(x1).unwrap();
+        let f = m.and(x0, nx1).unwrap(); // x0 ∧ ¬x1
+        let map = m.replace_map(&[(v[0], v[1]), (v[1], v[0])]);
+        let g = m.replace(f, map).unwrap();
+        let nx0 = m.not(x0).unwrap();
+        let expected = m.and(x1, nx0).unwrap();
+        assert_eq!(g, expected);
+    }
+
+    #[test]
+    fn replace_identity_map() {
+        let mut m = BddManager::new();
+        let v: Vec<Var> = (0..3).map(|_| m.new_var()).collect();
+        let x0 = m.var(v[0]).unwrap();
+        let x2 = m.var(v[2]).unwrap();
+        let f = m.xor(x0, x2).unwrap();
+        let map = m.replace_map(&[]);
+        assert_eq!(m.replace(f, map).unwrap(), f);
+    }
+
+    #[test]
+    fn cube_encodes_partial_assignment() {
+        let mut m = BddManager::new();
+        let v: Vec<Var> = (0..3).map(|_| m.new_var()).collect();
+        let c = m.cube(&[(v[0], true), (v[2], false)]).unwrap();
+        assert!(m.eval(c, |x| x == v[0]));
+        assert!(!m.eval(c, |x| x == v[2]));
+        assert!(!m.eval(c, |_| false)); // v0 must be true
+        assert_eq!(m.size(c), 2);
+    }
+
+    #[test]
+    fn restrict_pins_variables() {
+        let mut m = BddManager::new();
+        let v: Vec<Var> = (0..3).map(|_| m.new_var()).collect();
+        let x0 = m.var(v[0]).unwrap();
+        let x1 = m.var(v[1]).unwrap();
+        let x2 = m.var(v[2]).unwrap();
+        let t = m.and(x0, x1).unwrap();
+        let f = m.or(t, x2).unwrap(); // (x0 ∧ x1) ∨ x2
+        // Restrict x0 := 1: result should be x1 ∨ x2.
+        let c = m.cube(&[(v[0], true)]).unwrap();
+        let r = m.restrict(f, c).unwrap();
+        let expected = m.or(x1, x2).unwrap();
+        assert_eq!(r, expected);
+        // Restrict x0 := 0: result should be x2.
+        let c0 = m.cube(&[(v[0], false)]).unwrap();
+        assert_eq!(m.restrict(f, c0).unwrap(), x2);
+    }
+
+    #[test]
+    fn restrict_matches_exists_of_conjunction() {
+        // restrict(f, cube) == ∃vars (f ∧ cube) for a positive cube.
+        let mut m = BddManager::new();
+        let v: Vec<Var> = (0..3).map(|_| m.new_var()).collect();
+        let x0 = m.var(v[0]).unwrap();
+        let x1 = m.var(v[1]).unwrap();
+        let x2 = m.var(v[2]).unwrap();
+        let t = m.xor(x0, x1).unwrap();
+        let f = m.imp(t, x2).unwrap();
+        let c = m.cube(&[(v[1], true)]).unwrap();
+        let restricted = m.restrict(f, c).unwrap();
+        let conj = m.and(f, c).unwrap();
+        let vs = m.varset(&[v[1]]);
+        let quantified = m.exists(conj, vs).unwrap();
+        assert_eq!(restricted, quantified);
+    }
+
+    #[test]
+    fn restrict_by_variable_above_root() {
+        let mut m = BddManager::new();
+        let v: Vec<Var> = (0..2).map(|_| m.new_var()).collect();
+        let x1 = m.var(v[1]).unwrap();
+        let c = m.cube(&[(v[0], true)]).unwrap();
+        // x0 doesn't occur in f = x1: restriction is identity.
+        assert_eq!(m.restrict(x1, c).unwrap(), x1);
+    }
+}

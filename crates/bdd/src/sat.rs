@@ -1,0 +1,273 @@
+//! Model counting and satisfying-assignment enumeration.
+//!
+//! `sat_count` computes the number of satisfying assignments over a given
+//! variable set (tuple cardinality, once relations are encoded as
+//! characteristic functions). [`SatAssignments`] enumerates complete
+//! assignments over a variable set — the basis for extracting the actual
+//! violating tuples once a constraint is known to be violated.
+
+use crate::error::Result;
+use crate::hash::FxHashMap;
+use crate::manager::{Bdd, BddManager, Var, LEVEL_TERMINAL};
+use crate::quant::VarSet;
+
+impl BddManager {
+    /// Number of satisfying assignments of `f` over the variables in `vs`.
+    ///
+    /// Requires `support(f) ⊆ vs`; variables in `vs` that `f` does not test
+    /// contribute a factor of 2 each. Returns an `f64` because counts exceed
+    /// `u64` quickly for wide variable sets.
+    ///
+    /// # Panics
+    /// Panics (debug assertion) if `f` tests a variable outside `vs`.
+    pub fn sat_count(&self, f: Bdd, vs: VarSet) -> f64 {
+        let vars = &self.varsets[vs.0 as usize].vars;
+        let mut memo: FxHashMap<u32, f64> = FxHashMap::default();
+        self.sat_count_rec(f, vars, &mut memo)
+    }
+
+    fn sat_count_rec(&self, f: Bdd, vars: &[Var], memo: &mut FxHashMap<u32, f64>) -> f64 {
+        // Count of assignments to the variables of `vars` strictly below
+        // (deeper than or at) f's root level, then scale for skipped vars at
+        // each call site.
+        fn vars_at_or_below(vars: &[Var], level: u32) -> usize {
+            // number of vars v with v >= level
+            let idx = vars.partition_point(|&v| v < level);
+            vars.len() - idx
+        }
+        fn rec(
+            m: &BddManager,
+            f: Bdd,
+            vars: &[Var],
+            memo: &mut FxHashMap<u32, f64>,
+        ) -> f64 {
+            if f.is_false() {
+                return 0.0;
+            }
+            if f.is_true() {
+                return 1.0;
+            }
+            if let Some(&c) = memo.get(&f.0) {
+                return c;
+            }
+            let n = m.node(f);
+            debug_assert!(
+                vars.binary_search(&n.level).is_ok(),
+                "sat_count: variable {} tested by f is not in the counting set",
+                n.level
+            );
+            let below_here = vars_at_or_below(vars, n.level) as i32;
+            let count_side = |m: &BddManager,
+                              child: Bdd,
+                              memo: &mut FxHashMap<u32, f64>|
+             -> f64 {
+                let c = rec(m, child, vars, memo);
+                let child_level = m.level(child);
+                let below_child = if child_level == LEVEL_TERMINAL {
+                    0
+                } else {
+                    vars_at_or_below(vars, child_level) as i32
+                };
+                // Variables strictly between this node and the child are
+                // unconstrained: each doubles the count.
+                let skipped = below_here - 1 - below_child;
+                c * (skipped as f64).exp2()
+            };
+            let total = count_side(m, Bdd(n.low), memo) + count_side(m, Bdd(n.high), memo);
+            memo.insert(f.0, total);
+            total
+        }
+        let c = rec(self, f, vars, memo);
+        // Scale for variables above the root.
+        let root_level = self.level(f);
+        let above = if root_level == LEVEL_TERMINAL {
+            vars.len()
+        } else {
+            vars.partition_point(|&v| v < root_level)
+        };
+        c * (above as f64).exp2()
+    }
+
+    /// One satisfying assignment of `f` restricted to the variables `f`
+    /// actually tests (don't-cares omitted), or `None` if unsatisfiable.
+    pub fn any_sat(&self, f: Bdd) -> Option<Vec<(Var, bool)>> {
+        if f.is_false() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.node(cur);
+            // Prefer a branch that can still reach TRUE; low first for
+            // lexicographically small assignments.
+            if n.low != 0 {
+                path.push((n.level, false));
+                cur = Bdd(n.low);
+            } else {
+                path.push((n.level, true));
+                cur = Bdd(n.high);
+            }
+        }
+        Some(path)
+    }
+
+    /// Iterate over **all** complete satisfying assignments of `f` with
+    /// respect to the variable set `vs` (don't-care variables are expanded
+    /// into both values). Requires `support(f) ⊆ vs`.
+    pub fn sat_assignments(&self, f: Bdd, vs: VarSet) -> SatAssignments<'_> {
+        let vars = self.varsets[vs.0 as usize].vars.clone();
+        SatAssignments {
+            mgr: self,
+            vars,
+            stack: if f.is_false() { vec![] } else { vec![(f, 0, Vec::new())] },
+        }
+    }
+
+    /// Does the relation/function `f` contain the given tuple of values for
+    /// the listed domains? Allocation-free evaluation.
+    pub fn contains(
+        &self,
+        f: Bdd,
+        domains: &[crate::fdd::DomainId],
+        values: &[u64],
+    ) -> Result<bool> {
+        let assignment = self.tuple_assignment(domains, values)?;
+        Ok(self.eval(f, |v| assignment.iter().any(|&(av, ab)| av == v && ab)))
+    }
+}
+
+/// Iterator over complete satisfying assignments (see
+/// [`BddManager::sat_assignments`]). Yields each assignment as a vector of
+/// booleans parallel to the varset's sorted variable list.
+pub struct SatAssignments<'a> {
+    mgr: &'a BddManager,
+    vars: Vec<Var>,
+    /// (node, index into vars, bits chosen so far)
+    stack: Vec<(Bdd, usize, Vec<bool>)>,
+}
+
+impl Iterator for SatAssignments<'_> {
+    type Item = Vec<bool>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((node, vi, bits)) = self.stack.pop() {
+            if vi == self.vars.len() {
+                debug_assert!(node.is_const(), "support(f) must be within the varset");
+                if node.is_true() {
+                    return Some(bits);
+                }
+                continue;
+            }
+            if node.is_false() {
+                continue;
+            }
+            let level = self.mgr.level(node);
+            let var = self.vars[vi];
+            if !node.is_const() && level == var {
+                let n = self.mgr.node(node);
+                let mut b1 = bits.clone();
+                b1.push(true);
+                let mut b0 = bits;
+                b0.push(false);
+                // Push high first so low (lexicographically smaller) pops
+                // first.
+                self.stack.push((Bdd(n.high), vi + 1, b1));
+                self.stack.push((Bdd(n.low), vi + 1, b0));
+            } else {
+                // Don't-care for this variable: expand both values.
+                debug_assert!(node.is_const() || level > var, "variable outside varset");
+                let mut b1 = bits.clone();
+                b1.push(true);
+                let mut b0 = bits;
+                b0.push(false);
+                self.stack.push((node, vi + 1, b1));
+                self.stack.push((node, vi + 1, b0));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sat_count_simple() {
+        let mut m = BddManager::new();
+        let v: Vec<Var> = (0..3).map(|_| m.new_var()).collect();
+        let x0 = m.var(v[0]).unwrap();
+        let x1 = m.var(v[1]).unwrap();
+        let f = m.and(x0, x1).unwrap();
+        let vs = m.varset(&v);
+        // x0 ∧ x1 over 3 vars: x2 free → 2 models.
+        assert_eq!(m.sat_count(f, vs), 2.0);
+        assert_eq!(m.sat_count(Bdd::TRUE, vs), 8.0);
+        assert_eq!(m.sat_count(Bdd::FALSE, vs), 0.0);
+    }
+
+    #[test]
+    fn sat_count_with_skipped_levels() {
+        let mut m = BddManager::new();
+        let v: Vec<Var> = (0..4).map(|_| m.new_var()).collect();
+        let x0 = m.var(v[0]).unwrap();
+        let x3 = m.var(v[3]).unwrap();
+        let f = m.biimp(x0, x3).unwrap(); // skips vars 1,2
+        let vs = m.varset(&v);
+        // Half of 16 assignments satisfy x0 ⇔ x3.
+        assert_eq!(m.sat_count(f, vs), 8.0);
+    }
+
+    #[test]
+    fn sat_count_function_below_leading_vars() {
+        let mut m = BddManager::new();
+        let v: Vec<Var> = (0..3).map(|_| m.new_var()).collect();
+        let x2 = m.var(v[2]).unwrap();
+        let vs = m.varset(&v);
+        // f = x2 over {x0,x1,x2}: 4 models.
+        assert_eq!(m.sat_count(x2, vs), 4.0);
+    }
+
+    #[test]
+    fn any_sat_returns_valid_assignment() {
+        let mut m = BddManager::new();
+        let v: Vec<Var> = (0..3).map(|_| m.new_var()).collect();
+        let x0 = m.var(v[0]).unwrap();
+        let x1 = m.var(v[1]).unwrap();
+        let nx1 = m.not(x1).unwrap();
+        let f = m.and(x0, nx1).unwrap();
+        let sat = m.any_sat(f).unwrap();
+        assert!(m.eval(f, |var| sat.iter().any(|&(sv, sb)| sv == var && sb)));
+        assert!(m.any_sat(Bdd::FALSE).is_none());
+        assert_eq!(m.any_sat(Bdd::TRUE), Some(vec![]));
+    }
+
+    #[test]
+    fn sat_assignments_enumerates_all_models() {
+        let mut m = BddManager::new();
+        let v: Vec<Var> = (0..3).map(|_| m.new_var()).collect();
+        let x0 = m.var(v[0]).unwrap();
+        let x2 = m.var(v[2]).unwrap();
+        let f = m.or(x0, x2).unwrap();
+        let vs = m.varset(&v);
+        let models: Vec<Vec<bool>> = m.sat_assignments(f, vs).collect();
+        // |x0 ∨ x2| over 3 vars = 6 models.
+        assert_eq!(models.len(), 6);
+        assert_eq!(models.len() as f64, m.sat_count(f, vs));
+        for bits in &models {
+            assert!(m.eval(f, |var| bits[var as usize]));
+        }
+        // All distinct.
+        let set: std::collections::HashSet<_> = models.iter().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn sat_assignments_of_constants() {
+        let mut m = BddManager::new();
+        let v: Vec<Var> = (0..2).map(|_| m.new_var()).collect();
+        let vs = m.varset(&v);
+        assert_eq!(m.sat_assignments(Bdd::FALSE, vs).count(), 0);
+        assert_eq!(m.sat_assignments(Bdd::TRUE, vs).count(), 4);
+    }
+}

@@ -1,0 +1,290 @@
+//! Persistence and visualization for BDDs.
+//!
+//! Logical indices are long-lived (the whole point of the paper is to keep
+//! them around between validation passes), so the engine can [`export`] a
+//! function into a compact, manager-independent form and [`import`] it into
+//! another manager — e.g. to persist an index across process restarts, or
+//! to move it into a manager with a different variable layout via the
+//! `var_map` hook. [`BddManager::to_dot`] renders a function in Graphviz
+//! DOT for debugging and teaching.
+//!
+//! [`export`]: BddManager::export
+//! [`import`]: BddManager::import
+
+use crate::error::Result;
+use crate::hash::FxHashMap;
+use crate::manager::{Bdd, BddManager, Var};
+
+/// A manager-independent BDD snapshot: nodes in bottom-up topological
+/// order. Entry `i` describes node `i + 2`; references `0` and `1` are the
+/// terminals, references `r ≥ 2` point at entry `r - 2`. The root is the
+/// last entry (or a terminal for constant functions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportedBdd {
+    /// `(variable, low-ref, high-ref)` triples, children before parents.
+    pub nodes: Vec<(Var, u32, u32)>,
+    /// The root reference (0 = false, 1 = true, `r ≥ 2` = node `r - 2`).
+    pub root: u32,
+}
+
+impl ExportedBdd {
+    /// Number of internal nodes in the snapshot.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for constant functions.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Serialize into a byte buffer (little-endian u32 triples after an
+    /// 8-byte header) — handy for writing an index to disk without pulling
+    /// in a serialization framework.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.nodes.len() * 12);
+        out.extend_from_slice(&(self.nodes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.root.to_le_bytes());
+        for &(v, lo, hi) in &self.nodes {
+            out.extend_from_slice(&v.to_le_bytes());
+            out.extend_from_slice(&lo.to_le_bytes());
+            out.extend_from_slice(&hi.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`ExportedBdd::to_bytes`]. Returns `None` on malformed
+    /// input (wrong length, out-of-range references).
+    pub fn from_bytes(bytes: &[u8]) -> Option<ExportedBdd> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let n = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+        let root = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+        if bytes.len() != 8 + n * 12 {
+            return None;
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 8 + i * 12;
+            let v = u32::from_le_bytes(bytes[off..off + 4].try_into().ok()?);
+            let lo = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().ok()?);
+            let hi = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().ok()?);
+            // Children must precede parents.
+            if (lo >= 2 && lo - 2 >= i as u32) || (hi >= 2 && hi - 2 >= i as u32) {
+                return None;
+            }
+            nodes.push((v, lo, hi));
+        }
+        if root >= 2 && root - 2 >= n as u32 {
+            return None;
+        }
+        Some(ExportedBdd { nodes, root })
+    }
+}
+
+impl BddManager {
+    /// Snapshot the function rooted at `f` into a manager-independent form.
+    pub fn export(&self, f: Bdd) -> ExportedBdd {
+        if f.is_const() {
+            return ExportedBdd { nodes: vec![], root: f.index() };
+        }
+        // Post-order traversal so children are emitted before parents.
+        let mut refs: FxHashMap<u32, u32> = FxHashMap::default();
+        refs.insert(0, 0);
+        refs.insert(1, 1);
+        let mut nodes = Vec::new();
+        let mut stack = vec![(f.index(), false)];
+        while let Some((idx, expanded)) = stack.pop() {
+            if refs.contains_key(&idx) {
+                continue;
+            }
+            let n = self.node(Bdd(idx));
+            if expanded {
+                let lo = refs[&n.low];
+                let hi = refs[&n.high];
+                refs.insert(idx, nodes.len() as u32 + 2);
+                nodes.push((n.level, lo, hi));
+            } else {
+                stack.push((idx, true));
+                stack.push((n.high, false));
+                stack.push((n.low, false));
+            }
+        }
+        ExportedBdd { nodes, root: refs[&f.index()] }
+    }
+
+    /// Rebuild an exported function in this manager. `var_map` translates
+    /// the snapshot's variables into this manager's (identity is typical;
+    /// any monotone map works directly, non-monotone maps are rejected by
+    /// the ordering invariant).
+    ///
+    /// # Panics
+    /// Debug-panics if `var_map` breaks the variable order (children at or
+    /// above parents).
+    pub fn import(&mut self, e: &ExportedBdd, var_map: impl Fn(Var) -> Var) -> Result<Bdd> {
+        let mut built: Vec<Bdd> = Vec::with_capacity(e.nodes.len());
+        let resolve = |r: u32, built: &[Bdd]| -> Bdd {
+            match r {
+                0 => Bdd::FALSE,
+                1 => Bdd::TRUE,
+                _ => built[(r - 2) as usize],
+            }
+        };
+        for &(v, lo, hi) in &e.nodes {
+            let low = resolve(lo, &built);
+            let high = resolve(hi, &built);
+            let node = self.mk(var_map(v), low, high)?;
+            built.push(node);
+        }
+        Ok(resolve(e.root, &built))
+    }
+
+    /// Render the function rooted at `f` as a Graphviz DOT digraph. Solid
+    /// edges are `high` (variable = 1), dashed are `low`. The optional
+    /// labeler maps variables to display names (e.g. `city.bit3`).
+    pub fn to_dot(&self, f: Bdd, label: impl Fn(Var) -> String) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        out.push_str("  f [label=\"FALSE\", shape=box];\n");
+        out.push_str("  t [label=\"TRUE\", shape=box];\n");
+        let name = |idx: u32| -> String {
+            match idx {
+                0 => "f".to_owned(),
+                1 => "t".to_owned(),
+                _ => format!("n{idx}"),
+            }
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f.index()];
+        while let Some(idx) = stack.pop() {
+            if idx <= 1 || !seen.insert(idx) {
+                continue;
+            }
+            let n = self.node(Bdd(idx));
+            let _ = writeln!(out, "  n{idx} [label=\"{}\"];", label(n.level));
+            let _ = writeln!(out, "  n{idx} -> {} [style=dashed];", name(n.low));
+            let _ = writeln!(out, "  n{idx} -> {};", name(n.high));
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_relation(m: &mut BddManager) -> (Vec<crate::fdd::DomainId>, Bdd) {
+        let d1 = m.add_domain(9).unwrap();
+        let d2 = m.add_domain(5).unwrap();
+        let rows: Vec<Vec<u64>> =
+            (0..20u64).map(|i| vec![(i * 7) % 9, (i * 3) % 5]).collect();
+        let r = m.relation_from_rows(&[d1, d2], &rows).unwrap();
+        (vec![d1, d2], r)
+    }
+
+    #[test]
+    fn export_import_round_trip_same_manager() {
+        let mut m = BddManager::new();
+        let (_, r) = sample_relation(&mut m);
+        let e = m.export(r);
+        assert_eq!(e.len(), m.size(r));
+        let back = m.import(&e, |v| v).unwrap();
+        assert_eq!(back, r, "canonicity: identical function, identical node");
+    }
+
+    #[test]
+    fn export_import_across_managers() {
+        let mut m1 = BddManager::new();
+        let (doms, r) = sample_relation(&mut m1);
+        let e = m1.export(r);
+        let mut m2 = BddManager::new();
+        let d1 = m2.add_domain(9).unwrap();
+        let d2 = m2.add_domain(5).unwrap();
+        let back = m2.import(&e, |v| v).unwrap();
+        // Same tuples decodable in the new manager.
+        let mut rows1 = m1.rows(r, &doms).unwrap();
+        let mut rows2 = m2.rows(back, &[d1, d2]).unwrap();
+        rows1.sort();
+        rows2.sort();
+        assert_eq!(rows1, rows2);
+    }
+
+    #[test]
+    fn import_with_variable_shift() {
+        let mut m1 = BddManager::new();
+        let (_, r) = sample_relation(&mut m1);
+        let e = m1.export(r);
+        let mut m2 = BddManager::new();
+        // Burn a leading block, then import shifted past it.
+        let _pad = m2.add_domain(16).unwrap(); // 4 vars
+        let d1 = m2.add_domain(9).unwrap();
+        let d2 = m2.add_domain(5).unwrap();
+        let back = m2.import(&e, |v| v + 4).unwrap();
+        let count = m2.tuple_count(back, &[d1, d2]).unwrap();
+        assert_eq!(count, 20.0);
+    }
+
+    #[test]
+    fn constants_export_trivially() {
+        let mut m = BddManager::new();
+        for c in [Bdd::TRUE, Bdd::FALSE] {
+            let e = m.export(c);
+            assert!(e.is_empty());
+            assert_eq!(m.import(&e, |v| v).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let mut m = BddManager::new();
+        let (_, r) = sample_relation(&mut m);
+        let e = m.export(r);
+        let bytes = e.to_bytes();
+        let decoded = ExportedBdd::from_bytes(&bytes).unwrap();
+        assert_eq!(e, decoded);
+    }
+
+    #[test]
+    fn from_bytes_rejects_malformed_input() {
+        assert!(ExportedBdd::from_bytes(&[]).is_none());
+        assert!(ExportedBdd::from_bytes(&[0; 7]).is_none());
+        // Count says 1 node but no payload.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        assert!(ExportedBdd::from_bytes(&bad).is_none());
+        // Forward reference (child at or after parent).
+        let mut fwd = Vec::new();
+        fwd.extend_from_slice(&1u32.to_le_bytes());
+        fwd.extend_from_slice(&2u32.to_le_bytes());
+        fwd.extend_from_slice(&0u32.to_le_bytes()); // var
+        fwd.extend_from_slice(&2u32.to_le_bytes()); // low: self-reference
+        fwd.extend_from_slice(&1u32.to_le_bytes());
+        assert!(ExportedBdd::from_bytes(&fwd).is_none());
+        // Root out of range.
+        let mut bad_root = Vec::new();
+        bad_root.extend_from_slice(&0u32.to_le_bytes());
+        bad_root.extend_from_slice(&9u32.to_le_bytes());
+        assert!(ExportedBdd::from_bytes(&bad_root).is_none());
+    }
+
+    #[test]
+    fn dot_output_mentions_every_node() {
+        let mut m = BddManager::new();
+        let v0 = m.new_var();
+        let v1 = m.new_var();
+        let x = m.var(v0).unwrap();
+        let y = m.var(v1).unwrap();
+        let f = m.xor(x, y).unwrap();
+        let dot = m.to_dot(f, |v| format!("x{v}"));
+        assert!(dot.starts_with("digraph bdd {"));
+        assert!(dot.contains("x0") && dot.contains("x1"));
+        assert!(dot.contains("style=dashed"));
+        // 3 internal nodes for xor over 2 vars.
+        assert_eq!(dot.matches("[label=\"x").count(), 3);
+    }
+}

@@ -1,0 +1,371 @@
+//! Property-based tests: the BDD engine against a brute-force oracle.
+//!
+//! Random boolean expressions over a small variable universe are compiled to
+//! BDDs and compared point-by-point against direct evaluation; structural
+//! invariants (canonicity, reduction, duality) are asserted along the way.
+
+use proptest::prelude::*;
+use relcheck_bdd::{Bdd, BddManager, Op, Var};
+
+const NVARS: u32 = 6;
+
+/// A random boolean expression tree.
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(bool),
+    Var(Var),
+    Not(Box<Expr>),
+    Bin(Op, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, bits: u32) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Var(v) => bits >> v & 1 == 1,
+            Expr::Not(e) => !e.eval(bits),
+            Expr::Bin(op, a, b) => op.eval(a.eval(bits), b.eval(bits)),
+        }
+    }
+
+    fn to_bdd(&self, m: &mut BddManager) -> Bdd {
+        match self {
+            Expr::Const(true) => Bdd::TRUE,
+            Expr::Const(false) => Bdd::FALSE,
+            Expr::Var(v) => m.var(*v).unwrap(),
+            Expr::Not(e) => {
+                let f = e.to_bdd(m);
+                m.not(f).unwrap()
+            }
+            Expr::Bin(op, a, b) => {
+                let fa = a.to_bdd(m);
+                let fb = b.to_bdd(m);
+                m.apply(*op, fa, fb).unwrap()
+            }
+        }
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::And),
+        Just(Op::Or),
+        Just(Op::Xor),
+        Just(Op::Nand),
+        Just(Op::Nor),
+        Just(Op::Imp),
+        Just(Op::Biimp),
+        Just(Op::Diff),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Const),
+        (0..NVARS).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (arb_op(), inner.clone(), inner)
+                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn manager() -> BddManager {
+    let mut m = BddManager::new();
+    for _ in 0..NVARS {
+        m.new_var();
+    }
+    m
+}
+
+proptest! {
+    #[test]
+    fn bdd_matches_brute_force(e in arb_expr()) {
+        let mut m = manager();
+        let f = e.to_bdd(&mut m);
+        for bits in 0u32..1 << NVARS {
+            prop_assert_eq!(m.eval(f, |v| bits >> v & 1 == 1), e.eval(bits));
+        }
+    }
+
+    #[test]
+    fn canonicity_equivalent_exprs_share_node(e in arb_expr()) {
+        // f ⇔ ¬¬f and f ⇔ (f ∨ f): all must be the same node.
+        let mut m = manager();
+        let f = e.to_bdd(&mut m);
+        let nf = m.not(f).unwrap();
+        let nnf = m.not(nf).unwrap();
+        prop_assert_eq!(f, nnf);
+        let ff = m.or(f, f).unwrap();
+        prop_assert_eq!(f, ff);
+    }
+
+    #[test]
+    fn reduction_no_redundant_nodes(e in arb_expr()) {
+        // ROBDD invariant: no node has low == high, and no two distinct
+        // nodes share (level, low, high). We probe via size() being stable
+        // under re-construction of the same function.
+        let mut m = manager();
+        let f = e.to_bdd(&mut m);
+        let g = e.to_bdd(&mut m);
+        prop_assert_eq!(f, g);
+        prop_assert_eq!(m.size(f), m.size(g));
+    }
+
+    #[test]
+    fn sat_count_matches_brute_force(e in arb_expr()) {
+        let mut m = manager();
+        let f = e.to_bdd(&mut m);
+        let all: Vec<Var> = (0..NVARS).collect();
+        let vs = m.varset(&all);
+        let expected = (0u32..1 << NVARS).filter(|&bits| e.eval(bits)).count();
+        prop_assert_eq!(m.sat_count(f, vs), expected as f64);
+    }
+
+    #[test]
+    fn sat_assignments_match_brute_force(e in arb_expr()) {
+        let mut m = manager();
+        let f = e.to_bdd(&mut m);
+        let all: Vec<Var> = (0..NVARS).collect();
+        let vs = m.varset(&all);
+        let mut got: Vec<u32> = m
+            .sat_assignments(f, vs)
+            .map(|bits| bits.iter().enumerate().fold(0u32, |acc, (i, &b)| acc | (b as u32) << i))
+            .collect();
+        got.sort_unstable();
+        let expected: Vec<u32> = (0u32..1 << NVARS).filter(|&bits| e.eval(bits)).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn quantifier_duality(e in arb_expr(), v in 0..NVARS) {
+        let mut m = manager();
+        let f = e.to_bdd(&mut m);
+        let vs = m.varset(&[v]);
+        let forall = m.forall(f, vs).unwrap();
+        let nf = m.not(f).unwrap();
+        let ex = m.exists(nf, vs).unwrap();
+        let dual = m.not(ex).unwrap();
+        prop_assert_eq!(forall, dual);
+    }
+
+    #[test]
+    fn fused_quantifiers_match_unfused(a in arb_expr(), b in arb_expr(), op in arb_op(), v in 0..NVARS) {
+        let mut m = manager();
+        let fa = a.to_bdd(&mut m);
+        let fb = b.to_bdd(&mut m);
+        let vs = m.varset(&[v]);
+        let fused_e = m.app_exists(op, fa, fb, vs).unwrap();
+        let applied = m.apply(op, fa, fb).unwrap();
+        let unfused_e = m.exists(applied, vs).unwrap();
+        prop_assert_eq!(fused_e, unfused_e);
+        let fused_a = m.app_forall(op, fa, fb, vs).unwrap();
+        let unfused_a = m.forall(applied, vs).unwrap();
+        prop_assert_eq!(fused_a, unfused_a);
+    }
+
+    #[test]
+    fn replace_is_substitution(e in arb_expr(), perm_seed in any::<u64>()) {
+        // Renaming variables by a random permutation must equal evaluating
+        // with permuted inputs.
+        let mut m = manager();
+        let f = e.to_bdd(&mut m);
+        // Derive a permutation of 0..NVARS from the seed (Fisher-Yates with
+        // a tiny LCG).
+        let mut perm: Vec<u32> = (0..NVARS).collect();
+        let mut s = perm_seed | 1;
+        for i in (1..perm.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let pairs: Vec<(Var, Var)> = (0..NVARS).map(|v| (v, perm[v as usize])).collect();
+        let map = m.replace_map(&pairs);
+        let g = m.replace(f, map).unwrap();
+        for bits in 0u32..1 << NVARS {
+            // g(x) = f(y) where y_v = x_{perm(v)}.
+            let expected = e.eval({
+                let mut y = 0u32;
+                for v in 0..NVARS {
+                    if bits >> perm[v as usize] & 1 == 1 {
+                        y |= 1 << v;
+                    }
+                }
+                y
+            });
+            prop_assert_eq!(m.eval(g, |v| bits >> v & 1 == 1), expected);
+        }
+    }
+
+    #[test]
+    fn restrict_is_cofactor(e in arb_expr(), v in 0..NVARS, positive in any::<bool>()) {
+        let mut m = manager();
+        let f = e.to_bdd(&mut m);
+        let c = m.cube(&[(v, positive)]).unwrap();
+        let r = m.restrict(f, c).unwrap();
+        for bits in 0u32..1 << NVARS {
+            let pinned = if positive { bits | 1 << v } else { bits & !(1 << v) };
+            prop_assert_eq!(m.eval(r, |x| bits >> x & 1 == 1), e.eval(pinned));
+        }
+        // The restricted variable is gone from the support.
+        prop_assert!(!m.support(r).contains(&v));
+    }
+
+    #[test]
+    fn gc_preserves_rooted_functions(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut m = manager();
+        let keep = e1.to_bdd(&mut m);
+        let _garbage = e2.to_bdd(&mut m);
+        m.gc(&[keep]);
+        for bits in 0u32..1 << NVARS {
+            prop_assert_eq!(m.eval(keep, |v| bits >> v & 1 == 1), e1.eval(bits));
+        }
+        // The manager still computes correctly after the sweep.
+        let again = e2.to_bdd(&mut m);
+        for bits in 0u32..1 << NVARS {
+            prop_assert_eq!(m.eval(again, |v| bits >> v & 1 == 1), e2.eval(bits));
+        }
+    }
+
+    #[test]
+    fn node_limit_abort_leaves_manager_usable(e in arb_expr()) {
+        let mut m = manager();
+        m.set_node_limit(Some(4));
+        let _ = e.to_bdd_checked(&mut m); // may abort; must not corrupt
+        m.set_node_limit(None);
+        let f = e.to_bdd(&mut m);
+        for bits in 0u32..1 << NVARS {
+            prop_assert_eq!(m.eval(f, |v| bits >> v & 1 == 1), e.eval(bits));
+        }
+    }
+}
+
+impl Expr {
+    /// Like `to_bdd` but propagating node-limit aborts.
+    fn to_bdd_checked(&self, m: &mut BddManager) -> relcheck_bdd::Result<Bdd> {
+        Ok(match self {
+            Expr::Const(true) => Bdd::TRUE,
+            Expr::Const(false) => Bdd::FALSE,
+            Expr::Var(v) => m.var(*v)?,
+            Expr::Not(e) => {
+                let f = e.to_bdd_checked(m)?;
+                m.not(f)?
+            }
+            Expr::Bin(op, a, b) => {
+                let fa = a.to_bdd_checked(m)?;
+                let fb = b.to_bdd_checked(m)?;
+                m.apply(*op, fa, fb)?
+            }
+        })
+    }
+}
+
+proptest! {
+    #[test]
+    fn export_import_round_trips(e in arb_expr()) {
+        let mut m = manager();
+        let f = e.to_bdd(&mut m);
+        let snapshot = m.export(f);
+        // Same manager: canonicity gives back the identical node.
+        let same = m.import(&snapshot, |v| v).unwrap();
+        prop_assert_eq!(same, f);
+        // Fresh manager: identical semantics.
+        let mut m2 = manager();
+        let moved = m2.import(&snapshot, |v| v).unwrap();
+        for bits in 0u32..1 << NVARS {
+            prop_assert_eq!(m2.eval(moved, |v| bits >> v & 1 == 1), e.eval(bits));
+        }
+        // Byte round trip preserves the snapshot exactly.
+        let decoded = relcheck_bdd::ExportedBdd::from_bytes(&snapshot.to_bytes()).unwrap();
+        prop_assert_eq!(&decoded, &snapshot);
+        prop_assert_eq!(snapshot.len(), m.size(f));
+    }
+}
+
+mod relations {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn relation_membership(
+            rows in proptest::collection::vec((0u64..11, 0u64..7, 0u64..5), 0..80)
+        ) {
+            let mut m = BddManager::new();
+            let d1 = m.add_domain(11).unwrap();
+            let d2 = m.add_domain(7).unwrap();
+            let d3 = m.add_domain(5).unwrap();
+            let doms = [d1, d2, d3];
+            let vrows: Vec<Vec<u64>> = rows.iter().map(|&(a, b, c)| vec![a, b, c]).collect();
+            let r = m.relation_from_rows(&doms, &vrows).unwrap();
+            let set: std::collections::HashSet<Vec<u64>> = vrows.iter().cloned().collect();
+            prop_assert_eq!(m.tuple_count(r, &doms).unwrap(), set.len() as f64);
+            for a in 0..11u64 {
+                for b in 0..7u64 {
+                    for c in 0..5u64 {
+                        let t = vec![a, b, c];
+                        prop_assert_eq!(m.contains(r, &doms, &t).unwrap(), set.contains(&t));
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn build_strategies_agree(
+            rows in proptest::collection::vec((0u64..16, 0u64..9), 0..60)
+        ) {
+            let mut m = BddManager::new();
+            let d1 = m.add_domain(16).unwrap();
+            let d2 = m.add_domain(9).unwrap();
+            let doms = [d1, d2];
+            let vrows: Vec<Vec<u64>> = rows.iter().map(|&(a, b)| vec![a, b]).collect();
+            let fast = m.relation_from_rows_sorted(&doms, &vrows).unwrap();
+            let fold = m.relation_from_rows_or_fold(&doms, &vrows).unwrap();
+            prop_assert_eq!(fast, fold);
+        }
+
+        #[test]
+        fn insert_then_delete_is_identity(
+            rows in proptest::collection::vec((0u64..10, 0u64..10), 1..40),
+            extra in (0u64..10, 0u64..10)
+        ) {
+            let mut m = BddManager::new();
+            let d1 = m.add_domain(10).unwrap();
+            let d2 = m.add_domain(10).unwrap();
+            let doms = [d1, d2];
+            let vrows: Vec<Vec<u64>> = rows.iter().map(|&(a, b)| vec![a, b]).collect();
+            let base = m.relation_from_rows(&doms, &vrows).unwrap();
+            let t = vec![extra.0, extra.1];
+            let already = m.contains(base, &doms, &t).unwrap();
+            let inserted = m.insert_row(base, &doms, &t).unwrap();
+            prop_assert!(m.contains(inserted, &doms, &t).unwrap());
+            let deleted = m.delete_row(inserted, &doms, &t).unwrap();
+            if already {
+                // delete removes it even if it pre-existed
+                prop_assert!(!m.contains(deleted, &doms, &t).unwrap());
+            } else {
+                prop_assert_eq!(deleted, base);
+            }
+        }
+
+        #[test]
+        fn rows_round_trip(
+            rows in proptest::collection::vec((0u64..12, 0u64..6), 0..50)
+        ) {
+            let mut m = BddManager::new();
+            let d1 = m.add_domain(12).unwrap();
+            let d2 = m.add_domain(6).unwrap();
+            let doms = [d1, d2];
+            let vrows: Vec<Vec<u64>> = rows.iter().map(|&(a, b)| vec![a, b]).collect();
+            let r = m.relation_from_rows(&doms, &vrows).unwrap();
+            let mut decoded = m.rows(r, &doms).unwrap();
+            decoded.sort();
+            let mut expected: Vec<Vec<u64>> = vrows.clone();
+            expected.sort();
+            expected.dedup();
+            prop_assert_eq!(decoded, expected);
+        }
+    }
+}

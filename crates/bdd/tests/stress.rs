@@ -1,0 +1,139 @@
+//! Stress tests: long op/GC interleavings must never corrupt the store.
+//!
+//! The dangerous interactions in a BDD package are (a) stale operation-
+//! cache entries after node recycling, (b) unique-table corruption across
+//! sweeps, and (c) node-limit aborts leaving partial structures. These
+//! tests hammer those paths for thousands of iterations and re-verify
+//! semantics after every step.
+
+use relcheck_bdd::{Bdd, BddError, BddManager, DomainId};
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+#[test]
+fn gc_churn_preserves_semantics() {
+    let mut m = BddManager::with_capacity(1 << 12);
+    let d1 = m.add_domain(32).unwrap();
+    let d2 = m.add_domain(32).unwrap();
+    let doms = [d1, d2];
+    // A reference relation we re-verify after every sweep.
+    let reference: Vec<Vec<u64>> =
+        (0..200u64).map(|i| vec![i % 32, i / 32]).collect(); // injective
+    let keep = m.relation_from_rows(&doms, &reference).unwrap();
+    let mut seed = 42u64;
+    for round in 0..300 {
+        // Create garbage of varying shape.
+        let n = 1 + (lcg(&mut seed) % 50) as usize;
+        let rows: Vec<Vec<u64>> = (0..n)
+            .map(|_| vec![lcg(&mut seed) % 32, lcg(&mut seed) % 32])
+            .collect();
+        let junk = m.relation_from_rows(&doms, &rows).unwrap();
+        let combined = m.or(keep, junk).unwrap();
+        let _ = m.diff(combined, keep).unwrap();
+        if round % 3 == 0 {
+            let stats = m.gc(&[keep]);
+            assert_eq!(stats.live, m.live_nodes());
+        }
+        // Semantics check against the reference set.
+        let count = m.tuple_count(keep, &doms).unwrap();
+        assert_eq!(count, 200.0, "round {round}: reference relation corrupted");
+        if round % 50 == 0 {
+            for t in reference.iter().take(10) {
+                assert!(m.contains(keep, &doms, t).unwrap());
+            }
+        }
+    }
+    // Arena stays bounded: everything beyond the kept relation is reused.
+    m.gc(&[keep]);
+    assert!(
+        m.live_nodes() < 4_000,
+        "leak: {} live nodes for a 200-tuple relation",
+        m.live_nodes()
+    );
+}
+
+#[test]
+fn node_limit_aborts_under_churn_never_corrupt() {
+    let mut m = BddManager::with_capacity(1 << 12);
+    let doms: Vec<DomainId> = (0..3).map(|_| m.add_domain(64).unwrap()).collect();
+    let base_rows: Vec<Vec<u64>> =
+        (0..100u64).map(|i| vec![i % 64, i / 64, (i * 5) % 64]).collect(); // injective
+    let base = m.relation_from_rows(&doms, &base_rows).unwrap();
+    let mut seed = 7u64;
+    let mut aborts = 0;
+    for _ in 0..200 {
+        // Tight, randomly varying limit: some ops succeed, some abort.
+        let headroom = (lcg(&mut seed) % 300) as usize;
+        m.set_node_limit(Some(m.live_nodes() + headroom));
+        let rows: Vec<Vec<u64>> = (0..80)
+            .map(|_| {
+                vec![lcg(&mut seed) % 64, lcg(&mut seed) % 64, lcg(&mut seed) % 64]
+            })
+            .collect();
+        match m
+            .relation_from_rows(&doms, &rows)
+            .and_then(|r| m.or(base, r))
+        {
+            Ok(_) | Err(BddError::NodeLimit { .. }) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        if matches!(
+            m.relation_from_rows(&doms, &rows),
+            Err(BddError::NodeLimit { .. })
+        ) {
+            aborts += 1;
+        }
+        m.set_node_limit(None);
+        m.gc(&[base]);
+        assert_eq!(m.tuple_count(base, &doms).unwrap(), 100.0);
+    }
+    assert!(aborts > 0, "the stress must actually exercise the abort path");
+}
+
+#[test]
+fn canonicity_survives_recycling() {
+    // Build the same function repeatedly across GC cycles; the handle must
+    // be bit-identical within a generation and semantically identical
+    // across generations.
+    let mut m = BddManager::new();
+    let d = m.add_domain(100).unwrap();
+    let rows: Vec<Vec<u64>> = (0..50u64).map(|i| vec![(i * 13) % 100]).collect();
+    let mut prev_count = None;
+    for _ in 0..50 {
+        let a = m.relation_from_rows(&[d], &rows).unwrap();
+        let b = m.relation_from_rows(&[d], &rows).unwrap();
+        assert_eq!(a, b, "canonicity within a generation");
+        let count = m.tuple_count(a, &[d]).unwrap();
+        if let Some(p) = prev_count {
+            assert_eq!(count, p);
+        }
+        prev_count = Some(count);
+        m.gc(&[]); // drop everything
+    }
+}
+
+#[test]
+fn deep_formula_chain_is_stack_safe() {
+    // 10k chained operations on a 40-bit space: exercises recursion depth
+    // (bounded by variable count, not operation count) and cache pressure.
+    let mut m = BddManager::with_capacity(1 << 14);
+    let doms: Vec<DomainId> = (0..4).map(|_| m.add_domain(1024).unwrap()).collect();
+    let mut acc = Bdd::FALSE;
+    let mut seed = 3u64;
+    for i in 0..10_000u64 {
+        let row: Vec<u64> = (0..4).map(|_| lcg(&mut seed) % 1024).collect();
+        acc = if i % 3 == 2 {
+            m.delete_row(acc, &doms, &row).unwrap()
+        } else {
+            m.insert_row(acc, &doms, &row).unwrap()
+        };
+        if i % 2_000 == 1_999 {
+            m.gc(&[acc]);
+        }
+    }
+    let count = m.tuple_count(acc, &doms).unwrap();
+    assert!(count > 0.0 && count <= 10_000.0);
+}

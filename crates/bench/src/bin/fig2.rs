@@ -1,0 +1,184 @@
+//! Figure 2 — effect and ranking of variable orderings.
+//!
+//! * `fig2 a` (Fig 2(a)): for each relation family (1-PROD, 4-PROD, 8-PROD,
+//!   RANDOM; 5 attributes, |dom| ≤ 100), build the BDD under **all 120**
+//!   attribute orderings and report the size curve best→worst plus the
+//!   best/worst ratio (paper: 71.29 / 6.29 / 2.26 / 1.02).
+//! * `fig2 b` (Fig 2(b)): rank the 120 orderings by the `MaxInf-Gain` score
+//!   and print the actual BDD size at each rank, next to the true ranking.
+//! * `fig2 c` (Fig 2(c)): the same for `Prob-Converge`.
+//!
+//! Flags: `--tuples N` (default 100000; the paper used 400000).
+
+use relcheck_bench::{arg_selector, arg_usize, Table};
+use relcheck_core::ordering::{all_orderings, bdd_size_for_ordering};
+use relcheck_datagen::{gen_kprod, gen_random, Generated};
+use relcheck_relstore::stats;
+
+fn gen_family(name: &str, tuples: usize, seed: u64) -> Generated {
+    match name {
+        "1-PROD" => gen_kprod(5, 100, tuples, 1, seed),
+        "4-PROD" => gen_kprod(5, 100, tuples, 4, seed),
+        "8-PROD" => gen_kprod(5, 100, tuples, 8, seed),
+        _ => gen_random(5, 100, tuples, seed),
+    }
+}
+
+/// All-ordering BDD sizes, sorted ascending (best first).
+fn ordering_sizes(g: &Generated) -> Vec<(Vec<usize>, usize)> {
+    all_orderings(5)
+        .into_iter()
+        .map(|o| {
+            let s = bdd_size_for_ordering(&g.relation, &g.dom_sizes, &o).expect("in budget");
+            (o, s)
+        })
+        .collect()
+}
+
+fn fig2a(tuples: usize, relations: usize) {
+    println!("Figure 2(a): average BDD node count across all 120 variable orderings");
+    println!(
+        "(5 attributes, |dom| ≤ 100, {tuples} tuples, averaged over {relations} relations)\n"
+    );
+    let mut ratio_table = Table::new(&["Dataset", "best", "worst", "Ratio", "paper"]);
+    let paper_ratios = [("1-PROD", 71.29), ("4-PROD", 6.29), ("8-PROD", 2.26), ("RANDOM", 1.02)];
+    for name in ["1-PROD", "4-PROD", "8-PROD", "RANDOM"] {
+        // Rank-wise average over several relation instances, like the
+        // paper's averaged curves.
+        let mut avg = vec![0.0f64; 120];
+        for i in 0..relations {
+            let g = gen_family(name, tuples, 101 + i as u64 * 13);
+            let mut sizes: Vec<usize> =
+                ordering_sizes(&g).into_iter().map(|(_, s)| s).collect();
+            sizes.sort_unstable();
+            for (a, s) in avg.iter_mut().zip(&sizes) {
+                *a += *s as f64 / relations as f64;
+            }
+        }
+        let curve: Vec<String> = avg
+            .iter()
+            .step_by(10)
+            .chain(std::iter::once(avg.last().unwrap()))
+            .map(|s| format!("{s:.0}"))
+            .collect();
+        println!("{name}: avg sizes best→worst (every 10th): {}", curve.join(" "));
+        let ratio = avg.last().unwrap() / avg[0];
+        let paper = paper_ratios.iter().find(|&&(n, _)| n == name).unwrap().1;
+        ratio_table.row(&[
+            name.to_owned(),
+            format!("{:.0}", avg[0]),
+            format!("{:.0}", avg.last().unwrap()),
+            format!("{ratio:.2}"),
+            format!("{paper:.2}"),
+        ]);
+    }
+    println!("\nBest/worst node-count ratio per family (paper's table, §5.1):");
+    ratio_table.print();
+}
+
+/// Whole-ordering `MaxInf-Gain` score: Figure 1 greedily minimizes
+/// `H(v*(0))` and then `I(v*(i); prefix)` at each step, so an ordering's
+/// score is the sum of those per-step objectives (lower = preferred by the
+/// measure).
+fn mig_score(g: &Generated, order: &[usize]) -> f64 {
+    let mut score = stats::entropy(&g.relation, &order[..1]);
+    for i in 1..order.len() {
+        let v = order[i];
+        let h_v = stats::entropy(&g.relation, &[v]);
+        let mut all = order[..i].to_vec();
+        all.push(v);
+        let h_joint = stats::entropy(&g.relation, &all);
+        // I(v; prefix) = H(v) − H(prefix|v) = 2·H(v) − H(prefix ∪ v) + H(prefix) − H(prefix)
+        // computed via the chain rule: H(prefix|v) = H(prefix ∪ v) − H(v).
+        score += h_v - (h_joint - h_v);
+    }
+    score
+}
+
+/// Whole-ordering `Prob-Converge` score: the paper asks for Φ(prefix_i) to
+/// "converge as rapidly as possible to 0", which is the area under the Φ
+/// curve (lower = better).
+fn pc_score(g: &Generated, order: &[usize]) -> f64 {
+    (1..=order.len())
+        .map(|i| stats::phi_measure(&g.relation, &order[..i], &g.dom_sizes))
+        .sum()
+}
+
+type Scorer = fn(&Generated, &[usize]) -> f64;
+
+fn fig2bc(tuples: usize, which: char) {
+    let (title, scorer): (&str, Scorer) = match which {
+        'b' => ("Figure 2(b): orderings ranked by MaxInf-Gain (1-PROD)", mig_score),
+        _ => ("Figure 2(c): orderings ranked by Prob-Converge (1-PROD)", pc_score),
+    };
+    println!("{title}\n");
+    let g = gen_family("1-PROD", tuples, 101);
+    let mut entries = ordering_sizes(&g);
+    // True ranking.
+    entries.sort_by_key(|&(_, s)| s);
+    let true_rank: std::collections::HashMap<Vec<usize>, usize> = entries
+        .iter()
+        .enumerate()
+        .map(|(r, (o, _))| (o.clone(), r))
+        .collect();
+    // Measure ranking: area under the measure curve, ascending.
+    let mut scored: Vec<(Vec<usize>, usize, f64)> = entries
+        .iter()
+        .map(|(o, s)| (o.clone(), *s, scorer(&g, o)))
+        .collect();
+    scored.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+    let mut t = Table::new(&["measure-rank", "ordering", "score", "BDD size", "true-rank"]);
+    for (r, (o, s, score)) in scored.iter().enumerate() {
+        if r < 15 || r % 10 == 0 || r == scored.len() - 1 {
+            t.row(&[
+                r.to_string(),
+                format!("{o:?}"),
+                format!("{score:.3}"),
+                s.to_string(),
+                true_rank[o].to_string(),
+            ]);
+        }
+    }
+    t.print();
+    // Rank correlation (Spearman) between measure rank and true rank.
+    let n = scored.len() as f64;
+    let d2: f64 = scored
+        .iter()
+        .enumerate()
+        .map(|(r, (o, _, _))| {
+            let d = r as f64 - true_rank[o] as f64;
+            d * d
+        })
+        .sum();
+    let rho = 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+    println!("\nSpearman rank correlation vs true ranking: {rho:.3}");
+    let top10: Vec<usize> = scored.iter().take(10).map(|(o, _, _)| true_rank[o]).collect();
+    println!("true ranks of the measure's top-10: {top10:?}");
+    // Where does the greedy heuristic itself land? (The greedy optimizes
+    // the measure step-wise, which is what the checker actually runs.)
+    let greedy = match which {
+        'b' => relcheck_core::ordering::max_inf_gain(&g.relation),
+        _ => relcheck_core::ordering::prob_converge(&g.relation, &g.dom_sizes),
+    };
+    println!(
+        "greedy heuristic's ordering {greedy:?} has true rank #{} of 120",
+        true_rank[&greedy]
+    );
+}
+
+fn main() {
+    let tuples = arg_usize("--tuples", 100_000);
+    let relations = arg_usize("--relations", 5);
+    match arg_selector().as_deref() {
+        Some("b") => fig2bc(tuples, 'b'),
+        Some("c") => fig2bc(tuples, 'c'),
+        Some("a") => fig2a(tuples, relations),
+        _ => {
+            fig2a(tuples, relations);
+            println!();
+            fig2bc(tuples, 'b');
+            println!();
+            fig2bc(tuples, 'c');
+        }
+    }
+}

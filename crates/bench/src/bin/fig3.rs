@@ -1,0 +1,102 @@
+//! Figure 3 — accuracy of the ordering heuristics against the optimum.
+//!
+//! For each family (1-PROD, 4-PROD, 8-PROD, RANDOM) generate `--relations`
+//! relations (paper: 20). For each, find the optimal BDD size by exhaustive
+//! search over all 120 orderings and compute
+//!
+//! * `α = size(MaxInf-Gain ordering) / size(optimal)`   (Fig 3(a))
+//! * `β = size(Prob-Converge ordering) / size(optimal)` (Fig 3(b))
+//!
+//! Histograms use the paper's 2.5 overflow threshold. Fig 3(c) prints the
+//! fraction of runs at or below each accuracy level for both heuristics.
+//!
+//! Flags: `--tuples N` (default 40000; paper 400000), `--relations N`
+//! (default 20).
+
+use relcheck_bench::{arg_usize, histogram, Table};
+use relcheck_core::ordering::{
+    bdd_size_for_ordering, max_inf_gain, min_cond_entropy, optimal_ordering, prob_converge,
+};
+use relcheck_datagen::{gen_kprod, gen_random, Generated};
+
+fn gen_family(name: &str, tuples: usize, seed: u64) -> Generated {
+    match name {
+        "1-PROD" => gen_kprod(5, 100, tuples, 1, seed),
+        "4-PROD" => gen_kprod(5, 100, tuples, 4, seed),
+        "8-PROD" => gen_kprod(5, 100, tuples, 8, seed),
+        _ => gen_random(5, 100, tuples, seed),
+    }
+}
+
+fn main() {
+    let tuples = arg_usize("--tuples", 40_000);
+    let relations = arg_usize("--relations", 20);
+    println!(
+        "Figure 3: heuristic accuracy over {relations} relations per family, {tuples} tuples each\n"
+    );
+    let mut comparison: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
+    for family in ["1-PROD", "4-PROD", "8-PROD", "RANDOM"] {
+        let mut alphas = Vec::new();
+        let mut betas = Vec::new();
+        let mut gammas = Vec::new(); // our corrected MaxInf-Gain variant
+        let mut worst_alpha = 1.0f64;
+        let mut worst_beta = 1.0f64;
+        for i in 0..relations {
+            let g = gen_family(family, tuples, 1000 + i as u64);
+            let (_, opt) = optimal_ordering(&g.relation, &g.dom_sizes).expect("in budget");
+            let mig = max_inf_gain(&g.relation);
+            let pc = prob_converge(&g.relation, &g.dom_sizes);
+            let mce = min_cond_entropy(&g.relation);
+            let a = bdd_size_for_ordering(&g.relation, &g.dom_sizes, &mig).unwrap() as f64
+                / opt as f64;
+            let b = bdd_size_for_ordering(&g.relation, &g.dom_sizes, &pc).unwrap() as f64
+                / opt as f64;
+            let c = bdd_size_for_ordering(&g.relation, &g.dom_sizes, &mce).unwrap() as f64
+                / opt as f64;
+            worst_alpha = worst_alpha.max(a);
+            worst_beta = worst_beta.max(b);
+            alphas.push(a);
+            betas.push(b);
+            gammas.push(c);
+        }
+        println!("== {family} ==");
+        println!("Fig 3(a) histogram of α (MaxInf-Gain / optimal), worst = {worst_alpha:.2}:");
+        let mut t = Table::new(&["bin", "count"]);
+        for (bin, c) in histogram(&alphas, 0.9, 2.5, 8) {
+            t.row(&[bin, c.to_string()]);
+        }
+        t.print();
+        println!("Fig 3(b) histogram of β (Prob-Converge / optimal), worst = {worst_beta:.2}:");
+        let mut t = Table::new(&["bin", "count"]);
+        for (bin, c) in histogram(&betas, 0.9, 2.5, 8) {
+            t.row(&[bin, c.to_string()]);
+        }
+        t.print();
+        let avg_gamma: f64 = gammas.iter().sum::<f64>() / gammas.len() as f64;
+        println!(
+            "Ablation (our corrected argmax-gain variant MinCondEntropy): avg ratio {avg_gamma:.2}"
+        );
+        println!();
+        comparison.push((family.to_owned(), alphas, betas));
+    }
+
+    println!("Fig 3(c): fraction of runs with accuracy ≤ x");
+    let mut t = Table::new(&["family", "x", "MaxInf-Gain %", "Prob-Converge %"]);
+    for (family, alphas, betas) in &comparison {
+        for x in [1.0, 1.1, 1.25, 1.5, 2.0, 2.5] {
+            let pa = alphas.iter().filter(|&&v| v <= x).count() as f64 / alphas.len() as f64;
+            let pb = betas.iter().filter(|&&v| v <= x).count() as f64 / betas.len() as f64;
+            t.row(&[
+                family.clone(),
+                format!("{x:.2}"),
+                format!("{:.0}", pa * 100.0),
+                format!("{:.0}", pb * 100.0),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nPaper expectation: β < 1.5 everywhere (Prob-Converge near-optimal on structured\n\
+         relations); MaxInf-Gain has α > 2.5 tails on 1-PROD/4-PROD; on RANDOM both are ≈1."
+    );
+}

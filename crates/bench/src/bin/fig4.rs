@@ -1,0 +1,111 @@
+//! Figure 4 — logical-index construction, maintenance, and memory.
+//!
+//! On the synthetic customer database (the paper's schema and active-domain
+//! sizes), build the paper's two indices per relation size:
+//!
+//! * `ncs` on (areacode, city, state) — 29 boolean variables,
+//! * `csz` on (city, state, zipcode) — 35 boolean variables,
+//!
+//! reporting (a) construction time, (b) average per-update (insert +
+//! delete) time over `--updates` random tuples, and (c) BDD node count
+//! (with bytes at the paper's 20 B/node and our actual node size).
+//!
+//! Flags: `--max N` (largest relation size; default 400000, paper 400000),
+//! `--step N` (default 50000), `--updates N` (default 2000).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relcheck_bench::{arg_usize, secs, timed, Table};
+use relcheck_bdd::{Bdd, BddManager, DomainId};
+use relcheck_datagen::customer::{col, generate, CustomerConfig};
+use relcheck_relstore::Relation;
+
+/// Build one index over the chosen columns; returns (manager, domains, root).
+fn build_index(
+    rel: &Relation,
+    dom_sizes: &[u64; 5],
+    cols: &[usize],
+) -> (BddManager, Vec<DomainId>, Bdd) {
+    let mut m = BddManager::new();
+    let domains: Vec<DomainId> =
+        cols.iter().map(|&c| m.add_domain(dom_sizes[c]).unwrap()).collect();
+    let rows: Vec<Vec<u64>> = rel
+        .rows()
+        .map(|r| cols.iter().map(|&c| r[c] as u64).collect())
+        .collect();
+    let root = m.relation_from_rows(&domains, &rows).unwrap();
+    (m, domains, root)
+}
+
+fn main() {
+    let max = arg_usize("--max", 400_000);
+    let step = arg_usize("--step", 50_000);
+    let updates = arg_usize("--updates", 2_000);
+    let indices: [(&str, Vec<usize>); 2] = [
+        ("ncs: 29", vec![col::AREACODE, col::CITY, col::STATE]),
+        ("csz: 35", vec![col::CITY, col::STATE, col::ZIPCODE]),
+    ];
+    println!("Figure 4: BDD index construction / maintenance / memory on customer data");
+    println!("(schema (areacode, number, city, state, zipcode), active domains (281, 889, 10894, 50, 17557))\n");
+    let mut t = Table::new(&[
+        "rows",
+        "index",
+        "build (s)",
+        "update (us)",
+        "nodes",
+        "paper-bytes (20B)",
+        "our-bytes (12B)",
+    ]);
+    let full = generate(&CustomerConfig { rows: max, ..Default::default() });
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut sizes: Vec<usize> = (step..=max).step_by(step).collect();
+    if sizes.is_empty() {
+        sizes.push(max);
+    }
+    for n in sizes {
+        // Prefix of the full dataset, deduplicated by Relation semantics.
+        let sub = Relation::from_rows(
+            full.relation.schema().clone(),
+            (0..n.min(full.relation.len())).map(|i| full.relation.row(i)),
+        )
+        .unwrap();
+        for (name, cols) in &indices {
+            let ((mut m, domains, root), build_time) =
+                timed(|| build_index(&sub, &full.dom_sizes, cols));
+            // Figure 4(b): average insert+delete pair time.
+            let tuples: Vec<Vec<u64>> = (0..updates)
+                .map(|_| {
+                    cols.iter()
+                        .map(|&c| rng.gen_range(0..full.dom_sizes[c]))
+                        .collect()
+                })
+                .collect();
+            let (_, update_time) = timed(|| {
+                let mut r = root;
+                for tup in &tuples {
+                    r = m.insert_row(r, &domains, tup).unwrap();
+                    r = m.delete_row(r, &domains, tup).unwrap();
+                }
+                r
+            });
+            let per_update_us =
+                update_time.as_secs_f64() * 1e6 / (updates as f64 * 2.0);
+            let nodes = m.size(root);
+            t.row(&[
+                sub.len().to_string(),
+                (*name).to_owned(),
+                secs(build_time),
+                format!("{per_update_us:.1}"),
+                nodes.to_string(),
+                (nodes * 20).to_string(),
+                (nodes * relcheck_bdd::NODE_BYTES).to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nPaper expectation: build time grows roughly linearly to a few seconds at 400k;\n\
+         updates stay in the tens-of-microseconds range; node counts flatten as the\n\
+         index saturates the attribute-combination space (Fig 4(c))."
+    );
+}

@@ -1,0 +1,83 @@
+//! Table 1 — variable-ordering gain on end-to-end constraint checking.
+//!
+//! For Q1–Q5 (see `relcheck_bench::queries`), compare:
+//!
+//! * **SQL** — the translated relational plan (paper's baseline);
+//! * **BDD: random** — logical indices built under a random attribute
+//!   ordering;
+//! * **BDD: optimized** — indices built with `Prob-Converge`.
+//!
+//! Index construction is done up-front (indices are persistent); the table
+//! reports per-query checking time, as in the paper. Expected shape:
+//! random ordering gains up to ~2x over SQL; the optimized ordering pushes
+//! the overall gain to 4–6x.
+//!
+//! Flags: `--tuples N` (default 100000).
+
+use relcheck_bench::{arg_usize, ms, queries, timed, Table};
+use relcheck_core::checker::{Checker, CheckerOptions, Method};
+use relcheck_core::ordering::OrderingStrategy;
+
+fn main() {
+    let tuples = arg_usize("--tuples", 100_000);
+    println!("Table 1: SQL vs BDD(random ordering) vs BDD(Prob-Converge), {tuples} tuples\n");
+    let qs = queries::queries();
+    let mut rows: Vec<Vec<String>> = vec![
+        vec!["SQL".to_owned()],
+        vec!["BDD: random".to_owned()],
+        vec!["BDD: optimized".to_owned()],
+        vec!["index sizes (nodes)".to_owned()],
+    ];
+    // SQL baseline.
+    {
+        let mut ck = Checker::new(queries::build(tuples, 77), CheckerOptions::default());
+        for (_, q) in &qs {
+            let (r, t) = timed(|| ck.check_sql(q).unwrap());
+            assert_ne!(r.method, Method::Bdd);
+            rows[0].push(ms(t));
+        }
+    }
+    // BDD paths under the two orderings.
+    for (row_idx, strategy) in
+        [(1, OrderingStrategy::Random(3)), (2, OrderingStrategy::ProbConverge)]
+    {
+        let opts = CheckerOptions { ordering: strategy, ..Default::default() };
+        let mut ck = Checker::new(queries::build(tuples, 77), opts);
+        // Pre-build indices (they are the persistent logical index).
+        for rel in ["R1", "R2", "STUDENT", "COURSE", "TAKES"] {
+            ck.ensure_index(rel).unwrap();
+        }
+        let mut sizes = String::new();
+        for (name, q) in &qs {
+            let (r, t) = timed(|| ck.check(q).unwrap());
+            let cell = if r.method == Method::Bdd {
+                ms(t)
+            } else {
+                format!("{} (fallback)", ms(t))
+            };
+            rows[row_idx].push(cell);
+            let _ = name;
+        }
+        sizes.push_str(&ck.logical_db().index_size().to_string());
+        if row_idx == 1 {
+            rows[3].push(format!("random: {sizes}"));
+        } else {
+            rows[3].push(format!("optimized: {sizes}"));
+        }
+        while rows[3].len() < qs.len() + 1 {
+            rows[3].push(String::new());
+        }
+    }
+    let mut t = Table::new(&["Approach", "Q1", "Q2", "Q3", "Q4", "Q5"]);
+    for row in rows.iter().take(3) {
+        t.row(row);
+    }
+    t.print();
+    println!("\n(time in milliseconds)");
+    println!("{}", rows[3].join("  "));
+    println!(
+        "\nPaper expectation (Table 1): SQL slowest; BDD with random ordering ~2x faster;\n\
+         BDD with the Prob-Converge ordering 4-6x faster than SQL. Index under random\n\
+         ordering is up to ~5x larger than under the optimized ordering."
+    );
+}

@@ -1,0 +1,140 @@
+//! Q1–Q5: the Table 1 constraint workload.
+//!
+//! The paper omits its five queries ("detailed description omitted due to
+//! space limitations"); we define five representative constraints spanning
+//! the paper's motif set, over a structured synthetic relation `R1`
+//! (1-PROD, 5 attributes, |dom| = 100 — where variable ordering matters), a
+//! companion relation `R2`, and the introduction's curriculum schema:
+//!
+//! * **Q1** — set-membership implication:
+//!   `∀v̄. R1(v̄) ∧ v0 ∈ S → v1 ∈ T` (the `city → areacode-set` motif);
+//! * **Q2** — two-column implication: `∀v̄. R1(v̄) ∧ v0 = c → v2 = d`
+//!   (the `city='Toronto' → state='Ontario'` motif);
+//! * **Q3** — functional dependency as a self-join:
+//!   `∀… R1(a, b, …) ∧ R1(a, b', …) → b = b'`;
+//! * **Q4** — inclusion dependency with ∃:
+//!   `∀v̄. R1(v̄) → ∃u. R2(v0, v1, u)`;
+//! * **Q5** — the paper's Formula 1 (three-relation ∀∃ policy):
+//!   CS students must take a Programming course.
+
+use relcheck_datagen::curriculum::{populate, CurriculumConfig};
+use relcheck_datagen::gen_kprod;
+use relcheck_logic::{parse, Formula};
+use relcheck_relstore::{Database, Relation, Schema};
+
+/// The five queries, parsed.
+pub fn queries() -> Vec<(&'static str, Formula)> {
+    vec![
+        (
+            "Q1",
+            parse(
+                "forall v0, v1, v2, v3, v4.
+                   R1(v0, v1, v2, v3, v4) & v0 in {0, 1, 2, 3, 4, 5, 6, 7} ->
+                   v1 in {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}",
+            )
+            .unwrap(),
+        ),
+        (
+            "Q2",
+            parse(
+                "forall v0, v1, v2, v3, v4.
+                   R1(v0, v1, v2, v3, v4) & v0 = 1 -> v2 = 1",
+            )
+            .unwrap(),
+        ),
+        (
+            "Q3",
+            parse(
+                "forall v0, v1, v2, v3, v4, w1, w2, w3, w4.
+                   R1(v0, v1, v2, v3, v4) & R1(v0, w1, w2, w3, w4) -> v1 = w1",
+            )
+            .unwrap(),
+        ),
+        (
+            "Q4",
+            parse(
+                "forall v0, v1, v2, v3, v4.
+                   R1(v0, v1, v2, v3, v4) -> exists u. R2(v0, v1, u)",
+            )
+            .unwrap(),
+        ),
+        (
+            "Q5",
+            parse(
+                r#"forall s, z. STUDENT(s, "CS", z) ->
+                     exists k. (COURSE(k, "Programming") & TAKES(s, k))"#,
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+/// Build the full Table 1 database (R1, R2, STUDENT/COURSE/TAKES).
+pub fn build(tuples: usize, seed: u64) -> Database {
+    let mut db = Database::new();
+    let g1 = gen_kprod(5, 100, tuples, 1, seed);
+    for i in 0..5 {
+        db.ensure_class_size(&format!("a{i}"), 100);
+    }
+    let r1 = Relation::from_rows(
+        Schema::new(&[("v0", "a0"), ("v1", "a1"), ("v2", "a2"), ("v3", "a3"), ("v4", "a4")]),
+        g1.relation.rows(),
+    )
+    .unwrap();
+    // R2(v0, v1, u): the projection of R1 on (v0, v1) crossed with a small
+    // u column — so Q4's inclusion dependency is satisfied by construction.
+    db.ensure_class_size("u", 16);
+    let mut r2_rows = Vec::new();
+    for row in g1.relation.rows() {
+        for u in 0..2u32 {
+            r2_rows.push(vec![row[0], row[1], u]);
+        }
+    }
+    let r2 = Relation::from_rows(
+        Schema::new(&[("v0", "a0"), ("v1", "a1"), ("u", "u")]),
+        r2_rows,
+    )
+    .unwrap();
+    db.insert_relation("R1", r1).unwrap();
+    db.insert_relation("R2", r2).unwrap();
+    populate(
+        &mut db,
+        &CurriculumConfig {
+            students: (tuples / 20).max(100),
+            violating_students: 3,
+            ..Default::default()
+        },
+    );
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcheck_core::checker::{Checker, CheckerOptions};
+
+    #[test]
+    fn queries_run_on_the_database() {
+        let db = build(3_000, 5);
+        let mut ck = Checker::new(db, CheckerOptions::default());
+        for (name, q) in queries() {
+            let r = ck.check(&q).unwrap();
+            match name {
+                // Q4 holds by construction; Q5 violated (3 injected).
+                "Q4" => assert!(r.holds, "{name}"),
+                "Q5" => assert!(!r.holds, "{name}"),
+                _ => {} // data-dependent
+            }
+        }
+    }
+
+    #[test]
+    fn q5_detects_exactly_injected_violators() {
+        let db = build(2_000, 9);
+        let mut ck = Checker::new(db, CheckerOptions::default());
+        let q5 = &queries()[4].1;
+        assert!(!ck.check(q5).unwrap().holds);
+        let (viol, _) = ck.find_violations(q5).unwrap();
+        assert_eq!(viol.len(), 3, "three violating students injected");
+    }
+}

@@ -1,0 +1,735 @@
+//! The constraint checker: BDD-first with SQL fallback.
+//!
+//! [`Checker`] is the system the paper evaluates. Registering a database
+//! builds (lazily, per referenced relation) BDD logical indices under a
+//! configurable variable-ordering strategy and node budget. Each
+//! [`Checker::check`] call:
+//!
+//! 1. tries the **BDD path** — the rewrite pipeline plus compiled BDD
+//!    manipulation of Section 4;
+//! 2. on a node-budget abort (`BddError::NodeLimit`), garbage-collects and
+//!    **falls back to SQL** (the translated violation plan of
+//!    [`crate::sqlgen`]), exactly the paper's thresholding strategy;
+//! 3. for constraint shapes outside the SQL translator's class, falls back
+//!    to brute-force active-domain evaluation as a last resort.
+//!
+//! Once violated constraints are identified, [`Checker::find_violations`]
+//! runs the SQL plan to materialize the offending tuples — the paper's
+//! "first identify violated constraints fast, then focus on the tuples".
+
+use crate::compile::{check_bdd, CompileOptions};
+use crate::error::{CoreError, Result};
+use crate::index::LogicalDatabase;
+use crate::ordering::OrderingStrategy;
+use crate::sqlgen::{self, Shape};
+use relcheck_bdd::BddError;
+use relcheck_logic::eval::eval_sentence;
+use relcheck_logic::Formula;
+use relcheck_relstore::plan::execute;
+use relcheck_relstore::Relation;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Checker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckerOptions {
+    /// Live-node budget for the shared BDD manager. `None` = unlimited.
+    /// The paper settles on 10⁶ nodes (Section 5.2).
+    pub node_limit: Option<usize>,
+    /// Apply the Section 4 rewrite rules.
+    pub use_rewrites: bool,
+    /// Use rename-based equi-joins (vs naive equality cubes).
+    pub join_rename: bool,
+    /// Variable-ordering strategy for index construction.
+    pub ordering: OrderingStrategy,
+    /// Garbage-collect query scratch space after every check.
+    pub gc_between_checks: bool,
+}
+
+impl Default for CheckerOptions {
+    fn default() -> Self {
+        CheckerOptions {
+            node_limit: Some(1_000_000),
+            use_rewrites: true,
+            join_rename: true,
+            ordering: OrderingStrategy::ProbConverge,
+            gc_between_checks: true,
+        }
+    }
+}
+
+/// How a check was ultimately decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Decided on the BDD logical indices.
+    Bdd,
+    /// BDD path aborted (node budget or unindexed relation); decided by the
+    /// translated SQL plan.
+    SqlFallback,
+    /// Neither path applied; decided by brute-force active-domain
+    /// enumeration.
+    BruteForce,
+}
+
+/// Outcome of one constraint check.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckReport {
+    /// Does the constraint hold?
+    pub holds: bool,
+    /// Which evaluation path decided it.
+    pub method: Method,
+    /// Wall-clock time for the decision.
+    pub elapsed: Duration,
+    /// Live BDD nodes after the check (post-GC if enabled).
+    pub live_nodes: usize,
+}
+
+/// Named output columns plus rows of dictionary codes — what
+/// [`Checker::find_violations_bdd`] produces.
+pub type CodedViolations = (Vec<String>, Vec<Vec<u32>>);
+
+/// Index details inside an [`Explanation`].
+#[derive(Debug, Clone)]
+pub struct IndexInfo {
+    /// The relation.
+    pub relation: String,
+    /// Node count of its BDD index (0 if SQL-only).
+    pub nodes: usize,
+    /// Attribute ordering the index was declared with.
+    pub ordering: Vec<usize>,
+    /// True if the index build busted the node budget.
+    pub sql_only: bool,
+}
+
+/// EXPLAIN output for a constraint (see [`Checker::explain`]).
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The quantifier prefix after prenex conversion, outermost first.
+    pub prenex_prefix: Vec<String>,
+    /// The quantifier-free matrix.
+    pub matrix: String,
+    /// How many leading quantifiers the §4.1 rule eliminates.
+    pub stripped_leading: usize,
+    /// Which O(1) test decides the constraint.
+    pub mode: &'static str,
+    /// The formula the BDD compiler actually processes (after negation,
+    /// push-down, simplification).
+    pub compiled_body: String,
+    /// Per-relation index details.
+    pub indices: Vec<IndexInfo>,
+    /// The SQL fallback plan, if the constraint is in the translatable
+    /// class.
+    pub sql_plan: Option<String>,
+}
+
+impl std::fmt::Display for Explanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "prenex prefix : {}", self.prenex_prefix.join(" "))?;
+        writeln!(f, "matrix        : {}", self.matrix)?;
+        writeln!(
+            f,
+            "leading quant : {} eliminated -> {}",
+            self.stripped_leading, self.mode
+        )?;
+        writeln!(f, "compiled body : {}", self.compiled_body)?;
+        for i in &self.indices {
+            if i.sql_only {
+                writeln!(f, "index {}: SQL-only (over node budget)", i.relation)?;
+            } else {
+                writeln!(
+                    f,
+                    "index {}: {} nodes, ordering {:?}",
+                    i.relation, i.nodes, i.ordering
+                )?;
+            }
+        }
+        match &self.sql_plan {
+            Some(p) => writeln!(f, "sql fallback  : {p}"),
+            None => writeln!(f, "sql fallback  : (untranslatable; brute force)"),
+        }
+    }
+}
+
+/// The constraint-checking system (see module docs).
+pub struct Checker {
+    ldb: LogicalDatabase,
+    opts: CheckerOptions,
+    /// Relations whose index build exceeded the budget: permanently
+    /// SQL-only (paper: "we do not materialize the BDD").
+    sql_only: HashSet<String>,
+}
+
+impl Checker {
+    /// Wrap a database. Indices are built lazily as constraints reference
+    /// relations.
+    pub fn new(db: relcheck_relstore::Database, opts: CheckerOptions) -> Checker {
+        let mut ldb = LogicalDatabase::new(db);
+        ldb.manager_mut().set_node_limit(opts.node_limit);
+        Checker { ldb, opts, sql_only: HashSet::new() }
+    }
+
+    /// Access the underlying logical database (indices, manager, data).
+    pub fn logical_db(&self) -> &LogicalDatabase {
+        &self.ldb
+    }
+
+    /// Mutable access (e.g. for incremental maintenance).
+    pub fn logical_db_mut(&mut self) -> &mut LogicalDatabase {
+        &mut self.ldb
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &CheckerOptions {
+        &self.opts
+    }
+
+    /// Force index construction for a relation now (otherwise lazy).
+    /// Returns false if the relation went over budget and is SQL-only.
+    pub fn ensure_index(&mut self, name: &str) -> Result<bool> {
+        if self.sql_only.contains(name) {
+            return Ok(false);
+        }
+        if self.ldb.has_index(name) {
+            return Ok(true);
+        }
+        match self.ldb.build_index(name, self.opts.ordering) {
+            Ok(_) => Ok(true),
+            Err(CoreError::Bdd(BddError::NodeLimit { .. })) => {
+                self.ldb.gc();
+                self.sql_only.insert(name.to_owned());
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn referenced_relations(f: &Formula) -> Vec<String> {
+        fn go(f: &Formula, out: &mut Vec<String>) {
+            match f {
+                Formula::Atom { relation, .. } if !out.contains(relation) => {
+                    out.push(relation.clone());
+                }
+                Formula::Atom { .. } => {}
+                Formula::Not(g) => go(g, out),
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| go(g, out)),
+                Formula::Implies(a, b) => {
+                    go(a, out);
+                    go(b, out);
+                }
+                Formula::Exists(_, g) | Formula::Forall(_, g) => go(g, out),
+                _ => {}
+            }
+        }
+        let mut out = Vec::new();
+        go(f, &mut out);
+        out
+    }
+
+    /// Decide a constraint. See module docs for the strategy.
+    pub fn check(&mut self, f: &Formula) -> Result<CheckReport> {
+        let start = Instant::now();
+        let free = f.free_vars();
+        if !free.is_empty() {
+            return Err(CoreError::Logic(relcheck_logic::LogicError::FreeVariables(free)));
+        }
+        // Make sure every referenced relation is indexed (or marked
+        // SQL-only).
+        let mut all_indexed = true;
+        for rel in Self::referenced_relations(f) {
+            all_indexed &= self.ensure_index(&rel)?;
+        }
+        let compile_opts = CompileOptions {
+            use_rewrites: self.opts.use_rewrites,
+            join_rename: self.opts.join_rename,
+        };
+        let (holds, method) = if all_indexed {
+            match check_bdd(&mut self.ldb, f, &compile_opts) {
+                Ok(h) => (h, Method::Bdd),
+                Err(CoreError::Bdd(BddError::NodeLimit { .. })) => {
+                    // Paper §4: abort BDD construction, default to SQL.
+                    self.ldb.gc();
+                    self.check_via_sql(f)?
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            self.check_via_sql(f)?
+        };
+        if self.opts.gc_between_checks {
+            self.ldb.gc();
+        }
+        Ok(CheckReport {
+            holds,
+            method,
+            elapsed: start.elapsed(),
+            live_nodes: self.ldb.manager().live_nodes(),
+        })
+    }
+
+    fn check_via_sql(&mut self, f: &Formula) -> Result<(bool, Method)> {
+        match sqlgen::violation_plan(self.ldb.db(), f) {
+            Some(t) => {
+                let out = execute(self.ldb.db(), &t.plan)?;
+                let holds = match t.shape {
+                    Shape::Violations => out.is_empty(),
+                    Shape::Witnesses => !out.is_empty(),
+                };
+                Ok((holds, Method::SqlFallback))
+            }
+            None => Ok((eval_sentence(self.ldb.db(), f)?, Method::BruteForce)),
+        }
+    }
+
+    /// Decide a constraint strictly via the SQL path (the paper's baseline;
+    /// used by the benchmark harness for the BDD-vs-SQL comparisons).
+    pub fn check_sql(&mut self, f: &Formula) -> Result<CheckReport> {
+        let start = Instant::now();
+        let (holds, method) = self.check_via_sql(f)?;
+        Ok(CheckReport {
+            holds,
+            method,
+            elapsed: start.elapsed(),
+            live_nodes: self.ldb.manager().live_nodes(),
+        })
+    }
+
+    /// Check many named constraints, returning each report. This is the
+    /// paper's headline workflow: quickly identify *which* constraints are
+    /// violated on *which* tables.
+    pub fn check_all(
+        &mut self,
+        constraints: &[(String, Formula)],
+    ) -> Result<Vec<(String, CheckReport)>> {
+        constraints
+            .iter()
+            .map(|(name, f)| Ok((name.clone(), self.check(f)?)))
+            .collect()
+    }
+
+    /// Materialize up to `limit` violating assignments **on the BDD path**:
+    /// build the violation-set BDD (premise ∧ ¬conclusion over the outer ∀
+    /// variables) and enumerate its tuples, without touching SQL. Returns
+    /// `None` when the constraint is not ∀-prefixed, a referenced relation
+    /// is SQL-only, or the node budget aborts (callers then use
+    /// [`Checker::find_violations`]).
+    ///
+    /// Output: `(variable names, rows of dictionary codes)` — decode codes
+    /// through the database's class dictionaries.
+    pub fn find_violations_bdd(
+        &mut self,
+        f: &Formula,
+        limit: usize,
+    ) -> Result<Option<CodedViolations>> {
+        let free = f.free_vars();
+        if !free.is_empty() {
+            return Err(CoreError::Logic(relcheck_logic::LogicError::FreeVariables(free)));
+        }
+        for rel in Self::referenced_relations(f) {
+            if !self.ensure_index(&rel)? {
+                return Ok(None);
+            }
+        }
+        let compile_opts = CompileOptions {
+            use_rewrites: self.opts.use_rewrites,
+            join_rename: self.opts.join_rename,
+        };
+        let result = match crate::compile::violations_bdd(&mut self.ldb, f, &compile_opts) {
+            Ok(Some(vs)) => {
+                let doms: Vec<_> = vs.vars.iter().map(|(_, d, _)| *d).collect();
+                let names: Vec<String> = vs.vars.iter().map(|(v, _, _)| v.clone()).collect();
+                let rows = self
+                    .ldb
+                    .manager_mut()
+                    .rows_limited(vs.bdd, &doms, limit)
+                    .map_err(CoreError::Bdd)?;
+                let rows: Vec<Vec<u32>> = rows
+                    .into_iter()
+                    .map(|r| r.into_iter().map(|v| v as u32).collect())
+                    .collect();
+                Ok(Some((names, rows)))
+            }
+            Ok(None) => Ok(None),
+            Err(CoreError::Bdd(BddError::NodeLimit { .. })) => {
+                self.ldb.gc();
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        };
+        if self.opts.gc_between_checks {
+            self.ldb.gc();
+        }
+        result
+    }
+
+    /// Check the functional dependency `lhs → rhs` on a relation via BDD
+    /// projection (the paper's Figure 5(b) strategy): existentially
+    /// quantify everything but `lhs ∪ rhs` to get `B₁`, then also quantify
+    /// `rhs` to get `B₂`; the FD holds iff both projections have the same
+    /// tuple count (each `lhs` group maps to exactly one `rhs` value).
+    pub fn check_fd_bdd(&mut self, relation: &str, lhs: &[usize], rhs: &[usize]) -> Result<bool> {
+        if !self.ensure_index(relation)? {
+            // Over budget: use the SQL group-by formulation.
+            return Ok(relcheck_relstore::algebra::fd_holds(
+                self.ldb.db().relation(relation)?,
+                lhs,
+                rhs,
+            )?);
+        }
+        let idx = self.ldb.index(relation).expect("just ensured").clone();
+        let arity = idx.domains.len();
+        let others: Vec<_> = (0..arity)
+            .filter(|c| !lhs.contains(c) && !rhs.contains(c))
+            .map(|c| idx.domains[c])
+            .collect();
+        let lhs_doms: Vec<_> = lhs.iter().map(|&c| idx.domains[c]).collect();
+        let rhs_doms: Vec<_> = rhs.iter().map(|&c| idx.domains[c]).collect();
+        let mgr = self.ldb.manager_mut();
+        let vs_others = mgr.domain_varset(&others);
+        let b1 = mgr.exists(idx.root, vs_others)?;
+        let vs_rhs = mgr.domain_varset(&rhs_doms);
+        let b2 = mgr.exists(b1, vs_rhs)?;
+        let pair_doms: Vec<_> = lhs_doms.iter().chain(&rhs_doms).copied().collect();
+        let n1 = mgr.tuple_count(b1, &pair_doms)?;
+        let n2 = mgr.tuple_count(b2, &lhs_doms)?;
+        if self.opts.gc_between_checks {
+            self.ldb.gc();
+        }
+        Ok(n1 == n2)
+    }
+
+    /// The SQL group-by formulation of the same FD check (baseline).
+    pub fn check_fd_sql(&self, relation: &str, lhs: &[usize], rhs: &[usize]) -> Result<bool> {
+        Ok(relcheck_relstore::algebra::fd_holds(
+            self.ldb.db().relation(relation)?,
+            lhs,
+            rhs,
+        )?)
+    }
+
+    /// EXPLAIN-style description of how a constraint would be evaluated:
+    /// the rewrite pipeline's intermediate forms, the indices involved,
+    /// and the SQL fallback plan (if the constraint is translatable).
+    /// Ensures indices exist (so node counts are real) but runs no check.
+    pub fn explain(&mut self, f: &Formula) -> Result<Explanation> {
+        use relcheck_logic::transform::{
+            push_forall_down, simplify, strip_leading_block, to_nnf, to_prenex, CheckMode,
+        };
+        let free = f.free_vars();
+        if !free.is_empty() {
+            return Err(CoreError::Logic(relcheck_logic::LogicError::FreeVariables(free)));
+        }
+        let mut indices = Vec::new();
+        for rel in Self::referenced_relations(f) {
+            let indexed = self.ensure_index(&rel)?;
+            let detail = if indexed {
+                let idx = self.ldb.index(&rel).expect("just ensured");
+                IndexInfo {
+                    relation: rel.clone(),
+                    nodes: self.ldb.manager().size(idx.root),
+                    ordering: idx.ordering.clone(),
+                    sql_only: false,
+                }
+            } else {
+                IndexInfo { relation: rel.clone(), nodes: 0, ordering: vec![], sql_only: true }
+            };
+            indices.push(detail);
+        }
+        let p = to_prenex(f);
+        let (mode, rest) = strip_leading_block(&p);
+        let prefix: Vec<String> = p
+            .prefix
+            .iter()
+            .map(|(q, v)| {
+                format!("{}{v}", if *q == relcheck_logic::transform::Quant::Forall { "∀" } else { "∃" })
+            })
+            .collect();
+        let stripped = p.prefix.len() - rest.prefix.len();
+        let (mode_name, compiled_body) = match mode {
+            CheckMode::Validity => (
+                "validity, tested by refutation (violation set must be empty)",
+                format!(
+                    "{}",
+                    simplify(&push_forall_down(&to_nnf(
+                        &crate::compile::rebuild(&rest).not()
+                    )))
+                ),
+            ),
+            CheckMode::Satisfiability => (
+                "satisfiability (compiled BDD must be non-false)",
+                format!("{}", simplify(&push_forall_down(&crate::compile::rebuild(&rest)))),
+            ),
+        };
+        let sql_plan = sqlgen::violation_plan(self.ldb.db(), f).map(|t| format!("{:?}", t.plan));
+        Ok(Explanation {
+            prenex_prefix: prefix,
+            matrix: format!("{}", p.matrix),
+            stripped_leading: stripped,
+            mode: mode_name,
+            compiled_body,
+            indices,
+            sql_plan,
+        })
+    }
+
+    /// Materialize the violating tuples of a constraint (the follow-up step
+    /// once `check` reports a violation). Output columns are the premise
+    /// variables in join order; use
+    /// [`relcheck_relstore::Database::decode_row`] to render them.
+    pub fn find_violations(&mut self, f: &Formula) -> Result<(Relation, Vec<String>)> {
+        match sqlgen::violation_plan(self.ldb.db(), f) {
+            Some(t) if t.shape == Shape::Violations => {
+                let out = execute(self.ldb.db(), &t.plan)?;
+                Ok((out, t.columns))
+            }
+            Some(_) => Err(CoreError::UnsupportedForViolationQuery(
+                "existential constraints have witnesses, not violating tuples".to_owned(),
+            )),
+            None => Err(CoreError::UnsupportedForViolationQuery(format!(
+                "no relational plan for: {f}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcheck_logic::parse;
+    use relcheck_relstore::{Database, Raw};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            "CUST",
+            &[("city", "city"), ("areacode", "areacode"), ("state", "state")],
+            vec![
+                vec![Raw::str("Toronto"), Raw::Int(416), Raw::str("ON")],
+                vec![Raw::str("Toronto"), Raw::Int(647), Raw::str("ON")],
+                vec![Raw::str("Oshawa"), Raw::Int(905), Raw::str("ON")],
+                vec![Raw::str("Newark"), Raw::Int(973), Raw::str("NJ")],
+                vec![Raw::str("Newark"), Raw::Int(212), Raw::str("NY")],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn check_uses_bdd_path() {
+        let mut ck = Checker::new(db(), CheckerOptions::default());
+        let f = parse(r#"forall c, a, s. CUST(c, a, s) & c = "Toronto" -> s = "ON""#).unwrap();
+        let r = ck.check(&f).unwrap();
+        assert!(r.holds);
+        assert_eq!(r.method, Method::Bdd);
+    }
+
+    #[test]
+    fn node_limit_falls_back_to_sql() {
+        let opts = CheckerOptions { node_limit: Some(18), ..Default::default() };
+        let mut ck = Checker::new(db(), opts);
+        let f = parse(r#"forall c, a, s. CUST(c, a, s) & c = "Newark" -> s = "NJ""#).unwrap();
+        let r = ck.check(&f).unwrap();
+        assert!(!r.holds);
+        assert_eq!(r.method, Method::SqlFallback);
+        // And the checker stays usable.
+        let g = parse(r#"exists c, a, s. CUST(c, a, s) & s = "NY""#).unwrap();
+        assert!(ck.check(&g).unwrap().holds);
+    }
+
+    #[test]
+    fn untranslatable_falls_back_to_brute_force() {
+        let opts = CheckerOptions { node_limit: Some(18), ..Default::default() };
+        let mut ck = Checker::new(db(), opts);
+        // Disjunctive premise: out of the SQL class.
+        let f = parse(
+            r#"forall c, a, s. CUST(c, a, s) | CUST(c, a, s) -> s in {"ON", "NJ", "NY"}"#,
+        )
+        .unwrap();
+        let r = ck.check(&f).unwrap();
+        assert!(r.holds);
+        assert_eq!(r.method, Method::BruteForce);
+    }
+
+    #[test]
+    fn check_all_reports_violated_constraints() {
+        let mut ck = Checker::new(db(), CheckerOptions::default());
+        let constraints = vec![
+            (
+                "toronto-areacodes".to_owned(),
+                parse(r#"forall c, a, s. CUST(c, a, s) & c = "Toronto" -> a in {416, 647}"#)
+                    .unwrap(),
+            ),
+            (
+                "newark-in-nj".to_owned(),
+                parse(r#"forall c, a, s. CUST(c, a, s) & c = "Newark" -> s = "NJ""#).unwrap(),
+            ),
+            (
+                "fd-areacode-state".to_owned(),
+                parse(
+                    r#"forall c1, a, s1, c2, s2.
+                         CUST(c1, a, s1) & CUST(c2, a, s2) -> s1 = s2"#,
+                )
+                .unwrap(),
+            ),
+        ];
+        let reports = ck.check_all(&constraints).unwrap();
+        let violated: Vec<&str> = reports
+            .iter()
+            .filter(|(_, r)| !r.holds)
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(violated, vec!["newark-in-nj"]);
+        assert!(reports.iter().all(|(_, r)| r.method == Method::Bdd));
+    }
+
+    #[test]
+    fn find_violations_returns_decoded_tuples() {
+        let mut ck = Checker::new(db(), CheckerOptions::default());
+        let f = parse(r#"forall c, a, s. CUST(c, a, s) & c = "Newark" -> s = "NJ""#).unwrap();
+        assert!(!ck.check(&f).unwrap().holds);
+        let (rows, cols) = ck.find_violations(&f).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(cols.len(), 3);
+        let decoded = ck.logical_db().db().decode_row(&rows, &rows.row(0));
+        assert!(decoded.contains(&Raw::str("NY")));
+    }
+
+    #[test]
+    fn find_violations_rejects_existentials() {
+        let mut ck = Checker::new(db(), CheckerOptions::default());
+        let f = parse(r#"exists c, a, s. CUST(c, a, s)"#).unwrap();
+        assert!(matches!(
+            ck.find_violations(&f),
+            Err(CoreError::UnsupportedForViolationQuery(_))
+        ));
+    }
+
+    #[test]
+    fn explain_describes_the_pipeline() {
+        let mut ck = Checker::new(db(), CheckerOptions::default());
+        let f = parse(
+            r#"forall c, a, s. CUST(c, a, s) & c = "Toronto" -> exists a2. CUST(c, a2, s)"#,
+        )
+        .unwrap();
+        let e = ck.explain(&f).unwrap();
+        assert_eq!(e.stripped_leading, 3, "the ∀ block is eliminated");
+        assert!(e.mode.contains("validity"));
+        assert_eq!(e.indices.len(), 1);
+        assert_eq!(e.indices[0].relation, "CUST");
+        assert!(!e.indices[0].sql_only);
+        assert!(e.indices[0].nodes > 0);
+        assert!(e.sql_plan.is_some(), "in the translatable class");
+        let rendered = format!("{e}");
+        assert!(rendered.contains("prenex prefix"));
+        assert!(rendered.contains("CUST"));
+        // Existential constraint: satisfiability mode.
+        let g = parse("exists c, a, s. CUST(c, a, s)").unwrap();
+        let e = ck.explain(&g).unwrap();
+        assert!(e.mode.contains("satisfiability"));
+    }
+
+    #[test]
+    fn bdd_violation_enumeration_matches_sql_path() {
+        let mut ck = Checker::new(db(), CheckerOptions::default());
+        let f = parse(r#"forall c, a, s. CUST(c, a, s) & c = "Toronto" -> a in {416}"#).unwrap();
+        assert!(!ck.check(&f).unwrap().holds);
+        let (names, mut bdd_rows) =
+            ck.find_violations_bdd(&f, 100).unwrap().expect("∀-prefixed constraint");
+        // SQL path for the same constraint.
+        let (sql_rel, sql_cols) = ck.find_violations(&f).unwrap();
+        assert_eq!(bdd_rows.len(), sql_rel.len());
+        // Align column orders and compare the tuple sets.
+        let perm: Vec<usize> = sql_cols
+            .iter()
+            .map(|c| names.iter().position(|n| n == c).unwrap())
+            .collect();
+        for row in &mut bdd_rows {
+            *row = perm.iter().map(|&i| row[i]).collect();
+        }
+        let mut sql_rows: Vec<Vec<u32>> = sql_rel.rows().collect();
+        bdd_rows.sort();
+        sql_rows.sort();
+        assert_eq!(bdd_rows, sql_rows);
+    }
+
+    #[test]
+    fn bdd_violation_enumeration_respects_limit() {
+        let mut ck = Checker::new(db(), CheckerOptions::default());
+        // Everything violates this (no Toronto customer has areacode 905).
+        let f = parse(r#"forall c, a, s. CUST(c, a, s) -> a = 905"#).unwrap();
+        let (_, rows) = ck.find_violations_bdd(&f, 2).unwrap().unwrap();
+        assert_eq!(rows.len(), 2, "limit must cap the enumeration");
+        let (_, all) = ck.find_violations_bdd(&f, 100).unwrap().unwrap();
+        assert_eq!(all.len(), 4, "four of five rows violate");
+    }
+
+    #[test]
+    fn bdd_violation_enumeration_declines_existentials() {
+        let mut ck = Checker::new(db(), CheckerOptions::default());
+        let f = parse(r#"exists c, a, s. CUST(c, a, s)"#).unwrap();
+        assert!(ck.find_violations_bdd(&f, 10).unwrap().is_none());
+    }
+
+    #[test]
+    fn fd_check_bdd_matches_sql() {
+        let mut ck = Checker::new(db(), CheckerOptions::default());
+        // areacode → state holds in the fixture; city → state does not
+        // (Newark maps to NJ and NY).
+        for (lhs, rhs, expected) in [
+            (vec![1usize], vec![2usize], true),
+            (vec![0], vec![2], false),
+            (vec![0, 1], vec![2], true),
+            (vec![2], vec![0], false),
+        ] {
+            let via_bdd = ck.check_fd_bdd("CUST", &lhs, &rhs).unwrap();
+            let via_sql = ck.check_fd_sql("CUST", &lhs, &rhs).unwrap();
+            assert_eq!(via_bdd, via_sql, "lhs={lhs:?} rhs={rhs:?}");
+            assert_eq!(via_bdd, expected, "lhs={lhs:?} rhs={rhs:?}");
+        }
+    }
+
+    #[test]
+    fn free_variables_rejected() {
+        let mut ck = Checker::new(db(), CheckerOptions::default());
+        let f = parse("CUST(c, a, s)").unwrap();
+        assert!(matches!(ck.check(&f), Err(CoreError::Logic(_))));
+    }
+
+    #[test]
+    fn incremental_maintenance_changes_answers() {
+        let mut ck = Checker::new(db(), CheckerOptions::default());
+        let f = parse(r#"forall c, a, s. CUST(c, a, s) & c = "Oshawa" -> a in {905}"#).unwrap();
+        assert!(ck.check(&f).unwrap().holds);
+        // Insert a violating tuple (Oshawa, 416, ON) using existing codes.
+        let city = ck.logical_db().db().code("city", &Raw::str("Oshawa")).unwrap();
+        let ac = ck.logical_db().db().code("areacode", &Raw::Int(416)).unwrap();
+        let st = ck.logical_db().db().code("state", &Raw::str("ON")).unwrap();
+        ck.logical_db_mut().insert_tuple("CUST", &[city, ac, st]).unwrap();
+        let r = ck.check(&f).unwrap();
+        assert!(!r.holds, "inserted tuple must violate");
+        assert_eq!(r.method, Method::Bdd);
+        // Delete it: constraint holds again.
+        ck.logical_db_mut().delete_tuple("CUST", &[city, ac, st]).unwrap();
+        assert!(ck.check(&f).unwrap().holds);
+    }
+
+    #[test]
+    fn all_option_combinations_agree() {
+        let f = parse(r#"forall c, a, s. CUST(c, a, s) -> exists c2, s2. CUST(c2, a, s2)"#)
+            .unwrap();
+        for use_rewrites in [true, false] {
+            for join_rename in [true, false] {
+                let opts = CheckerOptions {
+                    use_rewrites,
+                    join_rename,
+                    ..Default::default()
+                };
+                let mut ck = Checker::new(db(), opts);
+                assert!(
+                    ck.check(&f).unwrap().holds,
+                    "rewrites={use_rewrites} rename={join_rename}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,644 @@
+//! The FOL → BDD compiler (paper, Section 4).
+//!
+//! [`check_bdd`] decides a constraint sentence by BDD manipulation. With
+//! rewrites enabled (the paper's optimized strategy, §4.4) the pipeline is:
+//!
+//! 1. prenex normal form (quantifier pull-up);
+//! 2. leading-quantifier-block elimination — a leading ∀-block means the
+//!    remaining formula must compile to `TRUE` (validity test), a leading
+//!    ∃-block means it must not be `FALSE` (satisfiability test), both O(1)
+//!    checks on the canonical ROBDD;
+//! 3. universal push-down across conjunctions (Rule 5);
+//! 4. recursive compilation, using **rename-based equi-joins** for relation
+//!    atoms (Rule of §4.2) and the **fused `appex`/`appall`** operators for
+//!    the remaining quantifiers.
+//!
+//! With rewrites disabled the original formula is compiled literally —
+//! inner-out, unfused, leading quantifiers included — which is the
+//! "straight-forward evaluation" the paper improves upon.
+//!
+//! Domain hygiene: BDD blocks of `⌈log₂ n⌉` bits can encode values ≥ `n`.
+//! Relation indices never contain such codes, but complements introduced by
+//! negation do, so every quantifier (and the final validity /
+//! satisfiability test) confines its variables with the block's range
+//! constraint. This keeps BDD answers identical to active-domain semantics
+//! (the brute-force oracle in `relcheck-logic`).
+
+use crate::error::{CoreError, Result};
+use crate::index::LogicalDatabase;
+use relcheck_bdd::{Bdd, DomainId, Op};
+use relcheck_logic::transform::{
+    push_forall_down, simplify, standardize_apart, to_nnf, to_prenex, strip_leading_block,
+    CheckMode, Prenex, Quant,
+};
+use relcheck_logic::{infer_sorts, Formula, Term};
+use std::collections::HashMap;
+
+/// Compiler switches (each is one of the paper's ablations).
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Apply the §4.4 rewrite pipeline (prenex, leading-quantifier
+    /// elimination, ∀ push-down, fused quantification).
+    pub use_rewrites: bool,
+    /// Compile equi-joins by renaming (`BDD(R2[x/y])`, §4.2) instead of
+    /// conjoining equality BDDs.
+    pub join_rename: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { use_rewrites: true, join_rename: true }
+    }
+}
+
+/// Decide a constraint sentence against the database's BDD indices.
+///
+/// Every relation mentioned must already have an index built (the
+/// [`crate::checker::Checker`] guarantees this). Propagates
+/// `BddError::NodeLimit` if the manager's node budget is exhausted — the
+/// signal to fall back to SQL.
+pub fn check_bdd(
+    ldb: &mut LogicalDatabase,
+    f: &Formula,
+    opts: &CompileOptions,
+) -> Result<bool> {
+    if opts.use_rewrites {
+        let p = to_prenex(f);
+        let whole = rebuild(&p);
+        let sorts = infer_sorts(ldb.db(), &whole)?;
+        let var_doms = allocate_query_domains(ldb, &whole, &sorts)?;
+        let (mode, rest) = strip_leading_block(&p);
+        let stripped: Vec<String> = p.prefix[..p.prefix.len() - rest.prefix.len()]
+            .iter()
+            .map(|(_, v)| v.clone())
+            .collect();
+        match mode {
+            CheckMode::Validity => {
+                let violating =
+                    compile_violation_set(ldb, &rest, &stripped, &var_doms, &sorts, opts)?;
+                Ok(violating.is_false())
+            }
+            CheckMode::Satisfiability => {
+                let body = simplify(&push_forall_down(&rebuild(&rest)));
+                let mut c = Compiler { ldb, var_doms: &var_doms, sorts: &sorts, opts };
+                let phi = c.compile(&body)?;
+                // Confine the stripped (free) variables to their domains.
+                let ranges = c.ranges(&stripped)?;
+                let mgr = ldb.manager_mut();
+                let test = mgr.and(ranges, phi)?;
+                Ok(!test.is_false())
+            }
+        }
+    } else {
+        let f = standardize_apart(f);
+        let sorts = infer_sorts(ldb.db(), &f)?;
+        let var_doms = allocate_query_domains(ldb, &f, &sorts)?;
+        let mut c = Compiler { ldb, var_doms: &var_doms, sorts: &sorts, opts };
+        let phi = c.compile(&f)?;
+        debug_assert!(phi.is_const(), "a sentence must compile to a constant BDD");
+        Ok(phi.is_true())
+    }
+}
+
+/// The BDD of a universal constraint's **violating assignments**, built by
+/// refutation: compile `¬body` in NNF (for implication-shaped constraints
+/// this is the conjunction `premise ∧ ¬conclusion`, whose intermediates
+/// stay small where the direct disjunction-of-complements form
+/// materializes near-complement BDDs), confine the stripped ∀ variables to
+/// their active domains, and conjoin. Any ∀ surviving the negation flip is
+/// still pushed down (Rule 5).
+fn compile_violation_set(
+    ldb: &mut LogicalDatabase,
+    rest: &Prenex,
+    stripped: &[String],
+    var_doms: &HashMap<String, DomainId>,
+    sorts: &HashMap<String, String>,
+    opts: &CompileOptions,
+) -> Result<Bdd> {
+    let negated = simplify(&to_nnf(&rebuild(rest).not()));
+    let body = simplify(&push_forall_down(&negated));
+    let mut c = Compiler { ldb, var_doms, sorts, opts };
+    let phi = c.compile(&body)?;
+    let ranges = c.ranges(stripped)?;
+    let mgr = ldb.manager_mut();
+    Ok(mgr.and(ranges, phi)?)
+}
+
+/// A materialized violation set: the BDD over the constraint's outer ∀
+/// variables, plus per-variable metadata for decoding.
+pub struct ViolationSet {
+    /// Characteristic function of the violating assignments.
+    pub bdd: Bdd,
+    /// `(variable name, its finite domain, its attribute class)` for every
+    /// outer ∀ variable, in prefix order.
+    pub vars: Vec<(String, DomainId, String)>,
+}
+
+/// Build the violating-assignment BDD of a ∀-prefixed constraint (the BDD
+/// counterpart of the SQL violation query). Returns `None` for constraints
+/// that do not start with a universal block (existentials have witnesses,
+/// not violations).
+pub fn violations_bdd(
+    ldb: &mut LogicalDatabase,
+    f: &Formula,
+    opts: &CompileOptions,
+) -> Result<Option<ViolationSet>> {
+    let p = to_prenex(f);
+    let whole = rebuild(&p);
+    let sorts = infer_sorts(ldb.db(), &whole)?;
+    let var_doms = allocate_query_domains(ldb, &whole, &sorts)?;
+    let (mode, rest) = strip_leading_block(&p);
+    if mode != CheckMode::Validity {
+        return Ok(None);
+    }
+    let stripped: Vec<String> = p.prefix[..p.prefix.len() - rest.prefix.len()]
+        .iter()
+        .map(|(_, v)| v.clone())
+        .collect();
+    let bdd = compile_violation_set(ldb, &rest, &stripped, &var_doms, &sorts, opts)?;
+    let vars = stripped
+        .into_iter()
+        .map(|v| {
+            let dom = var_doms[&v];
+            let class = sorts[&v].clone();
+            (v, dom, class)
+        })
+        .collect();
+    Ok(Some(ViolationSet { bdd, vars }))
+}
+
+/// Reassemble a prenex form into a formula.
+pub(crate) fn rebuild(p: &Prenex) -> Formula {
+    let mut f = p.matrix.clone();
+    for (q, v) in p.prefix.iter().rev() {
+        f = match q {
+            Quant::Exists => Formula::Exists(vec![v.clone()], Box::new(f)),
+            Quant::Forall => Formula::Forall(vec![v.clone()], Box::new(f)),
+        };
+    }
+    f
+}
+
+/// Assign every first-order variable a finite domain.
+///
+/// This is where the paper's rename rule (§4.2) pays off or doesn't: the
+/// expensive case is renaming a *large* relation index into fresh query
+/// domains. The paper renames R2 into R1's variables — i.e. the big
+/// relation keeps its own blocks. We generalize that: walking the
+/// formula's atoms **largest relation first** (positions in the relation's
+/// own index ordering), each variable *claims the column domain of its
+/// first unclaimed occurrence*. The biggest atom then compiles with an
+/// identity rename (free), and only smaller atoms are moved. Variables that
+/// cannot claim a domain (repeats, conflicts, equality-only variables) draw
+/// from per-class query-domain pools in visit order, which keeps those
+/// renames order-preserving too.
+fn allocate_query_domains(
+    ldb: &mut LogicalDatabase,
+    f: &Formula,
+    sorts: &HashMap<String, String>,
+) -> Result<HashMap<String, DomainId>> {
+    // Gather atoms, largest relation first.
+    let mut atoms: Vec<(String, Vec<Term>)> = Vec::new();
+    collect_atoms(f, &mut atoms);
+    atoms.sort_by_key(|(rel, _)| {
+        std::cmp::Reverse(ldb.db().relation(rel).map_or(0, |r| r.len()))
+    });
+    let mut out: HashMap<String, DomainId> = HashMap::new();
+    let mut claimed: std::collections::HashSet<DomainId> = std::collections::HashSet::new();
+    let mut visit_order: Vec<String> = Vec::new();
+    for (relation, args) in &atoms {
+        let Some(idx) = ldb.index(relation) else { continue };
+        let positions = idx.ordering.clone();
+        let domains = idx.domains.clone();
+        for &i in &positions {
+            if let Some(Term::Var(v)) = args.get(i) {
+                if !visit_order.contains(v) {
+                    visit_order.push(v.clone());
+                }
+                if !out.contains_key(v) && claimed.insert(domains[i]) {
+                    out.insert(v.clone(), domains[i]);
+                }
+            }
+        }
+    }
+    // Remaining variables (couldn't claim, or appear in no atom): pooled
+    // query domains, allocated in visit order then by name.
+    let mut rest: Vec<&String> =
+        sorts.keys().filter(|v| !visit_order.contains(v)).collect();
+    rest.sort_unstable();
+    let all: Vec<String> =
+        visit_order.iter().cloned().chain(rest.into_iter().cloned()).collect();
+    let mut slot_of_class: HashMap<&str, usize> = HashMap::new();
+    for var in &all {
+        if out.contains_key(var) {
+            continue;
+        }
+        let class = sorts[var].as_str();
+        let slot = slot_of_class.entry(class).or_insert(0);
+        out.insert(var.clone(), ldb.query_domain(class, *slot)?);
+        *slot += 1;
+    }
+    Ok(out)
+}
+
+fn collect_atoms(f: &Formula, out: &mut Vec<(String, Vec<Term>)>) {
+    match f {
+        Formula::Atom { relation, args } => out.push((relation.clone(), args.clone())),
+        Formula::Not(g) => collect_atoms(g, out),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| collect_atoms(g, out)),
+        Formula::Implies(a, b) => {
+            collect_atoms(a, out);
+            collect_atoms(b, out);
+        }
+        Formula::Exists(_, g) | Formula::Forall(_, g) => collect_atoms(g, out),
+        _ => {}
+    }
+}
+
+struct Compiler<'a> {
+    ldb: &'a mut LogicalDatabase,
+    var_doms: &'a HashMap<String, DomainId>,
+    sorts: &'a HashMap<String, String>,
+    opts: &'a CompileOptions,
+}
+
+impl Compiler<'_> {
+    fn compile(&mut self, f: &Formula) -> Result<Bdd> {
+        match f {
+            Formula::True => Ok(Bdd::TRUE),
+            Formula::False => Ok(Bdd::FALSE),
+            Formula::Atom { relation, args } => self.compile_atom(relation, args),
+            Formula::Eq(a, b) => self.compile_eq(a, b),
+            Formula::InSet(t, vals) => self.compile_in_set(t, vals),
+            Formula::Not(g) => {
+                let x = self.compile(g)?;
+                Ok(self.ldb.manager_mut().not(x)?)
+            }
+            Formula::And(fs) => {
+                let mut acc = Bdd::TRUE;
+                for g in fs {
+                    let x = self.compile(g)?;
+                    acc = self.ldb.manager_mut().and(acc, x)?;
+                    if acc.is_false() {
+                        break;
+                    }
+                }
+                Ok(acc)
+            }
+            Formula::Or(fs) => {
+                let mut acc = Bdd::FALSE;
+                for g in fs {
+                    let x = self.compile(g)?;
+                    acc = self.ldb.manager_mut().or(acc, x)?;
+                    if acc.is_true() {
+                        break;
+                    }
+                }
+                Ok(acc)
+            }
+            Formula::Implies(a, b) => {
+                let fa = self.compile(a)?;
+                let fb = self.compile(b)?;
+                Ok(self.ldb.manager_mut().imp(fa, fb)?)
+            }
+            Formula::Exists(vs, g) => self.compile_quant(vs, g, true),
+            Formula::Forall(vs, g) => self.compile_quant(vs, g, false),
+        }
+    }
+
+    /// Conjunction of range constraints for the listed variables' domains.
+    fn ranges_doms(&mut self, doms: &[DomainId]) -> Result<Bdd> {
+        let mut acc = Bdd::TRUE;
+        for &d in doms {
+            let mgr = self.ldb.manager_mut();
+            let r = mgr.domain_range(d)?;
+            acc = mgr.and(acc, r)?;
+        }
+        Ok(acc)
+    }
+
+    fn ranges(&mut self, vars: &[String]) -> Result<Bdd> {
+        let doms: Vec<DomainId> = vars.iter().map(|v| self.var_doms[v]).collect();
+        self.ranges_doms(&doms)
+    }
+
+    fn compile_quant(&mut self, vs: &[String], body: &Formula, is_exists: bool) -> Result<Bdd> {
+        let phi = self.compile(body)?;
+        let doms: Vec<DomainId> = vs.iter().map(|v| self.var_doms[v]).collect();
+        let ranges = self.ranges_doms(&doms)?;
+        let mgr = self.ldb.manager_mut();
+        let varset = mgr.domain_varset(&doms);
+        if self.opts.use_rewrites {
+            // Fused apply+quantify (BuDDy's bdd_appex / bdd_appall).
+            if is_exists {
+                Ok(mgr.app_exists(Op::And, phi, ranges, varset)?)
+            } else {
+                Ok(mgr.app_forall(Op::Imp, ranges, phi, varset)?)
+            }
+        } else {
+            // Unfused: materialize the combined function, then quantify.
+            if is_exists {
+                let combined = mgr.and(phi, ranges)?;
+                Ok(mgr.exists(combined, varset)?)
+            } else {
+                let combined = mgr.imp(ranges, phi)?;
+                Ok(mgr.forall(combined, varset)?)
+            }
+        }
+    }
+
+    fn compile_atom(&mut self, relation: &str, args: &[Term]) -> Result<Bdd> {
+        let idx = self
+            .ldb
+            .index(relation)
+            .ok_or_else(|| CoreError::MissingIndex(relation.to_owned()))?
+            .clone();
+        // Resolve argument actions against the database before touching the
+        // manager (split borrows).
+        enum Action {
+            Pin(DomainId, u64),
+            RenameTo(DomainId, DomainId),
+            EqualTo(DomainId, DomainId),
+        }
+        let mut actions = Vec::with_capacity(args.len());
+        {
+            let db = self.ldb.db();
+            let rel = db.relation(relation)?;
+            let mut seen: HashMap<&str, ()> = HashMap::new();
+            for (i, t) in args.iter().enumerate() {
+                let col_dom = idx.domains[i];
+                match t {
+                    Term::Const(raw) => {
+                        let class = rel.schema().class_of(i);
+                        match db.code(class, raw) {
+                            // A constant outside the active domain: the atom
+                            // is unsatisfiable.
+                            None => return Ok(Bdd::FALSE),
+                            Some(code) => actions.push(Action::Pin(col_dom, code as u64)),
+                        }
+                    }
+                    Term::Var(v) => {
+                        let var_dom = self.var_doms[v];
+                        let first = seen.insert(v.as_str(), ()).is_none();
+                        if first && var_dom == col_dom {
+                            // The variable claimed this very column: the
+                            // atom already speaks its language.
+                        } else if first && self.opts.join_rename {
+                            actions.push(Action::RenameTo(col_dom, var_dom));
+                        } else {
+                            // Repeated variable, or the naive equality-cube
+                            // strategy: conjoin an equality and project the
+                            // column block away.
+                            actions.push(Action::EqualTo(col_dom, var_dom));
+                        }
+                    }
+                }
+            }
+        }
+        let mgr = self.ldb.manager_mut();
+        let mut cur = idx.root;
+        // 1. Pin constants (restrict: removes the block's variables).
+        for a in &actions {
+            if let Action::Pin(d, code) = a {
+                let cube = mgr.value_cube(*d, *code)?;
+                cur = mgr.restrict(cur, cube)?;
+            }
+        }
+        // 2. Rename first-occurrence variable columns into query domains —
+        //    the §4.2 rewrite: one linear-cost pass instead of equality
+        //    conjunctions.
+        let renames: Vec<(DomainId, DomainId)> = actions
+            .iter()
+            .filter_map(|a| match a {
+                // Variables that claimed this very column need no move.
+                Action::RenameTo(from, to) if from != to => Some((*from, *to)),
+                _ => None,
+            })
+            .collect();
+        if !renames.is_empty() {
+            cur = mgr.replace_domains(cur, &renames)?;
+        }
+        // 3. Equality constraints for repeated variables (and for every
+        //    variable under the naive strategy), then project the column
+        //    blocks away.
+        let mut quantify_out = Vec::new();
+        for a in &actions {
+            if let Action::EqualTo(col_dom, var_dom) = a {
+                let eq = mgr.domain_eq(*col_dom, *var_dom)?;
+                cur = mgr.and(cur, eq)?;
+                quantify_out.push(*col_dom);
+            }
+        }
+        if !quantify_out.is_empty() {
+            let vs = mgr.domain_varset(&quantify_out);
+            cur = mgr.exists(cur, vs)?;
+        }
+        Ok(cur)
+    }
+
+    fn compile_eq(&mut self, a: &Term, b: &Term) -> Result<Bdd> {
+        match (a, b) {
+            (Term::Const(x), Term::Const(y)) => {
+                Ok(if x == y { Bdd::TRUE } else { Bdd::FALSE })
+            }
+            (Term::Var(v), Term::Var(w)) => {
+                let (dv, dw) = (self.var_doms[v], self.var_doms[w]);
+                Ok(self.ldb.manager_mut().domain_eq(dv, dw)?)
+            }
+            (Term::Var(v), Term::Const(raw)) | (Term::Const(raw), Term::Var(v)) => {
+                let dv = self.var_doms[v];
+                // The variable's class dictates constant resolution.
+                let code = {
+                    let class = self.class_of_var(v)?;
+                    self.ldb.db().code(&class, raw)
+                };
+                match code {
+                    None => Ok(Bdd::FALSE),
+                    Some(c) => Ok(self.ldb.manager_mut().value_cube(dv, c as u64)?),
+                }
+            }
+        }
+    }
+
+    fn compile_in_set(&mut self, t: &Term, vals: &[relcheck_relstore::Raw]) -> Result<Bdd> {
+        match t {
+            Term::Const(raw) => {
+                Ok(if vals.contains(raw) { Bdd::TRUE } else { Bdd::FALSE })
+            }
+            Term::Var(v) => {
+                let dv = self.var_doms[v];
+                let codes: Vec<u64> = {
+                    let class = self.class_of_var(v)?;
+                    let db = self.ldb.db();
+                    vals.iter()
+                        .filter_map(|raw| db.code(&class, raw).map(|c| c as u64))
+                        .collect()
+                };
+                Ok(self.ldb.manager_mut().value_set(dv, &codes)?)
+            }
+        }
+    }
+
+    /// A variable's attribute class, from the inferred sorts.
+    fn class_of_var(&self, v: &str) -> Result<String> {
+        Ok(self.sorts[v].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::OrderingStrategy;
+    use relcheck_logic::eval::eval_sentence;
+    use relcheck_logic::parse;
+    use relcheck_relstore::{Database, Raw};
+
+    fn customer_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            "CUST",
+            &[("city", "city"), ("areacode", "areacode"), ("state", "state")],
+            vec![
+                vec![Raw::str("Toronto"), Raw::Int(416), Raw::str("ON")],
+                vec![Raw::str("Toronto"), Raw::Int(647), Raw::str("ON")],
+                vec![Raw::str("Oshawa"), Raw::Int(905), Raw::str("ON")],
+                vec![Raw::str("Newark"), Raw::Int(973), Raw::str("NJ")],
+                vec![Raw::str("Newark"), Raw::Int(212), Raw::str("NY")],
+            ],
+        )
+        .unwrap();
+        db.create_relation(
+            "ALLOWED",
+            &[("city", "city"), ("areacode", "areacode")],
+            vec![
+                vec![Raw::str("Toronto"), Raw::Int(416)],
+                vec![Raw::str("Toronto"), Raw::Int(647)],
+                vec![Raw::str("Oshawa"), Raw::Int(905)],
+                vec![Raw::str("Newark"), Raw::Int(973)],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    fn ldb() -> LogicalDatabase {
+        let mut l = LogicalDatabase::new(customer_db());
+        l.build_index("CUST", OrderingStrategy::ProbConverge).unwrap();
+        l.build_index("ALLOWED", OrderingStrategy::ProbConverge).unwrap();
+        l
+    }
+
+    const SENTENCES: &[&str] = &[
+        // Satisfied set-membership implication.
+        r#"forall c, a, s. CUST(c, a, s) & c = "Toronto" -> a in {416, 647}"#,
+        // Violated set-membership implication.
+        r#"forall c, a, s. CUST(c, a, s) & c = "Toronto" -> a in {416}"#,
+        // Satisfied implication city → state.
+        r#"forall c, a, s. CUST(c, a, s) & c = "Toronto" -> s = "ON""#,
+        // Violated: Newark maps to two states.
+        r#"forall c, a, s. CUST(c, a, s) & c = "Newark" -> s = "NJ""#,
+        // Inclusion dependency (violated: (Newark, 212) not allowed).
+        r#"forall c, a, s. CUST(c, a, s) -> ALLOWED(c, a)"#,
+        // Existence (satisfied).
+        r#"exists c, a, s. CUST(c, a, s) & s = "NY""#,
+        // Existence (violated).
+        r#"exists c, a, s. CUST(c, a, s) & s = "QC""#,
+        // FD areacode → state as FOL (satisfied: each code one state).
+        r#"forall c1, a, s1, c2, s2. CUST(c1, a, s1) & CUST(c2, a, s2) -> s1 = s2"#,
+        // FD city → state (violated by Newark).
+        r#"forall c, a1, s1, a2, s2. CUST(c, a1, s1) & CUST(c, a2, s2) -> s1 = s2"#,
+        // ∀∃ with join: every allowed pair has a customer.
+        r#"forall c, a. ALLOWED(c, a) -> exists s. CUST(c, a, s)"#,
+        // Mixed quantifiers with negation.
+        r#"!(exists c, a, s. CUST(c, a, s) & ALLOWED(c, a) & s = "NY")"#,
+        // Universally-quantified disjunction.
+        r#"forall c, a, s. CUST(c, a, s) -> s = "ON" | s = "NJ" | s = "NY""#,
+        // Constant outside active domain.
+        r#"exists a, s. CUST("Nowhere", a, s)"#,
+        // Ground sentence.
+        r#""CS" = "CS""#,
+    ];
+
+    #[test]
+    fn bdd_matches_brute_force_with_rewrites() {
+        let mut l = ldb();
+        for src in SENTENCES {
+            let f = parse(src).unwrap();
+            let expected = eval_sentence(l.db(), &f).unwrap();
+            let got = check_bdd(&mut l, &f, &CompileOptions::default()).unwrap();
+            assert_eq!(got, expected, "rewrites=on: {src}");
+            l.gc();
+        }
+    }
+
+    #[test]
+    fn bdd_matches_brute_force_without_rewrites() {
+        let mut l = ldb();
+        let opts = CompileOptions { use_rewrites: false, join_rename: true };
+        for src in SENTENCES {
+            let f = parse(src).unwrap();
+            let expected = eval_sentence(l.db(), &f).unwrap();
+            let got = check_bdd(&mut l, &f, &opts).unwrap();
+            assert_eq!(got, expected, "rewrites=off: {src}");
+            l.gc();
+        }
+    }
+
+    #[test]
+    fn bdd_matches_brute_force_with_naive_joins() {
+        let mut l = ldb();
+        let opts = CompileOptions { use_rewrites: true, join_rename: false };
+        for src in SENTENCES {
+            let f = parse(src).unwrap();
+            let expected = eval_sentence(l.db(), &f).unwrap();
+            let got = check_bdd(&mut l, &f, &opts).unwrap();
+            assert_eq!(got, expected, "join_rename=off: {src}");
+            l.gc();
+        }
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        // R(x, x): which cities are their own... use a self-pair relation.
+        let mut db = Database::new();
+        db.create_relation(
+            "PAIR",
+            &[("a", "k"), ("b", "k")],
+            vec![
+                vec![Raw::Int(1), Raw::Int(1)],
+                vec![Raw::Int(1), Raw::Int(2)],
+                vec![Raw::Int(3), Raw::Int(3)],
+            ],
+        )
+        .unwrap();
+        let mut l = LogicalDatabase::new(db);
+        l.build_index("PAIR", OrderingStrategy::Schema).unwrap();
+        for (src, expected) in [
+            ("exists x. PAIR(x, x)", true),
+            ("forall x, y. PAIR(x, y) -> x = y", false),
+            ("exists x, y. PAIR(x, y) & !(x = y)", true),
+        ] {
+            let f = parse(src).unwrap();
+            assert_eq!(eval_sentence(l.db(), &f).unwrap(), expected, "oracle {src}");
+            for opts in [
+                CompileOptions::default(),
+                CompileOptions { use_rewrites: false, join_rename: false },
+            ] {
+                assert_eq!(check_bdd(&mut l, &f, &opts).unwrap(), expected, "{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_limit_propagates() {
+        let mut l = ldb();
+        let budget = l.manager().live_nodes() + 2;
+        l.manager_mut().set_node_limit(Some(budget));
+        let f = parse(SENTENCES[4]).unwrap();
+        let err = check_bdd(&mut l, &f, &CompileOptions::default());
+        assert!(matches!(
+            err,
+            Err(CoreError::Bdd(relcheck_bdd::BddError::NodeLimit { .. }))
+        ));
+    }
+}

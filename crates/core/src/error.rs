@@ -1,0 +1,62 @@
+//! Unified error type for the checker stack.
+
+use relcheck_bdd::BddError;
+use relcheck_logic::LogicError;
+use relcheck_relstore::StoreError;
+use std::fmt;
+
+/// Errors surfaced by index construction and constraint checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Propagated BDD-engine error. `NodeLimit` is handled internally by the
+    /// fallback machinery and only escapes when no fallback applies.
+    Bdd(BddError),
+    /// Propagated relational-engine error.
+    Store(StoreError),
+    /// Propagated constraint-language error.
+    Logic(LogicError),
+    /// `find_violations` was asked for tuples of a constraint shape the SQL
+    /// translator does not cover.
+    UnsupportedForViolationQuery(String),
+    /// The compiler needed a relation's BDD index but none was built.
+    MissingIndex(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Bdd(e) => write!(f, "bdd: {e}"),
+            CoreError::Store(e) => write!(f, "store: {e}"),
+            CoreError::Logic(e) => write!(f, "logic: {e}"),
+            CoreError::UnsupportedForViolationQuery(what) => {
+                write!(f, "cannot enumerate violations for this constraint shape: {what}")
+            }
+            CoreError::MissingIndex(rel) => {
+                write!(f, "no BDD index built for relation {rel:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<BddError> for CoreError {
+    fn from(e: BddError) -> Self {
+        CoreError::Bdd(e)
+    }
+}
+
+impl From<StoreError> for CoreError {
+    fn from(e: StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}
+
+impl From<LogicError> for CoreError {
+    fn from(e: LogicError) -> Self {
+        CoreError::Logic(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,312 @@
+//! Logical indices: one shared BDD manager over a relational database.
+//!
+//! A [`LogicalDatabase`] wraps a [`Database`] together with a single
+//! [`BddManager`]. Each indexed relation gets one finite-domain block per
+//! column — declared in the order chosen by an [`OrderingStrategy`], since
+//! declaration order *is* the BDD variable order — and its characteristic
+//! function as the index root. Constraint compilation additionally draws
+//! *query domains* from per-class pools: the finite domains that first-order
+//! variables are renamed into (the paper's rename-based equi-join,
+//! Section 4.2).
+
+use crate::error::{CoreError, Result};
+use crate::ordering::OrderingStrategy;
+use relcheck_bdd::{Bdd, BddManager, DomainId, GcStats};
+use relcheck_relstore::Database;
+use std::collections::HashMap;
+
+/// A built index over one relation.
+#[derive(Debug, Clone)]
+pub struct RelIndex {
+    /// Finite-domain block per column, in **schema order** (regardless of
+    /// the variable ordering used to declare them).
+    pub domains: Vec<DomainId>,
+    /// Root of the characteristic-function BDD.
+    pub root: Bdd,
+    /// The column ordering the blocks were declared in.
+    pub ordering: Vec<usize>,
+}
+
+/// A database plus its BDD logical indices.
+pub struct LogicalDatabase {
+    mgr: BddManager,
+    db: Database,
+    indices: HashMap<String, RelIndex>,
+    class_sizes: HashMap<String, u64>,
+    query_pools: HashMap<String, Vec<DomainId>>,
+}
+
+impl LogicalDatabase {
+    /// Wrap a database. No indices are built yet.
+    pub fn new(db: Database) -> LogicalDatabase {
+        LogicalDatabase {
+            mgr: BddManager::new(),
+            db,
+            indices: HashMap::new(),
+            class_sizes: HashMap::new(),
+            query_pools: HashMap::new(),
+        }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The shared BDD manager.
+    pub fn manager(&self) -> &BddManager {
+        &self.mgr
+    }
+
+    /// Mutable access to the manager (query compilation needs it).
+    pub fn manager_mut(&mut self) -> &mut BddManager {
+        &mut self.mgr
+    }
+
+    /// The finite-domain size used for an attribute class: the class
+    /// dictionary's active-domain size, widened to cover any raw codes in
+    /// already-registered relations. Frozen once first used (BDD blocks
+    /// cannot grow).
+    pub fn class_domain_size(&mut self, class: &str) -> u64 {
+        if let Some(&s) = self.class_sizes.get(class) {
+            return s;
+        }
+        let mut size = self.db.class_size(class).max(1);
+        for name in self.db.relation_names().map(str::to_owned).collect::<Vec<_>>() {
+            let rel = self.db.relation(&name).expect("name enumerated");
+            for (i, col) in rel.schema().columns().iter().enumerate() {
+                if col.class == class {
+                    let max = rel.col(i).iter().copied().max().map_or(0, |m| m as u64 + 1);
+                    size = size.max(max);
+                }
+            }
+        }
+        self.class_sizes.insert(class.to_owned(), size);
+        size
+    }
+
+    /// Is this relation indexed?
+    pub fn has_index(&self, name: &str) -> bool {
+        self.indices.contains_key(name)
+    }
+
+    /// The index for a relation (must have been built).
+    pub fn index(&self, name: &str) -> Option<&RelIndex> {
+        self.indices.get(name)
+    }
+
+    /// Build (or rebuild) the BDD index for a relation using the given
+    /// ordering strategy. Fails with `BddError::NodeLimit` if the manager's
+    /// node limit is exceeded — the caller should then mark the relation
+    /// SQL-only (paper: "we do not materialize the BDD").
+    pub fn build_index(&mut self, name: &str, strategy: OrderingStrategy) -> Result<&RelIndex> {
+        let rel = self.db.relation(name)?.clone();
+        let dom_sizes: Vec<u64> = rel
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.class.clone())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|class| self.class_domain_size(&class))
+            .collect();
+        let ordering = strategy.order(&rel, &dom_sizes);
+        let mut domains: Vec<Option<DomainId>> = vec![None; rel.arity()];
+        for &col in &ordering {
+            domains[col] = Some(self.mgr.add_domain(dom_sizes[col])?);
+        }
+        let domains: Vec<DomainId> = domains.into_iter().map(Option::unwrap).collect();
+        let rows: Vec<Vec<u64>> =
+            rel.rows().map(|r| r.iter().map(|&v| v as u64).collect()).collect();
+        let root = self.mgr.relation_from_rows(&domains, &rows)?;
+        self.indices.insert(name.to_owned(), RelIndex { domains, root, ordering });
+        Ok(&self.indices[name])
+    }
+
+    /// Insert a tuple into both the relation and its BDD index (if built).
+    /// This is the paper's incremental-maintenance operation (Figure 4(b)).
+    pub fn insert_tuple(&mut self, name: &str, row: &[u32]) -> Result<bool> {
+        let fresh = self.db.relation_mut(name)?.insert(row)?;
+        if fresh {
+            if let Some(idx) = self.indices.get(name) {
+                let domains = idx.domains.clone();
+                let root = idx.root;
+                let values: Vec<u64> = row.iter().map(|&v| v as u64).collect();
+                let new_root = self.mgr.insert_row(root, &domains, &values)?;
+                self.indices.get_mut(name).expect("just read").root = new_root;
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// Delete a tuple from both representations.
+    pub fn delete_tuple(&mut self, name: &str, row: &[u32]) -> Result<bool> {
+        let existed = self.db.relation_mut(name)?.delete(row)?;
+        if existed {
+            if let Some(idx) = self.indices.get(name) {
+                let domains = idx.domains.clone();
+                let root = idx.root;
+                let values: Vec<u64> = row.iter().map(|&v| v as u64).collect();
+                let new_root = self.mgr.delete_row(root, &domains, &values)?;
+                self.indices.get_mut(name).expect("just read").root = new_root;
+            }
+        }
+        Ok(existed)
+    }
+
+    /// Get the `slot`-th query domain of an attribute class, allocating it
+    /// (and any earlier slots) on first use. All pool domains of a class
+    /// share its frozen size, so renames between relation blocks and query
+    /// blocks are always width-compatible.
+    pub fn query_domain(&mut self, class: &str, slot: usize) -> Result<DomainId> {
+        let size = self.class_domain_size(class);
+        let pool = self.query_pools.entry(class.to_owned()).or_default();
+        while pool.len() <= slot {
+            // Borrow dance: allocate outside the entry borrow.
+            let d = {
+                let mgr = &mut self.mgr;
+                mgr.add_domain(size)
+            };
+            match d {
+                Ok(d) => pool.push(d),
+                Err(e) => return Err(CoreError::Bdd(e)),
+            }
+        }
+        Ok(pool[slot])
+    }
+
+    /// Garbage-collect everything except the index roots.
+    pub fn gc(&mut self) -> GcStats {
+        let roots: Vec<Bdd> = self.indices.values().map(|i| i.root).collect();
+        self.mgr.gc(&roots)
+    }
+
+    /// Total node count of all index roots (shared nodes counted once) —
+    /// the memory figure of Figure 4(c).
+    pub fn index_size(&self) -> usize {
+        let roots: Vec<Bdd> = self.indices.values().map(|i| i.root).collect();
+        self.mgr.size_shared(&roots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcheck_relstore::Raw;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            "R",
+            &[("city", "city"), ("areacode", "areacode")],
+            vec![
+                vec![Raw::str("Toronto"), Raw::Int(416)],
+                vec![Raw::str("Toronto"), Raw::Int(647)],
+                vec![Raw::str("Oshawa"), Raw::Int(905)],
+                vec![Raw::str("Newark"), Raw::Int(973)],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn build_index_and_count() {
+        let mut ldb = LogicalDatabase::new(db());
+        ldb.build_index("R", OrderingStrategy::Schema).unwrap();
+        let idx = ldb.index("R").unwrap().clone();
+        let count = {
+            let mgr = ldb.manager_mut();
+            mgr.tuple_count(idx.root, &idx.domains).unwrap()
+        };
+        assert_eq!(count, 4.0);
+        assert!(ldb.index_size() > 0);
+    }
+
+    #[test]
+    fn index_respects_ordering_strategy() {
+        let mut ldb = LogicalDatabase::new(db());
+        ldb.build_index("R", OrderingStrategy::ProbConverge).unwrap();
+        let idx = ldb.index("R").unwrap();
+        let mut o = idx.ordering.clone();
+        o.sort_unstable();
+        assert_eq!(o, vec![0, 1]);
+        // Domains are stored in schema order regardless of declaration.
+        assert_eq!(idx.domains.len(), 2);
+    }
+
+    #[test]
+    fn insert_and_delete_maintain_both_sides() {
+        let mut ldb = LogicalDatabase::new(db());
+        ldb.build_index("R", OrderingStrategy::Schema).unwrap();
+        // Insert a new (city=Oshawa, areacode=416) pair using existing codes.
+        let city = ldb.db().code("city", &Raw::str("Oshawa")).unwrap();
+        let ac = ldb.db().code("areacode", &Raw::Int(416)).unwrap();
+        assert!(ldb.insert_tuple("R", &[city, ac]).unwrap());
+        assert!(!ldb.insert_tuple("R", &[city, ac]).unwrap(), "idempotent");
+        let idx = ldb.index("R").unwrap().clone();
+        let contains = ldb
+            .manager()
+            .contains(idx.root, &idx.domains, &[city as u64, ac as u64])
+            .unwrap();
+        assert!(contains);
+        assert_eq!(ldb.db().relation("R").unwrap().len(), 5);
+        // Delete it again.
+        assert!(ldb.delete_tuple("R", &[city, ac]).unwrap());
+        let idx = ldb.index("R").unwrap().clone();
+        assert!(!ldb
+            .manager()
+            .contains(idx.root, &idx.domains, &[city as u64, ac as u64])
+            .unwrap());
+        assert_eq!(ldb.db().relation("R").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn query_domains_are_pooled_and_width_compatible() {
+        let mut ldb = LogicalDatabase::new(db());
+        ldb.build_index("R", OrderingStrategy::Schema).unwrap();
+        let q0 = ldb.query_domain("city", 0).unwrap();
+        let q0_again = ldb.query_domain("city", 0).unwrap();
+        assert_eq!(q0, q0_again, "pool slots are stable");
+        let q1 = ldb.query_domain("city", 1).unwrap();
+        assert_ne!(q0, q1);
+        // Rename from the relation's city block into the query domain works
+        // (equal widths).
+        let idx = ldb.index("R").unwrap().clone();
+        let mgr = ldb.manager_mut();
+        let moved = mgr.replace_domains(idx.root, &[(idx.domains[0], q0)]);
+        assert!(moved.is_ok());
+    }
+
+    #[test]
+    fn gc_keeps_index_roots() {
+        let mut ldb = LogicalDatabase::new(db());
+        ldb.build_index("R", OrderingStrategy::Schema).unwrap();
+        let idx = ldb.index("R").unwrap().clone();
+        // Create garbage.
+        {
+            let mgr = ldb.manager_mut();
+            let d = idx.domains[1];
+            let _junk = mgr.value_set(d, &[0, 1, 2]).unwrap();
+        }
+        let stats = ldb.gc();
+        assert!(stats.freed > 0);
+        let count = {
+            let mgr = ldb.manager_mut();
+            mgr.tuple_count(idx.root, &idx.domains).unwrap()
+        };
+        assert_eq!(count, 4.0, "index root survives GC");
+    }
+
+    #[test]
+    fn node_limit_fails_index_build() {
+        let mut ldb = LogicalDatabase::new(db());
+        ldb.manager_mut().set_node_limit(Some(2));
+        let err = ldb.build_index("R", OrderingStrategy::Schema);
+        assert!(matches!(err, Err(CoreError::Bdd(relcheck_bdd::BddError::NodeLimit { .. }))));
+        // Recoverable: raise the limit and retry.
+        ldb.manager_mut().set_node_limit(None);
+        ldb.gc();
+        assert!(ldb.build_index("R", OrderingStrategy::Schema).is_ok());
+    }
+}

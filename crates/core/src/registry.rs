@@ -1,0 +1,240 @@
+//! Constraint registry with dependency-driven re-validation.
+//!
+//! The paper's motivation is *dynamic* databases: schemas and contents
+//! evolve, and after each batch of updates one wants to know which
+//! constraints broke — without re-checking the ones that cannot have been
+//! affected. A [`ConstraintRegistry`] tracks named constraints, which
+//! relations each one reads, and the last verdict; after updates, only the
+//! constraints touching a modified relation are re-checked (the BDD
+//! indices themselves are maintained incrementally by
+//! [`crate::index::LogicalDatabase`]).
+
+use crate::checker::{CheckReport, Checker};
+use crate::error::Result;
+use relcheck_logic::Formula;
+use std::collections::{HashMap, HashSet};
+
+/// A registered constraint.
+#[derive(Debug, Clone)]
+struct Entry {
+    name: String,
+    formula: Formula,
+    reads: HashSet<String>,
+    last: Option<bool>,
+}
+
+/// Verdict source in a [`ConstraintRegistry::revalidate`] report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Re-checked this round (a relation it reads changed).
+    Checked {
+        /// Whether the constraint holds now.
+        holds: bool,
+    },
+    /// Untouched by the update set; the cached verdict still applies.
+    Cached {
+        /// The cached result.
+        holds: bool,
+    },
+}
+
+impl Verdict {
+    /// The boolean outcome regardless of provenance.
+    pub fn holds(&self) -> bool {
+        match *self {
+            Verdict::Checked { holds } | Verdict::Cached { holds } => holds,
+        }
+    }
+}
+
+/// Named constraints with dependency tracking (see module docs).
+///
+/// ```
+/// use relcheck_core::checker::{Checker, CheckerOptions};
+/// use relcheck_core::registry::{ConstraintRegistry, Verdict};
+/// use relcheck_logic::parse;
+/// use relcheck_relstore::{Database, Raw};
+///
+/// let mut db = Database::new();
+/// db.create_relation("R", &[("x", "k")], vec![vec![Raw::Int(1)]]).unwrap();
+/// db.create_relation("S", &[("x", "k")], vec![vec![Raw::Int(1)]]).unwrap();
+/// let mut checker = Checker::new(db, CheckerOptions::default());
+///
+/// let mut registry = ConstraintRegistry::new();
+/// registry.register("r-in-s", parse("forall x. R(x) -> S(x)").unwrap());
+/// registry.register("s-nonempty", parse("exists x. S(x)").unwrap());
+/// registry.validate_all(&mut checker).unwrap();
+///
+/// // An update touches only R: the S-only constraint is served from cache.
+/// let verdicts = registry.revalidate(&mut checker, &["R"]).unwrap();
+/// assert!(matches!(verdicts[0].1, Verdict::Checked { holds: true }));
+/// assert!(matches!(verdicts[1].1, Verdict::Cached { holds: true }));
+/// ```
+#[derive(Debug, Default)]
+pub struct ConstraintRegistry {
+    entries: Vec<Entry>,
+}
+
+impl ConstraintRegistry {
+    /// Empty registry.
+    pub fn new() -> ConstraintRegistry {
+        ConstraintRegistry::default()
+    }
+
+    /// Register a constraint. Returns false (and ignores the call) if the
+    /// name is already taken.
+    pub fn register(&mut self, name: &str, formula: Formula) -> bool {
+        if self.entries.iter().any(|e| e.name == name) {
+            return false;
+        }
+        let reads = referenced(&formula);
+        self.entries.push(Entry { name: name.to_owned(), formula, reads, last: None });
+        true
+    }
+
+    /// Names in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// The formula behind a name.
+    pub fn formula(&self, name: &str) -> Option<&Formula> {
+        self.entries.iter().find(|e| e.name == name).map(|e| &e.formula)
+    }
+
+    /// Validate everything, caching verdicts. Returns `(name, report)` in
+    /// registration order.
+    pub fn validate_all(&mut self, checker: &mut Checker) -> Result<Vec<(String, CheckReport)>> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        for e in &mut self.entries {
+            let report = checker.check(&e.formula)?;
+            e.last = Some(report.holds);
+            out.push((e.name.clone(), report));
+        }
+        Ok(out)
+    }
+
+    /// After updates to `touched` relations, re-check only the constraints
+    /// reading any of them; the rest report their cached verdict.
+    /// Constraints never validated before are always checked.
+    pub fn revalidate(
+        &mut self,
+        checker: &mut Checker,
+        touched: &[&str],
+    ) -> Result<Vec<(String, Verdict)>> {
+        let touched: HashSet<&str> = touched.iter().copied().collect();
+        let mut out = Vec::with_capacity(self.entries.len());
+        for e in &mut self.entries {
+            let dirty =
+                e.last.is_none() || e.reads.iter().any(|r| touched.contains(r.as_str()));
+            let verdict = if dirty {
+                let report = checker.check(&e.formula)?;
+                e.last = Some(report.holds);
+                Verdict::Checked { holds: report.holds }
+            } else {
+                Verdict::Cached { holds: e.last.expect("checked not-none above") }
+            };
+            out.push((e.name.clone(), verdict));
+        }
+        Ok(out)
+    }
+
+    /// Currently-cached verdicts (`None` = never validated).
+    pub fn cached(&self) -> HashMap<String, Option<bool>> {
+        self.entries.iter().map(|e| (e.name.clone(), e.last)).collect()
+    }
+}
+
+fn referenced(f: &Formula) -> HashSet<String> {
+    fn go(f: &Formula, out: &mut HashSet<String>) {
+        match f {
+            Formula::Atom { relation, .. } => {
+                out.insert(relation.clone());
+            }
+            Formula::Not(g) => go(g, out),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| go(g, out)),
+            Formula::Implies(a, b) => {
+                go(a, out);
+                go(b, out);
+            }
+            Formula::Exists(_, g) | Formula::Forall(_, g) => go(g, out),
+            _ => {}
+        }
+    }
+    let mut out = HashSet::new();
+    go(f, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::CheckerOptions;
+    use relcheck_logic::parse;
+    use relcheck_relstore::{Database, Raw};
+
+    fn setup() -> (Checker, ConstraintRegistry) {
+        let mut db = Database::new();
+        db.create_relation(
+            "R",
+            &[("x", "k"), ("y", "k")],
+            vec![
+                vec![Raw::Int(1), Raw::Int(1)],
+                vec![Raw::Int(2), Raw::Int(2)],
+            ],
+        )
+        .unwrap();
+        db.create_relation("S", &[("x", "k")], vec![vec![Raw::Int(1)], vec![Raw::Int(2)]])
+            .unwrap();
+        let ck = Checker::new(db, CheckerOptions::default());
+        let mut reg = ConstraintRegistry::new();
+        assert!(reg.register("r-diagonal", parse("forall x, y. R(x, y) -> x = y").unwrap()));
+        assert!(reg.register("r-covers-s", parse("forall x. S(x) -> exists y. R(x, y)").unwrap()));
+        assert!(reg.register("s-nonempty", parse("exists x. S(x)").unwrap()));
+        (ck, reg)
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let (_, mut reg) = setup();
+        assert!(!reg.register("r-diagonal", parse("exists x. S(x)").unwrap()));
+        assert_eq!(reg.names().len(), 3);
+    }
+
+    #[test]
+    fn validate_all_caches_verdicts() {
+        let (mut ck, mut reg) = setup();
+        let reports = reg.validate_all(&mut ck).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|(_, r)| r.holds));
+        assert!(reg.cached().values().all(|v| *v == Some(true)));
+    }
+
+    #[test]
+    fn revalidate_only_touches_dependents() {
+        let (mut ck, mut reg) = setup();
+        reg.validate_all(&mut ck).unwrap();
+        // Break R's diagonal property via the incremental index.
+        let one = ck.logical_db().db().code("k", &Raw::Int(1)).unwrap();
+        let two = ck.logical_db().db().code("k", &Raw::Int(2)).unwrap();
+        ck.logical_db_mut().insert_tuple("R", &[one, two]).unwrap();
+        let verdicts = reg.revalidate(&mut ck, &["R"]).unwrap();
+        let by_name: HashMap<_, _> = verdicts.into_iter().collect();
+        assert!(matches!(by_name["r-diagonal"], Verdict::Checked { holds: false }));
+        assert!(matches!(by_name["r-covers-s"], Verdict::Checked { holds: true }));
+        // s-nonempty does not read R: cached.
+        assert!(matches!(by_name["s-nonempty"], Verdict::Cached { holds: true }));
+    }
+
+    #[test]
+    fn unvalidated_constraints_always_check() {
+        let (mut ck, mut reg) = setup();
+        // No validate_all first: everything is dirty even with no touches.
+        let verdicts = reg.revalidate(&mut ck, &[]).unwrap();
+        assert!(verdicts.iter().all(|(_, v)| matches!(v, Verdict::Checked { .. })));
+        // Second pass with no touches: everything cached.
+        let verdicts = reg.revalidate(&mut ck, &[]).unwrap();
+        assert!(verdicts.iter().all(|(_, v)| matches!(v, Verdict::Cached { .. })));
+        assert!(verdicts.iter().all(|(_, v)| v.holds()));
+    }
+}

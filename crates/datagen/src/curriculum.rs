@@ -1,0 +1,174 @@
+//! The STUDENT / COURSE / TAKES example from the paper's introduction.
+//!
+//! Policy (Formula 1): every student in the "CS" department must take some
+//! course in the "Programming" area. The generator controls how many CS
+//! students violate it, so both the satisfied and the violated paths of the
+//! checker get exercised.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relcheck_relstore::{Database, Raw};
+
+/// Generator configuration for the curriculum database.
+#[derive(Debug, Clone)]
+pub struct CurriculumConfig {
+    /// Number of students.
+    pub students: usize,
+    /// Number of courses.
+    pub courses: usize,
+    /// Departments (the first is "CS").
+    pub departments: usize,
+    /// Course areas (the first is "Programming").
+    pub areas: usize,
+    /// Courses taken per student.
+    pub courses_per_student: usize,
+    /// Number of CS students who take **no** Programming course.
+    pub violating_students: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CurriculumConfig {
+    fn default() -> Self {
+        CurriculumConfig {
+            students: 2000,
+            courses: 200,
+            departments: 8,
+            areas: 10,
+            courses_per_student: 4,
+            violating_students: 0,
+            seed: 42,
+        }
+    }
+}
+
+fn dept_name(i: usize) -> String {
+    if i == 0 { "CS".to_owned() } else { format!("dept{i}") }
+}
+
+fn area_name(i: usize) -> String {
+    if i == 0 { "Programming".to_owned() } else { format!("area{i}") }
+}
+
+/// Populate `db` with STUDENT(student_id, department, contact),
+/// COURSE(course_id, area) and TAKES(student_id, course_id).
+///
+/// Returns the ids of the injected violating students.
+pub fn populate(db: &mut Database, cfg: &CurriculumConfig) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Courses: area assigned round-robin so every area (incl. Programming)
+    // has courses.
+    let course_area: Vec<usize> = (0..cfg.courses).map(|c| c % cfg.areas).collect();
+    let programming_courses: Vec<usize> =
+        (0..cfg.courses).filter(|&c| course_area[c] == 0).collect();
+    assert!(!programming_courses.is_empty(), "need at least one Programming course");
+
+    let mut students = Vec::with_capacity(cfg.students);
+    let mut takes = Vec::new();
+    let mut violators = Vec::new();
+    for s in 0..cfg.students {
+        let dept = rng.gen_range(0..cfg.departments);
+        let is_cs = dept == 0;
+        let make_violator = is_cs && violators.len() < cfg.violating_students;
+        students.push(vec![
+            Raw::Int(s as i64),
+            Raw::str(dept_name(dept)),
+            Raw::str(format!("contact{s}")),
+        ]);
+        let mut enrolled = std::collections::HashSet::new();
+        while enrolled.len() < cfg.courses_per_student.min(cfg.courses) {
+            let c = rng.gen_range(0..cfg.courses);
+            if make_violator && course_area[c] == 0 {
+                continue; // violators avoid Programming courses
+            }
+            enrolled.insert(c);
+        }
+        if is_cs && !make_violator {
+            // Guarantee compliance: ensure one Programming course.
+            if !enrolled.iter().any(|&c| course_area[c] == 0) {
+                let c = programming_courses[rng.gen_range(0..programming_courses.len())];
+                enrolled.insert(c);
+            }
+        }
+        if make_violator {
+            violators.push(s as i64);
+        }
+        for c in enrolled {
+            takes.push(vec![Raw::Int(s as i64), Raw::Int(c as i64)]);
+        }
+    }
+    let courses: Vec<Vec<Raw>> = (0..cfg.courses)
+        .map(|c| vec![Raw::Int(c as i64), Raw::str(area_name(course_area[c]))])
+        .collect();
+
+    db.create_relation(
+        "STUDENT",
+        &[("student_id", "student_id"), ("department", "department"), ("contact", "contact")],
+        students,
+    )
+    .expect("fresh db");
+    db.create_relation("COURSE", &[("course_id", "course_id"), ("area", "area")], courses)
+        .expect("fresh db");
+    db.create_relation(
+        "TAKES",
+        &[("student_id", "student_id"), ("course_id", "course_id")],
+        takes,
+    )
+    .expect("fresh db");
+    violators
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcheck_relstore::{algebra, plan::{execute, Plan}};
+
+    fn check_violators(db: &Database) -> usize {
+        // SQL formulation from the paper's introduction: CS students with no
+        // Programming TAKES partner.
+        let cs_students =
+            Plan::scan("STUDENT").select_eq(1, Raw::str("CS")).project(vec![0]);
+        let programming_takes = Plan::scan("TAKES")
+            .join(
+                Plan::scan("COURSE").select_eq(1, Raw::str("Programming")),
+                vec![(1, 0)],
+            )
+            .project(vec![0]);
+        let violations = cs_students.anti_join(programming_takes, vec![(0, 0)]);
+        execute(db, &violations).unwrap().len()
+    }
+
+    #[test]
+    fn clean_database_satisfies_policy() {
+        let mut db = Database::new();
+        let v = populate(&mut db, &CurriculumConfig::default());
+        assert!(v.is_empty());
+        assert_eq!(check_violators(&db), 0);
+    }
+
+    #[test]
+    fn injected_violators_are_found() {
+        let mut db = Database::new();
+        let cfg = CurriculumConfig { violating_students: 7, ..Default::default() };
+        let v = populate(&mut db, &cfg);
+        assert_eq!(v.len(), 7);
+        assert_eq!(check_violators(&db), 7);
+    }
+
+    #[test]
+    fn relations_have_expected_shapes() {
+        let mut db = Database::new();
+        let cfg = CurriculumConfig { students: 100, ..Default::default() };
+        populate(&mut db, &cfg);
+        assert_eq!(db.relation("STUDENT").unwrap().len(), 100);
+        assert_eq!(db.relation("COURSE").unwrap().len(), cfg.courses);
+        let takes = db.relation("TAKES").unwrap();
+        assert!(takes.len() >= 100 * cfg.courses_per_student / 2);
+        // Student ids in TAKES are a subset of STUDENT ids.
+        let student_ids = algebra::project(db.relation("STUDENT").unwrap(), &[0]).unwrap();
+        let dangling =
+            algebra::anti_join(takes, &student_ids, &[(0, 0)]).unwrap();
+        assert!(dangling.is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # relcheck-datagen — synthetic workloads for the ICDE 2007 experiments
+//!
+//! Three generator families, mirroring Section 5 of the paper:
+//!
+//! * [`prod`] — the structured relation families **1-PROD** (a Cartesian
+//!   product of smaller random relations), **k-PROD** (a union of `k` such
+//!   products over random attribute partitions) and **RANDOM** (uniform
+//!   random tuples). These drive the variable-ordering experiments
+//!   (Figures 2 and 3).
+//! * [`customer`] — a synthetic stand-in for the paper's proprietary AT&T
+//!   customer database: schema `(areacode, number, city, state, zipcode)`
+//!   with the paper's active-domain sizes `(281, 889, 10894, 50, 17557)` and
+//!   embedded correlations (`city → state`, `areacode → state`,
+//!   `zipcode → city`) plus controllable violation injection. Drives the
+//!   index-maintenance and constraint-checking experiments (Figures 4, 5).
+//! * [`curriculum`] — the STUDENT / COURSE / TAKES schema from the paper's
+//!   introduction, with a controllable fraction of students violating the
+//!   "CS students take a Programming course" policy (Formula 1).
+
+pub mod curriculum;
+pub mod customer;
+pub mod prod;
+
+pub use customer::{CustomerConfig, CustomerData};
+pub use prod::{gen_kprod, gen_random, Generated};

@@ -1,0 +1,328 @@
+//! The constraint AST: terms and first-order formulas.
+
+use relcheck_relstore::Raw;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term: a first-order variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A variable, identified by name.
+    Var(String),
+    /// A constant raw value.
+    Const(Raw),
+}
+
+impl Term {
+    /// Variable constructor shorthand.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(Raw::Str(s)) => write!(f, "{s:?}"),
+            Term::Const(Raw::Int(i)) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// A first-order formula over relation atoms, with n-ary connectives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// Relation membership `R(t₁, …, tₙ)`.
+    Atom {
+        /// The relation name.
+        relation: String,
+        /// Argument terms, one per column.
+        args: Vec<Term>,
+    },
+    /// Term equality `t₁ = t₂`.
+    Eq(Term, Term),
+    /// Set membership `t ∈ {v₁, …}` — the paper's
+    /// `areacode ∈ {416, 647, 905}` predicates.
+    InSet(Term, Vec<Raw>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// n-ary conjunction (empty = true).
+    And(Vec<Formula>),
+    /// n-ary disjunction (empty = false).
+    Or(Vec<Formula>),
+    /// Implication `lhs ⇒ rhs`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Existential quantification over one or more variables.
+    Exists(Vec<String>, Box<Formula>),
+    /// Universal quantification over one or more variables.
+    Forall(Vec<String>, Box<Formula>),
+}
+
+impl Formula {
+    /// Atom constructor shorthand.
+    pub fn atom(relation: &str, args: Vec<Term>) -> Formula {
+        Formula::Atom { relation: relation.to_owned(), args }
+    }
+
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)] // builder-style, like the rest
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// `self ∧ other`.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(vec![self, other])
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(vec![self, other])
+    }
+
+    /// `self ⇒ other`.
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// `∃ vars. self`.
+    pub fn exists(vars: &[&str], body: Formula) -> Formula {
+        Formula::Exists(vars.iter().map(|s| (*s).to_owned()).collect(), Box::new(body))
+    }
+
+    /// `∀ vars. self`.
+    pub fn forall(vars: &[&str], body: Formula) -> Formula {
+        Formula::Forall(vars.iter().map(|s| (*s).to_owned()).collect(), Box::new(body))
+    }
+
+    /// The free variables, sorted by name.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut free = BTreeSet::new();
+        self.collect_free(&mut Vec::new(), &mut free);
+        free.into_iter().collect()
+    }
+
+    fn collect_free(&self, bound: &mut Vec<String>, free: &mut BTreeSet<String>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom { args, .. } => {
+                for t in args {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            free.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                for t in [a, b] {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            free.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::InSet(t, _) => {
+                if let Term::Var(v) = t {
+                    if !bound.contains(v) {
+                        free.insert(v.clone());
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, free),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, free);
+                }
+            }
+            Formula::Implies(a, b) => {
+                a.collect_free(bound, free);
+                b.collect_free(bound, free);
+            }
+            Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
+                let n = bound.len();
+                bound.extend(vs.iter().cloned());
+                f.collect_free(bound, free);
+                bound.truncate(n);
+            }
+        }
+    }
+
+    /// True if the formula is a sentence (no free variables).
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// Rename every free occurrence of `from` to `to` (capture is the
+    /// caller's responsibility — used by standardize-apart with fresh
+    /// names).
+    pub(crate) fn rename_free(&self, from: &str, to: &str) -> Formula {
+        let ren = |t: &Term| match t {
+            Term::Var(v) if v == from => Term::Var(to.to_owned()),
+            other => other.clone(),
+        };
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom { relation, args } => Formula::Atom {
+                relation: relation.clone(),
+                args: args.iter().map(ren).collect(),
+            },
+            Formula::Eq(a, b) => Formula::Eq(ren(a), ren(b)),
+            Formula::InSet(t, vs) => Formula::InSet(ren(t), vs.clone()),
+            Formula::Not(f) => Formula::Not(Box::new(f.rename_free(from, to))),
+            Formula::And(fs) => {
+                Formula::And(fs.iter().map(|f| f.rename_free(from, to)).collect())
+            }
+            Formula::Or(fs) => {
+                Formula::Or(fs.iter().map(|f| f.rename_free(from, to)).collect())
+            }
+            Formula::Implies(a, b) => Formula::Implies(
+                Box::new(a.rename_free(from, to)),
+                Box::new(b.rename_free(from, to)),
+            ),
+            Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
+                let body = if vs.iter().any(|v| v == from) {
+                    // `from` is shadowed below: stop.
+                    (**f).clone()
+                } else {
+                    f.rename_free(from, to)
+                };
+                match self {
+                    Formula::Exists(..) => Formula::Exists(vs.clone(), Box::new(body)),
+                    _ => Formula::Forall(vs.clone(), Box::new(body)),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom { relation, args } => {
+                write!(f, "{relation}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+            Formula::InSet(t, vs) => {
+                write!(f, "{t} in {{")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match v {
+                        Raw::Str(s) => write!(f, "{s:?}")?,
+                        Raw::Int(n) => write!(f, "{n}")?,
+                    }
+                }
+                write!(f, "}}")
+            }
+            Formula::Not(g) => write!(f, "!({g})"),
+            Formula::And(fs) => {
+                if fs.is_empty() {
+                    return write!(f, "true");
+                }
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                if fs.is_empty() {
+                    return write!(f, "false");
+                }
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Implies(a, b) => write!(f, "({a} -> {b})"),
+            Formula::Exists(vs, g) => write!(f, "exists {}. {g}", vs.join(", ")),
+            Formula::Forall(vs, g) => write!(f, "forall {}. {g}", vs.join(", ")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Formula {
+        // forall s. STUDENT(s, "CS") -> exists k. TAKES(s, k)
+        Formula::forall(
+            &["s"],
+            Formula::atom("STUDENT", vec![Term::var("s"), Term::Const(Raw::str("CS"))])
+                .implies(Formula::exists(
+                    &["k"],
+                    Formula::atom("TAKES", vec![Term::var("s"), Term::var("k")]),
+                )),
+        )
+    }
+
+    #[test]
+    fn free_vars_respects_binding() {
+        let f = sample();
+        assert!(f.free_vars().is_empty());
+        assert!(f.is_sentence());
+        let open = Formula::atom("R", vec![Term::var("x"), Term::var("y")]);
+        assert_eq!(open.free_vars(), vec!["x".to_owned(), "y".to_owned()]);
+    }
+
+    #[test]
+    fn free_vars_with_shadowing() {
+        // exists x. R(x) & S(x)  — all bound.
+        let f = Formula::exists(
+            &["x"],
+            Formula::atom("R", vec![Term::var("x")])
+                .and(Formula::atom("S", vec![Term::var("x")])),
+        );
+        assert!(f.is_sentence());
+        // x free outside, bound inside: (R(x) & exists x. S(x)) has free x.
+        let g = Formula::atom("R", vec![Term::var("x")])
+            .and(Formula::exists(&["x"], Formula::atom("S", vec![Term::var("x")])));
+        assert_eq!(g.free_vars(), vec!["x".to_owned()]);
+    }
+
+    #[test]
+    fn rename_free_stops_at_shadow() {
+        let g = Formula::atom("R", vec![Term::var("x")])
+            .and(Formula::exists(&["x"], Formula::atom("S", vec![Term::var("x")])));
+        let r = g.rename_free("x", "z");
+        // Outer occurrence renamed; inner (bound) untouched.
+        assert_eq!(r.free_vars(), vec!["z".to_owned()]);
+        let s = format!("{r}");
+        assert!(s.contains("R(z)"), "{s}");
+        assert!(s.contains("S(x)"), "{s}");
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let f = sample();
+        let printed = format!("{f}");
+        let reparsed = crate::parse(&printed).unwrap();
+        assert_eq!(f, reparsed);
+    }
+}

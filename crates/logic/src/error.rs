@@ -1,0 +1,70 @@
+//! Error type for constraint parsing, analysis and evaluation.
+
+use std::fmt;
+
+/// Errors from the logic layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// Concrete-syntax error with position and message.
+    Parse {
+        /// Byte offset in the input.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An atom referenced a relation missing from the database.
+    UnknownRelation(String),
+    /// An atom's argument count disagrees with the relation's arity.
+    AtomArityMismatch {
+        /// The relation.
+        relation: String,
+        /// Its arity.
+        expected: usize,
+        /// Arguments supplied.
+        got: usize,
+    },
+    /// A variable was used at positions of two different attribute classes.
+    SortConflict {
+        /// The variable.
+        var: String,
+        /// First class seen.
+        first: String,
+        /// Conflicting class.
+        second: String,
+    },
+    /// A variable's attribute class could not be inferred (it appears in no
+    /// relation atom, directly or through equalities).
+    UnsortedVariable(String),
+    /// A formula with free variables where a sentence was required.
+    FreeVariables(Vec<String>),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            LogicError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            LogicError::AtomArityMismatch { relation, expected, got } => write!(
+                f,
+                "atom {relation:?} expects {expected} arguments, got {got}"
+            ),
+            LogicError::SortConflict { var, first, second } => write!(
+                f,
+                "variable {var:?} used with conflicting classes {first:?} and {second:?}"
+            ),
+            LogicError::UnsortedVariable(v) => {
+                write!(f, "cannot infer the attribute class of variable {v:?}")
+            }
+            LogicError::FreeVariables(vs) => {
+                write!(f, "constraint must be a sentence; free variables: {vs:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, LogicError>;

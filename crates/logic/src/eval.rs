@@ -1,0 +1,305 @@
+//! Brute-force model-theoretic evaluation of constraints.
+//!
+//! Quantifiers range over the **active domain** of the variable's inferred
+//! attribute class (all codes in the class dictionary) — the same universe
+//! the BDD finite-domain encoding uses, so this evaluator is the semantics
+//! oracle for both the BDD compiler and the SQL translator. Cost is
+//! exponential in quantifier depth; use it on small databases (tests) only.
+
+use crate::ast::{Formula, Term};
+use crate::error::{LogicError, Result};
+use crate::sorts::infer_sorts;
+use crate::transform::standardize_apart;
+use relcheck_relstore::Database;
+#[cfg(test)]
+use relcheck_relstore::Raw;
+use std::collections::{HashMap, HashSet};
+
+/// Prepared evaluation context: inferred sorts plus hashed relation extents.
+pub struct EvalContext<'a> {
+    db: &'a Database,
+    sorts: HashMap<String, String>,
+    extents: HashMap<String, HashSet<Vec<u32>>>,
+    formula: Formula,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Prepare a sentence for evaluation (standardizes apart, infers sorts,
+    /// hashes the extents of every mentioned relation).
+    pub fn new(db: &'a Database, f: &Formula) -> Result<EvalContext<'a>> {
+        let free = f.free_vars();
+        if !free.is_empty() {
+            return Err(LogicError::FreeVariables(free));
+        }
+        let f = standardize_apart(f);
+        let sorts = infer_sorts(db, &f)?;
+        let mut extents = HashMap::new();
+        collect_relations(&f, &mut |name| {
+            if !extents.contains_key(name) {
+                let rel = db.relation(name).expect("sorts checked relations exist");
+                extents.insert(name.to_owned(), rel.rows().collect());
+            }
+        });
+        Ok(EvalContext { db, sorts, extents, formula: f })
+    }
+
+    /// The inferred sorts (variable → attribute class).
+    pub fn sorts(&self) -> &HashMap<String, String> {
+        &self.sorts
+    }
+
+    /// Decide the sentence.
+    pub fn eval(&self) -> bool {
+        let mut env = HashMap::new();
+        self.eval_rec(&self.formula.clone(), &mut env)
+    }
+
+    fn term_code(&self, t: &Term, class: &str, env: &HashMap<String, u32>) -> Option<u32> {
+        match t {
+            Term::Var(v) => env.get(v).copied(),
+            Term::Const(raw) => self.db.code(class, raw),
+        }
+    }
+
+    fn eval_rec(&self, f: &Formula, env: &mut HashMap<String, u32>) -> bool {
+        match f {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Atom { relation, args } => {
+                let rel = self.db.relation(relation).expect("checked");
+                let mut row = Vec::with_capacity(args.len());
+                for (i, t) in args.iter().enumerate() {
+                    match self.term_code(t, rel.schema().class_of(i), env) {
+                        Some(c) => row.push(c),
+                        // A constant outside the active domain can never be
+                        // in the relation.
+                        None => return false,
+                    }
+                }
+                self.extents[relation].contains(&row)
+            }
+            Formula::Eq(a, b) => {
+                // Determine a class for constant resolution: from whichever
+                // side is a variable (both-constant equality compares raws).
+                match (a, b) {
+                    (Term::Const(x), Term::Const(y)) => x == y,
+                    _ => {
+                        let class = [a, b]
+                            .iter()
+                            .find_map(|t| match t {
+                                Term::Var(v) => self.sorts.get(v).cloned(),
+                                _ => None,
+                            })
+                            .expect("sort inference covered all variables");
+                        match (self.term_code(a, &class, env), self.term_code(b, &class, env)) {
+                            (Some(x), Some(y)) => x == y,
+                            _ => false,
+                        }
+                    }
+                }
+            }
+            Formula::InSet(t, vals) => match t {
+                Term::Const(raw) => vals.contains(raw),
+                Term::Var(v) => {
+                    let class = &self.sorts[v];
+                    let code = env[v];
+                    vals.iter().any(|raw| self.db.code(class, raw) == Some(code))
+                }
+            },
+            Formula::Not(g) => !self.eval_rec(g, env),
+            Formula::And(fs) => fs.iter().all(|g| self.eval_rec(g, env)),
+            Formula::Or(fs) => fs.iter().any(|g| self.eval_rec(g, env)),
+            Formula::Implies(a, b) => !self.eval_rec(a, env) || self.eval_rec(b, env),
+            Formula::Exists(vs, g) => self.eval_quant(vs, g, env, true),
+            Formula::Forall(vs, g) => self.eval_quant(vs, g, env, false),
+        }
+    }
+
+    fn eval_quant(
+        &self,
+        vs: &[String],
+        body: &Formula,
+        env: &mut HashMap<String, u32>,
+        is_exists: bool,
+    ) -> bool {
+        fn rec(
+            ctx: &EvalContext<'_>,
+            vs: &[String],
+            body: &Formula,
+            env: &mut HashMap<String, u32>,
+            is_exists: bool,
+        ) -> bool {
+            let Some(v) = vs.first() else {
+                return ctx.eval_rec(body, env);
+            };
+            let class = &ctx.sorts[v];
+            // Active domains are never empty: an unpopulated class behaves
+            // as the singleton {0}, matching the BDD side (finite-domain
+            // blocks have at least one value).
+            let size = ctx.db.class_size(class).max(1) as u32;
+            for code in 0..size {
+                env.insert(v.clone(), code);
+                let r = rec(ctx, &vs[1..], body, env, is_exists);
+                if r == is_exists {
+                    env.remove(v);
+                    return is_exists;
+                }
+            }
+            env.remove(v);
+            !is_exists
+        }
+        rec(self, vs, body, env, is_exists)
+    }
+}
+
+fn collect_relations(f: &Formula, visit: &mut impl FnMut(&str)) {
+    match f {
+        Formula::Atom { relation, .. } => visit(relation),
+        Formula::Not(g) => collect_relations(g, visit),
+        Formula::And(fs) | Formula::Or(fs) => {
+            fs.iter().for_each(|g| collect_relations(g, visit))
+        }
+        Formula::Implies(a, b) => {
+            collect_relations(a, visit);
+            collect_relations(b, visit);
+        }
+        Formula::Exists(_, g) | Formula::Forall(_, g) => collect_relations(g, visit),
+        _ => {}
+    }
+}
+
+/// Convenience: prepare and evaluate in one call.
+pub fn eval_sentence(db: &Database, f: &Formula) -> Result<bool> {
+    Ok(EvalContext::new(db, f)?.eval())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            "CUST",
+            &[("city", "city"), ("areacode", "areacode")],
+            vec![
+                vec![Raw::str("Toronto"), Raw::Int(416)],
+                vec![Raw::str("Toronto"), Raw::Int(647)],
+                vec![Raw::str("Oshawa"), Raw::Int(905)],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn satisfied_membership_constraint() {
+        let db = db();
+        let f = parse(
+            r#"forall c, a. CUST(c, a) & c = "Toronto" -> a in {416, 647, 905}"#,
+        )
+        .unwrap();
+        assert!(eval_sentence(&db, &f).unwrap());
+    }
+
+    #[test]
+    fn violated_membership_constraint() {
+        let db = db();
+        let f = parse(
+            r#"forall c, a. CUST(c, a) & c = "Toronto" -> a in {416}"#,
+        )
+        .unwrap();
+        assert!(!eval_sentence(&db, &f).unwrap());
+    }
+
+    #[test]
+    fn exists_is_witnessed() {
+        let db = db();
+        assert!(eval_sentence(&db, &parse(r#"exists c, a. CUST(c, a) & a = 905"#).unwrap())
+            .unwrap());
+        assert!(
+            !eval_sentence(&db, &parse(r#"exists c, a. CUST(c, a) & a = 212"#).unwrap())
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn constant_outside_active_domain_is_false_atom() {
+        let db = db();
+        let f = parse(r#"exists a. CUST("Nowhere", a)"#).unwrap();
+        assert!(!eval_sentence(&db, &f).unwrap());
+    }
+
+    #[test]
+    fn free_variables_rejected() {
+        let db = db();
+        let f = parse("CUST(c, a)").unwrap();
+        assert!(matches!(
+            eval_sentence(&db, &f),
+            Err(LogicError::FreeVariables(_))
+        ));
+    }
+
+    #[test]
+    fn nested_quantifiers_inclusion_dependency() {
+        let mut db = db();
+        db.create_relation(
+            "KNOWN_CITY",
+            &[("city", "city")],
+            vec![vec![Raw::str("Toronto")], vec![Raw::str("Oshawa")]],
+        )
+        .unwrap();
+        // Every customer's city is a known city.
+        let f = parse("forall c, a. CUST(c, a) -> KNOWN_CITY(c)").unwrap();
+        assert!(eval_sentence(&db, &f).unwrap());
+        // Every known city has a customer with areacode 416? Only Toronto.
+        let g = parse("forall c. KNOWN_CITY(c) -> exists a. (CUST(c, a) & a = 416)").unwrap();
+        assert!(!eval_sentence(&db, &g).unwrap());
+    }
+
+    #[test]
+    fn transforms_preserve_semantics_on_examples() {
+        use crate::transform::{push_forall_down, simplify, standardize_apart, to_nnf};
+        let db = db();
+        for src in [
+            r#"forall c, a. CUST(c, a) & c = "Toronto" -> a in {416, 647}"#,
+            r#"exists c. forall a. CUST(c, a) -> a = 416"#,
+            r#"!(exists c, a. CUST(c, a) & a = 212)"#,
+            r#"forall c. (exists a. CUST(c, a)) -> exists a. (CUST(c, a) & a != 212)"#,
+        ] {
+            let f = parse(src).unwrap();
+            let expected = eval_sentence(&db, &f).unwrap();
+            for (name, g) in [
+                ("nnf", to_nnf(&f)),
+                ("std", standardize_apart(&f)),
+                ("push", push_forall_down(&f)),
+                ("simplify", simplify(&f)),
+            ] {
+                assert_eq!(
+                    eval_sentence(&db, &g).unwrap(),
+                    expected,
+                    "{name} changed semantics of {src}"
+                );
+            }
+            // Prenex: rebuild a formula from prefix + matrix.
+            let p = crate::transform::to_prenex(&f);
+            let mut rebuilt = p.matrix.clone();
+            for (q, v) in p.prefix.iter().rev() {
+                rebuilt = match q {
+                    crate::transform::Quant::Exists => {
+                        Formula::Exists(vec![v.clone()], Box::new(rebuilt))
+                    }
+                    crate::transform::Quant::Forall => {
+                        Formula::Forall(vec![v.clone()], Box::new(rebuilt))
+                    }
+                };
+            }
+            assert_eq!(
+                eval_sentence(&db, &rebuilt).unwrap(),
+                expected,
+                "prenex changed semantics of {src}"
+            );
+        }
+    }
+}

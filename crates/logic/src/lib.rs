@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # relcheck-logic — first-order constraints and the ICDE'07 rewrite rules
+//!
+//! User-defined constraints are first-order logic formulas over relation
+//! atoms (the paper's Formula 1, constraints like *"every CS student takes a
+//! Programming course"*). This crate provides:
+//!
+//! * the [`Formula`]/[`Term`] AST with n-ary connectives and typed
+//!   quantifiers, plus a concrete syntax [`parse`]r:
+//!
+//!   ```text
+//!   forall s, c. STUDENT(s, "CS", c) ->
+//!       exists k. (COURSE(k, "Programming") & TAKES(s, k))
+//!   ```
+//!
+//! * **sort inference** ([`infer_sorts`]): every variable's attribute class
+//!   is derived from the relation positions it occurs in;
+//! * the **formula transformations** of Section 4 ([`transform`]):
+//!   negation-normal form, standardize-apart, prenex normal form
+//!   (quantifier pull-up, Rule 3), leading-quantifier elimination (Rule of
+//!   §4.1), and universal push-down across conjunction (Rule 5);
+//! * a **brute-force evaluator** ([`eval`]) that decides a constraint by
+//!   enumerating active domains — the semantics oracle the BDD compiler and
+//!   the SQL translator are tested against.
+
+mod ast;
+pub mod eval;
+mod parser;
+mod sorts;
+pub mod transform;
+
+mod error;
+
+pub use ast::{Formula, Term};
+pub use error::{LogicError, Result};
+pub use parser::parse;
+pub use sorts::infer_sorts;

@@ -1,0 +1,512 @@
+//! Concrete syntax for constraints.
+//!
+//! ```text
+//! formula     := ('forall' | 'exists') ident (',' ident)* '.' formula
+//!              | implication
+//! implication := disjunction ('->' formula)?            (right-assoc)
+//! disjunction := conjunction ('|' conjunction)*
+//! conjunction := unary ('&' unary)*
+//! unary       := '!' unary | '(' formula ')' | 'true' | 'false' | predicate
+//! predicate   := IDENT '(' term (',' term)* ')'          relation atom
+//!              | term '=' term | term '!=' term
+//!              | term 'in' '{' raw (',' raw)* '}'
+//! term        := IDENT | STRING | INT
+//! ```
+//!
+//! Identifiers starting with a letter or `_`; strings are double-quoted;
+//! integers are signed decimal. `forall`, `exists`, `in`, `true`, `false`
+//! are keywords.
+
+use crate::ast::{Formula, Term};
+use crate::error::{LogicError, Result};
+use relcheck_relstore::Raw;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+    Amp,
+    Pipe,
+    Bang,
+    Arrow,
+    Eq,
+    Neq,
+    Forall,
+    Exists,
+    In,
+    True,
+    False,
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> LogicError {
+        LogicError::Parse { offset: self.pos, message: message.into() }
+    }
+
+    fn next_tok(&mut self) -> Result<(usize, Tok)> {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        if self.pos >= self.src.len() {
+            return Ok((start, Tok::Eof));
+        }
+        let c = self.src[self.pos];
+        let tok = match c {
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b'{' => {
+                self.pos += 1;
+                Tok::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                Tok::RBrace
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                Tok::Dot
+            }
+            b'&' => {
+                self.pos += 1;
+                Tok::Amp
+            }
+            b'|' => {
+                self.pos += 1;
+                Tok::Pipe
+            }
+            b'=' => {
+                self.pos += 1;
+                Tok::Eq
+            }
+            b'!' => {
+                self.pos += 1;
+                if self.pos < self.src.len() && self.src[self.pos] == b'=' {
+                    self.pos += 1;
+                    Tok::Neq
+                } else {
+                    Tok::Bang
+                }
+            }
+            b'-' => {
+                self.pos += 1;
+                if self.pos < self.src.len() && self.src[self.pos] == b'>' {
+                    self.pos += 1;
+                    Tok::Arrow
+                } else if self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                    let n = self.lex_int()?;
+                    Tok::Int(-n)
+                } else {
+                    return Err(self.error("expected '->' or a negative number after '-'"));
+                }
+            }
+            b'"' => {
+                self.pos += 1;
+                let s = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.src.len() {
+                    return Err(self.error("unterminated string literal"));
+                }
+                let text = std::str::from_utf8(&self.src[s..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string"))?
+                    .to_owned();
+                self.pos += 1;
+                Tok::Str(text)
+            }
+            c if c.is_ascii_digit() => Tok::Int(self.lex_int()?),
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let s = self.pos;
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                let word = std::str::from_utf8(&self.src[s..self.pos]).unwrap();
+                match word {
+                    "forall" => Tok::Forall,
+                    "exists" => Tok::Exists,
+                    "in" => Tok::In,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    _ => Tok::Ident(word.to_owned()),
+                }
+            }
+            other => return Err(self.error(format!("unexpected character {:?}", other as char))),
+        };
+        Ok((start, tok))
+    }
+
+    fn lex_int(&mut self) -> Result<i64> {
+        let s = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.src[s..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|_| self.error("integer literal out of range"))
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    idx: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.idx].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.idx].1.clone();
+        if self.idx < self.toks.len() - 1 {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.idx].0
+    }
+
+    fn error(&self, message: impl Into<String>) -> LogicError {
+        LogicError::Parse { offset: self.offset(), message: message.into() }
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<()> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula> {
+        match self.peek() {
+            Tok::Forall | Tok::Exists => {
+                let is_forall = matches!(self.peek(), Tok::Forall);
+                self.bump();
+                let mut vars = vec![self.ident("quantified variable")?];
+                while *self.peek() == Tok::Comma {
+                    self.bump();
+                    vars.push(self.ident("quantified variable")?);
+                }
+                self.expect(Tok::Dot, "'.' after quantified variables")?;
+                let body = Box::new(self.formula()?);
+                Ok(if is_forall {
+                    Formula::Forall(vars, body)
+                } else {
+                    Formula::Exists(vars, body)
+                })
+            }
+            _ => self.implication(),
+        }
+    }
+
+    fn implication(&mut self) -> Result<Formula> {
+        let lhs = self.disjunction()?;
+        if *self.peek() == Tok::Arrow {
+            self.bump();
+            let rhs = self.formula()?; // right-assoc, and allows quantifiers
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn disjunction(&mut self) -> Result<Formula> {
+        let mut parts = vec![self.conjunction()?];
+        while *self.peek() == Tok::Pipe {
+            self.bump();
+            parts.push(self.conjunction()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Formula::Or(parts) })
+    }
+
+    fn conjunction(&mut self) -> Result<Formula> {
+        let mut parts = vec![self.unary()?];
+        while *self.peek() == Tok::Amp {
+            self.bump();
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Formula::And(parts) })
+    }
+
+    fn unary(&mut self) -> Result<Formula> {
+        match self.peek().clone() {
+            Tok::Bang => {
+                self.bump();
+                Ok(self.unary()?.not())
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            Tok::Forall | Tok::Exists => self.formula(),
+            Tok::LParen => {
+                self.bump();
+                let f = self.formula()?;
+                self.expect(Tok::RParen, "')'")?;
+                // A parenthesized *term* is not supported; formulas only.
+                self.maybe_comparison_suffix(f)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if *self.peek() == Tok::LParen {
+                    // relation atom
+                    self.bump();
+                    let mut args = vec![self.term()?];
+                    while *self.peek() == Tok::Comma {
+                        self.bump();
+                        args.push(self.term()?);
+                    }
+                    self.expect(Tok::RParen, "')' closing atom")?;
+                    Ok(Formula::Atom { relation: name, args })
+                } else {
+                    self.comparison(Term::Var(name))
+                }
+            }
+            Tok::Str(s) => {
+                self.bump();
+                self.comparison(Term::Const(Raw::Str(s)))
+            }
+            Tok::Int(i) => {
+                self.bump();
+                self.comparison(Term::Const(Raw::Int(i)))
+            }
+            other => Err(self.error(format!("expected a formula, found {other:?}"))),
+        }
+    }
+
+    /// After a closing paren a comparison cannot follow (formulas aren't
+    /// terms); this hook exists to produce a decent error message.
+    fn maybe_comparison_suffix(&mut self, f: Formula) -> Result<Formula> {
+        match self.peek() {
+            Tok::Eq | Tok::Neq | Tok::In => {
+                Err(self.error("comparison operators apply to terms, not formulas"))
+            }
+            _ => Ok(f),
+        }
+    }
+
+    fn comparison(&mut self, lhs: Term) -> Result<Formula> {
+        match self.bump() {
+            Tok::Eq => Ok(Formula::Eq(lhs, self.term()?)),
+            Tok::Neq => Ok(Formula::Eq(lhs, self.term()?).not()),
+            Tok::In => {
+                self.expect(Tok::LBrace, "'{' opening a value set")?;
+                let mut vals = Vec::new();
+                if *self.peek() != Tok::RBrace {
+                    vals.push(self.raw()?);
+                    while *self.peek() == Tok::Comma {
+                        self.bump();
+                        vals.push(self.raw()?);
+                    }
+                }
+                self.expect(Tok::RBrace, "'}' closing a value set")?;
+                Ok(Formula::InSet(lhs, vals))
+            }
+            other => Err(self.error(format!(
+                "expected '=', '!=' or 'in' after a term, found {other:?}"
+            ))),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        match self.bump() {
+            Tok::Ident(v) => Ok(Term::Var(v)),
+            Tok::Str(s) => Ok(Term::Const(Raw::Str(s))),
+            Tok::Int(i) => Ok(Term::Const(Raw::Int(i))),
+            other => Err(self.error(format!("expected a term, found {other:?}"))),
+        }
+    }
+
+    fn raw(&mut self) -> Result<Raw> {
+        match self.bump() {
+            Tok::Str(s) => Ok(Raw::Str(s)),
+            Tok::Int(i) => Ok(Raw::Int(i)),
+            other => Err(self.error(format!("expected a constant, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.bump() {
+            Tok::Ident(v) => Ok(v),
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+}
+
+/// Parse a constraint from its concrete syntax.
+pub fn parse(src: &str) -> Result<Formula> {
+    let mut lexer = Lexer::new(src);
+    let mut toks = Vec::new();
+    loop {
+        let (off, t) = lexer.next_tok()?;
+        let done = t == Tok::Eof;
+        toks.push((off, t));
+        if done {
+            break;
+        }
+    }
+    let mut p = Parser { toks, idx: 0 };
+    let f = p.formula()?;
+    if *p.peek() != Tok::Eof {
+        return Err(p.error(format!("trailing input: {:?}", p.peek())));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_formula_1() {
+        let f = parse(
+            r#"forall s, z. STUDENT(s, "CS", z) ->
+                 exists k. (COURSE(k, "Programming") & TAKES(s, k))"#,
+        )
+        .unwrap();
+        assert!(f.is_sentence());
+        match &f {
+            Formula::Forall(vs, body) => {
+                assert_eq!(vs, &["s", "z"]);
+                assert!(matches!(**body, Formula::Implies(..)));
+            }
+            other => panic!("expected forall, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_membership_constraint() {
+        let f = parse(
+            r#"forall a, n, c, s, z.
+                 CUSTOMERS(a, n, c, s, z) & c = "Toronto" -> a in {416, 647, 905}"#,
+        )
+        .unwrap();
+        assert!(f.is_sentence());
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        let f = parse("R(x) & S(x) | T(x)").unwrap();
+        match f {
+            Formula::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], Formula::And(_)));
+            }
+            other => panic!("expected or at top, got {other}"),
+        }
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let f = parse("R(x) -> S(x) -> T(x)").unwrap();
+        match f {
+            Formula::Implies(_, rhs) => assert!(matches!(*rhs, Formula::Implies(..))),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn negation_and_neq() {
+        let f = parse("!R(x) & x != 3").unwrap();
+        match f {
+            Formula::And(parts) => {
+                assert!(matches!(parts[0], Formula::Not(_)));
+                assert!(matches!(parts[1], Formula::Not(_))); // x != 3 desugars
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn negative_integers_parse() {
+        let f = parse("x = -42").unwrap();
+        assert_eq!(f, Formula::Eq(Term::var("x"), Term::Const(Raw::Int(-42))));
+    }
+
+    #[test]
+    fn constants_true_false() {
+        assert_eq!(parse("true").unwrap(), Formula::True);
+        assert_eq!(parse("false | true").unwrap(), Formula::Or(vec![Formula::False, Formula::True]));
+    }
+
+    #[test]
+    fn quantifier_after_arrow_without_parens() {
+        let f = parse("forall x. R(x) -> exists y. S(x, y)").unwrap();
+        match f {
+            Formula::Forall(_, body) => match *body {
+                Formula::Implies(_, rhs) => assert!(matches!(*rhs, Formula::Exists(..))),
+                other => panic!("{other}"),
+            },
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse("forall . R(x)").unwrap_err();
+        match err {
+            LogicError::Parse { offset, .. } => assert!(offset >= 7),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(matches!(parse("R(x) R(y)"), Err(LogicError::Parse { .. })));
+        assert!(matches!(parse("R(x"), Err(LogicError::Parse { .. })));
+        assert!(matches!(parse(r#"x in {"#), Err(LogicError::Parse { .. })));
+        assert!(matches!(parse(r#""unterminated"#), Err(LogicError::Parse { .. })));
+    }
+
+    #[test]
+    fn empty_in_set_parses() {
+        let f = parse("x in {}").unwrap();
+        assert_eq!(f, Formula::InSet(Term::var("x"), vec![]));
+    }
+
+    #[test]
+    fn comparison_of_two_constants_allowed() {
+        // Degenerate but well-formed: "CS" = "CS".
+        let f = parse(r#""CS" = "CS""#).unwrap();
+        assert!(matches!(f, Formula::Eq(Term::Const(_), Term::Const(_))));
+    }
+}

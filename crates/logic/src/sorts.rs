@@ -1,0 +1,242 @@
+//! Sort inference: assigning an attribute class to every variable.
+//!
+//! A first-order variable ranges over the active domain of some attribute
+//! class; which class is derived from the relation positions the variable
+//! occurs in, propagated through equalities (`x = y` forces equal classes).
+//! Inference fails when a variable is used at two different classes or
+//! appears only in comparisons with constants.
+//!
+//! Run this on formulas whose bound variables have distinct names (see
+//! [`crate::transform::standardize_apart`]) — two same-named variables in
+//! different scopes would otherwise be conflated.
+
+use crate::ast::{Formula, Term};
+use crate::error::{LogicError, Result};
+use relcheck_relstore::Database;
+use std::collections::HashMap;
+
+/// Infer the attribute class of every variable in `f`.
+pub fn infer_sorts(db: &Database, f: &Formula) -> Result<HashMap<String, String>> {
+    let mut sorts: HashMap<String, String> = HashMap::new();
+    // Equality edges to propagate through (a tiny union by fixpoint; the
+    // graphs here are a handful of nodes).
+    let mut edges: Vec<(String, String)> = Vec::new();
+    collect(db, f, &mut sorts, &mut edges)?;
+    // Propagate classes across equality edges until stable.
+    loop {
+        let mut changed = false;
+        for (a, b) in &edges {
+            match (sorts.get(a).cloned(), sorts.get(b).cloned()) {
+                (Some(ca), Some(cb)) => {
+                    if ca != cb {
+                        return Err(LogicError::SortConflict {
+                            var: b.clone(),
+                            first: cb,
+                            second: ca,
+                        });
+                    }
+                }
+                (Some(ca), None) => {
+                    sorts.insert(b.clone(), ca);
+                    changed = true;
+                }
+                (None, Some(cb)) => {
+                    sorts.insert(a.clone(), cb);
+                    changed = true;
+                }
+                (None, None) => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Every variable mentioned anywhere must have a sort.
+    check_all_sorted(f, &sorts)?;
+    Ok(sorts)
+}
+
+fn assign(sorts: &mut HashMap<String, String>, var: &str, class: &str) -> Result<()> {
+    match sorts.get(var) {
+        Some(existing) if existing != class => Err(LogicError::SortConflict {
+            var: var.to_owned(),
+            first: existing.clone(),
+            second: class.to_owned(),
+        }),
+        Some(_) => Ok(()),
+        None => {
+            sorts.insert(var.to_owned(), class.to_owned());
+            Ok(())
+        }
+    }
+}
+
+fn collect(
+    db: &Database,
+    f: &Formula,
+    sorts: &mut HashMap<String, String>,
+    edges: &mut Vec<(String, String)>,
+) -> Result<()> {
+    match f {
+        Formula::True | Formula::False => Ok(()),
+        Formula::Atom { relation, args } => {
+            let rel = db
+                .relation(relation)
+                .map_err(|_| LogicError::UnknownRelation(relation.clone()))?;
+            if args.len() != rel.arity() {
+                return Err(LogicError::AtomArityMismatch {
+                    relation: relation.clone(),
+                    expected: rel.arity(),
+                    got: args.len(),
+                });
+            }
+            for (i, t) in args.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    assign(sorts, v, rel.schema().class_of(i))?;
+                }
+            }
+            Ok(())
+        }
+        Formula::Eq(Term::Var(a), Term::Var(b)) => {
+            edges.push((a.clone(), b.clone()));
+            Ok(())
+        }
+        Formula::Eq(..) | Formula::InSet(..) => Ok(()),
+        Formula::Not(g) => collect(db, g, sorts, edges),
+        Formula::And(fs) | Formula::Or(fs) => {
+            for g in fs {
+                collect(db, g, sorts, edges)?;
+            }
+            Ok(())
+        }
+        Formula::Implies(a, b) => {
+            collect(db, a, sorts, edges)?;
+            collect(db, b, sorts, edges)
+        }
+        Formula::Exists(_, g) | Formula::Forall(_, g) => collect(db, g, sorts, edges),
+    }
+}
+
+fn check_all_sorted(f: &Formula, sorts: &HashMap<String, String>) -> Result<()> {
+    let check_term = |t: &Term| -> Result<()> {
+        if let Term::Var(v) = t {
+            if !sorts.contains_key(v) {
+                return Err(LogicError::UnsortedVariable(v.clone()));
+            }
+        }
+        Ok(())
+    };
+    match f {
+        Formula::True | Formula::False => Ok(()),
+        Formula::Atom { args, .. } => args.iter().try_for_each(check_term),
+        Formula::Eq(a, b) => {
+            check_term(a)?;
+            check_term(b)
+        }
+        Formula::InSet(t, _) => check_term(t),
+        Formula::Not(g) => check_all_sorted(g, sorts),
+        Formula::And(fs) | Formula::Or(fs) => {
+            fs.iter().try_for_each(|g| check_all_sorted(g, sorts))
+        }
+        Formula::Implies(a, b) => {
+            check_all_sorted(a, sorts)?;
+            check_all_sorted(b, sorts)
+        }
+        Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+            for v in vs {
+                if !sorts.contains_key(v) {
+                    return Err(LogicError::UnsortedVariable(v.clone()));
+                }
+            }
+            check_all_sorted(g, sorts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use relcheck_relstore::Raw;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            "R",
+            &[("city", "city"), ("state", "state")],
+            vec![vec![Raw::str("Toronto"), Raw::str("ON")]],
+        )
+        .unwrap();
+        db.create_relation(
+            "S",
+            &[("state", "state")],
+            vec![vec![Raw::str("ON")]],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn sorts_from_atom_positions() {
+        let db = db();
+        let f = parse("forall c, s. R(c, s) -> S(s)").unwrap();
+        let sorts = infer_sorts(&db, &f).unwrap();
+        assert_eq!(sorts["c"], "city");
+        assert_eq!(sorts["s"], "state");
+    }
+
+    #[test]
+    fn sorts_propagate_through_equality() {
+        let db = db();
+        let f = parse("forall c, s, t. R(c, s) & t = s -> S(t)").unwrap();
+        let sorts = infer_sorts(&db, &f).unwrap();
+        assert_eq!(sorts["t"], "state");
+    }
+
+    #[test]
+    fn conflict_detected() {
+        let db = db();
+        // x used both as city (R pos 0) and state (S pos 0).
+        let f = parse("forall x. R(x, x) -> S(x)").unwrap();
+        assert!(matches!(
+            infer_sorts(&db, &f),
+            Err(LogicError::SortConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn unsorted_variable_detected() {
+        let db = db();
+        let f = parse(r#"forall q. q = "ON""#).unwrap();
+        assert!(matches!(
+            infer_sorts(&db, &f),
+            Err(LogicError::UnsortedVariable(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_relation_detected() {
+        let db = db();
+        let f = parse("forall x. GHOST(x)").unwrap();
+        assert!(matches!(infer_sorts(&db, &f), Err(LogicError::UnknownRelation(_))));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let db = db();
+        let f = parse("forall x. R(x)").unwrap();
+        assert!(matches!(
+            infer_sorts(&db, &f),
+            Err(LogicError::AtomArityMismatch { expected: 2, got: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn equality_chain_propagates_both_ways() {
+        let db = db();
+        // u = v, v appears in S: u gets state through the chain.
+        let f = parse("forall u, v. u = v & S(v) -> S(u)").unwrap();
+        let sorts = infer_sorts(&db, &f).unwrap();
+        assert_eq!(sorts["u"], "state");
+    }
+}

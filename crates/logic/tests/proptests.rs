@@ -1,0 +1,185 @@
+//! Property tests for the constraint language: printer/parser stability
+//! and semantic preservation of every transformation.
+
+use proptest::prelude::*;
+use relcheck_logic::eval::eval_sentence;
+use relcheck_logic::transform::{
+    push_forall_down, simplify, standardize_apart, to_nnf, to_prenex,
+};
+use relcheck_logic::{parse, Formula, Term};
+use relcheck_relstore::{Database, Raw};
+
+/// Random quantifier-free formulas over R(x:k1, y:k2) and S(y:k2) with
+/// variables from a fixed pool.
+fn arb_matrix() -> impl Strategy<Value = Formula> {
+    let atom_r = (0usize..2, 0usize..2).prop_map(|(i, j)| {
+        Formula::atom("R", vec![Term::var(["x1", "x2"][i]), Term::var(["y1", "y2"][j])])
+    });
+    let atom_s =
+        (0usize..2).prop_map(|j| Formula::atom("S", vec![Term::var(["y1", "y2"][j])]));
+    let eq = Just(Formula::Eq(Term::var("y1"), Term::var("y2")));
+    let eq_const = (0usize..2, 0i64..4)
+        .prop_map(|(i, c)| Formula::Eq(Term::var(["x1", "x2"][i]), Term::Const(Raw::Int(c))));
+    let in_set = proptest::collection::vec(0i64..4, 0..3).prop_map(|vals| {
+        Formula::InSet(Term::var("y1"), vals.into_iter().map(Raw::Int).collect())
+    });
+    let leaf = prop_oneof![atom_r, atom_s, eq, eq_const, in_set, Just(Formula::True)];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.implies(b)),
+        ]
+    })
+}
+
+/// Close a matrix into a sentence by quantifying its free variables.
+fn close(matrix: Formula, pattern: u8) -> Formula {
+    let mut f = matrix;
+    for (i, v) in ["x1", "x2", "y1", "y2"].into_iter().enumerate() {
+        if f.free_vars().iter().any(|fv| fv == v) {
+            f = if pattern >> i & 1 == 1 {
+                Formula::Exists(vec![v.to_owned()], Box::new(f))
+            } else {
+                Formula::Forall(vec![v.to_owned()], Box::new(f))
+            };
+        }
+    }
+    f
+}
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.ensure_class_size("k1", 3);
+    db.ensure_class_size("k2", 4);
+    db.create_relation(
+        "R",
+        &[("a", "k1"), ("b", "k2")],
+        vec![
+            vec![Raw::Int(0), Raw::Int(0)],
+            vec![Raw::Int(1), Raw::Int(2)],
+            vec![Raw::Int(2), Raw::Int(3)],
+            vec![Raw::Int(0), Raw::Int(3)],
+        ],
+    )
+    .unwrap();
+    db.create_relation("S", &[("b", "k2")], vec![vec![Raw::Int(0)], vec![Raw::Int(2)]])
+        .unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn printer_parser_fixpoint(matrix in arb_matrix(), pattern in any::<u8>()) {
+        // One parse⟲print round normalizes (e.g. unary And unwraps); after
+        // that, printing and parsing must be mutually inverse.
+        let f = close(matrix, pattern);
+        let once = parse(&format!("{f}")).unwrap();
+        let twice = parse(&format!("{once}")).unwrap();
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(format!("{once}"), format!("{twice}"));
+    }
+
+    #[test]
+    fn transforms_preserve_semantics(matrix in arb_matrix(), pattern in any::<u8>()) {
+        let f = close(matrix, pattern);
+        let db = db();
+        let expected = match eval_sentence(&db, &f) {
+            Ok(v) => v,
+            // Vacuously-sorted variables are rejected by design; skip.
+            Err(_) => {
+                prop_assume!(false);
+                unreachable!()
+            }
+        };
+        for (name, g) in [
+            ("nnf", to_nnf(&f)),
+            ("standardize", standardize_apart(&f)),
+            ("push_forall", push_forall_down(&f)),
+            ("simplify", simplify(&f)),
+        ] {
+            match eval_sentence(&db, &g) {
+                Ok(got) => prop_assert_eq!(
+                    got, expected,
+                    "{} changed semantics of {}", name, f
+                ),
+                // push_forall_down can tear an equality-only conjunct from
+                // its sort anchor, and simplify can erase a variable's only
+                // atom occurrence; the standalone oracle then conservatively
+                // rejects even though the compiler (with its global sort
+                // map) evaluates such formulas fine — documented on
+                // push_forall_down.
+                Err(relcheck_logic::LogicError::UnsortedVariable(_))
+                    if name == "push_forall" || name == "simplify" => {}
+                Err(e) => prop_assert!(false, "{} failed on {}: {}", name, f, e),
+            }
+        }
+        // Prenex: rebuild and compare.
+        let p = to_prenex(&f);
+        let mut rebuilt = p.matrix.clone();
+        for (q, v) in p.prefix.iter().rev() {
+            rebuilt = match q {
+                relcheck_logic::transform::Quant::Exists => {
+                    Formula::Exists(vec![v.clone()], Box::new(rebuilt))
+                }
+                relcheck_logic::transform::Quant::Forall => {
+                    Formula::Forall(vec![v.clone()], Box::new(rebuilt))
+                }
+            };
+        }
+        prop_assert_eq!(
+            eval_sentence(&db, &rebuilt).unwrap(),
+            expected,
+            "prenex changed semantics of {}",
+            f
+        );
+    }
+
+    #[test]
+    fn nnf_is_negation_normal(matrix in arb_matrix(), pattern in any::<u8>()) {
+        fn check(f: &Formula) -> bool {
+            match f {
+                Formula::Not(inner) => matches!(
+                    **inner,
+                    Formula::Atom { .. } | Formula::Eq(..) | Formula::InSet(..)
+                ),
+                Formula::Implies(..) => false,
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().all(check),
+                Formula::Exists(_, g) | Formula::Forall(_, g) => check(g),
+                _ => true,
+            }
+        }
+        let f = close(matrix, pattern);
+        prop_assert!(check(&to_nnf(&f)), "not in NNF: {}", to_nnf(&f));
+    }
+
+    #[test]
+    fn standardize_apart_binders_unique(matrix in arb_matrix(), pattern in any::<u8>()) {
+        fn binders(f: &Formula, out: &mut Vec<String>) {
+            match f {
+                Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+                    out.extend(vs.iter().cloned());
+                    binders(g, out);
+                }
+                Formula::Not(g) => binders(g, out),
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| binders(g, out)),
+                Formula::Implies(a, b) => {
+                    binders(a, out);
+                    binders(b, out);
+                }
+                _ => {}
+            }
+        }
+        // Duplicate the formula against itself to force binder collisions.
+        let f = close(matrix.clone(), pattern);
+        let doubled = f.clone().and(f);
+        let g = standardize_apart(&doubled);
+        let mut names = Vec::new();
+        binders(&g, &mut names);
+        let set: std::collections::HashSet<&String> = names.iter().collect();
+        prop_assert_eq!(set.len(), names.len(), "duplicate binders in {}", g);
+    }
+}

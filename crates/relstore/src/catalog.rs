@@ -1,0 +1,215 @@
+//! The database catalog: named relations plus per-class dictionaries.
+
+use crate::error::{Result, StoreError};
+use crate::relation::{Relation, Schema};
+use crate::value::{Dict, Raw};
+use std::collections::HashMap;
+
+/// A collection of named [`Relation`]s sharing attribute-class
+/// dictionaries. All raw values enter through [`Database::create_relation`]
+/// (or [`Database::encode_value`]), which keeps codes consistent across
+/// every column of a class.
+#[derive(Debug, Default)]
+pub struct Database {
+    dicts: HashMap<String, Dict>,
+    relations: HashMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Create a relation from raw rows. Columns are `(name, class)` pairs;
+    /// raw values are interned into the class dictionaries.
+    pub fn create_relation(
+        &mut self,
+        name: &str,
+        columns: &[(&str, &str)],
+        rows: Vec<Vec<Raw>>,
+    ) -> Result<&Relation> {
+        if self.relations.contains_key(name) {
+            return Err(StoreError::DuplicateRelation(name.to_owned()));
+        }
+        let schema = Schema::new(columns);
+        let mut coded = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != schema.arity() {
+                return Err(StoreError::ArityMismatch { expected: schema.arity(), got: row.len() });
+            }
+            let mut crow = Vec::with_capacity(row.len());
+            for (i, v) in row.iter().enumerate() {
+                let dict = self.dicts.entry(schema.class_of(i).to_owned()).or_default();
+                crow.push(dict.encode(v));
+            }
+            coded.push(crow);
+        }
+        let rel = Relation::from_rows(schema, coded)?;
+        Ok(self.relations.entry(name.to_owned()).or_insert(rel))
+    }
+
+    /// Register an already-encoded relation. The caller is responsible for
+    /// having encoded its codes through this database's dictionaries (e.g.
+    /// synthetic generators that mint integer codes directly should also
+    /// pre-size the dictionaries via [`Database::ensure_class_size`]).
+    pub fn insert_relation(&mut self, name: &str, rel: Relation) -> Result<()> {
+        if self.relations.contains_key(name) {
+            return Err(StoreError::DuplicateRelation(name.to_owned()));
+        }
+        self.relations.insert(name.to_owned(), rel);
+        Ok(())
+    }
+
+    /// Replace or insert a relation unconditionally.
+    pub fn put_relation(&mut self, name: &str, rel: Relation) {
+        self.relations.insert(name.to_owned(), rel);
+    }
+
+    /// Look up a relation.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| StoreError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Mutable access to a relation.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| StoreError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Names of all relations (unordered).
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// The dictionary for an attribute class, if it exists.
+    pub fn dict(&self, class: &str) -> Option<&Dict> {
+        self.dicts.get(class)
+    }
+
+    /// Intern a raw value into a class dictionary.
+    pub fn encode_value(&mut self, class: &str, v: &Raw) -> u32 {
+        self.dicts.entry(class.to_owned()).or_default().encode(v)
+    }
+
+    /// Code of a raw value if already interned.
+    pub fn code(&self, class: &str, v: &Raw) -> Option<u32> {
+        self.dicts.get(class).and_then(|d| d.code(v))
+    }
+
+    /// Active-domain size of a class (0 if the class is unknown). This is
+    /// the `|dom|` that sizes the BDD finite-domain block for the class.
+    pub fn class_size(&self, class: &str) -> u64 {
+        self.dicts.get(class).map_or(0, |d| d.len() as u64)
+    }
+
+    /// Make sure a class dictionary has at least `size` codes by interning
+    /// the integers `0..size` that are not yet present. Synthetic generators
+    /// that mint dense integer codes use this to keep `code == value`.
+    pub fn ensure_class_size(&mut self, class: &str, size: u64) {
+        let dict = self.dicts.entry(class.to_owned()).or_default();
+        for v in 0..size as i64 {
+            dict.encode(&Raw::Int(v));
+        }
+    }
+
+    /// Decode one row of a relation back to raw values (for reporting
+    /// violating tuples).
+    pub fn decode_row(&self, rel: &Relation, row: &[u32]) -> Vec<Raw> {
+        row.iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                self.dicts[rel.schema().class_of(i)].decode(c).clone()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_relation_interns_values() {
+        let mut db = Database::new();
+        db.create_relation(
+            "r",
+            &[("city", "city"), ("state", "state")],
+            vec![
+                vec![Raw::str("Toronto"), Raw::str("ON")],
+                vec![Raw::str("Oshawa"), Raw::str("ON")],
+            ],
+        )
+        .unwrap();
+        assert_eq!(db.class_size("city"), 2);
+        assert_eq!(db.class_size("state"), 1);
+        assert_eq!(db.relation("r").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn classes_are_shared_across_relations() {
+        let mut db = Database::new();
+        db.create_relation(
+            "r1",
+            &[("c", "city")],
+            vec![vec![Raw::str("Toronto")]],
+        )
+        .unwrap();
+        db.create_relation(
+            "r2",
+            &[("home", "city")],
+            vec![vec![Raw::str("Toronto")], vec![Raw::str("Ottawa")]],
+        )
+        .unwrap();
+        // Same raw value gets the same code in both relations.
+        let c1 = db.relation("r1").unwrap().col(0)[0];
+        let codes2 = db.relation("r2").unwrap().col(0).to_vec();
+        assert!(codes2.contains(&c1));
+        assert_eq!(db.class_size("city"), 2);
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut db = Database::new();
+        db.create_relation("r", &[("a", "ca")], vec![]).unwrap();
+        assert!(matches!(
+            db.create_relation("r", &[("a", "ca")], vec![]),
+            Err(StoreError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_relation_error() {
+        let db = Database::new();
+        assert!(matches!(db.relation("nope"), Err(StoreError::UnknownRelation(_))));
+    }
+
+    #[test]
+    fn ensure_class_size_mints_dense_codes() {
+        let mut db = Database::new();
+        db.ensure_class_size("k", 5);
+        assert_eq!(db.class_size("k"), 5);
+        assert_eq!(db.code("k", &Raw::Int(3)), Some(3));
+    }
+
+    #[test]
+    fn decode_row_round_trips() {
+        let mut db = Database::new();
+        db.create_relation(
+            "r",
+            &[("city", "city"), ("ac", "areacode")],
+            vec![vec![Raw::str("Toronto"), Raw::Int(416)]],
+        )
+        .unwrap();
+        let rel = db.relation("r").unwrap();
+        let row = rel.row(0);
+        let rel_clone = rel.clone();
+        assert_eq!(
+            db.decode_row(&rel_clone, &row),
+            vec![Raw::str("Toronto"), Raw::Int(416)]
+        );
+    }
+}

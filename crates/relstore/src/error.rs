@@ -1,0 +1,73 @@
+//! Error type for the relational engine.
+
+use std::fmt;
+
+/// Errors produced by catalog operations and plan execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A plan or catalog call referenced a relation that does not exist.
+    UnknownRelation(String),
+    /// A column name was not found in a relation's schema.
+    UnknownColumn {
+        /// The relation being addressed.
+        relation: String,
+        /// The missing column.
+        column: String,
+    },
+    /// A column index was out of bounds for a schema.
+    ColumnOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The relation's arity.
+        arity: usize,
+    },
+    /// A row had the wrong number of values for its schema.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// Two columns being joined/compared belong to different attribute
+    /// classes, so their dictionary codes are not comparable.
+    ClassMismatch {
+        /// Class of the left column.
+        left: String,
+        /// Class of the right column.
+        right: String,
+    },
+    /// A relation with this name already exists.
+    DuplicateRelation(String),
+    /// Malformed CSV input.
+    Csv(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownRelation(name) => write!(f, "unknown relation {name:?}"),
+            StoreError::UnknownColumn { relation, column } => {
+                write!(f, "relation {relation:?} has no column {column:?}")
+            }
+            StoreError::ColumnOutOfRange { index, arity } => {
+                write!(f, "column index {index} out of range for arity {arity}")
+            }
+            StoreError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: expected {expected}, got {got}")
+            }
+            StoreError::ClassMismatch { left, right } => write!(
+                f,
+                "columns of classes {left:?} and {right:?} are not comparable"
+            ),
+            StoreError::DuplicateRelation(name) => {
+                write!(f, "relation {name:?} already exists")
+            }
+            StoreError::Csv(msg) => write!(f, "csv: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,140 @@
+//! Raw values and per-class dictionaries.
+//!
+//! Every attribute belongs to an *attribute class* (e.g. `city`,
+//! `areacode`, `student_id`); all columns of a class share one [`Dict`], so
+//! a value has the same dense code wherever it appears. The paper's BDD
+//! encoding (Section 2.2) assumes exactly this: finite domains
+//! `{1..|dom|}` shared between the columns a first-order variable ranges
+//! over.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A raw attribute value before dictionary encoding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Raw {
+    /// Integer-valued attributes (area codes, numbers, zip codes, ids).
+    Int(i64),
+    /// String-valued attributes (cities, states, departments).
+    Str(String),
+}
+
+impl Raw {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Raw {
+        Raw::Str(s.into())
+    }
+}
+
+impl fmt::Display for Raw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Raw::Int(i) => write!(f, "{i}"),
+            Raw::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Raw {
+    fn from(v: i64) -> Raw {
+        Raw::Int(v)
+    }
+}
+
+impl From<&str> for Raw {
+    fn from(v: &str) -> Raw {
+        Raw::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Raw {
+    fn from(v: String) -> Raw {
+        Raw::Str(v)
+    }
+}
+
+/// A dense dictionary: raw value ↔ `u32` code. Codes are allocated in first-
+/// seen order and never reused, so the dictionary size is the attribute
+/// class's active-domain size.
+#[derive(Debug, Clone, Default)]
+pub struct Dict {
+    values: Vec<Raw>,
+    lookup: HashMap<Raw, u32>,
+}
+
+impl Dict {
+    /// Empty dictionary.
+    pub fn new() -> Dict {
+        Dict::default()
+    }
+
+    /// Intern a value, returning its code (allocating one if new).
+    pub fn encode(&mut self, v: &Raw) -> u32 {
+        if let Some(&c) = self.lookup.get(v) {
+            return c;
+        }
+        let c = self.values.len() as u32;
+        self.values.push(v.clone());
+        self.lookup.insert(v.clone(), c);
+        c
+    }
+
+    /// Code of an already-interned value, if any.
+    pub fn code(&self, v: &Raw) -> Option<u32> {
+        self.lookup.get(v).copied()
+    }
+
+    /// The raw value behind a code.
+    ///
+    /// # Panics
+    /// Panics if `code` was never allocated.
+    pub fn decode(&self, code: u32) -> &Raw {
+        &self.values[code as usize]
+    }
+
+    /// Number of interned values (the class's active-domain size).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no value has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dict::new();
+        let a = d.encode(&Raw::str("Toronto"));
+        let b = d.encode(&Raw::str("Oshawa"));
+        let a2 = d.encode(&Raw::str("Toronto"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let mut d = Dict::new();
+        let vals = [Raw::Int(416), Raw::str("NJ"), Raw::Int(-3)];
+        let codes: Vec<u32> = vals.iter().map(|v| d.encode(v)).collect();
+        for (v, &c) in vals.iter().zip(&codes) {
+            assert_eq!(d.decode(c), v);
+            assert_eq!(d.code(v), Some(c));
+        }
+        assert_eq!(d.code(&Raw::Int(999)), None);
+    }
+
+    #[test]
+    fn ints_and_strings_are_distinct_values() {
+        let mut d = Dict::new();
+        let a = d.encode(&Raw::Int(416));
+        let b = d.encode(&Raw::str("416"));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the relational engine: algebra laws against
+//! brute-force set semantics, CSV round trips, and statistics identities.
+
+use proptest::prelude::*;
+use relcheck_relstore::csv::parse_csv;
+use relcheck_relstore::{algebra, stats, Raw, Relation, Schema};
+use std::collections::HashSet;
+
+fn schema2() -> Schema {
+    Schema::new(&[("a", "k"), ("b", "k")])
+}
+
+fn rel2(rows: &[(u32, u32)]) -> Relation {
+    Relation::from_rows(schema2(), rows.iter().map(|&(a, b)| vec![a, b])).unwrap()
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..8, 0u32..8), 0..30)
+}
+
+proptest! {
+    #[test]
+    fn join_matches_nested_loops(l in arb_rows(), r in arb_rows()) {
+        let lr = rel2(&l);
+        let rr = rel2(&r);
+        let joined = algebra::equi_join(&lr, &rr, &[(1, 0)]).unwrap();
+        let mut expected: HashSet<Vec<u32>> = HashSet::new();
+        let lset: HashSet<(u32, u32)> = l.iter().copied().collect();
+        let rset: HashSet<(u32, u32)> = r.iter().copied().collect();
+        for &(a, b) in &lset {
+            for &(c, d) in &rset {
+                if b == c {
+                    expected.insert(vec![a, b, c, d]);
+                }
+            }
+        }
+        let got: HashSet<Vec<u32>> = joined.rows().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn semi_plus_anti_partition_left(l in arb_rows(), r in arb_rows()) {
+        let lr = rel2(&l);
+        let rr = rel2(&r);
+        let semi = algebra::semi_join(&lr, &rr, &[(0, 0)]).unwrap();
+        let anti = algebra::anti_join(&lr, &rr, &[(0, 0)]).unwrap();
+        prop_assert_eq!(semi.len() + anti.len(), lr.len());
+        let semi_set: HashSet<Vec<u32>> = semi.rows().collect();
+        let anti_set: HashSet<Vec<u32>> = anti.rows().collect();
+        prop_assert!(semi_set.is_disjoint(&anti_set));
+    }
+
+    #[test]
+    fn union_difference_laws(a in arb_rows(), b in arb_rows()) {
+        let ra = rel2(&a);
+        let rb = rel2(&b);
+        let u = algebra::union(&ra, &rb).unwrap();
+        let d = algebra::difference(&ra, &rb).unwrap();
+        let aset: HashSet<(u32, u32)> = a.iter().copied().collect();
+        let bset: HashSet<(u32, u32)> = b.iter().copied().collect();
+        prop_assert_eq!(u.len(), aset.union(&bset).count());
+        prop_assert_eq!(d.len(), aset.difference(&bset).count());
+        // A = (A − B) ∪ (A ⋉ B on all columns)
+        let back = algebra::union(
+            &d,
+            &algebra::semi_join(&ra, &rb, &[(0, 0), (1, 1)]).unwrap(),
+        )
+        .unwrap();
+        prop_assert_eq!(back.len(), ra.len());
+    }
+
+    #[test]
+    fn fd_violations_consistent_with_group_counts(rows in arb_rows()) {
+        let r = rel2(&rows);
+        let viol = algebra::fd_violations(&r, &[0], &[1]).unwrap();
+        // A key is bad iff it maps to ≥ 2 distinct b values.
+        let mut by_key: std::collections::HashMap<u32, HashSet<u32>> = Default::default();
+        for &(a, b) in rows.iter().collect::<HashSet<_>>() {
+            by_key.entry(a).or_default().insert(b);
+        }
+        let expected: usize = by_key
+            .values()
+            .filter(|s| s.len() > 1)
+            .map(HashSet::len)
+            .sum();
+        prop_assert_eq!(viol.len(), expected);
+        prop_assert_eq!(algebra::fd_holds(&r, &[0], &[1]).unwrap(), expected == 0);
+    }
+
+    #[test]
+    fn entropy_chain_rule(rows in arb_rows()) {
+        prop_assume!(!rows.is_empty());
+        let r = rel2(&rows);
+        let h_joint = stats::entropy(&r, &[0, 1]);
+        let h_a = stats::entropy(&r, &[0]);
+        let h_b_given_a = stats::cond_entropy(&r, &[0], 1);
+        prop_assert!((h_joint - (h_a + h_b_given_a)).abs() < 1e-9);
+        // Entropy bounds.
+        prop_assert!(h_joint <= (r.len() as f64).log2() + 1e-9);
+        prop_assert!(h_a >= -1e-12);
+    }
+
+    #[test]
+    fn csv_round_trip(rows in proptest::collection::vec(
+        (proptest::string::string_regex("[a-zA-Z ,\"\n0-9]{0,12}").unwrap(), any::<i32>()),
+        0..20,
+    )) {
+        // Serialize rows to CSV (quoting everything) and parse back.
+        let mut text = String::new();
+        for (s, i) in &rows {
+            let quoted = format!("\"{}\"", s.replace('"', "\"\""));
+            text.push_str(&format!("{quoted},{i}\n"));
+        }
+        let parsed = parse_csv(&text).unwrap();
+        prop_assert_eq!(parsed.len(), rows.len());
+        for ((s, i), row) in rows.iter().zip(&parsed) {
+            prop_assert_eq!(&row[0], &Raw::Str(s.clone()));
+            prop_assert_eq!(&row[1], &Raw::Int(*i as i64));
+        }
+    }
+
+    #[test]
+    fn insert_delete_round_trip(rows in arb_rows(), extra in (0u32..8, 0u32..8)) {
+        let mut r = rel2(&rows);
+        let row = vec![extra.0, extra.1];
+        let was_there = r.contains(&row);
+        let before = r.len();
+        r.insert(&row).unwrap();
+        prop_assert!(r.contains(&row));
+        r.delete(&row).unwrap();
+        prop_assert!(!r.contains(&row));
+        prop_assert_eq!(r.len(), before - usize::from(was_there));
+    }
+}

@@ -1,0 +1,66 @@
+//! Explore how the attribute ordering changes the logical index.
+//!
+//! Generates a product-structured relation (where ordering matters most),
+//! evaluates every permutation exhaustively, and shows where the paper's
+//! heuristics land — a miniature of the Figure 2/3 experiments, as a
+//! library-usage demo.
+//!
+//! Run with `cargo run --release --example ordering_explorer`.
+
+use relcheck::core_::ordering::{
+    all_orderings, bdd_size_for_ordering, max_inf_gain, min_cond_entropy, optimal_ordering,
+    prob_converge, random_order, sift_ordering,
+};
+use relcheck::datagen::gen_kprod;
+
+fn main() {
+    // A 1-PROD relation: 5 attributes, |dom| ≤ 100, 30k tuples.
+    let g = gen_kprod(5, 100, 30_000, 1, 7);
+    println!(
+        "relation: {} tuples, attribute domains {:?}\n",
+        g.relation.len(),
+        g.dom_sizes
+    );
+
+    // Exhaustive landscape.
+    let mut sizes: Vec<(Vec<usize>, usize)> = all_orderings(5)
+        .into_iter()
+        .map(|o| {
+            let s = bdd_size_for_ordering(&g.relation, &g.dom_sizes, &o).unwrap();
+            (o, s)
+        })
+        .collect();
+    sizes.sort_by_key(|&(_, s)| s);
+    let (best, best_size) = sizes.first().cloned().unwrap();
+    let (worst, worst_size) = sizes.last().cloned().unwrap();
+    println!("orderings evaluated: {}", sizes.len());
+    println!("best : {best:?} -> {best_size} nodes");
+    println!("worst: {worst:?} -> {worst_size} nodes");
+    println!("spread: {:.1}x\n", worst_size as f64 / best_size as f64);
+
+    // Where the heuristics land.
+    let (opt_order, opt_size) = optimal_ordering(&g.relation, &g.dom_sizes).unwrap();
+    let rank_of = |order: &[usize]| sizes.iter().position(|(o, _)| o == order).unwrap();
+    println!("{:<22} {:>10} {:>8} {:>6}", "strategy", "ordering", "nodes", "rank");
+    let pc = prob_converge(&g.relation, &g.dom_sizes);
+    let (sifted, _) = sift_ordering(&g.relation, &g.dom_sizes, &pc).unwrap();
+    for (name, order) in [
+        ("optimal (exhaustive)", opt_order.clone()),
+        ("Prob-Converge", pc.clone()),
+        ("PC + sifting (ours)", sifted),
+        ("MaxInf-Gain (Fig 1)", max_inf_gain(&g.relation)),
+        ("MinCondEntropy (ours)", min_cond_entropy(&g.relation)),
+        ("random (seed 5)", random_order(5, 5)),
+    ] {
+        let s = bdd_size_for_ordering(&g.relation, &g.dom_sizes, &order).unwrap();
+        println!(
+            "{:<22} {:>10} {:>8} {:>6}",
+            name,
+            format!("{order:?}"),
+            s,
+            format!("#{}", rank_of(&order))
+        );
+    }
+    println!("\noptimal size {opt_size}; the paper recommends Prob-Converge (near-optimal");
+    println!("on structured relations, harmless on random ones).");
+}

@@ -1,0 +1,128 @@
+//! Referential integrity on an order-management schema, with the
+//! dependency-driven [`ConstraintRegistry`]: validate once, then after
+//! each batch of updates re-check only the constraints that could have
+//! been affected — the paper's dynamic-database workflow.
+//!
+//! Run with `cargo run --release --example orders_registry`.
+
+use relcheck::core_::checker::{Checker, CheckerOptions};
+use relcheck::core_::registry::{ConstraintRegistry, Verdict};
+use relcheck::logic::parse;
+use relcheck::relstore::{Database, Raw};
+
+fn main() {
+    // CUSTOMERS(cust_id, region), ORDERS(order_id, cust_id, status),
+    // LINEITEMS(order_id, product, qty_class)
+    let mut db = Database::new();
+    let customers: Vec<Vec<Raw>> = (0..200)
+        .map(|c| vec![Raw::Int(c), Raw::str(["EU", "NA", "APAC"][c as usize % 3])])
+        .collect();
+    db.create_relation("CUSTOMERS", &[("cust_id", "cust"), ("region", "region")], customers)
+        .unwrap();
+    let orders: Vec<Vec<Raw>> = (0..1_000)
+        .map(|o| {
+            vec![
+                Raw::Int(o),
+                Raw::Int(o % 200),
+                Raw::str(["open", "shipped", "billed"][o as usize % 3]),
+            ]
+        })
+        .collect();
+    db.create_relation(
+        "ORDERS",
+        &[("order_id", "order"), ("cust_id", "cust"), ("status", "status")],
+        orders,
+    )
+    .unwrap();
+    let lineitems: Vec<Vec<Raw>> = (0..3_000)
+        .map(|l| {
+            vec![
+                Raw::Int(l % 1_000),
+                Raw::Int(l % 37),
+                Raw::str(["small", "bulk"][l as usize % 2]),
+            ]
+        })
+        .collect();
+    db.create_relation(
+        "LINEITEMS",
+        &[("order_id", "order"), ("product", "product"), ("qty_class", "qty")],
+        lineitems,
+    )
+    .unwrap();
+
+    let mut checker = Checker::new(db, CheckerOptions::default());
+    let mut registry = ConstraintRegistry::new();
+    registry.register(
+        "orders-have-customers",
+        parse("forall o, c, s. ORDERS(o, c, s) -> exists r. CUSTOMERS(c, r)").unwrap(),
+    );
+    registry.register(
+        "lineitems-have-orders",
+        parse("forall o, p, q. LINEITEMS(o, p, q) -> exists c, s. ORDERS(o, c, s)").unwrap(),
+    );
+    registry.register(
+        "every-order-has-items",
+        parse("forall o, c, s. ORDERS(o, c, s) -> exists p, q. LINEITEMS(o, p, q)").unwrap(),
+    );
+    registry.register(
+        "order-status-unique",
+        parse("forall o, c1, s1, c2, s2. ORDERS(o, c1, s1) & ORDERS(o, c2, s2) -> s1 = s2")
+            .unwrap(),
+    );
+    registry.register(
+        "customers-in-known-regions",
+        parse(r#"forall c, r. CUSTOMERS(c, r) -> r in {"EU", "NA", "APAC"}"#).unwrap(),
+    );
+
+    println!("== initial validation ==");
+    for (name, report) in registry.validate_all(&mut checker).unwrap() {
+        println!(
+            "  {name:<28} {:<9} via {:?} in {:.2?}",
+            if report.holds { "ok" } else { "VIOLATED" },
+            report.method,
+            report.elapsed
+        );
+    }
+
+    // A batch of updates touches only ORDERS: deleting order 999 orphans
+    // its line items (breaking lineitems-have-orders) while everything
+    // that doesn't read ORDERS keeps its cached verdict.
+    println!("\n== update batch: delete order 999 from ORDERS ==");
+    let order = checker.logical_db().db().code("order", &Raw::Int(999)).unwrap();
+    let cust = checker.logical_db().db().code("cust", &Raw::Int(999 % 200)).unwrap();
+    let status = checker.logical_db().db().code("status", &Raw::str("open")).unwrap(); // 999 % 3 == 0
+    assert!(checker
+        .logical_db_mut()
+        .delete_tuple("ORDERS", &[order, cust, status])
+        .unwrap());
+
+    println!("== re-validation (only ORDERS-dependent constraints re-checked) ==");
+    let verdicts = registry.revalidate(&mut checker, &["ORDERS"]).unwrap();
+    for (name, v) in &verdicts {
+        let tag = match v {
+            Verdict::Checked { .. } => "re-checked",
+            Verdict::Cached { .. } => "cached   ",
+        };
+        println!(
+            "  {name:<28} {:<9} [{tag}]",
+            if v.holds() { "ok" } else { "VIOLATED" }
+        );
+    }
+    let cached = verdicts
+        .iter()
+        .filter(|(_, v)| matches!(v, Verdict::Cached { .. }))
+        .count();
+    println!(
+        "\n{} of {} constraints served from cache (they don't read ORDERS)",
+        cached,
+        verdicts.len()
+    );
+    assert_eq!(cached, 1, "only the CUSTOMERS-only constraint avoids re-checking");
+    let broken: Vec<&str> = verdicts
+        .iter()
+        .filter(|(_, v)| !v.holds())
+        .map(|(n, _)| n.as_str())
+        .collect();
+    assert_eq!(broken, vec!["lineitems-have-orders"]);
+    println!("exactly the expected constraint broke: {broken:?}");
+}

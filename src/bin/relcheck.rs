@@ -1,0 +1,185 @@
+//! `relcheck` — command-line constraint validation.
+//!
+//! ```text
+//! relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY]
+//! relcheck explain <spec-file> <constraint-name>
+//! ```
+//!
+//! The spec file declares CSV-backed tables and named first-order
+//! constraints (see [`relcheck::spec`]). `run` loads everything, identifies
+//! the violated constraints on BDD logical indices (or pure SQL with
+//! `--sql`), prints a report, lists up to `--limit` violating tuples per
+//! violated constraint, and exits non-zero if anything is violated.
+//! Orderings: `prob-converge` (default), `max-inf-gain`, `min-cond-entropy`,
+//! `sifted`, `schema`, `random`.
+
+use relcheck::core_::checker::{Checker, CheckerOptions};
+use relcheck::core_::ordering::OrderingStrategy;
+use relcheck::relstore::Database;
+use relcheck::spec::{parse_spec, Spec};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("relcheck: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY]\n  \
+     relcheck explain <spec-file> <constraint-name>"
+        .to_owned()
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let cmd = args.first().ok_or_else(usage)?;
+    match cmd.as_str() {
+        "run" => cmd_run(&args[1..]),
+        "explain" => cmd_explain(&args[1..]).map(|()| true),
+        _ => Err(usage()),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn ordering_from(name: &str) -> Result<OrderingStrategy, String> {
+    Ok(match name {
+        "prob-converge" => OrderingStrategy::ProbConverge,
+        "max-inf-gain" => OrderingStrategy::MaxInfGain,
+        "min-cond-entropy" => OrderingStrategy::MinCondEntropy,
+        "sifted" => OrderingStrategy::Sifted,
+        "schema" => OrderingStrategy::Schema,
+        "random" => OrderingStrategy::Random(0xBDD),
+        other => return Err(format!("unknown ordering {other:?}")),
+    })
+}
+
+/// Load the spec and its CSV tables into a database.
+fn load(spec_path: &str) -> Result<(Spec, Database), String> {
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let spec = parse_spec(&text).map_err(|e| e.to_string())?;
+    if spec.tables.is_empty() {
+        return Err("spec declares no tables".to_owned());
+    }
+    let base: PathBuf = Path::new(spec_path)
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_default();
+    let mut db = Database::new();
+    for t in &spec.tables {
+        let csv_path = base.join(&t.path);
+        let csv = std::fs::read_to_string(&csv_path)
+            .map_err(|e| format!("cannot read {}: {e}", csv_path.display()))?;
+        let columns: Vec<(&str, &str)> =
+            t.columns.iter().map(|(c, k)| (c.as_str(), k.as_str())).collect();
+        db.create_relation_from_csv(&t.name, &columns, &csv, t.has_header)
+            .map_err(|e| format!("loading table {}: {e}", t.name))?;
+        println!(
+            "loaded {:<16} {:>8} rows from {}",
+            t.name,
+            db.relation(&t.name).map_err(|e| e.to_string())?.len(),
+            csv_path.display()
+        );
+    }
+    Ok((spec, db))
+}
+
+fn cmd_run(args: &[String]) -> Result<bool, String> {
+    let spec_path = args.first().ok_or_else(usage)?;
+    let limit: usize = flag_value(args, "--limit")
+        .map(|v| v.parse().map_err(|_| "--limit expects a number".to_owned()))
+        .transpose()?
+        .unwrap_or(10);
+    let force_sql = args.iter().any(|a| a == "--sql");
+    let ordering = match flag_value(args, "--ordering") {
+        Some(name) => ordering_from(name)?,
+        None => OrderingStrategy::ProbConverge,
+    };
+    let (spec, db) = load(spec_path)?;
+    if spec.constraints.is_empty() {
+        return Err("spec declares no constraints".to_owned());
+    }
+    let opts = CheckerOptions { ordering, ..Default::default() };
+    let mut checker = Checker::new(db, opts);
+    println!();
+    let mut clean = true;
+    let mut violated = Vec::new();
+    for c in &spec.constraints {
+        let report = if force_sql {
+            checker.check_sql(&c.formula)
+        } else {
+            checker.check(&c.formula)
+        }
+        .map_err(|e| format!("checking {:?}: {e}", c.name))?;
+        println!(
+            "{:<32} {:<9} via {:?} in {:.2?}",
+            c.name,
+            if report.holds { "ok" } else { "VIOLATED" },
+            report.method,
+            report.elapsed
+        );
+        if !report.holds {
+            clean = false;
+            violated.push(c);
+        }
+    }
+    for c in violated {
+        println!("\nviolating tuples of {:?} (up to {limit}):", c.name);
+        match checker.find_violations(&c.formula) {
+            Ok((rows, cols)) => {
+                println!("  columns: {}", cols.join(", "));
+                for i in 0..rows.len().min(limit) {
+                    let decoded =
+                        checker.logical_db().db().decode_row(&rows, &rows.row(i));
+                    println!(
+                        "  ({})",
+                        decoded
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+                if rows.len() > limit {
+                    println!("  … and {} more", rows.len() - limit);
+                }
+            }
+            Err(e) => println!("  (cannot enumerate: {e})"),
+        }
+    }
+    Ok(clean)
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let spec_path = args.first().ok_or_else(usage)?;
+    let target = args.get(1).ok_or_else(usage)?;
+    let (spec, db) = load(spec_path)?;
+    let c = spec
+        .constraints
+        .iter()
+        .find(|c| &c.name == target)
+        .ok_or_else(|| format!("no constraint named {target:?} in the spec"))?;
+    let mut checker = Checker::new(db, CheckerOptions::default());
+    let e = checker.explain(&c.formula).map_err(|e| e.to_string())?;
+    println!("\nconstraint {:?}: {}", c.name, c.formula);
+    println!("{e}");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # relcheck — fast identification of relational constraint violations
+//!
+//! A from-scratch Rust reproduction of *"Fast Identification of Relational
+//! Constraint Violations"* (Chandel, Koudas, Pu, Srivastava — ICDE 2007):
+//! user-defined first-order constraints are validated against **BDD logical
+//! indices** built over relational tables, so that the set of violated
+//! constraints is identified fast — and only then are the offending tuples
+//! materialized through SQL-style plans.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`bdd`] — the ROBDD engine with finite-domain blocks (the BuDDy
+//!   substrate, rebuilt);
+//! * [`relstore`] — dictionary-encoded relations, relational algebra, the
+//!   SQL-baseline plan executor, and the information-theoretic statistics;
+//! * [`datagen`] — the paper's synthetic workloads (k-PROD families, the
+//!   customer database, the curriculum schema);
+//! * [`logic`] — the constraint language: AST, parser, sort inference, the
+//!   Section 4 rewrite rules, and a brute-force semantics oracle;
+//! * [`core_`] — variable-ordering heuristics, logical indices, and the
+//!   [`core_::checker::Checker`] that ties everything together.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use relcheck::core_::checker::{Checker, CheckerOptions};
+//! use relcheck::logic::parse;
+//! use relcheck::relstore::{Database, Raw};
+//!
+//! let mut db = Database::new();
+//! db.create_relation(
+//!     "PHONES",
+//!     &[("city", "city"), ("areacode", "areacode")],
+//!     vec![
+//!         vec![Raw::str("Toronto"), Raw::Int(416)],
+//!         vec![Raw::str("Toronto"), Raw::Int(212)], // violation
+//!     ],
+//! ).unwrap();
+//! let mut checker = Checker::new(db, CheckerOptions::default());
+//! let c = parse(r#"forall c, a. PHONES(c, a) & c = "Toronto" -> a in {416, 647}"#).unwrap();
+//! assert!(!checker.check(&c).unwrap().holds);
+//! let (tuples, _) = checker.find_violations(&c).unwrap();
+//! assert_eq!(tuples.len(), 1);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries regenerating every table and figure of the paper.
+
+pub mod spec;
+
+pub use relcheck_bdd as bdd;
+/// The system core (named `core_` to avoid clashing with Rust's `core`).
+pub use relcheck_core as core_;
+pub use relcheck_datagen as datagen;
+pub use relcheck_logic as logic;
+pub use relcheck_relstore as relstore;
