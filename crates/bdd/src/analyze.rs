@@ -18,9 +18,8 @@ impl BddManager {
     /// [`BddManager::size`].
     pub fn level_profile(&self, f: Bdd) -> Vec<(Var, usize)> {
         let mut counts: std::collections::BTreeMap<Var, usize> = Default::default();
-        let mut seen = std::collections::HashSet::with_hasher(
-            crate::hash::FxBuildHasher::default(),
-        );
+        let mut seen =
+            std::collections::HashSet::with_hasher(crate::hash::FxBuildHasher::default());
         let mut stack = vec![f.index()];
         while let Some(i) = stack.pop() {
             if i <= 1 || !seen.insert(i) {
@@ -69,7 +68,8 @@ impl BddManager {
             let high = self.constrain(f1, c1)?;
             self.mk(top, low, high)?
         };
-        self.cache.put(OpCode::Constrain, f.index(), c.index(), 0, r.index());
+        self.cache
+            .put(OpCode::Constrain, f.index(), c.index(), 0, r.index());
         Ok(r)
     }
 

@@ -102,9 +102,21 @@ impl BddManager {
             return Ok(Bdd(r));
         }
         let top = self.level(f).min(self.level(g)).min(self.level(h));
-        let (f0, f1) = if self.level(f) == top { self.cofactors(f) } else { (f, f) };
-        let (g0, g1) = if self.level(g) == top { self.cofactors(g) } else { (g, g) };
-        let (h0, h1) = if self.level(h) == top { self.cofactors(h) } else { (h, h) };
+        let (f0, f1) = if self.level(f) == top {
+            self.cofactors(f)
+        } else {
+            (f, f)
+        };
+        let (g0, g1) = if self.level(g) == top {
+            self.cofactors(g)
+        } else {
+            (g, g)
+        };
+        let (h0, h1) = if self.level(h) == top {
+            self.cofactors(h)
+        } else {
+            (h, h)
+        };
         let low = self.ite(f0, g0, h0)?;
         let high = self.ite(f1, g1, h1)?;
         let r = self.mk(top, low, high)?;
@@ -125,8 +137,7 @@ impl BddManager {
     }
 
     fn fold(&mut self, op: Op, unit: Bdd, operands: &[Bdd]) -> Result<Bdd> {
-        let mut ops: Vec<(usize, Bdd)> =
-            operands.iter().map(|&b| (self.size(b), b)).collect();
+        let mut ops: Vec<(usize, Bdd)> = operands.iter().map(|&b| (self.size(b), b)).collect();
         ops.sort_by_key(|&(s, _)| s);
         let mut acc = unit;
         for (_, b) in ops {
@@ -154,7 +165,11 @@ fn op_code(op: Op) -> u8 {
 #[inline]
 fn apply_shortcut(op: Op, f: Bdd, g: Bdd) -> Option<Bdd> {
     if f.is_const() && g.is_const() {
-        return Some(if op.eval(f.is_true(), g.is_true()) { Bdd::TRUE } else { Bdd::FALSE });
+        return Some(if op.eval(f.is_true(), g.is_true()) {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        });
     }
     match op {
         Op::And => match () {
@@ -229,7 +244,16 @@ mod tests {
 
     #[test]
     fn all_binary_ops_match_truth_tables() {
-        for op in [Op::And, Op::Or, Op::Xor, Op::Nand, Op::Nor, Op::Imp, Op::Biimp, Op::Diff] {
+        for op in [
+            Op::And,
+            Op::Or,
+            Op::Xor,
+            Op::Nand,
+            Op::Nor,
+            Op::Imp,
+            Op::Biimp,
+            Op::Diff,
+        ] {
             check_op(op);
         }
     }

@@ -22,10 +22,7 @@ impl BddManager {
     /// sorted-tuple fast path when the layout fits 64 bits, else falls back
     /// to OR folding.
     pub fn relation_from_rows(&mut self, domains: &[DomainId], rows: &[Vec<u64>]) -> Result<Bdd> {
-        let total_bits: usize = domains
-            .iter()
-            .map(|&d| self.domain_vars(d).len())
-            .sum();
+        let total_bits: usize = domains.iter().map(|&d| self.domain_vars(d).len()).sum();
         if total_bits <= 64 {
             self.relation_from_rows_sorted(domains, rows)
         } else {
@@ -45,7 +42,9 @@ impl BddManager {
     ) -> Result<Bdd> {
         let layout = self.layout(domains)?;
         if layout.levels.len() > 64 {
-            return Err(BddError::TupleTooWide { bits: layout.levels.len() as u32 });
+            return Err(BddError::TupleTooWide {
+                bits: layout.levels.len() as u32,
+            });
         }
         let mut keys = Vec::with_capacity(rows.len());
         for row in rows {
@@ -125,12 +124,18 @@ impl BddManager {
 
     fn encode_row(&self, layout: &Layout, domains: &[DomainId], row: &[u64]) -> Result<u64> {
         if row.len() != domains.len() {
-            return Err(BddError::ArityMismatch { expected: domains.len(), got: row.len() });
+            return Err(BddError::ArityMismatch {
+                expected: domains.len(),
+                got: row.len(),
+            });
         }
         for (&d, &v) in domains.iter().zip(row) {
             let size = self.domain_info(d).size;
             if v >= size {
-                return Err(BddError::ValueOutOfDomain { value: v, domain_size: size });
+                return Err(BddError::ValueOutOfDomain {
+                    value: v,
+                    domain_size: size,
+                });
             }
         }
         let n = layout.levels.len();
@@ -158,7 +163,9 @@ mod tests {
 
     fn rand_rows(n: usize, doms: &[u64], seed: u64) -> Vec<Vec<u64>> {
         // Tiny deterministic LCG — keeps the unit test dependency-free.
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let mut next = move || {
             state ^= state << 13;
             state ^= state >> 7;
@@ -223,8 +230,9 @@ mod tests {
         let mut m = BddManager::new();
         let d1 = m.add_domain(4).unwrap();
         let d2 = m.add_domain(4).unwrap();
-        let rows: Vec<Vec<u64>> =
-            (0..4).flat_map(|a| (0..4).map(move |b| vec![a, b])).collect();
+        let rows: Vec<Vec<u64>> = (0..4)
+            .flat_map(|a| (0..4).map(move |b| vec![a, b]))
+            .collect();
         let r = m.relation_from_rows(&[d1, d2], &rows).unwrap();
         // Every bit pattern is valid (size 4 = 2 bits exactly) → TRUE.
         assert_eq!(r, Bdd::TRUE);
@@ -261,7 +269,10 @@ mod tests {
         let swapped: Vec<Vec<u64>> = rows.iter().map(|r| vec![r[1], r[0]]).collect();
         let ra = m.relation_from_rows(&[d1, d2], &rows).unwrap();
         let rb = m.relation_from_rows(&[d2, d1], &swapped).unwrap();
-        assert_eq!(ra, rb, "layout order is presentational; semantics follow domains");
+        assert_eq!(
+            ra, rb,
+            "layout order is presentational; semantics follow domains"
+        );
     }
 
     #[test]

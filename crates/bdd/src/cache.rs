@@ -63,7 +63,13 @@ struct Entry {
     result: u32,
 }
 
-const EMPTY: Entry = Entry { op: 0, a: 0, b: 0, c: 0, result: u32::MAX };
+const EMPTY: Entry = Entry {
+    op: 0,
+    a: 0,
+    b: 0,
+    c: 0,
+    result: u32::MAX,
+};
 
 /// The direct-mapped cache. `a`, `b` are operand node indices; `c` carries a
 /// third operand (for `ite`), an interned varset id (quantification), or an
@@ -109,7 +115,13 @@ impl OpCache {
     pub(crate) fn put(&mut self, op: OpCode, a: u32, b: u32, c: u32, result: u32) {
         let op = op.encode();
         let idx = self.index(op, a, b, c);
-        self.slots[idx] = Entry { op, a, b, c, result };
+        self.slots[idx] = Entry {
+            op,
+            a,
+            b,
+            c,
+            result,
+        };
     }
 
     /// Drop all entries. Must be called whenever node indices may be reused

@@ -54,6 +54,13 @@ pub enum BddError {
     /// The same domain was used for two different columns of one relation
     /// layout — each column needs its own variable block.
     DuplicateDomain,
+    /// An imported snapshot references a variable that the accompanying
+    /// layout metadata does not cover, so there is no target variable to
+    /// map it to.
+    UnmappedVariable {
+        /// The snapshot variable with no mapping.
+        var: u32,
+    },
 }
 
 impl fmt::Display for BddError {
@@ -73,7 +80,10 @@ impl fmt::Display for BddError {
                 "tuple layout needs {bits} bits; sorted-tuple construction packs into 64"
             ),
             BddError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: layout has {expected} domains, row has {got} values")
+                write!(
+                    f,
+                    "row arity mismatch: layout has {expected} domains, row has {got} values"
+                )
             }
             BddError::DomainWidthMismatch { from_bits, to_bits } => write!(
                 f,
@@ -81,6 +91,12 @@ impl fmt::Display for BddError {
             ),
             BddError::DuplicateDomain => {
                 write!(f, "a relation layout listed the same domain twice")
+            }
+            BddError::UnmappedVariable { var } => {
+                write!(
+                    f,
+                    "snapshot references variable {var} outside the exported layout"
+                )
             }
         }
     }

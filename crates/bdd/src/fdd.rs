@@ -62,7 +62,11 @@ impl BddManager {
     /// Metadata for a domain.
     pub fn domain_info(&self, d: DomainId) -> DomainInfo {
         let dom = &self.domains[d.0 as usize];
-        DomainInfo { size: dom.size, bits: dom.vars.len() as u32, first_var: dom.vars[0] }
+        DomainInfo {
+            size: dom.size,
+            bits: dom.vars.len() as u32,
+            first_var: dom.vars[0],
+        }
     }
 
     /// The block's variables, most significant first.
@@ -80,7 +84,10 @@ impl BddManager {
     pub(crate) fn value_literals(&self, d: DomainId, value: u64) -> Result<Vec<(Var, bool)>> {
         let dom = &self.domains[d.0 as usize];
         if value >= dom.size {
-            return Err(BddError::ValueOutOfDomain { value, domain_size: dom.size });
+            return Err(BddError::ValueOutOfDomain {
+                value,
+                domain_size: dom.size,
+            });
         }
         let k = dom.vars.len();
         Ok(dom
@@ -98,7 +105,10 @@ impl BddManager {
         values: &[u64],
     ) -> Result<Vec<(Var, bool)>> {
         if domains.len() != values.len() {
-            return Err(BddError::ArityMismatch { expected: domains.len(), got: values.len() });
+            return Err(BddError::ArityMismatch {
+                expected: domains.len(),
+                got: values.len(),
+            });
         }
         let mut lits = Vec::with_capacity(domains.len() * 4);
         for (&d, &v) in domains.iter().zip(values) {
@@ -137,7 +147,10 @@ impl BddManager {
         let common = v1.len().min(v2.len());
         let mut parts = Vec::new();
         // Extra MSBs of the wider domain must be 0 for equality to hold.
-        for &v in v1[..v1.len() - common].iter().chain(v2[..v2.len() - common].iter()) {
+        for &v in v1[..v1.len() - common]
+            .iter()
+            .chain(v2[..v2.len() - common].iter())
+        {
             parts.push(self.nvar(v)?);
         }
         for (&a, &b) in v1[v1.len() - common..].iter().zip(&v2[v2.len() - common..]) {
@@ -334,7 +347,7 @@ mod tests {
         let mut m = BddManager::new();
         let d = m.add_domain(8).unwrap(); // 3 bits
         let c = m.value_cube(d, 5).unwrap(); // 101
-        // MSB (var 0) = 1, var 1 = 0, var 2 = 1
+                                             // MSB (var 0) = 1, var 1 = 0, var 2 = 1
         assert!(m.eval(c, |v| v == 0 || v == 2));
         assert!(!m.eval(c, |v| v == 0 || v == 1));
     }
@@ -345,7 +358,10 @@ mod tests {
         let d = m.add_domain(5).unwrap();
         assert!(matches!(
             m.value_cube(d, 5),
-            Err(BddError::ValueOutOfDomain { value: 5, domain_size: 5 })
+            Err(BddError::ValueOutOfDomain {
+                value: 5,
+                domain_size: 5
+            })
         ));
     }
 
@@ -366,7 +382,10 @@ mod tests {
         }
         let any = m.or_many(&cubes).unwrap();
         let range = m.domain_range(d).unwrap();
-        assert_eq!(any, range, "union of value cubes is exactly the range constraint");
+        assert_eq!(
+            any, range,
+            "union of value cubes is exactly the range constraint"
+        );
     }
 
     #[test]
@@ -490,7 +509,7 @@ mod tests {
     fn rows_filters_out_of_range_values() {
         let mut m = BddManager::new();
         let d = m.add_domain(5).unwrap(); // 3 bits: raw values 5,6,7 invalid
-        // TRUE over the block decodes 8 assignments but only 5 valid values.
+                                          // TRUE over the block decodes 8 assignments but only 5 valid values.
         let rows = m.rows(Bdd::TRUE, &[d]).unwrap();
         assert_eq!(rows.len(), 5);
     }

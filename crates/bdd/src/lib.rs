@@ -66,7 +66,7 @@ pub use manager::{Bdd, BddManager, GcStats, ManagerStats, Var, NODE_BYTES};
 pub use quant::VarSet;
 pub use replace::ReplaceMap;
 pub use sat::SatAssignments;
-pub use serialize::ExportedBdd;
+pub use serialize::{ExportedBdd, ExportedRelation};
 
 /// Binary boolean connectives accepted by [`BddManager::apply`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -132,9 +132,17 @@ impl BddManager {
     pub fn with_capacity(cache_slots: usize) -> Self {
         let nodes = vec![
             // false terminal
-            Node { level: LEVEL_TERMINAL, low: 0, high: 0 },
+            Node {
+                level: LEVEL_TERMINAL,
+                low: 0,
+                high: 0,
+            },
             // true terminal
-            Node { level: LEVEL_TERMINAL, low: 1, high: 1 },
+            Node {
+                level: LEVEL_TERMINAL,
+                low: 1,
+                high: 1,
+            },
         ];
         BddManager {
             nodes,
@@ -240,17 +248,28 @@ impl BddManager {
         }
         if let Some(limit) = self.node_limit {
             if self.live_nodes() >= limit {
-                return Err(BddError::NodeLimit { limit, live: self.live_nodes() });
+                return Err(BddError::NodeLimit {
+                    limit,
+                    live: self.live_nodes(),
+                });
             }
         }
         let idx = match self.free.pop() {
             Some(i) => {
-                self.nodes[i as usize] = Node { level, low: low.0, high: high.0 };
+                self.nodes[i as usize] = Node {
+                    level,
+                    low: low.0,
+                    high: high.0,
+                };
                 i
             }
             None => {
                 let i = self.nodes.len() as u32;
-                self.nodes.push(Node { level, low: low.0, high: high.0 });
+                self.nodes.push(Node {
+                    level,
+                    low: low.0,
+                    high: high.0,
+                });
                 i
             }
         };
@@ -269,7 +288,11 @@ impl BddManager {
                 return cur.is_true();
             }
             let n = self.node(cur);
-            cur = if assignment(n.level) { Bdd(n.high) } else { Bdd(n.low) };
+            cur = if assignment(n.level) {
+                Bdd(n.high)
+            } else {
+                Bdd(n.low)
+            };
         }
     }
 
@@ -279,9 +302,8 @@ impl BddManager {
         if f.is_const() {
             return 0;
         }
-        let mut seen = std::collections::HashSet::with_hasher(
-            crate::hash::FxBuildHasher::default(),
-        );
+        let mut seen =
+            std::collections::HashSet::with_hasher(crate::hash::FxBuildHasher::default());
         let mut stack = vec![f.0];
         while let Some(i) = stack.pop() {
             if i <= 1 || !seen.insert(i) {
@@ -297,9 +319,8 @@ impl BddManager {
     /// Combined node count of several roots, counting shared nodes once —
     /// what an index set actually occupies.
     pub fn size_shared(&self, roots: &[Bdd]) -> usize {
-        let mut seen = std::collections::HashSet::with_hasher(
-            crate::hash::FxBuildHasher::default(),
-        );
+        let mut seen =
+            std::collections::HashSet::with_hasher(crate::hash::FxBuildHasher::default());
         let mut stack: Vec<u32> = roots.iter().map(|b| b.0).collect();
         while let Some(i) = stack.pop() {
             if i <= 1 || !seen.insert(i) {
@@ -314,9 +335,8 @@ impl BddManager {
 
     /// The set of variables appearing in `f`, sorted ascending.
     pub fn support(&self, f: Bdd) -> Vec<Var> {
-        let mut seen = std::collections::HashSet::with_hasher(
-            crate::hash::FxBuildHasher::default(),
-        );
+        let mut seen =
+            std::collections::HashSet::with_hasher(crate::hash::FxBuildHasher::default());
         let mut vars = std::collections::BTreeSet::new();
         let mut stack = vec![f.0];
         while let Some(i) = stack.pop() {
@@ -360,14 +380,21 @@ impl BddManager {
                 let n = self.nodes[i];
                 self.unique.remove(&(n.level, n.low, n.high));
                 // Poison the entry so stale handles fail fast in debug runs.
-                self.nodes[i] = Node { level: LEVEL_TERMINAL - 1, low: 0, high: 0 };
+                self.nodes[i] = Node {
+                    level: LEVEL_TERMINAL - 1,
+                    low: 0,
+                    high: 0,
+                };
                 self.free.push(i as u32);
                 freed += 1;
             }
         }
         self.cache.invalidate();
         self.gc_runs += 1;
-        GcStats { freed, live: self.live_nodes() }
+        GcStats {
+            freed,
+            live: self.live_nodes(),
+        }
     }
 
     /// Snapshot of cumulative statistics.

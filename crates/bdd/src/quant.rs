@@ -38,7 +38,10 @@ impl BddManager {
         }
         let id = self.varsets.len() as u32;
         let max = sorted.last().copied().unwrap_or(LEVEL_TERMINAL);
-        self.varsets.push(VarSetData { vars: sorted.clone(), max });
+        self.varsets.push(VarSetData {
+            vars: sorted.clone(),
+            max,
+        });
         self.varset_lookup.insert(sorted, id);
         VarSet(id)
     }
@@ -64,14 +67,21 @@ impl BddManager {
             // No quantified variable can occur in f below this point.
             return Ok(f);
         }
-        let code = if is_exists { OpCode::Exists } else { OpCode::Forall };
+        let code = if is_exists {
+            OpCode::Exists
+        } else {
+            OpCode::Forall
+        };
         if let Some(r) = self.cache.get(code, f.0, vs.0, 0) {
             return Ok(Bdd(r));
         }
         let n = self.node(f);
         let low = self.quant(Bdd(n.low), vs, is_exists)?;
         let high = self.quant(Bdd(n.high), vs, is_exists)?;
-        let in_set = self.varsets[vs.0 as usize].vars.binary_search(&n.level).is_ok();
+        let in_set = self.varsets[vs.0 as usize]
+            .vars
+            .binary_search(&n.level)
+            .is_ok();
         let r = if in_set {
             if is_exists {
                 self.or(low, high)?
@@ -105,10 +115,18 @@ impl BddManager {
             return self.apply(op, f, g);
         }
         if f.is_const() && g.is_const() {
-            return Ok(if op.eval(f.is_true(), g.is_true()) { Bdd::TRUE } else { Bdd::FALSE });
+            return Ok(if op.eval(f.is_true(), g.is_true()) {
+                Bdd::TRUE
+            } else {
+                Bdd::FALSE
+            });
         }
         let opc = op_discriminant(op);
-        let code = if is_exists { OpCode::AppExists(opc) } else { OpCode::AppForall(opc) };
+        let code = if is_exists {
+            OpCode::AppExists(opc)
+        } else {
+            OpCode::AppForall(opc)
+        };
         if let Some(r) = self.cache.get(code, f.0, g.0, vs.0) {
             return Ok(Bdd(r));
         }

@@ -85,7 +85,11 @@ impl BddManager {
         let r = if lc < lf {
             // The cube constrains a variable above f's root: skip it.
             let nc = self.node(c);
-            let next = if nc.low == 0 { Bdd(nc.high) } else { Bdd(nc.low) };
+            let next = if nc.low == 0 {
+                Bdd(nc.high)
+            } else {
+                Bdd(nc.low)
+            };
             self.restrict(f, next)?
         } else if lc == lf {
             let nf = self.node(f);
@@ -208,7 +212,7 @@ mod tests {
         let x2 = m.var(v[2]).unwrap();
         let t = m.and(x0, x1).unwrap();
         let f = m.or(t, x2).unwrap(); // (x0 ∧ x1) ∨ x2
-        // Restrict x0 := 1: result should be x1 ∨ x2.
+                                      // Restrict x0 := 1: result should be x1 ∨ x2.
         let c = m.cube(&[(v[0], true)]).unwrap();
         let r = m.restrict(f, c).unwrap();
         let expected = m.or(x1, x2).unwrap();

@@ -35,12 +35,7 @@ impl BddManager {
             let idx = vars.partition_point(|&v| v < level);
             vars.len() - idx
         }
-        fn rec(
-            m: &BddManager,
-            f: Bdd,
-            vars: &[Var],
-            memo: &mut FxHashMap<u32, f64>,
-        ) -> f64 {
+        fn rec(m: &BddManager, f: Bdd, vars: &[Var], memo: &mut FxHashMap<u32, f64>) -> f64 {
             if f.is_false() {
                 return 0.0;
             }
@@ -57,10 +52,7 @@ impl BddManager {
                 n.level
             );
             let below_here = vars_at_or_below(vars, n.level) as i32;
-            let count_side = |m: &BddManager,
-                              child: Bdd,
-                              memo: &mut FxHashMap<u32, f64>|
-             -> f64 {
+            let count_side = |m: &BddManager, child: Bdd, memo: &mut FxHashMap<u32, f64>| -> f64 {
                 let c = rec(m, child, vars, memo);
                 let child_level = m.level(child);
                 let below_child = if child_level == LEVEL_TERMINAL {
@@ -119,7 +111,11 @@ impl BddManager {
         SatAssignments {
             mgr: self,
             vars,
-            stack: if f.is_false() { vec![] } else { vec![(f, 0, Vec::new())] },
+            stack: if f.is_false() {
+                vec![]
+            } else {
+                vec![(f, 0, Vec::new())]
+            },
         }
     }
 

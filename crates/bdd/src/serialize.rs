@@ -11,7 +11,8 @@
 //! [`export`]: BddManager::export
 //! [`import`]: BddManager::import
 
-use crate::error::Result;
+use crate::error::{BddError, Result};
+use crate::fdd::{bits_for, DomainId};
 use crate::hash::FxHashMap;
 use crate::manager::{Bdd, BddManager, Var};
 
@@ -83,11 +84,112 @@ impl ExportedBdd {
     }
 }
 
+/// A manager-independent snapshot of a relation BDD *together with its
+/// finite-domain layout*, so another manager — typically one owned by a
+/// different worker thread — can rebuild both the domains and the function
+/// without re-running tuple construction.
+///
+/// `blocks` lists the layout's domains in ascending source-variable order
+/// (i.e. declaration order); `slots[i]` says which block the caller's `i`-th
+/// domain became, so [`BddManager::import_relation`] can hand back domain
+/// handles in the caller's original order. Everything here is plain owned
+/// data (`Send + Sync`), which is what makes it a safe hand-off format
+/// between per-worker BDD managers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportedRelation {
+    /// The function, children before parents (see [`ExportedBdd`]).
+    pub bdd: ExportedBdd,
+    /// `(domain size, source variables MSB-first)` per block, ascending by
+    /// source variable.
+    pub blocks: Vec<(u64, Vec<Var>)>,
+    /// For each input domain position, the index of its block in `blocks`.
+    pub slots: Vec<usize>,
+}
+
+impl ExportedRelation {
+    /// Serialize into a byte buffer: block table, slot table, then the
+    /// [`ExportedBdd`] payload, all little-endian.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.blocks.len() as u32).to_le_bytes());
+        for (size, vars) in &self.blocks {
+            out.extend_from_slice(&size.to_le_bytes());
+            out.extend_from_slice(&(vars.len() as u32).to_le_bytes());
+            for &v in vars {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        for &s in &self.slots {
+            out.extend_from_slice(&(s as u32).to_le_bytes());
+        }
+        out.extend_from_slice(&self.bdd.to_bytes());
+        out
+    }
+
+    /// Inverse of [`ExportedRelation::to_bytes`]. Returns `None` on
+    /// malformed input: truncated buffers, zero-sized domains, block widths
+    /// that disagree with the domain size, non-ascending variables, or a
+    /// slot table that is not a permutation of the blocks.
+    pub fn from_bytes(bytes: &[u8]) -> Option<ExportedRelation> {
+        let mut off = 0usize;
+        let take_u32 = |off: &mut usize| -> Option<u32> {
+            let v = u32::from_le_bytes(bytes.get(*off..*off + 4)?.try_into().ok()?);
+            *off += 4;
+            Some(v)
+        };
+        let take_u64 = |off: &mut usize| -> Option<u64> {
+            let v = u64::from_le_bytes(bytes.get(*off..*off + 8)?.try_into().ok()?);
+            *off += 8;
+            Some(v)
+        };
+        let nblocks = take_u32(&mut off)? as usize;
+        let mut blocks = Vec::with_capacity(nblocks);
+        let mut prev: Option<Var> = None;
+        for _ in 0..nblocks {
+            let size = take_u64(&mut off)?;
+            if size == 0 {
+                return None;
+            }
+            let nvars = take_u32(&mut off)? as usize;
+            if nvars != bits_for(size) as usize {
+                return None;
+            }
+            let mut vars = Vec::with_capacity(nvars);
+            for _ in 0..nvars {
+                let v = take_u32(&mut off)?;
+                // The flattened variable sequence must ascend strictly —
+                // that is what guarantees a monotone map on import.
+                if prev.is_some_and(|p| p >= v) {
+                    return None;
+                }
+                prev = Some(v);
+                vars.push(v);
+            }
+            blocks.push((size, vars));
+        }
+        let mut slots = Vec::with_capacity(nblocks);
+        let mut seen = vec![false; nblocks];
+        for _ in 0..nblocks {
+            let s = take_u32(&mut off)? as usize;
+            if s >= nblocks || seen[s] {
+                return None;
+            }
+            seen[s] = true;
+            slots.push(s);
+        }
+        let bdd = ExportedBdd::from_bytes(bytes.get(off..)?)?;
+        Some(ExportedRelation { bdd, blocks, slots })
+    }
+}
+
 impl BddManager {
     /// Snapshot the function rooted at `f` into a manager-independent form.
     pub fn export(&self, f: Bdd) -> ExportedBdd {
         if f.is_const() {
-            return ExportedBdd { nodes: vec![], root: f.index() };
+            return ExportedBdd {
+                nodes: vec![],
+                root: f.index(),
+            };
         }
         // Post-order traversal so children are emitted before parents.
         let mut refs: FxHashMap<u32, u32> = FxHashMap::default();
@@ -111,7 +213,10 @@ impl BddManager {
                 stack.push((n.low, false));
             }
         }
-        ExportedBdd { nodes, root: refs[&f.index()] }
+        ExportedBdd {
+            nodes,
+            root: refs[&f.index()],
+        }
     }
 
     /// Rebuild an exported function in this manager. `var_map` translates
@@ -138,6 +243,76 @@ impl BddManager {
             built.push(node);
         }
         Ok(resolve(e.root, &built))
+    }
+
+    /// Snapshot a relation BDD together with its finite-domain layout.
+    /// `domains` is the relation's layout in schema order; the snapshot
+    /// records enough metadata for [`BddManager::import_relation`] to
+    /// re-declare equivalent domains in a *fresh* manager and rebuild the
+    /// function there.
+    pub fn export_relation(&self, f: Bdd, domains: &[DomainId]) -> Result<ExportedRelation> {
+        // Order blocks by their position in the variable order (declaration
+        // order); re-declaring them in that same order in the target manager
+        // makes the variable map monotone, which `import` requires.
+        let mut order: Vec<usize> = (0..domains.len()).collect();
+        order.sort_by_key(|&i| self.domain_info(domains[i]).first_var);
+        for w in order.windows(2) {
+            if domains[w[0]] == domains[w[1]] {
+                return Err(BddError::DuplicateDomain);
+            }
+        }
+        let blocks: Vec<(u64, Vec<Var>)> = order
+            .iter()
+            .map(|&i| {
+                let d = domains[i];
+                (self.domain_info(d).size, self.domain_vars(d).to_vec())
+            })
+            .collect();
+        let mut slots = vec![0usize; domains.len()];
+        for (block_idx, &input_pos) in order.iter().enumerate() {
+            slots[input_pos] = block_idx;
+        }
+        Ok(ExportedRelation {
+            bdd: self.export(f),
+            blocks,
+            slots,
+        })
+    }
+
+    /// Rebuild an exported relation in this manager: declare one fresh
+    /// domain per block (appended after any existing variables) and import
+    /// the function with the induced variable map. Returns the new domain
+    /// handles in the *caller's original schema order* plus the rebuilt
+    /// root.
+    ///
+    /// Fails with [`BddError::UnmappedVariable`] if the snapshot's function
+    /// mentions a variable outside the exported layout.
+    pub fn import_relation(&mut self, e: &ExportedRelation) -> Result<(Vec<DomainId>, Bdd)> {
+        let mut var_map: FxHashMap<Var, Var> = FxHashMap::default();
+        let mut new_doms = Vec::with_capacity(e.blocks.len());
+        for (size, src_vars) in &e.blocks {
+            let d = self.add_domain(*size)?;
+            let dst_vars = self.domain_vars(d);
+            if dst_vars.len() != src_vars.len() {
+                return Err(BddError::DomainWidthMismatch {
+                    from_bits: src_vars.len() as u32,
+                    to_bits: dst_vars.len() as u32,
+                });
+            }
+            for (&s, &t) in src_vars.iter().zip(dst_vars) {
+                var_map.insert(s, t);
+            }
+            new_doms.push(d);
+        }
+        // Validate coverage up front: `import`'s var_map hook cannot fail.
+        for &(v, _, _) in &e.bdd.nodes {
+            if !var_map.contains_key(&v) {
+                return Err(BddError::UnmappedVariable { var: v });
+            }
+        }
+        let root = self.import(&e.bdd, |v| var_map[&v])?;
+        let doms_in_schema_order = e.slots.iter().map(|&s| new_doms[s]).collect();
+        Ok((doms_in_schema_order, root))
     }
 
     /// Render the function rooted at `f` as a Graphviz DOT digraph. Solid
@@ -180,8 +355,7 @@ mod tests {
     fn sample_relation(m: &mut BddManager) -> (Vec<crate::fdd::DomainId>, Bdd) {
         let d1 = m.add_domain(9).unwrap();
         let d2 = m.add_domain(5).unwrap();
-        let rows: Vec<Vec<u64>> =
-            (0..20u64).map(|i| vec![(i * 7) % 9, (i * 3) % 5]).collect();
+        let rows: Vec<Vec<u64>> = (0..20u64).map(|i| vec![(i * 7) % 9, (i * 3) % 5]).collect();
         let r = m.relation_from_rows(&[d1, d2], &rows).unwrap();
         (vec![d1, d2], r)
     }
@@ -270,6 +444,124 @@ mod tests {
         bad_root.extend_from_slice(&0u32.to_le_bytes());
         bad_root.extend_from_slice(&9u32.to_le_bytes());
         assert!(ExportedBdd::from_bytes(&bad_root).is_none());
+    }
+
+    #[test]
+    fn relation_round_trip_into_fresh_manager() {
+        let mut m1 = BddManager::new();
+        let (doms, r) = sample_relation(&mut m1);
+        let e = m1.export_relation(r, &doms).unwrap();
+        // The target manager already has unrelated variables — the induced
+        // var_map is a genuine shift, not the identity.
+        let mut m2 = BddManager::new();
+        let _pad = m2.add_domain(100).unwrap();
+        let (doms2, r2) = m2.import_relation(&e).unwrap();
+        let mut rows1 = m1.rows(r, &doms).unwrap();
+        let mut rows2 = m2.rows(r2, &doms2).unwrap();
+        rows1.sort();
+        rows2.sort();
+        assert_eq!(rows1, rows2);
+        // Full-oracle check: membership agrees on every point of the
+        // domain product, not just on the decoded rows.
+        for a in 0..9u64 {
+            for b in 0..5u64 {
+                assert_eq!(
+                    m1.contains(r, &doms, &[a, b]).unwrap(),
+                    m2.contains(r2, &doms2, &[a, b]).unwrap(),
+                    "tuple ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relation_export_preserves_schema_order() {
+        // Schema order ≠ declaration order: the layout lists the
+        // later-declared domain first. The snapshot must hand back handles
+        // in schema order regardless.
+        let mut m1 = BddManager::new();
+        let d1 = m1.add_domain(9).unwrap();
+        let d2 = m1.add_domain(5).unwrap();
+        let rows: Vec<Vec<u64>> = (0..15u64).map(|i| vec![(i * 2) % 5, (i * 7) % 9]).collect();
+        // Layout [d2, d1]: column 0 lives in d2's block, column 1 in d1's.
+        let r = m1.relation_from_rows(&[d2, d1], &rows).unwrap();
+        let e = m1.export_relation(r, &[d2, d1]).unwrap();
+        let mut m2 = BddManager::new();
+        let (doms2, r2) = m2.import_relation(&e).unwrap();
+        assert_eq!(m2.domain_info(doms2[0]).size, 5);
+        assert_eq!(m2.domain_info(doms2[1]).size, 9);
+        let mut rows1 = m1.rows(r, &[d2, d1]).unwrap();
+        let mut rows2 = m2.rows(r2, &doms2).unwrap();
+        rows1.sort();
+        rows2.sort();
+        assert_eq!(rows1, rows2);
+    }
+
+    #[test]
+    fn relation_byte_round_trip() {
+        let mut m = BddManager::new();
+        let (doms, r) = sample_relation(&mut m);
+        let e = m.export_relation(r, &doms).unwrap();
+        let decoded = ExportedRelation::from_bytes(&e.to_bytes()).unwrap();
+        assert_eq!(e, decoded);
+        // And the decoded form is actually usable.
+        let mut m2 = BddManager::new();
+        let (doms2, r2) = m2.import_relation(&decoded).unwrap();
+        assert_eq!(
+            m2.tuple_count(r2, &doms2).unwrap(),
+            m.tuple_count(r, &doms).unwrap()
+        );
+    }
+
+    #[test]
+    fn relation_from_bytes_rejects_malformed_input() {
+        assert!(ExportedRelation::from_bytes(&[]).is_none());
+        let mut m = BddManager::new();
+        let (doms, r) = sample_relation(&mut m);
+        let good = m.export_relation(r, &doms).unwrap();
+        // Zero-sized domain.
+        let mut e = good.clone();
+        e.blocks[0].0 = 0;
+        assert!(ExportedRelation::from_bytes(&e.to_bytes()).is_none());
+        // Width disagrees with the size.
+        let mut e = good.clone();
+        e.blocks[0].0 = 1000;
+        assert!(ExportedRelation::from_bytes(&e.to_bytes()).is_none());
+        // Non-ascending variables (blocks swapped without renumbering).
+        let mut e = good.clone();
+        e.blocks.swap(0, 1);
+        assert!(ExportedRelation::from_bytes(&e.to_bytes()).is_none());
+        // Slot table not a permutation.
+        let mut e = good.clone();
+        e.slots[1] = e.slots[0];
+        assert!(ExportedRelation::from_bytes(&e.to_bytes()).is_none());
+        // Truncated payload.
+        let bytes = good.to_bytes();
+        assert!(ExportedRelation::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn relation_export_rejects_duplicate_domains() {
+        let mut m = BddManager::new();
+        let d = m.add_domain(4).unwrap();
+        assert!(matches!(
+            m.export_relation(Bdd::FALSE, &[d, d]),
+            Err(BddError::DuplicateDomain)
+        ));
+    }
+
+    #[test]
+    fn relation_import_rejects_uncovered_variables() {
+        let mut m1 = BddManager::new();
+        let (doms, r) = sample_relation(&mut m1);
+        // Export claiming the layout is only the first column: the function
+        // still mentions the second block's variables.
+        let e = m1.export_relation(r, &doms[..1]).unwrap();
+        let mut m2 = BddManager::new();
+        assert!(matches!(
+            m2.import_relation(&e),
+            Err(BddError::UnmappedVariable { .. })
+        ));
     }
 
     #[test]

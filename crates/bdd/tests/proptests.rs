@@ -3,6 +3,11 @@
 //! Random boolean expressions over a small variable universe are compiled to
 //! BDDs and compared point-by-point against direct evaluation; structural
 //! invariants (canonicity, reduction, duality) are asserted along the way.
+// Gated behind the off-by-default `fuzz` feature: proptest is an external
+// dependency and the tier-1 verify must build with no network access. Run
+// with `cargo test --features fuzz` in an environment with a vendored
+// proptest.
+#![cfg(feature = "fuzz")]
 
 use proptest::prelude::*;
 use relcheck_bdd::{Bdd, BddManager, Op, Var};
@@ -67,8 +72,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(5, 64, 4, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (arb_op(), inner.clone(), inner)
-                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            (arb_op(), inner.clone(), inner).prop_map(|(op, a, b)| Expr::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }

@@ -9,7 +9,9 @@
 use relcheck_bdd::{Bdd, BddError, BddManager, DomainId};
 
 fn lcg(state: &mut u64) -> u64 {
-    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     *state >> 33
 }
 
@@ -20,8 +22,7 @@ fn gc_churn_preserves_semantics() {
     let d2 = m.add_domain(32).unwrap();
     let doms = [d1, d2];
     // A reference relation we re-verify after every sweep.
-    let reference: Vec<Vec<u64>> =
-        (0..200u64).map(|i| vec![i % 32, i / 32]).collect(); // injective
+    let reference: Vec<Vec<u64>> = (0..200u64).map(|i| vec![i % 32, i / 32]).collect(); // injective
     let keep = m.relation_from_rows(&doms, &reference).unwrap();
     let mut seed = 42u64;
     for round in 0..300 {
@@ -59,8 +60,9 @@ fn gc_churn_preserves_semantics() {
 fn node_limit_aborts_under_churn_never_corrupt() {
     let mut m = BddManager::with_capacity(1 << 12);
     let doms: Vec<DomainId> = (0..3).map(|_| m.add_domain(64).unwrap()).collect();
-    let base_rows: Vec<Vec<u64>> =
-        (0..100u64).map(|i| vec![i % 64, i / 64, (i * 5) % 64]).collect(); // injective
+    let base_rows: Vec<Vec<u64>> = (0..100u64)
+        .map(|i| vec![i % 64, i / 64, (i * 5) % 64])
+        .collect(); // injective
     let base = m.relation_from_rows(&doms, &base_rows).unwrap();
     let mut seed = 7u64;
     let mut aborts = 0;
@@ -70,7 +72,11 @@ fn node_limit_aborts_under_churn_never_corrupt() {
         m.set_node_limit(Some(m.live_nodes() + headroom));
         let rows: Vec<Vec<u64>> = (0..80)
             .map(|_| {
-                vec![lcg(&mut seed) % 64, lcg(&mut seed) % 64, lcg(&mut seed) % 64]
+                vec![
+                    lcg(&mut seed) % 64,
+                    lcg(&mut seed) % 64,
+                    lcg(&mut seed) % 64,
+                ]
             })
             .collect();
         match m
@@ -90,7 +96,10 @@ fn node_limit_aborts_under_churn_never_corrupt() {
         m.gc(&[base]);
         assert_eq!(m.tuple_count(base, &doms).unwrap(), 100.0);
     }
-    assert!(aborts > 0, "the stress must actually exercise the abort path");
+    assert!(
+        aborts > 0,
+        "the stress must actually exercise the abort path"
+    );
 }
 
 #[test]

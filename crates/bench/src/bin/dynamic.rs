@@ -16,12 +16,11 @@
 //! Flags: `--rows N` (customer rows, default 200000), `--batches N`
 //! (default 20), `--batch-size N` (updates per batch, default 100).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use relcheck_bench::{arg_usize, ms, Table};
 use relcheck_core::checker::{Checker, CheckerOptions};
 use relcheck_core::registry::ConstraintRegistry;
 use relcheck_datagen::customer::{generate, CustomerConfig};
+use relcheck_datagen::rng::SplitMix64;
 use relcheck_logic::{parse, Formula};
 use relcheck_relstore::{Database, Relation, Schema};
 use std::time::{Duration, Instant};
@@ -42,7 +41,11 @@ fn build_db(rows: usize) -> (Database, Vec<u64>) {
         db.ensure_class_size(class, size);
     }
     let ncs = Relation::from_rows(
-        Schema::new(&[("areacode", "areacode"), ("city", "city"), ("state", "state")]),
+        Schema::new(&[
+            ("areacode", "areacode"),
+            ("city", "city"),
+            ("state", "state"),
+        ]),
         data.relation.rows().map(|r| vec![r[0], r[2], r[3]]),
     )
     .unwrap();
@@ -55,7 +58,10 @@ fn build_db(rows: usize) -> (Database, Vec<u64>) {
         Relation::from_rows(Schema::new(&[("city", "city"), ("state", "state")]), cs).unwrap(),
     )
     .unwrap();
-    (db, vec![data.dom_sizes[0], data.dom_sizes[2], data.dom_sizes[3]])
+    (
+        db,
+        vec![data.dom_sizes[0], data.dom_sizes[2], data.dom_sizes[3]],
+    )
 }
 
 fn constraints() -> Vec<(String, Formula)> {
@@ -90,7 +96,7 @@ fn constraints() -> Vec<(String, Formula)> {
 
 /// Random insert/delete pairs against CUST (restoring rows so the dataset
 /// doesn't drift and all three runs see identical work).
-fn apply_batch(ck: &mut Checker, rng: &mut StdRng, dom: &[u64], size: usize) {
+fn apply_batch(ck: &mut Checker, rng: &mut SplitMix64, dom: &[u64], size: usize) {
     for _ in 0..size {
         let row = [
             rng.gen_range(0..dom[0]) as u32,
@@ -127,7 +133,7 @@ fn main() {
     {
         let (db, dom) = build_db(rows);
         let mut ck = Checker::new(db, CheckerOptions::default());
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SplitMix64::seed_from_u64(5);
         let (mut t_upd, mut t_val) = (Duration::ZERO, Duration::ZERO);
         for _ in 0..batches {
             let t0 = Instant::now();
@@ -152,12 +158,15 @@ fn main() {
     // --- BDD recheck per batch ---
     {
         let (db, dom) = build_db(rows);
-        let opts = CheckerOptions { gc_between_checks: false, ..Default::default() };
+        let opts = CheckerOptions {
+            gc_between_checks: false,
+            ..Default::default()
+        };
         let mut ck = Checker::new(db, opts);
         for rel in ["CUST", "CITY_STATE"] {
             ck.ensure_index(rel).unwrap();
         }
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SplitMix64::seed_from_u64(5);
         let (mut t_upd, mut t_val) = (Duration::ZERO, Duration::ZERO);
         #[allow(clippy::needless_range_loop)] // batch indexes verdict_log and times
         for batch in 0..batches {
@@ -189,7 +198,10 @@ fn main() {
     // --- BDD + dependency registry ---
     {
         let (db, dom) = build_db(rows);
-        let opts = CheckerOptions { gc_between_checks: false, ..Default::default() };
+        let opts = CheckerOptions {
+            gc_between_checks: false,
+            ..Default::default()
+        };
         let mut ck = Checker::new(db, opts);
         for rel in ["CUST", "CITY_STATE"] {
             ck.ensure_index(rel).unwrap();
@@ -199,7 +211,7 @@ fn main() {
             reg.register(n, f.clone());
         }
         reg.validate_all(&mut ck).unwrap();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SplitMix64::seed_from_u64(5);
         let (mut t_upd, mut t_val) = (Duration::ZERO, Duration::ZERO);
         #[allow(clippy::needless_range_loop)] // batch indexes verdict_log and times
         for batch in 0..batches {

@@ -37,19 +37,21 @@ fn ordering_sizes(g: &Generated) -> Vec<(Vec<usize>, usize)> {
 
 fn fig2a(tuples: usize, relations: usize) {
     println!("Figure 2(a): average BDD node count across all 120 variable orderings");
-    println!(
-        "(5 attributes, |dom| ≤ 100, {tuples} tuples, averaged over {relations} relations)\n"
-    );
+    println!("(5 attributes, |dom| ≤ 100, {tuples} tuples, averaged over {relations} relations)\n");
     let mut ratio_table = Table::new(&["Dataset", "best", "worst", "Ratio", "paper"]);
-    let paper_ratios = [("1-PROD", 71.29), ("4-PROD", 6.29), ("8-PROD", 2.26), ("RANDOM", 1.02)];
+    let paper_ratios = [
+        ("1-PROD", 71.29),
+        ("4-PROD", 6.29),
+        ("8-PROD", 2.26),
+        ("RANDOM", 1.02),
+    ];
     for name in ["1-PROD", "4-PROD", "8-PROD", "RANDOM"] {
         // Rank-wise average over several relation instances, like the
         // paper's averaged curves.
         let mut avg = vec![0.0f64; 120];
         for i in 0..relations {
             let g = gen_family(name, tuples, 101 + i as u64 * 13);
-            let mut sizes: Vec<usize> =
-                ordering_sizes(&g).into_iter().map(|(_, s)| s).collect();
+            let mut sizes: Vec<usize> = ordering_sizes(&g).into_iter().map(|(_, s)| s).collect();
             sizes.sort_unstable();
             for (a, s) in avg.iter_mut().zip(&sizes) {
                 *a += *s as f64 / relations as f64;
@@ -61,7 +63,10 @@ fn fig2a(tuples: usize, relations: usize) {
             .chain(std::iter::once(avg.last().unwrap()))
             .map(|s| format!("{s:.0}"))
             .collect();
-        println!("{name}: avg sizes best→worst (every 10th): {}", curve.join(" "));
+        println!(
+            "{name}: avg sizes best→worst (every 10th): {}",
+            curve.join(" ")
+        );
         let ratio = avg.last().unwrap() / avg[0];
         let paper = paper_ratios.iter().find(|&&(n, _)| n == name).unwrap().1;
         ratio_table.row(&[
@@ -108,8 +113,14 @@ type Scorer = fn(&Generated, &[usize]) -> f64;
 
 fn fig2bc(tuples: usize, which: char) {
     let (title, scorer): (&str, Scorer) = match which {
-        'b' => ("Figure 2(b): orderings ranked by MaxInf-Gain (1-PROD)", mig_score),
-        _ => ("Figure 2(c): orderings ranked by Prob-Converge (1-PROD)", pc_score),
+        'b' => (
+            "Figure 2(b): orderings ranked by MaxInf-Gain (1-PROD)",
+            mig_score,
+        ),
+        _ => (
+            "Figure 2(c): orderings ranked by Prob-Converge (1-PROD)",
+            pc_score,
+        ),
     };
     println!("{title}\n");
     let g = gen_family("1-PROD", tuples, 101);
@@ -152,7 +163,11 @@ fn fig2bc(tuples: usize, which: char) {
         .sum();
     let rho = 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
     println!("\nSpearman rank correlation vs true ranking: {rho:.3}");
-    let top10: Vec<usize> = scored.iter().take(10).map(|(o, _, _)| true_rank[o]).collect();
+    let top10: Vec<usize> = scored
+        .iter()
+        .take(10)
+        .map(|(o, _, _)| true_rank[o])
+        .collect();
     println!("true ranks of the measure's top-10: {top10:?}");
     // Where does the greedy heuristic itself land? (The greedy optimizes
     // the measure step-wise, which is what the checker actually runs.)

@@ -47,12 +47,12 @@ fn main() {
             let mig = max_inf_gain(&g.relation);
             let pc = prob_converge(&g.relation, &g.dom_sizes);
             let mce = min_cond_entropy(&g.relation);
-            let a = bdd_size_for_ordering(&g.relation, &g.dom_sizes, &mig).unwrap() as f64
-                / opt as f64;
-            let b = bdd_size_for_ordering(&g.relation, &g.dom_sizes, &pc).unwrap() as f64
-                / opt as f64;
-            let c = bdd_size_for_ordering(&g.relation, &g.dom_sizes, &mce).unwrap() as f64
-                / opt as f64;
+            let a =
+                bdd_size_for_ordering(&g.relation, &g.dom_sizes, &mig).unwrap() as f64 / opt as f64;
+            let b =
+                bdd_size_for_ordering(&g.relation, &g.dom_sizes, &pc).unwrap() as f64 / opt as f64;
+            let c =
+                bdd_size_for_ordering(&g.relation, &g.dom_sizes, &mce).unwrap() as f64 / opt as f64;
             worst_alpha = worst_alpha.max(a);
             worst_beta = worst_beta.max(b);
             alphas.push(a);

@@ -13,11 +13,10 @@
 //! Flags: `--max N` (largest relation size; default 400000, paper 400000),
 //! `--step N` (default 50000), `--updates N` (default 2000).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use relcheck_bench::{arg_usize, secs, timed, Table};
 use relcheck_bdd::{Bdd, BddManager, DomainId};
+use relcheck_bench::{arg_usize, secs, timed, Table};
 use relcheck_datagen::customer::{col, generate, CustomerConfig};
+use relcheck_datagen::rng::SplitMix64;
 use relcheck_relstore::Relation;
 
 /// Build one index over the chosen columns; returns (manager, domains, root).
@@ -27,8 +26,10 @@ fn build_index(
     cols: &[usize],
 ) -> (BddManager, Vec<DomainId>, Bdd) {
     let mut m = BddManager::new();
-    let domains: Vec<DomainId> =
-        cols.iter().map(|&c| m.add_domain(dom_sizes[c]).unwrap()).collect();
+    let domains: Vec<DomainId> = cols
+        .iter()
+        .map(|&c| m.add_domain(dom_sizes[c]).unwrap())
+        .collect();
     let rows: Vec<Vec<u64>> = rel
         .rows()
         .map(|r| cols.iter().map(|&c| r[c] as u64).collect())
@@ -56,8 +57,11 @@ fn main() {
         "paper-bytes (20B)",
         "our-bytes (12B)",
     ]);
-    let full = generate(&CustomerConfig { rows: max, ..Default::default() });
-    let mut rng = StdRng::seed_from_u64(7);
+    let full = generate(&CustomerConfig {
+        rows: max,
+        ..Default::default()
+    });
+    let mut rng = SplitMix64::seed_from_u64(7);
     let mut sizes: Vec<usize> = (step..=max).step_by(step).collect();
     if sizes.is_empty() {
         sizes.push(max);
@@ -88,8 +92,7 @@ fn main() {
                 }
                 r
             });
-            let per_update_us =
-                update_time.as_secs_f64() * 1e6 / (updates as f64 * 2.0);
+            let per_update_us = update_time.as_secs_f64() * 1e6 / (updates as f64 * 2.0);
             let nodes = m.size(root);
             t.row(&[
                 sub.len().to_string(),

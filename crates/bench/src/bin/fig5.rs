@@ -11,11 +11,10 @@
 //! Flags: `--max N` (default 400000), `--step N` (default 50000),
 //! `--constraints N` (default 10000).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use relcheck_bench::{arg_usize, ms, timed, Table};
 use relcheck_core::checker::{Checker, CheckerOptions, Method};
 use relcheck_datagen::customer::{generate, CustomerConfig, CustomerData};
+use relcheck_datagen::rng::SplitMix64;
 use relcheck_logic::parse;
 use relcheck_relstore::{Database, Relation, Schema};
 
@@ -27,7 +26,11 @@ fn build_db(data: &CustomerData, n: usize, n_constraints: usize, seed: u64) -> D
     // (areacode, city, state) (§5.2): the base relation enters the checker
     // as that projection of the first n customer rows.
     let sub = Relation::from_rows(
-        Schema::new(&[("areacode", "areacode"), ("city", "city"), ("state", "state")]),
+        Schema::new(&[
+            ("areacode", "areacode"),
+            ("city", "city"),
+            ("state", "state"),
+        ]),
         (0..n.min(data.relation.len())).map(|i| {
             let r = data.relation.row(i);
             vec![r[0], r[2], r[3]]
@@ -46,7 +49,7 @@ fn build_db(data: &CustomerData, n: usize, n_constraints: usize, seed: u64) -> D
 
     // CONSTRAINTS(city, areacode): the allowed pairs for a sample of
     // cities — by construction every customer tuple satisfies them.
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut pairs = Vec::with_capacity(n_constraints);
     while pairs.len() < n_constraints {
         let city = rng.gen_range(0..data.dom_sizes[2]) as u32;
@@ -68,9 +71,11 @@ fn build_db(data: &CustomerData, n: usize, n_constraints: usize, seed: u64) -> D
     let cs_rows: Vec<Vec<u32>> = (0..data.dom_sizes[2] as u32)
         .map(|city| vec![city, data.city_state[city as usize]])
         .collect();
-    let city_state =
-        Relation::from_rows(Schema::new(&[("city", "city"), ("state", "state")]), cs_rows)
-            .unwrap();
+    let city_state = Relation::from_rows(
+        Schema::new(&[("city", "city"), ("state", "state")]),
+        cs_rows,
+    )
+    .unwrap();
     db.insert_relation("CITY_STATE", city_state).unwrap();
     db
 }
@@ -79,7 +84,10 @@ fn main() {
     let max = arg_usize("--max", 400_000);
     let step = arg_usize("--step", 50_000);
     let n_constraints = arg_usize("--constraints", 10_000);
-    let data = generate(&CustomerConfig { rows: max, ..Default::default() });
+    let data = generate(&CustomerConfig {
+        rows: max,
+        ..Default::default()
+    });
 
     let membership = parse(
         "forall a, c, s, a2.
@@ -103,7 +111,11 @@ fn main() {
         "c-st bdd (ms)",
         "c-st bdd warm (ms)",
     ]);
-    let mut tb = Table::new(&["rows", "areacode->state sql (ms)", "areacode->state bdd (ms)"]);
+    let mut tb = Table::new(&[
+        "rows",
+        "areacode->state sql (ms)",
+        "areacode->state bdd (ms)",
+    ]);
     let mut sizes: Vec<usize> = (step..=max).step_by(step).collect();
     if sizes.is_empty() {
         sizes.push(max);
@@ -124,7 +136,10 @@ fn main() {
             // the first check, like the paper's on-the-fly encoding. GC
             // runs outside the timed region (it is bookkeeping between
             // constraints, not evaluation work).
-            let opts = CheckerOptions { gc_between_checks: false, ..Default::default() };
+            let opts = CheckerOptions {
+                gc_between_checks: false,
+                ..Default::default()
+            };
             let mut ck = Checker::new(build_db(&data, n, n_constraints, 42), opts);
             ck.ensure_index("CUST").unwrap();
             let (bdd_rep, bdd_t) = timed(|| ck.check(f).unwrap());
@@ -141,7 +156,10 @@ fn main() {
         ta.row(&row_a);
 
         // Fig 5(b): FD areacode → state.
-        let opts = CheckerOptions { gc_between_checks: false, ..Default::default() };
+        let opts = CheckerOptions {
+            gc_between_checks: false,
+            ..Default::default()
+        };
         let mut ck = Checker::new(build_db(&data, n, n_constraints, 42), opts);
         let (fd_sql, t_sql) = timed(|| ck.check_fd_sql("CUST", &[0], &[2]).unwrap());
         ck.ensure_index("CUST").unwrap();

@@ -12,25 +12,21 @@
 //! Flags: `--steps N` (number of sizes, default 6), `--base N` (tuples per
 //! step, default 20000).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use relcheck_bench::{arg_selector, arg_usize, ms, timed, Table};
 use relcheck_bdd::{Bdd, BddManager, DomainId, Op};
+use relcheck_bench::{arg_selector, arg_usize, ms, timed, Table};
 use relcheck_datagen::gen_random;
+use relcheck_datagen::rng::SplitMix64;
 
 /// Build a relation BDD over `k` fresh domains of size `dom` from `n`
 /// random tuples.
-fn random_bdd(
-    m: &mut BddManager,
-    k: usize,
-    dom: u64,
-    n: usize,
-    seed: u64,
-) -> (Vec<DomainId>, Bdd) {
+fn random_bdd(m: &mut BddManager, k: usize, dom: u64, n: usize, seed: u64) -> (Vec<DomainId>, Bdd) {
     let g = gen_random(k, dom, n, seed);
     let domains: Vec<DomainId> = (0..k).map(|_| m.add_domain(dom).unwrap()).collect();
-    let rows: Vec<Vec<u64>> =
-        g.relation.rows().map(|r| r.iter().map(|&v| v as u64).collect()).collect();
+    let rows: Vec<Vec<u64>> = g
+        .relation
+        .rows()
+        .map(|r| r.iter().map(|&v| v as u64).collect())
+        .collect();
     let root = m.relation_from_rows(&domains, &rows).unwrap();
     (domains, root)
 }
@@ -78,7 +74,13 @@ fn fig6a(steps: usize, base: usize) {
             row.push(ms(naive_t));
             row.push(ms(rename_t));
         }
-        t.row(&[sizes[0].to_string(), row[0].clone(), row[1].clone(), row[2].clone(), row[3].clone()]);
+        t.row(&[
+            sizes[0].to_string(),
+            row[0].clone(),
+            row[1].clone(),
+            row[2].clone(),
+            row[3].clone(),
+        ]);
     }
     t.print();
     println!("\nPaper expectation: rename is 2-3x faster than the naive strategy.");
@@ -95,8 +97,11 @@ fn fig6b(steps: usize, base: usize) {
         let x = doms[0];
         let build = |m: &mut BddManager, n: usize, seed: u64| {
             let g = gen_random(3, dom, n, seed);
-            let rows: Vec<Vec<u64>> =
-                g.relation.rows().map(|r| r.iter().map(|&v| v as u64).collect()).collect();
+            let rows: Vec<Vec<u64>> = g
+                .relation
+                .rows()
+                .map(|r| r.iter().map(|&v| v as u64).collect())
+                .collect();
             m.relation_from_rows(&doms, &rows).unwrap()
         };
         let p = build(&mut m, base * step, 21 + step as u64);
@@ -135,12 +140,14 @@ fn fig6c(steps: usize, base: usize) {
         let build = |m: &mut BddManager, n: usize, seed: u64, concl: DomainId| {
             // Uniform rows over the full 0..dom range so the premise is not
             // accidentally contained in the conclusion set.
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SplitMix64::seed_from_u64(seed);
             let rows: Vec<Vec<u64>> = (0..n)
                 .map(|_| (0..3).map(|_| rng.gen_range(0..dom)).collect())
                 .collect();
             let r = m.relation_from_rows(&doms, &rows).unwrap();
-            let s = m.value_set(concl, &(0..(dom * 9 / 10)).collect::<Vec<_>>()).unwrap();
+            let s = m
+                .value_set(concl, &(0..(dom * 9 / 10)).collect::<Vec<_>>())
+                .unwrap();
             m.imp(r, s).unwrap()
         };
         let p = build(&mut m, base * step, 31 + step as u64, b);

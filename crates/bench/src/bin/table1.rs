@@ -38,10 +38,14 @@ fn main() {
         }
     }
     // BDD paths under the two orderings.
-    for (row_idx, strategy) in
-        [(1, OrderingStrategy::Random(3)), (2, OrderingStrategy::ProbConverge)]
-    {
-        let opts = CheckerOptions { ordering: strategy, ..Default::default() };
+    for (row_idx, strategy) in [
+        (1, OrderingStrategy::Random(3)),
+        (2, OrderingStrategy::ProbConverge),
+    ] {
+        let opts = CheckerOptions {
+            ordering: strategy,
+            ..Default::default()
+        };
         let mut ck = Checker::new(queries::build(tuples, 77), opts);
         // Pre-build indices (they are the persistent logical index).
         for rel in ["R1", "R2", "STUDENT", "COURSE", "TAKES"] {

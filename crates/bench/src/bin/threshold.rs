@@ -14,10 +14,9 @@
 //!
 //! Flags: `--batch N` (tuples per insertion batch, default 20000).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use relcheck_bench::{arg_usize, secs, Table};
 use relcheck_bdd::{BddError, BddManager};
+use relcheck_bench::{arg_usize, secs, Table};
+use relcheck_datagen::rng::SplitMix64;
 use std::time::Instant;
 
 fn main() {
@@ -25,7 +24,12 @@ fn main() {
     let thresholds: [usize; 4] = [1_000, 100_000, 1_000_000, 10_000_000];
     let paper = ["2.0", "2.2", "3.5", "17"];
     println!("Threshold table (§5.2): time to fill a BDD node buffer from adversarial input\n");
-    let mut t = Table::new(&["Space threshold", "time (s)", "paper (s)", "tuples inserted"]);
+    let mut t = Table::new(&[
+        "Space threshold",
+        "time (s)",
+        "paper (s)",
+        "tuples inserted",
+    ]);
     for (&limit, paper_s) in thresholds.iter().zip(paper) {
         let mut m = BddManager::with_capacity(1 << 20);
         m.set_node_limit(Some(limit));
@@ -33,13 +37,13 @@ fn main() {
         // the tuple space effectively unbounded, so the BDD has no sharing
         // to exploit — the worst case the threshold exists for.
         let domains: Vec<_> = (0..6).map(|_| m.add_domain(1000).unwrap()).collect();
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = SplitMix64::seed_from_u64(99);
         let mut acc = relcheck_bdd::Bdd::FALSE;
         let mut inserted = 0usize;
         let start = Instant::now();
         let elapsed = loop {
             let rows: Vec<Vec<u64>> = (0..batch)
-                .map(|_| (0..6).map(|_| rng.gen_range(0..1000)).collect())
+                .map(|_| (0..6).map(|_| rng.gen_range(0..1000u64)).collect())
                 .collect();
             // OR a fresh batch into the accumulator; the node limit aborts
             // the operation once the buffer is full.

@@ -14,12 +14,13 @@
 //! | `table1`    | Table 1: Q1–Q5, SQL vs BDD-random vs BDD-optimized            |
 //! | `threshold` | §5.2 node-buffer fill times (10³ … 10⁷ nodes)                 |
 //! | `dynamic`   | update-stream re-validation: SQL vs BDD vs BDD+registry       |
+//! | `par_scaling` | serial vs parallel constraint checking at 1/2/4/8 workers   |
 //!
 //! Run with `cargo run -p relcheck-bench --release --bin <target> [-- args]`.
 //! Each binary accepts `--tuples N` (and prints its defaults) so the
 //! paper-scale experiment and a quick smoke run are both one command away.
-//! Criterion micro-benchmarks (`benches/microbench.rs`) cover the same
-//! rewrite ablations at statistical rigor.
+//! Self-timed micro-benchmarks (`benches/microbench.rs`) cover the same
+//! rewrite ablations; `cargo bench -p relcheck-bench` runs them.
 
 pub mod queries;
 
@@ -85,7 +86,10 @@ pub struct Table {
 impl Table {
     /// New table with the given column headers.
     pub fn new(headers: &[&str]) -> Table {
-        Table { headers: headers.iter().map(|s| (*s).to_owned()).collect(), rows: vec![] }
+        Table {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: vec![],
+        }
     }
 
     /// Append a row (must match the header count).
@@ -113,7 +117,11 @@ impl Table {
         line(&self.headers);
         println!(
             "  {}",
-            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
         );
         for row in &self.rows {
             line(row);

@@ -77,7 +77,13 @@ pub fn build(tuples: usize, seed: u64) -> Database {
         db.ensure_class_size(&format!("a{i}"), 100);
     }
     let r1 = Relation::from_rows(
-        Schema::new(&[("v0", "a0"), ("v1", "a1"), ("v2", "a2"), ("v3", "a3"), ("v4", "a4")]),
+        Schema::new(&[
+            ("v0", "a0"),
+            ("v1", "a1"),
+            ("v2", "a2"),
+            ("v3", "a3"),
+            ("v4", "a4"),
+        ]),
         g1.relation.rows(),
     )
     .unwrap();

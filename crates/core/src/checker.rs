@@ -165,7 +165,11 @@ impl Checker {
     pub fn new(db: relcheck_relstore::Database, opts: CheckerOptions) -> Checker {
         let mut ldb = LogicalDatabase::new(db);
         ldb.manager_mut().set_node_limit(opts.node_limit);
-        Checker { ldb, opts, sql_only: HashSet::new() }
+        Checker {
+            ldb,
+            opts,
+            sql_only: HashSet::new(),
+        }
     }
 
     /// Access the underlying logical database (indices, manager, data).
@@ -203,7 +207,24 @@ impl Checker {
         }
     }
 
-    fn referenced_relations(f: &Formula) -> Vec<String> {
+    /// Mark a relation permanently SQL-only, as if its index build had
+    /// busted the node budget. The parallel checker uses this to seed
+    /// workers with the coordinator's over-budget set so every lane makes
+    /// the same BDD-vs-SQL routing decisions.
+    pub fn mark_sql_only(&mut self, name: &str) {
+        self.sql_only.insert(name.to_owned());
+    }
+
+    /// Is this relation on the permanent SQL-only list?
+    pub fn is_sql_only(&self, name: &str) -> bool {
+        self.sql_only.contains(name)
+    }
+
+    pub(crate) fn sql_only_set(&self) -> &HashSet<String> {
+        &self.sql_only
+    }
+
+    pub(crate) fn referenced_relations(f: &Formula) -> Vec<String> {
         fn go(f: &Formula, out: &mut Vec<String>) {
             match f {
                 Formula::Atom { relation, .. } if !out.contains(relation) => {
@@ -230,7 +251,9 @@ impl Checker {
         let start = Instant::now();
         let free = f.free_vars();
         if !free.is_empty() {
-            return Err(CoreError::Logic(relcheck_logic::LogicError::FreeVariables(free)));
+            return Err(CoreError::Logic(relcheck_logic::LogicError::FreeVariables(
+                free,
+            )));
         }
         // Make sure every referenced relation is indexed (or marked
         // SQL-only).
@@ -306,6 +329,43 @@ impl Checker {
             .collect()
     }
 
+    /// [`Checker::check_all`] spread over `threads` worker threads, each
+    /// with its own BDD manager (see [`crate::parallel`]). The coordinator
+    /// builds each referenced index once and ships it to the workers as a
+    /// manager-independent snapshot; constraints are batched by the
+    /// relations they read, and every worker keeps the full node-budget /
+    /// SQL-fallback strategy independently. Reports come back in input
+    /// order with verdicts identical to the serial path.
+    pub fn check_all_parallel(
+        &mut self,
+        constraints: &[(String, Formula)],
+        threads: usize,
+    ) -> Result<Vec<(String, CheckReport)>> {
+        if threads <= 1 || constraints.len() <= 1 {
+            return self.check_all(constraints);
+        }
+        // Build (or budget-out) every referenced index exactly once, then
+        // snapshot for transfer — workers import instead of re-running
+        // tuple construction.
+        let mut snapshots = Vec::new();
+        let mut seen = HashSet::new();
+        for (_, f) in constraints {
+            for rel in Self::referenced_relations(f) {
+                if seen.insert(rel.clone()) && self.ensure_index(&rel)? {
+                    snapshots.push(self.ldb.export_index(&rel).expect("just ensured"));
+                }
+            }
+        }
+        crate::parallel::run(
+            self.ldb.db(),
+            self.opts,
+            self.sql_only_set(),
+            &snapshots,
+            constraints,
+            threads,
+        )
+    }
+
     /// Materialize up to `limit` violating assignments **on the BDD path**:
     /// build the violation-set BDD (premise ∧ ¬conclusion over the outer ∀
     /// variables) and enumerate its tuples, without touching SQL. Returns
@@ -322,7 +382,9 @@ impl Checker {
     ) -> Result<Option<CodedViolations>> {
         let free = f.free_vars();
         if !free.is_empty() {
-            return Err(CoreError::Logic(relcheck_logic::LogicError::FreeVariables(free)));
+            return Err(CoreError::Logic(relcheck_logic::LogicError::FreeVariables(
+                free,
+            )));
         }
         for rel in Self::referenced_relations(f) {
             if !self.ensure_index(&rel)? {
@@ -416,7 +478,9 @@ impl Checker {
         };
         let free = f.free_vars();
         if !free.is_empty() {
-            return Err(CoreError::Logic(relcheck_logic::LogicError::FreeVariables(free)));
+            return Err(CoreError::Logic(relcheck_logic::LogicError::FreeVariables(
+                free,
+            )));
         }
         let mut indices = Vec::new();
         for rel in Self::referenced_relations(f) {
@@ -430,7 +494,12 @@ impl Checker {
                     sql_only: false,
                 }
             } else {
-                IndexInfo { relation: rel.clone(), nodes: 0, ordering: vec![], sql_only: true }
+                IndexInfo {
+                    relation: rel.clone(),
+                    nodes: 0,
+                    ordering: vec![],
+                    sql_only: true,
+                }
             };
             indices.push(detail);
         }
@@ -440,7 +509,14 @@ impl Checker {
             .prefix
             .iter()
             .map(|(q, v)| {
-                format!("{}{v}", if *q == relcheck_logic::transform::Quant::Forall { "∀" } else { "∃" })
+                format!(
+                    "{}{v}",
+                    if *q == relcheck_logic::transform::Quant::Forall {
+                        "∀"
+                    } else {
+                        "∃"
+                    }
+                )
             })
             .collect();
         let stripped = p.prefix.len() - rest.prefix.len();
@@ -456,7 +532,10 @@ impl Checker {
             ),
             CheckMode::Satisfiability => (
                 "satisfiability (compiled BDD must be non-false)",
-                format!("{}", simplify(&push_forall_down(&crate::compile::rebuild(&rest)))),
+                format!(
+                    "{}",
+                    simplify(&push_forall_down(&crate::compile::rebuild(&rest)))
+                ),
             ),
         };
         let sql_plan = sqlgen::violation_plan(self.ldb.db(), f).map(|t| format!("{:?}", t.plan));
@@ -501,7 +580,11 @@ mod tests {
         let mut db = Database::new();
         db.create_relation(
             "CUST",
-            &[("city", "city"), ("areacode", "areacode"), ("state", "state")],
+            &[
+                ("city", "city"),
+                ("areacode", "areacode"),
+                ("state", "state"),
+            ],
             vec![
                 vec![Raw::str("Toronto"), Raw::Int(416), Raw::str("ON")],
                 vec![Raw::str("Toronto"), Raw::Int(647), Raw::str("ON")],
@@ -525,7 +608,10 @@ mod tests {
 
     #[test]
     fn node_limit_falls_back_to_sql() {
-        let opts = CheckerOptions { node_limit: Some(18), ..Default::default() };
+        let opts = CheckerOptions {
+            node_limit: Some(18),
+            ..Default::default()
+        };
         let mut ck = Checker::new(db(), opts);
         let f = parse(r#"forall c, a, s. CUST(c, a, s) & c = "Newark" -> s = "NJ""#).unwrap();
         let r = ck.check(&f).unwrap();
@@ -538,13 +624,15 @@ mod tests {
 
     #[test]
     fn untranslatable_falls_back_to_brute_force() {
-        let opts = CheckerOptions { node_limit: Some(18), ..Default::default() };
+        let opts = CheckerOptions {
+            node_limit: Some(18),
+            ..Default::default()
+        };
         let mut ck = Checker::new(db(), opts);
         // Disjunctive premise: out of the SQL class.
-        let f = parse(
-            r#"forall c, a, s. CUST(c, a, s) | CUST(c, a, s) -> s in {"ON", "NJ", "NY"}"#,
-        )
-        .unwrap();
+        let f =
+            parse(r#"forall c, a, s. CUST(c, a, s) | CUST(c, a, s) -> s in {"ON", "NJ", "NY"}"#)
+                .unwrap();
         let r = ck.check(&f).unwrap();
         assert!(r.holds);
         assert_eq!(r.method, Method::BruteForce);
@@ -607,10 +695,9 @@ mod tests {
     #[test]
     fn explain_describes_the_pipeline() {
         let mut ck = Checker::new(db(), CheckerOptions::default());
-        let f = parse(
-            r#"forall c, a, s. CUST(c, a, s) & c = "Toronto" -> exists a2. CUST(c, a2, s)"#,
-        )
-        .unwrap();
+        let f =
+            parse(r#"forall c, a, s. CUST(c, a, s) & c = "Toronto" -> exists a2. CUST(c, a2, s)"#)
+                .unwrap();
         let e = ck.explain(&f).unwrap();
         assert_eq!(e.stripped_leading, 3, "the ∀ block is eliminated");
         assert!(e.mode.contains("validity"));
@@ -633,8 +720,10 @@ mod tests {
         let mut ck = Checker::new(db(), CheckerOptions::default());
         let f = parse(r#"forall c, a, s. CUST(c, a, s) & c = "Toronto" -> a in {416}"#).unwrap();
         assert!(!ck.check(&f).unwrap().holds);
-        let (names, mut bdd_rows) =
-            ck.find_violations_bdd(&f, 100).unwrap().expect("∀-prefixed constraint");
+        let (names, mut bdd_rows) = ck
+            .find_violations_bdd(&f, 100)
+            .unwrap()
+            .expect("∀-prefixed constraint");
         // SQL path for the same constraint.
         let (sql_rel, sql_cols) = ck.find_violations(&f).unwrap();
         assert_eq!(bdd_rows.len(), sql_rel.len());
@@ -701,22 +790,34 @@ mod tests {
         let f = parse(r#"forall c, a, s. CUST(c, a, s) & c = "Oshawa" -> a in {905}"#).unwrap();
         assert!(ck.check(&f).unwrap().holds);
         // Insert a violating tuple (Oshawa, 416, ON) using existing codes.
-        let city = ck.logical_db().db().code("city", &Raw::str("Oshawa")).unwrap();
-        let ac = ck.logical_db().db().code("areacode", &Raw::Int(416)).unwrap();
+        let city = ck
+            .logical_db()
+            .db()
+            .code("city", &Raw::str("Oshawa"))
+            .unwrap();
+        let ac = ck
+            .logical_db()
+            .db()
+            .code("areacode", &Raw::Int(416))
+            .unwrap();
         let st = ck.logical_db().db().code("state", &Raw::str("ON")).unwrap();
-        ck.logical_db_mut().insert_tuple("CUST", &[city, ac, st]).unwrap();
+        ck.logical_db_mut()
+            .insert_tuple("CUST", &[city, ac, st])
+            .unwrap();
         let r = ck.check(&f).unwrap();
         assert!(!r.holds, "inserted tuple must violate");
         assert_eq!(r.method, Method::Bdd);
         // Delete it: constraint holds again.
-        ck.logical_db_mut().delete_tuple("CUST", &[city, ac, st]).unwrap();
+        ck.logical_db_mut()
+            .delete_tuple("CUST", &[city, ac, st])
+            .unwrap();
         assert!(ck.check(&f).unwrap().holds);
     }
 
     #[test]
     fn all_option_combinations_agree() {
-        let f = parse(r#"forall c, a, s. CUST(c, a, s) -> exists c2, s2. CUST(c2, a, s2)"#)
-            .unwrap();
+        let f =
+            parse(r#"forall c, a, s. CUST(c, a, s) -> exists c2, s2. CUST(c2, a, s2)"#).unwrap();
         for use_rewrites in [true, false] {
             for join_rename in [true, false] {
                 let opts = CheckerOptions {

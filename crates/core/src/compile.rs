@@ -28,7 +28,7 @@ use crate::error::{CoreError, Result};
 use crate::index::LogicalDatabase;
 use relcheck_bdd::{Bdd, DomainId, Op};
 use relcheck_logic::transform::{
-    push_forall_down, simplify, standardize_apart, to_nnf, to_prenex, strip_leading_block,
+    push_forall_down, simplify, standardize_apart, strip_leading_block, to_nnf, to_prenex,
     CheckMode, Prenex, Quant,
 };
 use relcheck_logic::{infer_sorts, Formula, Term};
@@ -47,7 +47,10 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { use_rewrites: true, join_rename: true }
+        CompileOptions {
+            use_rewrites: true,
+            join_rename: true,
+        }
     }
 }
 
@@ -57,11 +60,7 @@ impl Default for CompileOptions {
 /// [`crate::checker::Checker`] guarantees this). Propagates
 /// `BddError::NodeLimit` if the manager's node budget is exhausted — the
 /// signal to fall back to SQL.
-pub fn check_bdd(
-    ldb: &mut LogicalDatabase,
-    f: &Formula,
-    opts: &CompileOptions,
-) -> Result<bool> {
+pub fn check_bdd(ldb: &mut LogicalDatabase, f: &Formula, opts: &CompileOptions) -> Result<bool> {
     if opts.use_rewrites {
         let p = to_prenex(f);
         let whole = rebuild(&p);
@@ -80,7 +79,12 @@ pub fn check_bdd(
             }
             CheckMode::Satisfiability => {
                 let body = simplify(&push_forall_down(&rebuild(&rest)));
-                let mut c = Compiler { ldb, var_doms: &var_doms, sorts: &sorts, opts };
+                let mut c = Compiler {
+                    ldb,
+                    var_doms: &var_doms,
+                    sorts: &sorts,
+                    opts,
+                };
                 let phi = c.compile(&body)?;
                 // Confine the stripped (free) variables to their domains.
                 let ranges = c.ranges(&stripped)?;
@@ -93,7 +97,12 @@ pub fn check_bdd(
         let f = standardize_apart(f);
         let sorts = infer_sorts(ldb.db(), &f)?;
         let var_doms = allocate_query_domains(ldb, &f, &sorts)?;
-        let mut c = Compiler { ldb, var_doms: &var_doms, sorts: &sorts, opts };
+        let mut c = Compiler {
+            ldb,
+            var_doms: &var_doms,
+            sorts: &sorts,
+            opts,
+        };
         let phi = c.compile(&f)?;
         debug_assert!(phi.is_const(), "a sentence must compile to a constant BDD");
         Ok(phi.is_true())
@@ -117,7 +126,12 @@ fn compile_violation_set(
 ) -> Result<Bdd> {
     let negated = simplify(&to_nnf(&rebuild(rest).not()));
     let body = simplify(&push_forall_down(&negated));
-    let mut c = Compiler { ldb, var_doms, sorts, opts };
+    let mut c = Compiler {
+        ldb,
+        var_doms,
+        sorts,
+        opts,
+    };
     let phi = c.compile(&body)?;
     let ranges = c.ranges(stripped)?;
     let mgr = ldb.manager_mut();
@@ -200,14 +214,14 @@ fn allocate_query_domains(
     // Gather atoms, largest relation first.
     let mut atoms: Vec<(String, Vec<Term>)> = Vec::new();
     collect_atoms(f, &mut atoms);
-    atoms.sort_by_key(|(rel, _)| {
-        std::cmp::Reverse(ldb.db().relation(rel).map_or(0, |r| r.len()))
-    });
+    atoms.sort_by_key(|(rel, _)| std::cmp::Reverse(ldb.db().relation(rel).map_or(0, |r| r.len())));
     let mut out: HashMap<String, DomainId> = HashMap::new();
     let mut claimed: std::collections::HashSet<DomainId> = std::collections::HashSet::new();
     let mut visit_order: Vec<String> = Vec::new();
     for (relation, args) in &atoms {
-        let Some(idx) = ldb.index(relation) else { continue };
+        let Some(idx) = ldb.index(relation) else {
+            continue;
+        };
         let positions = idx.ordering.clone();
         let domains = idx.domains.clone();
         for &i in &positions {
@@ -223,11 +237,13 @@ fn allocate_query_domains(
     }
     // Remaining variables (couldn't claim, or appear in no atom): pooled
     // query domains, allocated in visit order then by name.
-    let mut rest: Vec<&String> =
-        sorts.keys().filter(|v| !visit_order.contains(v)).collect();
+    let mut rest: Vec<&String> = sorts.keys().filter(|v| !visit_order.contains(v)).collect();
     rest.sort_unstable();
-    let all: Vec<String> =
-        visit_order.iter().cloned().chain(rest.into_iter().cloned()).collect();
+    let all: Vec<String> = visit_order
+        .iter()
+        .cloned()
+        .chain(rest.into_iter().cloned())
+        .collect();
     let mut slot_of_class: HashMap<&str, usize> = HashMap::new();
     for var in &all {
         if out.contains_key(var) {
@@ -438,9 +454,7 @@ impl Compiler<'_> {
 
     fn compile_eq(&mut self, a: &Term, b: &Term) -> Result<Bdd> {
         match (a, b) {
-            (Term::Const(x), Term::Const(y)) => {
-                Ok(if x == y { Bdd::TRUE } else { Bdd::FALSE })
-            }
+            (Term::Const(x), Term::Const(y)) => Ok(if x == y { Bdd::TRUE } else { Bdd::FALSE }),
             (Term::Var(v), Term::Var(w)) => {
                 let (dv, dw) = (self.var_doms[v], self.var_doms[w]);
                 Ok(self.ldb.manager_mut().domain_eq(dv, dw)?)
@@ -462,9 +476,11 @@ impl Compiler<'_> {
 
     fn compile_in_set(&mut self, t: &Term, vals: &[relcheck_relstore::Raw]) -> Result<Bdd> {
         match t {
-            Term::Const(raw) => {
-                Ok(if vals.contains(raw) { Bdd::TRUE } else { Bdd::FALSE })
-            }
+            Term::Const(raw) => Ok(if vals.contains(raw) {
+                Bdd::TRUE
+            } else {
+                Bdd::FALSE
+            }),
             Term::Var(v) => {
                 let dv = self.var_doms[v];
                 let codes: Vec<u64> = {
@@ -497,7 +513,11 @@ mod tests {
         let mut db = Database::new();
         db.create_relation(
             "CUST",
-            &[("city", "city"), ("areacode", "areacode"), ("state", "state")],
+            &[
+                ("city", "city"),
+                ("areacode", "areacode"),
+                ("state", "state"),
+            ],
             vec![
                 vec![Raw::str("Toronto"), Raw::Int(416), Raw::str("ON")],
                 vec![Raw::str("Toronto"), Raw::Int(647), Raw::str("ON")],
@@ -523,8 +543,10 @@ mod tests {
 
     fn ldb() -> LogicalDatabase {
         let mut l = LogicalDatabase::new(customer_db());
-        l.build_index("CUST", OrderingStrategy::ProbConverge).unwrap();
-        l.build_index("ALLOWED", OrderingStrategy::ProbConverge).unwrap();
+        l.build_index("CUST", OrderingStrategy::ProbConverge)
+            .unwrap();
+        l.build_index("ALLOWED", OrderingStrategy::ProbConverge)
+            .unwrap();
         l
     }
 
@@ -574,7 +596,10 @@ mod tests {
     #[test]
     fn bdd_matches_brute_force_without_rewrites() {
         let mut l = ldb();
-        let opts = CompileOptions { use_rewrites: false, join_rename: true };
+        let opts = CompileOptions {
+            use_rewrites: false,
+            join_rename: true,
+        };
         for src in SENTENCES {
             let f = parse(src).unwrap();
             let expected = eval_sentence(l.db(), &f).unwrap();
@@ -587,7 +612,10 @@ mod tests {
     #[test]
     fn bdd_matches_brute_force_with_naive_joins() {
         let mut l = ldb();
-        let opts = CompileOptions { use_rewrites: true, join_rename: false };
+        let opts = CompileOptions {
+            use_rewrites: true,
+            join_rename: false,
+        };
         for src in SENTENCES {
             let f = parse(src).unwrap();
             let expected = eval_sentence(l.db(), &f).unwrap();
@@ -622,7 +650,10 @@ mod tests {
             assert_eq!(eval_sentence(l.db(), &f).unwrap(), expected, "oracle {src}");
             for opts in [
                 CompileOptions::default(),
-                CompileOptions { use_rewrites: false, join_rename: false },
+                CompileOptions {
+                    use_rewrites: false,
+                    join_rename: false,
+                },
             ] {
                 assert_eq!(check_bdd(&mut l, &f, &opts).unwrap(), expected, "{src}");
             }

@@ -29,7 +29,10 @@ impl fmt::Display for CoreError {
             CoreError::Store(e) => write!(f, "store: {e}"),
             CoreError::Logic(e) => write!(f, "logic: {e}"),
             CoreError::UnsupportedForViolationQuery(what) => {
-                write!(f, "cannot enumerate violations for this constraint shape: {what}")
+                write!(
+                    f,
+                    "cannot enumerate violations for this constraint shape: {what}"
+                )
             }
             CoreError::MissingIndex(rel) => {
                 write!(f, "no BDD index built for relation {rel:?}")

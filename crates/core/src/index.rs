@@ -11,7 +11,7 @@
 
 use crate::error::{CoreError, Result};
 use crate::ordering::OrderingStrategy;
-use relcheck_bdd::{Bdd, BddManager, DomainId, GcStats};
+use relcheck_bdd::{Bdd, BddManager, DomainId, ExportedRelation, GcStats};
 use relcheck_relstore::Database;
 use std::collections::HashMap;
 
@@ -25,6 +25,22 @@ pub struct RelIndex {
     pub root: Bdd,
     /// The column ordering the blocks were declared in.
     pub ordering: Vec<usize>,
+}
+
+/// A manager-independent snapshot of one relation's logical index:
+/// everything a *different* BDD manager needs to adopt the index without
+/// re-running tuple construction. This is the hand-off format the parallel
+/// checker uses to ship coordinator-built indices to per-worker managers
+/// (all fields are plain owned data, so the snapshot is `Send`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSnapshot {
+    /// The indexed relation's name.
+    pub relation: String,
+    /// The column ordering the blocks were declared in.
+    pub ordering: Vec<usize>,
+    /// The characteristic function plus its finite-domain layout, with
+    /// domains in schema order.
+    pub rel: ExportedRelation,
 }
 
 /// A database plus its BDD logical indices.
@@ -72,7 +88,12 @@ impl LogicalDatabase {
             return s;
         }
         let mut size = self.db.class_size(class).max(1);
-        for name in self.db.relation_names().map(str::to_owned).collect::<Vec<_>>() {
+        for name in self
+            .db
+            .relation_names()
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+        {
             let rel = self.db.relation(&name).expect("name enumerated");
             for (i, col) in rel.schema().columns().iter().enumerate() {
                 if col.class == class {
@@ -116,10 +137,19 @@ impl LogicalDatabase {
             domains[col] = Some(self.mgr.add_domain(dom_sizes[col])?);
         }
         let domains: Vec<DomainId> = domains.into_iter().map(Option::unwrap).collect();
-        let rows: Vec<Vec<u64>> =
-            rel.rows().map(|r| r.iter().map(|&v| v as u64).collect()).collect();
+        let rows: Vec<Vec<u64>> = rel
+            .rows()
+            .map(|r| r.iter().map(|&v| v as u64).collect())
+            .collect();
         let root = self.mgr.relation_from_rows(&domains, &rows)?;
-        self.indices.insert(name.to_owned(), RelIndex { domains, root, ordering });
+        self.indices.insert(
+            name.to_owned(),
+            RelIndex {
+                domains,
+                root,
+                ordering,
+            },
+        );
         Ok(&self.indices[name])
     }
 
@@ -175,6 +205,52 @@ impl LogicalDatabase {
         Ok(pool[slot])
     }
 
+    /// Snapshot a built index into a manager-independent [`IndexSnapshot`]
+    /// (or `None` if the relation has no index). The snapshot can be
+    /// adopted by another [`LogicalDatabase`] over the same data via
+    /// [`LogicalDatabase::import_index`].
+    pub fn export_index(&self, name: &str) -> Option<IndexSnapshot> {
+        let idx = self.indices.get(name)?;
+        let rel = self.mgr.export_relation(idx.root, &idx.domains).ok()?;
+        Some(IndexSnapshot {
+            relation: name.to_owned(),
+            ordering: idx.ordering.clone(),
+            rel,
+        })
+    }
+
+    /// Adopt a snapshot exported from another manager: declare fresh
+    /// finite-domain blocks, rebuild the characteristic function, and
+    /// install it as this database's index for the relation. The snapshot
+    /// must come from a [`LogicalDatabase`] over the same (dictionary-
+    /// encoded) data — the block sizes freeze the attribute-class domain
+    /// sizes here exactly as a local [`LogicalDatabase::build_index`]
+    /// would, so later query-domain pools stay width-compatible.
+    pub fn import_index(&mut self, snap: &IndexSnapshot) -> Result<()> {
+        let (domains, root) = self.mgr.import_relation(&snap.rel)?;
+        let classes: Vec<String> = self
+            .db
+            .relation(&snap.relation)?
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.class.clone())
+            .collect();
+        for (class, &d) in classes.iter().zip(&domains) {
+            let size = self.mgr.domain_info(d).size;
+            self.class_sizes.entry(class.clone()).or_insert(size);
+        }
+        self.indices.insert(
+            snap.relation.clone(),
+            RelIndex {
+                domains,
+                root,
+                ordering: snap.ordering.clone(),
+            },
+        );
+        Ok(())
+    }
+
     /// Garbage-collect everything except the index roots.
     pub fn gc(&mut self) -> GcStats {
         let roots: Vec<Bdd> = self.indices.values().map(|i| i.root).collect();
@@ -226,7 +302,8 @@ mod tests {
     #[test]
     fn index_respects_ordering_strategy() {
         let mut ldb = LogicalDatabase::new(db());
-        ldb.build_index("R", OrderingStrategy::ProbConverge).unwrap();
+        ldb.build_index("R", OrderingStrategy::ProbConverge)
+            .unwrap();
         let idx = ldb.index("R").unwrap();
         let mut o = idx.ordering.clone();
         o.sort_unstable();
@@ -299,11 +376,53 @@ mod tests {
     }
 
     #[test]
+    fn index_snapshot_transfers_between_logical_databases() {
+        let data = db();
+        let mut src = LogicalDatabase::new(data.clone());
+        src.build_index("R", OrderingStrategy::ProbConverge)
+            .unwrap();
+        let snap = src.export_index("R").unwrap();
+        assert!(src.export_index("missing").is_none());
+
+        let mut dst = LogicalDatabase::new(data);
+        dst.import_index(&snap).unwrap();
+        assert!(dst.has_index("R"));
+        let idx = dst.index("R").unwrap().clone();
+        assert_eq!(idx.ordering, snap.ordering);
+        assert_eq!(
+            dst.manager_mut()
+                .tuple_count(idx.root, &idx.domains)
+                .unwrap(),
+            4.0
+        );
+        // The adopted index supports incremental maintenance like a
+        // locally-built one.
+        let city = dst.db().code("city", &Raw::str("Oshawa")).unwrap();
+        let ac = dst.db().code("areacode", &Raw::Int(416)).unwrap();
+        assert!(dst.insert_tuple("R", &[city, ac]).unwrap());
+        let idx = dst.index("R").unwrap().clone();
+        assert!(dst
+            .manager()
+            .contains(idx.root, &idx.domains, &[city as u64, ac as u64])
+            .unwrap());
+        // Class sizes froze to the imported block sizes: query domains are
+        // width-compatible with the adopted blocks.
+        let q = dst.query_domain("city", 0).unwrap();
+        assert!(dst
+            .manager_mut()
+            .replace_domains(idx.root, &[(idx.domains[0], q)])
+            .is_ok());
+    }
+
+    #[test]
     fn node_limit_fails_index_build() {
         let mut ldb = LogicalDatabase::new(db());
         ldb.manager_mut().set_node_limit(Some(2));
         let err = ldb.build_index("R", OrderingStrategy::Schema);
-        assert!(matches!(err, Err(CoreError::Bdd(relcheck_bdd::BddError::NodeLimit { .. }))));
+        assert!(matches!(
+            err,
+            Err(CoreError::Bdd(relcheck_bdd::BddError::NodeLimit { .. }))
+        ));
         // Recoverable: raise the limit and retry.
         ldb.manager_mut().set_node_limit(None);
         ldb.gc();

@@ -29,6 +29,11 @@
 //!   [`checker::Checker::check`] (which constraints are violated),
 //!   [`checker::Checker::find_violations`] (the offending tuples), with
 //!   per-check method/size/timing reports.
+//! * [`parallel`] — [`parallel::ParallelChecker`] and
+//!   [`checker::Checker::check_all_parallel`]: the constraint set spread
+//!   over worker threads, each with a private BDD manager, with indices
+//!   shipped as manager-independent snapshots and reports merged back
+//!   deterministically.
 //!
 //! ```
 //! use relcheck_core::checker::{Checker, CheckerOptions};
@@ -55,11 +60,13 @@ pub mod compile;
 mod error;
 pub mod index;
 pub mod ordering;
+pub mod parallel;
 pub mod registry;
 pub mod sqlgen;
 
 pub use checker::{CheckReport, Checker, CheckerOptions, Method};
 pub use error::{CoreError, Result};
-pub use index::LogicalDatabase;
+pub use index::{IndexSnapshot, LogicalDatabase};
 pub use ordering::OrderingStrategy;
+pub use parallel::{IndexTransfer, ParallelChecker};
 pub use registry::ConstraintRegistry;

@@ -1,0 +1,404 @@
+//! Parallel constraint checking with per-worker BDD managers.
+//!
+//! The serial [`Checker`] funnels every constraint through one shared
+//! [`relcheck_bdd::BddManager`]. That keeps index sharing trivial but leaves
+//! multi-core machines idle: hash-consing makes the manager inherently
+//! single-writer, so BDD work cannot be parallelized *within* one manager
+//! without locking every node allocation. This module takes the other
+//! route, the one the paper's per-constraint independence invites: give
+//! each worker thread its **own** manager and its own clone of the
+//! dictionary-encoded [`Database`], partition the constraint set between
+//! workers by the relations each constraint reads, and merge the reports
+//! back into input order.
+//!
+//! Two hand-off strategies for the logical indices (see
+//! [`IndexTransfer`]):
+//!
+//! * **Snapshot** — a coordinator builds each referenced index once and
+//!   ships it to workers as a manager-independent
+//!   [`IndexSnapshot`] (the [`relcheck_bdd::ExportedRelation`] form), so
+//!   tuple construction runs once per relation no matter how many lanes
+//!   read it. This is what [`Checker::check_all_parallel`] does.
+//! * **Rebuild** — workers rebuild indices from their database clone,
+//!   with no coordinator BDD work at all.
+//!
+//! Every lane keeps the paper's full evaluation strategy independently: a
+//! node-budget abort in one worker garbage-collects and falls back to SQL
+//! *in that lane only*, without poisoning any other worker's manager.
+//! Verdicts (`holds`) are identical to the serial path. `method` can
+//! legitimately differ right at the node-budget edge: a per-worker manager
+//! holds only its batch's indices, so a constraint that busts a *shared*
+//! manager's budget may fit in a dedicated one (and vice versa is
+//! impossible — a worker never holds more live nodes than the serial
+//! checker at the same point). Timing fields (`elapsed`, `live_nodes`)
+//! describe the lane that ran the check.
+//!
+//! Only `std::thread` is used — scoped threads, no external runtime.
+
+use crate::checker::{CheckReport, Checker, CheckerOptions};
+use crate::error::{CoreError, Result};
+use crate::index::IndexSnapshot;
+use relcheck_bdd::BddError;
+use relcheck_logic::Formula;
+use relcheck_relstore::Database;
+use std::collections::HashSet;
+
+/// How workers obtain the logical indices their batch needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexTransfer {
+    /// A coordinator builds each referenced index once and ships
+    /// [`IndexSnapshot`]s; workers import instead of re-running tuple
+    /// construction.
+    #[default]
+    Snapshot,
+    /// Workers build their own indices from their database clone; the
+    /// coordinator does no BDD work.
+    Rebuild,
+}
+
+/// A standalone parallel front-end over a [`Database`]: partitions a
+/// constraint set into per-worker batches and checks them on `threads`
+/// worker threads, each with a private BDD manager (see module docs).
+///
+/// For a one-off parallel pass over an existing serial checker, use
+/// [`Checker::check_all_parallel`] instead — it reuses the indices the
+/// checker has already built.
+pub struct ParallelChecker {
+    db: Database,
+    opts: CheckerOptions,
+    threads: usize,
+    transfer: IndexTransfer,
+}
+
+impl ParallelChecker {
+    /// A parallel checker over a database snapshot. `threads` is clamped to
+    /// at least 1; the default transfer strategy is
+    /// [`IndexTransfer::Snapshot`].
+    pub fn new(db: Database, opts: CheckerOptions, threads: usize) -> ParallelChecker {
+        ParallelChecker {
+            db,
+            opts,
+            threads: threads.max(1),
+            transfer: IndexTransfer::default(),
+        }
+    }
+
+    /// Choose how workers obtain their indices.
+    pub fn with_transfer(mut self, transfer: IndexTransfer) -> ParallelChecker {
+        self.transfer = transfer;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Check many named constraints across the worker pool. Reports come
+    /// back in input order with verdicts identical to the serial
+    /// [`Checker::check_all`].
+    pub fn check_all(
+        &self,
+        constraints: &[(String, Formula)],
+    ) -> Result<Vec<(String, CheckReport)>> {
+        match self.transfer {
+            IndexTransfer::Rebuild => run(
+                &self.db,
+                self.opts,
+                &HashSet::new(),
+                &[],
+                constraints,
+                self.threads,
+            ),
+            IndexTransfer::Snapshot => {
+                let mut coordinator = Checker::new(self.db.clone(), self.opts);
+                coordinator.check_all_parallel(constraints, self.threads)
+            }
+        }
+    }
+}
+
+/// Partition constraint indices `0..constraints.len()` into at most
+/// `threads` batches. Constraints with the same read-set signature (the
+/// sorted list of relations they reference) are grouped so a worker can
+/// serve a whole group from one set of indices; groups larger than
+/// `⌈n/threads⌉` are split so one hot signature cannot serialize the run.
+/// Chunks go largest-first to the least-loaded batch (ties to the lowest
+/// batch), which is deterministic; each batch is returned sorted so a
+/// worker executes its lane in input order.
+pub(crate) fn partition(constraints: &[(String, Formula)], threads: usize) -> Vec<Vec<usize>> {
+    let n = constraints.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    // Group by read-set signature, in order of first occurrence.
+    let mut groups: Vec<(Vec<String>, Vec<usize>)> = Vec::new();
+    for (i, (_, f)) in constraints.iter().enumerate() {
+        let mut sig = Checker::referenced_relations(f);
+        sig.sort_unstable();
+        match groups.iter_mut().find(|(s, _)| *s == sig) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((sig, vec![i])),
+        }
+    }
+    let cap = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<usize>> = Vec::new();
+    for (_, members) in groups {
+        for c in members.chunks(cap) {
+            chunks.push(c.to_vec());
+        }
+    }
+    // Greedy bin-packing: biggest chunks first, ties broken by the chunk's
+    // first constraint index so the result is independent of HashMap-style
+    // iteration order anywhere upstream.
+    chunks.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+    let mut batches: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    for chunk in chunks {
+        let target = (0..threads)
+            .min_by_key(|&t| (batches[t].len(), t))
+            .expect("threads >= 1");
+        batches[target].extend(chunk);
+    }
+    batches.retain(|b| !b.is_empty());
+    for b in &mut batches {
+        b.sort_unstable();
+    }
+    batches
+}
+
+/// What one worker lane hands back: the completed reports (tagged with
+/// their constraint index) plus the first error, if any, tagged likewise.
+type LaneResult = (Vec<(usize, CheckReport)>, Option<(usize, CoreError)>);
+
+/// One worker lane: a private checker over a database clone, seeded with
+/// the coordinator's SQL-only set and any snapshots its batch reads.
+/// Returns the completed reports plus the first error (tagged with its
+/// constraint index) if one occurred.
+fn run_batch(
+    db: &Database,
+    opts: CheckerOptions,
+    sql_only: &HashSet<String>,
+    snapshots: &[IndexSnapshot],
+    constraints: &[(String, Formula)],
+    batch: &[usize],
+) -> LaneResult {
+    let mut ck = Checker::new(db.clone(), opts);
+    for name in sql_only {
+        ck.mark_sql_only(name);
+    }
+    // Adopt only the snapshots this lane actually reads — importing the
+    // rest would waste node budget on indices the batch never touches.
+    let needed: HashSet<String> = batch
+        .iter()
+        .flat_map(|&i| Checker::referenced_relations(&constraints[i].1))
+        .collect();
+    for snap in snapshots {
+        if !needed.contains(&snap.relation) {
+            continue;
+        }
+        if let Err(e) = ck.logical_db_mut().import_index(snap) {
+            match e {
+                // Mirror `ensure_index`: a budget abort makes the relation
+                // SQL-only for this lane instead of failing the run.
+                CoreError::Bdd(BddError::NodeLimit { .. }) => {
+                    ck.logical_db_mut().gc();
+                    ck.mark_sql_only(&snap.relation);
+                }
+                other => return (Vec::new(), Some((batch[0], other))),
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(batch.len());
+    for &i in batch {
+        match ck.check(&constraints[i].1) {
+            Ok(report) => out.push((i, report)),
+            Err(e) => return (out, Some((i, e))),
+        }
+    }
+    (out, None)
+}
+
+/// Fan a constraint set out over scoped worker threads and merge the
+/// reports back into input order. On error, the failure attached to the
+/// smallest constraint index wins — the same error a serial pass would
+/// have hit first — so error behaviour is deterministic too.
+pub(crate) fn run(
+    db: &Database,
+    opts: CheckerOptions,
+    sql_only: &HashSet<String>,
+    snapshots: &[IndexSnapshot],
+    constraints: &[(String, Formula)],
+    threads: usize,
+) -> Result<Vec<(String, CheckReport)>> {
+    let batches = partition(constraints, threads);
+    let results: Vec<LaneResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = batches
+            .iter()
+            .map(|batch| {
+                s.spawn(move || run_batch(db, opts, sql_only, snapshots, constraints, batch))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+    let mut merged: Vec<Option<CheckReport>> = vec![None; constraints.len()];
+    let mut first_err: Option<(usize, CoreError)> = None;
+    for (reports, err) in results {
+        for (i, r) in reports {
+            merged[i] = Some(r);
+        }
+        if let Some((at, e)) = err {
+            if first_err.as_ref().is_none_or(|(best, _)| at < *best) {
+                first_err = Some((at, e));
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    Ok(constraints
+        .iter()
+        .zip(merged)
+        .map(|((name, _), r)| {
+            (
+                name.clone(),
+                r.expect("every constraint assigned to exactly one batch"),
+            )
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcheck_logic::parse;
+    use relcheck_relstore::Raw;
+
+    fn named(pairs: &[(&str, &str)]) -> Vec<(String, Formula)> {
+        pairs
+            .iter()
+            .map(|(n, f)| (n.to_string(), parse(f).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn partition_covers_each_constraint_once() {
+        let cs = named(&[
+            ("a", "exists x. R(x)"),
+            ("b", "exists x. S(x)"),
+            ("c", "forall x. R(x) -> S(x)"),
+            ("d", "exists x. R(x)"),
+            ("e", "exists x. T(x)"),
+        ]);
+        for threads in 1..=8 {
+            let batches = partition(&cs, threads);
+            assert!(batches.len() <= threads.min(cs.len()));
+            let mut all: Vec<usize> = batches.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3, 4], "threads={threads}");
+            for b in &batches {
+                assert!(b.windows(2).all(|w| w[0] < w[1]), "batches stay sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_groups_shared_read_sets() {
+        // a and d read exactly {R}; with two lanes they should ride
+        // together so one worker serves both from one index.
+        let cs = named(&[
+            ("a", "exists x. R(x)"),
+            ("b", "exists x. S(x)"),
+            ("c", "exists x. T(x)"),
+            ("d", "forall x. R(x) -> R(x)"),
+        ]);
+        let batches = partition(&cs, 2);
+        let lane_of = |i: usize| batches.iter().position(|b| b.contains(&i)).unwrap();
+        assert_eq!(lane_of(0), lane_of(3), "same signature, same lane");
+    }
+
+    #[test]
+    fn partition_splits_oversized_groups() {
+        // Every constraint reads {R}: one signature, but four lanes should
+        // still all get work.
+        let cs: Vec<(String, Formula)> = (0..8)
+            .map(|i| (format!("c{i}"), parse("exists x. R(x)").unwrap()))
+            .collect();
+        let batches = partition(&cs, 4);
+        assert_eq!(batches.len(), 4);
+        assert!(batches.iter().all(|b| b.len() == 2));
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let cs = named(&[
+            ("a", "exists x. R(x)"),
+            ("b", "exists x. S(x)"),
+            ("c", "forall x. R(x) -> S(x)"),
+            ("d", "exists x. T(x)"),
+            ("e", "exists x. R(x)"),
+            ("f", "exists x. S(x)"),
+        ]);
+        let first = partition(&cs, 3);
+        for _ in 0..10 {
+            assert_eq!(partition(&cs, 3), first);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_a_small_database() {
+        let mut db = Database::new();
+        db.create_relation(
+            "CUST",
+            &[
+                ("city", "city"),
+                ("areacode", "areacode"),
+                ("state", "state"),
+            ],
+            vec![
+                vec![Raw::str("Toronto"), Raw::Int(416), Raw::str("ON")],
+                vec![Raw::str("Oshawa"), Raw::Int(905), Raw::str("ON")],
+                vec![Raw::str("Newark"), Raw::Int(973), Raw::str("NJ")],
+                vec![Raw::str("Newark"), Raw::Int(212), Raw::str("NY")],
+            ],
+        )
+        .unwrap();
+        let cs = named(&[
+            (
+                "holds",
+                r#"forall c, a, s. CUST(c, a, s) & c = "Toronto" -> s = "ON""#,
+            ),
+            (
+                "breaks",
+                r#"forall c, a, s. CUST(c, a, s) & c = "Newark" -> s = "NJ""#,
+            ),
+            ("nonempty", r#"exists c, a, s. CUST(c, a, s)"#),
+        ]);
+        let mut serial = Checker::new(db.clone(), CheckerOptions::default());
+        let want = serial.check_all(&cs).unwrap();
+        for transfer in [IndexTransfer::Snapshot, IndexTransfer::Rebuild] {
+            for threads in [1usize, 2, 3, 8] {
+                let pc = ParallelChecker::new(db.clone(), CheckerOptions::default(), threads)
+                    .with_transfer(transfer);
+                let got = pc.check_all(&cs).unwrap();
+                assert_eq!(got.len(), want.len());
+                for ((wn, wr), (gn, gr)) in want.iter().zip(&got) {
+                    assert_eq!(wn, gn, "order preserved");
+                    assert_eq!(wr.holds, gr.holds, "{wn} with {threads} threads");
+                    assert_eq!(wr.method, gr.method, "{wn} with {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_constraint_set_is_fine() {
+        let db = Database::new();
+        let pc = ParallelChecker::new(db, CheckerOptions::default(), 4);
+        assert!(pc.check_all(&[]).unwrap().is_empty());
+        assert!(partition(&[], 4).is_empty());
+    }
+}

@@ -88,7 +88,12 @@ impl ConstraintRegistry {
             return false;
         }
         let reads = referenced(&formula);
-        self.entries.push(Entry { name: name.to_owned(), formula, reads, last: None });
+        self.entries.push(Entry {
+            name: name.to_owned(),
+            formula,
+            reads,
+            last: None,
+        });
         true
     }
 
@@ -99,7 +104,10 @@ impl ConstraintRegistry {
 
     /// The formula behind a name.
     pub fn formula(&self, name: &str) -> Option<&Formula> {
-        self.entries.iter().find(|e| e.name == name).map(|e| &e.formula)
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.formula)
     }
 
     /// Validate everything, caching verdicts. Returns `(name, report)` in
@@ -114,6 +122,29 @@ impl ConstraintRegistry {
         Ok(out)
     }
 
+    /// [`ConstraintRegistry::validate_all`] spread across `threads` worker
+    /// threads via [`Checker::check_all_parallel`]: constraints are batched
+    /// by the relations they read, each worker checks its batch on a
+    /// private BDD manager, and the merged reports (identical verdicts, in
+    /// registration order) refresh the cache exactly as the serial pass
+    /// would.
+    pub fn validate_all_parallel(
+        &mut self,
+        checker: &mut Checker,
+        threads: usize,
+    ) -> Result<Vec<(String, CheckReport)>> {
+        let constraints: Vec<(String, Formula)> = self
+            .entries
+            .iter()
+            .map(|e| (e.name.clone(), e.formula.clone()))
+            .collect();
+        let reports = checker.check_all_parallel(&constraints, threads)?;
+        for (e, (_, r)) in self.entries.iter_mut().zip(&reports) {
+            e.last = Some(r.holds);
+        }
+        Ok(reports)
+    }
+
     /// After updates to `touched` relations, re-check only the constraints
     /// reading any of them; the rest report their cached verdict.
     /// Constraints never validated before are always checked.
@@ -125,14 +156,17 @@ impl ConstraintRegistry {
         let touched: HashSet<&str> = touched.iter().copied().collect();
         let mut out = Vec::with_capacity(self.entries.len());
         for e in &mut self.entries {
-            let dirty =
-                e.last.is_none() || e.reads.iter().any(|r| touched.contains(r.as_str()));
+            let dirty = e.last.is_none() || e.reads.iter().any(|r| touched.contains(r.as_str()));
             let verdict = if dirty {
                 let report = checker.check(&e.formula)?;
                 e.last = Some(report.holds);
-                Verdict::Checked { holds: report.holds }
+                Verdict::Checked {
+                    holds: report.holds,
+                }
             } else {
-                Verdict::Cached { holds: e.last.expect("checked not-none above") }
+                Verdict::Cached {
+                    holds: e.last.expect("checked not-none above"),
+                }
             };
             out.push((e.name.clone(), verdict));
         }
@@ -141,7 +175,10 @@ impl ConstraintRegistry {
 
     /// Currently-cached verdicts (`None` = never validated).
     pub fn cached(&self) -> HashMap<String, Option<bool>> {
-        self.entries.iter().map(|e| (e.name.clone(), e.last)).collect()
+        self.entries
+            .iter()
+            .map(|e| (e.name.clone(), e.last))
+            .collect()
     }
 }
 
@@ -184,12 +221,22 @@ mod tests {
             ],
         )
         .unwrap();
-        db.create_relation("S", &[("x", "k")], vec![vec![Raw::Int(1)], vec![Raw::Int(2)]])
-            .unwrap();
+        db.create_relation(
+            "S",
+            &[("x", "k")],
+            vec![vec![Raw::Int(1)], vec![Raw::Int(2)]],
+        )
+        .unwrap();
         let ck = Checker::new(db, CheckerOptions::default());
         let mut reg = ConstraintRegistry::new();
-        assert!(reg.register("r-diagonal", parse("forall x, y. R(x, y) -> x = y").unwrap()));
-        assert!(reg.register("r-covers-s", parse("forall x. S(x) -> exists y. R(x, y)").unwrap()));
+        assert!(reg.register(
+            "r-diagonal",
+            parse("forall x, y. R(x, y) -> x = y").unwrap()
+        ));
+        assert!(reg.register(
+            "r-covers-s",
+            parse("forall x. S(x) -> exists y. R(x, y)").unwrap()
+        ));
         assert!(reg.register("s-nonempty", parse("exists x. S(x)").unwrap()));
         (ck, reg)
     }
@@ -220,10 +267,19 @@ mod tests {
         ck.logical_db_mut().insert_tuple("R", &[one, two]).unwrap();
         let verdicts = reg.revalidate(&mut ck, &["R"]).unwrap();
         let by_name: HashMap<_, _> = verdicts.into_iter().collect();
-        assert!(matches!(by_name["r-diagonal"], Verdict::Checked { holds: false }));
-        assert!(matches!(by_name["r-covers-s"], Verdict::Checked { holds: true }));
+        assert!(matches!(
+            by_name["r-diagonal"],
+            Verdict::Checked { holds: false }
+        ));
+        assert!(matches!(
+            by_name["r-covers-s"],
+            Verdict::Checked { holds: true }
+        ));
         // s-nonempty does not read R: cached.
-        assert!(matches!(by_name["s-nonempty"], Verdict::Cached { holds: true }));
+        assert!(matches!(
+            by_name["s-nonempty"],
+            Verdict::Cached { holds: true }
+        ));
     }
 
     #[test]
@@ -231,10 +287,14 @@ mod tests {
         let (mut ck, mut reg) = setup();
         // No validate_all first: everything is dirty even with no touches.
         let verdicts = reg.revalidate(&mut ck, &[]).unwrap();
-        assert!(verdicts.iter().all(|(_, v)| matches!(v, Verdict::Checked { .. })));
+        assert!(verdicts
+            .iter()
+            .all(|(_, v)| matches!(v, Verdict::Checked { .. })));
         // Second pass with no touches: everything cached.
         let verdicts = reg.revalidate(&mut ck, &[]).unwrap();
-        assert!(verdicts.iter().all(|(_, v)| matches!(v, Verdict::Cached { .. })));
+        assert!(verdicts
+            .iter()
+            .all(|(_, v)| matches!(v, Verdict::Cached { .. })));
         assert!(verdicts.iter().all(|(_, v)| v.holds()));
     }
 }

@@ -137,7 +137,11 @@ fn flatten_conj(f: &Formula) -> Option<Conj> {
         }
     }
     if go(f, &mut atoms, &mut neg_atoms, &mut cmps) {
-        Some(Conj { atoms, neg_atoms, cmps })
+        Some(Conj {
+            atoms,
+            neg_atoms,
+            cmps,
+        })
     } else {
         None
     }
@@ -207,7 +211,11 @@ fn build_conj_plan(db: &Database, conj: &Conj) -> Option<(Plan, HashMap<String, 
             Cmp::Decided(true) => plan,
             Cmp::Decided(false) => {
                 // Select nothing: empty IN-set.
-                Plan::SelectIn { input: Box::new(plan), col: 0, values: vec![] }
+                Plan::SelectIn {
+                    input: Box::new(plan),
+                    col: 0,
+                    values: vec![],
+                }
             }
             Cmp::EqConst(v, raw) => plan.select_eq(*var_cols.get(v)?, raw.clone()),
             Cmp::NeqConst(v, raw) => Plan::SelectNeq {
@@ -345,9 +353,11 @@ pub fn violation_plan(db: &Database, f: &Formula) -> Option<Translated> {
         for cmp in &cconj.cmps {
             satisfied = match cmp {
                 Cmp::Decided(true) => satisfied,
-                Cmp::Decided(false) => {
-                    Plan::SelectIn { input: Box::new(satisfied), col: 0, values: vec![] }
-                }
+                Cmp::Decided(false) => Plan::SelectIn {
+                    input: Box::new(satisfied),
+                    col: 0,
+                    values: vec![],
+                },
                 Cmp::EqConst(v, raw) => satisfied.select_eq(*pvars.get(v)?, raw.clone()),
                 Cmp::NeqConst(v, raw) => Plan::SelectNeq {
                     input: Box::new(satisfied),
@@ -372,9 +382,16 @@ pub fn violation_plan(db: &Database, f: &Formula) -> Option<Translated> {
                 },
             };
         }
-        let plan = Plan::Diff { left: Box::new(premise_plan), right: Box::new(satisfied) }
-            .project(proj_cols);
-        return Some(Translated { plan, shape: Shape::Violations, columns });
+        let plan = Plan::Diff {
+            left: Box::new(premise_plan),
+            right: Box::new(satisfied),
+        }
+        .project(proj_cols);
+        return Some(Translated {
+            plan,
+            shape: Shape::Violations,
+            columns,
+        });
     }
     // Conclusion with atoms: anti-join the premise against the conclusion
     // join on the variables they share.
@@ -387,7 +404,11 @@ pub fn violation_plan(db: &Database, f: &Formula) -> Option<Translated> {
         return None; // decoupled conclusion — out of class
     }
     let plan = premise_plan.anti_join(concl_plan, pairs).project(proj_cols);
-    Some(Translated { plan, shape: Shape::Violations, columns })
+    Some(Translated {
+        plan,
+        shape: Shape::Violations,
+        columns,
+    })
 }
 
 /// Detect `∀… R(l̄, x̄, ō) ∧ R(l̄, ȳ, ō') → x̄ = ȳ` and compile it to a
@@ -424,7 +445,10 @@ fn fd_plan(db: &Database, premise: &Formula, conclusion: &Formula) -> Option<Tra
     let mut seen = std::collections::HashSet::new();
     for t in args1.iter().chain(args2) {
         if let Term::Var(v) = t {
-            if !lhs.iter().any(|&i| matches!(&args1[i], Term::Var(x) if x == v)) && !seen.insert(v)
+            if !lhs
+                .iter()
+                .any(|&i| matches!(&args1[i], Term::Var(x) if x == v))
+                && !seen.insert(v)
             {
                 return None;
             }
@@ -438,9 +462,9 @@ fn fd_plan(db: &Database, premise: &Formula, conclusion: &Formula) -> Option<Tra
     let mut rhs = Vec::new();
     for cmp in &cconj.cmps {
         let Cmp::EqVar(x, y) = cmp else { return None };
-        let pos = differing.iter().find(|(_, a, b)| {
-            (a == x && b == y) || (a == y && b == x)
-        })?;
+        let pos = differing
+            .iter()
+            .find(|(_, a, b)| (a == x && b == y) || (a == y && b == x))?;
         rhs.push(pos.0);
     }
     let columns = rel
@@ -482,7 +506,11 @@ mod tests {
         let mut db = Database::new();
         db.create_relation(
             "CUST",
-            &[("city", "city"), ("areacode", "areacode"), ("state", "state")],
+            &[
+                ("city", "city"),
+                ("areacode", "areacode"),
+                ("state", "state"),
+            ],
             vec![
                 vec![Raw::str("Toronto"), Raw::Int(416), Raw::str("ON")],
                 vec![Raw::str("Toronto"), Raw::Int(647), Raw::str("ON")],
@@ -583,8 +611,7 @@ mod tests {
         ] {
             let f = parse(src).unwrap();
             let expected = eval_sentence(&db, &f).unwrap();
-            let t = violation_plan(&db, &f)
-                .unwrap_or_else(|| panic!("untranslatable: {src}"));
+            let t = violation_plan(&db, &f).unwrap_or_else(|| panic!("untranslatable: {src}"));
             let out = execute(&db, &t.plan).unwrap();
             let got = match t.shape {
                 Shape::Violations => out.is_empty(),
@@ -594,20 +621,16 @@ mod tests {
         }
         // A negated atom sharing no variables with the positive part is
         // out of class.
-        let f = parse(
-            r#"forall c, a, s. CUST(c, a, s) & !ALLOWED("Toronto", 416) -> s = "ON""#,
-        )
-        .unwrap();
+        let f = parse(r#"forall c, a, s. CUST(c, a, s) & !ALLOWED("Toronto", 416) -> s = "ON""#)
+            .unwrap();
         assert!(violation_plan(&db, &f).is_none());
     }
 
     #[test]
     fn fd_pattern_compiles_to_group_by() {
         let db = db();
-        let f = parse(
-            "forall c1, a, s1, c2, s2. CUST(c1, a, s1) & CUST(c2, a, s2) -> s1 = s2",
-        )
-        .unwrap();
+        let f = parse("forall c1, a, s1, c2, s2. CUST(c1, a, s1) & CUST(c2, a, s2) -> s1 = s2")
+            .unwrap();
         let t = violation_plan(&db, &f).unwrap();
         assert!(
             matches!(t.plan, Plan::FdViolations { ref lhs, ref rhs, .. }
@@ -618,10 +641,8 @@ mod tests {
         // areacode → state holds in the fixture.
         assert!(execute(&db, &t.plan).unwrap().is_empty());
         // And the violated FD (city → state) produces the Newark rows.
-        let g = parse(
-            "forall c, a1, s1, a2, s2. CUST(c, a1, s1) & CUST(c, a2, s2) -> s1 = s2",
-        )
-        .unwrap();
+        let g = parse("forall c, a1, s1, a2, s2. CUST(c, a1, s1) & CUST(c, a2, s2) -> s1 = s2")
+            .unwrap();
         let t = violation_plan(&db, &g).unwrap();
         assert!(matches!(t.plan, Plan::FdViolations { .. }));
         assert_eq!(execute(&db, &t.plan).unwrap().len(), 2);

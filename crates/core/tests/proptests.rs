@@ -5,6 +5,11 @@
 //! rewrites, rename vs naive joins, SQL plans, brute force, and the full
 //! checker with an aggressive node budget forcing fallbacks) must agree on
 //! whether each constraint holds.
+// Gated behind the off-by-default `fuzz` feature: proptest is an external
+// dependency and the tier-1 verify must build with no network access. Run
+// with `cargo test --features fuzz` in an environment with a vendored
+// proptest.
+#![cfg(feature = "fuzz")]
 
 use proptest::prelude::*;
 use relcheck_core::checker::{Checker, CheckerOptions};
@@ -35,13 +40,19 @@ fn build_db(r_rows: &[(u64, u64)], s_rows: &[(u64, u64)]) -> Database {
     db.create_relation(
         "R",
         &[("a", "k1"), ("b", "k2")],
-        r_rows.iter().map(|&(a, b)| vec![Raw::Int(a as i64), Raw::Int(b as i64)]).collect(),
+        r_rows
+            .iter()
+            .map(|&(a, b)| vec![Raw::Int(a as i64), Raw::Int(b as i64)])
+            .collect(),
     )
     .unwrap();
     db.create_relation(
         "S",
         &[("c", "k2"), ("d", "k3")],
-        s_rows.iter().map(|&(c, d)| vec![Raw::Int(c as i64), Raw::Int(d as i64)]).collect(),
+        s_rows
+            .iter()
+            .map(|&(c, d)| vec![Raw::Int(c as i64), Raw::Int(d as i64)])
+            .collect(),
     )
     .unwrap();
     db
@@ -57,8 +68,8 @@ fn arb_matrix() -> impl Strategy<Value = Formula> {
     let eq_yy = Just(Formula::Eq(Term::var(YS[0]), Term::var(YS[1])));
     let eq_const = (0usize..2, 0..K1 as i64)
         .prop_map(|(i, c)| Formula::Eq(Term::var(XS[i]), Term::Const(Raw::Int(c))));
-    let in_set = (0usize..2, proptest::collection::vec(0..K2 as i64, 0..3))
-        .prop_map(|(j, vals)| {
+    let in_set =
+        (0usize..2, proptest::collection::vec(0..K2 as i64, 0..3)).prop_map(|(j, vals)| {
             Formula::InSet(Term::var(YS[j]), vals.into_iter().map(Raw::Int).collect())
         });
     let leaf = prop_oneof![atom_r, atom_s, eq_xx, eq_yy, eq_const, in_set];
@@ -75,8 +86,12 @@ fn arb_matrix() -> impl Strategy<Value = Formula> {
 /// Close the matrix under a random quantifier pattern over all five pool
 /// variables (every generated formula becomes a sentence).
 fn arb_sentence() -> impl Strategy<Value = Formula> {
-    (arb_matrix(), proptest::collection::vec(any::<bool>(), 5), any::<u8>()).prop_map(
-        |(matrix, quants, order_seed)| {
+    (
+        arb_matrix(),
+        proptest::collection::vec(any::<bool>(), 5),
+        any::<u8>(),
+    )
+        .prop_map(|(matrix, quants, order_seed)| {
             // Quantify only the variables the matrix actually uses —
             // vacuous quantification has no inferable sort (a documented
             // design decision of the sort checker).
@@ -91,7 +106,9 @@ fn arb_sentence() -> impl Strategy<Value = Formula> {
             // Cheap deterministic shuffle of the binding order.
             let mut s = order_seed as u64 | 1;
             for i in (1..vars.len()).rev() {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 vars.swap(i, (s >> 33) as usize % (i + 1));
             }
             let mut f = matrix;
@@ -103,8 +120,7 @@ fn arb_sentence() -> impl Strategy<Value = Formula> {
                 };
             }
             f
-        },
-    )
+        })
 }
 
 fn arb_rows_r() -> impl Strategy<Value = Vec<(u64, u64)>> {

@@ -5,8 +5,7 @@
 //! students violate it, so both the satisfied and the violated paths of the
 //! checker get exercised.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use relcheck_relstore::{Database, Raw};
 
 /// Generator configuration for the curriculum database.
@@ -43,11 +42,19 @@ impl Default for CurriculumConfig {
 }
 
 fn dept_name(i: usize) -> String {
-    if i == 0 { "CS".to_owned() } else { format!("dept{i}") }
+    if i == 0 {
+        "CS".to_owned()
+    } else {
+        format!("dept{i}")
+    }
 }
 
 fn area_name(i: usize) -> String {
-    if i == 0 { "Programming".to_owned() } else { format!("area{i}") }
+    if i == 0 {
+        "Programming".to_owned()
+    } else {
+        format!("area{i}")
+    }
 }
 
 /// Populate `db` with STUDENT(student_id, department, contact),
@@ -55,14 +62,17 @@ fn area_name(i: usize) -> String {
 ///
 /// Returns the ids of the injected violating students.
 pub fn populate(db: &mut Database, cfg: &CurriculumConfig) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
 
     // Courses: area assigned round-robin so every area (incl. Programming)
     // has courses.
     let course_area: Vec<usize> = (0..cfg.courses).map(|c| c % cfg.areas).collect();
     let programming_courses: Vec<usize> =
         (0..cfg.courses).filter(|&c| course_area[c] == 0).collect();
-    assert!(!programming_courses.is_empty(), "need at least one Programming course");
+    assert!(
+        !programming_courses.is_empty(),
+        "need at least one Programming course"
+    );
 
     let mut students = Vec::with_capacity(cfg.students);
     let mut takes = Vec::new();
@@ -104,12 +114,20 @@ pub fn populate(db: &mut Database, cfg: &CurriculumConfig) -> Vec<i64> {
 
     db.create_relation(
         "STUDENT",
-        &[("student_id", "student_id"), ("department", "department"), ("contact", "contact")],
+        &[
+            ("student_id", "student_id"),
+            ("department", "department"),
+            ("contact", "contact"),
+        ],
         students,
     )
     .expect("fresh db");
-    db.create_relation("COURSE", &[("course_id", "course_id"), ("area", "area")], courses)
-        .expect("fresh db");
+    db.create_relation(
+        "COURSE",
+        &[("course_id", "course_id"), ("area", "area")],
+        courses,
+    )
+    .expect("fresh db");
     db.create_relation(
         "TAKES",
         &[("student_id", "student_id"), ("course_id", "course_id")],
@@ -122,13 +140,17 @@ pub fn populate(db: &mut Database, cfg: &CurriculumConfig) -> Vec<i64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use relcheck_relstore::{algebra, plan::{execute, Plan}};
+    use relcheck_relstore::{
+        algebra,
+        plan::{execute, Plan},
+    };
 
     fn check_violators(db: &Database) -> usize {
         // SQL formulation from the paper's introduction: CS students with no
         // Programming TAKES partner.
-        let cs_students =
-            Plan::scan("STUDENT").select_eq(1, Raw::str("CS")).project(vec![0]);
+        let cs_students = Plan::scan("STUDENT")
+            .select_eq(1, Raw::str("CS"))
+            .project(vec![0]);
         let programming_takes = Plan::scan("TAKES")
             .join(
                 Plan::scan("COURSE").select_eq(1, Raw::str("Programming")),
@@ -150,7 +172,10 @@ mod tests {
     #[test]
     fn injected_violators_are_found() {
         let mut db = Database::new();
-        let cfg = CurriculumConfig { violating_students: 7, ..Default::default() };
+        let cfg = CurriculumConfig {
+            violating_students: 7,
+            ..Default::default()
+        };
         let v = populate(&mut db, &cfg);
         assert_eq!(v.len(), 7);
         assert_eq!(check_violators(&db), 7);
@@ -159,7 +184,10 @@ mod tests {
     #[test]
     fn relations_have_expected_shapes() {
         let mut db = Database::new();
-        let cfg = CurriculumConfig { students: 100, ..Default::default() };
+        let cfg = CurriculumConfig {
+            students: 100,
+            ..Default::default()
+        };
         populate(&mut db, &cfg);
         assert_eq!(db.relation("STUDENT").unwrap().len(), 100);
         assert_eq!(db.relation("COURSE").unwrap().len(), cfg.courses);
@@ -167,8 +195,7 @@ mod tests {
         assert!(takes.len() >= 100 * cfg.courses_per_student / 2);
         // Student ids in TAKES are a subset of STUDENT ids.
         let student_ids = algebra::project(db.relation("STUDENT").unwrap(), &[0]).unwrap();
-        let dangling =
-            algebra::anti_join(takes, &student_ids, &[(0, 0)]).unwrap();
+        let dangling = algebra::anti_join(takes, &student_ids, &[(0, 0)]).unwrap();
         assert!(dangling.is_empty());
     }
 }

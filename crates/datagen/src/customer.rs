@@ -17,8 +17,7 @@
 //! and correlations, which is why the substitution preserves the paper's
 //! behaviour (see DESIGN.md).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use relcheck_relstore::{Relation, Schema};
 
 /// Generator configuration. Defaults mirror the paper.
@@ -82,16 +81,18 @@ pub mod col {
 
 /// Generate the synthetic customer database.
 pub fn generate(cfg: &CustomerConfig) -> CustomerData {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
     let [n_area, n_number, n_city, n_state, n_zip] = cfg.dom_sizes;
 
     // Model: assign each city and each area code to a state; each zipcode
     // to a city. Round-robin with shuffle-free random assignment keeps all
     // domains fully active.
-    let city_state: Vec<u32> =
-        (0..n_city).map(|_| rng.gen_range(0..n_state) as u32).collect();
-    let areacode_state: Vec<u32> =
-        (0..n_area).map(|_| rng.gen_range(0..n_state) as u32).collect();
+    let city_state: Vec<u32> = (0..n_city)
+        .map(|_| rng.gen_range(0..n_state) as u32)
+        .collect();
+    let areacode_state: Vec<u32> = (0..n_area)
+        .map(|_| rng.gen_range(0..n_state) as u32)
+        .collect();
     // Give every city at least one zipcode (when there are enough zips) so
     // the model FD `zipcode → city` holds with every city active; remaining
     // zips spread randomly.
@@ -133,7 +134,7 @@ pub fn generate(cfg: &CustomerConfig) -> CustomerData {
 
     let mut rows = Vec::with_capacity(cfg.rows);
     for _ in 0..cfg.rows {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.gen_f64();
         let city = cdf.partition_point(|&c| c < u).min(n_city as usize - 1) as u32;
         let mut state = city_state[city as usize];
         if cfg.violation_rate > 0.0 && rng.gen_bool(cfg.violation_rate) {
@@ -217,7 +218,10 @@ mod tests {
     fn domains_within_bounds() {
         let d = generate(&small_cfg());
         for (c, &size) in d.dom_sizes.iter().enumerate() {
-            assert!(d.relation.col(c).iter().all(|&v| (v as u64) < size), "column {c}");
+            assert!(
+                d.relation.col(c).iter().all(|&v| (v as u64) < size),
+                "column {c}"
+            );
         }
     }
 
@@ -233,7 +237,10 @@ mod tests {
         };
         let max = *counts.iter().max().unwrap();
         let avg = d.relation.len() / 500;
-        assert!(max > 10 * avg, "top city should dominate: max={max}, avg={avg}");
+        assert!(
+            max > 10 * avg,
+            "top city should dominate: max={max}, avg={avg}"
+        );
     }
 
     #[test]

@@ -18,10 +18,16 @@
 //! * [`curriculum`] — the STUDENT / COURSE / TAKES schema from the paper's
 //!   introduction, with a controllable fraction of students violating the
 //!   "CS students take a Programming course" policy (Formula 1).
+//!
+//! All randomness comes from the in-crate [`rng::SplitMix64`] generator, so
+//! the workspace builds hermetically (no external dependencies) and the same
+//! seed yields the same dataset on every platform.
 
 pub mod curriculum;
 pub mod customer;
 pub mod prod;
+pub mod rng;
 
 pub use customer::{CustomerConfig, CustomerData};
 pub use prod::{gen_kprod, gen_random, Generated};
+pub use rng::SplitMix64;

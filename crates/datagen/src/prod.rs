@@ -7,9 +7,7 @@
 //! sets. The paper uses 5 attributes with active domains ≤ 100 and 400,000
 //! tuples; all parameters are configurable here.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use relcheck_relstore::{Relation, Schema};
 use std::collections::HashSet;
 
@@ -24,9 +22,13 @@ pub struct Generated {
 }
 
 fn schema(attrs: usize) -> Schema {
-    let names: Vec<(String, String)> =
-        (0..attrs).map(|i| (format!("v{i}"), format!("v{i}"))).collect();
-    let refs: Vec<(&str, &str)> = names.iter().map(|(n, c)| (n.as_str(), c.as_str())).collect();
+    let names: Vec<(String, String)> = (0..attrs)
+        .map(|i| (format!("v{i}"), format!("v{i}")))
+        .collect();
+    let refs: Vec<(&str, &str)> = names
+        .iter()
+        .map(|(n, c)| (n.as_str(), c.as_str()))
+        .collect();
     Schema::new(&refs)
 }
 
@@ -35,7 +37,7 @@ fn schema(attrs: usize) -> Schema {
 /// what separates the two ordering heuristics (with equal sizes the greedy
 /// steps of `MaxInf-Gain` and `Prob-Converge` coincide analytically). We
 /// draw each size uniformly in `[max/4, max]`.
-fn attr_sizes(rng: &mut StdRng, attrs: usize, max: u64) -> Vec<u64> {
+fn attr_sizes(rng: &mut SplitMix64, attrs: usize, max: u64) -> Vec<u64> {
     let lo = (max / 4).max(2);
     (0..attrs).map(|_| rng.gen_range(lo..=max)).collect()
 }
@@ -43,7 +45,7 @@ fn attr_sizes(rng: &mut StdRng, attrs: usize, max: u64) -> Vec<u64> {
 /// Uniform random relation: `tuples` distinct rows over `attrs` attributes
 /// with per-attribute active domains of size at most `dom`.
 pub fn gen_random(attrs: usize, dom: u64, tuples: usize, seed: u64) -> Generated {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let dom_sizes = attr_sizes(&mut rng, attrs, dom);
     let capacity: f64 = dom_sizes.iter().map(|&s| s as f64).product();
     assert!(
@@ -52,8 +54,10 @@ pub fn gen_random(attrs: usize, dom: u64, tuples: usize, seed: u64) -> Generated
     );
     let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(tuples);
     while seen.len() < tuples {
-        let row: Vec<u32> =
-            dom_sizes.iter().map(|&s| rng.gen_range(0..s) as u32).collect();
+        let row: Vec<u32> = dom_sizes
+            .iter()
+            .map(|&s| rng.gen_range(0..s) as u32)
+            .collect();
         seen.insert(row);
     }
     Generated {
@@ -70,7 +74,7 @@ pub fn gen_random(attrs: usize, dom: u64, tuples: usize, seed: u64) -> Generated
 pub fn gen_kprod(attrs: usize, dom: u64, tuples: usize, k: usize, seed: u64) -> Generated {
     assert!(k >= 1, "k-PROD requires k ≥ 1");
     assert!(attrs >= 2, "a product needs at least two attributes");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let dom_sizes = attr_sizes(&mut rng, attrs, dom);
     let per_product = (tuples / k).max(1);
     let mut rows: HashSet<Vec<u32>> = HashSet::with_capacity(tuples);
@@ -88,7 +92,7 @@ pub fn gen_kprod(attrs: usize, dom: u64, tuples: usize, k: usize, seed: u64) -> 
 /// One product `R₁ × R₂ × …` over a random partition of the attributes,
 /// targeting roughly `target` tuples. Returns materialized rows.
 fn gen_one_product(
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
     attrs: usize,
     dom_sizes: &[u64],
     target: usize,
@@ -97,10 +101,10 @@ fn gen_one_product(
     // factor's cardinality manageable while still giving product structure.
     let groups = rng.gen_range(2..=attrs.min(3));
     let mut perm: Vec<usize> = (0..attrs).collect();
-    perm.shuffle(rng);
+    rng.shuffle(&mut perm);
     // Random split points.
     let mut cuts: Vec<usize> = (1..attrs).collect();
-    cuts.shuffle(rng);
+    rng.shuffle(&mut cuts);
     let mut cuts: Vec<usize> = cuts[..groups - 1].to_vec();
     cuts.sort_unstable();
     let mut parts: Vec<Vec<usize>> = Vec::with_capacity(groups);
@@ -159,7 +163,10 @@ mod tests {
         assert_eq!(g.relation.arity(), 5);
         assert_eq!(g.dom_sizes.len(), 5);
         for (c, &size) in g.dom_sizes.iter().enumerate() {
-            assert!((25..=100).contains(&size), "heterogeneous sizes in [max/4, max]");
+            assert!(
+                (25..=100).contains(&size),
+                "heterogeneous sizes in [max/4, max]"
+            );
             assert!(g.relation.col(c).iter().all(|&v| (v as u64) < size));
         }
     }
@@ -197,8 +204,7 @@ mod tests {
         // relative to the tuple count (the product factors repeat values).
         let g = gen_kprod(5, 100, 4000, 1, 3);
         assert!(g.relation.len() >= 1000, "got {}", g.relation.len());
-        let min_distinct =
-            (0..5).map(|c| g.relation.distinct(c)).min().unwrap();
+        let min_distinct = (0..5).map(|c| g.relation.distinct(c)).min().unwrap();
         assert!(
             min_distinct < g.relation.len() / 4,
             "product structure should repeat attribute values heavily"

@@ -66,7 +66,10 @@ pub enum Formula {
 impl Formula {
     /// Atom constructor shorthand.
     pub fn atom(relation: &str, args: Vec<Term>) -> Formula {
-        Formula::Atom { relation: relation.to_owned(), args }
+        Formula::Atom {
+            relation: relation.to_owned(),
+            args,
+        }
     }
 
     /// `¬self`.
@@ -92,12 +95,18 @@ impl Formula {
 
     /// `∃ vars. self`.
     pub fn exists(vars: &[&str], body: Formula) -> Formula {
-        Formula::Exists(vars.iter().map(|s| (*s).to_owned()).collect(), Box::new(body))
+        Formula::Exists(
+            vars.iter().map(|s| (*s).to_owned()).collect(),
+            Box::new(body),
+        )
     }
 
     /// `∀ vars. self`.
     pub fn forall(vars: &[&str], body: Formula) -> Formula {
-        Formula::Forall(vars.iter().map(|s| (*s).to_owned()).collect(), Box::new(body))
+        Formula::Forall(
+            vars.iter().map(|s| (*s).to_owned()).collect(),
+            Box::new(body),
+        )
     }
 
     /// The free variables, sorted by name.
@@ -177,12 +186,8 @@ impl Formula {
             Formula::Eq(a, b) => Formula::Eq(ren(a), ren(b)),
             Formula::InSet(t, vs) => Formula::InSet(ren(t), vs.clone()),
             Formula::Not(f) => Formula::Not(Box::new(f.rename_free(from, to))),
-            Formula::And(fs) => {
-                Formula::And(fs.iter().map(|f| f.rename_free(from, to)).collect())
-            }
-            Formula::Or(fs) => {
-                Formula::Or(fs.iter().map(|f| f.rename_free(from, to)).collect())
-            }
+            Formula::And(fs) => Formula::And(fs.iter().map(|f| f.rename_free(from, to)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.rename_free(from, to)).collect()),
             Formula::Implies(a, b) => Formula::Implies(
                 Box::new(a.rename_free(from, to)),
                 Box::new(b.rename_free(from, to)),
@@ -274,11 +279,12 @@ mod tests {
         // forall s. STUDENT(s, "CS") -> exists k. TAKES(s, k)
         Formula::forall(
             &["s"],
-            Formula::atom("STUDENT", vec![Term::var("s"), Term::Const(Raw::str("CS"))])
-                .implies(Formula::exists(
+            Formula::atom("STUDENT", vec![Term::var("s"), Term::Const(Raw::str("CS"))]).implies(
+                Formula::exists(
                     &["k"],
                     Formula::atom("TAKES", vec![Term::var("s"), Term::var("k")]),
-                )),
+                ),
+            ),
         )
     }
 
@@ -296,20 +302,23 @@ mod tests {
         // exists x. R(x) & S(x)  — all bound.
         let f = Formula::exists(
             &["x"],
-            Formula::atom("R", vec![Term::var("x")])
-                .and(Formula::atom("S", vec![Term::var("x")])),
+            Formula::atom("R", vec![Term::var("x")]).and(Formula::atom("S", vec![Term::var("x")])),
         );
         assert!(f.is_sentence());
         // x free outside, bound inside: (R(x) & exists x. S(x)) has free x.
-        let g = Formula::atom("R", vec![Term::var("x")])
-            .and(Formula::exists(&["x"], Formula::atom("S", vec![Term::var("x")])));
+        let g = Formula::atom("R", vec![Term::var("x")]).and(Formula::exists(
+            &["x"],
+            Formula::atom("S", vec![Term::var("x")]),
+        ));
         assert_eq!(g.free_vars(), vec!["x".to_owned()]);
     }
 
     #[test]
     fn rename_free_stops_at_shadow() {
-        let g = Formula::atom("R", vec![Term::var("x")])
-            .and(Formula::exists(&["x"], Formula::atom("S", vec![Term::var("x")])));
+        let g = Formula::atom("R", vec![Term::var("x")]).and(Formula::exists(
+            &["x"],
+            Formula::atom("S", vec![Term::var("x")]),
+        ));
         let r = g.rename_free("x", "z");
         // Outer occurrence renamed; inner (bound) untouched.
         assert_eq!(r.free_vars(), vec!["z".to_owned()]);

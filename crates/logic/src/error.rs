@@ -46,7 +46,11 @@ impl fmt::Display for LogicError {
                 write!(f, "parse error at byte {offset}: {message}")
             }
             LogicError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
-            LogicError::AtomArityMismatch { relation, expected, got } => write!(
+            LogicError::AtomArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
                 f,
                 "atom {relation:?} expects {expected} arguments, got {got}"
             ),

@@ -40,7 +40,12 @@ impl<'a> EvalContext<'a> {
                 extents.insert(name.to_owned(), rel.rows().collect());
             }
         });
-        Ok(EvalContext { db, sorts, extents, formula: f })
+        Ok(EvalContext {
+            db,
+            sorts,
+            extents,
+            formula: f,
+        })
     }
 
     /// The inferred sorts (variable → attribute class).
@@ -91,7 +96,10 @@ impl<'a> EvalContext<'a> {
                                 _ => None,
                             })
                             .expect("sort inference covered all variables");
-                        match (self.term_code(a, &class, env), self.term_code(b, &class, env)) {
+                        match (
+                            self.term_code(a, &class, env),
+                            self.term_code(b, &class, env),
+                        ) {
                             (Some(x), Some(y)) => x == y,
                             _ => false,
                         }
@@ -103,7 +111,8 @@ impl<'a> EvalContext<'a> {
                 Term::Var(v) => {
                     let class = &self.sorts[v];
                     let code = env[v];
-                    vals.iter().any(|raw| self.db.code(class, raw) == Some(code))
+                    vals.iter()
+                        .any(|raw| self.db.code(class, raw) == Some(code))
                 }
             },
             Formula::Not(g) => !self.eval_rec(g, env),
@@ -156,9 +165,7 @@ fn collect_relations(f: &Formula, visit: &mut impl FnMut(&str)) {
     match f {
         Formula::Atom { relation, .. } => visit(relation),
         Formula::Not(g) => collect_relations(g, visit),
-        Formula::And(fs) | Formula::Or(fs) => {
-            fs.iter().for_each(|g| collect_relations(g, visit))
-        }
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| collect_relations(g, visit)),
         Formula::Implies(a, b) => {
             collect_relations(a, visit);
             collect_relations(b, visit);
@@ -196,31 +203,26 @@ mod tests {
     #[test]
     fn satisfied_membership_constraint() {
         let db = db();
-        let f = parse(
-            r#"forall c, a. CUST(c, a) & c = "Toronto" -> a in {416, 647, 905}"#,
-        )
-        .unwrap();
+        let f =
+            parse(r#"forall c, a. CUST(c, a) & c = "Toronto" -> a in {416, 647, 905}"#).unwrap();
         assert!(eval_sentence(&db, &f).unwrap());
     }
 
     #[test]
     fn violated_membership_constraint() {
         let db = db();
-        let f = parse(
-            r#"forall c, a. CUST(c, a) & c = "Toronto" -> a in {416}"#,
-        )
-        .unwrap();
+        let f = parse(r#"forall c, a. CUST(c, a) & c = "Toronto" -> a in {416}"#).unwrap();
         assert!(!eval_sentence(&db, &f).unwrap());
     }
 
     #[test]
     fn exists_is_witnessed() {
         let db = db();
-        assert!(eval_sentence(&db, &parse(r#"exists c, a. CUST(c, a) & a = 905"#).unwrap())
-            .unwrap());
         assert!(
-            !eval_sentence(&db, &parse(r#"exists c, a. CUST(c, a) & a = 212"#).unwrap())
-                .unwrap()
+            eval_sentence(&db, &parse(r#"exists c, a. CUST(c, a) & a = 905"#).unwrap()).unwrap()
+        );
+        assert!(
+            !eval_sentence(&db, &parse(r#"exists c, a. CUST(c, a) & a = 212"#).unwrap()).unwrap()
         );
     }
 

@@ -53,11 +53,17 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> LogicError {
-        LogicError::Parse { offset: self.pos, message: message.into() }
+        LogicError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn next_tok(&mut self) -> Result<(usize, Tok)> {
@@ -200,7 +206,10 @@ impl Parser {
     }
 
     fn error(&self, message: impl Into<String>) -> LogicError {
-        LogicError::Parse { offset: self.offset(), message: message.into() }
+        LogicError::Parse {
+            offset: self.offset(),
+            message: message.into(),
+        }
     }
 
     fn expect(&mut self, t: Tok, what: &str) -> Result<()> {
@@ -251,7 +260,11 @@ impl Parser {
             self.bump();
             parts.push(self.conjunction()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Formula::Or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::Or(parts)
+        })
     }
 
     fn conjunction(&mut self) -> Result<Formula> {
@@ -260,7 +273,11 @@ impl Parser {
             self.bump();
             parts.push(self.unary()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Formula::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::And(parts)
+        })
     }
 
     fn unary(&mut self) -> Result<Formula> {
@@ -296,7 +313,10 @@ impl Parser {
                         args.push(self.term()?);
                     }
                     self.expect(Tok::RParen, "')' closing atom")?;
-                    Ok(Formula::Atom { relation: name, args })
+                    Ok(Formula::Atom {
+                        relation: name,
+                        args,
+                    })
                 } else {
                     self.comparison(Term::Var(name))
                 }
@@ -465,7 +485,10 @@ mod tests {
     #[test]
     fn constants_true_false() {
         assert_eq!(parse("true").unwrap(), Formula::True);
-        assert_eq!(parse("false | true").unwrap(), Formula::Or(vec![Formula::False, Formula::True]));
+        assert_eq!(
+            parse("false | true").unwrap(),
+            Formula::Or(vec![Formula::False, Formula::True])
+        );
     }
 
     #[test]
@@ -494,7 +517,10 @@ mod tests {
         assert!(matches!(parse("R(x) R(y)"), Err(LogicError::Parse { .. })));
         assert!(matches!(parse("R(x"), Err(LogicError::Parse { .. })));
         assert!(matches!(parse(r#"x in {"#), Err(LogicError::Parse { .. })));
-        assert!(matches!(parse(r#""unterminated"#), Err(LogicError::Parse { .. })));
+        assert!(matches!(
+            parse(r#""unterminated"#),
+            Err(LogicError::Parse { .. })
+        ));
     }
 
     #[test]

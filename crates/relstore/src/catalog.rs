@@ -9,7 +9,11 @@ use std::collections::HashMap;
 /// dictionaries. All raw values enter through [`Database::create_relation`]
 /// (or [`Database::encode_value`]), which keeps codes consistent across
 /// every column of a class.
-#[derive(Debug, Default)]
+///
+/// `Clone` is cheap relative to index construction (columnar `Vec`s and
+/// dictionaries) and is what lets the parallel checker hand each worker its
+/// own copy of the data without sharing mutable state.
+#[derive(Debug, Clone, Default)]
 pub struct Database {
     dicts: HashMap<String, Dict>,
     relations: HashMap<String, Relation>,
@@ -36,7 +40,10 @@ impl Database {
         let mut coded = Vec::with_capacity(rows.len());
         for row in rows {
             if row.len() != schema.arity() {
-                return Err(StoreError::ArityMismatch { expected: schema.arity(), got: row.len() });
+                return Err(StoreError::ArityMismatch {
+                    expected: schema.arity(),
+                    got: row.len(),
+                });
             }
             let mut crow = Vec::with_capacity(row.len());
             for (i, v) in row.iter().enumerate() {
@@ -121,9 +128,7 @@ impl Database {
     pub fn decode_row(&self, rel: &Relation, row: &[u32]) -> Vec<Raw> {
         row.iter()
             .enumerate()
-            .map(|(i, &c)| {
-                self.dicts[rel.schema().class_of(i)].decode(c).clone()
-            })
+            .map(|(i, &c)| self.dicts[rel.schema().class_of(i)].decode(c).clone())
             .collect()
     }
 }
@@ -152,12 +157,8 @@ mod tests {
     #[test]
     fn classes_are_shared_across_relations() {
         let mut db = Database::new();
-        db.create_relation(
-            "r1",
-            &[("c", "city")],
-            vec![vec![Raw::str("Toronto")]],
-        )
-        .unwrap();
+        db.create_relation("r1", &[("c", "city")], vec![vec![Raw::str("Toronto")]])
+            .unwrap();
         db.create_relation(
             "r2",
             &[("home", "city")],
@@ -184,7 +185,10 @@ mod tests {
     #[test]
     fn unknown_relation_error() {
         let db = Database::new();
-        assert!(matches!(db.relation("nope"), Err(StoreError::UnknownRelation(_))));
+        assert!(matches!(
+            db.relation("nope"),
+            Err(StoreError::UnknownRelation(_))
+        ));
     }
 
     #[test]

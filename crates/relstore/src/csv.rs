@@ -103,7 +103,10 @@ pub fn parse_csv(text: &str) -> std::result::Result<Vec<Vec<Raw>>, CsvError> {
         }
     }
     if in_quotes {
-        return Err(CsvError { line, message: "unterminated quoted field".to_owned() });
+        return Err(CsvError {
+            line,
+            message: "unterminated quoted field".to_owned(),
+        });
     }
     if any_field || !field.is_empty() {
         finish_field(&mut field, &mut row, field_was_quoted);
@@ -135,8 +138,7 @@ impl Database {
         csv_text: &str,
         has_header: bool,
     ) -> Result<&Relation> {
-        let mut rows =
-            parse_csv(csv_text).map_err(|e| StoreError::Csv(format!("{name}: {e}")))?;
+        let mut rows = parse_csv(csv_text).map_err(|e| StoreError::Csv(format!("{name}: {e}")))?;
         if has_header && !rows.is_empty() {
             rows.remove(0);
         }
@@ -174,8 +176,12 @@ pub fn to_csv(db: &Database, rel: &Relation) -> String {
         }
     }
     let mut out = String::new();
-    let names: Vec<&str> =
-        rel.schema().columns().iter().map(|c| c.name.as_str()).collect();
+    let names: Vec<&str> = rel
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
     out.push_str(&names.join(","));
     out.push('\n');
     for i in 0..rel.len() {
@@ -195,7 +201,10 @@ mod tests {
     fn parses_simple_rows() {
         let rows = parse_csv("Toronto,416,ON\nOshawa,905,ON\n").unwrap();
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0], vec![Raw::str("Toronto"), Raw::Int(416), Raw::str("ON")]);
+        assert_eq!(
+            rows[0],
+            vec![Raw::str("Toronto"), Raw::Int(416), Raw::str("ON")]
+        );
     }
 
     #[test]
@@ -255,7 +264,11 @@ mod tests {
             )
             .unwrap();
         assert_eq!(rel.len(), 2);
-        assert_eq!(db.class_size("city"), 2, "header skipped before dictionary encoding");
+        assert_eq!(
+            db.class_size("city"),
+            2,
+            "header skipped before dictionary encoding"
+        );
     }
 
     #[test]
@@ -282,26 +295,25 @@ mod tests {
         let rel2 = db2.relation("r2").unwrap();
         assert_eq!(rel2.len(), rel.len());
         let decode_all = |db: &Database, rel: &Relation| -> Vec<Vec<Raw>> {
-            let mut rows: Vec<Vec<Raw>> =
-                (0..rel.len()).map(|i| db.decode_row(rel, &rel.row(i))).collect();
+            let mut rows: Vec<Vec<Raw>> = (0..rel.len())
+                .map(|i| db.decode_row(rel, &rel.row(i)))
+                .collect();
             rows.sort();
             rows
         };
         assert_eq!(decode_all(&db, &rel), decode_all(&db2, rel2));
         // The quoted "416" stayed a string, the bare 416 stayed an int.
         let flat: Vec<Vec<Raw>> = decode_all(&db, &rel);
-        assert!(flat.iter().any(|r| r[1] == Raw::Int(416) && r[2] == Raw::str("416")));
+        assert!(flat
+            .iter()
+            .any(|r| r[1] == Raw::Int(416) && r[2] == Raw::str("416")));
     }
 
     #[test]
     fn database_rejects_wrong_arity_csv() {
         let mut db = Database::new();
-        let err = db.create_relation_from_csv(
-            "phones",
-            &[("city", "city")],
-            "Toronto,416\n",
-            false,
-        );
+        let err =
+            db.create_relation_from_csv("phones", &[("city", "city")], "Toronto,416\n", false);
         assert!(matches!(err, Err(StoreError::ArityMismatch { .. })));
     }
 }

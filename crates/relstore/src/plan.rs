@@ -140,27 +140,46 @@ impl Plan {
 
     /// Chain a σ column = value.
     pub fn select_eq(self, col: usize, value: Raw) -> Plan {
-        Plan::SelectEq { input: Box::new(self), col, value }
+        Plan::SelectEq {
+            input: Box::new(self),
+            col,
+            value,
+        }
     }
 
     /// Chain a σ column ∈ values.
     pub fn select_in(self, col: usize, values: Vec<Raw>) -> Plan {
-        Plan::SelectIn { input: Box::new(self), col, values }
+        Plan::SelectIn {
+            input: Box::new(self),
+            col,
+            values,
+        }
     }
 
     /// Chain a projection.
     pub fn project(self, cols: Vec<usize>) -> Plan {
-        Plan::Project { input: Box::new(self), cols }
+        Plan::Project {
+            input: Box::new(self),
+            cols,
+        }
     }
 
     /// Join with another plan.
     pub fn join(self, right: Plan, pairs: Vec<(usize, usize)>) -> Plan {
-        Plan::Join { left: Box::new(self), right: Box::new(right), pairs }
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            pairs,
+        }
     }
 
     /// Anti-join with another plan.
     pub fn anti_join(self, right: Plan, pairs: Vec<(usize, usize)>) -> Plan {
-        Plan::AntiJoin { left: Box::new(self), right: Box::new(right), pairs }
+        Plan::AntiJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            pairs,
+        }
     }
 }
 
@@ -173,7 +192,10 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Relation> {
         Plan::SelectEq { input, col, value } => {
             let rel = execute(db, input)?;
             if *col >= rel.arity() {
-                return Err(StoreError::ColumnOutOfRange { index: *col, arity: rel.arity() });
+                return Err(StoreError::ColumnOutOfRange {
+                    index: *col,
+                    arity: rel.arity(),
+                });
             }
             let class = rel.schema().class_of(*col).to_owned();
             match db.code(&class, value) {
@@ -184,17 +206,22 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Relation> {
         Plan::SelectIn { input, col, values } => {
             let rel = execute(db, input)?;
             if *col >= rel.arity() {
-                return Err(StoreError::ColumnOutOfRange { index: *col, arity: rel.arity() });
+                return Err(StoreError::ColumnOutOfRange {
+                    index: *col,
+                    arity: rel.arity(),
+                });
             }
             let class = rel.schema().class_of(*col).to_owned();
-            let codes: HashSet<u32> =
-                values.iter().filter_map(|v| db.code(&class, v)).collect();
+            let codes: HashSet<u32> = values.iter().filter_map(|v| db.code(&class, v)).collect();
             algebra::select_in(&rel, *col, &codes)
         }
         Plan::SelectNeq { input, col, value } => {
             let rel = execute(db, input)?;
             if *col >= rel.arity() {
-                return Err(StoreError::ColumnOutOfRange { index: *col, arity: rel.arity() });
+                return Err(StoreError::ColumnOutOfRange {
+                    index: *col,
+                    arity: rel.arity(),
+                });
             }
             let class = rel.schema().class_of(*col).to_owned();
             match db.code(&class, value) {
@@ -209,11 +236,13 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Relation> {
         Plan::SelectNotIn { input, col, values } => {
             let rel = execute(db, input)?;
             if *col >= rel.arity() {
-                return Err(StoreError::ColumnOutOfRange { index: *col, arity: rel.arity() });
+                return Err(StoreError::ColumnOutOfRange {
+                    index: *col,
+                    arity: rel.arity(),
+                });
             }
             let class = rel.schema().class_of(*col).to_owned();
-            let codes: HashSet<u32> =
-                values.iter().filter_map(|v| db.code(&class, v)).collect();
+            let codes: HashSet<u32> = values.iter().filter_map(|v| db.code(&class, v)).collect();
             Relation::from_rows(
                 rel.schema().clone(),
                 rel.rows().filter(|r| !codes.contains(&r[*col])),
@@ -223,7 +252,10 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Relation> {
             let rel = execute(db, input)?;
             for &c in [left, right] {
                 if c >= rel.arity() {
-                    return Err(StoreError::ColumnOutOfRange { index: c, arity: rel.arity() });
+                    return Err(StoreError::ColumnOutOfRange {
+                        index: c,
+                        arity: rel.arity(),
+                    });
                 }
             }
             Relation::from_rows(
@@ -235,7 +267,10 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Relation> {
             let rel = execute(db, input)?;
             for &c in [left, right] {
                 if c >= rel.arity() {
-                    return Err(StoreError::ColumnOutOfRange { index: c, arity: rel.arity() });
+                    return Err(StoreError::ColumnOutOfRange {
+                        index: c,
+                        arity: rel.arity(),
+                    });
                 }
             }
             Relation::from_rows(
@@ -287,7 +322,11 @@ mod tests {
         let mut db = Database::new();
         db.create_relation(
             "customers",
-            &[("city", "city"), ("areacode", "areacode"), ("state", "state")],
+            &[
+                ("city", "city"),
+                ("areacode", "areacode"),
+                ("state", "state"),
+            ],
             vec![
                 vec![Raw::str("Toronto"), Raw::Int(416), Raw::str("ON")],
                 vec![Raw::str("Toronto"), Raw::Int(647), Raw::str("ON")],
@@ -323,13 +362,13 @@ mod tests {
         let ok = toronto
             .clone()
             .select_in(1, vec![Raw::Int(416), Raw::Int(647)]);
-        let violations = Plan::Diff { left: Box::new(toronto), right: Box::new(ok) };
+        let violations = Plan::Diff {
+            left: Box::new(toronto),
+            right: Box::new(ok),
+        };
         let out = execute(&db, &violations).unwrap();
         assert_eq!(out.len(), 1);
-        assert_eq!(
-            db.decode_row(&out, &out.row(0))[1],
-            Raw::Int(212)
-        );
+        assert_eq!(db.decode_row(&out, &out.row(0))[1], Raw::Int(212));
     }
 
     #[test]
@@ -345,8 +384,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let plan = Plan::scan("customers")
-            .anti_join(Plan::scan("allowed"), vec![(0, 0), (1, 1)]);
+        let plan = Plan::scan("customers").anti_join(Plan::scan("allowed"), vec![(0, 0), (1, 1)]);
         let out = execute(&db, &plan).unwrap();
         assert_eq!(out.len(), 1); // only the 212 row
     }
@@ -445,10 +483,16 @@ mod tests {
         let db = phone_db();
         let toronto = Plan::scan("customers").select_eq(0, Raw::str("Toronto"));
         let newark = Plan::scan("customers").select_eq(0, Raw::str("Newark"));
-        let u = Plan::Union { left: Box::new(toronto.clone()), right: Box::new(newark) };
+        let u = Plan::Union {
+            left: Box::new(toronto.clone()),
+            right: Box::new(newark),
+        };
         assert_eq!(execute(&db, &u).unwrap().len(), 5);
         // Idempotent union.
-        let uu = Plan::Union { left: Box::new(toronto.clone()), right: Box::new(toronto.clone()) };
+        let uu = Plan::Union {
+            left: Box::new(toronto.clone()),
+            right: Box::new(toronto.clone()),
+        };
         assert_eq!(execute(&db, &uu).unwrap().len(), 3);
         let p = Plan::Product {
             left: Box::new(toronto.clone().project(vec![1])),

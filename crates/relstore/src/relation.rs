@@ -31,7 +31,10 @@ impl Schema {
         Schema {
             cols: cols
                 .iter()
-                .map(|&(n, c)| Column { name: n.to_owned(), class: c.to_owned() })
+                .map(|&(n, c)| Column {
+                    name: n.to_owned(),
+                    class: c.to_owned(),
+                })
                 .collect(),
         }
     }
@@ -58,7 +61,9 @@ impl Schema {
 
     /// A schema with the listed columns only (projection).
     pub fn project(&self, indices: &[usize]) -> Schema {
-        Schema { cols: indices.iter().map(|&i| self.cols[i].clone()).collect() }
+        Schema {
+            cols: indices.iter().map(|&i| self.cols[i].clone()).collect(),
+        }
     }
 
     /// Concatenation of two schemas (join/product output). Name clashes are
@@ -71,7 +76,10 @@ impl Schema {
             } else {
                 c.name.clone()
             };
-            cols.push(Column { name, class: c.class.clone() });
+            cols.push(Column {
+                name,
+                class: c.class.clone(),
+            });
         }
         Schema { cols }
     }
@@ -91,7 +99,12 @@ impl Relation {
     /// An empty relation over the schema.
     pub fn new(schema: Schema) -> Relation {
         let arity = schema.arity();
-        Relation { schema, cols: vec![Vec::new(); arity], len: 0, index: None }
+        Relation {
+            schema,
+            cols: vec![Vec::new(); arity],
+            len: 0,
+            index: None,
+        }
     }
 
     /// Build from coded rows, deduplicating (set semantics).
@@ -176,7 +189,10 @@ impl Relation {
     /// Insert a tuple; returns false if it was already present.
     pub fn insert(&mut self, row: &[u32]) -> Result<bool> {
         if row.len() != self.schema.arity() {
-            return Err(StoreError::ArityMismatch { expected: self.schema.arity(), got: row.len() });
+            return Err(StoreError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
         }
         self.ensure_index();
         if !self.index.as_mut().unwrap().insert(row.to_vec()) {
@@ -190,7 +206,10 @@ impl Relation {
     /// columnar store swap-removes the row).
     pub fn delete(&mut self, row: &[u32]) -> Result<bool> {
         if row.len() != self.schema.arity() {
-            return Err(StoreError::ArityMismatch { expected: self.schema.arity(), got: row.len() });
+            return Err(StoreError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
         }
         self.ensure_index();
         if !self.index.as_mut().unwrap().remove(row) {
@@ -236,11 +255,7 @@ mod tests {
 
     #[test]
     fn from_rows_dedupes() {
-        let r = Relation::from_rows(
-            schema2(),
-            vec![vec![1, 2], vec![1, 2], vec![3, 4]],
-        )
-        .unwrap();
+        let r = Relation::from_rows(schema2(), vec![vec![1, 2], vec![1, 2], vec![3, 4]]).unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r.col(0), &[1, 3]);
     }
@@ -249,7 +264,10 @@ mod tests {
     fn from_rows_rejects_bad_arity() {
         assert!(matches!(
             Relation::from_rows(schema2(), vec![vec![1]]),
-            Err(StoreError::ArityMismatch { expected: 2, got: 1 })
+            Err(StoreError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
@@ -270,11 +288,7 @@ mod tests {
 
     #[test]
     fn distinct_counts_column_values() {
-        let r = Relation::from_rows(
-            schema2(),
-            vec![vec![1, 9], vec![2, 9], vec![1, 8]],
-        )
-        .unwrap();
+        let r = Relation::from_rows(schema2(), vec![vec![1, 9], vec![2, 9], vec![1, 8]]).unwrap();
         assert_eq!(r.distinct(0), 2);
         assert_eq!(r.distinct(1), 2);
     }

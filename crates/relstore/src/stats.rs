@@ -33,7 +33,11 @@ use std::collections::HashMap;
 /// Multiplicities of the distinct value combinations in the given columns.
 pub fn group_sizes(rel: &Relation, cols: &[usize]) -> Vec<usize> {
     if cols.is_empty() {
-        return if rel.is_empty() { vec![] } else { vec![rel.len()] };
+        return if rel.is_empty() {
+            vec![]
+        } else {
+            vec![rel.len()]
+        };
     }
     // Pack each key into a u128 when the bit budget allows (it always does
     // for the paper's ≤5 attributes); otherwise fall back to vector keys.
@@ -137,10 +141,10 @@ mod tests {
 
     fn rel(rows: Vec<Vec<u32>>) -> Relation {
         let arity = rows.first().map_or(2, Vec::len);
-        let cols: Vec<(String, String)> =
-            (0..arity).map(|i| (format!("c{i}"), format!("k{i}"))).collect();
-        let refs: Vec<(&str, &str)> =
-            cols.iter().map(|(n, c)| (n.as_str(), c.as_str())).collect();
+        let cols: Vec<(String, String)> = (0..arity)
+            .map(|i| (format!("c{i}"), format!("k{i}")))
+            .collect();
+        let refs: Vec<(&str, &str)> = cols.iter().map(|(n, c)| (n.as_str(), c.as_str())).collect();
         Relation::from_rows(Schema::new(&refs), rows).unwrap()
     }
 
@@ -163,7 +167,13 @@ mod tests {
 
     #[test]
     fn joint_entropy_at_least_marginal() {
-        let r = rel(vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1], vec![1, 0]]);
+        let r = rel(vec![
+            vec![0, 0],
+            vec![0, 1],
+            vec![1, 0],
+            vec![1, 1],
+            vec![1, 0],
+        ]);
         assert!(entropy(&r, &[0, 1]) >= entropy(&r, &[0]) - 1e-12);
         assert!(entropy(&r, &[0, 1]) >= entropy(&r, &[1]) - 1e-12);
     }
@@ -230,9 +240,7 @@ mod tests {
     #[test]
     fn wide_keys_fall_back_gracefully() {
         // Force the Vec-key path with five huge-coded columns.
-        let rows: Vec<Vec<u32>> = (0..10u32)
-            .map(|i| vec![i << 20; 5])
-            .collect();
+        let rows: Vec<Vec<u32>> = (0..10u32).map(|i| vec![i << 20; 5]).collect();
         let r = rel(rows);
         // 5 columns × ~25 bits = 125 ≤ 128 still packs; push to 6 columns.
         let rows6: Vec<Vec<u32>> = (0..10u32).map(|i| vec![i << 24; 6]).collect();

@@ -74,12 +74,12 @@ fn main() {
     assert_eq!(rows.len(), injected.len());
 
     let mut ids: Vec<i64> = (0..rows.len())
-        .map(|i| {
-            match checker.logical_db().db().decode_row(&rows, &rows.row(i))[0] {
+        .map(
+            |i| match checker.logical_db().db().decode_row(&rows, &rows.row(i))[0] {
                 Raw::Int(id) => id,
                 ref other => panic!("student_id should be an int, got {other}"),
-            }
-        })
+            },
+        )
         .collect();
     ids.sort_unstable();
     let mut expected = injected.clone();

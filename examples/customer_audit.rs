@@ -33,8 +33,14 @@ fn main() {
     }
     // Index the paper's `ncs` projection: (areacode, city, state).
     let ncs = Relation::from_rows(
-        Schema::new(&[("areacode", "areacode"), ("city", "city"), ("state", "state")]),
-        data.relation.rows().map(|r| vec![r[col::AREACODE], r[col::CITY], r[col::STATE]]),
+        Schema::new(&[
+            ("areacode", "areacode"),
+            ("city", "city"),
+            ("state", "state"),
+        ]),
+        data.relation
+            .rows()
+            .map(|r| vec![r[col::AREACODE], r[col::CITY], r[col::STATE]]),
     )
     .unwrap();
     db.insert_relation("CUST", ncs).unwrap();
@@ -56,10 +62,8 @@ fn main() {
         ),
         (
             "city-determines-state".to_owned(),
-            parse(
-                "forall a1, c, s1, a2, s2. CUST(a1, c, s1) & CUST(a2, c, s2) -> s1 = s2",
-            )
-            .unwrap(),
+            parse("forall a1, c, s1, a2, s2. CUST(a1, c, s1) & CUST(a2, c, s2) -> s1 = s2")
+                .unwrap(),
         ),
         (
             "every-city-served".to_owned(),
@@ -84,7 +88,11 @@ fn main() {
     let bad = &constraints[0].1;
     let (rows, cols) = checker.find_violations(bad).unwrap();
     // Output columns are the constraint's variables; find ours by name.
-    let idx = |name: &str| cols.iter().position(|c| c == name).expect("constraint variable");
+    let idx = |name: &str| {
+        cols.iter()
+            .position(|c| c == name)
+            .expect("constraint variable")
+    };
     let (ia, ic, is) = (idx("a"), idx("c"), idx("s"));
     println!("\n== violating tuples: {} ==", rows.len());
     for i in 0..rows.len().min(5) {
@@ -111,10 +119,20 @@ fn main() {
         })
         .collect();
     for (bad_row, fixed_row) in &fixes {
-        checker.logical_db_mut().delete_tuple("CUST", bad_row).unwrap();
-        checker.logical_db_mut().insert_tuple("CUST", fixed_row).unwrap();
+        checker
+            .logical_db_mut()
+            .delete_tuple("CUST", bad_row)
+            .unwrap();
+        checker
+            .logical_db_mut()
+            .insert_tuple("CUST", fixed_row)
+            .unwrap();
     }
-    println!("  applied {} delete+insert pairs in {:.2?}", fixes.len(), t0.elapsed());
+    println!(
+        "  applied {} delete+insert pairs in {:.2?}",
+        fixes.len(),
+        t0.elapsed()
+    );
 
     println!("\n== re-validation ==");
     let reports = checker.check_all(&constraints).unwrap();

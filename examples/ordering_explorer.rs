@@ -41,7 +41,10 @@ fn main() {
     // Where the heuristics land.
     let (opt_order, opt_size) = optimal_ordering(&g.relation, &g.dom_sizes).unwrap();
     let rank_of = |order: &[usize]| sizes.iter().position(|(o, _)| o == order).unwrap();
-    println!("{:<22} {:>10} {:>8} {:>6}", "strategy", "ordering", "nodes", "rank");
+    println!(
+        "{:<22} {:>10} {:>8} {:>6}",
+        "strategy", "ordering", "nodes", "rank"
+    );
     let pc = prob_converge(&g.relation, &g.dom_sizes);
     let (sifted, _) = sift_ordering(&g.relation, &g.dom_sizes, &pc).unwrap();
     for (name, order) in [

@@ -17,8 +17,12 @@ fn main() {
     let customers: Vec<Vec<Raw>> = (0..200)
         .map(|c| vec![Raw::Int(c), Raw::str(["EU", "NA", "APAC"][c as usize % 3])])
         .collect();
-    db.create_relation("CUSTOMERS", &[("cust_id", "cust"), ("region", "region")], customers)
-        .unwrap();
+    db.create_relation(
+        "CUSTOMERS",
+        &[("cust_id", "cust"), ("region", "region")],
+        customers,
+    )
+    .unwrap();
     let orders: Vec<Vec<Raw>> = (0..1_000)
         .map(|o| {
             vec![
@@ -30,7 +34,11 @@ fn main() {
         .collect();
     db.create_relation(
         "ORDERS",
-        &[("order_id", "order"), ("cust_id", "cust"), ("status", "status")],
+        &[
+            ("order_id", "order"),
+            ("cust_id", "cust"),
+            ("status", "status"),
+        ],
         orders,
     )
     .unwrap();
@@ -45,7 +53,11 @@ fn main() {
         .collect();
     db.create_relation(
         "LINEITEMS",
-        &[("order_id", "order"), ("product", "product"), ("qty_class", "qty")],
+        &[
+            ("order_id", "order"),
+            ("product", "product"),
+            ("qty_class", "qty"),
+        ],
         lineitems,
     )
     .unwrap();
@@ -88,9 +100,21 @@ fn main() {
     // its line items (breaking lineitems-have-orders) while everything
     // that doesn't read ORDERS keeps its cached verdict.
     println!("\n== update batch: delete order 999 from ORDERS ==");
-    let order = checker.logical_db().db().code("order", &Raw::Int(999)).unwrap();
-    let cust = checker.logical_db().db().code("cust", &Raw::Int(999 % 200)).unwrap();
-    let status = checker.logical_db().db().code("status", &Raw::str("open")).unwrap(); // 999 % 3 == 0
+    let order = checker
+        .logical_db()
+        .db()
+        .code("order", &Raw::Int(999))
+        .unwrap();
+    let cust = checker
+        .logical_db()
+        .db()
+        .code("cust", &Raw::Int(999 % 200))
+        .unwrap();
+    let status = checker
+        .logical_db()
+        .db()
+        .code("status", &Raw::str("open"))
+        .unwrap(); // 999 % 3 == 0
     assert!(checker
         .logical_db_mut()
         .delete_tuple("ORDERS", &[order, cust, status])
@@ -117,7 +141,10 @@ fn main() {
         cached,
         verdicts.len()
     );
-    assert_eq!(cached, 1, "only the CUSTOMERS-only constraint avoids re-checking");
+    assert_eq!(
+        cached, 1,
+        "only the CUSTOMERS-only constraint avoids re-checking"
+    );
     let broken: Vec<&str> = verdicts
         .iter()
         .filter(|(_, v)| !v.holds())

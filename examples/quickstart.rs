@@ -11,7 +11,11 @@ fn main() {
     let mut db = Database::new();
     db.create_relation(
         "CUSTOMERS",
-        &[("city", "city"), ("areacode", "areacode"), ("state", "state")],
+        &[
+            ("city", "city"),
+            ("areacode", "areacode"),
+            ("state", "state"),
+        ],
         vec![
             vec![Raw::str("Toronto"), Raw::Int(416), Raw::str("ON")],
             vec![Raw::str("Toronto"), Raw::Int(647), Raw::str("ON")],
@@ -49,7 +53,9 @@ fn main() {
     ];
 
     // 4. Fast identification: which constraints are violated?
-    let reports = checker.check_all(&constraints).expect("well-formed constraints");
+    let reports = checker
+        .check_all(&constraints)
+        .expect("well-formed constraints");
     for (name, report) in &reports {
         println!(
             "{name:<24} {} ({:?}, {:.2?})",
@@ -71,7 +77,11 @@ fn main() {
             let decoded = checker.logical_db().db().decode_row(&rows, &rows.row(i));
             println!(
                 "  ({})",
-                decoded.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+                decoded
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
             );
         }
     }

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Offline CI gate for the relcheck workspace.
+#
+# Runs the tier-1 verification (release build + root test suite) plus the
+# full workspace tests, formatting, and lint checks. Everything here works
+# without network access: the workspace has no external dependencies and
+# CARGO_NET_OFFLINE is forced below as a belt-and-braces guard.
+#
+# Usage: scripts/ci.sh [--quick]
+#   --quick   skip the full workspace test pass (tier-1 + fmt + clippy only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
+
+step() { echo; echo "==> $*"; }
+
+step "tier-1: release build"
+cargo build --release
+
+step "tier-1: root test suite"
+cargo test -q
+
+if [ "$QUICK" -eq 0 ]; then
+    step "full workspace tests"
+    cargo test -q --workspace
+fi
+
+step "formatting (cargo fmt --check)"
+cargo fmt --all --check
+
+step "lints (cargo clippy -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo
+echo "ci.sh: all checks passed"

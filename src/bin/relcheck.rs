@@ -1,7 +1,7 @@
 //! `relcheck` — command-line constraint validation.
 //!
 //! ```text
-//! relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY]
+//! relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY] [--threads N]
 //! relcheck explain <spec-file> <constraint-name>
 //! ```
 //!
@@ -11,7 +11,9 @@
 //! `--sql`), prints a report, lists up to `--limit` violating tuples per
 //! violated constraint, and exits non-zero if anything is violated.
 //! Orderings: `prob-converge` (default), `max-inf-gain`, `min-cond-entropy`,
-//! `sifted`, `schema`, `random`.
+//! `sifted`, `schema`, `random`. With `--threads N` (N > 1) the constraint
+//! set is checked on N worker threads, each with its own BDD manager;
+//! verdicts are identical to the serial pass.
 
 use relcheck::core_::checker::{Checker, CheckerOptions};
 use relcheck::core_::ordering::OrderingStrategy;
@@ -38,7 +40,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY]\n  \
+    "usage:\n  relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY] [--threads N]\n  \
      relcheck explain <spec-file> <constraint-name>"
         .to_owned()
 }
@@ -73,8 +75,8 @@ fn ordering_from(name: &str) -> Result<OrderingStrategy, String> {
 
 /// Load the spec and its CSV tables into a database.
 fn load(spec_path: &str) -> Result<(Spec, Database), String> {
-    let text = std::fs::read_to_string(spec_path)
-        .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
     let spec = parse_spec(&text).map_err(|e| e.to_string())?;
     if spec.tables.is_empty() {
         return Err("spec declares no tables".to_owned());
@@ -88,8 +90,11 @@ fn load(spec_path: &str) -> Result<(Spec, Database), String> {
         let csv_path = base.join(&t.path);
         let csv = std::fs::read_to_string(&csv_path)
             .map_err(|e| format!("cannot read {}: {e}", csv_path.display()))?;
-        let columns: Vec<(&str, &str)> =
-            t.columns.iter().map(|(c, k)| (c.as_str(), k.as_str())).collect();
+        let columns: Vec<(&str, &str)> = t
+            .columns
+            .iter()
+            .map(|(c, k)| (c.as_str(), k.as_str()))
+            .collect();
         db.create_relation_from_csv(&t.name, &columns, &csv, t.has_header)
             .map_err(|e| format!("loading table {}: {e}", t.name))?;
         println!(
@@ -113,25 +118,49 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         Some(name) => ordering_from(name)?,
         None => OrderingStrategy::ProbConverge,
     };
+    let threads: usize = flag_value(args, "--threads")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--threads expects a number".to_owned())
+        })
+        .transpose()?
+        .unwrap_or(1);
+    if threads == 0 {
+        return Err("--threads expects at least 1".to_owned());
+    }
+    if force_sql && threads > 1 {
+        return Err("--sql and --threads cannot be combined".to_owned());
+    }
     let (spec, db) = load(spec_path)?;
     if spec.constraints.is_empty() {
         return Err("spec declares no constraints".to_owned());
     }
-    let opts = CheckerOptions { ordering, ..Default::default() };
+    let opts = CheckerOptions {
+        ordering,
+        ..Default::default()
+    };
     let mut checker = Checker::new(db, opts);
     println!();
+    let reports = if force_sql {
+        spec.constraints
+            .iter()
+            .map(|c| Ok((c.name.clone(), checker.check_sql(&c.formula)?)))
+            .collect::<Result<Vec<_>, relcheck::core_::CoreError>>()
+    } else {
+        let constraints: Vec<(String, relcheck::logic::Formula)> = spec
+            .constraints
+            .iter()
+            .map(|c| (c.name.clone(), c.formula.clone()))
+            .collect();
+        checker.check_all_parallel(&constraints, threads)
+    }
+    .map_err(|e| format!("checking constraints: {e}"))?;
     let mut clean = true;
     let mut violated = Vec::new();
-    for c in &spec.constraints {
-        let report = if force_sql {
-            checker.check_sql(&c.formula)
-        } else {
-            checker.check(&c.formula)
-        }
-        .map_err(|e| format!("checking {:?}: {e}", c.name))?;
+    for (c, (name, report)) in spec.constraints.iter().zip(&reports) {
         println!(
             "{:<32} {:<9} via {:?} in {:.2?}",
-            c.name,
+            name,
             if report.holds { "ok" } else { "VIOLATED" },
             report.method,
             report.elapsed
@@ -147,8 +176,7 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
             Ok((rows, cols)) => {
                 println!("  columns: {}", cols.join(", "));
                 for i in 0..rows.len().min(limit) {
-                    let decoded =
-                        checker.logical_db().db().decode_row(&rows, &rows.row(i));
+                    let decoded = checker.logical_db().db().decode_row(&rows, &rows.row(i));
                     println!(
                         "  ({})",
                         decoded

@@ -80,8 +80,7 @@ pub fn parse_spec(text: &str) -> Result<Spec, SpecError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let starts_decl =
-            line.starts_with("table ") || line.starts_with("constraint ");
+        let starts_decl = line.starts_with("table ") || line.starts_with("constraint ");
         if starts_decl {
             decls.push((i + 1, line.to_owned()));
         } else {
@@ -158,7 +157,10 @@ fn parse_constraint(line: usize, rest: &str) -> Result<ConstraintDecl, SpecError
         line,
         message: format!("in constraint {:?}: {e}", name.trim()),
     })?;
-    Ok(ConstraintDecl { name: name.trim().to_owned(), formula })
+    Ok(ConstraintDecl {
+        name: name.trim().to_owned(),
+        formula,
+    })
 }
 
 #[cfg(test)]

@@ -21,13 +21,20 @@ fn customer_db(violation_rate: f64) -> Database {
     db.ensure_class_size("city", 200);
     db.ensure_class_size("state", 15);
     let ncs = Relation::from_rows(
-        Schema::new(&[("areacode", "areacode"), ("city", "city"), ("state", "state")]),
-        data.relation.rows().map(|r| vec![r[col::AREACODE], r[col::CITY], r[col::STATE]]),
+        Schema::new(&[
+            ("areacode", "areacode"),
+            ("city", "city"),
+            ("state", "state"),
+        ]),
+        data.relation
+            .rows()
+            .map(|r| vec![r[col::AREACODE], r[col::CITY], r[col::STATE]]),
     )
     .unwrap();
     db.insert_relation("CUST", ncs).unwrap();
-    let cs: Vec<Vec<u32>> =
-        (0..200u32).map(|c| vec![c, data.city_state[c as usize]]).collect();
+    let cs: Vec<Vec<u32>> = (0..200u32)
+        .map(|c| vec![c, data.city_state[c as usize]])
+        .collect();
     db.insert_relation(
         "CITY_STATE",
         Relation::from_rows(Schema::new(&[("city", "city"), ("state", "state")]), cs).unwrap(),
@@ -89,7 +96,10 @@ fn all_orderings_give_the_same_answers() {
         OrderingStrategy::MinCondEntropy,
         OrderingStrategy::Sifted,
     ] {
-        let opts = CheckerOptions { ordering: strategy, ..Default::default() };
+        let opts = CheckerOptions {
+            ordering: strategy,
+            ..Default::default()
+        };
         let mut ck = Checker::new(customer_db(0.02), opts);
         for src in CONSTRAINTS {
             let f = parse(src).unwrap();
@@ -102,14 +112,21 @@ fn all_orderings_give_the_same_answers() {
 
 #[test]
 fn tiny_node_budget_forces_fallback_but_stays_correct() {
-    let opts = CheckerOptions { node_limit: Some(500), ..Default::default() };
+    let opts = CheckerOptions {
+        node_limit: Some(500),
+        ..Default::default()
+    };
     let mut ck = Checker::new(customer_db(0.02), opts);
     for src in CONSTRAINTS {
         let f = parse(src).unwrap();
         let constrained = ck.check(&f).unwrap();
         let sql = ck.check_sql(&f).unwrap();
         assert_eq!(constrained.holds, sql.holds, "{src}");
-        assert_ne!(constrained.method, Method::Bdd, "500 nodes cannot index 8k rows");
+        assert_ne!(
+            constrained.method,
+            Method::Bdd,
+            "500 nodes cannot index 8k rows"
+        );
     }
 }
 
@@ -143,13 +160,17 @@ fn incremental_updates_flow_through_to_answers() {
         rel.col(1)[0]
     };
     let bad_state = (state0 + 1) % 15;
-    ck.logical_db_mut().insert_tuple("CUST", &[0, 0, bad_state]).unwrap();
+    ck.logical_db_mut()
+        .insert_tuple("CUST", &[0, 0, bad_state])
+        .unwrap();
     // The relation had city 0 rows with the right state (city 0 is the most
     // popular by the zipf weighting), so the FD now breaks.
     let r = ck.check(&f).unwrap();
     assert!(!r.holds, "inserted contradiction must violate the FD");
     assert_eq!(r.method, Method::Bdd);
-    ck.logical_db_mut().delete_tuple("CUST", &[0, 0, bad_state]).unwrap();
+    ck.logical_db_mut()
+        .delete_tuple("CUST", &[0, 0, bad_state])
+        .unwrap();
     assert!(ck.check(&f).unwrap().holds);
 }
 
@@ -160,7 +181,12 @@ fn checker_agrees_with_brute_force_oracle_on_small_db() {
         "R",
         &[("x", "k"), ("y", "k")],
         (0..6)
-            .map(|i| vec![relcheck::relstore::Raw::Int(i % 3), relcheck::relstore::Raw::Int(i)])
+            .map(|i| {
+                vec![
+                    relcheck::relstore::Raw::Int(i % 3),
+                    relcheck::relstore::Raw::Int(i),
+                ]
+            })
             .collect(),
     )
     .unwrap();
@@ -180,7 +206,10 @@ fn checker_agrees_with_brute_force_oracle_on_small_db() {
             &[("x", "k"), ("y", "k")],
             (0..6)
                 .map(|i| {
-                    vec![relcheck::relstore::Raw::Int(i % 3), relcheck::relstore::Raw::Int(i)]
+                    vec![
+                        relcheck::relstore::Raw::Int(i % 3),
+                        relcheck::relstore::Raw::Int(i),
+                    ]
                 })
                 .collect(),
         )
@@ -193,7 +222,11 @@ fn checker_agrees_with_brute_force_oracle_on_small_db() {
 #[test]
 fn fd_check_paths_agree_at_scale() {
     let mut ck = Checker::new(customer_db(0.02), CheckerOptions::default());
-    for (lhs, rhs) in [(vec![0usize], vec![2usize]), (vec![1], vec![2]), (vec![2], vec![0])] {
+    for (lhs, rhs) in [
+        (vec![0usize], vec![2usize]),
+        (vec![1], vec![2]),
+        (vec![2], vec![0]),
+    ] {
         let bdd = ck.check_fd_bdd("CUST", &lhs, &rhs).unwrap();
         let sql = ck.check_fd_sql("CUST", &lhs, &rhs).unwrap();
         assert_eq!(bdd, sql, "FD {lhs:?} -> {rhs:?}");

@@ -39,9 +39,13 @@ fn spec_db() -> (Vec<(String, relcheck::logic::Formula)>, Database) {
             "reference.csv" => REFERENCE_CSV,
             other => panic!("unexpected table path {other}"),
         };
-        let columns: Vec<(&str, &str)> =
-            t.columns.iter().map(|(c, k)| (c.as_str(), k.as_str())).collect();
-        db.create_relation_from_csv(&t.name, &columns, csv, t.has_header).unwrap();
+        let columns: Vec<(&str, &str)> = t
+            .columns
+            .iter()
+            .map(|(c, k)| (c.as_str(), k.as_str()))
+            .collect();
+        db.create_relation_from_csv(&t.name, &columns, csv, t.has_header)
+            .unwrap();
     }
     let constraints = spec
         .constraints
@@ -56,8 +60,7 @@ fn spec_pipeline_end_to_end() {
     let (constraints, db) = spec_db();
     let mut ck = Checker::new(db, CheckerOptions::default());
     let reports = ck.check_all(&constraints).unwrap();
-    let verdicts: Vec<(String, bool)> =
-        reports.into_iter().map(|(n, r)| (n, r.holds)).collect();
+    let verdicts: Vec<(String, bool)> = reports.into_iter().map(|(n, r)| (n, r.holds)).collect();
     assert_eq!(
         verdicts,
         vec![
@@ -122,8 +125,14 @@ fn registry_over_spec_constraints() {
     // Touch only CITY_STATE: the customers-only constraint stays cached.
     let verdicts = reg.revalidate(&mut ck, &["CITY_STATE"]).unwrap();
     let by_name: std::collections::HashMap<_, _> = verdicts.into_iter().collect();
-    assert!(matches!(by_name["toronto-prefixes"], Verdict::Cached { holds: false }));
-    assert!(matches!(by_name["reference-agrees"], Verdict::Checked { holds: false }));
+    assert!(matches!(
+        by_name["toronto-prefixes"],
+        Verdict::Cached { holds: false }
+    ));
+    assert!(matches!(
+        by_name["reference-agrees"],
+        Verdict::Checked { holds: false }
+    ));
 }
 
 #[test]
@@ -190,13 +199,12 @@ fn level_profiles_reflect_ordering_quality() {
             for (i, &s) in g.dom_sizes.iter().enumerate() {
                 db.ensure_class_size(&format!("v{i}"), s);
             }
-            let rel = Relation::from_rows(
-                g.relation.schema().clone(),
-                g.relation.rows(),
-            )
-            .unwrap();
+            let rel = Relation::from_rows(g.relation.schema().clone(), g.relation.rows()).unwrap();
             db.insert_relation("R", rel).unwrap();
-            let opts = CheckerOptions { ordering: strategy, ..Default::default() };
+            let opts = CheckerOptions {
+                ordering: strategy,
+                ..Default::default()
+            };
             let mut ck = Checker::new(db, opts);
             ck.ensure_index("R").unwrap();
             let idx = ck.logical_db().index("R").unwrap().clone();
