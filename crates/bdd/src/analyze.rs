@@ -8,7 +8,7 @@
 //! outside the care set (e.g. outside the active-domain ranges) is
 //! irrelevant.
 
-use crate::cache::OpCode;
+use crate::cache::{OpCode, OpKind};
 use crate::error::Result;
 use crate::manager::{Bdd, BddManager, Var};
 
@@ -49,28 +49,36 @@ impl BddManager {
         if f == c {
             return Ok(Bdd::TRUE);
         }
+        self.count_op(OpKind::Constrain);
         if let Some(r) = self.cache.get(OpCode::Constrain, f.index(), c.index(), 0) {
             return Ok(Bdd(r));
         }
+        self.depth_enter();
+        let descended = self.constrain_descend(f, c);
+        self.depth_exit();
+        let r = descended?;
+        self.cache
+            .put(OpCode::Constrain, f.index(), c.index(), 0, r.index());
+        Ok(r)
+    }
+
+    fn constrain_descend(&mut self, f: Bdd, c: Bdd) -> Result<Bdd> {
         let (lf, lc) = (self.level(f), self.level(c));
         let top = lf.min(lc);
         let (c0, c1) = if lc == top { self.cofactors(c) } else { (c, c) };
-        let r = if c0.is_false() {
+        if c0.is_false() {
             // The care set forces this variable to 1.
             let f1 = if lf == top { self.cofactors(f).1 } else { f };
-            self.constrain(f1, c1)?
+            self.constrain(f1, c1)
         } else if c1.is_false() {
             let f0 = if lf == top { self.cofactors(f).0 } else { f };
-            self.constrain(f0, c0)?
+            self.constrain(f0, c0)
         } else {
             let (f0, f1) = if lf == top { self.cofactors(f) } else { (f, f) };
             let low = self.constrain(f0, c0)?;
             let high = self.constrain(f1, c1)?;
-            self.mk(top, low, high)?
-        };
-        self.cache
-            .put(OpCode::Constrain, f.index(), c.index(), 0, r.index());
-        Ok(r)
+            self.mk(top, low, high)
+        }
     }
 
     /// Count the nodes a function spends on each finite-domain block —

@@ -6,7 +6,7 @@
 //! additive for Cartesian product" property the paper exploits in Section 2.2
 //! (the conjunction of BDDs over disjoint variables never multiplies sizes).
 
-use crate::cache::OpCode;
+use crate::cache::{OpCode, OpKind};
 use crate::error::Result;
 use crate::manager::{Bdd, BddManager};
 use crate::Op;
@@ -45,22 +45,31 @@ impl BddManager {
     /// Apply any binary connective.
     pub fn apply(&mut self, op: Op, f: Bdd, g: Bdd) -> Result<Bdd> {
         // Constant and absorption shortcuts. These matter: they terminate
-        // entire subproblems without touching the cache.
+        // entire subproblems without touching the cache (and are therefore
+        // not counted as calls in telemetry).
         if let Some(r) = apply_shortcut(op, f, g) {
             return Ok(r);
         }
+        self.count_op(OpKind::Apply);
         if let Some(r) = self.cache.get(OpCode::Apply(op_code(op)), f.0, g.0, 0) {
             return Ok(Bdd(r));
         }
+        self.depth_enter();
+        let descended = self.apply_descend(op, f, g);
+        self.depth_exit();
+        let r = descended?;
+        self.cache.put(OpCode::Apply(op_code(op)), f.0, g.0, 0, r.0);
+        Ok(r)
+    }
+
+    fn apply_descend(&mut self, op: Op, f: Bdd, g: Bdd) -> Result<Bdd> {
         let (lf, lg) = (self.level(f), self.level(g));
         let top = lf.min(lg);
         let (f0, f1) = if lf == top { self.cofactors(f) } else { (f, f) };
         let (g0, g1) = if lg == top { self.cofactors(g) } else { (g, g) };
         let low = self.apply(op, f0, g0)?;
         let high = self.apply(op, f1, g1)?;
-        let r = self.mk(top, low, high)?;
-        self.cache.put(OpCode::Apply(op_code(op)), f.0, g.0, 0, r.0);
-        Ok(r)
+        self.mk(top, low, high)
     }
 
     /// `¬f`.
@@ -71,15 +80,23 @@ impl BddManager {
         if f.is_true() {
             return Ok(Bdd::FALSE);
         }
+        self.count_op(OpKind::Not);
         if let Some(r) = self.cache.get(OpCode::Not, f.0, 0, 0) {
             return Ok(Bdd(r));
         }
+        self.depth_enter();
+        let descended = self.not_descend(f);
+        self.depth_exit();
+        let r = descended?;
+        self.cache.put(OpCode::Not, f.0, 0, 0, r.0);
+        Ok(r)
+    }
+
+    fn not_descend(&mut self, f: Bdd) -> Result<Bdd> {
         let n = self.node(f);
         let low = self.not(Bdd(n.low))?;
         let high = self.not(Bdd(n.high))?;
-        let r = self.mk(n.level, low, high)?;
-        self.cache.put(OpCode::Not, f.0, 0, 0, r.0);
-        Ok(r)
+        self.mk(n.level, low, high)
     }
 
     /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)`. Handles operands whose supports
@@ -98,9 +115,19 @@ impl BddManager {
         if g.is_true() && h.is_false() {
             return Ok(f);
         }
+        self.count_op(OpKind::Ite);
         if let Some(r) = self.cache.get(OpCode::Ite, f.0, g.0, h.0) {
             return Ok(Bdd(r));
         }
+        self.depth_enter();
+        let descended = self.ite_descend(f, g, h);
+        self.depth_exit();
+        let r = descended?;
+        self.cache.put(OpCode::Ite, f.0, g.0, h.0, r.0);
+        Ok(r)
+    }
+
+    fn ite_descend(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd> {
         let top = self.level(f).min(self.level(g)).min(self.level(h));
         let (f0, f1) = if self.level(f) == top {
             self.cofactors(f)
@@ -119,9 +146,7 @@ impl BddManager {
         };
         let low = self.ite(f0, g0, h0)?;
         let high = self.ite(f1, g1, h1)?;
-        let r = self.mk(top, low, high)?;
-        self.cache.put(OpCode::Ite, f.0, g.0, h.0, r.0);
-        Ok(r)
+        self.mk(top, low, high)
     }
 
     /// Fold a conjunction over many operands, smallest-first. Ordering by

@@ -52,6 +52,93 @@ impl OpCode {
             OpCode::Constrain => 0xA00,
         }
     }
+
+    /// The telemetry bucket this code falls into (binary connectives of one
+    /// family share a bucket regardless of the concrete connective).
+    #[inline]
+    pub(crate) fn kind(self) -> OpKind {
+        match self {
+            OpCode::Apply(_) => OpKind::Apply,
+            OpCode::Not => OpKind::Not,
+            OpCode::Ite => OpKind::Ite,
+            OpCode::Exists => OpKind::Exists,
+            OpCode::Forall => OpKind::Forall,
+            OpCode::AppExists(_) => OpKind::AppExists,
+            OpCode::AppForall(_) => OpKind::AppForall,
+            OpCode::Replace => OpKind::Replace,
+            OpCode::Restrict => OpKind::Restrict,
+            OpCode::Constrain => OpKind::Constrain,
+        }
+    }
+}
+
+/// The kinds of memoized BDD operations, as reported by
+/// [`crate::ManagerStats`]. Each kind aggregates one recursive algorithm:
+/// `Apply` covers every binary connective, `AppExists`/`AppForall` the fused
+/// apply-quantify operators, and so on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Binary connectives (`and`, `or`, `imp`, …) via `apply`.
+    Apply,
+    /// Negation.
+    Not,
+    /// If-then-else.
+    Ite,
+    /// Existential quantification.
+    Exists,
+    /// Universal quantification.
+    Forall,
+    /// Fused `∃x̄ (f op g)` (BuDDy `bdd_appex`).
+    AppExists,
+    /// Fused `∀x̄ (f op g)` (BuDDy `bdd_appall`).
+    AppForall,
+    /// Variable renaming.
+    Replace,
+    /// Restriction by a cube.
+    Restrict,
+    /// Coudert–Madre generalized cofactor.
+    Constrain,
+}
+
+/// Number of [`OpKind`] variants (array-table size).
+pub const OP_KINDS: usize = 10;
+
+impl OpKind {
+    /// Every kind, in stable (serialization) order.
+    pub const ALL: [OpKind; OP_KINDS] = [
+        OpKind::Apply,
+        OpKind::Not,
+        OpKind::Ite,
+        OpKind::Exists,
+        OpKind::Forall,
+        OpKind::AppExists,
+        OpKind::AppForall,
+        OpKind::Replace,
+        OpKind::Restrict,
+        OpKind::Constrain,
+    ];
+
+    /// Stable machine-readable name (used in metrics schemas).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Apply => "apply",
+            OpKind::Not => "not",
+            OpKind::Ite => "ite",
+            OpKind::Exists => "exists",
+            OpKind::Forall => "forall",
+            OpKind::AppExists => "app_exists",
+            OpKind::AppForall => "app_forall",
+            OpKind::Replace => "replace",
+            OpKind::Restrict => "restrict",
+            OpKind::Constrain => "constrain",
+        }
+    }
+
+    /// Index into per-kind tables (`0..OP_KINDS`, order of [`OpKind::ALL`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -77,8 +164,8 @@ const EMPTY: Entry = Entry {
 pub(crate) struct OpCache {
     slots: Vec<Entry>,
     mask: u64,
-    hits: u64,
-    misses: u64,
+    hits: [u64; OP_KINDS],
+    misses: [u64; OP_KINDS],
 }
 
 impl OpCache {
@@ -88,8 +175,8 @@ impl OpCache {
         OpCache {
             slots: vec![EMPTY; cap],
             mask: (cap - 1) as u64,
-            hits: 0,
-            misses: 0,
+            hits: [0; OP_KINDS],
+            misses: [0; OP_KINDS],
         }
     }
 
@@ -100,13 +187,14 @@ impl OpCache {
 
     #[inline]
     pub(crate) fn get(&mut self, op: OpCode, a: u32, b: u32, c: u32) -> Option<u32> {
+        let kind = op.kind().index();
         let op = op.encode();
         let e = &self.slots[self.index(op, a, b, c)];
         if e.result != u32::MAX && e.op == op && e.a == a && e.b == b && e.c == c {
-            self.hits += 1;
+            self.hits[kind] += 1;
             Some(e.result)
         } else {
-            self.misses += 1;
+            self.misses[kind] += 1;
             None
         }
     }
@@ -130,12 +218,24 @@ impl OpCache {
         self.slots.fill(EMPTY);
     }
 
+    /// Total hits across all operation kinds.
     pub(crate) fn hits(&self) -> u64 {
-        self.hits
+        self.hits.iter().sum()
     }
 
+    /// Total misses across all operation kinds.
     pub(crate) fn misses(&self) -> u64 {
-        self.misses
+        self.misses.iter().sum()
+    }
+
+    /// Hits for one operation kind.
+    pub(crate) fn kind_hits(&self, kind: OpKind) -> u64 {
+        self.hits[kind.index()]
+    }
+
+    /// Misses for one operation kind.
+    pub(crate) fn kind_misses(&self, kind: OpKind) -> u64 {
+        self.misses[kind.index()]
     }
 }
 

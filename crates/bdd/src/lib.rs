@@ -60,9 +60,10 @@ mod replace;
 mod sat;
 mod serialize;
 
+pub use cache::{OpKind, OP_KINDS};
 pub use error::{BddError, Result};
 pub use fdd::{DomainId, DomainInfo};
-pub use manager::{Bdd, BddManager, GcStats, ManagerStats, Var, NODE_BYTES};
+pub use manager::{Bdd, BddManager, GcStats, ManagerStats, OpStats, StatsDelta, Var, NODE_BYTES};
 pub use quant::VarSet;
 pub use replace::ReplaceMap;
 pub use sat::SatAssignments;

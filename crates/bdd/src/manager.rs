@@ -8,7 +8,7 @@
 //! checker uses the engine: it knows exactly which relation indices and
 //! intermediate results are live at any point.
 
-use crate::cache::OpCache;
+use crate::cache::{OpCache, OpKind, OP_KINDS};
 use crate::error::{BddError, Result};
 use crate::fdd::Domain;
 use crate::hash::FxHashMap;
@@ -77,6 +77,21 @@ pub struct GcStats {
     pub live: usize,
 }
 
+/// Per-operation-kind counters: how often one recursive algorithm consulted
+/// the operation cache, and with what outcome. By construction every counted
+/// call performs exactly one cache probe, so the conservation law
+/// `calls == cache_hits + cache_misses` holds per kind (constant-operand
+/// shortcuts return before the call is counted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Memoized (cache-probing) invocations of this operation kind.
+    pub calls: u64,
+    /// Cache probes that found a memoized result.
+    pub cache_hits: u64,
+    /// Cache probes that missed and forced recomputation.
+    pub cache_misses: u64,
+}
+
 /// Cumulative manager statistics (see [`BddManager::stats`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ManagerStats {
@@ -94,6 +109,72 @@ pub struct ManagerStats {
     pub gc_runs: u64,
     /// Number of boolean variables allocated.
     pub num_vars: u32,
+    /// High-water mark of recursion depth across all operations.
+    pub depth_hwm: u32,
+    /// Per-kind breakdown, indexed by [`OpKind::index`] in [`OpKind::ALL`]
+    /// order.
+    pub ops: [OpStats; OP_KINDS],
+}
+
+impl ManagerStats {
+    /// The difference between this snapshot and an earlier one, covering
+    /// only the monotone counters (peaks and high-water marks are left out
+    /// because they do not subtract or sum meaningfully).
+    pub fn delta_since(&self, before: &ManagerStats) -> StatsDelta {
+        let mut ops = [OpStats::default(); OP_KINDS];
+        for (i, d) in ops.iter_mut().enumerate() {
+            d.calls = self.ops[i].calls - before.ops[i].calls;
+            d.cache_hits = self.ops[i].cache_hits - before.ops[i].cache_hits;
+            d.cache_misses = self.ops[i].cache_misses - before.ops[i].cache_misses;
+        }
+        StatsDelta {
+            created_nodes: self.created_nodes - before.created_nodes,
+            cache_hits: self.cache_hits - before.cache_hits,
+            cache_misses: self.cache_misses - before.cache_misses,
+            gc_runs: self.gc_runs - before.gc_runs,
+            ops,
+        }
+    }
+}
+
+/// Monotone-counter difference between two [`ManagerStats`] snapshots.
+/// Deltas are additive: the delta of work A followed by work B equals
+/// `delta(A) + delta(B)` exactly, which the telemetry test suite asserts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsDelta {
+    /// Nodes created during the window.
+    pub created_nodes: u64,
+    /// Operation-cache hits during the window.
+    pub cache_hits: u64,
+    /// Operation-cache misses during the window.
+    pub cache_misses: u64,
+    /// GC sweeps during the window.
+    pub gc_runs: u64,
+    /// Per-kind call/hit/miss deltas, indexed like [`ManagerStats::ops`].
+    pub ops: [OpStats; OP_KINDS],
+}
+
+impl std::ops::Add for StatsDelta {
+    type Output = StatsDelta;
+    fn add(self, rhs: StatsDelta) -> StatsDelta {
+        let mut out = self;
+        out += rhs;
+        out
+    }
+}
+
+impl std::ops::AddAssign for StatsDelta {
+    fn add_assign(&mut self, rhs: StatsDelta) {
+        self.created_nodes += rhs.created_nodes;
+        self.cache_hits += rhs.cache_hits;
+        self.cache_misses += rhs.cache_misses;
+        self.gc_runs += rhs.gc_runs;
+        for (a, b) in self.ops.iter_mut().zip(rhs.ops.iter()) {
+            a.calls += b.calls;
+            a.cache_hits += b.cache_hits;
+            a.cache_misses += b.cache_misses;
+        }
+    }
 }
 
 /// The shared-node BDD store. See the [crate-level docs](crate) for an
@@ -113,6 +194,9 @@ pub struct BddManager {
     peak_nodes: usize,
     created_nodes: u64,
     gc_runs: u64,
+    op_calls: [u64; OP_KINDS],
+    cur_depth: u32,
+    depth_hwm: u32,
 }
 
 impl Default for BddManager {
@@ -159,7 +243,34 @@ impl BddManager {
             peak_nodes: 0,
             created_nodes: 0,
             gc_runs: 0,
+            op_calls: [0; OP_KINDS],
+            cur_depth: 0,
+            depth_hwm: 0,
         }
+    }
+
+    /// Count one memoized invocation of `kind`. Call sites place this
+    /// immediately before the cache probe so the per-kind conservation law
+    /// `calls == hits + misses` holds exactly.
+    #[inline]
+    pub(crate) fn count_op(&mut self, kind: OpKind) {
+        self.op_calls[kind.index()] += 1;
+    }
+
+    /// Enter one recursion level; updates the depth high-water mark.
+    #[inline]
+    pub(crate) fn depth_enter(&mut self) {
+        self.cur_depth += 1;
+        if self.cur_depth > self.depth_hwm {
+            self.depth_hwm = self.cur_depth;
+        }
+    }
+
+    /// Leave one recursion level. Must run even on error paths (call sites
+    /// capture the recursive result before `?`).
+    #[inline]
+    pub(crate) fn depth_exit(&mut self) {
+        self.cur_depth -= 1;
     }
 
     /// Set (or clear) the live-node limit. When the limit is exceeded the
@@ -399,6 +510,14 @@ impl BddManager {
 
     /// Snapshot of cumulative statistics.
     pub fn stats(&self) -> ManagerStats {
+        let mut ops = [OpStats::default(); OP_KINDS];
+        for (i, kind) in OpKind::ALL.iter().enumerate() {
+            ops[i] = OpStats {
+                calls: self.op_calls[i],
+                cache_hits: self.cache.kind_hits(*kind),
+                cache_misses: self.cache.kind_misses(*kind),
+            };
+        }
         ManagerStats {
             live_nodes: self.live_nodes(),
             peak_nodes: self.peak_nodes,
@@ -407,6 +526,8 @@ impl BddManager {
             cache_misses: self.cache.misses(),
             gc_runs: self.gc_runs,
             num_vars: self.num_vars,
+            depth_hwm: self.depth_hwm,
+            ops,
         }
     }
 

@@ -72,9 +72,19 @@ impl BddManager {
         } else {
             OpCode::Forall
         };
+        self.count_op(code.kind());
         if let Some(r) = self.cache.get(code, f.0, vs.0, 0) {
             return Ok(Bdd(r));
         }
+        self.depth_enter();
+        let descended = self.quant_descend(f, vs, is_exists);
+        self.depth_exit();
+        let r = descended?;
+        self.cache.put(code, f.0, vs.0, 0, r.0);
+        Ok(r)
+    }
+
+    fn quant_descend(&mut self, f: Bdd, vs: VarSet, is_exists: bool) -> Result<Bdd> {
         let n = self.node(f);
         let low = self.quant(Bdd(n.low), vs, is_exists)?;
         let high = self.quant(Bdd(n.high), vs, is_exists)?;
@@ -82,17 +92,15 @@ impl BddManager {
             .vars
             .binary_search(&n.level)
             .is_ok();
-        let r = if in_set {
+        if in_set {
             if is_exists {
-                self.or(low, high)?
+                self.or(low, high)
             } else {
-                self.and(low, high)?
+                self.and(low, high)
             }
         } else {
-            self.mk(n.level, low, high)?
-        };
-        self.cache.put(code, f.0, vs.0, 0, r.0);
-        Ok(r)
+            self.mk(n.level, low, high)
+        }
     }
 
     /// Fused `∃ vars. (f op g)` — BuDDy's `bdd_appex`. Avoids building the
@@ -127,26 +135,42 @@ impl BddManager {
         } else {
             OpCode::AppForall(opc)
         };
+        self.count_op(code.kind());
         if let Some(r) = self.cache.get(code, f.0, g.0, vs.0) {
             return Ok(Bdd(r));
         }
+        self.depth_enter();
+        let descended = self.app_quant_descend(op, f, g, vs, is_exists, top);
+        self.depth_exit();
+        let r = descended?;
+        self.cache.put(code, f.0, g.0, vs.0, r.0);
+        Ok(r)
+    }
+
+    fn app_quant_descend(
+        &mut self,
+        op: Op,
+        f: Bdd,
+        g: Bdd,
+        vs: VarSet,
+        is_exists: bool,
+        top: u32,
+    ) -> Result<Bdd> {
         let (lf, lg) = (self.level(f), self.level(g));
         let (f0, f1) = if lf == top { self.cofactors(f) } else { (f, f) };
         let (g0, g1) = if lg == top { self.cofactors(g) } else { (g, g) };
         let low = self.app_quant(op, f0, g0, vs, is_exists)?;
         let high = self.app_quant(op, f1, g1, vs, is_exists)?;
         let in_set = self.varsets[vs.0 as usize].vars.binary_search(&top).is_ok();
-        let r = if in_set {
+        if in_set {
             if is_exists {
-                self.or(low, high)?
+                self.or(low, high)
             } else {
-                self.and(low, high)?
+                self.and(low, high)
             }
         } else {
-            self.mk(top, low, high)?
-        };
-        self.cache.put(code, f.0, g.0, vs.0, r.0);
-        Ok(r)
+            self.mk(top, low, high)
+        }
     }
 }
 

@@ -12,7 +12,7 @@
 //! how constants in constraints (`city = "Toronto"`) are pinned before
 //! quantification.
 
-use crate::cache::OpCode;
+use crate::cache::{OpCode, OpKind};
 use crate::error::Result;
 use crate::manager::{Bdd, BddManager, Var};
 
@@ -48,9 +48,19 @@ impl BddManager {
         if f.is_const() {
             return Ok(f);
         }
+        self.count_op(OpKind::Replace);
         if let Some(r) = self.cache.get(OpCode::Replace, f.0, map.0, 0) {
             return Ok(Bdd(r));
         }
+        self.depth_enter();
+        let descended = self.replace_descend(f, map);
+        self.depth_exit();
+        let r = descended?;
+        self.cache.put(OpCode::Replace, f.0, map.0, 0, r.0);
+        Ok(r)
+    }
+
+    fn replace_descend(&mut self, f: Bdd, map: ReplaceMap) -> Result<Bdd> {
         let n = self.node(f);
         let low = self.replace(Bdd(n.low), map)?;
         let high = self.replace(Bdd(n.high), map)?;
@@ -58,14 +68,12 @@ impl BddManager {
         // Fast path: the renamed variable still sits above both children, so
         // a plain mk preserves ordering. Otherwise correct with ite on the
         // literal, which handles arbitrary level crossings.
-        let r = if new_var < self.level(low) && new_var < self.level(high) {
-            self.mk(new_var, low, high)?
+        if new_var < self.level(low) && new_var < self.level(high) {
+            self.mk(new_var, low, high)
         } else {
             let x = self.var(new_var)?;
-            self.ite(x, high, low)?
-        };
-        self.cache.put(OpCode::Replace, f.0, map.0, 0, r.0);
-        Ok(r)
+            self.ite(x, high, low)
+        }
     }
 
     /// Restrict `f` by the partial assignment encoded in the cube `c` (a
@@ -78,11 +86,21 @@ impl BddManager {
             return Ok(f);
         }
         debug_assert!(!c.is_false(), "restriction by the empty cube");
+        self.count_op(OpKind::Restrict);
         if let Some(r) = self.cache.get(OpCode::Restrict, f.0, c.0, 0) {
             return Ok(Bdd(r));
         }
+        self.depth_enter();
+        let descended = self.restrict_descend(f, c);
+        self.depth_exit();
+        let r = descended?;
+        self.cache.put(OpCode::Restrict, f.0, c.0, 0, r.0);
+        Ok(r)
+    }
+
+    fn restrict_descend(&mut self, f: Bdd, c: Bdd) -> Result<Bdd> {
         let (lf, lc) = (self.level(f), self.level(c));
-        let r = if lc < lf {
+        if lc < lf {
             // The cube constrains a variable above f's root: skip it.
             let nc = self.node(c);
             let next = if nc.low == 0 {
@@ -90,7 +108,7 @@ impl BddManager {
             } else {
                 Bdd(nc.low)
             };
-            self.restrict(f, next)?
+            self.restrict(f, next)
         } else if lc == lf {
             let nf = self.node(f);
             let nc = self.node(c);
@@ -100,18 +118,16 @@ impl BddManager {
             );
             if nc.low == 0 {
                 // positive literal: take the high branch
-                self.restrict(Bdd(nf.high), Bdd(nc.high))?
+                self.restrict(Bdd(nf.high), Bdd(nc.high))
             } else {
-                self.restrict(Bdd(nf.low), Bdd(nc.low))?
+                self.restrict(Bdd(nf.low), Bdd(nc.low))
             }
         } else {
             let nf = self.node(f);
             let low = self.restrict(Bdd(nf.low), c)?;
             let high = self.restrict(Bdd(nf.high), c)?;
-            self.mk(nf.level, low, high)?
-        };
-        self.cache.put(OpCode::Restrict, f.0, c.0, 0, r.0);
-        Ok(r)
+            self.mk(nf.level, low, high)
+        }
     }
 
     /// Build the cube (conjunction of literals) for a partial assignment.

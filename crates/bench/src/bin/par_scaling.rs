@@ -19,12 +19,22 @@
 //! reports the honest number rather than a synthetic one). Verdict
 //! equality with the serial pass is asserted on every configuration.
 //!
+//! The run also measures the cost of the telemetry switch itself: the
+//! serial battery is re-timed with `CheckerOptions::telemetry` on, the
+//! overhead is printed honestly, and a generous noise bound (1.5× plus a
+//! 25 ms absolute allowance) is asserted — disabled-mode counters are
+//! plain integers, so the two configurations should be indistinguishable
+//! up to timing noise.
+//!
 //! Flags: `--rows N` (customer rows, default 100000), `--samples N`
-//! (timed repetitions per configuration, default 3).
+//! (timed repetitions per configuration, default 3), `--metrics PATH`
+//! (write the schema-version-1 metrics JSON of a 4-worker telemetry run,
+//! the same document `relcheck run --metrics` emits).
 
-use relcheck_bench::{arg_usize, ms, Table};
+use relcheck_bench::{arg_str, arg_usize, ms, Table};
 use relcheck_core::checker::{Checker, CheckerOptions};
 use relcheck_core::parallel::{IndexTransfer, ParallelChecker};
+use relcheck_core::telemetry::{validate_metrics_json, RunMetrics};
 use relcheck_datagen::customer::{generate, CustomerConfig};
 use relcheck_logic::{parse, Formula};
 use relcheck_relstore::{Database, Relation, Schema};
@@ -180,4 +190,39 @@ fn main() {
          single-core host the parallel engine can only break even, and the verdict-\n\
          equality assertion (not the speedup) is the correctness signal."
     );
+
+    // Telemetry-switch overhead: the same serial battery with per-check
+    // traces captured. Counters tick unconditionally either way; the
+    // switch only adds clock reads and trace allocation, so the medians
+    // should agree up to timing noise.
+    let telemetry_opts = CheckerOptions {
+        telemetry: true,
+        ..Default::default()
+    };
+    let t_telemetry = median_time(samples, || {
+        let mut ck = Checker::new(db.clone(), telemetry_opts);
+        let reports = ck.check_all(&battery).unwrap();
+        assert!(reports.iter().all(|(_, r)| r.metrics.is_some()));
+    });
+    println!(
+        "\nTelemetry overhead (serial battery): off {} ms, on {} ms ({:+.1}%)",
+        ms(t_serial),
+        ms(t_telemetry),
+        (t_telemetry.as_secs_f64() / t_serial.as_secs_f64() - 1.0) * 100.0
+    );
+    assert!(
+        t_telemetry <= t_serial.mul_f64(1.5) + Duration::from_millis(25),
+        "telemetry overhead beyond noise bounds: on={t_telemetry:?} off={t_serial:?}"
+    );
+
+    // Optional: emit the machine-readable metrics document of a 4-worker
+    // telemetry run — the same schema `relcheck run --metrics` writes.
+    if let Some(path) = arg_str("--metrics") {
+        let pc = ParallelChecker::new(db.clone(), telemetry_opts, 4);
+        let (reports, fleet) = pc.check_all_telemetry(&battery).unwrap();
+        let doc = RunMetrics::from_reports(&reports, Some(fleet), 4).to_json();
+        validate_metrics_json(&doc).expect("emitted metrics must be schema-valid");
+        std::fs::write(&path, doc).expect("write metrics file");
+        println!("metrics written to {path}");
+    }
 }

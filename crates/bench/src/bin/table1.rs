@@ -12,11 +12,15 @@
 //! random ordering gains up to ~2x over SQL; the optimized ordering pushes
 //! the overall gain to 4–6x.
 //!
-//! Flags: `--tuples N` (default 100000).
+//! Flags: `--tuples N` (default 100000), `--metrics PATH` (write the
+//! schema-version-1 metrics JSON of a telemetry-enabled serial pass over
+//! Q1–Q5 under the optimized ordering — the same document
+//! `relcheck run --metrics` emits).
 
-use relcheck_bench::{arg_usize, ms, queries, timed, Table};
+use relcheck_bench::{arg_str, arg_usize, ms, queries, timed, Table};
 use relcheck_core::checker::{Checker, CheckerOptions, Method};
 use relcheck_core::ordering::OrderingStrategy;
+use relcheck_core::telemetry::{validate_metrics_json, RunMetrics};
 
 fn main() {
     let tuples = arg_usize("--tuples", 100_000);
@@ -84,4 +88,25 @@ fn main() {
          BDD with the Prob-Converge ordering 4-6x faster than SQL. Index under random\n\
          ordering is up to ~5x larger than under the optimized ordering."
     );
+
+    // Optional: emit the machine-readable metrics of a telemetry-enabled
+    // serial pass under the optimized ordering (same schema as
+    // `relcheck run --metrics`).
+    if let Some(path) = arg_str("--metrics") {
+        let opts = CheckerOptions {
+            ordering: OrderingStrategy::ProbConverge,
+            telemetry: true,
+            ..Default::default()
+        };
+        let mut ck = Checker::new(queries::build(tuples, 77), opts);
+        let battery: Vec<(String, relcheck_logic::Formula)> = qs
+            .iter()
+            .map(|(n, q)| ((*n).to_owned(), q.clone()))
+            .collect();
+        let (reports, fleet) = ck.check_all_parallel_telemetry(&battery, 1).unwrap();
+        let doc = RunMetrics::from_reports(&reports, Some(fleet), 1).to_json();
+        validate_metrics_json(&doc).expect("emitted metrics must be schema-valid");
+        std::fs::write(&path, doc).expect("write metrics file");
+        println!("\nmetrics written to {path}");
+    }
 }

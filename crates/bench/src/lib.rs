@@ -58,6 +58,15 @@ pub fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// Parse `--flag value` style string arguments (e.g. `--metrics out.json`).
+pub fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 /// First free-standing (non `--` prefixed, non-value) argument, e.g. the
 /// subfigure selector `a` / `b` / `c`.
 pub fn arg_selector() -> Option<String> {

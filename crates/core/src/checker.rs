@@ -17,11 +17,15 @@
 //! runs the SQL plan to materialize the offending tuples — the paper's
 //! "first identify violated constraints fast, then focus on the tuples".
 
-use crate::compile::{check_bdd, CompileOptions};
+use crate::compile::{check_bdd_traced, CompileOptions};
 use crate::error::{CoreError, Result};
 use crate::index::LogicalDatabase;
 use crate::ordering::OrderingStrategy;
 use crate::sqlgen::{self, Shape};
+use crate::telemetry::{
+    CheckTrace, FallbackReason, FleetTelemetry, IndexEvent, IndexProvenance, PhaseTimings,
+    RuleFiring, WorkerTelemetry,
+};
 use relcheck_bdd::BddError;
 use relcheck_logic::eval::eval_sentence;
 use relcheck_logic::Formula;
@@ -44,6 +48,12 @@ pub struct CheckerOptions {
     pub ordering: OrderingStrategy,
     /// Garbage-collect query scratch space after every check.
     pub gc_between_checks: bool,
+    /// Capture a structured [`CheckTrace`] per check (phase timings,
+    /// rewrite-rule firings, index provenance, BDD work). The integer
+    /// counters behind the trace are maintained by the BDD manager
+    /// unconditionally; this switch only gates the clock reads and the
+    /// trace allocation, so leaving it off costs nothing measurable.
+    pub telemetry: bool,
 }
 
 impl Default for CheckerOptions {
@@ -54,6 +64,7 @@ impl Default for CheckerOptions {
             join_rename: true,
             ordering: OrderingStrategy::ProbConverge,
             gc_between_checks: true,
+            telemetry: false,
         }
     }
 }
@@ -72,7 +83,7 @@ pub enum Method {
 }
 
 /// Outcome of one constraint check.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CheckReport {
     /// Does the constraint hold?
     pub holds: bool,
@@ -82,6 +93,9 @@ pub struct CheckReport {
     pub elapsed: Duration,
     /// Live BDD nodes after the check (post-GC if enabled).
     pub live_nodes: usize,
+    /// Structured trace of the check, present iff
+    /// [`CheckerOptions::telemetry`] was set.
+    pub metrics: Option<CheckTrace>,
 }
 
 /// Named output columns plus rows of dictionary codes — what
@@ -255,37 +269,80 @@ impl Checker {
                 free,
             )));
         }
+        let tel = self.opts.telemetry;
+        let stats_before = tel.then(|| self.ldb.manager().stats());
         // Make sure every referenced relation is indexed (or marked
         // SQL-only).
+        let index_start = tel.then(Instant::now);
+        let mut index_events: Vec<IndexEvent> = Vec::new();
         let mut all_indexed = true;
         for rel in Self::referenced_relations(f) {
-            all_indexed &= self.ensure_index(&rel)?;
+            let had = self.ldb.has_index(&rel);
+            let ok = self.ensure_index(&rel)?;
+            all_indexed &= ok;
+            if tel {
+                let provenance = if !ok {
+                    IndexProvenance::SqlOnly
+                } else if had {
+                    IndexProvenance::Reused
+                } else {
+                    IndexProvenance::Built
+                };
+                index_events.push(IndexEvent {
+                    relation: rel,
+                    provenance,
+                });
+            }
         }
+        let index_time = index_start.map(|t| t.elapsed()).unwrap_or_default();
         let compile_opts = CompileOptions {
             use_rewrites: self.opts.use_rewrites,
             join_rename: self.opts.join_rename,
         };
+        let eval_start = tel.then(Instant::now);
+        // Rule firings survive a node-budget abort on purpose: they record
+        // the rewrites the BDD attempt performed before defaulting to SQL.
+        let mut rules: Vec<RuleFiring> = Vec::new();
+        let mut fallback: Option<FallbackReason> = None;
         let (holds, method) = if all_indexed {
-            match check_bdd(&mut self.ldb, f, &compile_opts) {
+            let sink = if tel { Some(&mut rules) } else { None };
+            match check_bdd_traced(&mut self.ldb, f, &compile_opts, sink) {
                 Ok(h) => (h, Method::Bdd),
-                Err(CoreError::Bdd(BddError::NodeLimit { .. })) => {
+                Err(CoreError::Bdd(BddError::NodeLimit { limit, live })) => {
                     // Paper §4: abort BDD construction, default to SQL.
+                    fallback = Some(FallbackReason::NodeLimit { limit, live });
                     self.ldb.gc();
                     self.check_via_sql(f)?
                 }
                 Err(e) => return Err(e),
             }
         } else {
+            fallback = Some(FallbackReason::UnindexedRelation);
             self.check_via_sql(f)?
         };
+        let eval_time = eval_start.map(|t| t.elapsed()).unwrap_or_default();
         if self.opts.gc_between_checks {
             self.ldb.gc();
         }
+        let elapsed = start.elapsed();
+        let metrics = stats_before.map(|before| CheckTrace {
+            method,
+            rules,
+            index_events,
+            fallback,
+            timings: PhaseTimings {
+                index: index_time,
+                eval: eval_time,
+                total: elapsed,
+            },
+            bdd: self.ldb.manager().stats().delta_since(&before),
+        });
         Ok(CheckReport {
             holds,
             method,
-            elapsed: start.elapsed(),
+            elapsed,
             live_nodes: self.ldb.manager().live_nodes(),
+            metrics,
         })
     }
 
@@ -307,12 +364,27 @@ impl Checker {
     /// used by the benchmark harness for the BDD-vs-SQL comparisons).
     pub fn check_sql(&mut self, f: &Formula) -> Result<CheckReport> {
         let start = Instant::now();
+        let stats_before = self.opts.telemetry.then(|| self.ldb.manager().stats());
         let (holds, method) = self.check_via_sql(f)?;
+        let elapsed = start.elapsed();
+        let metrics = stats_before.map(|before| CheckTrace {
+            method,
+            rules: Vec::new(),
+            index_events: Vec::new(),
+            fallback: None,
+            timings: PhaseTimings {
+                index: Duration::ZERO,
+                eval: elapsed,
+                total: elapsed,
+            },
+            bdd: self.ldb.manager().stats().delta_since(&before),
+        });
         Ok(CheckReport {
             holds,
             method,
-            elapsed: start.elapsed(),
+            elapsed,
             live_nodes: self.ldb.manager().live_nodes(),
+            metrics,
         })
     }
 
@@ -341,8 +413,31 @@ impl Checker {
         constraints: &[(String, Formula)],
         threads: usize,
     ) -> Result<Vec<(String, CheckReport)>> {
+        Ok(self.check_all_parallel_telemetry(constraints, threads)?.0)
+    }
+
+    /// [`Checker::check_all_parallel`] plus the merged lane-level
+    /// telemetry: one [`WorkerTelemetry`] per lane (in deterministic batch
+    /// order) and fleet totals that are exactly the sum of the per-lane
+    /// counters. A serial pass (one thread or one constraint) reports a
+    /// single lane covering every constraint.
+    pub fn check_all_parallel_telemetry(
+        &mut self,
+        constraints: &[(String, Formula)],
+        threads: usize,
+    ) -> Result<(Vec<(String, CheckReport)>, FleetTelemetry)> {
         if threads <= 1 || constraints.len() <= 1 {
-            return self.check_all(constraints);
+            let before = self.ldb.manager().stats();
+            let reports = self.check_all(constraints)?;
+            let after = self.ldb.manager().stats();
+            let lane = WorkerTelemetry {
+                worker: 0,
+                constraints: (0..constraints.len()).collect(),
+                bdd: after.delta_since(&before),
+                peak_nodes: after.peak_nodes,
+                depth_hwm: after.depth_hwm,
+            };
+            return Ok((reports, FleetTelemetry::from_workers(vec![lane])));
         }
         // Build (or budget-out) every referenced index exactly once, then
         // snapshot for transfer — workers import instead of re-running

@@ -26,9 +26,10 @@
 
 use crate::error::{CoreError, Result};
 use crate::index::LogicalDatabase;
+use crate::telemetry::{RewriteRule, RuleFiring};
 use relcheck_bdd::{Bdd, DomainId, Op};
 use relcheck_logic::transform::{
-    push_forall_down, simplify, standardize_apart, strip_leading_block, to_nnf, to_prenex,
+    push_forall_down_counted, simplify, standardize_apart, strip_leading_block, to_nnf, to_prenex,
     CheckMode, Prenex, Quant,
 };
 use relcheck_logic::{infer_sorts, Formula, Term};
@@ -61,8 +62,29 @@ impl Default for CompileOptions {
 /// `BddError::NodeLimit` if the manager's node budget is exhausted — the
 /// signal to fall back to SQL.
 pub fn check_bdd(ldb: &mut LogicalDatabase, f: &Formula, opts: &CompileOptions) -> Result<bool> {
+    check_bdd_traced(ldb, f, opts, None)
+}
+
+/// [`check_bdd`] with rewrite-rule telemetry: when `rules` is provided,
+/// every R1–R4 firing with a non-zero count is appended in application
+/// order (R3 prenex pull-up, R1 leading-block elimination, R4 ∀ push-down,
+/// then one R2 event per renamed atom).
+pub fn check_bdd_traced(
+    ldb: &mut LogicalDatabase,
+    f: &Formula,
+    opts: &CompileOptions,
+    mut rules: Option<&mut Vec<RuleFiring>>,
+) -> Result<bool> {
     if opts.use_rewrites {
         let p = to_prenex(f);
+        if let Some(rs) = rules.as_deref_mut() {
+            if !p.prefix.is_empty() {
+                rs.push(RuleFiring {
+                    rule: RewriteRule::R3PrenexPullup,
+                    count: p.prefix.len() as u64,
+                });
+            }
+        }
         let whole = rebuild(&p);
         let sorts = infer_sorts(ldb.db(), &whole)?;
         let var_doms = allocate_query_domains(ldb, &whole, &sorts)?;
@@ -71,19 +93,37 @@ pub fn check_bdd(ldb: &mut LogicalDatabase, f: &Formula, opts: &CompileOptions) 
             .iter()
             .map(|(_, v)| v.clone())
             .collect();
+        if let Some(rs) = rules.as_deref_mut() {
+            if !stripped.is_empty() {
+                rs.push(RuleFiring {
+                    rule: RewriteRule::R1LeadingBlock,
+                    count: stripped.len() as u64,
+                });
+            }
+        }
         match mode {
             CheckMode::Validity => {
                 let violating =
-                    compile_violation_set(ldb, &rest, &stripped, &var_doms, &sorts, opts)?;
+                    compile_violation_set(ldb, &rest, &stripped, &var_doms, &sorts, opts, rules)?;
                 Ok(violating.is_false())
             }
             CheckMode::Satisfiability => {
-                let body = simplify(&push_forall_down(&rebuild(&rest)));
+                let mut pushdowns = 0u64;
+                let body = simplify(&push_forall_down_counted(&rebuild(&rest), &mut pushdowns));
+                if let Some(rs) = rules.as_deref_mut() {
+                    if pushdowns > 0 {
+                        rs.push(RuleFiring {
+                            rule: RewriteRule::R4ForallPushdown,
+                            count: pushdowns,
+                        });
+                    }
+                }
                 let mut c = Compiler {
                     ldb,
                     var_doms: &var_doms,
                     sorts: &sorts,
                     opts,
+                    rules,
                 };
                 let phi = c.compile(&body)?;
                 // Confine the stripped (free) variables to their domains.
@@ -102,6 +142,7 @@ pub fn check_bdd(ldb: &mut LogicalDatabase, f: &Formula, opts: &CompileOptions) 
             var_doms: &var_doms,
             sorts: &sorts,
             opts,
+            rules,
         };
         let phi = c.compile(&f)?;
         debug_assert!(phi.is_const(), "a sentence must compile to a constant BDD");
@@ -123,14 +164,25 @@ fn compile_violation_set(
     var_doms: &HashMap<String, DomainId>,
     sorts: &HashMap<String, String>,
     opts: &CompileOptions,
+    mut rules: Option<&mut Vec<RuleFiring>>,
 ) -> Result<Bdd> {
     let negated = simplify(&to_nnf(&rebuild(rest).not()));
-    let body = simplify(&push_forall_down(&negated));
+    let mut pushdowns = 0u64;
+    let body = simplify(&push_forall_down_counted(&negated, &mut pushdowns));
+    if let Some(rs) = rules.as_deref_mut() {
+        if pushdowns > 0 {
+            rs.push(RuleFiring {
+                rule: RewriteRule::R4ForallPushdown,
+                count: pushdowns,
+            });
+        }
+    }
     let mut c = Compiler {
         ldb,
         var_doms,
         sorts,
         opts,
+        rules,
     };
     let phi = c.compile(&body)?;
     let ranges = c.ranges(stripped)?;
@@ -169,7 +221,7 @@ pub fn violations_bdd(
         .iter()
         .map(|(_, v)| v.clone())
         .collect();
-    let bdd = compile_violation_set(ldb, &rest, &stripped, &var_doms, &sorts, opts)?;
+    let bdd = compile_violation_set(ldb, &rest, &stripped, &var_doms, &sorts, opts, None)?;
     let vars = stripped
         .into_iter()
         .map(|v| {
@@ -276,6 +328,8 @@ struct Compiler<'a> {
     var_doms: &'a HashMap<String, DomainId>,
     sorts: &'a HashMap<String, String>,
     opts: &'a CompileOptions,
+    /// R2 firing sink: one event per atom compiled with ≥ 1 rename.
+    rules: Option<&'a mut Vec<RuleFiring>>,
 }
 
 impl Compiler<'_> {
@@ -433,6 +487,12 @@ impl Compiler<'_> {
             .collect();
         if !renames.is_empty() {
             cur = mgr.replace_domains(cur, &renames)?;
+            if let Some(rs) = self.rules.as_deref_mut() {
+                rs.push(RuleFiring {
+                    rule: RewriteRule::R2JoinRename,
+                    count: renames.len() as u64,
+                });
+            }
         }
         // 3. Equality constraints for repeated variables (and for every
         //    variable under the naive strategy), then project the column

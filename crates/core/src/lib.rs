@@ -63,6 +63,7 @@ pub mod ordering;
 pub mod parallel;
 pub mod registry;
 pub mod sqlgen;
+pub mod telemetry;
 
 pub use checker::{CheckReport, Checker, CheckerOptions, Method};
 pub use error::{CoreError, Result};
@@ -70,3 +71,6 @@ pub use index::{IndexSnapshot, LogicalDatabase};
 pub use ordering::OrderingStrategy;
 pub use parallel::{IndexTransfer, ParallelChecker};
 pub use registry::ConstraintRegistry;
+pub use telemetry::{
+    CheckTrace, FleetTelemetry, RewriteRule, RuleFiring, RunMetrics, WorkerTelemetry,
+};

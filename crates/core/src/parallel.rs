@@ -38,7 +38,8 @@
 use crate::checker::{CheckReport, Checker, CheckerOptions};
 use crate::error::{CoreError, Result};
 use crate::index::IndexSnapshot;
-use relcheck_bdd::BddError;
+use crate::telemetry::{FleetTelemetry, WorkerTelemetry};
+use relcheck_bdd::{BddError, StatsDelta};
 use relcheck_logic::Formula;
 use relcheck_relstore::Database;
 use std::collections::HashSet;
@@ -101,6 +102,17 @@ impl ParallelChecker {
         &self,
         constraints: &[(String, Formula)],
     ) -> Result<Vec<(String, CheckReport)>> {
+        Ok(self.check_all_telemetry(constraints)?.0)
+    }
+
+    /// [`ParallelChecker::check_all`] plus the merged lane-level telemetry
+    /// (see [`FleetTelemetry`]): per-worker BDD-work deltas in
+    /// deterministic batch order, with fleet totals that equal the
+    /// per-worker sum by construction.
+    pub fn check_all_telemetry(
+        &self,
+        constraints: &[(String, Formula)],
+    ) -> Result<(Vec<(String, CheckReport)>, FleetTelemetry)> {
         match self.transfer {
             IndexTransfer::Rebuild => run(
                 &self.db,
@@ -112,7 +124,7 @@ impl ParallelChecker {
             ),
             IndexTransfer::Snapshot => {
                 let mut coordinator = Checker::new(self.db.clone(), self.opts);
-                coordinator.check_all_parallel(constraints, self.threads)
+                coordinator.check_all_parallel_telemetry(constraints, self.threads)
             }
         }
     }
@@ -168,8 +180,16 @@ pub(crate) fn partition(constraints: &[(String, Formula)], threads: usize) -> Ve
 }
 
 /// What one worker lane hands back: the completed reports (tagged with
-/// their constraint index) plus the first error, if any, tagged likewise.
-type LaneResult = (Vec<(usize, CheckReport)>, Option<(usize, CoreError)>);
+/// their constraint index), the lane's BDD-work totals, and the first
+/// error, if any, tagged likewise.
+struct LaneResult {
+    reports: Vec<(usize, CheckReport)>,
+    /// All BDD work in the lane's private manager, imports included.
+    bdd: StatsDelta,
+    peak_nodes: usize,
+    depth_hwm: u32,
+    err: Option<(usize, CoreError)>,
+}
 
 /// One worker lane: a private checker over a database clone, seeded with
 /// the coordinator's SQL-only set and any snapshots its batch reads.
@@ -184,6 +204,19 @@ fn run_batch(
     batch: &[usize],
 ) -> LaneResult {
     let mut ck = Checker::new(db.clone(), opts);
+    // Baseline before imports, so the lane's delta owns its index-transfer
+    // work and fleet totals stay an honest sum of everything done.
+    let baseline = ck.logical_db().manager().stats();
+    let lane_result = |ck: &Checker, reports, err| {
+        let after = ck.logical_db().manager().stats();
+        LaneResult {
+            reports,
+            bdd: after.delta_since(&baseline),
+            peak_nodes: after.peak_nodes,
+            depth_hwm: after.depth_hwm,
+            err,
+        }
+    };
     for name in sql_only {
         ck.mark_sql_only(name);
     }
@@ -205,7 +238,7 @@ fn run_batch(
                     ck.logical_db_mut().gc();
                     ck.mark_sql_only(&snap.relation);
                 }
-                other => return (Vec::new(), Some((batch[0], other))),
+                other => return lane_result(&ck, Vec::new(), Some((batch[0], other))),
             }
         }
     }
@@ -213,10 +246,10 @@ fn run_batch(
     for &i in batch {
         match ck.check(&constraints[i].1) {
             Ok(report) => out.push((i, report)),
-            Err(e) => return (out, Some((i, e))),
+            Err(e) => return lane_result(&ck, out, Some((i, e))),
         }
     }
-    (out, None)
+    lane_result(&ck, out, None)
 }
 
 /// Fan a constraint set out over scoped worker threads and merge the
@@ -230,7 +263,7 @@ pub(crate) fn run(
     snapshots: &[IndexSnapshot],
     constraints: &[(String, Formula)],
     threads: usize,
-) -> Result<Vec<(String, CheckReport)>> {
+) -> Result<(Vec<(String, CheckReport)>, FleetTelemetry)> {
     let batches = partition(constraints, threads);
     let results: Vec<LaneResult> = std::thread::scope(|s| {
         let handles: Vec<_> = batches
@@ -246,20 +279,30 @@ pub(crate) fn run(
     });
     let mut merged: Vec<Option<CheckReport>> = vec![None; constraints.len()];
     let mut first_err: Option<(usize, CoreError)> = None;
-    for (reports, err) in results {
-        for (i, r) in reports {
+    let mut workers = Vec::with_capacity(results.len());
+    for (lane, result) in results.into_iter().enumerate() {
+        for (i, r) in result.reports {
             merged[i] = Some(r);
         }
-        if let Some((at, e)) = err {
+        if let Some((at, e)) = result.err {
             if first_err.as_ref().is_none_or(|(best, _)| at < *best) {
                 first_err = Some((at, e));
             }
         }
+        // Lanes come back in batch order (the spawn order), so worker
+        // numbering is deterministic regardless of thread scheduling.
+        workers.push(WorkerTelemetry {
+            worker: lane,
+            constraints: batches[lane].clone(),
+            bdd: result.bdd,
+            peak_nodes: result.peak_nodes,
+            depth_hwm: result.depth_hwm,
+        });
     }
     if let Some((_, e)) = first_err {
         return Err(e);
     }
-    Ok(constraints
+    let reports = constraints
         .iter()
         .zip(merged)
         .map(|((name, _), r)| {
@@ -268,7 +311,8 @@ pub(crate) fn run(
                 r.expect("every constraint assigned to exactly one batch"),
             )
         })
-        .collect())
+        .collect();
+    Ok((reports, FleetTelemetry::from_workers(workers)))
 }
 
 #[cfg(test)]

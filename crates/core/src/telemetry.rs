@@ -1,0 +1,993 @@
+//! End-to-end telemetry: per-constraint traces, lane aggregation, and the
+//! stable metrics JSON schema.
+//!
+//! The paper's argument is that logical indices let the checker *decide*
+//! where time goes — BDD vs SQL fallback, which rewrite rules fired, how
+//! the ordering strategy shaped node counts. This module makes those
+//! decisions observable:
+//!
+//! * [`CheckTrace`] — what one [`crate::checker::Checker::check`] call did:
+//!   phase timings, rewrite-rule firings (R1–R4, in application order),
+//!   index build-vs-reuse, the BDD-vs-SQL routing decision with the
+//!   node-budget reason on fallback, and the [`StatsDelta`] of BDD work.
+//! * [`FleetTelemetry`] — lane-level aggregation across
+//!   [`crate::parallel`] workers, merged deterministically (workers in
+//!   batch order, constraint indices in input order), with fleet totals
+//!   that are exactly the sum of the per-worker counters.
+//! * [`RunMetrics`] — the machine-readable report emitted by
+//!   `relcheck run --metrics <path.json>` and the bench binaries. The
+//!   schema is documented in `DESIGN.md` and validated by
+//!   [`validate_metrics_json`] (used by `relcheck metrics-check` and the
+//!   CI smoke step). Everything here is std-only: the writer and the
+//!   parser are hand-rolled.
+//!
+//! Overhead discipline: counters are plain integers maintained by
+//! `relcheck-bdd` unconditionally; everything that allocates or reads the
+//! clock is gated on `CheckerOptions::telemetry`.
+
+use crate::checker::Method;
+use relcheck_bdd::{OpKind, StatsDelta};
+use std::time::Duration;
+
+/// The rewrite rules of the paper's Section 4 pipeline, numbered as the
+/// telemetry schema reports them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewriteRule {
+    /// R1 — leading-quantifier-block elimination (§4.1): the outer ∀/∃
+    /// block is dropped and the check becomes an O(1) validity /
+    /// satisfiability test. Count = number of binders stripped.
+    R1LeadingBlock,
+    /// R2 — rename-based equi-join (§4.2): a relation atom's columns are
+    /// renamed into query domains instead of conjoining equality BDDs.
+    /// One firing per atom, count = number of non-identity renames.
+    R2JoinRename,
+    /// R3 — quantifier pull-up / prenex conversion (§4.3, Equations 3–4).
+    /// Count = length of the resulting quantifier prefix.
+    R3PrenexPullup,
+    /// R4 — universal push-down over conjunction (Rule 5): count = number
+    /// of ∀ blocks actually distributed across a conjunction.
+    R4ForallPushdown,
+}
+
+impl RewriteRule {
+    /// Stable machine-readable name (`"R1"` … `"R4"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RewriteRule::R1LeadingBlock => "R1",
+            RewriteRule::R2JoinRename => "R2",
+            RewriteRule::R3PrenexPullup => "R3",
+            RewriteRule::R4ForallPushdown => "R4",
+        }
+    }
+}
+
+/// One rewrite-rule firing, recorded in application order. Only firings
+/// with `count > 0` are recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleFiring {
+    /// Which rule fired.
+    pub rule: RewriteRule,
+    /// Rule-specific magnitude (see [`RewriteRule`] variants).
+    pub count: u64,
+}
+
+/// How a referenced relation's index was obtained for this check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexProvenance {
+    /// Built during this check (first reference).
+    Built,
+    /// Already present in the manager; reused.
+    Reused,
+    /// Over the node budget (now or previously): permanently SQL-only.
+    SqlOnly,
+}
+
+impl IndexProvenance {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexProvenance::Built => "built",
+            IndexProvenance::Reused => "reused",
+            IndexProvenance::SqlOnly => "sql_only",
+        }
+    }
+}
+
+/// Index provenance for one relation referenced by a check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEvent {
+    /// Relation name.
+    pub relation: String,
+    /// Build vs reuse vs budget-out.
+    pub provenance: IndexProvenance,
+}
+
+/// Why the BDD path was not (or could not be) taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// BDD construction aborted on the live-node budget (the paper's
+    /// size-threshold strategy).
+    NodeLimit {
+        /// The configured budget.
+        limit: usize,
+        /// Live nodes at the abort.
+        live: usize,
+    },
+    /// A referenced relation is SQL-only (its index busted the budget).
+    UnindexedRelation,
+}
+
+/// Wall-clock phase breakdown of one check (captured only with telemetry
+/// enabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Ensuring every referenced index exists (build or reuse).
+    pub index: Duration,
+    /// Compile + decide (BDD path and/or SQL fallback).
+    pub eval: Duration,
+    /// Whole check, including post-check GC.
+    pub total: Duration,
+}
+
+/// Structured trace of one `Checker::check` call. Attached to
+/// [`crate::checker::CheckReport::metrics`] when
+/// `CheckerOptions::telemetry` is set.
+#[derive(Debug, Clone)]
+pub struct CheckTrace {
+    /// The routing decision (mirrors `CheckReport::method`, so the trace
+    /// is self-contained).
+    pub method: Method,
+    /// Rewrite-rule firings in application order (R3 prenex, R1 strip,
+    /// R4 push-down, then R2 per compiled atom). Empty on the SQL path.
+    pub rules: Vec<RuleFiring>,
+    /// Per-relation index provenance, in reference order.
+    pub index_events: Vec<IndexEvent>,
+    /// Why the BDD path was abandoned, if it was.
+    pub fallback: Option<FallbackReason>,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+    /// BDD work performed by this check (monotone-counter delta).
+    pub bdd: StatsDelta,
+}
+
+/// Telemetry for one parallel lane (or the single lane of a serial pass).
+#[derive(Debug, Clone)]
+pub struct WorkerTelemetry {
+    /// Lane number, in deterministic batch order.
+    pub worker: usize,
+    /// Input indices of the constraints this lane checked, ascending.
+    pub constraints: Vec<usize>,
+    /// All BDD work in the lane (index import/build + checks).
+    pub bdd: StatsDelta,
+    /// The lane manager's live-node high-water mark.
+    pub peak_nodes: usize,
+    /// The lane manager's recursion-depth high-water mark.
+    pub depth_hwm: u32,
+}
+
+/// Deterministic merged telemetry for a whole `check_all_parallel` run.
+#[derive(Debug, Clone)]
+pub struct FleetTelemetry {
+    /// Per-worker telemetry, in batch order.
+    pub workers: Vec<WorkerTelemetry>,
+    /// Sum of every worker's [`StatsDelta`] — exactly, by construction.
+    pub total: StatsDelta,
+}
+
+impl FleetTelemetry {
+    /// Assemble a fleet from its lanes, computing the total.
+    pub fn from_workers(workers: Vec<WorkerTelemetry>) -> FleetTelemetry {
+        let mut total = StatsDelta::default();
+        for w in &workers {
+            total += w.bdd;
+        }
+        FleetTelemetry { workers, total }
+    }
+}
+
+/// Metrics for one named constraint, as serialized.
+#[derive(Debug, Clone)]
+pub struct ConstraintMetrics {
+    /// Constraint name.
+    pub name: String,
+    /// Verdict.
+    pub holds: bool,
+    /// Decision path.
+    pub method: Method,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// The structured trace, when telemetry was enabled.
+    pub trace: Option<CheckTrace>,
+}
+
+/// The top-level machine-readable report (`schema_version` 1). See
+/// `DESIGN.md` for field meanings and stability guarantees.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Worker threads the run was configured with.
+    pub threads: usize,
+    /// Whether per-check traces were captured.
+    pub telemetry_enabled: bool,
+    /// Per-constraint metrics, in input order.
+    pub constraints: Vec<ConstraintMetrics>,
+    /// Lane-level aggregation, when the run went through the parallel
+    /// front-end (serial passes report a single lane).
+    pub fleet: Option<FleetTelemetry>,
+}
+
+impl RunMetrics {
+    /// Assemble a report from named check reports (input order preserved).
+    pub fn from_reports(
+        reports: &[(String, crate::checker::CheckReport)],
+        fleet: Option<FleetTelemetry>,
+        threads: usize,
+    ) -> RunMetrics {
+        let telemetry_enabled = reports.iter().any(|(_, r)| r.metrics.is_some());
+        RunMetrics {
+            threads,
+            telemetry_enabled,
+            constraints: reports
+                .iter()
+                .map(|(name, r)| ConstraintMetrics {
+                    name: name.clone(),
+                    holds: r.holds,
+                    method: r.method,
+                    elapsed: r.elapsed,
+                    trace: r.metrics.clone(),
+                })
+                .collect(),
+            fleet,
+        }
+    }
+
+    /// Render the schema-version-1 JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.obj_open();
+        w.key("schema_version");
+        w.raw("1");
+        w.key("tool");
+        w.string("relcheck");
+        w.key("threads");
+        w.raw(&self.threads.to_string());
+        w.key("telemetry_enabled");
+        w.raw(if self.telemetry_enabled {
+            "true"
+        } else {
+            "false"
+        });
+        w.key("constraints");
+        w.arr_open();
+        for c in &self.constraints {
+            write_constraint(&mut w, c);
+        }
+        w.arr_close();
+        w.key("fleet");
+        match &self.fleet {
+            None => w.raw("null"),
+            Some(fl) => write_fleet(&mut w, fl),
+        }
+        w.obj_close();
+        w.finish()
+    }
+}
+
+fn method_name(m: Method) -> &'static str {
+    match m {
+        Method::Bdd => "bdd",
+        Method::SqlFallback => "sql_fallback",
+        Method::BruteForce => "brute_force",
+    }
+}
+
+fn write_constraint(w: &mut JsonWriter, c: &ConstraintMetrics) {
+    w.obj_open();
+    w.key("name");
+    w.string(&c.name);
+    w.key("holds");
+    w.raw(if c.holds { "true" } else { "false" });
+    w.key("method");
+    w.string(method_name(c.method));
+    w.key("elapsed_ns");
+    w.raw(&(c.elapsed.as_nanos() as u64).to_string());
+    w.key("trace");
+    match &c.trace {
+        None => w.raw("null"),
+        Some(t) => write_trace(w, t),
+    }
+    w.obj_close();
+}
+
+fn write_trace(w: &mut JsonWriter, t: &CheckTrace) {
+    w.obj_open();
+    w.key("method");
+    w.string(method_name(t.method));
+    w.key("rules");
+    w.arr_open();
+    for r in &t.rules {
+        w.obj_open();
+        w.key("rule");
+        w.string(r.rule.name());
+        w.key("count");
+        w.raw(&r.count.to_string());
+        w.obj_close();
+    }
+    w.arr_close();
+    w.key("index_events");
+    w.arr_open();
+    for e in &t.index_events {
+        w.obj_open();
+        w.key("relation");
+        w.string(&e.relation);
+        w.key("provenance");
+        w.string(e.provenance.name());
+        w.obj_close();
+    }
+    w.arr_close();
+    w.key("fallback");
+    match t.fallback {
+        None => w.raw("null"),
+        Some(FallbackReason::NodeLimit { limit, live }) => {
+            w.obj_open();
+            w.key("reason");
+            w.string("node_limit");
+            w.key("limit");
+            w.raw(&limit.to_string());
+            w.key("live");
+            w.raw(&live.to_string());
+            w.obj_close();
+        }
+        Some(FallbackReason::UnindexedRelation) => {
+            w.obj_open();
+            w.key("reason");
+            w.string("unindexed_relation");
+            w.obj_close();
+        }
+    }
+    w.key("timings");
+    w.obj_open();
+    w.key("index_ns");
+    w.raw(&(t.timings.index.as_nanos() as u64).to_string());
+    w.key("eval_ns");
+    w.raw(&(t.timings.eval.as_nanos() as u64).to_string());
+    w.key("total_ns");
+    w.raw(&(t.timings.total.as_nanos() as u64).to_string());
+    w.obj_close();
+    w.key("bdd");
+    write_delta(w, &t.bdd);
+    w.obj_close();
+}
+
+fn write_delta(w: &mut JsonWriter, d: &StatsDelta) {
+    w.obj_open();
+    w.key("created_nodes");
+    w.raw(&d.created_nodes.to_string());
+    w.key("cache_hits");
+    w.raw(&d.cache_hits.to_string());
+    w.key("cache_misses");
+    w.raw(&d.cache_misses.to_string());
+    w.key("gc_runs");
+    w.raw(&d.gc_runs.to_string());
+    w.key("ops");
+    w.arr_open();
+    for (i, kind) in OpKind::ALL.iter().enumerate() {
+        let s = d.ops[i];
+        w.obj_open();
+        w.key("op");
+        w.string(kind.name());
+        w.key("calls");
+        w.raw(&s.calls.to_string());
+        w.key("cache_hits");
+        w.raw(&s.cache_hits.to_string());
+        w.key("cache_misses");
+        w.raw(&s.cache_misses.to_string());
+        w.obj_close();
+    }
+    w.arr_close();
+    w.obj_close();
+}
+
+fn write_fleet(w: &mut JsonWriter, fl: &FleetTelemetry) {
+    w.obj_open();
+    w.key("workers");
+    w.arr_open();
+    for wk in &fl.workers {
+        w.obj_open();
+        w.key("worker");
+        w.raw(&wk.worker.to_string());
+        w.key("constraints");
+        w.arr_open();
+        for &i in &wk.constraints {
+            w.raw(&i.to_string());
+        }
+        w.arr_close();
+        w.key("peak_nodes");
+        w.raw(&wk.peak_nodes.to_string());
+        w.key("depth_hwm");
+        w.raw(&wk.depth_hwm.to_string());
+        w.key("bdd");
+        write_delta(w, &wk.bdd);
+        w.obj_close();
+    }
+    w.arr_close();
+    w.key("total");
+    write_delta(w, &fl.total);
+    w.obj_close();
+}
+
+/// A tiny JSON emitter that tracks commas so callers write keys and values
+/// in order without bookkeeping.
+struct JsonWriter {
+    out: String,
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    fn new() -> JsonWriter {
+        JsonWriter {
+            out: String::new(),
+            need_comma: vec![false],
+        }
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(top) = self.need_comma.last_mut() {
+            if *top {
+                self.out.push(',');
+            }
+            *top = true;
+        }
+    }
+
+    fn obj_open(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.need_comma.push(false);
+    }
+
+    fn obj_close(&mut self) {
+        self.need_comma.pop();
+        self.out.push('}');
+    }
+
+    fn arr_open(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.need_comma.push(false);
+    }
+
+    fn arr_close(&mut self) {
+        self.need_comma.pop();
+        self.out.push(']');
+    }
+
+    fn key(&mut self, k: &str) {
+        self.pre_value();
+        self.out.push('"');
+        self.out.push_str(k);
+        self.out.push_str("\":");
+        // The value that follows must not emit another comma.
+        if let Some(top) = self.need_comma.last_mut() {
+            *top = false;
+        }
+    }
+
+    fn string(&mut self, s: &str) {
+        self.pre_value();
+        self.out.push('"');
+        for ch in s.chars() {
+            match ch {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn raw(&mut self, v: &str) {
+        self.pre_value();
+        self.out.push_str(v);
+    }
+
+    fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// A parsed JSON value — just enough to validate the metrics schema
+/// offline (std-only; used by `relcheck metrics-check` and the test
+/// suite).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (counters; anything without `.`/`e`).
+    Int(i64),
+    /// A non-integer number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document (strict enough for round-tripping our own
+/// output; rejects trailing garbage).
+pub fn parse_json(text: &str) -> std::result::Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing input at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> std::result::Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".to_owned()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'u') => {
+                                let hex =
+                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                s.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 character.
+                        let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                        let ch = rest.chars().next().unwrap();
+                        s.push(ch);
+                        *pos += ch.len_utf8();
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            if b.get(*pos) == Some(&b'-') {
+                *pos += 1;
+            }
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            if s.is_empty() {
+                return Err(format!("unexpected character at byte {start}"));
+            }
+            if s.bytes().all(|c| c.is_ascii_digit() || c == b'-') {
+                s.parse::<i64>().map(Json::Int).map_err(|e| e.to_string())
+            } else {
+                s.parse::<f64>().map(Json::Float).map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+/// The op-kind names a `bdd` block must list, in order.
+fn op_kind_names() -> Vec<&'static str> {
+    OpKind::ALL.iter().map(|k| k.name()).collect()
+}
+
+fn check_delta_block(v: &Json, at: &str) -> std::result::Result<(), String> {
+    for field in ["created_nodes", "cache_hits", "cache_misses", "gc_runs"] {
+        v.get(field)
+            .and_then(Json::as_int)
+            .ok_or(format!("{at}: missing integer field {field:?}"))?;
+    }
+    let ops = v
+        .get("ops")
+        .and_then(Json::as_arr)
+        .ok_or(format!("{at}: missing array field \"ops\""))?;
+    let names = op_kind_names();
+    if ops.len() != names.len() {
+        return Err(format!(
+            "{at}: ops must list all {} kinds, got {}",
+            names.len(),
+            ops.len()
+        ));
+    }
+    for (o, want) in ops.iter().zip(&names) {
+        let got = o
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or(format!("{at}: op entry missing \"op\""))?;
+        if got != *want {
+            return Err(format!("{at}: expected op {want:?}, got {got:?}"));
+        }
+        let calls = o
+            .get("calls")
+            .and_then(Json::as_int)
+            .ok_or(format!("{at}: op {got:?} missing \"calls\""))?;
+        let hits = o
+            .get("cache_hits")
+            .and_then(Json::as_int)
+            .ok_or(format!("{at}: op {got:?} missing \"cache_hits\""))?;
+        let misses = o
+            .get("cache_misses")
+            .and_then(Json::as_int)
+            .ok_or(format!("{at}: op {got:?} missing \"cache_misses\""))?;
+        if calls != hits + misses {
+            return Err(format!(
+                "{at}: op {got:?} violates calls == hits + misses ({calls} != {hits} + {misses})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn delta_field(v: &Json, field: &str) -> i64 {
+    v.get(field).and_then(Json::as_int).unwrap_or(0)
+}
+
+/// Validate a metrics document against the schema: required fields and
+/// types, per-op conservation laws, and — when a fleet section is present
+/// — that the fleet totals equal the sum of the per-worker counters.
+pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
+    let doc = parse_json(text)?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_int)
+        .ok_or("missing integer field \"schema_version\"")?;
+    if version != 1 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    doc.get("threads")
+        .and_then(Json::as_int)
+        .ok_or("missing integer field \"threads\"")?;
+    let constraints = doc
+        .get("constraints")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"constraints\"")?;
+    for (i, c) in constraints.iter().enumerate() {
+        let at = format!("constraints[{i}]");
+        c.get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("{at}: missing string field \"name\""))?;
+        if !matches!(c.get("holds"), Some(Json::Bool(_))) {
+            return Err(format!("{at}: missing boolean field \"holds\""));
+        }
+        let method = c
+            .get("method")
+            .and_then(Json::as_str)
+            .ok_or(format!("{at}: missing string field \"method\""))?;
+        if !["bdd", "sql_fallback", "brute_force"].contains(&method) {
+            return Err(format!("{at}: unknown method {method:?}"));
+        }
+        c.get("elapsed_ns")
+            .and_then(Json::as_int)
+            .ok_or(format!("{at}: missing integer field \"elapsed_ns\""))?;
+        match c.get("trace") {
+            Some(Json::Null) | None => {}
+            Some(t) => {
+                let rules = t
+                    .get("rules")
+                    .and_then(Json::as_arr)
+                    .ok_or(format!("{at}.trace: missing array field \"rules\""))?;
+                for r in rules {
+                    let name = r
+                        .get("rule")
+                        .and_then(Json::as_str)
+                        .ok_or(format!("{at}.trace: rule entry missing \"rule\""))?;
+                    if !["R1", "R2", "R3", "R4"].contains(&name) {
+                        return Err(format!("{at}.trace: unknown rule {name:?}"));
+                    }
+                    let count = r
+                        .get("count")
+                        .and_then(Json::as_int)
+                        .ok_or(format!("{at}.trace: rule entry missing \"count\""))?;
+                    if count <= 0 {
+                        return Err(format!("{at}.trace: rule {name:?} has count {count} <= 0"));
+                    }
+                }
+                let events = t
+                    .get("index_events")
+                    .and_then(Json::as_arr)
+                    .ok_or(format!("{at}.trace: missing array field \"index_events\""))?;
+                for e in events {
+                    let p = e
+                        .get("provenance")
+                        .and_then(Json::as_str)
+                        .ok_or(format!("{at}.trace: index event missing \"provenance\""))?;
+                    if !["built", "reused", "sql_only"].contains(&p) {
+                        return Err(format!("{at}.trace: unknown provenance {p:?}"));
+                    }
+                }
+                let timings = t
+                    .get("timings")
+                    .ok_or(format!("{at}.trace: missing field \"timings\""))?;
+                for f in ["index_ns", "eval_ns", "total_ns"] {
+                    timings
+                        .get(f)
+                        .and_then(Json::as_int)
+                        .ok_or(format!("{at}.trace.timings: missing integer {f:?}"))?;
+                }
+                let bdd = t
+                    .get("bdd")
+                    .ok_or(format!("{at}.trace: missing field \"bdd\""))?;
+                check_delta_block(bdd, &format!("{at}.trace.bdd"))?;
+            }
+        }
+    }
+    match doc.get("fleet") {
+        Some(Json::Null) | None => {}
+        Some(fleet) => {
+            let workers = fleet
+                .get("workers")
+                .and_then(Json::as_arr)
+                .ok_or("fleet: missing array field \"workers\"")?;
+            let total = fleet.get("total").ok_or("fleet: missing field \"total\"")?;
+            check_delta_block(total, "fleet.total")?;
+            let mut sums: Vec<(String, i64)> = Vec::new();
+            for (wi, w) in workers.iter().enumerate() {
+                let at = format!("fleet.workers[{wi}]");
+                let bdd = w.get("bdd").ok_or(format!("{at}: missing field \"bdd\""))?;
+                check_delta_block(bdd, &format!("{at}.bdd"))?;
+                for f in ["created_nodes", "cache_hits", "cache_misses", "gc_runs"] {
+                    let v = delta_field(bdd, f);
+                    match sums.iter_mut().find(|(k, _)| k == f) {
+                        Some((_, acc)) => *acc += v,
+                        None => sums.push((f.to_owned(), v)),
+                    }
+                }
+            }
+            for (f, sum) in &sums {
+                let t = delta_field(total, f);
+                if t != *sum {
+                    return Err(format!("fleet.total.{f} = {t} but per-worker sum is {sum}"));
+                }
+            }
+            // Per-op totals must also be the worker sums.
+            if let Some(total_ops) = total.get("ops").and_then(Json::as_arr) {
+                for (ki, op) in total_ops.iter().enumerate() {
+                    let name = op.get("op").and_then(Json::as_str).unwrap_or("?");
+                    for f in ["calls", "cache_hits", "cache_misses"] {
+                        let t = delta_field(op, f);
+                        let mut sum = 0i64;
+                        for w in workers {
+                            if let Some(ops) = w
+                                .get("bdd")
+                                .and_then(|b| b.get("ops"))
+                                .and_then(Json::as_arr)
+                            {
+                                sum += delta_field(&ops[ki], f);
+                            }
+                        }
+                        if t != sum {
+                            return Err(format!(
+                                "fleet.total ops[{name}].{f} = {t} but per-worker sum is {sum}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let text = r#"{"a": [1, 2.5, "x\n", true, null], "b": {"c": -7}}"#;
+        let v = parse_json(text).unwrap();
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_int(), Some(-7));
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_int(), Some(1));
+        assert_eq!(arr[1], Json::Float(2.5));
+        assert_eq!(arr[2].as_str(), Some("x\n"));
+        assert_eq!(arr[3], Json::Bool(true));
+        assert_eq!(arr[4], Json::Null);
+    }
+
+    #[test]
+    fn json_rejects_trailing_garbage() {
+        assert!(parse_json("{} extra").is_err());
+        assert!(parse_json("[1,").is_err());
+        assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn writer_escapes_strings() {
+        let mut w = JsonWriter::new();
+        w.obj_open();
+        w.key("k");
+        w.string("a\"b\\c\nd");
+        w.obj_close();
+        let text = w.finish();
+        let v = parse_json(&text).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn empty_metrics_document_validates() {
+        let m = RunMetrics {
+            threads: 1,
+            telemetry_enabled: false,
+            constraints: Vec::new(),
+            fleet: None,
+        };
+        validate_metrics_json(&m.to_json()).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_bad_fleet_totals() {
+        let wk = WorkerTelemetry {
+            worker: 0,
+            constraints: vec![0],
+            bdd: StatsDelta {
+                created_nodes: 5,
+                ..Default::default()
+            },
+            peak_nodes: 10,
+            depth_hwm: 3,
+        };
+        let mut fleet = FleetTelemetry::from_workers(vec![wk]);
+        let good = RunMetrics {
+            threads: 2,
+            telemetry_enabled: true,
+            constraints: Vec::new(),
+            fleet: Some(fleet.clone()),
+        };
+        validate_metrics_json(&good.to_json()).unwrap();
+        fleet.total.created_nodes += 1;
+        let bad = RunMetrics {
+            threads: 2,
+            telemetry_enabled: true,
+            constraints: Vec::new(),
+            fleet: Some(fleet),
+        };
+        let err = validate_metrics_json(&bad.to_json()).unwrap_err();
+        assert!(err.contains("created_nodes"), "{err}");
+    }
+}

@@ -273,6 +273,62 @@ fn worker_errors_surface_deterministically() {
 }
 
 #[test]
+fn parallel_rule_firings_match_serial_exactly() {
+    // Differential telemetry test: not just the verdicts, but the exact
+    // per-constraint R1–R4 firing sequences (rule identity AND count) must
+    // be identical between the serial pass and every parallel
+    // configuration — the rewrite pipeline is deterministic per
+    // constraint, so lane placement must not change what it does.
+    // Timings are deliberately excluded from the comparison.
+    let db = customer_db(1_500, 0.01);
+    let battery = customer_battery();
+    let opts = CheckerOptions {
+        telemetry: true,
+        ..Default::default()
+    };
+    let firing_seq = |reports: &[(String, relcheck_core::checker::CheckReport)]| {
+        reports
+            .iter()
+            .map(|(n, r)| {
+                let trace = r.metrics.as_ref().expect("telemetry enabled");
+                (
+                    n.clone(),
+                    trace
+                        .rules
+                        .iter()
+                        .map(|f| (f.rule, f.count))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let mut serial = Checker::new(db.clone(), opts);
+    let want_reports = serial.check_all(&battery).unwrap();
+    let want = firing_seq(&want_reports);
+    // The battery must actually fire rules for the test to mean anything.
+    assert!(
+        want.iter().any(|(_, rs)| !rs.is_empty()),
+        "fixture fires no rewrite rules: {want:?}"
+    );
+    for threads in [1usize, 2, 8] {
+        for transfer in [IndexTransfer::Snapshot, IndexTransfer::Rebuild] {
+            let pc = ParallelChecker::new(db.clone(), opts, threads).with_transfer(transfer);
+            let got_reports = pc.check_all(&battery).unwrap();
+            assert_reports_match(
+                &want_reports,
+                &got_reports,
+                &format!("{transfer:?}/threads={threads}"),
+            );
+            assert_eq!(
+                want,
+                firing_seq(&got_reports),
+                "{transfer:?}/threads={threads}: rule firings diverge from serial"
+            );
+        }
+    }
+}
+
+#[test]
 fn more_threads_than_constraints_is_fine() {
     let db = customer_db(300, 0.0);
     let battery = customer_battery();

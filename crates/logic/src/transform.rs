@@ -252,18 +252,26 @@ pub fn strip_leading_block(p: &Prenex) -> (CheckMode, Prenex) {
 /// standardize-apart) may conservatively reject it. Consumers should infer
 /// sorts **before** pushing down, as the compiler does.
 pub fn push_forall_down(f: &Formula) -> Formula {
+    push_forall_down_counted(f, &mut 0)
+}
+
+/// [`push_forall_down`] with telemetry: `events` is incremented once per
+/// universal block actually distributed across a conjunction (the rule
+/// firing count the checker's rewrite traces report).
+pub fn push_forall_down_counted(f: &Formula, events: &mut u64) -> Formula {
     match f {
         Formula::Forall(vs, g) => {
-            let body = push_forall_down(g);
+            let body = push_forall_down_counted(g, events);
             match body {
                 Formula::And(parts) => {
+                    *events += 1;
                     let new_parts = parts
                         .into_iter()
                         .map(|p| {
                             let free: HashSet<String> = p.free_vars().into_iter().collect();
                             let mine: Vec<String> =
                                 vs.iter().filter(|v| free.contains(*v)).cloned().collect();
-                            let p = push_forall_down(&p);
+                            let p = push_forall_down_counted(&p, events);
                             if mine.is_empty() {
                                 p
                             } else {
@@ -276,13 +284,24 @@ pub fn push_forall_down(f: &Formula) -> Formula {
                 other => Formula::Forall(vs.clone(), Box::new(other)),
             }
         }
-        Formula::Exists(vs, g) => Formula::Exists(vs.clone(), Box::new(push_forall_down(g))),
-        Formula::Not(g) => Formula::Not(Box::new(push_forall_down(g))),
-        Formula::And(fs) => Formula::And(fs.iter().map(push_forall_down).collect()),
-        Formula::Or(fs) => Formula::Or(fs.iter().map(push_forall_down).collect()),
-        Formula::Implies(a, b) => {
-            Formula::Implies(Box::new(push_forall_down(a)), Box::new(push_forall_down(b)))
+        Formula::Exists(vs, g) => {
+            Formula::Exists(vs.clone(), Box::new(push_forall_down_counted(g, events)))
         }
+        Formula::Not(g) => Formula::Not(Box::new(push_forall_down_counted(g, events))),
+        Formula::And(fs) => Formula::And(
+            fs.iter()
+                .map(|g| push_forall_down_counted(g, events))
+                .collect(),
+        ),
+        Formula::Or(fs) => Formula::Or(
+            fs.iter()
+                .map(|g| push_forall_down_counted(g, events))
+                .collect(),
+        ),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(push_forall_down_counted(a, events)),
+            Box::new(push_forall_down_counted(b, events)),
+        ),
         other => other.clone(),
     }
 }

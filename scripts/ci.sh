@@ -35,6 +35,22 @@ if [ "$QUICK" -eq 0 ]; then
     cargo test -q --workspace
 fi
 
+step "metrics smoke: relcheck run --metrics on testdata/ + schema validation"
+# phones.spec contains deliberate violations, so `run` exits 1 (violations
+# found). Exit 2 is an operational error and must fail CI.
+METRICS_OUT="$(mktemp /tmp/relcheck-metrics.XXXXXX.json)"
+trap 'rm -f "$METRICS_OUT"' EXIT
+set +e
+cargo run --release --quiet --bin relcheck -- \
+    run testdata/phones.spec --threads 4 --metrics "$METRICS_OUT"
+rc=$?
+set -e
+if [ "$rc" -ge 2 ]; then
+    echo "relcheck run failed operationally (exit $rc)" >&2
+    exit 1
+fi
+cargo run --release --quiet --bin relcheck -- metrics-check "$METRICS_OUT"
+
 step "formatting (cargo fmt --check)"
 cargo fmt --all --check
 

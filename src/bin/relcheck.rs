@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY] [--threads N]
+//!                          [--metrics PATH]
 //! relcheck explain <spec-file> <constraint-name>
+//! relcheck metrics-check <metrics.json>
 //! ```
 //!
 //! The spec file declares CSV-backed tables and named first-order
@@ -13,10 +15,14 @@
 //! Orderings: `prob-converge` (default), `max-inf-gain`, `min-cond-entropy`,
 //! `sifted`, `schema`, `random`. With `--threads N` (N > 1) the constraint
 //! set is checked on N worker threads, each with its own BDD manager;
-//! verdicts are identical to the serial pass.
+//! verdicts are identical to the serial pass. `--metrics PATH` enables
+//! telemetry and writes the machine-readable run report (the schema in
+//! DESIGN.md) to PATH; `metrics-check` validates such a file against the
+//! schema and its conservation laws.
 
 use relcheck::core_::checker::{Checker, CheckerOptions};
 use relcheck::core_::ordering::OrderingStrategy;
+use relcheck::core_::telemetry::{validate_metrics_json, RunMetrics};
 use relcheck::relstore::Database;
 use relcheck::spec::{parse_spec, Spec};
 use std::path::{Path, PathBuf};
@@ -40,8 +46,10 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY] [--threads N]\n  \
-     relcheck explain <spec-file> <constraint-name>"
+    "usage:\n  relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY] [--threads N] \
+     [--metrics PATH]\n  \
+     relcheck explain <spec-file> <constraint-name>\n  \
+     relcheck metrics-check <metrics.json>"
         .to_owned()
 }
 
@@ -50,6 +58,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     match cmd.as_str() {
         "run" => cmd_run(&args[1..]),
         "explain" => cmd_explain(&args[1..]).map(|()| true),
+        "metrics-check" => cmd_metrics_check(&args[1..]).map(|()| true),
         _ => Err(usage()),
     }
 }
@@ -131,30 +140,41 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     if force_sql && threads > 1 {
         return Err("--sql and --threads cannot be combined".to_owned());
     }
+    let metrics_path = flag_value(args, "--metrics").map(str::to_owned);
     let (spec, db) = load(spec_path)?;
     if spec.constraints.is_empty() {
         return Err("spec declares no constraints".to_owned());
     }
     let opts = CheckerOptions {
         ordering,
+        telemetry: metrics_path.is_some(),
         ..Default::default()
     };
     let mut checker = Checker::new(db, opts);
     println!();
-    let reports = if force_sql {
+    let (reports, fleet) = if force_sql {
         spec.constraints
             .iter()
             .map(|c| Ok((c.name.clone(), checker.check_sql(&c.formula)?)))
             .collect::<Result<Vec<_>, relcheck::core_::CoreError>>()
+            .map(|rs| (rs, None))
     } else {
         let constraints: Vec<(String, relcheck::logic::Formula)> = spec
             .constraints
             .iter()
             .map(|c| (c.name.clone(), c.formula.clone()))
             .collect();
-        checker.check_all_parallel(&constraints, threads)
+        checker
+            .check_all_parallel_telemetry(&constraints, threads)
+            .map(|(rs, fleet)| (rs, Some(fleet)))
     }
     .map_err(|e| format!("checking constraints: {e}"))?;
+    if let Some(path) = &metrics_path {
+        let doc = RunMetrics::from_reports(&reports, fleet, threads).to_json();
+        debug_assert!(validate_metrics_json(&doc).is_ok());
+        std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("metrics written to {path}");
+    }
     let mut clean = true;
     let mut violated = Vec::new();
     for (c, (name, report)) in spec.constraints.iter().zip(&reports) {
@@ -194,6 +214,16 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         }
     }
     Ok(clean)
+}
+
+/// Validate a metrics JSON document against the documented schema, its
+/// per-op conservation laws, and the fleet-total = Σ worker invariant.
+fn cmd_metrics_check(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    validate_metrics_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: valid metrics document");
+    Ok(())
 }
 
 fn cmd_explain(args: &[String]) -> Result<(), String> {
