@@ -50,6 +50,7 @@ impl BddManager {
         if let Some(r) = apply_shortcut(op, f, g) {
             return Ok(r);
         }
+        self.budget_check()?;
         self.count_op(OpKind::Apply);
         if let Some(r) = self.cache.get(OpCode::Apply(op_code(op)), f.0, g.0, 0) {
             return Ok(Bdd(r));
@@ -80,6 +81,7 @@ impl BddManager {
         if f.is_true() {
             return Ok(Bdd::FALSE);
         }
+        self.budget_check()?;
         self.count_op(OpKind::Not);
         if let Some(r) = self.cache.get(OpCode::Not, f.0, 0, 0) {
             return Ok(Bdd(r));
@@ -115,6 +117,7 @@ impl BddManager {
         if g.is_true() && h.is_false() {
             return Ok(f);
         }
+        self.budget_check()?;
         self.count_op(OpKind::Ite);
         if let Some(r) = self.cache.get(OpCode::Ite, f.0, g.0, h.0) {
             return Ok(Bdd(r));

@@ -61,6 +61,22 @@ pub enum BddError {
         /// The snapshot variable with no mapping.
         var: u32,
     },
+    /// The wall-clock deadline of the active [`crate::Budget`] passed while
+    /// an operation was in flight. The operation was aborted cooperatively
+    /// at a recursion boundary; the manager remains usable (exactly like a
+    /// node-limit abort) and the caller is expected to escalate down its
+    /// degradation ladder.
+    Deadline {
+        /// Budget steps (memoized recursive calls) taken before the abort.
+        steps: u64,
+    },
+    /// A [`crate::failpoint`] site fired. Only ever produced under an
+    /// explicitly configured fault-injection profile — production runs with
+    /// the registry disabled can never see this variant.
+    FaultInjected {
+        /// The failpoint site that fired (see [`crate::failpoint::SITES`]).
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for BddError {
@@ -97,6 +113,13 @@ impl fmt::Display for BddError {
                     f,
                     "snapshot references variable {var} outside the exported layout"
                 )
+            }
+            BddError::Deadline { steps } => write!(
+                f,
+                "BDD deadline exceeded: operation aborted after {steps} budget steps"
+            ),
+            BddError::FaultInjected { site } => {
+                write!(f, "injected fault at failpoint site '{site}'")
             }
         }
     }

@@ -52,6 +52,7 @@ mod apply;
 mod build;
 mod cache;
 mod error;
+pub mod failpoint;
 pub mod fdd;
 mod hash;
 mod manager;
@@ -63,11 +64,13 @@ mod serialize;
 pub use cache::{OpKind, OP_KINDS};
 pub use error::{BddError, Result};
 pub use fdd::{DomainId, DomainInfo};
-pub use manager::{Bdd, BddManager, GcStats, ManagerStats, OpStats, StatsDelta, Var, NODE_BYTES};
+pub use manager::{
+    Bdd, BddManager, Budget, GcStats, ManagerStats, OpStats, StatsDelta, Var, NODE_BYTES,
+};
 pub use quant::VarSet;
 pub use replace::ReplaceMap;
 pub use sat::SatAssignments;
-pub use serialize::{ExportedBdd, ExportedRelation};
+pub use serialize::{DecodeError, ExportedBdd, ExportedRelation};
 
 /// Binary boolean connectives accepted by [`BddManager::apply`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -68,6 +68,27 @@ pub(crate) struct Node {
     pub(crate) high: u32,
 }
 
+/// A resource budget for BDD operations: the node limit (the paper's
+/// size-threshold fallback trigger) plus an optional wall-clock deadline,
+/// enforced cooperatively at every memoized recursion boundary. Exceeding
+/// the node limit aborts with [`BddError::NodeLimit`]; passing the deadline
+/// aborts with [`BddError::Deadline`]. Either way the in-flight operation
+/// unwinds cleanly through its `Result` chain and the manager stays usable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum live nodes before allocating operations abort.
+    pub node_limit: Option<usize>,
+    /// Wall-clock instant after which in-flight operations abort.
+    pub deadline: Option<std::time::Instant>,
+}
+
+/// How many budget steps pass between wall-clock reads: recursion
+/// boundaries are hit every few hundred nanoseconds, so probing the clock
+/// on every step would dominate; a stride of 256 bounds deadline overshoot
+/// to well under a millisecond while keeping `Instant::now` off the
+/// hot path.
+const DEADLINE_STRIDE: u64 = 256;
+
 /// Statistics returned by [`BddManager::gc`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GcStats {
@@ -186,6 +207,10 @@ pub struct BddManager {
     pub(crate) cache: OpCache,
     num_vars: u32,
     node_limit: Option<usize>,
+    deadline: Option<std::time::Instant>,
+    /// Monotone count of budget probes (one per memoized recursive call).
+    /// Doubles as the deterministic key for the `apply` failpoint site.
+    budget_steps: u64,
     pub(crate) domains: Vec<Domain>,
     pub(crate) varsets: Vec<VarSetData>,
     pub(crate) varset_lookup: FxHashMap<Vec<Var>, u32>,
@@ -235,6 +260,8 @@ impl BddManager {
             cache: OpCache::new(cache_slots),
             num_vars: 0,
             node_limit: None,
+            deadline: None,
+            budget_steps: 0,
             domains: Vec::new(),
             varsets: Vec::new(),
             varset_lookup: FxHashMap::default(),
@@ -283,6 +310,65 @@ impl BddManager {
     /// The configured live-node limit, if any.
     pub fn node_limit(&self) -> Option<usize> {
         self.node_limit
+    }
+
+    /// Arm (or clear) the cooperative wall-clock deadline. Once the instant
+    /// passes, any in-flight memoized operation aborts with
+    /// [`BddError::Deadline`] at its next recursion boundary (checked every
+    /// [`DEADLINE_STRIDE`] steps, so overshoot is bounded and small).
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// The armed deadline, if any.
+    pub fn deadline(&self) -> Option<std::time::Instant> {
+        self.deadline
+    }
+
+    /// Set node limit and deadline together.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.node_limit = budget.node_limit;
+        self.deadline = budget.deadline;
+    }
+
+    /// The budget currently in force.
+    pub fn budget(&self) -> Budget {
+        Budget {
+            node_limit: self.node_limit,
+            deadline: self.deadline,
+        }
+    }
+
+    /// Total budget probes so far (one per memoized recursive call).
+    pub fn budget_steps(&self) -> u64 {
+        self.budget_steps
+    }
+
+    /// The cooperative cancellation probe, called at every memoized
+    /// recursion boundary *before* the call is counted (so an abort never
+    /// breaks the `calls == hits + misses` conservation law). Checks the
+    /// `apply` failpoint site (keyed by the monotone step counter) and,
+    /// every [`DEADLINE_STRIDE`] steps, the wall-clock deadline.
+    #[inline]
+    pub(crate) fn budget_check(&mut self) -> Result<()> {
+        self.budget_steps += 1;
+        if crate::failpoint::enabled()
+            && crate::failpoint::should_fail(crate::failpoint::APPLY, self.budget_steps)
+        {
+            return Err(BddError::FaultInjected {
+                site: crate::failpoint::APPLY,
+            });
+        }
+        if let Some(deadline) = self.deadline {
+            if self.budget_steps.is_multiple_of(DEADLINE_STRIDE)
+                && std::time::Instant::now() >= deadline
+            {
+                return Err(BddError::Deadline {
+                    steps: self.budget_steps,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Number of live (reachable-or-not, but unreclaimed) nodes, excluding

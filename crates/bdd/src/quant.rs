@@ -72,6 +72,7 @@ impl BddManager {
         } else {
             OpCode::Forall
         };
+        self.budget_check()?;
         self.count_op(code.kind());
         if let Some(r) = self.cache.get(code, f.0, vs.0, 0) {
             return Ok(Bdd(r));
@@ -135,6 +136,7 @@ impl BddManager {
         } else {
             OpCode::AppForall(opc)
         };
+        self.budget_check()?;
         self.count_op(code.kind());
         if let Some(r) = self.cache.get(code, f.0, g.0, vs.0) {
             return Ok(Bdd(r));

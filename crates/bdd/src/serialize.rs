@@ -16,6 +16,37 @@ use crate::fdd::{bits_for, DomainId};
 use crate::hash::FxHashMap;
 use crate::manager::{Bdd, BddManager, Var};
 
+/// Why a byte-level snapshot decode was rejected. Decoding never panics on
+/// hostile input — truncation, bit flips, and structural lies all surface
+/// as a typed error naming the offending byte offset, so callers (snapshot
+/// transfer between parallel lanes, index files read from disk) can report
+/// the corruption and degrade instead of crashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset at (or just past) which the input stopped making sense.
+    pub offset: usize,
+    /// Human-readable description of the structural violation.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "snapshot decode failed at byte {}: {}",
+            self.offset, self.reason
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+type DecodeResult<T> = std::result::Result<T, DecodeError>;
+
+fn decode_err<T>(offset: usize, reason: &'static str) -> DecodeResult<T> {
+    Err(DecodeError { offset, reason })
+}
+
 /// A manager-independent BDD snapshot: nodes in bottom-up topological
 /// order. Entry `i` describes node `i + 2`; references `0` and `1` are the
 /// terminals, references `r ≥ 2` point at entry `r - 2`. The root is the
@@ -55,32 +86,42 @@ impl ExportedBdd {
     }
 
     /// Inverse of [`ExportedBdd::to_bytes`]. Returns `None` on malformed
-    /// input (wrong length, out-of-range references).
+    /// input (wrong length, out-of-range references); [`ExportedBdd::decode`]
+    /// reports *why* the input was rejected.
     pub fn from_bytes(bytes: &[u8]) -> Option<ExportedBdd> {
+        Self::decode(bytes).ok()
+    }
+
+    /// Inverse of [`ExportedBdd::to_bytes`] with a typed rejection reason.
+    /// Every structural invariant of the format is validated — node count
+    /// vs payload length, children-precede-parents topology, root range —
+    /// so arbitrary bytes can never panic or produce an unsound snapshot.
+    pub fn decode(bytes: &[u8]) -> DecodeResult<ExportedBdd> {
         if bytes.len() < 8 {
-            return None;
+            return decode_err(bytes.len(), "header truncated (need 8 bytes)");
         }
-        let n = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
-        let root = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
-        if bytes.len() != 8 + n * 12 {
-            return None;
+        let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let root = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let expect = (n as u64) * 12 + 8;
+        if bytes.len() as u64 != expect {
+            return decode_err(bytes.len(), "payload length disagrees with node count");
         }
         let mut nodes = Vec::with_capacity(n);
         for i in 0..n {
             let off = 8 + i * 12;
-            let v = u32::from_le_bytes(bytes[off..off + 4].try_into().ok()?);
-            let lo = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().ok()?);
-            let hi = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().ok()?);
+            let v = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            let lo = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+            let hi = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().unwrap());
             // Children must precede parents.
             if (lo >= 2 && lo - 2 >= i as u32) || (hi >= 2 && hi - 2 >= i as u32) {
-                return None;
+                return decode_err(off, "child reference at or after its parent");
             }
             nodes.push((v, lo, hi));
         }
         if root >= 2 && root - 2 >= n as u32 {
-            return None;
+            return decode_err(4, "root reference outside the node table");
         }
-        Some(ExportedBdd { nodes, root })
+        Ok(ExportedBdd { nodes, root })
     }
 }
 
@@ -127,32 +168,48 @@ impl ExportedRelation {
     }
 
     /// Inverse of [`ExportedRelation::to_bytes`]. Returns `None` on
-    /// malformed input: truncated buffers, zero-sized domains, block widths
-    /// that disagree with the domain size, non-ascending variables, or a
-    /// slot table that is not a permutation of the blocks.
+    /// malformed input; [`ExportedRelation::decode`] reports *why*.
     pub fn from_bytes(bytes: &[u8]) -> Option<ExportedRelation> {
+        Self::decode(bytes).ok()
+    }
+
+    /// Inverse of [`ExportedRelation::to_bytes`] with a typed rejection
+    /// reason: truncated buffers, zero-sized domains, block widths that
+    /// disagree with the domain size, non-ascending variables, or a slot
+    /// table that is not a permutation of the blocks.
+    pub fn decode(bytes: &[u8]) -> DecodeResult<ExportedRelation> {
         let mut off = 0usize;
-        let take_u32 = |off: &mut usize| -> Option<u32> {
-            let v = u32::from_le_bytes(bytes.get(*off..*off + 4)?.try_into().ok()?);
-            *off += 4;
-            Some(v)
+        let take_u32 = |off: &mut usize| -> DecodeResult<u32> {
+            match bytes.get(*off..*off + 4) {
+                Some(w) => {
+                    let v = u32::from_le_bytes(w.try_into().unwrap());
+                    *off += 4;
+                    Ok(v)
+                }
+                None => decode_err(*off, "buffer truncated inside a u32 field"),
+            }
         };
-        let take_u64 = |off: &mut usize| -> Option<u64> {
-            let v = u64::from_le_bytes(bytes.get(*off..*off + 8)?.try_into().ok()?);
-            *off += 8;
-            Some(v)
+        let take_u64 = |off: &mut usize| -> DecodeResult<u64> {
+            match bytes.get(*off..*off + 8) {
+                Some(w) => {
+                    let v = u64::from_le_bytes(w.try_into().unwrap());
+                    *off += 8;
+                    Ok(v)
+                }
+                None => decode_err(*off, "buffer truncated inside a u64 field"),
+            }
         };
         let nblocks = take_u32(&mut off)? as usize;
-        let mut blocks = Vec::with_capacity(nblocks);
+        let mut blocks = Vec::with_capacity(nblocks.min(1 << 16));
         let mut prev: Option<Var> = None;
         for _ in 0..nblocks {
             let size = take_u64(&mut off)?;
             if size == 0 {
-                return None;
+                return decode_err(off - 8, "zero-sized domain block");
             }
             let nvars = take_u32(&mut off)? as usize;
             if nvars != bits_for(size) as usize {
-                return None;
+                return decode_err(off - 4, "block width disagrees with domain size");
             }
             let mut vars = Vec::with_capacity(nvars);
             for _ in 0..nvars {
@@ -160,7 +217,7 @@ impl ExportedRelation {
                 // The flattened variable sequence must ascend strictly —
                 // that is what guarantees a monotone map on import.
                 if prev.is_some_and(|p| p >= v) {
-                    return None;
+                    return decode_err(off - 4, "block variables not strictly ascending");
                 }
                 prev = Some(v);
                 vars.push(v);
@@ -172,13 +229,16 @@ impl ExportedRelation {
         for _ in 0..nblocks {
             let s = take_u32(&mut off)? as usize;
             if s >= nblocks || seen[s] {
-                return None;
+                return decode_err(off - 4, "slot table is not a permutation of the blocks");
             }
             seen[s] = true;
             slots.push(s);
         }
-        let bdd = ExportedBdd::from_bytes(bytes.get(off..)?)?;
-        Some(ExportedRelation { bdd, blocks, slots })
+        let bdd = ExportedBdd::decode(&bytes[off..]).map_err(|e| DecodeError {
+            offset: off + e.offset,
+            reason: e.reason,
+        })?;
+        Ok(ExportedRelation { bdd, blocks, slots })
     }
 }
 

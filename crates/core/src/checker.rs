@@ -26,12 +26,13 @@ use crate::telemetry::{
     CheckTrace, FallbackReason, FleetTelemetry, IndexEvent, IndexProvenance, PhaseTimings,
     RuleFiring, WorkerTelemetry,
 };
-use relcheck_bdd::BddError;
+use relcheck_bdd::{failpoint, BddError, StatsDelta};
 use relcheck_logic::eval::eval_sentence;
 use relcheck_logic::Formula;
 use relcheck_relstore::plan::execute;
 use relcheck_relstore::Relation;
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Checker configuration.
@@ -54,6 +55,12 @@ pub struct CheckerOptions {
     /// unconditionally; this switch only gates the clock reads and the
     /// trace allocation, so leaving it off costs nothing measurable.
     pub telemetry: bool,
+    /// Per-constraint wall-clock budget. Armed at the start of every
+    /// [`Checker::check`] call; the BDD recursion polls it (every
+    /// [`relcheck_bdd::Budget`] stride) and aborts with
+    /// [`BddError::Deadline`], which escalates down the degradation ladder
+    /// exactly like a node-budget abort. `None` = no deadline.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for CheckerOptions {
@@ -65,6 +72,7 @@ impl Default for CheckerOptions {
             ordering: OrderingStrategy::ProbConverge,
             gc_between_checks: true,
             telemetry: false,
+            deadline: None,
         }
     }
 }
@@ -80,13 +88,61 @@ pub enum Method {
     /// Neither path applied; decided by brute-force active-domain
     /// enumeration.
     BruteForce,
+    /// No path produced an answer: the check panicked, was killed by an
+    /// injected fault, or exhausted every rung of the degradation ladder.
+    /// Only [`Verdict::Degraded`] / [`Verdict::Errored`] reports carry it.
+    Aborted,
+}
+
+/// What a check actually established. [`CheckReport::holds`] collapses
+/// this to a boolean for the common case; the verdict keeps the undecided
+/// outcomes distinguishable so a failed check is never silently read as a
+/// clean one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Decided: the constraint holds.
+    Holds,
+    /// Decided: the constraint is violated.
+    Violated,
+    /// Undecided: every rung of the degradation ladder failed (see
+    /// `DESIGN.md` §6). The error string says why the last rung failed.
+    Degraded,
+    /// Undecided: the check died (panic or injected fault) before any rung
+    /// could answer. The error string carries the panic payload.
+    Errored,
+}
+
+impl Verdict {
+    /// Stable machine-readable name (`"holds"`, `"violated"`, `"degraded"`,
+    /// `"errored"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Holds => "holds",
+            Verdict::Violated => "violated",
+            Verdict::Degraded => "degraded",
+            Verdict::Errored => "errored",
+        }
+    }
+
+    /// True for [`Verdict::Holds`] / [`Verdict::Violated`] — the check
+    /// produced a real answer.
+    pub fn is_decided(self) -> bool {
+        matches!(self, Verdict::Holds | Verdict::Violated)
+    }
 }
 
 /// Outcome of one constraint check.
 #[derive(Debug, Clone)]
 pub struct CheckReport {
-    /// Does the constraint hold?
+    /// Does the constraint hold? Meaningful only when
+    /// [`CheckReport::verdict`] is decided; undecided reports carry `true`
+    /// here so legacy consumers that only look at `holds` do not misread a
+    /// failed check as a violation.
     pub holds: bool,
+    /// What the check established (decided vs degraded vs errored).
+    pub verdict: Verdict,
+    /// Why the check could not decide, when `verdict` is undecided.
+    pub error: Option<String>,
     /// Which evaluation path decided it.
     pub method: Method,
     /// Wall-clock time for the decision.
@@ -96,6 +152,69 @@ pub struct CheckReport {
     /// Structured trace of the check, present iff
     /// [`CheckerOptions::telemetry`] was set.
     pub metrics: Option<CheckTrace>,
+}
+
+impl CheckReport {
+    /// A report for a check that died before any ladder rung could answer
+    /// (a caught panic or an injected fault): verdict
+    /// [`Verdict::Errored`], with the payload preserved in `error` and —
+    /// when telemetry is on — in the trace's [`FallbackReason::Panic`].
+    pub(crate) fn errored(message: String, telemetry: bool) -> CheckReport {
+        let metrics = telemetry.then(|| CheckTrace {
+            method: Method::Aborted,
+            rules: Vec::new(),
+            index_events: Vec::new(),
+            fallback: Some(FallbackReason::Panic(message.clone())),
+            ladder: vec!["errored"],
+            timings: PhaseTimings::default(),
+            bdd: StatsDelta::default(),
+        });
+        CheckReport {
+            holds: true,
+            verdict: Verdict::Errored,
+            error: Some(message),
+            method: Method::Aborted,
+            elapsed: Duration::ZERO,
+            live_nodes: 0,
+            metrics,
+        }
+    }
+}
+
+/// Render a caught panic payload as a string for an `Errored` report.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+/// The budget-style aborts the degradation ladder absorbs; anything else
+/// propagates as a hard error.
+fn budget_abort(e: &CoreError) -> Option<BddError> {
+    match e {
+        CoreError::Bdd(
+            b @ (BddError::NodeLimit { .. }
+            | BddError::Deadline { .. }
+            | BddError::FaultInjected { .. }),
+        ) => Some(b.clone()),
+        _ => None,
+    }
+}
+
+/// Map an absorbed abort to the trace-level reason it records.
+fn abort_reason(b: &BddError) -> FallbackReason {
+    match b {
+        BddError::NodeLimit { limit, live } => FallbackReason::NodeLimit {
+            limit: *limit,
+            live: *live,
+        },
+        BddError::Deadline { .. } => FallbackReason::Deadline,
+        other => FallbackReason::Panic(other.to_string()),
+    }
 }
 
 /// Named output columns plus rows of dictionary codes — what
@@ -212,7 +331,10 @@ impl Checker {
         }
         match self.ldb.build_index(name, self.opts.ordering) {
             Ok(_) => Ok(true),
-            Err(CoreError::Bdd(BddError::NodeLimit { .. })) => {
+            // A budget abort — node limit, deadline, or injected fault —
+            // makes the relation SQL-only instead of failing the check:
+            // every later reference routes through the fallback ladder.
+            Err(e) if budget_abort(&e).is_some() => {
                 self.ldb.gc();
                 self.sql_only.insert(name.to_owned());
                 Ok(false)
@@ -260,8 +382,21 @@ impl Checker {
         out
     }
 
-    /// Decide a constraint. See module docs for the strategy.
+    /// Decide a constraint. See module docs for the strategy; the full
+    /// degradation ladder (`DESIGN.md` §6) is BDD → GC-and-retry-once →
+    /// SQL plan → brute force → [`Verdict::Degraded`].
     pub fn check(&mut self, f: &Formula) -> Result<CheckReport> {
+        // Arm the per-check wall-clock budget. The deadline lives in the
+        // manager so the BDD recursion can poll it; clear it on every exit
+        // path so later manager work is unaffected.
+        let armed = self.opts.deadline.map(|d| Instant::now() + d);
+        self.ldb.manager_mut().set_deadline(armed);
+        let report = self.check_inner(f);
+        self.ldb.manager_mut().set_deadline(None);
+        report
+    }
+
+    fn check_inner(&mut self, f: &Formula) -> Result<CheckReport> {
         let start = Instant::now();
         let free = f.free_vars();
         if !free.is_empty() {
@@ -304,21 +439,82 @@ impl Checker {
         // the rewrites the BDD attempt performed before defaulting to SQL.
         let mut rules: Vec<RuleFiring> = Vec::new();
         let mut fallback: Option<FallbackReason> = None;
-        let (holds, method) = if all_indexed {
+        let mut ladder: Vec<&'static str> = Vec::new();
+        let mut error: Option<String> = None;
+        let mut decided: Option<(bool, Method)> = None;
+        let record_error = |error: &mut Option<String>, e: String| match error.take() {
+            Some(prev) => *error = Some(format!("{prev}; {e}")),
+            None => *error = Some(e),
+        };
+        if all_indexed {
+            // Rung 1: the paper's BDD path.
+            ladder.push("bdd");
             let sink = if tel { Some(&mut rules) } else { None };
             match check_bdd_traced(&mut self.ldb, f, &compile_opts, sink) {
-                Ok(h) => (h, Method::Bdd),
-                Err(CoreError::Bdd(BddError::NodeLimit { limit, live })) => {
-                    // Paper §4: abort BDD construction, default to SQL.
-                    fallback = Some(FallbackReason::NodeLimit { limit, live });
+                Ok(h) => decided = Some((h, Method::Bdd)),
+                Err(e) => {
+                    let Some(abort) = budget_abort(&e) else {
+                        return Err(e);
+                    };
                     self.ldb.gc();
-                    self.check_via_sql(f)?
+                    if matches!(abort, BddError::NodeLimit { .. }) {
+                        // Rung 2: the GC may have freed enough scratch from
+                        // the aborted attempt for the same compile to fit;
+                        // retry exactly once before giving up on BDDs.
+                        ladder.push("gc_retry");
+                        rules.clear();
+                        let sink = if tel { Some(&mut rules) } else { None };
+                        match check_bdd_traced(&mut self.ldb, f, &compile_opts, sink) {
+                            Ok(h) => decided = Some((h, Method::Bdd)),
+                            Err(e2) => {
+                                let Some(abort2) = budget_abort(&e2) else {
+                                    return Err(e2);
+                                };
+                                self.ldb.gc();
+                                fallback = Some(match abort2 {
+                                    BddError::NodeLimit { limit, live } => {
+                                        FallbackReason::RetryExhausted { limit, live }
+                                    }
+                                    other => abort_reason(&other),
+                                });
+                            }
+                        }
+                    } else {
+                        // A deadline or injected fault will not be cured by
+                        // GC; escalate straight down the ladder.
+                        fallback = Some(abort_reason(&abort));
+                    }
                 }
-                Err(e) => return Err(e),
             }
         } else {
             fallback = Some(FallbackReason::UnindexedRelation);
-            self.check_via_sql(f)?
+        }
+        if decided.is_none() {
+            // Rung 3: the translated SQL violation plan (paper §4's
+            // "default to SQL" strategy).
+            ladder.push("sql");
+            match self.sql_rung(f) {
+                Ok(Some(d)) => decided = Some(d),
+                Ok(None) => {} // outside the translatable class
+                Err(e) => record_error(&mut error, e.to_string()),
+            }
+        }
+        if decided.is_none() {
+            // Rung 4: brute-force active-domain evaluation.
+            ladder.push("brute_force");
+            match eval_sentence(self.ldb.db(), f) {
+                Ok(h) => decided = Some((h, Method::BruteForce)),
+                Err(e) => record_error(&mut error, e.to_string()),
+            }
+        }
+        let (holds, method, verdict) = match decided {
+            Some((h, m)) => (h, m, if h { Verdict::Holds } else { Verdict::Violated }),
+            None => {
+                // Rung 5: every rung failed. Surface an explicit Degraded
+                // verdict instead of an answer we don't have.
+                ladder.push("degraded");
+                (true, Method::Aborted, Verdict::Degraded)
+            }
         };
         let eval_time = eval_start.map(|t| t.elapsed()).unwrap_or_default();
         if self.opts.gc_between_checks {
@@ -330,6 +526,7 @@ impl Checker {
             rules,
             index_events,
             fallback,
+            ladder,
             timings: PhaseTimings {
                 index: index_time,
                 eval: eval_time,
@@ -339,6 +536,8 @@ impl Checker {
         });
         Ok(CheckReport {
             holds,
+            verdict,
+            error,
             method,
             elapsed,
             live_nodes: self.ldb.manager().live_nodes(),
@@ -346,7 +545,17 @@ impl Checker {
         })
     }
 
-    fn check_via_sql(&mut self, f: &Formula) -> Result<(bool, Method)> {
+    /// The SQL-plan rung: `Ok(None)` means the constraint is outside the
+    /// translatable class (callers then brute-force).
+    fn sql_rung(&mut self, f: &Formula) -> Result<Option<(bool, Method)>> {
+        if failpoint::enabled() {
+            let key = failpoint::key_str(&f.to_string());
+            if failpoint::should_fail(failpoint::SQL_FALLBACK, key) {
+                return Err(CoreError::Bdd(BddError::FaultInjected {
+                    site: failpoint::SQL_FALLBACK,
+                }));
+            }
+        }
         match sqlgen::violation_plan(self.ldb.db(), f) {
             Some(t) => {
                 let out = execute(self.ldb.db(), &t.plan)?;
@@ -354,8 +563,15 @@ impl Checker {
                     Shape::Violations => out.is_empty(),
                     Shape::Witnesses => !out.is_empty(),
                 };
-                Ok((holds, Method::SqlFallback))
+                Ok(Some((holds, Method::SqlFallback)))
             }
+            None => Ok(None),
+        }
+    }
+
+    fn check_via_sql(&mut self, f: &Formula) -> Result<(bool, Method)> {
+        match self.sql_rung(f)? {
+            Some(d) => Ok(d),
             None => Ok((eval_sentence(self.ldb.db(), f)?, Method::BruteForce)),
         }
     }
@@ -372,6 +588,7 @@ impl Checker {
             rules: Vec::new(),
             index_events: Vec::new(),
             fallback: None,
+            ladder: vec!["sql"],
             timings: PhaseTimings {
                 index: Duration::ZERO,
                 eval: elapsed,
@@ -381,6 +598,12 @@ impl Checker {
         });
         Ok(CheckReport {
             holds,
+            verdict: if holds {
+                Verdict::Holds
+            } else {
+                Verdict::Violated
+            },
+            error: None,
             method,
             elapsed,
             live_nodes: self.ldb.manager().live_nodes(),
@@ -391,14 +614,34 @@ impl Checker {
     /// Check many named constraints, returning each report. This is the
     /// paper's headline workflow: quickly identify *which* constraints are
     /// violated on *which* tables.
+    /// Each check runs behind a panic guard: a constraint that panics (a
+    /// compiler bug, an injected fault) yields a [`Verdict::Errored`]
+    /// report carrying the payload, and the rest of the batch still runs.
+    /// Typed errors (unknown relation, malformed constraint) still abort
+    /// the batch, matching the single-check contract.
     pub fn check_all(
         &mut self,
         constraints: &[(String, Formula)],
     ) -> Result<Vec<(String, CheckReport)>> {
-        constraints
-            .iter()
-            .map(|(name, f)| Ok((name.clone(), self.check(f)?)))
-            .collect()
+        let mut out = Vec::with_capacity(constraints.len());
+        for (name, f) in constraints {
+            match catch_unwind(AssertUnwindSafe(|| self.check(f))) {
+                Ok(Ok(r)) => out.push((name.clone(), r)),
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => {
+                    // The manager's tables are structurally sound at any
+                    // unwind point (no unsafe code); disarm the deadline
+                    // and drop scratch so the next constraint starts clean.
+                    self.ldb.manager_mut().set_deadline(None);
+                    self.ldb.gc();
+                    out.push((
+                        name.clone(),
+                        CheckReport::errored(panic_message(payload), self.opts.telemetry),
+                    ));
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// [`Checker::check_all`] spread over `threads` worker threads, each
@@ -506,7 +749,7 @@ impl Checker {
                 Ok(Some((names, rows)))
             }
             Ok(None) => Ok(None),
-            Err(CoreError::Bdd(BddError::NodeLimit { .. })) => {
+            Err(e) if budget_abort(&e).is_some() => {
                 self.ldb.gc();
                 Ok(None)
             }

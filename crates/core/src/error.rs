@@ -1,6 +1,6 @@
 //! Unified error type for the checker stack.
 
-use relcheck_bdd::BddError;
+use relcheck_bdd::{BddError, DecodeError};
 use relcheck_logic::LogicError;
 use relcheck_relstore::StoreError;
 use std::fmt;
@@ -20,6 +20,9 @@ pub enum CoreError {
     UnsupportedForViolationQuery(String),
     /// The compiler needed a relation's BDD index but none was built.
     MissingIndex(String),
+    /// An index snapshot's byte representation failed structural
+    /// validation (truncated, bit-flipped, or otherwise corrupted input).
+    SnapshotDecode(DecodeError),
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +40,7 @@ impl fmt::Display for CoreError {
             CoreError::MissingIndex(rel) => {
                 write!(f, "no BDD index built for relation {rel:?}")
             }
+            CoreError::SnapshotDecode(e) => write!(f, "snapshot: {e}"),
         }
     }
 }
@@ -58,6 +62,12 @@ impl From<StoreError> for CoreError {
 impl From<LogicError> for CoreError {
     fn from(e: LogicError) -> Self {
         CoreError::Logic(e)
+    }
+}
+
+impl From<DecodeError> for CoreError {
+    fn from(e: DecodeError) -> Self {
+        CoreError::SnapshotDecode(e)
     }
 }
 

@@ -11,7 +11,9 @@
 
 use crate::error::{CoreError, Result};
 use crate::ordering::OrderingStrategy;
-use relcheck_bdd::{Bdd, BddManager, DomainId, ExportedRelation, GcStats};
+use relcheck_bdd::{
+    failpoint, Bdd, BddError, BddManager, DecodeError, DomainId, ExportedRelation, GcStats,
+};
 use relcheck_relstore::Database;
 use std::collections::HashMap;
 
@@ -41,6 +43,86 @@ pub struct IndexSnapshot {
     /// The characteristic function plus its finite-domain layout, with
     /// domains in schema order.
     pub rel: ExportedRelation,
+}
+
+impl IndexSnapshot {
+    /// Serialize into a self-contained byte buffer (relation name, column
+    /// ordering, then the [`ExportedRelation`] payload, all little-endian) —
+    /// an index persisted to disk or shipped across a process boundary.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let name = self.relation.as_bytes();
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&(self.ordering.len() as u32).to_le_bytes());
+        for &c in &self.ordering {
+            out.extend_from_slice(&(c as u32).to_le_bytes());
+        }
+        out.extend_from_slice(&self.rel.to_bytes());
+        out
+    }
+
+    /// Inverse of [`IndexSnapshot::to_bytes`]. Corrupted input — truncation,
+    /// bit flips, structural lies at any layer — always yields a typed
+    /// [`CoreError::SnapshotDecode`]; this function never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<IndexSnapshot> {
+        let fail = |offset: usize, reason: &'static str| {
+            Err(CoreError::SnapshotDecode(DecodeError { offset, reason }))
+        };
+        let mut off = 0usize;
+        let Some(w) = bytes.get(0..4) else {
+            return fail(0, "buffer truncated inside the name length");
+        };
+        let name_len = u32::from_le_bytes(w.try_into().unwrap()) as usize;
+        off += 4;
+        let Some(name_bytes) = bytes.get(off..off.saturating_add(name_len)) else {
+            return fail(off, "buffer truncated inside the relation name");
+        };
+        let Ok(relation) = std::str::from_utf8(name_bytes) else {
+            return fail(off, "relation name is not valid UTF-8");
+        };
+        let relation = relation.to_owned();
+        off += name_len;
+        let Some(w) = bytes.get(off..off + 4) else {
+            return fail(off, "buffer truncated inside the ordering length");
+        };
+        let ncols = u32::from_le_bytes(w.try_into().unwrap()) as usize;
+        off += 4;
+        let mut ordering = Vec::with_capacity(ncols.min(1 << 16));
+        let mut seen = Vec::new();
+        for _ in 0..ncols {
+            let Some(w) = bytes.get(off..off + 4) else {
+                return fail(off, "buffer truncated inside the ordering table");
+            };
+            let c = u32::from_le_bytes(w.try_into().unwrap()) as usize;
+            if c >= ncols {
+                return fail(off, "ordering entry outside the column range");
+            }
+            if seen.len() < ncols {
+                seen.resize(ncols, false);
+            }
+            if seen[c] {
+                return fail(off, "ordering table repeats a column");
+            }
+            seen[c] = true;
+            ordering.push(c);
+            off += 4;
+        }
+        let rel = ExportedRelation::decode(&bytes[off..]).map_err(|e| {
+            CoreError::SnapshotDecode(DecodeError {
+                offset: off + e.offset,
+                reason: e.reason,
+            })
+        })?;
+        if rel.slots.len() != ordering.len() {
+            return fail(off, "ordering length disagrees with the relation arity");
+        }
+        Ok(IndexSnapshot {
+            relation,
+            ordering,
+            rel,
+        })
+    }
 }
 
 /// A database plus its BDD logical indices.
@@ -121,6 +203,13 @@ impl LogicalDatabase {
     /// node limit is exceeded — the caller should then mark the relation
     /// SQL-only (paper: "we do not materialize the BDD").
     pub fn build_index(&mut self, name: &str, strategy: OrderingStrategy) -> Result<&RelIndex> {
+        if failpoint::enabled()
+            && failpoint::should_fail(failpoint::INDEX_BUILD, failpoint::key_str(name))
+        {
+            return Err(CoreError::Bdd(BddError::FaultInjected {
+                site: failpoint::INDEX_BUILD,
+            }));
+        }
         let rel = self.db.relation(name)?.clone();
         let dom_sizes: Vec<u64> = rel
             .schema()
@@ -227,6 +316,16 @@ impl LogicalDatabase {
     /// sizes here exactly as a local [`LogicalDatabase::build_index`]
     /// would, so later query-domain pools stay width-compatible.
     pub fn import_index(&mut self, snap: &IndexSnapshot) -> Result<()> {
+        if failpoint::enabled()
+            && failpoint::should_fail(
+                failpoint::SNAPSHOT_DECODE,
+                failpoint::key_str(&snap.relation),
+            )
+        {
+            return Err(CoreError::Bdd(BddError::FaultInjected {
+                site: failpoint::SNAPSHOT_DECODE,
+            }));
+        }
         let (domains, root) = self.mgr.import_relation(&snap.rel)?;
         let classes: Vec<String> = self
             .db

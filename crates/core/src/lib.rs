@@ -65,12 +65,13 @@ pub mod registry;
 pub mod sqlgen;
 pub mod telemetry;
 
-pub use checker::{CheckReport, Checker, CheckerOptions, Method};
+pub use checker::{CheckReport, Checker, CheckerOptions, Method, Verdict};
 pub use error::{CoreError, Result};
 pub use index::{IndexSnapshot, LogicalDatabase};
 pub use ordering::OrderingStrategy;
 pub use parallel::{IndexTransfer, ParallelChecker};
 pub use registry::ConstraintRegistry;
 pub use telemetry::{
-    CheckTrace, FleetTelemetry, RewriteRule, RuleFiring, RunMetrics, WorkerTelemetry,
+    CheckTrace, DegradationSummary, FallbackReason, FleetTelemetry, RewriteRule, RuleFiring,
+    RunMetrics, WorkerTelemetry,
 };

@@ -35,14 +35,15 @@
 //!
 //! Only `std::thread` is used — scoped threads, no external runtime.
 
-use crate::checker::{CheckReport, Checker, CheckerOptions};
+use crate::checker::{panic_message, CheckReport, Checker, CheckerOptions};
 use crate::error::{CoreError, Result};
 use crate::index::IndexSnapshot;
 use crate::telemetry::{FleetTelemetry, WorkerTelemetry};
-use relcheck_bdd::{BddError, StatsDelta};
+use relcheck_bdd::{failpoint, BddError, StatsDelta};
 use relcheck_logic::Formula;
 use relcheck_relstore::Database;
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// How workers obtain the logical indices their batch needs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -202,7 +203,17 @@ fn run_batch(
     snapshots: &[IndexSnapshot],
     constraints: &[(String, Formula)],
     batch: &[usize],
+    lane: usize,
 ) -> LaneResult {
+    // Fault-injection site: simulate a lane whose thread dies on arrival.
+    // The panic unwinds into the catch in `run`, which turns the whole
+    // batch into `Errored` reports without touching any other lane.
+    if failpoint::enabled() && failpoint::should_fail(failpoint::LANE_SPAWN, lane as u64) {
+        panic!(
+            "injected fault at failpoint site '{}' (lane {lane})",
+            failpoint::LANE_SPAWN
+        );
+    }
     let mut ck = Checker::new(db.clone(), opts);
     // Baseline before imports, so the lane's delta owns its index-transfer
     // work and fleet totals stay an honest sum of everything done.
@@ -232,9 +243,14 @@ fn run_batch(
         }
         if let Err(e) = ck.logical_db_mut().import_index(snap) {
             match e {
-                // Mirror `ensure_index`: a budget abort makes the relation
+                // Mirror `ensure_index`: a budget abort — node limit,
+                // deadline, or injected decode fault — makes the relation
                 // SQL-only for this lane instead of failing the run.
-                CoreError::Bdd(BddError::NodeLimit { .. }) => {
+                CoreError::Bdd(
+                    BddError::NodeLimit { .. }
+                    | BddError::Deadline { .. }
+                    | BddError::FaultInjected { .. },
+                ) => {
                     ck.logical_db_mut().gc();
                     ck.mark_sql_only(&snap.relation);
                 }
@@ -244,18 +260,38 @@ fn run_batch(
     }
     let mut out = Vec::with_capacity(batch.len());
     for &i in batch {
-        match ck.check(&constraints[i].1) {
-            Ok(report) => out.push((i, report)),
-            Err(e) => return lane_result(&ck, out, Some((i, e))),
+        // Same panic guard as the serial `check_all`: one exploding
+        // constraint yields an `Errored` report, the rest of the batch
+        // still runs on the same lane checker.
+        match catch_unwind(AssertUnwindSafe(|| ck.check(&constraints[i].1))) {
+            Ok(Ok(report)) => out.push((i, report)),
+            Ok(Err(e)) => return lane_result(&ck, out, Some((i, e))),
+            Err(payload) => {
+                ck.logical_db_mut().manager_mut().set_deadline(None);
+                ck.logical_db_mut().gc();
+                out.push((
+                    i,
+                    CheckReport::errored(panic_message(payload), opts.telemetry),
+                ));
+            }
         }
     }
     lane_result(&ck, out, None)
 }
 
 /// Fan a constraint set out over scoped worker threads and merge the
-/// reports back into input order. On error, the failure attached to the
-/// smallest constraint index wins — the same error a serial pass would
-/// have hit first — so error behaviour is deterministic too.
+/// reports back into input order.
+///
+/// Failure semantics (deterministic in both dimensions):
+///
+/// * A **panicking** lane — its thread died, or the `lane-spawn`
+///   failpoint fired — is absorbed: every constraint of that batch gets a
+///   [`crate::checker::Verdict::Errored`] report carrying the panic
+///   payload, and every other lane completes untouched.
+/// * A **typed error** (unknown relation, corrupt snapshot) still fails
+///   the run, and the error attached to the smallest constraint index
+///   wins across all lanes — the same error a serial pass would have hit
+///   first.
 pub(crate) fn run(
     db: &Database,
     opts: CheckerOptions,
@@ -265,22 +301,48 @@ pub(crate) fn run(
     threads: usize,
 ) -> Result<(Vec<(String, CheckReport)>, FleetTelemetry)> {
     let batches = partition(constraints, threads);
-    let results: Vec<LaneResult> = std::thread::scope(|s| {
+    let results: Vec<std::result::Result<LaneResult, String>> = std::thread::scope(|s| {
         let handles: Vec<_> = batches
             .iter()
-            .map(|batch| {
-                s.spawn(move || run_batch(db, opts, sql_only, snapshots, constraints, batch))
+            .enumerate()
+            .map(|(lane, batch)| {
+                s.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        run_batch(db, opts, sql_only, snapshots, constraints, batch, lane)
+                    }))
+                    .map_err(panic_message)
+                })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .map(|h| h.join().unwrap_or_else(|p| Err(panic_message(p))))
             .collect()
     });
     let mut merged: Vec<Option<CheckReport>> = vec![None; constraints.len()];
     let mut first_err: Option<(usize, CoreError)> = None;
     let mut workers = Vec::with_capacity(results.len());
     for (lane, result) in results.into_iter().enumerate() {
+        let result = match result {
+            Ok(r) => r,
+            Err(payload) => {
+                // Poisoned lane: synthesize `Errored` reports for its whole
+                // batch. The lane did no attributable BDD work we can
+                // still read, so its telemetry counters stay zero and the
+                // fleet totals remain an honest per-worker sum.
+                for &i in &batches[lane] {
+                    merged[i] = Some(CheckReport::errored(payload.clone(), opts.telemetry));
+                }
+                workers.push(WorkerTelemetry {
+                    worker: lane,
+                    constraints: batches[lane].clone(),
+                    bdd: StatsDelta::default(),
+                    peak_nodes: 0,
+                    depth_hwm: 0,
+                });
+                continue;
+            }
+        };
         for (i, r) in result.reports {
             merged[i] = Some(r);
         }
@@ -306,10 +368,16 @@ pub(crate) fn run(
         .iter()
         .zip(merged)
         .map(|((name, _), r)| {
-            (
-                name.clone(),
-                r.expect("every constraint assigned to exactly one batch"),
-            )
+            // Every constraint is assigned to exactly one batch, and every
+            // lane outcome above fills its batch; a gap would be a
+            // partition bug — degrade to an Errored report, never panic.
+            let r = r.unwrap_or_else(|| {
+                CheckReport::errored(
+                    "internal: constraint missing from every lane's reports".to_owned(),
+                    opts.telemetry,
+                )
+            });
+            (name.clone(), r)
         })
         .collect();
     Ok((reports, FleetTelemetry::from_workers(workers)))

@@ -116,7 +116,9 @@ impl ConstraintRegistry {
         let mut out = Vec::with_capacity(self.entries.len());
         for e in &mut self.entries {
             let report = checker.check(&e.formula)?;
-            e.last = Some(report.holds);
+            // Undecided verdicts (degraded/errored) are never cached: the
+            // constraint stays dirty and is re-checked next round.
+            e.last = report.verdict.is_decided().then_some(report.holds);
             out.push((e.name.clone(), report));
         }
         Ok(out)
@@ -140,7 +142,7 @@ impl ConstraintRegistry {
             .collect();
         let reports = checker.check_all_parallel(&constraints, threads)?;
         for (e, (_, r)) in self.entries.iter_mut().zip(&reports) {
-            e.last = Some(r.holds);
+            e.last = r.verdict.is_decided().then_some(r.holds);
         }
         Ok(reports)
     }
@@ -159,7 +161,7 @@ impl ConstraintRegistry {
             let dirty = e.last.is_none() || e.reads.iter().any(|r| touched.contains(r.as_str()));
             let verdict = if dirty {
                 let report = checker.check(&e.formula)?;
-                e.last = Some(report.holds);
+                e.last = report.verdict.is_decided().then_some(report.holds);
                 Verdict::Checked {
                     holds: report.holds,
                 }

@@ -103,7 +103,7 @@ pub struct IndexEvent {
 }
 
 /// Why the BDD path was not (or could not be) taken.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FallbackReason {
     /// BDD construction aborted on the live-node budget (the paper's
     /// size-threshold strategy).
@@ -115,6 +115,20 @@ pub enum FallbackReason {
     },
     /// A referenced relation is SQL-only (its index busted the budget).
     UnindexedRelation,
+    /// The per-check wall-clock deadline expired mid-recursion
+    /// ([`relcheck_bdd::BddError::Deadline`]).
+    Deadline,
+    /// The node-budget abort survived a GC-and-retry: both BDD attempts
+    /// busted the budget, so the ladder left the BDD path for good.
+    RetryExhausted {
+        /// The configured budget.
+        limit: usize,
+        /// Live nodes at the second abort.
+        live: usize,
+    },
+    /// The check was killed outright — a caught panic payload or an
+    /// injected-fault description (`relcheck run --fail-spec`).
+    Panic(String),
 }
 
 /// Wall-clock phase breakdown of one check (captured only with telemetry
@@ -144,6 +158,10 @@ pub struct CheckTrace {
     pub index_events: Vec<IndexEvent>,
     /// Why the BDD path was abandoned, if it was.
     pub fallback: Option<FallbackReason>,
+    /// Degradation-ladder rungs traversed, in order (`"bdd"`,
+    /// `"gc_retry"`, `"sql"`, `"brute_force"`, `"degraded"`, or
+    /// `"errored"` for a check killed by a panic).
+    pub ladder: Vec<&'static str>,
     /// Phase timings.
     pub timings: PhaseTimings,
     /// BDD work performed by this check (monotone-counter delta).
@@ -192,6 +210,10 @@ pub struct ConstraintMetrics {
     pub name: String,
     /// Verdict.
     pub holds: bool,
+    /// What the check established (decided vs degraded vs errored).
+    pub verdict: crate::checker::Verdict,
+    /// Why the check could not decide, for undecided verdicts.
+    pub error: Option<String>,
     /// Decision path.
     pub method: Method,
     /// Wall-clock time.
@@ -200,7 +222,24 @@ pub struct ConstraintMetrics {
     pub trace: Option<CheckTrace>,
 }
 
-/// The top-level machine-readable report (`schema_version` 1). See
+/// Run-level degradation summary: how many constraints came back without
+/// a decided verdict, plus the fault-injection evidence when failpoints
+/// were armed.
+#[derive(Debug, Clone, Default)]
+pub struct DegradationSummary {
+    /// Constraints whose verdict was `degraded`.
+    pub degraded: usize,
+    /// Constraints whose verdict was `errored`.
+    pub errored: usize,
+    /// Constraints that left the straight BDD path (trace has a fallback
+    /// reason). Zero when telemetry is off.
+    pub fallbacks: usize,
+    /// Failpoint evidence: `(seed, fired counts per site)`, present iff
+    /// the registry was armed when the report was assembled.
+    pub failpoints: Option<(u64, Vec<(&'static str, u64)>)>,
+}
+
+/// The top-level machine-readable report (`schema_version` 2). See
 /// `DESIGN.md` for field meanings and stability guarantees.
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
@@ -213,16 +252,36 @@ pub struct RunMetrics {
     /// Lane-level aggregation, when the run went through the parallel
     /// front-end (serial passes report a single lane).
     pub fleet: Option<FleetTelemetry>,
+    /// Degraded/errored counts and fault-injection evidence.
+    pub degradation: DegradationSummary,
 }
 
 impl RunMetrics {
     /// Assemble a report from named check reports (input order preserved).
+    /// Captures the failpoint registry's fired counts if it is armed.
     pub fn from_reports(
         reports: &[(String, crate::checker::CheckReport)],
         fleet: Option<FleetTelemetry>,
         threads: usize,
     ) -> RunMetrics {
+        use crate::checker::Verdict;
         let telemetry_enabled = reports.iter().any(|(_, r)| r.metrics.is_some());
+        let degradation = DegradationSummary {
+            degraded: reports
+                .iter()
+                .filter(|(_, r)| r.verdict == Verdict::Degraded)
+                .count(),
+            errored: reports
+                .iter()
+                .filter(|(_, r)| r.verdict == Verdict::Errored)
+                .count(),
+            fallbacks: reports
+                .iter()
+                .filter(|(_, r)| r.metrics.as_ref().is_some_and(|t| t.fallback.is_some()))
+                .count(),
+            failpoints: relcheck_bdd::failpoint::armed_seed()
+                .map(|seed| (seed, relcheck_bdd::failpoint::fired_counts())),
+        };
         RunMetrics {
             threads,
             telemetry_enabled,
@@ -231,21 +290,24 @@ impl RunMetrics {
                 .map(|(name, r)| ConstraintMetrics {
                     name: name.clone(),
                     holds: r.holds,
+                    verdict: r.verdict,
+                    error: r.error.clone(),
                     method: r.method,
                     elapsed: r.elapsed,
                     trace: r.metrics.clone(),
                 })
                 .collect(),
             fleet,
+            degradation,
         }
     }
 
-    /// Render the schema-version-1 JSON document.
+    /// Render the schema-version-2 JSON document.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.obj_open();
         w.key("schema_version");
-        w.raw("1");
+        w.raw("2");
         w.key("tool");
         w.string("relcheck");
         w.key("threads");
@@ -267,6 +329,8 @@ impl RunMetrics {
             None => w.raw("null"),
             Some(fl) => write_fleet(&mut w, fl),
         }
+        w.key("degradation");
+        write_degradation(&mut w, &self.degradation);
         w.obj_close();
         w.finish()
     }
@@ -277,7 +341,42 @@ fn method_name(m: Method) -> &'static str {
         Method::Bdd => "bdd",
         Method::SqlFallback => "sql_fallback",
         Method::BruteForce => "brute_force",
+        Method::Aborted => "aborted",
     }
+}
+
+fn write_degradation(w: &mut JsonWriter, d: &DegradationSummary) {
+    w.obj_open();
+    w.key("degraded");
+    w.raw(&d.degraded.to_string());
+    w.key("errored");
+    w.raw(&d.errored.to_string());
+    w.key("fallbacks");
+    w.raw(&d.fallbacks.to_string());
+    w.key("failpoints");
+    match &d.failpoints {
+        None => w.raw("null"),
+        Some((seed, fired)) => {
+            w.obj_open();
+            // As a string: u64 seeds can exceed the i64 range our parser
+            // (and many consumers) give JSON integers.
+            w.key("seed");
+            w.string(&seed.to_string());
+            w.key("fired");
+            w.arr_open();
+            for (site, count) in fired {
+                w.obj_open();
+                w.key("site");
+                w.string(site);
+                w.key("count");
+                w.raw(&count.to_string());
+                w.obj_close();
+            }
+            w.arr_close();
+            w.obj_close();
+        }
+    }
+    w.obj_close();
 }
 
 fn write_constraint(w: &mut JsonWriter, c: &ConstraintMetrics) {
@@ -286,6 +385,13 @@ fn write_constraint(w: &mut JsonWriter, c: &ConstraintMetrics) {
     w.string(&c.name);
     w.key("holds");
     w.raw(if c.holds { "true" } else { "false" });
+    w.key("verdict");
+    w.string(c.verdict.name());
+    w.key("error");
+    match &c.error {
+        None => w.raw("null"),
+        Some(e) => w.string(e),
+    }
     w.key("method");
     w.string(method_name(c.method));
     w.key("elapsed_ns");
@@ -325,7 +431,7 @@ fn write_trace(w: &mut JsonWriter, t: &CheckTrace) {
     }
     w.arr_close();
     w.key("fallback");
-    match t.fallback {
+    match &t.fallback {
         None => w.raw("null"),
         Some(FallbackReason::NodeLimit { limit, live }) => {
             w.obj_open();
@@ -343,7 +449,37 @@ fn write_trace(w: &mut JsonWriter, t: &CheckTrace) {
             w.string("unindexed_relation");
             w.obj_close();
         }
+        Some(FallbackReason::Deadline) => {
+            w.obj_open();
+            w.key("reason");
+            w.string("deadline");
+            w.obj_close();
+        }
+        Some(FallbackReason::RetryExhausted { limit, live }) => {
+            w.obj_open();
+            w.key("reason");
+            w.string("retry_exhausted");
+            w.key("limit");
+            w.raw(&limit.to_string());
+            w.key("live");
+            w.raw(&live.to_string());
+            w.obj_close();
+        }
+        Some(FallbackReason::Panic(msg)) => {
+            w.obj_open();
+            w.key("reason");
+            w.string("panic");
+            w.key("message");
+            w.string(msg);
+            w.obj_close();
+        }
     }
+    w.key("ladder");
+    w.arr_open();
+    for rung in &t.ladder {
+        w.string(rung);
+    }
+    w.arr_close();
     w.key("timings");
     w.obj_open();
     w.key("index_ns");
@@ -776,7 +912,7 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
         .get("schema_version")
         .and_then(Json::as_int)
         .ok_or("missing integer field \"schema_version\"")?;
-    if version != 1 {
+    if version != 1 && version != 2 {
         return Err(format!("unsupported schema_version {version}"));
     }
     doc.get("threads")
@@ -794,11 +930,33 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
         if !matches!(c.get("holds"), Some(Json::Bool(_))) {
             return Err(format!("{at}: missing boolean field \"holds\""));
         }
+        if version >= 2 {
+            let verdict = c
+                .get("verdict")
+                .and_then(Json::as_str)
+                .ok_or(format!("{at}: missing string field \"verdict\""))?;
+            if !["holds", "violated", "degraded", "errored"].contains(&verdict) {
+                return Err(format!("{at}: unknown verdict {verdict:?}"));
+            }
+            match c.get("error") {
+                Some(Json::Null) | Some(Json::Str(_)) => {}
+                other => {
+                    return Err(format!(
+                        "{at}: \"error\" must be null or string, got {other:?}"
+                    ))
+                }
+            }
+        }
         let method = c
             .get("method")
             .and_then(Json::as_str)
             .ok_or(format!("{at}: missing string field \"method\""))?;
-        if !["bdd", "sql_fallback", "brute_force"].contains(&method) {
+        let methods: &[&str] = if version >= 2 {
+            &["bdd", "sql_fallback", "brute_force", "aborted"]
+        } else {
+            &["bdd", "sql_fallback", "brute_force"]
+        };
+        if !methods.contains(&method) {
             return Err(format!("{at}: unknown method {method:?}"));
         }
         c.get("elapsed_ns")
@@ -838,6 +996,51 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
                         .ok_or(format!("{at}.trace: index event missing \"provenance\""))?;
                     if !["built", "reused", "sql_only"].contains(&p) {
                         return Err(format!("{at}.trace: unknown provenance {p:?}"));
+                    }
+                }
+                match t.get("fallback") {
+                    Some(Json::Null) | None => {}
+                    Some(fb) => {
+                        let reason = fb
+                            .get("reason")
+                            .and_then(Json::as_str)
+                            .ok_or(format!("{at}.trace.fallback: missing \"reason\""))?;
+                        let reasons: &[&str] = if version >= 2 {
+                            &[
+                                "node_limit",
+                                "unindexed_relation",
+                                "deadline",
+                                "retry_exhausted",
+                                "panic",
+                            ]
+                        } else {
+                            &["node_limit", "unindexed_relation"]
+                        };
+                        if !reasons.contains(&reason) {
+                            return Err(format!("{at}.trace.fallback: unknown reason {reason:?}"));
+                        }
+                    }
+                }
+                if let Some(ladder) = t.get("ladder") {
+                    let rungs = ladder
+                        .as_arr()
+                        .ok_or(format!("{at}.trace: \"ladder\" must be an array"))?;
+                    for r in rungs {
+                        let name = r
+                            .as_str()
+                            .ok_or(format!("{at}.trace.ladder: rung must be a string"))?;
+                        if ![
+                            "bdd",
+                            "gc_retry",
+                            "sql",
+                            "brute_force",
+                            "degraded",
+                            "errored",
+                        ]
+                        .contains(&name)
+                        {
+                            return Err(format!("{at}.trace.ladder: unknown rung {name:?}"));
+                        }
                     }
                 }
                 let timings = t
@@ -910,6 +1113,56 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
             }
         }
     }
+    if version >= 2 {
+        let deg = doc
+            .get("degradation")
+            .ok_or("missing field \"degradation\"")?;
+        for f in ["degraded", "errored", "fallbacks"] {
+            let v = deg
+                .get(f)
+                .and_then(Json::as_int)
+                .ok_or(format!("degradation: missing integer field {f:?}"))?;
+            if v < 0 {
+                return Err(format!("degradation.{f} = {v} < 0"));
+            }
+        }
+        // Counts must agree with the per-constraint verdicts.
+        for (f, verdict) in [("degraded", "degraded"), ("errored", "errored")] {
+            let count = deg.get(f).and_then(Json::as_int).unwrap_or(0);
+            let tally = constraints
+                .iter()
+                .filter(|c| c.get("verdict").and_then(Json::as_str) == Some(verdict))
+                .count() as i64;
+            if count != tally {
+                return Err(format!(
+                    "degradation.{f} = {count} but {tally} constraints report verdict {verdict:?}"
+                ));
+            }
+        }
+        match deg.get("failpoints") {
+            Some(Json::Null) | None => {}
+            Some(fp) => {
+                fp.get("seed")
+                    .and_then(Json::as_str)
+                    .ok_or("degradation.failpoints: missing string field \"seed\"")?;
+                let fired = fp
+                    .get("fired")
+                    .and_then(Json::as_arr)
+                    .ok_or("degradation.failpoints: missing array field \"fired\"")?;
+                for (i, s) in fired.iter().enumerate() {
+                    s.get("site").and_then(Json::as_str).ok_or(format!(
+                        "degradation.failpoints.fired[{i}]: missing \"site\""
+                    ))?;
+                    let n = s.get("count").and_then(Json::as_int).ok_or(format!(
+                        "degradation.failpoints.fired[{i}]: missing \"count\""
+                    ))?;
+                    if n < 0 {
+                        return Err(format!("degradation.failpoints.fired[{i}]: count {n} < 0"));
+                    }
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -956,6 +1209,7 @@ mod tests {
             telemetry_enabled: false,
             constraints: Vec::new(),
             fleet: None,
+            degradation: DegradationSummary::default(),
         };
         validate_metrics_json(&m.to_json()).unwrap();
     }
@@ -978,6 +1232,7 @@ mod tests {
             telemetry_enabled: true,
             constraints: Vec::new(),
             fleet: Some(fleet.clone()),
+            degradation: DegradationSummary::default(),
         };
         validate_metrics_json(&good.to_json()).unwrap();
         fleet.total.created_nodes += 1;
@@ -986,6 +1241,7 @@ mod tests {
             telemetry_enabled: true,
             constraints: Vec::new(),
             fleet: Some(fleet),
+            degradation: DegradationSummary::default(),
         };
         let err = validate_metrics_json(&bad.to_json()).unwrap_err();
         assert!(err.contains("created_nodes"), "{err}");

@@ -14,32 +14,77 @@ use crate::error::{Result, StoreError};
 use crate::relation::Relation;
 use crate::value::Raw;
 
-/// A parse failure, with 1-based line number.
+/// A parse failure, with 1-based line number and (when known) the 1-based
+/// column of the offending character on that line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsvError {
-    /// Line where the problem was found.
+    /// Line where the problem was found. For arity errors this is the line
+    /// the row *starts* on — robust to quoted fields spanning newlines and
+    /// to skipped blank lines.
     pub line: usize,
+    /// Column of the offending character, when a single character is to
+    /// blame (stray quote, invalid byte). `None` for whole-row problems.
+    pub column: Option<usize>,
     /// Description.
     pub message: String,
 }
 
 impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CSV error at line {}: {}", self.line, self.message)
+        match self.column {
+            Some(col) => write!(
+                f,
+                "CSV error at line {}, column {col}: {}",
+                self.line, self.message
+            ),
+            None => write!(f, "CSV error at line {}: {}", self.line, self.message),
+        }
     }
 }
 
 impl std::error::Error for CsvError {}
 
+/// Parse CSV bytes into raw rows, rejecting invalid UTF-8 with the line
+/// and column of the first bad byte instead of panicking or lossily
+/// substituting. Use this for data read straight off disk or a socket.
+pub fn parse_csv_bytes(bytes: &[u8]) -> std::result::Result<Vec<Vec<Raw>>, CsvError> {
+    match std::str::from_utf8(bytes) {
+        Ok(text) => parse_csv(text),
+        Err(e) => {
+            let prefix = &bytes[..e.valid_up_to()];
+            let line = 1 + prefix.iter().filter(|&&b| b == b'\n').count();
+            let line_start = prefix
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map_or(0, |i| i + 1);
+            Err(CsvError {
+                line,
+                column: Some(prefix.len() - line_start + 1),
+                message: format!(
+                    "invalid UTF-8 (byte 0x{:02X} at offset {})",
+                    bytes[e.valid_up_to()],
+                    e.valid_up_to()
+                ),
+            })
+        }
+    }
+}
+
 /// Parse CSV text into raw rows. Empty lines are skipped. All rows must
 /// have the same arity.
 pub fn parse_csv(text: &str) -> std::result::Result<Vec<Vec<Raw>>, CsvError> {
     let mut rows: Vec<Vec<Raw>> = Vec::new();
+    // The physical line each parsed row starts on, parallel to `rows` —
+    // arity diagnostics must survive blank lines and quoted newlines.
+    let mut row_lines: Vec<usize> = Vec::new();
     let mut field = String::new();
     let mut row: Vec<Raw> = Vec::new();
     let mut in_quotes = false;
     let mut field_was_quoted = false;
     let mut line = 1usize;
+    let mut col = 0usize;
+    let mut row_start = 1usize;
+    let mut quote_open = (1usize, 1usize);
     let mut chars = text.chars().peekable();
     let mut any_field = false;
 
@@ -57,10 +102,15 @@ pub fn parse_csv(text: &str) -> std::result::Result<Vec<Vec<Raw>>, CsvError> {
     }
 
     while let Some(c) = chars.next() {
+        col += 1;
+        if !any_field && field.is_empty() && row.is_empty() && !matches!(c, '\n' | '\r') {
+            row_start = line;
+        }
         match c {
             '"' if in_quotes => {
                 if chars.peek() == Some(&'"') {
                     chars.next();
+                    col += 1;
                     field.push('"');
                 } else {
                     in_quotes = false;
@@ -71,10 +121,12 @@ pub fn parse_csv(text: &str) -> std::result::Result<Vec<Vec<Raw>>, CsvError> {
                 in_quotes = true;
                 field_was_quoted = true;
                 any_field = true;
+                quote_open = (line, col);
             }
             '"' => {
                 return Err(CsvError {
                     line,
+                    column: Some(col),
                     message: "quote inside an unquoted field".to_owned(),
                 })
             }
@@ -88,14 +140,17 @@ pub fn parse_csv(text: &str) -> std::result::Result<Vec<Vec<Raw>>, CsvError> {
                 if any_field || !field.is_empty() {
                     finish_field(&mut field, &mut row, field_was_quoted);
                     rows.push(std::mem::take(&mut row));
+                    row_lines.push(row_start);
                 }
                 field_was_quoted = false;
                 any_field = false;
                 line += 1;
+                col = 0;
             }
             c => {
                 if c == '\n' {
                     line += 1;
+                    col = 0;
                 }
                 field.push(c);
                 any_field = true;
@@ -104,20 +159,23 @@ pub fn parse_csv(text: &str) -> std::result::Result<Vec<Vec<Raw>>, CsvError> {
     }
     if in_quotes {
         return Err(CsvError {
-            line,
+            line: quote_open.0,
+            column: Some(quote_open.1),
             message: "unterminated quoted field".to_owned(),
         });
     }
     if any_field || !field.is_empty() {
         finish_field(&mut field, &mut row, field_was_quoted);
         rows.push(row);
+        row_lines.push(row_start);
     }
     if let Some(first) = rows.first() {
         let arity = first.len();
         for (i, r) in rows.iter().enumerate() {
             if r.len() != arity {
                 return Err(CsvError {
-                    line: i + 1,
+                    line: row_lines[i],
+                    column: None,
                     message: format!("expected {arity} fields, found {}", r.len()),
                 });
             }
@@ -245,11 +303,51 @@ mod tests {
     fn ragged_rows_rejected() {
         let err = parse_csv("a,b\nc\n").unwrap_err();
         assert!(err.message.contains("expected 2 fields"));
+        assert_eq!(err.line, 2);
+        assert_eq!(err.column, None);
+    }
+
+    #[test]
+    fn arity_error_reports_physical_start_line() {
+        // Row 2 starts on physical line 4: a blank line and a quoted
+        // newline both shift physical lines past the row index.
+        let err = parse_csv("\"a\nb\",1\n\nc\n").unwrap_err();
+        assert!(err.message.contains("expected 2 fields, found 1"));
+        assert_eq!(err.line, 4, "line of the short row, not its row index");
     }
 
     #[test]
     fn unterminated_quote_rejected() {
-        assert!(parse_csv("\"oops,1\n").is_err());
+        let err = parse_csv("\"oops,1\n").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!((err.line, err.column), (1, Some(1)), "where it opened");
+    }
+
+    #[test]
+    fn stray_quote_reports_line_and_column() {
+        let err = parse_csv("a,1\nbad\"field,2\n").unwrap_err();
+        assert!(err.message.contains("quote inside an unquoted field"));
+        assert_eq!((err.line, err.column), (2, Some(4)));
+    }
+
+    #[test]
+    fn reopened_quote_after_closing_rejected_with_position() {
+        // `"x" "` — a second quote once the quoted field already closed.
+        let err = parse_csv("\"x\" \"y,1\n").unwrap_err();
+        assert!(err.message.contains("quote inside an unquoted field"));
+        assert_eq!((err.line, err.column), (1, Some(5)));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected_with_position() {
+        let err = parse_csv_bytes(b"a,1\nb,\xFF2\n").unwrap_err();
+        assert!(err.message.contains("invalid UTF-8"));
+        assert_eq!((err.line, err.column), (2, Some(3)));
+        // And a clean byte stream parses identically to the str path.
+        assert_eq!(
+            parse_csv_bytes(b"a,1\nb,2\n").unwrap(),
+            parse_csv("a,1\nb,2\n").unwrap()
+        );
     }
 
     #[test]

@@ -51,6 +51,39 @@ if [ "$rc" -ge 2 ]; then
 fi
 cargo run --release --quiet --bin relcheck -- metrics-check "$METRICS_OUT"
 
+step "fault-injection smoke: each failpoint site, fixed seed"
+# Fire every site at probability 1 with a fixed seed; the run must still
+# terminate cleanly (exit 0 — injected faults are reported as DEGRADED/
+# ERRORED, not as violations — or exit 1 when the surviving constraints
+# include the fixture's genuine violations), the metrics document must
+# stay schema-valid, and the degradation section must record the firing.
+for site in index-build snapshot-decode lane-spawn apply sql-fallback; do
+    spec="$site=1"
+    # The sql-fallback site only fires once the ladder actually reaches the
+    # SQL rung, so knock out the BDD rung alongside it.
+    if [ "$site" = sql-fallback ]; then spec="apply=1,sql-fallback=1"; fi
+    set +e
+    cargo run --release --quiet --bin relcheck -- \
+        run testdata/phones.spec --threads 2 \
+        --fail-spec "$spec" --fail-seed 20070415 \
+        --metrics "$METRICS_OUT" >/dev/null
+    rc=$?
+    set -e
+    if [ "$rc" -ge 2 ]; then
+        echo "fault-injection run for site $site failed operationally (exit $rc)" >&2
+        exit 1
+    fi
+    cargo run --release --quiet --bin relcheck -- metrics-check "$METRICS_OUT"
+    if ! grep -q "\"failpoints\":{\"seed\":\"20070415\"" "$METRICS_OUT"; then
+        echo "metrics for site $site missing the armed failpoint seed" >&2
+        exit 1
+    fi
+    if ! grep -q "{\"site\":\"$site\",\"count\":[1-9]" "$METRICS_OUT"; then
+        echo "metrics for site $site record no firing at that site" >&2
+        exit 1
+    fi
+done
+
 step "formatting (cargo fmt --check)"
 cargo fmt --all --check
 

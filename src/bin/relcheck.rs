@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY] [--threads N]
-//!                          [--metrics PATH]
+//!                          [--metrics PATH] [--deadline-ms N]
+//!                          [--fail-spec SPEC] [--fail-seed N]
 //! relcheck explain <spec-file> <constraint-name>
 //! relcheck metrics-check <metrics.json>
 //! ```
@@ -19,8 +20,18 @@
 //! telemetry and writes the machine-readable run report (the schema in
 //! DESIGN.md) to PATH; `metrics-check` validates such a file against the
 //! schema and its conservation laws.
+//!
+//! Resilience controls: `--deadline-ms N` bounds the wall-clock time any
+//! single constraint may spend inside the BDD engine — a constraint that
+//! exceeds it walks the degradation ladder (SQL fallback, brute force)
+//! instead of stalling the run. `--fail-spec 'site=p,...'` arms the
+//! deterministic fault-injection registry (sites: `index-build`,
+//! `snapshot-decode`, `lane-spawn`, `apply`, `sql-fallback`) with firing
+//! probability `p`, seeded by `--fail-seed N` (default 0). Constraints that
+//! cannot be decided under injected faults report `DEGRADED`/`ERRORED`
+//! verdicts; only genuine `VIOLATED` verdicts make the exit code non-zero.
 
-use relcheck::core_::checker::{Checker, CheckerOptions};
+use relcheck::core_::checker::{Checker, CheckerOptions, Verdict};
 use relcheck::core_::ordering::OrderingStrategy;
 use relcheck::core_::telemetry::{validate_metrics_json, RunMetrics};
 use relcheck::relstore::Database;
@@ -47,7 +58,7 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage:\n  relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY] [--threads N] \
-     [--metrics PATH]\n  \
+     [--metrics PATH] [--deadline-ms N] [--fail-spec SPEC] [--fail-seed N]\n  \
      relcheck explain <spec-file> <constraint-name>\n  \
      relcheck metrics-check <metrics.json>"
         .to_owned()
@@ -141,6 +152,28 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         return Err("--sql and --threads cannot be combined".to_owned());
     }
     let metrics_path = flag_value(args, "--metrics").map(str::to_owned);
+    let deadline = flag_value(args, "--deadline-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| "--deadline-ms expects a number of milliseconds".to_owned())
+        })
+        .transpose()?
+        .map(std::time::Duration::from_millis);
+    let fail_seed: u64 = flag_value(args, "--fail-seed")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--fail-seed expects a number".to_owned())
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if let Some(spec) = flag_value(args, "--fail-spec") {
+        relcheck::bdd::failpoint::configure_spec(spec, fail_seed)
+            .map_err(|e| format!("--fail-spec: {e}"))?;
+        // Injected lane panics are caught and folded into `ERRORED`
+        // verdicts; keep the default hook from spraying backtraces for
+        // faults we asked for.
+        std::panic::set_hook(Box::new(|_| {}));
+    }
     let (spec, db) = load(spec_path)?;
     if spec.constraints.is_empty() {
         return Err("spec declares no constraints".to_owned());
@@ -148,6 +181,7 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     let opts = CheckerOptions {
         ordering,
         telemetry: metrics_path.is_some(),
+        deadline,
         ..Default::default()
     };
     let mut checker = Checker::new(db, opts);
@@ -178,17 +212,32 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     let mut clean = true;
     let mut violated = Vec::new();
     for (c, (name, report)) in spec.constraints.iter().zip(&reports) {
+        let status = match report.verdict {
+            Verdict::Holds => "ok",
+            Verdict::Violated => "VIOLATED",
+            Verdict::Degraded => "DEGRADED",
+            Verdict::Errored => "ERRORED",
+        };
         println!(
             "{:<32} {:<9} via {:?} in {:.2?}",
-            name,
-            if report.holds { "ok" } else { "VIOLATED" },
-            report.method,
-            report.elapsed
+            name, status, report.method, report.elapsed
         );
-        if !report.holds {
+        if let Some(err) = &report.error {
+            println!("{:<32} ^ {err}", "");
+        }
+        // Only a proven violation flips the exit code; `DEGRADED` and
+        // `ERRORED` mean "undecided under faults", not "violated".
+        if report.verdict == Verdict::Violated {
             clean = false;
             violated.push(c);
         }
+    }
+    let undecided = reports
+        .iter()
+        .filter(|(_, r)| !r.verdict.is_decided())
+        .count();
+    if undecided > 0 {
+        println!("\n{undecided} constraint(s) undecided (degraded or errored) — rerun fault-free to decide them");
     }
     for c in violated {
         println!("\nviolating tuples of {:?} (up to {limit}):", c.name);
