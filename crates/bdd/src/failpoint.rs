@@ -16,12 +16,18 @@
 //! at exactly one parallel lane by keying on the lane index.
 //!
 //! Sites (see [`SITES`]): `index-build`, `snapshot-decode`, `lane-spawn`,
-//! `apply`, `sql-fallback`. The CLI exposes the registry as
-//! `relcheck run --fail-spec 'site=p[,site=p...]' --fail-seed N`.
+//! `apply`, `sql-fallback`, plus the persistent-index-store write path
+//! (`segment-write`, `journal-append`, `manifest-write`). The CLI exposes
+//! the registry as `relcheck run --fail-spec 'site=p[,site=p...]'
+//! --fail-seed N`.
 //!
 //! Probes at `Result` sites return [`crate::BddError::FaultInjected`];
 //! the `lane-spawn` site is probed by the parallel engine, which responds
-//! by panicking inside the lane to exercise panic isolation.
+//! by panicking inside the lane to exercise panic isolation. The store's
+//! write-path sites simulate a kill -9 mid-syscall: the probing code
+//! deliberately leaves a *torn* file (a partial write at the final path)
+//! before erroring, so crash recovery is exercised against exactly the
+//! artifacts a real crash would leave.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -36,14 +42,26 @@ pub const LANE_SPAWN: &str = "lane-spawn";
 pub const APPLY: &str = "apply";
 /// Failpoint site: entry to the SQL fallback evaluator.
 pub const SQL_FALLBACK: &str = "sql-fallback";
+/// Failpoint site: writing an index segment file in the persistent store.
+/// Fires as a torn write: half the bytes land at the final path.
+pub const SEGMENT_WRITE: &str = "segment-write";
+/// Failpoint site: appending a delta record to a tuple journal. Fires as a
+/// torn append: a partial record lands at the journal tail.
+pub const JOURNAL_APPEND: &str = "journal-append";
+/// Failpoint site: committing the store manifest. Fires as a torn write at
+/// the final manifest path, bypassing the write-temp/rename protocol.
+pub const MANIFEST_WRITE: &str = "manifest-write";
 
 /// Every site name the registry accepts, in catalog order.
-pub const SITES: [&str; 5] = [
+pub const SITES: [&str; 8] = [
     INDEX_BUILD,
     SNAPSHOT_DECODE,
     LANE_SPAWN,
     APPLY,
     SQL_FALLBACK,
+    SEGMENT_WRITE,
+    JOURNAL_APPEND,
+    MANIFEST_WRITE,
 ];
 
 static ENABLED: AtomicBool = AtomicBool::new(false);

@@ -70,7 +70,9 @@ pub use manager::{
 pub use quant::VarSet;
 pub use replace::ReplaceMap;
 pub use sat::SatAssignments;
-pub use serialize::{DecodeError, ExportedBdd, ExportedRelation};
+pub use serialize::{
+    crc32, decode_frame, encode_frame, DecodeError, ExportedBdd, ExportedRelation, FRAME_HEADER_LEN,
+};
 
 /// Binary boolean connectives accepted by [`BddManager::apply`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

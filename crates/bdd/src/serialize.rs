@@ -47,6 +47,94 @@ fn decode_err<T>(offset: usize, reason: &'static str) -> DecodeResult<T> {
     Err(DecodeError { offset, reason })
 }
 
+/// CRC-32 (IEEE 802.3, the `cksum`/zlib polynomial), table-driven. The
+/// persistent index store checksums every segment, journal record, and
+/// manifest with this; a hand-rolled implementation keeps the workspace
+/// free of external crates.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Byte length of the fixed [`encode_frame`] header that precedes the meta
+/// and payload sections: magic (4) + version (4) + meta length (4) +
+/// payload length (8) + CRC-32 (4).
+pub const FRAME_HEADER_LEN: usize = 24;
+
+/// Wrap `meta ++ payload` in a checksummed, versioned frame:
+/// `magic(4) | version(4, LE) | meta_len(4, LE) | payload_len(8, LE) |
+/// crc32(meta ++ payload)(4, LE) | meta | payload`.
+///
+/// The persistent index store uses this for segment and manifest files:
+/// `meta` holds small fixed headers (fingerprints, sequence numbers) that
+/// must be readable without decoding the payload, and the CRC covers both
+/// sections so a bit flip anywhere is detected by [`decode_frame`].
+pub fn encode_frame(magic: [u8; 4], version: u32, meta: &[u8], payload: &[u8]) -> Vec<u8> {
+    let mut crc_input = Vec::with_capacity(meta.len() + payload.len());
+    crc_input.extend_from_slice(meta);
+    crc_input.extend_from_slice(payload);
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + crc_input.len());
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    out.extend_from_slice(&crc_input);
+    out
+}
+
+/// Inverse of [`encode_frame`]: validate magic, version, section lengths,
+/// and the CRC, returning `(meta, payload)` slices into `bytes`. Every
+/// failure is a typed [`DecodeError`] with the offset where the input
+/// stopped making sense — truncation, bit flips, wrong file type, and
+/// future format versions are all distinguished, never panicked on.
+pub fn decode_frame(bytes: &[u8], magic: [u8; 4], version: u32) -> DecodeResult<(&[u8], &[u8])> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return decode_err(bytes.len(), "frame header truncated");
+    }
+    if bytes[0..4] != magic {
+        return decode_err(0, "bad magic (not this file type)");
+    }
+    let got_version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if got_version != version {
+        return decode_err(4, "unsupported format version");
+    }
+    let meta_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    let body_len = (meta_len as u64).saturating_add(payload_len);
+    if bytes.len() as u64 - FRAME_HEADER_LEN as u64 != body_len {
+        return decode_err(bytes.len(), "frame body length disagrees with the header");
+    }
+    let body = &bytes[FRAME_HEADER_LEN..];
+    if crc32(body) != crc {
+        return decode_err(20, "frame checksum mismatch");
+    }
+    Ok((&body[..meta_len], &body[meta_len..]))
+}
+
 /// A manager-independent BDD snapshot: nodes in bottom-up topological
 /// order. Entry `i` describes node `i + 2`; references `0` and `1` are the
 /// terminals, references `r ≥ 2` point at entry `r - 2`. The root is the
@@ -622,6 +710,69 @@ mod tests {
             m2.import_relation(&e),
             Err(BddError::UnmappedVariable { .. })
         ));
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_header_len() {
+        let enc = encode_frame(*b"TEST", 7, b"meta", b"payload-bytes");
+        assert_eq!(enc.len(), FRAME_HEADER_LEN + 4 + 13);
+        let (meta, payload) = decode_frame(&enc, *b"TEST", 7).unwrap();
+        assert_eq!(meta, b"meta");
+        assert_eq!(payload, b"payload-bytes");
+        // Empty sections are legal.
+        let empty = encode_frame(*b"TEST", 7, b"", b"");
+        let (m, p) = decode_frame(&empty, *b"TEST", 7).unwrap();
+        assert!(m.is_empty() && p.is_empty());
+    }
+
+    #[test]
+    fn frame_rejects_wrong_magic_and_version() {
+        let enc = encode_frame(*b"TEST", 7, b"m", b"p");
+        let e = decode_frame(&enc, *b"OTHR", 7).unwrap_err();
+        assert_eq!(e.offset, 0);
+        assert!(e.reason.contains("magic"));
+        let e = decode_frame(&enc, *b"TEST", 8).unwrap_err();
+        assert_eq!(e.offset, 4);
+        assert!(e.reason.contains("version"));
+    }
+
+    #[test]
+    fn frame_rejects_every_truncation() {
+        let enc = encode_frame(*b"TEST", 1, b"abc", b"defghij");
+        for cut in 0..enc.len() {
+            let e = decode_frame(&enc[..cut], *b"TEST", 1).unwrap_err();
+            assert!(e.offset <= cut, "offset {} beyond cut {cut}", e.offset);
+        }
+    }
+
+    #[test]
+    fn frame_detects_every_single_bit_flip() {
+        let enc = encode_frame(*b"TEST", 1, b"abc", b"defghij");
+        for byte in 0..enc.len() {
+            for bit in 0..8u8 {
+                let mut bad = enc.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_frame(&bad, *b"TEST", 1).is_err(),
+                    "undetected flip at byte {byte} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_rejects_length_mismatch() {
+        let mut enc = encode_frame(*b"TEST", 1, b"abc", b"defghij");
+        enc.push(0); // trailing garbage
+        let e = decode_frame(&enc, *b"TEST", 1).unwrap_err();
+        assert!(e.reason.contains("length"));
     }
 
     #[test]

@@ -193,8 +193,10 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// The budget-style aborts the degradation ladder absorbs; anything else
-/// propagates as a hard error.
-fn budget_abort(e: &CoreError) -> Option<BddError> {
+/// propagates as a hard error. The persistent index store reuses this
+/// classification: a warm-start build that aborts on budget routes the
+/// relation to SQL-only exactly like a cold build would.
+pub(crate) fn budget_abort(e: &CoreError) -> Option<BddError> {
     match e {
         CoreError::Bdd(
             b @ (BddError::NodeLimit { .. }
@@ -329,6 +331,15 @@ impl Checker {
         if self.ldb.has_index(name) {
             return Ok(true);
         }
+        self.rebuild_index(name)
+    }
+
+    /// Build a fresh index for a relation right now, replacing any index it
+    /// already has — the persistent store's recovery path, where a cached
+    /// index turned out to be unusable partway through adoption. Budget
+    /// aborts route the relation to SQL-only exactly like
+    /// [`Checker::ensure_index`] would.
+    pub fn rebuild_index(&mut self, name: &str) -> Result<bool> {
         match self.ldb.build_index(name, self.opts.ordering) {
             Ok(_) => Ok(true),
             // A budget abort — node limit, deadline, or injected fault —

@@ -23,6 +23,28 @@ pub enum CoreError {
     /// An index snapshot's byte representation failed structural
     /// validation (truncated, bit-flipped, or otherwise corrupted input).
     SnapshotDecode(DecodeError),
+    /// A filesystem operation in the persistent index store failed.
+    /// `std::io::Error` is neither `Clone` nor `Eq`, so the store captures
+    /// the operation, path, and rendered message instead.
+    Io {
+        /// What was being attempted (`"open"`, `"write"`, `"rename"`, …).
+        op: &'static str,
+        /// The path involved.
+        path: String,
+        /// The rendered `std::io::Error`.
+        message: String,
+    },
+    /// A journaled value belongs to a domain the cached index cannot
+    /// represent: replaying it would need a wider BDD block than the
+    /// segment was built with. The store answers this by rebuilding.
+    DomainOverflow {
+        /// Relation whose cached index is too narrow.
+        relation: String,
+        /// The attribute class that outgrew its block.
+        class: String,
+    },
+    /// `relcheck index` was asked about a relation with no cache entry.
+    NotCached(String),
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +63,16 @@ impl fmt::Display for CoreError {
                 write!(f, "no BDD index built for relation {rel:?}")
             }
             CoreError::SnapshotDecode(e) => write!(f, "snapshot: {e}"),
+            CoreError::Io { op, path, message } => {
+                write!(f, "index store: cannot {op} {path}: {message}")
+            }
+            CoreError::DomainOverflow { relation, class } => write!(
+                f,
+                "cached index for {relation:?} cannot represent new {class:?} values (domain overflow)"
+            ),
+            CoreError::NotCached(rel) => {
+                write!(f, "no cached index for relation {rel:?}")
+            }
         }
     }
 }

@@ -63,6 +63,7 @@ pub mod ordering;
 pub mod parallel;
 pub mod registry;
 pub mod sqlgen;
+pub mod store;
 pub mod telemetry;
 
 pub use checker::{CheckReport, Checker, CheckerOptions, Method, Verdict};
@@ -71,7 +72,8 @@ pub use index::{IndexSnapshot, LogicalDatabase};
 pub use ordering::OrderingStrategy;
 pub use parallel::{IndexTransfer, ParallelChecker};
 pub use registry::ConstraintRegistry;
+pub use store::{Delta, IndexStore, VerifyStatus};
 pub use telemetry::{
-    CheckTrace, DegradationSummary, FallbackReason, FleetTelemetry, RewriteRule, RuleFiring,
-    RunMetrics, WorkerTelemetry,
+    CheckTrace, DegradationSummary, FallbackReason, FleetTelemetry, IndexCacheMetrics,
+    RecoveryRecord, RewriteRule, RuleFiring, RunMetrics, WorkerTelemetry,
 };

@@ -175,6 +175,28 @@ impl ConstraintRegistry {
         Ok(out)
     }
 
+    /// Apply a batch of tuple deltas through the persistent store's
+    /// journaled incremental-maintenance path, then revalidate exactly
+    /// the constraints reading a touched relation. Each delta is durable
+    /// (journal-first with fsync) before it is applied, so a crash
+    /// between the apply and the next check loses no acknowledged
+    /// update — the next warm start replays the journal.
+    pub fn revalidate_after_deltas(
+        &mut self,
+        checker: &mut Checker,
+        store: &mut crate::store::IndexStore,
+        deltas: &[(String, crate::store::Delta)],
+    ) -> Result<Vec<(String, Verdict)>> {
+        let mut touched: Vec<&str> = Vec::new();
+        for (relation, delta) in deltas {
+            store.journaled_apply(checker, relation, delta)?;
+            if !touched.contains(&relation.as_str()) {
+                touched.push(relation);
+            }
+        }
+        self.revalidate(checker, &touched)
+    }
+
     /// Currently-cached verdicts (`None` = never validated).
     pub fn cached(&self) -> HashMap<String, Option<bool>> {
         self.entries

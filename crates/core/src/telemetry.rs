@@ -239,7 +239,75 @@ pub struct DegradationSummary {
     pub failpoints: Option<(u64, Vec<(&'static str, u64)>)>,
 }
 
-/// The top-level machine-readable report (`schema_version` 2). See
+/// Closed vocabulary of index-store recovery reasons. The metrics
+/// validator rejects anything outside this list, so a new failure mode
+/// must be named here (and documented in DESIGN.md §5d) before it can
+/// ship.
+pub mod recovery_reason {
+    /// The manifest failed frame or structural validation.
+    pub const MANIFEST_CORRUPT: &str = "manifest_corrupt";
+    /// A segment file failed its checksum or decode.
+    pub const SEGMENT_CORRUPT: &str = "segment_corrupt";
+    /// The manifest referenced a segment file that is not on disk.
+    pub const SEGMENT_MISSING: &str = "segment_missing";
+    /// A journal record in the body of the journal failed its CRC.
+    pub const JOURNAL_CORRUPT: &str = "journal_corrupt";
+    /// The journal ended in a partial record (torn append); the tail was
+    /// discarded. This alone does not force a rebuild.
+    pub const JOURNAL_TORN: &str = "journal_torn";
+    /// The base CSV (or a sibling sharing an attribute class) changed
+    /// since the segment was written.
+    pub const STALE_FINGERPRINT: &str = "stale_fingerprint";
+    /// Journaled values need a wider BDD block than the segment has.
+    pub const DOMAIN_OVERFLOW: &str = "domain_overflow";
+    /// Replaying a journal record through incremental maintenance failed.
+    pub const REPLAY_FAILED: &str = "replay_failed";
+    /// Every legal reason, for validation.
+    pub const ALL: [&str; 8] = [
+        MANIFEST_CORRUPT,
+        SEGMENT_CORRUPT,
+        SEGMENT_MISSING,
+        JOURNAL_CORRUPT,
+        JOURNAL_TORN,
+        STALE_FINGERPRINT,
+        DOMAIN_OVERFLOW,
+        REPLAY_FAILED,
+    ];
+}
+
+/// One recovery event from the persistent index store: something on disk
+/// was unusable, the store said why, and the run carried on correctly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    /// Relation whose cache entry was affected.
+    pub relation: String,
+    /// One of [`recovery_reason`]'s constants.
+    pub reason: &'static str,
+    /// Human-readable specifics (decode offset, fingerprints, …).
+    pub detail: String,
+}
+
+/// Persistent-index-store counters for one run (`index_cache` in the
+/// schema). `None` on `RunMetrics` means the run had no `--index-cache`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexCacheMetrics {
+    /// Relations warm-started from a valid cached segment.
+    pub hits: u64,
+    /// Relations with no usable cache entry (built from scratch).
+    pub misses: u64,
+    /// Relations whose cache entry existed but was unusable — a subset of
+    /// the misses, each explained by a [`RecoveryRecord`].
+    pub rebuilds: u64,
+    /// Journaled tuple deltas replayed through incremental maintenance.
+    pub journal_replayed: u64,
+    /// Best-effort cache writes that failed (the run continues; the cache
+    /// just stays cold for those relations).
+    pub write_failures: u64,
+    /// Every recovery event, in detection order.
+    pub recoveries: Vec<RecoveryRecord>,
+}
+
+/// The top-level machine-readable report (`schema_version` 3). See
 /// `DESIGN.md` for field meanings and stability guarantees.
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
@@ -254,6 +322,9 @@ pub struct RunMetrics {
     pub fleet: Option<FleetTelemetry>,
     /// Degraded/errored counts and fault-injection evidence.
     pub degradation: DegradationSummary,
+    /// Persistent index store counters; `None` when the run did not use
+    /// `--index-cache`. Assembled by the caller after `from_reports`.
+    pub index_cache: Option<IndexCacheMetrics>,
 }
 
 impl RunMetrics {
@@ -299,15 +370,16 @@ impl RunMetrics {
                 .collect(),
             fleet,
             degradation,
+            index_cache: None,
         }
     }
 
-    /// Render the schema-version-2 JSON document.
+    /// Render the schema-version-3 JSON document.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.obj_open();
         w.key("schema_version");
-        w.raw("2");
+        w.raw("3");
         w.key("tool");
         w.string("relcheck");
         w.key("threads");
@@ -331,9 +403,42 @@ impl RunMetrics {
         }
         w.key("degradation");
         write_degradation(&mut w, &self.degradation);
+        w.key("index_cache");
+        match &self.index_cache {
+            None => w.raw("null"),
+            Some(ic) => write_index_cache(&mut w, ic),
+        }
         w.obj_close();
         w.finish()
     }
+}
+
+fn write_index_cache(w: &mut JsonWriter, ic: &IndexCacheMetrics) {
+    w.obj_open();
+    for (k, v) in [
+        ("hits", ic.hits),
+        ("misses", ic.misses),
+        ("rebuilds", ic.rebuilds),
+        ("journal_replayed", ic.journal_replayed),
+        ("write_failures", ic.write_failures),
+    ] {
+        w.key(k);
+        w.raw(&v.to_string());
+    }
+    w.key("recoveries");
+    w.arr_open();
+    for r in &ic.recoveries {
+        w.obj_open();
+        w.key("relation");
+        w.string(&r.relation);
+        w.key("reason");
+        w.string(r.reason);
+        w.key("detail");
+        w.string(&r.detail);
+        w.obj_close();
+    }
+    w.arr_close();
+    w.obj_close();
 }
 
 fn method_name(m: Method) -> &'static str {
@@ -912,7 +1017,7 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
         .get("schema_version")
         .and_then(Json::as_int)
         .ok_or("missing integer field \"schema_version\"")?;
-    if version != 1 && version != 2 {
+    if !(1..=3).contains(&version) {
         return Err(format!("unsupported schema_version {version}"));
     }
     doc.get("threads")
@@ -1163,6 +1268,59 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
             }
         }
     }
+    if version >= 3 {
+        let ic = doc
+            .get("index_cache")
+            .ok_or("missing field \"index_cache\"")?;
+        if !matches!(ic, Json::Null) {
+            for f in [
+                "hits",
+                "misses",
+                "rebuilds",
+                "journal_replayed",
+                "write_failures",
+            ] {
+                let v = ic
+                    .get(f)
+                    .and_then(Json::as_int)
+                    .ok_or(format!("index_cache: missing integer field {f:?}"))?;
+                if v < 0 {
+                    return Err(format!("index_cache.{f} = {v} < 0"));
+                }
+            }
+            let recoveries = ic
+                .get("recoveries")
+                .and_then(Json::as_arr)
+                .ok_or("index_cache: missing array field \"recoveries\"")?;
+            for (i, r) in recoveries.iter().enumerate() {
+                r.get("relation")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("index_cache.recoveries[{i}]: missing \"relation\""))?;
+                let reason = r
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("index_cache.recoveries[{i}]: missing \"reason\""))?;
+                if !recovery_reason::ALL.contains(&reason) {
+                    return Err(format!(
+                        "index_cache.recoveries[{i}]: unknown reason {reason:?}"
+                    ));
+                }
+                r.get("detail")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("index_cache.recoveries[{i}]: missing \"detail\""))?;
+            }
+            // Conservation: every rebuild is explained by a recovery
+            // record (some records — e.g. a salvaged torn journal tail —
+            // do not force a rebuild, so ≤ rather than =).
+            let rebuilds = ic.get("rebuilds").and_then(Json::as_int).unwrap_or(0);
+            if rebuilds > recoveries.len() as i64 {
+                return Err(format!(
+                    "index_cache.rebuilds = {rebuilds} exceeds the {} recovery record(s)",
+                    recoveries.len()
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -1210,8 +1368,69 @@ mod tests {
             constraints: Vec::new(),
             fleet: None,
             degradation: DegradationSummary::default(),
+            index_cache: None,
         };
         validate_metrics_json(&m.to_json()).unwrap();
+    }
+
+    #[test]
+    fn index_cache_metrics_validate_and_conserve() {
+        let mut m = RunMetrics {
+            threads: 1,
+            telemetry_enabled: false,
+            constraints: Vec::new(),
+            fleet: None,
+            degradation: DegradationSummary::default(),
+            index_cache: Some(IndexCacheMetrics {
+                hits: 1,
+                misses: 2,
+                rebuilds: 1,
+                journal_replayed: 5,
+                write_failures: 0,
+                recoveries: vec![RecoveryRecord {
+                    relation: "R".to_owned(),
+                    reason: recovery_reason::SEGMENT_CORRUPT,
+                    detail: "checksum mismatch at offset 20".to_owned(),
+                }],
+            }),
+        };
+        validate_metrics_json(&m.to_json()).unwrap();
+        // A rebuild with no recovery record explaining it must fail.
+        m.index_cache.as_mut().unwrap().rebuilds = 2;
+        let err = validate_metrics_json(&m.to_json()).unwrap_err();
+        assert!(err.contains("rebuilds"), "{err}");
+        // An off-vocabulary reason must fail (hand-edit the JSON: the
+        // typed constructor cannot produce one).
+        m.index_cache.as_mut().unwrap().rebuilds = 1;
+        let doc = m.to_json().replace("segment_corrupt", "gremlins");
+        let err = validate_metrics_json(&doc).unwrap_err();
+        assert!(err.contains("unknown reason"), "{err}");
+        // v3 documents must carry the field, even as null.
+        let doc = m.to_json();
+        let stripped = doc.replace(
+            &doc[doc.find(",\"index_cache\"").unwrap()..doc.rfind('}').unwrap()],
+            "",
+        );
+        let err = validate_metrics_json(&stripped).unwrap_err();
+        assert!(err.contains("index_cache"), "{err}");
+    }
+
+    #[test]
+    fn validator_accepts_older_schema_versions() {
+        // A v2 document has no index_cache field; the validator must not
+        // demand one.
+        let m = RunMetrics {
+            threads: 1,
+            telemetry_enabled: false,
+            constraints: Vec::new(),
+            fleet: None,
+            degradation: DegradationSummary::default(),
+            index_cache: None,
+        };
+        let v2 = m
+            .to_json()
+            .replace("\"schema_version\":3", "\"schema_version\":2");
+        validate_metrics_json(&v2).unwrap();
     }
 
     #[test]
@@ -1233,6 +1452,7 @@ mod tests {
             constraints: Vec::new(),
             fleet: Some(fleet.clone()),
             degradation: DegradationSummary::default(),
+            index_cache: None,
         };
         validate_metrics_json(&good.to_json()).unwrap();
         fleet.total.created_nodes += 1;
@@ -1242,6 +1462,7 @@ mod tests {
             constraints: Vec::new(),
             fleet: Some(fleet),
             degradation: DegradationSummary::default(),
+            index_cache: None,
         };
         let err = validate_metrics_json(&bad.to_json()).unwrap_err();
         assert!(err.contains("created_nodes"), "{err}");

@@ -123,6 +123,68 @@ impl Database {
         }
     }
 
+    /// A 64-bit fingerprint of everything a relation's logical index
+    /// depends on: arity, column names and classes, the *current size* of
+    /// each referenced class dictionary (which fixes the BDD block widths),
+    /// row count, and the full columnar code matrix. Order-dependent and
+    /// deterministic, so the same spec loading the same CSV bytes always
+    /// fingerprints identically — and a changed CSV (or a changed sibling
+    /// that grew a shared class dictionary) changes the fingerprint. The
+    /// persistent index store records this next to each cached segment to
+    /// detect stale caches.
+    pub fn relation_fingerprint(&self, name: &str) -> Result<u64> {
+        fn mix(state: u64, v: u64) -> u64 {
+            // SplitMix64 finalizer over a running combine: cheap, good
+            // avalanche, and std-only.
+            let mut z = state
+                .rotate_left(7)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(v);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn mix_str(state: u64, s: &str) -> u64 {
+            let mut h = mix(state, s.len() as u64);
+            for chunk in s.as_bytes().chunks(8) {
+                let mut buf = [0u8; 8];
+                buf[..chunk.len()].copy_from_slice(chunk);
+                h = mix(h, u64::from_le_bytes(buf));
+            }
+            h
+        }
+        fn mix_raw(state: u64, v: &Raw) -> u64 {
+            match v {
+                Raw::Int(i) => mix(mix(state, 1), *i as u64),
+                Raw::Str(s) => mix_str(mix(state, 2), s),
+            }
+        }
+        let rel = self.relation(name)?;
+        let schema = rel.schema();
+        let mut h = mix_str(0x5EED_1DE0_F1D0_0001, name);
+        h = mix(h, schema.arity() as u64);
+        for col in schema.columns() {
+            h = mix_str(h, &col.name);
+            h = mix_str(h, &col.class);
+            let size = self.class_size(&col.class);
+            h = mix(h, size);
+            // The raw↔code mapping, in code order: a renamed value that
+            // happens to land on the same code must still change the print.
+            if let Some(dict) = self.dict(&col.class) {
+                for code in 0..size as u32 {
+                    h = mix_raw(h, dict.decode(code));
+                }
+            }
+        }
+        h = mix(h, rel.len() as u64);
+        for i in 0..schema.arity() {
+            for &code in rel.col(i) {
+                h = mix(h, code as u64);
+            }
+        }
+        Ok(h)
+    }
+
     /// Decode one row of a relation back to raw values (for reporting
     /// violating tuples).
     pub fn decode_row(&self, rel: &Relation, row: &[u32]) -> Vec<Raw> {
@@ -197,6 +259,49 @@ mod tests {
         db.ensure_class_size("k", 5);
         assert_eq!(db.class_size("k"), 5);
         assert_eq!(db.code("k", &Raw::Int(3)), Some(3));
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_content_sensitive() {
+        let build = |rows: Vec<Vec<Raw>>| {
+            let mut db = Database::new();
+            db.create_relation("r", &[("city", "city"), ("st", "state")], rows)
+                .unwrap();
+            db.relation_fingerprint("r").unwrap()
+        };
+        let rows = || {
+            vec![
+                vec![Raw::str("Toronto"), Raw::str("ON")],
+                vec![Raw::str("Oshawa"), Raw::str("ON")],
+            ]
+        };
+        assert_eq!(build(rows()), build(rows()), "same content, same print");
+        let mut changed = rows();
+        changed[1][0] = Raw::str("Ottawa");
+        assert_ne!(build(rows()), build(changed), "changed cell changes print");
+        let mut shorter = rows();
+        shorter.pop();
+        assert_ne!(build(rows()), build(shorter), "row count changes print");
+        assert!(
+            Database::new().relation_fingerprint("r").is_err(),
+            "unknown relation is a typed error"
+        );
+    }
+
+    #[test]
+    fn fingerprint_sees_sibling_growing_a_shared_class() {
+        // A sibling relation interning new values into a shared class
+        // changes the class's domain size — and therefore the BDD block
+        // width — so the fingerprint must change even though this
+        // relation's own rows did not.
+        let mut db = Database::new();
+        db.create_relation("r", &[("c", "city")], vec![vec![Raw::str("Toronto")]])
+            .unwrap();
+        let before = db.relation_fingerprint("r").unwrap();
+        db.create_relation("s", &[("c", "city")], vec![vec![Raw::str("Ottawa")]])
+            .unwrap();
+        let after = db.relation_fingerprint("r").unwrap();
+        assert_ne!(before, after);
     }
 
     #[test]

@@ -196,7 +196,32 @@ impl Database {
         csv_text: &str,
         has_header: bool,
     ) -> Result<&Relation> {
-        let mut rows = parse_csv(csv_text).map_err(|e| StoreError::Csv(format!("{name}: {e}")))?;
+        let rows = parse_csv(csv_text).map_err(|e| csv_store_error(name, e))?;
+        self.create_relation_from_rows(name, columns, rows, has_header)
+    }
+
+    /// Like [`Database::create_relation_from_csv`] but starting from raw
+    /// bytes, so invalid UTF-8 read straight off disk surfaces as a typed
+    /// [`StoreError::Csv`] with line/column diagnostics instead of needing
+    /// a lossy or panicking conversion first.
+    pub fn create_relation_from_csv_bytes(
+        &mut self,
+        name: &str,
+        columns: &[(&str, &str)],
+        csv_bytes: &[u8],
+        has_header: bool,
+    ) -> Result<&Relation> {
+        let rows = parse_csv_bytes(csv_bytes).map_err(|e| csv_store_error(name, e))?;
+        self.create_relation_from_rows(name, columns, rows, has_header)
+    }
+
+    fn create_relation_from_rows(
+        &mut self,
+        name: &str,
+        columns: &[(&str, &str)],
+        mut rows: Vec<Vec<Raw>>,
+        has_header: bool,
+    ) -> Result<&Relation> {
         if has_header && !rows.is_empty() {
             rows.remove(0);
         }
@@ -209,6 +234,17 @@ impl Database {
             }
         }
         self.create_relation(name, columns, rows)
+    }
+}
+
+/// Lift a parser-level [`CsvError`] into the catalog's typed error,
+/// preserving the position diagnostics.
+fn csv_store_error(relation: &str, e: CsvError) -> StoreError {
+    StoreError::Csv {
+        relation: relation.to_owned(),
+        line: e.line,
+        column: e.column,
+        message: e.message,
     }
 }
 
@@ -405,6 +441,57 @@ mod tests {
         assert!(flat
             .iter()
             .any(|r| r[1] == Raw::Int(416) && r[2] == Raw::str("416")));
+    }
+
+    #[test]
+    fn database_csv_errors_are_typed_with_position() {
+        let mut db = Database::new();
+        let err = db
+            .create_relation_from_csv("phones", &[("c", "c")], "ok\nbad\"q\n", false)
+            .unwrap_err();
+        match err {
+            StoreError::Csv {
+                relation,
+                line,
+                column,
+                message,
+            } => {
+                assert_eq!(relation, "phones");
+                assert_eq!((line, column), (2, Some(4)));
+                assert!(message.contains("quote inside an unquoted field"));
+            }
+            other => panic!("expected StoreError::Csv, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn database_loads_csv_bytes_and_rejects_bad_utf8() {
+        let mut db = Database::new();
+        let rel = db
+            .create_relation_from_csv_bytes(
+                "phones",
+                &[("city", "city"), ("areacode", "areacode")],
+                b"city,areacode\nToronto,416\n",
+                true,
+            )
+            .unwrap();
+        assert_eq!(rel.len(), 1);
+        let err = db
+            .create_relation_from_csv_bytes("bad", &[("c", "c")], b"a\n\xFF\n", false)
+            .unwrap_err();
+        match err {
+            StoreError::Csv {
+                relation,
+                line,
+                column,
+                message,
+            } => {
+                assert_eq!(relation, "bad");
+                assert_eq!((line, column), (2, Some(1)));
+                assert!(message.contains("invalid UTF-8"));
+            }
+            other => panic!("expected StoreError::Csv, got {other:?}"),
+        }
     }
 
     #[test]

@@ -38,8 +38,20 @@ pub enum StoreError {
     },
     /// A relation with this name already exists.
     DuplicateRelation(String),
-    /// Malformed CSV input.
-    Csv(String),
+    /// Malformed CSV input. Carries the position diagnostics from the
+    /// parser so callers can point at the offending character instead of
+    /// panicking or reporting a bare string.
+    Csv {
+        /// Relation the document was being loaded into.
+        relation: String,
+        /// 1-based line where the problem was found.
+        line: usize,
+        /// 1-based column of the offending character, when one character
+        /// is to blame; `None` for whole-row problems.
+        column: Option<usize>,
+        /// Description of the problem.
+        message: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -62,7 +74,18 @@ impl fmt::Display for StoreError {
             StoreError::DuplicateRelation(name) => {
                 write!(f, "relation {name:?} already exists")
             }
-            StoreError::Csv(msg) => write!(f, "csv: {msg}"),
+            StoreError::Csv {
+                relation,
+                line,
+                column,
+                message,
+            } => match column {
+                Some(col) => write!(
+                    f,
+                    "csv for {relation:?}: line {line}, column {col}: {message}"
+                ),
+                None => write!(f, "csv for {relation:?}: line {line}: {message}"),
+            },
         }
     }
 }

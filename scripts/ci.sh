@@ -84,6 +84,104 @@ for site in index-build snapshot-decode lane-spawn apply sql-fallback; do
     fi
 done
 
+step "crash-recovery smoke: index cache warm starts, kills, and recovery"
+# The warm-start differential: a second run against the same cache must
+# hit every segment and produce byte-identical verdict lines; a run whose
+# cache was torn apart by failpoint kills must auto-rebuild (recorded in
+# the metrics index_cache section) and still produce the cold verdicts.
+CACHE_DIR="$(mktemp -d /tmp/relcheck-cache.XXXXXX)"
+COLD_OUT="$(mktemp /tmp/relcheck-cold.XXXXXX.txt)"
+WARM_OUT="$(mktemp /tmp/relcheck-warm.XXXXXX.txt)"
+trap 'rm -rf "$METRICS_OUT" "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT"' EXIT
+
+run_cached() { # run_cached <outfile> [extra args...]
+    local out="$1"; shift
+    set +e
+    cargo run --release --quiet --bin relcheck -- \
+        run testdata/phones.spec --index-cache "$CACHE_DIR" \
+        --metrics "$METRICS_OUT" "$@" >"$out"
+    rc=$?
+    set -e
+    if [ "$rc" -ge 2 ]; then
+        echo "cached run failed operationally (exit $rc)" >&2
+        exit 1
+    fi
+    cargo run --release --quiet --bin relcheck -- metrics-check "$METRICS_OUT"
+}
+
+# Cold run populates the cache; keep only the verdict lines for diffing.
+run_cached "$COLD_OUT"
+cold_rc=$rc
+grep " via " "$COLD_OUT" | awk '{print $1, $2, $4}' > "$COLD_OUT.verdicts"
+
+# Warm run: every relation must hit, verdicts must be byte-identical.
+run_cached "$WARM_OUT"
+if [ "$rc" -ne "$cold_rc" ]; then
+    echo "warm run exit code $rc differs from cold $cold_rc" >&2
+    exit 1
+fi
+grep " via " "$WARM_OUT" | awk '{print $1, $2, $4}' > "$WARM_OUT.verdicts"
+diff "$COLD_OUT.verdicts" "$WARM_OUT.verdicts"
+if ! grep -q '"index_cache":{"hits":2,"misses":0,"rebuilds":0' "$METRICS_OUT"; then
+    echo "warm run did not hit both cached segments" >&2
+    exit 1
+fi
+
+# Kill mid-segment-write: `index build` under an armed segment-write
+# failpoint leaves torn segments that the manifest already references.
+# The next cached run must detect both, rebuild, and match cold verdicts.
+rm -rf "$CACHE_DIR"; mkdir -p "$CACHE_DIR"
+set +e
+cargo run --release --quiet --bin relcheck -- \
+    index build testdata/phones.spec --index-cache "$CACHE_DIR" \
+    --fail-spec segment-write=1 --fail-seed 20070415 >/dev/null
+set -e
+run_cached "$WARM_OUT"
+grep " via " "$WARM_OUT" | awk '{print $1, $2, $4}' > "$WARM_OUT.verdicts"
+diff "$COLD_OUT.verdicts" "$WARM_OUT.verdicts"
+if ! grep -q '"rebuilds":2' "$METRICS_OUT"; then
+    echo "torn segments were not rebuilt" >&2
+    exit 1
+fi
+if ! grep -q '"reason":"segment_corrupt"' "$METRICS_OUT"; then
+    echo "metrics record no segment_corrupt recovery" >&2
+    exit 1
+fi
+
+# Kill mid-journal-append: `index apply` dies half-way through the record
+# (the delta is not acknowledged). Recovery truncates the torn tail and
+# the cached run converges on the original cold verdicts.
+set +e
+cargo run --release --quiet --bin relcheck -- \
+    index apply testdata/phones.spec --index-cache "$CACHE_DIR" \
+    '+CUSTOMERS:Oshawa,905,ON' \
+    --fail-spec journal-append=1 --fail-seed 20070415 >/dev/null
+rc=$?
+set -e
+if [ "$rc" -ne 2 ]; then
+    echo "torn journal append should report an operational error (got $rc)" >&2
+    exit 1
+fi
+run_cached "$WARM_OUT"
+grep " via " "$WARM_OUT" | awk '{print $1, $2, $4}' > "$WARM_OUT.verdicts"
+diff "$COLD_OUT.verdicts" "$WARM_OUT.verdicts"
+if ! grep -q '"reason":"journal_torn"' "$METRICS_OUT"; then
+    echo "metrics record no journal_torn recovery" >&2
+    exit 1
+fi
+
+# A healthy apply folds deltas durably: verify reports every relation ok.
+# (The tuple is NOT in the base data, so insert-then-delete is net zero;
+# deltas touching existing rows would genuinely change the database.)
+cargo run --release --quiet --bin relcheck -- \
+    index apply testdata/phones.spec --index-cache "$CACHE_DIR" \
+    '+CUSTOMERS:Oshawa,416,ON' '-CUSTOMERS:Oshawa,416,ON' >/dev/null
+cargo run --release --quiet --bin relcheck -- \
+    index verify testdata/phones.spec --index-cache "$CACHE_DIR" >/dev/null
+run_cached "$WARM_OUT"
+grep " via " "$WARM_OUT" | awk '{print $1, $2, $4}' > "$WARM_OUT.verdicts"
+diff "$COLD_OUT.verdicts" "$WARM_OUT.verdicts"
+
 step "formatting (cargo fmt --check)"
 cargo fmt --all --check
 

@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY] [--threads N]
-//!                          [--metrics PATH] [--deadline-ms N]
+//!                          [--metrics PATH] [--deadline-ms N] [--index-cache DIR]
 //!                          [--fail-spec SPEC] [--fail-seed N]
 //! relcheck explain <spec-file> <constraint-name>
 //! relcheck metrics-check <metrics.json>
+//! relcheck index <build|verify|repair|gc|apply> <spec-file> --index-cache DIR
+//!                [deltas...] [--ordering STRATEGY] [--fail-spec SPEC] [--fail-seed N]
 //! ```
 //!
 //! The spec file declares CSV-backed tables and named first-order
@@ -26,15 +28,27 @@
 //! exceeds it walks the degradation ladder (SQL fallback, brute force)
 //! instead of stalling the run. `--fail-spec 'site=p,...'` arms the
 //! deterministic fault-injection registry (sites: `index-build`,
-//! `snapshot-decode`, `lane-spawn`, `apply`, `sql-fallback`) with firing
+//! `snapshot-decode`, `lane-spawn`, `apply`, `sql-fallback`,
+//! `segment-write`, `journal-append`, `manifest-write`) with firing
 //! probability `p`, seeded by `--fail-seed N` (default 0). Constraints that
 //! cannot be decided under injected faults report `DEGRADED`/`ERRORED`
 //! verdicts; only genuine `VIOLATED` verdicts make the exit code non-zero.
+//!
+//! Persistence: `--index-cache DIR` warm-starts the run from a durable
+//! on-disk index store (building and persisting whatever is missing or
+//! unusable); verdicts are identical to a cold run. The `index`
+//! subcommands manage the same store directly: `build` populates it,
+//! `verify` reports per-relation health read-only, `repair` rebuilds
+//! anything broken, `gc` removes orphaned files, and `apply` durably
+//! journals tuple deltas (`+REL:v1,v2,...` inserts, `-REL:v1,v2,...`
+//! deletes) and folds them into the cached indices via incremental
+//! maintenance.
 
 use relcheck::core_::checker::{Checker, CheckerOptions, Verdict};
 use relcheck::core_::ordering::OrderingStrategy;
+use relcheck::core_::store::{Delta, IndexStore, VerifyStatus};
 use relcheck::core_::telemetry::{validate_metrics_json, RunMetrics};
-use relcheck::relstore::Database;
+use relcheck::relstore::{Database, Raw};
 use relcheck::spec::{parse_spec, Spec};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -58,9 +72,11 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage:\n  relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY] [--threads N] \
-     [--metrics PATH] [--deadline-ms N] [--fail-spec SPEC] [--fail-seed N]\n  \
+     [--metrics PATH] [--deadline-ms N] [--index-cache DIR] [--fail-spec SPEC] [--fail-seed N]\n  \
      relcheck explain <spec-file> <constraint-name>\n  \
-     relcheck metrics-check <metrics.json>"
+     relcheck metrics-check <metrics.json>\n  \
+     relcheck index <build|verify|repair|gc|apply> <spec-file> --index-cache DIR \
+     [+REL:v1,v2 | -REL:v1,v2 ...]"
         .to_owned()
 }
 
@@ -70,6 +86,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         "run" => cmd_run(&args[1..]),
         "explain" => cmd_explain(&args[1..]).map(|()| true),
         "metrics-check" => cmd_metrics_check(&args[1..]).map(|()| true),
+        "index" => cmd_index(&args[1..]),
         _ => Err(usage()),
     }
 }
@@ -108,14 +125,14 @@ fn load(spec_path: &str) -> Result<(Spec, Database), String> {
     let mut db = Database::new();
     for t in &spec.tables {
         let csv_path = base.join(&t.path);
-        let csv = std::fs::read_to_string(&csv_path)
+        let csv = std::fs::read(&csv_path)
             .map_err(|e| format!("cannot read {}: {e}", csv_path.display()))?;
         let columns: Vec<(&str, &str)> = t
             .columns
             .iter()
             .map(|(c, k)| (c.as_str(), k.as_str()))
             .collect();
-        db.create_relation_from_csv(&t.name, &columns, &csv, t.has_header)
+        db.create_relation_from_csv_bytes(&t.name, &columns, &csv, t.has_header)
             .map_err(|e| format!("loading table {}: {e}", t.name))?;
         println!(
             "loaded {:<16} {:>8} rows from {}",
@@ -151,6 +168,10 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     if force_sql && threads > 1 {
         return Err("--sql and --threads cannot be combined".to_owned());
     }
+    let index_cache = flag_value(args, "--index-cache").map(str::to_owned);
+    if force_sql && index_cache.is_some() {
+        return Err("--sql and --index-cache cannot be combined".to_owned());
+    }
     let metrics_path = flag_value(args, "--metrics").map(str::to_owned);
     let deadline = flag_value(args, "--deadline-ms")
         .map(|v| {
@@ -185,6 +206,26 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         ..Default::default()
     };
     let mut checker = Checker::new(db, opts);
+    let mut store = match &index_cache {
+        Some(dir) => {
+            let mut s =
+                IndexStore::open(dir).map_err(|e| format!("opening index cache {dir}: {e}"))?;
+            s.warm_start(&mut checker)
+                .map_err(|e| format!("warm-starting from {dir}: {e}"))?;
+            for rec in &s.stats.recoveries {
+                println!(
+                    "index-cache: recovered {:?} ({}): {}",
+                    rec.relation, rec.reason, rec.detail
+                );
+            }
+            println!(
+                "index-cache: {} hit(s), {} miss(es), {} rebuild(s), {} journal record(s) replayed",
+                s.stats.hits, s.stats.misses, s.stats.rebuilds, s.stats.journal_replayed
+            );
+            Some(s)
+        }
+        None => None,
+    };
     println!();
     let (reports, fleet) = if force_sql {
         spec.constraints
@@ -203,8 +244,23 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
             .map(|(rs, fleet)| (rs, Some(fleet)))
     }
     .map_err(|e| format!("checking constraints: {e}"))?;
+    if let Some(store) = &mut store {
+        store
+            .write_back(&mut checker)
+            .map_err(|e| format!("writing back index cache: {e}"))?;
+        if store.stats.write_failures > 0 {
+            eprintln!(
+                "relcheck: warning: {} index-cache write(s) failed; the next run starts cold(er)",
+                store.stats.write_failures
+            );
+        }
+    }
     if let Some(path) = &metrics_path {
-        let doc = RunMetrics::from_reports(&reports, fleet, threads).to_json();
+        let mut metrics = RunMetrics::from_reports(&reports, fleet, threads);
+        if let Some(store) = &store {
+            metrics.index_cache = Some(store.stats.clone());
+        }
+        let doc = metrics.to_json();
         debug_assert!(validate_metrics_json(&doc).is_ok());
         std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("metrics written to {path}");
@@ -263,6 +319,163 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         }
     }
     Ok(clean)
+}
+
+/// Parse a `+REL:v1,v2,...` / `-REL:v1,v2,...` delta argument. Values
+/// that parse as integers become `Raw::Int`; everything else is a string.
+fn parse_delta(arg: &str) -> Result<(String, Delta), String> {
+    let bad = || format!("bad delta {arg:?} (expected +REL:v1,v2,... or -REL:v1,v2,...)");
+    let rest = arg
+        .strip_prefix('+')
+        .or_else(|| arg.strip_prefix('-'))
+        .ok_or_else(bad)?;
+    let (relation, values) = rest.split_once(':').ok_or_else(bad)?;
+    if relation.is_empty() || values.is_empty() {
+        return Err(bad());
+    }
+    let row: Vec<Raw> = values
+        .split(',')
+        .map(|v| match v.parse::<i64>() {
+            Ok(i) => Raw::Int(i),
+            Err(_) => Raw::Str(v.to_owned()),
+        })
+        .collect();
+    let delta = if arg.starts_with('+') {
+        Delta::Insert(row)
+    } else {
+        Delta::Delete(row)
+    };
+    Ok((relation.to_owned(), delta))
+}
+
+/// Manage the persistent index store directly: `build`, `verify`,
+/// `repair`, `gc`, `apply` (see the module docs).
+fn cmd_index(args: &[String]) -> Result<bool, String> {
+    let sub = args.first().ok_or_else(usage)?.as_str();
+    let rest = &args[1..];
+    let spec_path = rest
+        .first()
+        .filter(|a| !a.starts_with('-') && !a.starts_with('+'))
+        .ok_or_else(usage)?;
+    let dir = flag_value(rest, "--index-cache")
+        .ok_or_else(|| "index: --index-cache DIR is required".to_owned())?;
+    let ordering = match flag_value(rest, "--ordering") {
+        Some(name) => ordering_from(name)?,
+        None => OrderingStrategy::ProbConverge,
+    };
+    let fail_seed: u64 = flag_value(rest, "--fail-seed")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--fail-seed expects a number".to_owned())
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if let Some(spec) = flag_value(rest, "--fail-spec") {
+        relcheck::bdd::failpoint::configure_spec(spec, fail_seed)
+            .map_err(|e| format!("--fail-spec: {e}"))?;
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+    let (_spec, db) = load(spec_path)?;
+    match sub {
+        "verify" => {
+            let store =
+                IndexStore::open(dir).map_err(|e| format!("opening index cache {dir}: {e}"))?;
+            let mut clean = true;
+            for (relation, status) in store.verify(&db, ordering) {
+                println!("{relation:<24} {status}");
+                if !matches!(status, VerifyStatus::Ok { .. }) {
+                    clean = false;
+                }
+            }
+            Ok(clean)
+        }
+        "gc" => {
+            let known: Vec<String> = db.relation_names().map(str::to_owned).collect();
+            let mut store =
+                IndexStore::open(dir).map_err(|e| format!("opening index cache {dir}: {e}"))?;
+            let removed = store.gc(&known).map_err(|e| format!("gc: {e}"))?;
+            if removed.is_empty() {
+                println!("index-cache: nothing to collect");
+            } else {
+                for f in &removed {
+                    println!("removed {f}");
+                }
+            }
+            Ok(true)
+        }
+        "build" | "repair" | "apply" => {
+            // All three share the same durable core: (optionally) journal
+            // the requested deltas, then warm-start — which adopts, replays,
+            // or rebuilds every relation as needed — and persist the result.
+            let mut store =
+                IndexStore::open(dir).map_err(|e| format!("opening index cache {dir}: {e}"))?;
+            if sub == "apply" {
+                let deltas: Vec<(String, Delta)> = rest
+                    .iter()
+                    .filter(|a| a.starts_with('+') || (a.starts_with('-') && !a.starts_with("--")))
+                    .map(|a| parse_delta(a))
+                    .collect::<Result<_, _>>()?;
+                if deltas.is_empty() {
+                    return Err(
+                        "index apply: no deltas given (+REL:v1,v2 or -REL:v1,v2)".to_owned()
+                    );
+                }
+                for (relation, delta) in &deltas {
+                    let arity = db.relation(relation).map_err(|e| e.to_string())?.arity();
+                    if delta.values().len() != arity {
+                        return Err(format!(
+                            "delta for {relation:?} has {} value(s); the relation has arity {arity}",
+                            delta.values().len()
+                        ));
+                    }
+                    store
+                        .append_delta(relation, delta)
+                        .map_err(|e| format!("journaling delta for {relation:?}: {e}"))?;
+                    println!(
+                        "journaled {}{relation}({})",
+                        if matches!(delta, Delta::Insert(_)) {
+                            "+"
+                        } else {
+                            "-"
+                        },
+                        delta
+                            .values()
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+            }
+            let opts = CheckerOptions {
+                ordering,
+                ..Default::default()
+            };
+            let mut checker = Checker::new(db, opts);
+            store
+                .warm_start(&mut checker)
+                .map_err(|e| format!("warm-starting from {dir}: {e}"))?;
+            store
+                .write_back(&mut checker)
+                .map_err(|e| format!("writing back index cache: {e}"))?;
+            for rec in &store.stats.recoveries {
+                println!(
+                    "recovered {:?} ({}): {}",
+                    rec.relation, rec.reason, rec.detail
+                );
+            }
+            println!(
+                "index-cache {dir}: {} hit(s), {} miss(es), {} rebuild(s), {} journal record(s) replayed, {} write failure(s)",
+                store.stats.hits,
+                store.stats.misses,
+                store.stats.rebuilds,
+                store.stats.journal_replayed,
+                store.stats.write_failures
+            );
+            Ok(store.stats.write_failures == 0)
+        }
+        other => Err(format!("unknown index subcommand {other:?}\n{}", usage())),
+    }
 }
 
 /// Validate a metrics JSON document against the documented schema, its
