@@ -5,7 +5,10 @@
 //! * **SQL** — the translated relational plan (paper's baseline);
 //! * **BDD: random** — logical indices built under a random attribute
 //!   ordering;
-//! * **BDD: optimized** — indices built with `Prob-Converge`.
+//! * **BDD: optimized** — indices built with `Prob-Converge`;
+//! * **BDD: no rewrites** — the optimized ordering with the planner's
+//!   rewrite passes disabled (`PlanOptions::from_flags(false, true)`), the
+//!   paper's "straight-forward evaluation" ablation.
 //!
 //! Index construction is done up-front (indices are persistent); the table
 //! reports per-query checking time, as in the paper. Expected shape:
@@ -21,6 +24,7 @@ use relcheck_bench::{arg_str, arg_usize, ms, queries, timed, Table};
 use relcheck_core::checker::{Checker, CheckerOptions, Method};
 use relcheck_core::ordering::OrderingStrategy;
 use relcheck_core::telemetry::{validate_metrics_json, RunMetrics};
+use relcheck_core::PlanOptions;
 
 fn main() {
     let tuples = arg_usize("--tuples", 100_000);
@@ -30,6 +34,7 @@ fn main() {
         vec!["SQL".to_owned()],
         vec!["BDD: random".to_owned()],
         vec!["BDD: optimized".to_owned()],
+        vec!["BDD: no rewrites".to_owned()],
         vec!["index sizes (nodes)".to_owned()],
     ];
     // SQL baseline.
@@ -41,13 +46,21 @@ fn main() {
             rows[0].push(ms(t));
         }
     }
-    // BDD paths under the two orderings.
-    for (row_idx, strategy) in [
-        (1, OrderingStrategy::Random(3)),
-        (2, OrderingStrategy::ProbConverge),
+    // BDD paths: the two orderings, plus a rewrite-ablation row (the
+    // optimized ordering with the pass pipeline switched off — the
+    // "straight-forward evaluation" the paper improves upon).
+    for (row_idx, strategy, plan) in [
+        (1, OrderingStrategy::Random(3), PlanOptions::default()),
+        (2, OrderingStrategy::ProbConverge, PlanOptions::default()),
+        (
+            3,
+            OrderingStrategy::ProbConverge,
+            PlanOptions::from_flags(false, true),
+        ),
     ] {
         let opts = CheckerOptions {
             ordering: strategy,
+            plan,
             ..Default::default()
         };
         let mut ck = Checker::new(queries::build(tuples, 77), opts);
@@ -68,21 +81,21 @@ fn main() {
         }
         sizes.push_str(&ck.logical_db().index_size().to_string());
         if row_idx == 1 {
-            rows[3].push(format!("random: {sizes}"));
-        } else {
-            rows[3].push(format!("optimized: {sizes}"));
+            rows[4].push(format!("random: {sizes}"));
+        } else if row_idx == 2 {
+            rows[4].push(format!("optimized: {sizes}"));
         }
-        while rows[3].len() < qs.len() + 1 {
-            rows[3].push(String::new());
+        while rows[4].len() < qs.len() + 1 {
+            rows[4].push(String::new());
         }
     }
     let mut t = Table::new(&["Approach", "Q1", "Q2", "Q3", "Q4", "Q5"]);
-    for row in rows.iter().take(3) {
+    for row in rows.iter().take(4) {
         t.row(row);
     }
     t.print();
     println!("\n(time in milliseconds)");
-    println!("{}", rows[3].join("  "));
+    println!("{}", rows[4].join("  "));
     println!(
         "\nPaper expectation (Table 1): SQL slowest; BDD with random ordering ~2x faster;\n\
          BDD with the Prob-Converge ordering 4-6x faster than SQL. Index under random\n\

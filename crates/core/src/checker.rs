@@ -17,14 +17,14 @@
 //! runs the SQL plan to materialize the offending tuples — the paper's
 //! "first identify violated constraints fast, then focus on the tuples".
 
-use crate::compile::{check_bdd_traced, CompileOptions};
 use crate::error::{CoreError, Result};
 use crate::index::LogicalDatabase;
 use crate::ordering::OrderingStrategy;
+use crate::plan::{fnv1a, formula_fingerprint, CheckPlan, PlanOptions, SqlStep};
 use crate::sqlgen::{self, Shape};
 use crate::telemetry::{
-    CheckTrace, FallbackReason, FleetTelemetry, IndexEvent, IndexProvenance, PhaseTimings,
-    RuleFiring, WorkerTelemetry,
+    CheckTrace, FallbackReason, FleetTelemetry, IndexEvent, IndexProvenance, PassStat,
+    PhaseTimings, RuleFiring, WorkerTelemetry,
 };
 use relcheck_bdd::{failpoint, BddError, StatsDelta};
 use relcheck_logic::eval::eval_sentence;
@@ -41,10 +41,11 @@ pub struct CheckerOptions {
     /// Live-node budget for the shared BDD manager. `None` = unlimited.
     /// The paper settles on 10⁶ nodes (Section 5.2).
     pub node_limit: Option<usize>,
-    /// Apply the Section 4 rewrite rules.
-    pub use_rewrites: bool,
-    /// Use rename-based equi-joins (vs naive equality cubes).
-    pub join_rename: bool,
+    /// The rewrite-pass toggles and cost-gate policy every check plans
+    /// under — one switch per discrete pass of the §4.4 pipeline
+    /// (replacing the old all-or-nothing `use_rewrites` boolean).
+    /// [`PlanOptions::from_flags`] reproduces the legacy configurations.
+    pub plan: PlanOptions,
     /// Variable-ordering strategy for index construction.
     pub ordering: OrderingStrategy,
     /// Garbage-collect query scratch space after every check.
@@ -67,8 +68,7 @@ impl Default for CheckerOptions {
     fn default() -> Self {
         CheckerOptions {
             node_limit: Some(1_000_000),
-            use_rewrites: true,
-            join_rename: true,
+            plan: PlanOptions::default(),
             ordering: OrderingStrategy::ProbConverge,
             gc_between_checks: true,
             telemetry: false,
@@ -163,6 +163,7 @@ impl CheckReport {
         let metrics = telemetry.then(|| CheckTrace {
             method: Method::Aborted,
             rules: Vec::new(),
+            passes: Vec::new(),
             index_events: Vec::new(),
             fallback: Some(FallbackReason::Panic(message.clone())),
             ladder: vec!["errored"],
@@ -292,6 +293,10 @@ pub struct Checker {
     /// Relations whose index build exceeded the budget: permanently
     /// SQL-only (paper: "we do not materialize the BDD").
     sql_only: HashSet<String>,
+    /// Explicit plan-invalidation epoch: bumped whenever the environment
+    /// changes in a way tuple counters cannot see ([`Checker::rebuild_index`],
+    /// [`Checker::mark_sql_only`]), so stale cached plans can never execute.
+    epoch: u64,
 }
 
 impl Checker {
@@ -304,6 +309,7 @@ impl Checker {
             ldb,
             opts,
             sql_only: HashSet::new(),
+            epoch: 0,
         }
     }
 
@@ -331,7 +337,11 @@ impl Checker {
         if self.ldb.has_index(name) {
             return Ok(true);
         }
-        self.rebuild_index(name)
+        // A lazy first-time build does not bump the epoch: materializing
+        // an index changes no verdict a plan can produce, so plans cached
+        // before the build stay valid. (A budget abort inside still lands
+        // the relation in `sql_only`, which the schema fingerprint covers.)
+        self.build_index_now(name)
     }
 
     /// Build a fresh index for a relation right now, replacing any index it
@@ -340,6 +350,13 @@ impl Checker {
     /// aborts route the relation to SQL-only exactly like
     /// [`Checker::ensure_index`] would.
     pub fn rebuild_index(&mut self, name: &str) -> Result<bool> {
+        // An explicit rebuild — recovery, or budget-out — changes what
+        // plans may assume about the environment; retire every cached plan.
+        self.epoch += 1;
+        self.build_index_now(name)
+    }
+
+    fn build_index_now(&mut self, name: &str) -> Result<bool> {
         match self.ldb.build_index(name, self.opts.ordering) {
             Ok(_) => Ok(true),
             // A budget abort — node limit, deadline, or injected fault —
@@ -359,6 +376,10 @@ impl Checker {
     /// workers with the coordinator's over-budget set so every lane makes
     /// the same BDD-vs-SQL routing decisions.
     pub fn mark_sql_only(&mut self, name: &str) {
+        // The sql_only set is part of the schema fingerprint, but bump the
+        // epoch too so the invalidation does not depend on set contents
+        // alone (e.g. mark, unmark-by-rebuild, re-mark round trips).
+        self.epoch += 1;
         self.sql_only.insert(name.to_owned());
     }
 
@@ -393,21 +414,108 @@ impl Checker {
         out
     }
 
+    /// The fingerprint of everything a [`CheckPlan`] depends on besides the
+    /// constraint itself: data version, invalidation epoch, ordering
+    /// strategy, pass toggles, and the SQL-only set. A cached plan is valid
+    /// exactly while this value matches its
+    /// [`CheckPlan::schema_fp`]; any tuple mutation, index rebuild, or
+    /// routing change produces a different fingerprint.
+    pub fn schema_fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(32 + 16 * self.sql_only.len());
+        bytes.extend_from_slice(&self.ldb.data_version().to_le_bytes());
+        bytes.extend_from_slice(&self.epoch.to_le_bytes());
+        bytes.extend_from_slice(&self.opts.ordering.fingerprint().to_le_bytes());
+        bytes.extend_from_slice(&self.opts.plan.bits().to_le_bytes());
+        let mut names: Vec<&str> = self.sql_only.iter().map(String::as_str).collect();
+        names.sort_unstable();
+        for n in names {
+            bytes.extend_from_slice(n.as_bytes());
+            bytes.push(0);
+        }
+        fnv1a(&bytes)
+    }
+
+    /// Build (without executing) the [`CheckPlan`] for a constraint under
+    /// the current options — what `relcheck plan` prints. Ensures the
+    /// referenced indices exist first, exactly as a check would, so the
+    /// plan's BDD/SQL routing and fingerprints match what
+    /// [`Checker::check`] will do next.
+    pub fn plan(&mut self, f: &Formula) -> Result<CheckPlan> {
+        let free = f.free_vars();
+        if !free.is_empty() {
+            return Err(CoreError::Logic(relcheck_logic::LogicError::FreeVariables(
+                free,
+            )));
+        }
+        for rel in Self::referenced_relations(f) {
+            self.ensure_index(&rel)?;
+        }
+        let fp = self.schema_fingerprint();
+        Ok(crate::planner::plan_check(
+            self.ldb.db(),
+            f,
+            self.opts.plan,
+            &self.sql_only,
+            fp,
+        ))
+    }
+
+    /// The plan-cache key for a constraint: `(constraint fingerprint,
+    /// schema fingerprint)`. Ensures referenced indices first — index
+    /// construction bumps the data version, so computing the key before
+    /// ensuring would poison it and repeated checks would never hit.
+    pub fn plan_key(&mut self, f: &Formula) -> Result<(u64, u64)> {
+        let free = f.free_vars();
+        if !free.is_empty() {
+            return Err(CoreError::Logic(relcheck_logic::LogicError::FreeVariables(
+                free,
+            )));
+        }
+        for rel in Self::referenced_relations(f) {
+            self.ensure_index(&rel)?;
+        }
+        Ok((formula_fingerprint(f), self.schema_fingerprint()))
+    }
+
     /// Decide a constraint. See module docs for the strategy; the full
     /// degradation ladder (`DESIGN.md` §6) is BDD → GC-and-retry-once →
     /// SQL plan → brute force → [`Verdict::Degraded`].
     pub fn check(&mut self, f: &Formula) -> Result<CheckReport> {
+        Ok(self.check_planned(f, None)?.0)
+    }
+
+    /// [`Checker::check`] seeded with a previously-built plan (e.g. from
+    /// the registry's plan cache). The plan is used only if its
+    /// fingerprints still match the current constraint and environment;
+    /// otherwise the checker silently replans — a stale plan can never
+    /// execute.
+    pub fn check_with_plan(&mut self, f: &Formula, plan: &CheckPlan) -> Result<CheckReport> {
+        Ok(self.check_planned(f, Some(plan))?.0)
+    }
+
+    /// The full planned-check entry point: decide the constraint and
+    /// return the plan that was executed (fresh or the validated `cached`
+    /// one), ready to insert into a plan cache.
+    pub fn check_planned(
+        &mut self,
+        f: &Formula,
+        cached: Option<&CheckPlan>,
+    ) -> Result<(CheckReport, CheckPlan)> {
         // Arm the per-check wall-clock budget. The deadline lives in the
         // manager so the BDD recursion can poll it; clear it on every exit
         // path so later manager work is unaffected.
         let armed = self.opts.deadline.map(|d| Instant::now() + d);
         self.ldb.manager_mut().set_deadline(armed);
-        let report = self.check_inner(f);
+        let report = self.check_inner(f, cached);
         self.ldb.manager_mut().set_deadline(None);
         report
     }
 
-    fn check_inner(&mut self, f: &Formula) -> Result<CheckReport> {
+    fn check_inner(
+        &mut self,
+        f: &Formula,
+        cached: Option<&CheckPlan>,
+    ) -> Result<(CheckReport, CheckPlan)> {
         let start = Instant::now();
         let free = f.free_vars();
         if !free.is_empty() {
@@ -441,14 +549,34 @@ impl Checker {
             }
         }
         let index_time = index_start.map(|t| t.elapsed()).unwrap_or_default();
-        let compile_opts = CompileOptions {
-            use_rewrites: self.opts.use_rewrites,
-            join_rename: self.opts.join_rename,
+        // Obtain the plan: reuse the caller's cached one only if both
+        // fingerprints still match the constraint and the current
+        // environment (computed *after* ensuring indices, which bumps the
+        // data version). A mismatched plan is silently replanned, so a
+        // stale cache entry can never execute.
+        let current_fp = self.schema_fingerprint();
+        let plan: CheckPlan = match cached {
+            Some(p) if p.schema_fp == current_fp && p.constraint_fp == formula_fingerprint(f) => {
+                p.clone()
+            }
+            _ => crate::planner::plan_check(
+                self.ldb.db(),
+                f,
+                self.opts.plan,
+                &self.sql_only,
+                current_fp,
+            ),
         };
+        debug_assert_eq!(
+            plan.bdd.is_some(),
+            all_indexed,
+            "plan routing must agree with index state"
+        );
         let eval_start = tel.then(Instant::now);
-        // Rule firings survive a node-budget abort on purpose: they record
-        // the rewrites the BDD attempt performed before defaulting to SQL.
-        let mut rules: Vec<RuleFiring> = Vec::new();
+        // R2 firings from the executor. They survive a node-budget abort on
+        // purpose: they record the renames the BDD attempt performed before
+        // defaulting to SQL. (R1/R3/R4 firings live in the plan's passes.)
+        let mut r2: Vec<RuleFiring> = Vec::new();
         let mut fallback: Option<FallbackReason> = None;
         let mut ladder: Vec<&'static str> = Vec::new();
         let mut error: Option<String> = None;
@@ -457,11 +585,11 @@ impl Checker {
             Some(prev) => *error = Some(format!("{prev}; {e}")),
             None => *error = Some(e),
         };
-        if all_indexed {
-            // Rung 1: the paper's BDD path.
+        if let Some(step) = plan.bdd.as_ref() {
+            // Rung 1: the paper's BDD path — execute the plan's BDD step.
             ladder.push("bdd");
-            let sink = if tel { Some(&mut rules) } else { None };
-            match check_bdd_traced(&mut self.ldb, f, &compile_opts, sink) {
+            let sink = if tel { Some(&mut r2) } else { None };
+            match crate::exec::execute_bdd(&mut self.ldb, step, sink) {
                 Ok(h) => decided = Some((h, Method::Bdd)),
                 Err(e) => {
                     let Some(abort) = budget_abort(&e) else {
@@ -473,9 +601,9 @@ impl Checker {
                         // the aborted attempt for the same compile to fit;
                         // retry exactly once before giving up on BDDs.
                         ladder.push("gc_retry");
-                        rules.clear();
-                        let sink = if tel { Some(&mut rules) } else { None };
-                        match check_bdd_traced(&mut self.ldb, f, &compile_opts, sink) {
+                        r2.clear();
+                        let sink = if tel { Some(&mut r2) } else { None };
+                        match crate::exec::execute_bdd(&mut self.ldb, step, sink) {
                             Ok(h) => decided = Some((h, Method::Bdd)),
                             Err(e2) => {
                                 let Some(abort2) = budget_abort(&e2) else {
@@ -501,10 +629,12 @@ impl Checker {
             fallback = Some(FallbackReason::UnindexedRelation);
         }
         if decided.is_none() {
-            // Rung 3: the translated SQL violation plan (paper §4's
-            // "default to SQL" strategy).
+            // Rung 3: the plan's pre-translated SQL step (paper §4's
+            // "default to SQL" strategy). The rung is recorded even when
+            // the constraint is outside the translatable class — the
+            // ladder logs rungs tried, not rungs that answered.
             ladder.push("sql");
-            match self.sql_rung(f) {
+            match self.sql_rung(f, plan.sql.as_ref()) {
                 Ok(Some(d)) => decided = Some(d),
                 Ok(None) => {} // outside the translatable class
                 Err(e) => record_error(&mut error, e.to_string()),
@@ -534,7 +664,24 @@ impl Checker {
         let elapsed = start.elapsed();
         let metrics = stats_before.map(|before| CheckTrace {
             method,
-            rules,
+            rules: {
+                // Plan-level R3/R1/R4 firings in application order, then
+                // the executor's R2 events — the same order the monolith
+                // emitted.
+                let mut rules = plan.rule_firings();
+                rules.append(&mut r2);
+                rules
+            },
+            passes: plan
+                .passes
+                .iter()
+                .map(|p| PassStat {
+                    pass: p.pass,
+                    rule: p.rule,
+                    fired: p.fired,
+                    gated: p.gated,
+                })
+                .collect(),
             index_events,
             fallback,
             ladder,
@@ -545,7 +692,7 @@ impl Checker {
             },
             bdd: self.ldb.manager().stats().delta_since(&before),
         });
-        Ok(CheckReport {
+        let report = CheckReport {
             holds,
             verdict,
             error,
@@ -553,12 +700,14 @@ impl Checker {
             elapsed,
             live_nodes: self.ldb.manager().live_nodes(),
             metrics,
-        })
+        };
+        Ok((report, plan))
     }
 
-    /// The SQL-plan rung: `Ok(None)` means the constraint is outside the
-    /// translatable class (callers then brute-force).
-    fn sql_rung(&mut self, f: &Formula) -> Result<Option<(bool, Method)>> {
+    /// The SQL-plan rung: execute the plan's pre-translated step.
+    /// `Ok(None)` means the constraint is outside the translatable class
+    /// (callers then brute-force).
+    fn sql_rung(&mut self, f: &Formula, step: Option<&SqlStep>) -> Result<Option<(bool, Method)>> {
         if failpoint::enabled() {
             let key = failpoint::key_str(&f.to_string());
             if failpoint::should_fail(failpoint::SQL_FALLBACK, key) {
@@ -567,21 +716,19 @@ impl Checker {
                 }));
             }
         }
-        match sqlgen::violation_plan(self.ldb.db(), f) {
-            Some(t) => {
-                let out = execute(self.ldb.db(), &t.plan)?;
-                let holds = match t.shape {
-                    Shape::Violations => out.is_empty(),
-                    Shape::Witnesses => !out.is_empty(),
-                };
-                Ok(Some((holds, Method::SqlFallback)))
-            }
+        match step {
+            Some(s) => Ok(Some((
+                crate::exec::execute_sql(self.ldb.db(), s)?,
+                Method::SqlFallback,
+            ))),
             None => Ok(None),
         }
     }
 
     fn check_via_sql(&mut self, f: &Formula) -> Result<(bool, Method)> {
-        match self.sql_rung(f)? {
+        let step =
+            sqlgen::violation_plan(self.ldb.db(), f).map(|translated| SqlStep { translated });
+        match self.sql_rung(f, step.as_ref())? {
             Some(d) => Ok(d),
             None => Ok((eval_sentence(self.ldb.db(), f)?, Method::BruteForce)),
         }
@@ -597,6 +744,7 @@ impl Checker {
         let metrics = stats_before.map(|before| CheckTrace {
             method,
             rules: Vec::new(),
+            passes: Vec::new(),
             index_events: Vec::new(),
             fallback: None,
             ladder: vec!["sql"],
@@ -740,11 +888,7 @@ impl Checker {
                 return Ok(None);
             }
         }
-        let compile_opts = CompileOptions {
-            use_rewrites: self.opts.use_rewrites,
-            join_rename: self.opts.join_rename,
-        };
-        let result = match crate::compile::violations_bdd(&mut self.ldb, f, &compile_opts) {
+        let result = match crate::exec::violations_bdd(&mut self.ldb, f, self.opts.plan) {
             Ok(Some(vs)) => {
                 let doms: Vec<_> = vs.vars.iter().map(|(_, d, _)| *d).collect();
                 let names: Vec<String> = vs.vars.iter().map(|(v, _, _)| v.clone()).collect();
@@ -875,7 +1019,7 @@ impl Checker {
                 format!(
                     "{}",
                     simplify(&push_forall_down(&to_nnf(
-                        &crate::compile::rebuild(&rest).not()
+                        &crate::planner::rebuild(&rest).not()
                     )))
                 ),
             ),
@@ -883,7 +1027,7 @@ impl Checker {
                 "satisfiability (compiled BDD must be non-false)",
                 format!(
                     "{}",
-                    simplify(&push_forall_down(&crate::compile::rebuild(&rest)))
+                    simplify(&push_forall_down(&crate::planner::rebuild(&rest)))
                 ),
             ),
         };
@@ -1170,8 +1314,7 @@ mod tests {
         for use_rewrites in [true, false] {
             for join_rename in [true, false] {
                 let opts = CheckerOptions {
-                    use_rewrites,
-                    join_rename,
+                    plan: PlanOptions::from_flags(use_rewrites, join_rename),
                     ..Default::default()
                 };
                 let mut ck = Checker::new(db(), opts);

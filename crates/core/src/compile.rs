@@ -1,7 +1,16 @@
-//! The FOL → BDD compiler (paper, Section 4).
+//! The legacy FOL → BDD compiler facade (paper, Section 4).
 //!
-//! [`check_bdd`] decides a constraint sentence by BDD manipulation. With
-//! rewrites enabled (the paper's optimized strategy, §4.4) the pipeline is:
+//! Historically this module was a 735-line monolith doing rewrite,
+//! allocation, and BDD compilation in one pass. That pipeline now flows
+//! through the explicit [`crate::plan::CheckPlan`] IR: [`crate::planner`]
+//! turns a formula into a plan (pure, no BDD manager), [`crate::exec`]
+//! executes it. This facade keeps the original two-switch API —
+//! [`check_bdd`] and [`CompileOptions`] — for callers and benchmarks that
+//! want the paper's exact ablation axes; [`CompileOptions`] maps onto
+//! [`crate::plan::PlanOptions::from_flags`] bit-for-bit.
+//!
+//! With rewrites enabled (the paper's optimized strategy, §4.4) the
+//! pipeline is:
 //!
 //! 1. prenex normal form (quantifier pull-up);
 //! 2. leading-quantifier-block elimination — a leading ∀-block means the
@@ -16,24 +25,14 @@
 //! With rewrites disabled the original formula is compiled literally —
 //! inner-out, unfused, leading quantifiers included — which is the
 //! "straight-forward evaluation" the paper improves upon.
-//!
-//! Domain hygiene: BDD blocks of `⌈log₂ n⌉` bits can encode values ≥ `n`.
-//! Relation indices never contain such codes, but complements introduced by
-//! negation do, so every quantifier (and the final validity /
-//! satisfiability test) confines its variables with the block's range
-//! constraint. This keeps BDD answers identical to active-domain semantics
-//! (the brute-force oracle in `relcheck-logic`).
 
-use crate::error::{CoreError, Result};
+use crate::error::Result;
 use crate::index::LogicalDatabase;
-use crate::telemetry::{RewriteRule, RuleFiring};
-use relcheck_bdd::{Bdd, DomainId, Op};
-use relcheck_logic::transform::{
-    push_forall_down_counted, simplify, standardize_apart, strip_leading_block, to_nnf, to_prenex,
-    CheckMode, Prenex, Quant,
-};
-use relcheck_logic::{infer_sorts, Formula, Term};
-use std::collections::HashMap;
+use crate::plan::{pass_rule_firings, PlanOptions};
+use crate::telemetry::RuleFiring;
+use relcheck_logic::Formula;
+
+pub use crate::exec::ViolationSet;
 
 /// Compiler switches (each is one of the paper's ablations).
 #[derive(Debug, Clone, Copy)]
@@ -75,129 +74,13 @@ pub fn check_bdd_traced(
     opts: &CompileOptions,
     mut rules: Option<&mut Vec<RuleFiring>>,
 ) -> Result<bool> {
-    if opts.use_rewrites {
-        let p = to_prenex(f);
-        if let Some(rs) = rules.as_deref_mut() {
-            if !p.prefix.is_empty() {
-                rs.push(RuleFiring {
-                    rule: RewriteRule::R3PrenexPullup,
-                    count: p.prefix.len() as u64,
-                });
-            }
-        }
-        let whole = rebuild(&p);
-        let sorts = infer_sorts(ldb.db(), &whole)?;
-        let var_doms = allocate_query_domains(ldb, &whole, &sorts)?;
-        let (mode, rest) = strip_leading_block(&p);
-        let stripped: Vec<String> = p.prefix[..p.prefix.len() - rest.prefix.len()]
-            .iter()
-            .map(|(_, v)| v.clone())
-            .collect();
-        if let Some(rs) = rules.as_deref_mut() {
-            if !stripped.is_empty() {
-                rs.push(RuleFiring {
-                    rule: RewriteRule::R1LeadingBlock,
-                    count: stripped.len() as u64,
-                });
-            }
-        }
-        match mode {
-            CheckMode::Validity => {
-                let violating =
-                    compile_violation_set(ldb, &rest, &stripped, &var_doms, &sorts, opts, rules)?;
-                Ok(violating.is_false())
-            }
-            CheckMode::Satisfiability => {
-                let mut pushdowns = 0u64;
-                let body = simplify(&push_forall_down_counted(&rebuild(&rest), &mut pushdowns));
-                if let Some(rs) = rules.as_deref_mut() {
-                    if pushdowns > 0 {
-                        rs.push(RuleFiring {
-                            rule: RewriteRule::R4ForallPushdown,
-                            count: pushdowns,
-                        });
-                    }
-                }
-                let mut c = Compiler {
-                    ldb,
-                    var_doms: &var_doms,
-                    sorts: &sorts,
-                    opts,
-                    rules,
-                };
-                let phi = c.compile(&body)?;
-                // Confine the stripped (free) variables to their domains.
-                let ranges = c.ranges(&stripped)?;
-                let mgr = ldb.manager_mut();
-                let test = mgr.and(ranges, phi)?;
-                Ok(!test.is_false())
-            }
-        }
-    } else {
-        let f = standardize_apart(f);
-        let sorts = infer_sorts(ldb.db(), &f)?;
-        let var_doms = allocate_query_domains(ldb, &f, &sorts)?;
-        let mut c = Compiler {
-            ldb,
-            var_doms: &var_doms,
-            sorts: &sorts,
-            opts,
-            rules,
-        };
-        let phi = c.compile(&f)?;
-        debug_assert!(phi.is_const(), "a sentence must compile to a constant BDD");
-        Ok(phi.is_true())
-    }
-}
-
-/// The BDD of a universal constraint's **violating assignments**, built by
-/// refutation: compile `¬body` in NNF (for implication-shaped constraints
-/// this is the conjunction `premise ∧ ¬conclusion`, whose intermediates
-/// stay small where the direct disjunction-of-complements form
-/// materializes near-complement BDDs), confine the stripped ∀ variables to
-/// their active domains, and conjoin. Any ∀ surviving the negation flip is
-/// still pushed down (Rule 5).
-fn compile_violation_set(
-    ldb: &mut LogicalDatabase,
-    rest: &Prenex,
-    stripped: &[String],
-    var_doms: &HashMap<String, DomainId>,
-    sorts: &HashMap<String, String>,
-    opts: &CompileOptions,
-    mut rules: Option<&mut Vec<RuleFiring>>,
-) -> Result<Bdd> {
-    let negated = simplify(&to_nnf(&rebuild(rest).not()));
-    let mut pushdowns = 0u64;
-    let body = simplify(&push_forall_down_counted(&negated, &mut pushdowns));
+    let options = PlanOptions::from_flags(opts.use_rewrites, opts.join_rename);
+    let mut passes = Vec::new();
+    let step = crate::planner::bdd_step(ldb.db(), f, options, &mut passes);
     if let Some(rs) = rules.as_deref_mut() {
-        if pushdowns > 0 {
-            rs.push(RuleFiring {
-                rule: RewriteRule::R4ForallPushdown,
-                count: pushdowns,
-            });
-        }
+        rs.extend(pass_rule_firings(&passes));
     }
-    let mut c = Compiler {
-        ldb,
-        var_doms,
-        sorts,
-        opts,
-        rules,
-    };
-    let phi = c.compile(&body)?;
-    let ranges = c.ranges(stripped)?;
-    let mgr = ldb.manager_mut();
-    Ok(mgr.and(ranges, phi)?)
-}
-
-/// A materialized violation set: the BDD over the constraint's outer ∀
-/// variables, plus per-variable metadata for decoding.
-pub struct ViolationSet {
-    /// Characteristic function of the violating assignments.
-    pub bdd: Bdd,
-    /// `(variable name, its finite domain, its attribute class)` for every
-    /// outer ∀ variable, in prefix order.
-    pub vars: Vec<(String, DomainId, String)>,
+    crate::exec::execute_bdd(ldb, &step, rules)
 }
 
 /// Build the violating-assignment BDD of a ∀-prefixed constraint (the BDD
@@ -209,361 +92,17 @@ pub fn violations_bdd(
     f: &Formula,
     opts: &CompileOptions,
 ) -> Result<Option<ViolationSet>> {
-    let p = to_prenex(f);
-    let whole = rebuild(&p);
-    let sorts = infer_sorts(ldb.db(), &whole)?;
-    let var_doms = allocate_query_domains(ldb, &whole, &sorts)?;
-    let (mode, rest) = strip_leading_block(&p);
-    if mode != CheckMode::Validity {
-        return Ok(None);
-    }
-    let stripped: Vec<String> = p.prefix[..p.prefix.len() - rest.prefix.len()]
-        .iter()
-        .map(|(_, v)| v.clone())
-        .collect();
-    let bdd = compile_violation_set(ldb, &rest, &stripped, &var_doms, &sorts, opts, None)?;
-    let vars = stripped
-        .into_iter()
-        .map(|v| {
-            let dom = var_doms[&v];
-            let class = sorts[&v].clone();
-            (v, dom, class)
-        })
-        .collect();
-    Ok(Some(ViolationSet { bdd, vars }))
-}
-
-/// Reassemble a prenex form into a formula.
-pub(crate) fn rebuild(p: &Prenex) -> Formula {
-    let mut f = p.matrix.clone();
-    for (q, v) in p.prefix.iter().rev() {
-        f = match q {
-            Quant::Exists => Formula::Exists(vec![v.clone()], Box::new(f)),
-            Quant::Forall => Formula::Forall(vec![v.clone()], Box::new(f)),
-        };
-    }
-    f
-}
-
-/// Assign every first-order variable a finite domain.
-///
-/// This is where the paper's rename rule (§4.2) pays off or doesn't: the
-/// expensive case is renaming a *large* relation index into fresh query
-/// domains. The paper renames R2 into R1's variables — i.e. the big
-/// relation keeps its own blocks. We generalize that: walking the
-/// formula's atoms **largest relation first** (positions in the relation's
-/// own index ordering), each variable *claims the column domain of its
-/// first unclaimed occurrence*. The biggest atom then compiles with an
-/// identity rename (free), and only smaller atoms are moved. Variables that
-/// cannot claim a domain (repeats, conflicts, equality-only variables) draw
-/// from per-class query-domain pools in visit order, which keeps those
-/// renames order-preserving too.
-fn allocate_query_domains(
-    ldb: &mut LogicalDatabase,
-    f: &Formula,
-    sorts: &HashMap<String, String>,
-) -> Result<HashMap<String, DomainId>> {
-    // Gather atoms, largest relation first.
-    let mut atoms: Vec<(String, Vec<Term>)> = Vec::new();
-    collect_atoms(f, &mut atoms);
-    atoms.sort_by_key(|(rel, _)| std::cmp::Reverse(ldb.db().relation(rel).map_or(0, |r| r.len())));
-    let mut out: HashMap<String, DomainId> = HashMap::new();
-    let mut claimed: std::collections::HashSet<DomainId> = std::collections::HashSet::new();
-    let mut visit_order: Vec<String> = Vec::new();
-    for (relation, args) in &atoms {
-        let Some(idx) = ldb.index(relation) else {
-            continue;
-        };
-        let positions = idx.ordering.clone();
-        let domains = idx.domains.clone();
-        for &i in &positions {
-            if let Some(Term::Var(v)) = args.get(i) {
-                if !visit_order.contains(v) {
-                    visit_order.push(v.clone());
-                }
-                if !out.contains_key(v) && claimed.insert(domains[i]) {
-                    out.insert(v.clone(), domains[i]);
-                }
-            }
-        }
-    }
-    // Remaining variables (couldn't claim, or appear in no atom): pooled
-    // query domains, allocated in visit order then by name.
-    let mut rest: Vec<&String> = sorts.keys().filter(|v| !visit_order.contains(v)).collect();
-    rest.sort_unstable();
-    let all: Vec<String> = visit_order
-        .iter()
-        .cloned()
-        .chain(rest.into_iter().cloned())
-        .collect();
-    let mut slot_of_class: HashMap<&str, usize> = HashMap::new();
-    for var in &all {
-        if out.contains_key(var) {
-            continue;
-        }
-        let class = sorts[var].as_str();
-        let slot = slot_of_class.entry(class).or_insert(0);
-        out.insert(var.clone(), ldb.query_domain(class, *slot)?);
-        *slot += 1;
-    }
-    Ok(out)
-}
-
-fn collect_atoms(f: &Formula, out: &mut Vec<(String, Vec<Term>)>) {
-    match f {
-        Formula::Atom { relation, args } => out.push((relation.clone(), args.clone())),
-        Formula::Not(g) => collect_atoms(g, out),
-        Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| collect_atoms(g, out)),
-        Formula::Implies(a, b) => {
-            collect_atoms(a, out);
-            collect_atoms(b, out);
-        }
-        Formula::Exists(_, g) | Formula::Forall(_, g) => collect_atoms(g, out),
-        _ => {}
-    }
-}
-
-struct Compiler<'a> {
-    ldb: &'a mut LogicalDatabase,
-    var_doms: &'a HashMap<String, DomainId>,
-    sorts: &'a HashMap<String, String>,
-    opts: &'a CompileOptions,
-    /// R2 firing sink: one event per atom compiled with ≥ 1 rename.
-    rules: Option<&'a mut Vec<RuleFiring>>,
-}
-
-impl Compiler<'_> {
-    fn compile(&mut self, f: &Formula) -> Result<Bdd> {
-        match f {
-            Formula::True => Ok(Bdd::TRUE),
-            Formula::False => Ok(Bdd::FALSE),
-            Formula::Atom { relation, args } => self.compile_atom(relation, args),
-            Formula::Eq(a, b) => self.compile_eq(a, b),
-            Formula::InSet(t, vals) => self.compile_in_set(t, vals),
-            Formula::Not(g) => {
-                let x = self.compile(g)?;
-                Ok(self.ldb.manager_mut().not(x)?)
-            }
-            Formula::And(fs) => {
-                let mut acc = Bdd::TRUE;
-                for g in fs {
-                    let x = self.compile(g)?;
-                    acc = self.ldb.manager_mut().and(acc, x)?;
-                    if acc.is_false() {
-                        break;
-                    }
-                }
-                Ok(acc)
-            }
-            Formula::Or(fs) => {
-                let mut acc = Bdd::FALSE;
-                for g in fs {
-                    let x = self.compile(g)?;
-                    acc = self.ldb.manager_mut().or(acc, x)?;
-                    if acc.is_true() {
-                        break;
-                    }
-                }
-                Ok(acc)
-            }
-            Formula::Implies(a, b) => {
-                let fa = self.compile(a)?;
-                let fb = self.compile(b)?;
-                Ok(self.ldb.manager_mut().imp(fa, fb)?)
-            }
-            Formula::Exists(vs, g) => self.compile_quant(vs, g, true),
-            Formula::Forall(vs, g) => self.compile_quant(vs, g, false),
-        }
-    }
-
-    /// Conjunction of range constraints for the listed variables' domains.
-    fn ranges_doms(&mut self, doms: &[DomainId]) -> Result<Bdd> {
-        let mut acc = Bdd::TRUE;
-        for &d in doms {
-            let mgr = self.ldb.manager_mut();
-            let r = mgr.domain_range(d)?;
-            acc = mgr.and(acc, r)?;
-        }
-        Ok(acc)
-    }
-
-    fn ranges(&mut self, vars: &[String]) -> Result<Bdd> {
-        let doms: Vec<DomainId> = vars.iter().map(|v| self.var_doms[v]).collect();
-        self.ranges_doms(&doms)
-    }
-
-    fn compile_quant(&mut self, vs: &[String], body: &Formula, is_exists: bool) -> Result<Bdd> {
-        let phi = self.compile(body)?;
-        let doms: Vec<DomainId> = vs.iter().map(|v| self.var_doms[v]).collect();
-        let ranges = self.ranges_doms(&doms)?;
-        let mgr = self.ldb.manager_mut();
-        let varset = mgr.domain_varset(&doms);
-        if self.opts.use_rewrites {
-            // Fused apply+quantify (BuDDy's bdd_appex / bdd_appall).
-            if is_exists {
-                Ok(mgr.app_exists(Op::And, phi, ranges, varset)?)
-            } else {
-                Ok(mgr.app_forall(Op::Imp, ranges, phi, varset)?)
-            }
-        } else {
-            // Unfused: materialize the combined function, then quantify.
-            if is_exists {
-                let combined = mgr.and(phi, ranges)?;
-                Ok(mgr.exists(combined, varset)?)
-            } else {
-                let combined = mgr.imp(ranges, phi)?;
-                Ok(mgr.forall(combined, varset)?)
-            }
-        }
-    }
-
-    fn compile_atom(&mut self, relation: &str, args: &[Term]) -> Result<Bdd> {
-        let idx = self
-            .ldb
-            .index(relation)
-            .ok_or_else(|| CoreError::MissingIndex(relation.to_owned()))?
-            .clone();
-        // Resolve argument actions against the database before touching the
-        // manager (split borrows).
-        enum Action {
-            Pin(DomainId, u64),
-            RenameTo(DomainId, DomainId),
-            EqualTo(DomainId, DomainId),
-        }
-        let mut actions = Vec::with_capacity(args.len());
-        {
-            let db = self.ldb.db();
-            let rel = db.relation(relation)?;
-            let mut seen: HashMap<&str, ()> = HashMap::new();
-            for (i, t) in args.iter().enumerate() {
-                let col_dom = idx.domains[i];
-                match t {
-                    Term::Const(raw) => {
-                        let class = rel.schema().class_of(i);
-                        match db.code(class, raw) {
-                            // A constant outside the active domain: the atom
-                            // is unsatisfiable.
-                            None => return Ok(Bdd::FALSE),
-                            Some(code) => actions.push(Action::Pin(col_dom, code as u64)),
-                        }
-                    }
-                    Term::Var(v) => {
-                        let var_dom = self.var_doms[v];
-                        let first = seen.insert(v.as_str(), ()).is_none();
-                        if first && var_dom == col_dom {
-                            // The variable claimed this very column: the
-                            // atom already speaks its language.
-                        } else if first && self.opts.join_rename {
-                            actions.push(Action::RenameTo(col_dom, var_dom));
-                        } else {
-                            // Repeated variable, or the naive equality-cube
-                            // strategy: conjoin an equality and project the
-                            // column block away.
-                            actions.push(Action::EqualTo(col_dom, var_dom));
-                        }
-                    }
-                }
-            }
-        }
-        let mgr = self.ldb.manager_mut();
-        let mut cur = idx.root;
-        // 1. Pin constants (restrict: removes the block's variables).
-        for a in &actions {
-            if let Action::Pin(d, code) = a {
-                let cube = mgr.value_cube(*d, *code)?;
-                cur = mgr.restrict(cur, cube)?;
-            }
-        }
-        // 2. Rename first-occurrence variable columns into query domains —
-        //    the §4.2 rewrite: one linear-cost pass instead of equality
-        //    conjunctions.
-        let renames: Vec<(DomainId, DomainId)> = actions
-            .iter()
-            .filter_map(|a| match a {
-                // Variables that claimed this very column need no move.
-                Action::RenameTo(from, to) if from != to => Some((*from, *to)),
-                _ => None,
-            })
-            .collect();
-        if !renames.is_empty() {
-            cur = mgr.replace_domains(cur, &renames)?;
-            if let Some(rs) = self.rules.as_deref_mut() {
-                rs.push(RuleFiring {
-                    rule: RewriteRule::R2JoinRename,
-                    count: renames.len() as u64,
-                });
-            }
-        }
-        // 3. Equality constraints for repeated variables (and for every
-        //    variable under the naive strategy), then project the column
-        //    blocks away.
-        let mut quantify_out = Vec::new();
-        for a in &actions {
-            if let Action::EqualTo(col_dom, var_dom) = a {
-                let eq = mgr.domain_eq(*col_dom, *var_dom)?;
-                cur = mgr.and(cur, eq)?;
-                quantify_out.push(*col_dom);
-            }
-        }
-        if !quantify_out.is_empty() {
-            let vs = mgr.domain_varset(&quantify_out);
-            cur = mgr.exists(cur, vs)?;
-        }
-        Ok(cur)
-    }
-
-    fn compile_eq(&mut self, a: &Term, b: &Term) -> Result<Bdd> {
-        match (a, b) {
-            (Term::Const(x), Term::Const(y)) => Ok(if x == y { Bdd::TRUE } else { Bdd::FALSE }),
-            (Term::Var(v), Term::Var(w)) => {
-                let (dv, dw) = (self.var_doms[v], self.var_doms[w]);
-                Ok(self.ldb.manager_mut().domain_eq(dv, dw)?)
-            }
-            (Term::Var(v), Term::Const(raw)) | (Term::Const(raw), Term::Var(v)) => {
-                let dv = self.var_doms[v];
-                // The variable's class dictates constant resolution.
-                let code = {
-                    let class = self.class_of_var(v)?;
-                    self.ldb.db().code(&class, raw)
-                };
-                match code {
-                    None => Ok(Bdd::FALSE),
-                    Some(c) => Ok(self.ldb.manager_mut().value_cube(dv, c as u64)?),
-                }
-            }
-        }
-    }
-
-    fn compile_in_set(&mut self, t: &Term, vals: &[relcheck_relstore::Raw]) -> Result<Bdd> {
-        match t {
-            Term::Const(raw) => Ok(if vals.contains(raw) {
-                Bdd::TRUE
-            } else {
-                Bdd::FALSE
-            }),
-            Term::Var(v) => {
-                let dv = self.var_doms[v];
-                let codes: Vec<u64> = {
-                    let class = self.class_of_var(v)?;
-                    let db = self.ldb.db();
-                    vals.iter()
-                        .filter_map(|raw| db.code(&class, raw).map(|c| c as u64))
-                        .collect()
-                };
-                Ok(self.ldb.manager_mut().value_set(dv, &codes)?)
-            }
-        }
-    }
-
-    /// A variable's attribute class, from the inferred sorts.
-    fn class_of_var(&self, v: &str) -> Result<String> {
-        Ok(self.sorts[v].clone())
-    }
+    crate::exec::violations_bdd(
+        ldb,
+        f,
+        PlanOptions::from_flags(opts.use_rewrites, opts.join_rename),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::CoreError;
     use crate::ordering::OrderingStrategy;
     use relcheck_logic::eval::eval_sentence;
     use relcheck_logic::parse;
@@ -682,6 +221,33 @@ mod tests {
             let got = check_bdd(&mut l, &f, &opts).unwrap();
             assert_eq!(got, expected, "join_rename=off: {src}");
             l.gc();
+        }
+    }
+
+    #[test]
+    fn every_plan_option_combination_matches_brute_force() {
+        // The full 2⁶ pass-toggle space, not just the legacy two-switch
+        // corners: every combination must be semantics-preserving on the
+        // whole sentence corpus.
+        for bits in 0u64..64 {
+            let options = crate::plan::PlanOptions {
+                prenex: bits & 1 != 0,
+                strip_leading: bits & 2 != 0,
+                pushdown: bits & 4 != 0,
+                gate_pushdown: bits & 8 != 0,
+                join_rename: bits & 16 != 0,
+                fused_quant: bits & 32 != 0,
+            };
+            let mut l = ldb();
+            for src in SENTENCES {
+                let f = parse(src).unwrap();
+                let expected = eval_sentence(l.db(), &f).unwrap();
+                let mut passes = Vec::new();
+                let step = crate::planner::bdd_step(l.db(), &f, options, &mut passes);
+                let got = crate::exec::execute_bdd(&mut l, &step, None).unwrap();
+                assert_eq!(got, expected, "options={options:?}: {src}");
+                l.gc();
+            }
         }
     }
 

@@ -132,6 +132,7 @@ pub struct LogicalDatabase {
     indices: HashMap<String, RelIndex>,
     class_sizes: HashMap<String, u64>,
     query_pools: HashMap<String, Vec<DomainId>>,
+    version: u64,
 }
 
 impl LogicalDatabase {
@@ -143,7 +144,19 @@ impl LogicalDatabase {
             indices: HashMap::new(),
             class_sizes: HashMap::new(),
             query_pools: HashMap::new(),
+            version: 0,
         }
+    }
+
+    /// A monotone counter bumped by every operation that can change what a
+    /// check observes: tuple inserts/deletes, index imports (which adopt
+    /// externally-built content), and any grant of raw mutable database
+    /// access. Building an index from the relation's own rows does *not*
+    /// bump it — materialization changes no verdict. Plan caches key on
+    /// it: two calls returning the same value mean no data change happened
+    /// in between.
+    pub fn data_version(&self) -> u64 {
+        self.version
     }
 
     /// The underlying database.
@@ -158,6 +171,10 @@ impl LogicalDatabase {
     /// going through [`LogicalDatabase::insert_tuple`] would double-apply
     /// them to the index.
     pub fn db_mut(&mut self) -> &mut Database {
+        // Conservatively assume the caller mutates: raw access can change
+        // rows without going through insert/delete, so cached plans keyed
+        // on data_version must not survive it.
+        self.version += 1;
         &mut self.db
     }
 
@@ -249,6 +266,8 @@ impl LogicalDatabase {
                 ordering,
             },
         );
+        // No version bump: the index is derived from the relation's current
+        // rows, so every verdict is unchanged by its materialization.
         Ok(&self.indices[name])
     }
 
@@ -257,6 +276,7 @@ impl LogicalDatabase {
     pub fn insert_tuple(&mut self, name: &str, row: &[u32]) -> Result<bool> {
         let fresh = self.db.relation_mut(name)?.insert(row)?;
         if fresh {
+            self.version += 1;
             if let Some(idx) = self.indices.get(name) {
                 let domains = idx.domains.clone();
                 let root = idx.root;
@@ -272,6 +292,7 @@ impl LogicalDatabase {
     pub fn delete_tuple(&mut self, name: &str, row: &[u32]) -> Result<bool> {
         let existed = self.db.relation_mut(name)?.delete(row)?;
         if existed {
+            self.version += 1;
             if let Some(idx) = self.indices.get(name) {
                 let domains = idx.domains.clone();
                 let root = idx.root;
@@ -357,6 +378,7 @@ impl LogicalDatabase {
                 ordering: snap.ordering.clone(),
             },
         );
+        self.version += 1;
         Ok(())
     }
 

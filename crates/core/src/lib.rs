@@ -58,9 +58,12 @@
 pub mod checker;
 pub mod compile;
 mod error;
+pub mod exec;
 pub mod index;
 pub mod ordering;
 pub mod parallel;
+pub mod plan;
+pub mod planner;
 pub mod registry;
 pub mod sqlgen;
 pub mod store;
@@ -71,9 +74,10 @@ pub use error::{CoreError, Result};
 pub use index::{IndexSnapshot, LogicalDatabase};
 pub use ordering::OrderingStrategy;
 pub use parallel::{IndexTransfer, ParallelChecker};
+pub use plan::{CheckPlan, PlanOptions};
 pub use registry::ConstraintRegistry;
 pub use store::{Delta, IndexStore, VerifyStatus};
 pub use telemetry::{
-    CheckTrace, DegradationSummary, FallbackReason, FleetTelemetry, IndexCacheMetrics,
-    RecoveryRecord, RewriteRule, RuleFiring, RunMetrics, WorkerTelemetry,
+    CheckTrace, DegradationSummary, FallbackReason, FleetTelemetry, IndexCacheMetrics, PassStat,
+    PlanCacheMetrics, RecoveryRecord, RewriteRule, RuleFiring, RunMetrics, WorkerTelemetry,
 };

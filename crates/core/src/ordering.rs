@@ -50,6 +50,34 @@ pub enum OrderingStrategy {
 }
 
 impl OrderingStrategy {
+    /// Stable machine-readable name of the strategy (seed excluded).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OrderingStrategy::Schema => "schema",
+            OrderingStrategy::Random(_) => "random",
+            OrderingStrategy::MaxInfGain => "max-inf-gain",
+            OrderingStrategy::ProbConverge => "prob-converge",
+            OrderingStrategy::MinCondEntropy => "min-cond-entropy",
+            OrderingStrategy::Sifted => "sifted",
+        }
+    }
+
+    /// A stable fingerprint of the strategy, used in plan-cache keys: two
+    /// checkers agree on this value iff they would order indices the same
+    /// way (the `Random` seed is folded in).
+    pub fn fingerprint(&self) -> u64 {
+        match *self {
+            OrderingStrategy::Schema => 1,
+            OrderingStrategy::Random(seed) => {
+                2u64.wrapping_add(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            }
+            OrderingStrategy::MaxInfGain => 3,
+            OrderingStrategy::ProbConverge => 4,
+            OrderingStrategy::MinCondEntropy => 5,
+            OrderingStrategy::Sifted => 6,
+        }
+    }
+
     /// Compute the column order for a relation under this strategy.
     pub fn order(&self, rel: &Relation, dom_sizes: &[u64]) -> Vec<usize> {
         match *self {

@@ -1,0 +1,374 @@
+//! Formula → [`CheckPlan`]: the pure pass manager.
+//!
+//! This is the front half of the old `compile.rs` monolith, refactored so
+//! the paper's §4.4 rewrite pipeline is a sequence of discrete,
+//! individually-toggleable passes whose effects are recorded in the plan:
+//!
+//! 1. `prenex-pullup` (R3): quantifier pull-up into prenex normal form;
+//! 2. `strip-leading-block` (R1): leading-quantifier-block elimination,
+//!    choosing the validity / satisfiability test;
+//! 3. `refutation-nnf` (validity only): negate and renormalize, so the BDD
+//!    built is the *violation set* rather than a near-complement;
+//! 4. `forall-pushdown` (R4 / Rule 5): distribute universal blocks over
+//!    conjunctions — optionally **cost-gated** on `relstore::stats`
+//!    cardinalities ([`pushdown_pays_off`]).
+//!
+//! Nothing here touches a BDD manager: planning is pure and total, which is
+//! what makes plans cacheable and `relcheck plan` side-effect free. The
+//! back half — [`CheckPlan`] → verdict — lives in [`crate::exec`].
+
+use crate::plan::{
+    formula_fingerprint, BddStep, BddTest, CheckPlan, PassRecord, PlanOptions, SqlStep,
+};
+use crate::sqlgen;
+use crate::telemetry::RewriteRule;
+use relcheck_logic::transform::{
+    push_forall_down_gated, simplify, standardize_apart, strip_leading_block, to_nnf, to_prenex,
+    CheckMode, PassEffect, Prenex, Quant,
+};
+use relcheck_logic::{Formula, Term};
+use relcheck_relstore::{stats, Database};
+use std::collections::HashSet;
+
+/// Build the complete [`CheckPlan`] for a constraint: run the rewrite
+/// passes (recording each one's effect), prepare the BDD execution step —
+/// unless a referenced relation is marked SQL-only — and pre-translate the
+/// SQL fallback. `schema_fp` is the caller's environment fingerprint
+/// ([`crate::checker::Checker::schema_fingerprint`]); the planner stamps it
+/// into the plan so the cache can refuse stale entries.
+pub fn plan_check(
+    db: &Database,
+    f: &Formula,
+    options: PlanOptions,
+    sql_only: &HashSet<String>,
+    schema_fp: u64,
+) -> CheckPlan {
+    let mut passes = Vec::new();
+    let mut atoms = Vec::new();
+    collect_atoms(f, &mut atoms);
+    let any_sql_only = atoms.iter().any(|(rel, _)| sql_only.contains(rel));
+    let bdd = if any_sql_only {
+        None
+    } else {
+        Some(bdd_step(db, f, options, &mut passes))
+    };
+    let sql = sqlgen::violation_plan(db, f).map(|translated| SqlStep { translated });
+    CheckPlan {
+        constraint: f.to_string(),
+        constraint_fp: formula_fingerprint(f),
+        schema_fp,
+        options,
+        passes,
+        bdd,
+        sql,
+    }
+}
+
+/// Run the rewrite passes on one formula and assemble the prepared BDD
+/// step. Appends one [`PassRecord`] per pass that ran (even when it fired
+/// zero times — the record is the evidence the pass was consulted).
+pub(crate) fn bdd_step(
+    db: &Database,
+    f: &Formula,
+    options: PlanOptions,
+    passes: &mut Vec<PassRecord>,
+) -> BddStep {
+    if !options.prenex {
+        // The paper's "straight-forward evaluation" baseline: standardize
+        // apart and compile literally, leading quantifiers included.
+        let g = standardize_apart(f);
+        let body = if options.pushdown {
+            apply_pushdown_pass(db, &g, options, passes)
+        } else {
+            g.clone()
+        };
+        return BddStep {
+            alloc: g,
+            body,
+            stripped: Vec::new(),
+            test: BddTest::Satisfiable,
+            join_rename: options.join_rename,
+            fused_quant: options.fused_quant,
+        };
+    }
+    let p = to_prenex(f);
+    let whole = rebuild(&p);
+    passes.push(PassRecord {
+        pass: "prenex-pullup",
+        rule: Some(RewriteRule::R3PrenexPullup),
+        fired: p.prefix.len() as u64,
+        gated: 0,
+        before: f.to_string(),
+        after: whole.to_string(),
+    });
+    let (mode, rest) = if options.strip_leading {
+        strip_leading_block(&p)
+    } else {
+        (CheckMode::Satisfiability, p.clone())
+    };
+    let stripped: Vec<String> = p.prefix[..p.prefix.len() - rest.prefix.len()]
+        .iter()
+        .map(|(_, v)| v.clone())
+        .collect();
+    let remainder = rebuild(&rest);
+    if options.strip_leading {
+        passes.push(PassRecord {
+            pass: "strip-leading-block",
+            rule: Some(RewriteRule::R1LeadingBlock),
+            fired: stripped.len() as u64,
+            gated: 0,
+            before: whole.to_string(),
+            after: remainder.to_string(),
+        });
+    }
+    let (body, test) = match mode {
+        CheckMode::Validity => {
+            // Compile the violation set by refutation: ¬body in NNF keeps
+            // implication-shaped constraints as small premise ∧ ¬conclusion
+            // conjunctions instead of near-complement disjunctions.
+            let negated = simplify(&to_nnf(&remainder.clone().not()));
+            passes.push(PassRecord {
+                pass: "refutation-nnf",
+                rule: None,
+                fired: 1,
+                gated: 0,
+                before: remainder.to_string(),
+                after: negated.to_string(),
+            });
+            let body = if options.pushdown {
+                apply_pushdown_pass(db, &negated, options, passes)
+            } else {
+                negated
+            };
+            (body, BddTest::ViolationsEmpty)
+        }
+        CheckMode::Satisfiability => {
+            let body = if options.pushdown {
+                apply_pushdown_pass(db, &remainder, options, passes)
+            } else {
+                remainder
+            };
+            (body, BddTest::Satisfiable)
+        }
+    };
+    BddStep {
+        alloc: whole,
+        body,
+        stripped,
+        test,
+        join_rename: options.join_rename,
+        fused_quant: options.fused_quant,
+    }
+}
+
+/// Run the ∀-push-down pass and record its effect.
+fn apply_pushdown_pass(
+    db: &Database,
+    f: &Formula,
+    options: PlanOptions,
+    passes: &mut Vec<PassRecord>,
+) -> Formula {
+    let (out, eff) = apply_pushdown(db, f, options);
+    passes.push(PassRecord {
+        pass: "forall-pushdown",
+        rule: Some(RewriteRule::R4ForallPushdown),
+        fired: eff.fired,
+        gated: eff.gated,
+        before: f.to_string(),
+        after: out.to_string(),
+    });
+    out
+}
+
+/// ∀-push-down (Rule 5) under the plan's gating policy, followed by the
+/// usual simplification. Returns the rewritten formula and the pass's
+/// fired/gated tallies. Shared between the planner and
+/// [`crate::exec::violations_bdd`] (which rewrites on the fly).
+pub(crate) fn apply_pushdown(
+    db: &Database,
+    f: &Formula,
+    options: PlanOptions,
+) -> (Formula, PassEffect) {
+    let mut eff = PassEffect::default();
+    let out = if options.gate_pushdown {
+        push_forall_down_gated(
+            f,
+            &mut |vs, parts| pushdown_pays_off(db, vs, parts),
+            &mut eff,
+        )
+    } else {
+        push_forall_down_gated(f, &mut |_, _| true, &mut eff)
+    };
+    (simplify(&out), eff)
+}
+
+/// The R4 cost gate: distribute `∀x̄ (φ₁ ∧ … ∧ φₙ)` only when the estimated
+/// total size of the per-conjunct sub-BDDs is no larger than the estimated
+/// size of the undistributed conjunction.
+///
+/// Estimates come from [`relcheck_relstore::stats`] cardinalities: after
+/// quantifying the block's variables out of a conjunct, each atom
+/// contributes at most `distinct_count` over its columns *not* bound to a
+/// block variable; undistributed, each atom contributes up to its full row
+/// count. Products within a conjunct, summed across conjuncts, against the
+/// product over all atoms — `Σᵢ Πₐ distinct ≤ Πₐ ‖R‖` fires the rule.
+/// Saturating `u128` arithmetic; a conjunct with no relational atoms counts
+/// as 1 on both sides. Both outcomes are semantics-preserving, so a bad
+/// estimate costs only time, never correctness.
+pub(crate) fn pushdown_pays_off(db: &Database, vs: &[String], parts: &[Formula]) -> bool {
+    let block: HashSet<&str> = vs.iter().map(String::as_str).collect();
+    let mut sum: u128 = 0;
+    let mut product: u128 = 1;
+    for part in parts {
+        let mut atoms = Vec::new();
+        collect_atoms(part, &mut atoms);
+        let (mut after, mut full) = (1u128, 1u128);
+        for (rel_name, args) in &atoms {
+            let Ok(rel) = db.relation(rel_name) else {
+                continue;
+            };
+            let kept: Vec<usize> = args
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t {
+                    Term::Var(v) if block.contains(v.as_str()) => None,
+                    _ => Some(i),
+                })
+                .collect();
+            after = after.saturating_mul(stats::distinct_count(rel, &kept).max(1) as u128);
+            full = full.saturating_mul(rel.len().max(1) as u128);
+        }
+        sum = sum.saturating_add(after);
+        product = product.saturating_mul(full);
+    }
+    sum <= product
+}
+
+/// Reassemble a prenex form into a formula.
+pub(crate) fn rebuild(p: &Prenex) -> Formula {
+    let mut f = p.matrix.clone();
+    for (q, v) in p.prefix.iter().rev() {
+        f = match q {
+            Quant::Exists => Formula::Exists(vec![v.clone()], Box::new(f)),
+            Quant::Forall => Formula::Forall(vec![v.clone()], Box::new(f)),
+        };
+    }
+    f
+}
+
+/// Collect every relational atom `(relation, args)` in the formula.
+pub(crate) fn collect_atoms(f: &Formula, out: &mut Vec<(String, Vec<Term>)>) {
+    match f {
+        Formula::Atom { relation, args } => out.push((relation.clone(), args.clone())),
+        Formula::Not(g) => collect_atoms(g, out),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| collect_atoms(g, out)),
+        Formula::Implies(a, b) => {
+            collect_atoms(a, out);
+            collect_atoms(b, out);
+        }
+        Formula::Exists(_, g) | Formula::Forall(_, g) => collect_atoms(g, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcheck_relstore::Raw;
+
+    fn customer_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            "CUST",
+            &[
+                ("city", "city"),
+                ("areacode", "areacode"),
+                ("state", "state"),
+            ],
+            vec![
+                vec![Raw::str("Toronto"), Raw::Int(416), Raw::str("ON")],
+                vec![Raw::str("Toronto"), Raw::Int(647), Raw::str("ON")],
+                vec![Raw::str("Oshawa"), Raw::Int(905), Raw::str("ON")],
+                vec![Raw::str("Newark"), Raw::Int(973), Raw::str("NJ")],
+                vec![Raw::str("Newark"), Raw::Int(212), Raw::str("NY")],
+            ],
+        )
+        .unwrap();
+        db.create_relation(
+            "ALLOWED",
+            &[("city", "city"), ("areacode", "areacode")],
+            vec![
+                vec![Raw::str("Toronto"), Raw::Int(416)],
+                vec![Raw::str("Toronto"), Raw::Int(647)],
+                vec![Raw::str("Oshawa"), Raw::Int(905)],
+                vec![Raw::str("Newark"), Raw::Int(973)],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn plan_records_passes_in_pipeline_order() {
+        let db = customer_db();
+        let f =
+            relcheck_logic::parse("forall c, a. ALLOWED(c, a) -> exists s. CUST(c, a, s)").unwrap();
+        let plan = plan_check(
+            &db,
+            &f,
+            PlanOptions::default(),
+            &HashSet::new(),
+            0xfeed_beef,
+        );
+        let names: Vec<&str> = plan.passes.iter().map(|p| p.pass).collect();
+        assert_eq!(
+            names,
+            [
+                "prenex-pullup",
+                "strip-leading-block",
+                "refutation-nnf",
+                "forall-pushdown"
+            ]
+        );
+        assert_eq!(plan.schema_fp, 0xfeed_beef);
+        let step = plan.bdd.as_ref().expect("bdd step");
+        assert_eq!(step.test, BddTest::ViolationsEmpty);
+        assert_eq!(step.stripped, ["c", "a"]);
+        assert!(plan.sql.is_some(), "inclusion shape translates to SQL");
+    }
+
+    #[test]
+    fn cost_gate_fires_when_distribution_is_estimated_smaller() {
+        // ∀s over ALLOWED(c,a) ∧ ¬CUST(c,a,s): Σ = 4 + 5 = 9 ≤ Π = 4·5 = 20.
+        let db = customer_db();
+        let f =
+            relcheck_logic::parse("forall c, a. ALLOWED(c, a) -> exists s. CUST(c, a, s)").unwrap();
+        let mut passes = Vec::new();
+        bdd_step(&db, &f, PlanOptions::default(), &mut passes);
+        let push = passes.iter().find(|p| p.pass == "forall-pushdown").unwrap();
+        assert_eq!((push.fired, push.gated), (1, 0));
+    }
+
+    #[test]
+    fn sql_only_relation_suppresses_the_bdd_step() {
+        let db = customer_db();
+        let f = relcheck_logic::parse("forall c, a, s. CUST(c, a, s) -> ALLOWED(c, a)").unwrap();
+        let sql_only: HashSet<String> = ["CUST".to_owned()].into_iter().collect();
+        let plan = plan_check(&db, &f, PlanOptions::default(), &sql_only, 0);
+        assert!(plan.bdd.is_none());
+        assert!(plan.passes.is_empty(), "no passes run when BDD is skipped");
+        assert_eq!(plan.ladder(), ["sql", "brute_force"]);
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let db = customer_db();
+        let f = relcheck_logic::parse(
+            "forall c, a1, s1, a2, s2. CUST(c, a1, s1) & CUST(c, a2, s2) -> s1 = s2",
+        )
+        .unwrap();
+        let a = plan_check(&db, &f, PlanOptions::default(), &HashSet::new(), 7).render();
+        let b = plan_check(&db, &f, PlanOptions::default(), &HashSet::new(), 7).render();
+        assert_eq!(a, b, "same inputs must render byte-identical plans");
+    }
+}

@@ -9,10 +9,13 @@
 //! indices themselves are maintained incrementally by
 //! [`crate::index::LogicalDatabase`]).
 
-use crate::checker::{CheckReport, Checker};
+use crate::checker::{panic_message, CheckReport, Checker};
 use crate::error::Result;
+use crate::plan::CheckPlan;
+use crate::telemetry::PlanCacheMetrics;
 use relcheck_logic::Formula;
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A registered constraint.
 #[derive(Debug, Clone)]
@@ -73,6 +76,15 @@ impl Verdict {
 #[derive(Debug, Default)]
 pub struct ConstraintRegistry {
     entries: Vec<Entry>,
+    /// Compiled plans keyed by `(constraint fingerprint, schema
+    /// fingerprint)`. The schema fingerprint covers the data version,
+    /// the checker's epoch (bumped by `rebuild_index`/`mark_sql_only`),
+    /// the ordering strategy, and the plan options, so any change that
+    /// could invalidate a plan changes the key and the stale entry is
+    /// simply never looked up again (and is pruned on the next insert
+    /// for the same constraint).
+    plans: HashMap<(u64, u64), CheckPlan>,
+    plan_stats: PlanCacheMetrics,
 }
 
 impl ConstraintRegistry {
@@ -110,12 +122,59 @@ impl ConstraintRegistry {
             .map(|e| &e.formula)
     }
 
+    /// Check one constraint through the plan cache: a cached
+    /// [`CheckPlan`] whose `(constraint, schema)` fingerprints still match
+    /// is handed to the checker and skips planning entirely; otherwise the
+    /// freshly-planned result is cached for next time. Runs behind the
+    /// same panic guard as [`Checker::check_all`], so a poisoned
+    /// constraint yields an `Errored` report instead of tearing down the
+    /// batch.
+    pub fn check_cached(&mut self, checker: &mut Checker, f: &Formula) -> Result<CheckReport> {
+        let key = checker.plan_key(f)?;
+        let cached = self.plans.get(&key);
+        if cached.is_some() {
+            self.plan_stats.hits += 1;
+        } else {
+            self.plan_stats.misses += 1;
+        }
+        match catch_unwind(AssertUnwindSafe(|| checker.check_planned(f, cached))) {
+            Ok(Ok((report, plan))) => {
+                // Keep at most one plan per constraint: drop entries for
+                // this constraint under dead schema fingerprints.
+                let live = (plan.constraint_fp, plan.schema_fp);
+                self.plans.retain(|k, _| k.0 != live.0 || k.1 == live.1);
+                self.plans.insert(live, plan);
+                Ok(report)
+            }
+            Ok(Err(e)) => Err(e),
+            Err(payload) => {
+                // Same recovery as `Checker::check_all`: the manager's
+                // tables are structurally sound at any unwind point;
+                // disarm the deadline and drop scratch.
+                let telemetry = checker.options().telemetry;
+                checker.logical_db_mut().manager_mut().set_deadline(None);
+                checker.logical_db_mut().gc();
+                Ok(CheckReport::errored(panic_message(payload), telemetry))
+            }
+        }
+    }
+
+    /// Plan-cache hit/miss counters accumulated by
+    /// [`ConstraintRegistry::check_cached`] (and everything routed through
+    /// it: [`ConstraintRegistry::validate_all`],
+    /// [`ConstraintRegistry::revalidate`]).
+    pub fn plan_cache_stats(&self) -> PlanCacheMetrics {
+        self.plan_stats
+    }
+
     /// Validate everything, caching verdicts. Returns `(name, report)` in
     /// registration order.
     pub fn validate_all(&mut self, checker: &mut Checker) -> Result<Vec<(String, CheckReport)>> {
         let mut out = Vec::with_capacity(self.entries.len());
-        for e in &mut self.entries {
-            let report = checker.check(&e.formula)?;
+        for i in 0..self.entries.len() {
+            let formula = self.entries[i].formula.clone();
+            let report = self.check_cached(checker, &formula)?;
+            let e = &mut self.entries[i];
             // Undecided verdicts (degraded/errored) are never cached: the
             // constraint stays dirty and is re-checked next round.
             e.last = report.verdict.is_decided().then_some(report.holds);
@@ -157,11 +216,13 @@ impl ConstraintRegistry {
     ) -> Result<Vec<(String, Verdict)>> {
         let touched: HashSet<&str> = touched.iter().copied().collect();
         let mut out = Vec::with_capacity(self.entries.len());
-        for e in &mut self.entries {
+        for i in 0..self.entries.len() {
+            let e = &self.entries[i];
             let dirty = e.last.is_none() || e.reads.iter().any(|r| touched.contains(r.as_str()));
             let verdict = if dirty {
-                let report = checker.check(&e.formula)?;
-                e.last = report.verdict.is_decided().then_some(report.holds);
+                let formula = e.formula.clone();
+                let report = self.check_cached(checker, &formula)?;
+                self.entries[i].last = report.verdict.is_decided().then_some(report.holds);
                 Verdict::Checked {
                     holds: report.holds,
                 }
@@ -170,7 +231,7 @@ impl ConstraintRegistry {
                     holds: e.last.expect("checked not-none above"),
                 }
             };
-            out.push((e.name.clone(), verdict));
+            out.push((self.entries[i].name.clone(), verdict));
         }
         Ok(out)
     }

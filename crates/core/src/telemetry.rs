@@ -143,6 +143,33 @@ pub struct PhaseTimings {
     pub total: Duration,
 }
 
+/// One planner pass, as recorded in a check trace: how often it fired and
+/// how often its cost gate declined it. Mirrors
+/// [`crate::plan::PassRecord`] minus the before/after formula snapshots
+/// (those stay in the plan; the trace carries only the counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassStat {
+    /// Stable pass name (e.g. `"prenex-pullup"`, `"forall-pushdown"`).
+    pub pass: &'static str,
+    /// The paper rewrite rule the pass implements, if any.
+    pub rule: Option<RewriteRule>,
+    /// How many times the pass's rewrite applied.
+    pub fired: u64,
+    /// How many candidate sites the cost gate declined.
+    pub gated: u64,
+}
+
+/// Plan-cache counters for a registry-driven run (schema v4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheMetrics {
+    /// Checks answered by a cached [`crate::plan::CheckPlan`] whose
+    /// fingerprints still matched.
+    pub hits: u64,
+    /// Checks that had to plan from scratch (first sight, or a stale
+    /// fingerprint).
+    pub misses: u64,
+}
+
 /// Structured trace of one `Checker::check` call. Attached to
 /// [`crate::checker::CheckReport::metrics`] when
 /// `CheckerOptions::telemetry` is set.
@@ -154,6 +181,10 @@ pub struct CheckTrace {
     /// Rewrite-rule firings in application order (R3 prenex, R1 strip,
     /// R4 push-down, then R2 per compiled atom). Empty on the SQL path.
     pub rules: Vec<RuleFiring>,
+    /// Planner passes run for this check, in pipeline order, with fired
+    /// and cost-gate-declined counts. Empty when the BDD step was not
+    /// planned (SQL-only relations, errored checks).
+    pub passes: Vec<PassStat>,
     /// Per-relation index provenance, in reference order.
     pub index_events: Vec<IndexEvent>,
     /// Why the BDD path was abandoned, if it was.
@@ -307,7 +338,7 @@ pub struct IndexCacheMetrics {
     pub recoveries: Vec<RecoveryRecord>,
 }
 
-/// The top-level machine-readable report (`schema_version` 3). See
+/// The top-level machine-readable report (`schema_version` 4). See
 /// `DESIGN.md` for field meanings and stability guarantees.
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
@@ -325,6 +356,10 @@ pub struct RunMetrics {
     /// Persistent index store counters; `None` when the run did not use
     /// `--index-cache`. Assembled by the caller after `from_reports`.
     pub index_cache: Option<IndexCacheMetrics>,
+    /// Plan-cache counters; `None` when the run did not go through a
+    /// [`crate::registry::ConstraintRegistry`]. Assembled by the caller
+    /// after `from_reports`.
+    pub plan_cache: Option<PlanCacheMetrics>,
 }
 
 impl RunMetrics {
@@ -371,15 +406,16 @@ impl RunMetrics {
             fleet,
             degradation,
             index_cache: None,
+            plan_cache: None,
         }
     }
 
-    /// Render the schema-version-3 JSON document.
+    /// Render the schema-version-4 JSON document.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.obj_open();
         w.key("schema_version");
-        w.raw("3");
+        w.raw("4");
         w.key("tool");
         w.string("relcheck");
         w.key("threads");
@@ -407,6 +443,18 @@ impl RunMetrics {
         match &self.index_cache {
             None => w.raw("null"),
             Some(ic) => write_index_cache(&mut w, ic),
+        }
+        w.key("plan_cache");
+        match &self.plan_cache {
+            None => w.raw("null"),
+            Some(pc) => {
+                w.obj_open();
+                w.key("hits");
+                w.raw(&pc.hits.to_string());
+                w.key("misses");
+                w.raw(&pc.misses.to_string());
+                w.obj_close();
+            }
         }
         w.obj_close();
         w.finish()
@@ -521,6 +569,24 @@ fn write_trace(w: &mut JsonWriter, t: &CheckTrace) {
         w.string(r.rule.name());
         w.key("count");
         w.raw(&r.count.to_string());
+        w.obj_close();
+    }
+    w.arr_close();
+    w.key("passes");
+    w.arr_open();
+    for p in &t.passes {
+        w.obj_open();
+        w.key("pass");
+        w.string(p.pass);
+        w.key("rule");
+        match p.rule {
+            None => w.raw("null"),
+            Some(r) => w.string(r.name()),
+        }
+        w.key("fired");
+        w.raw(&p.fired.to_string());
+        w.key("gated");
+        w.raw(&p.gated.to_string());
         w.obj_close();
     }
     w.arr_close();
@@ -1017,7 +1083,7 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
         .get("schema_version")
         .and_then(Json::as_int)
         .ok_or("missing integer field \"schema_version\"")?;
-    if !(1..=3).contains(&version) {
+    if !(1..=4).contains(&version) {
         return Err(format!("unsupported schema_version {version}"));
     }
     doc.get("threads")
@@ -1088,6 +1154,46 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
                         .ok_or(format!("{at}.trace: rule entry missing \"count\""))?;
                     if count <= 0 {
                         return Err(format!("{at}.trace: rule {name:?} has count {count} <= 0"));
+                    }
+                }
+                if version >= 4 {
+                    let passes = t
+                        .get("passes")
+                        .and_then(Json::as_arr)
+                        .ok_or(format!("{at}.trace: missing array field \"passes\""))?;
+                    for p in passes {
+                        let name = p
+                            .get("pass")
+                            .and_then(Json::as_str)
+                            .ok_or(format!("{at}.trace: pass entry missing \"pass\""))?;
+                        if ![
+                            "prenex-pullup",
+                            "strip-leading-block",
+                            "refutation-nnf",
+                            "forall-pushdown",
+                        ]
+                        .contains(&name)
+                        {
+                            return Err(format!("{at}.trace: unknown pass {name:?}"));
+                        }
+                        match p.get("rule") {
+                            Some(Json::Null) => {}
+                            Some(Json::Str(r))
+                                if ["R1", "R2", "R3", "R4"].contains(&r.as_str()) => {}
+                            other => {
+                                return Err(format!(
+                                    "{at}.trace: pass {name:?} has bad \"rule\" {other:?}"
+                                ))
+                            }
+                        }
+                        for f in ["fired", "gated"] {
+                            let v = p.get(f).and_then(Json::as_int).ok_or(format!(
+                                "{at}.trace: pass {name:?} missing integer {f:?}"
+                            ))?;
+                            if v < 0 {
+                                return Err(format!("{at}.trace: pass {name:?} {f} = {v} < 0"));
+                            }
+                        }
                     }
                 }
                 let events = t
@@ -1321,6 +1427,22 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
             }
         }
     }
+    if version >= 4 {
+        let pc = doc
+            .get("plan_cache")
+            .ok_or("missing field \"plan_cache\"")?;
+        if !matches!(pc, Json::Null) {
+            for f in ["hits", "misses"] {
+                let v = pc
+                    .get(f)
+                    .and_then(Json::as_int)
+                    .ok_or(format!("plan_cache: missing integer field {f:?}"))?;
+                if v < 0 {
+                    return Err(format!("plan_cache.{f} = {v} < 0"));
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -1369,6 +1491,7 @@ mod tests {
             fleet: None,
             degradation: DegradationSummary::default(),
             index_cache: None,
+            plan_cache: None,
         };
         validate_metrics_json(&m.to_json()).unwrap();
     }
@@ -1393,6 +1516,7 @@ mod tests {
                     detail: "checksum mismatch at offset 20".to_owned(),
                 }],
             }),
+            plan_cache: Some(PlanCacheMetrics { hits: 3, misses: 1 }),
         };
         validate_metrics_json(&m.to_json()).unwrap();
         // A rebuild with no recovery record explaining it must fail.
@@ -1426,11 +1550,18 @@ mod tests {
             fleet: None,
             degradation: DegradationSummary::default(),
             index_cache: None,
+            plan_cache: None,
         };
         let v2 = m
             .to_json()
-            .replace("\"schema_version\":3", "\"schema_version\":2");
+            .replace("\"schema_version\":4", "\"schema_version\":2");
         validate_metrics_json(&v2).unwrap();
+        // A v3 document has no plan_cache field; tolerated the same way.
+        let doc = m.to_json();
+        let v3 = doc
+            .replace("\"schema_version\":4", "\"schema_version\":3")
+            .replace(",\"plan_cache\":null", "");
+        validate_metrics_json(&v3).unwrap();
     }
 
     #[test]
@@ -1453,6 +1584,7 @@ mod tests {
             fleet: Some(fleet.clone()),
             degradation: DegradationSummary::default(),
             index_cache: None,
+            plan_cache: None,
         };
         validate_metrics_json(&good.to_json()).unwrap();
         fleet.total.created_nodes += 1;
@@ -1463,6 +1595,7 @@ mod tests {
             fleet: Some(fleet),
             degradation: DegradationSummary::default(),
             index_cache: None,
+            plan_cache: None,
         };
         let err = validate_metrics_json(&bad.to_json()).unwrap_err();
         assert!(err.contains("created_nodes"), "{err}");

@@ -10,6 +10,7 @@
 use relcheck_bdd::failpoint;
 use relcheck_core::checker::{CheckReport, Checker, CheckerOptions, Method, Verdict};
 use relcheck_core::ordering::OrderingStrategy;
+use relcheck_core::registry::ConstraintRegistry;
 use relcheck_core::telemetry::{validate_metrics_json, FallbackReason, RunMetrics};
 use relcheck_datagen::customer::{generate, CustomerConfig};
 use relcheck_logic::{parse, Formula};
@@ -196,8 +197,7 @@ fn ten_ms_deadline_terminates_with_deadline_fallback() {
             db,
             CheckerOptions {
                 telemetry: true,
-                use_rewrites: false,
-                join_rename: false,
+                plan: relcheck_core::PlanOptions::from_flags(false, false),
                 ordering: ord,
                 deadline: Some(Duration::from_millis(10)),
                 ..Default::default()
@@ -362,5 +362,86 @@ fn fault_profiles_never_silently_change_a_verdict() {
     );
     let got = ck.check_all(&battery).unwrap();
     check("deadline=0", &got);
+    restore_panics();
+}
+
+/// The plan-cache path obeys the same differential contract: driving the
+/// battery through a `ConstraintRegistry` (fingerprinted cached plans,
+/// `check_cached`) under a fault profile must never silently change a
+/// verdict — decided means equal to the fault-free run, anything else is
+/// explicitly `Degraded`/`Errored`. After the faults clear, a second
+/// validation round on the *same* registry (whatever plans it cached while
+/// degraded) recovers every fault-free verdict.
+#[test]
+fn plan_cache_path_respects_the_fault_differential() {
+    let _g = lock();
+    quiet_panics();
+    let db = mini_db();
+    let battery = battery();
+    let opts = CheckerOptions {
+        telemetry: true,
+        ..Default::default()
+    };
+    let mut ck = Checker::new(db.clone(), opts);
+    let clean: Vec<(String, CheckReport)> = ck.check_all(&battery).unwrap();
+
+    let profiles: &[(&str, u64)] = &[
+        ("index-build=1", 1),
+        ("apply=1", 1),
+        ("sql-fallback=1", 1),
+        ("apply=1,sql-fallback=1", 1),
+        (
+            "index-build=0.4,snapshot-decode=0.4,apply=0.4,sql-fallback=0.4",
+            3,
+        ),
+    ];
+    for &(spec, seed) in profiles {
+        let mut ck = Checker::new(db.clone(), opts);
+        let mut reg = ConstraintRegistry::new();
+        for (n, f) in &battery {
+            reg.register(n, f.clone());
+        }
+        failpoint::configure_spec(spec, seed).unwrap();
+        let faulty = reg.validate_all(&mut ck);
+        failpoint::clear();
+        let faulty = faulty.expect("faults must degrade, not fail the run");
+        assert_eq!(clean.len(), faulty.len(), "{spec}");
+        for ((wn, wr), (gn, gr)) in clean.iter().zip(&faulty) {
+            assert_eq!(wn, gn, "{spec}: order");
+            if gr.verdict.is_decided() {
+                assert_eq!(
+                    wr.holds, gr.holds,
+                    "{spec}/{wn}: a decided plan-cache verdict under faults \
+                     must match the fault-free run"
+                );
+            } else {
+                assert!(
+                    matches!(gr.verdict, Verdict::Degraded | Verdict::Errored),
+                    "{spec}/{wn}: undecided must be explicit"
+                );
+            }
+        }
+
+        // Recovery: same registry, faults gone. Every verdict is decided
+        // again and equals the fault-free run — no stale degraded-era plan
+        // may leak a wrong answer.
+        let recovered = reg.validate_all(&mut ck).unwrap();
+        for ((wn, wr), (gn, gr)) in clean.iter().zip(&recovered) {
+            assert_eq!(wn, gn, "{spec}: recovery order");
+            assert!(
+                gr.verdict.is_decided(),
+                "{spec}/{gn}: fault-free revalidation must decide"
+            );
+            assert_eq!(wr.holds, gr.holds, "{spec}/{wn}: recovery verdict");
+        }
+
+        // Exactly one cache probe per check, fault round or not.
+        let pc = reg.plan_cache_stats();
+        assert_eq!(
+            pc.hits + pc.misses,
+            2 * battery.len() as u64,
+            "{spec}: every check_cached call probes the cache once"
+        );
+    }
     restore_panics();
 }

@@ -259,48 +259,83 @@ pub fn push_forall_down(f: &Formula) -> Formula {
 /// universal block actually distributed across a conjunction (the rule
 /// firing count the checker's rewrite traces report).
 pub fn push_forall_down_counted(f: &Formula, events: &mut u64) -> Formula {
+    let mut eff = PassEffect::default();
+    let out = push_forall_down_gated(f, &mut |_, _| true, &mut eff);
+    *events += eff.fired;
+    out
+}
+
+/// Effect record of one gated transform pass: how often the rule actually
+/// rewrote a site, and how often its cost gate declined an applicable one.
+/// This is the per-pass evidence the planner folds into a `CheckPlan`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassEffect {
+    /// Sites the rule rewrote.
+    pub fired: u64,
+    /// Applicable sites the gate declined (left untouched).
+    pub gated: u64,
+}
+
+/// [`push_forall_down_counted`] with a **cost gate**: at every applicable
+/// site — a universal block directly over a conjunction — the `gate`
+/// callback is consulted with the block's variables and the conjuncts.
+/// Returning `true` distributes the block (Rule 5) exactly as
+/// [`push_forall_down`] would; returning `false` leaves the block in place
+/// (still recursing into the conjuncts). Both outcomes are
+/// semantics-preserving; the gate only chooses the cheaper *shape*. The
+/// firing/declining tallies land in `eff`.
+pub fn push_forall_down_gated(
+    f: &Formula,
+    gate: &mut dyn FnMut(&[String], &[Formula]) -> bool,
+    eff: &mut PassEffect,
+) -> Formula {
     match f {
         Formula::Forall(vs, g) => {
-            let body = push_forall_down_counted(g, events);
+            let body = push_forall_down_gated(g, gate, eff);
             match body {
                 Formula::And(parts) => {
-                    *events += 1;
-                    let new_parts = parts
-                        .into_iter()
-                        .map(|p| {
-                            let free: HashSet<String> = p.free_vars().into_iter().collect();
-                            let mine: Vec<String> =
-                                vs.iter().filter(|v| free.contains(*v)).cloned().collect();
-                            let p = push_forall_down_counted(&p, events);
-                            if mine.is_empty() {
-                                p
-                            } else {
-                                Formula::Forall(mine, Box::new(p))
-                            }
-                        })
-                        .collect();
-                    Formula::And(new_parts)
+                    if gate(vs, &parts) {
+                        eff.fired += 1;
+                        let new_parts = parts
+                            .into_iter()
+                            .map(|p| {
+                                let free: HashSet<String> = p.free_vars().into_iter().collect();
+                                let mine: Vec<String> =
+                                    vs.iter().filter(|v| free.contains(*v)).cloned().collect();
+                                let p = push_forall_down_gated(&p, gate, eff);
+                                if mine.is_empty() {
+                                    p
+                                } else {
+                                    Formula::Forall(mine, Box::new(p))
+                                }
+                            })
+                            .collect();
+                        Formula::And(new_parts)
+                    } else {
+                        eff.gated += 1;
+                        Formula::Forall(vs.clone(), Box::new(Formula::And(parts)))
+                    }
                 }
                 other => Formula::Forall(vs.clone(), Box::new(other)),
             }
         }
         Formula::Exists(vs, g) => {
-            Formula::Exists(vs.clone(), Box::new(push_forall_down_counted(g, events)))
+            Formula::Exists(vs.clone(), Box::new(push_forall_down_gated(g, gate, eff)))
         }
-        Formula::Not(g) => Formula::Not(Box::new(push_forall_down_counted(g, events))),
+        Formula::Not(g) => Formula::Not(Box::new(push_forall_down_gated(g, gate, eff))),
         Formula::And(fs) => Formula::And(
             fs.iter()
-                .map(|g| push_forall_down_counted(g, events))
+                .map(|g| push_forall_down_gated(g, gate, eff))
                 .collect(),
         ),
         Formula::Or(fs) => Formula::Or(
             fs.iter()
-                .map(|g| push_forall_down_counted(g, events))
+                .map(|g| push_forall_down_gated(g, gate, eff))
                 .collect(),
         ),
         Formula::Implies(a, b) => Formula::Implies(
-            Box::new(push_forall_down_counted(a, events)),
-            Box::new(push_forall_down_counted(b, events)),
+            Box::new(push_forall_down_gated(a, gate, eff)),
+            Box::new(push_forall_down_gated(b, gate, eff)),
         ),
         other => other.clone(),
     }

@@ -51,6 +51,38 @@ if [ "$rc" -ge 2 ]; then
 fi
 cargo run --release --quiet --bin relcheck -- metrics-check "$METRICS_OUT"
 
+step "plan smoke: relcheck plan on the example suite + determinism"
+# Two planning runs over the same spec must emit byte-identical output
+# (fingerprints included) — the property the plan cache keys on.
+PLAN_A="$(mktemp /tmp/relcheck-plan-a.XXXXXX.txt)"
+PLAN_B="$(mktemp /tmp/relcheck-plan-b.XXXXXX.txt)"
+trap 'rm -f "$METRICS_OUT" "$PLAN_A" "$PLAN_B"' EXIT
+cargo run --release --quiet --bin relcheck -- plan testdata/phones.spec > "$PLAN_A"
+cargo run --release --quiet --bin relcheck -- plan testdata/phones.spec > "$PLAN_B"
+cmp "$PLAN_A" "$PLAN_B"
+for want in "passes:" "bdd step:" "sql step:" "ladder: bdd"; do
+    if ! grep -q "$want" "$PLAN_A"; then
+        echo "plan output missing '$want'" >&2
+        exit 1
+    fi
+done
+# A serial run goes through the registry's fingerprinted plan cache and
+# must report its counters in the schema-v4 metrics document.
+set +e
+cargo run --release --quiet --bin relcheck -- \
+    run testdata/phones.spec --threads 1 --metrics "$METRICS_OUT" >/dev/null
+rc=$?
+set -e
+if [ "$rc" -ge 2 ]; then
+    echo "serial relcheck run failed operationally (exit $rc)" >&2
+    exit 1
+fi
+cargo run --release --quiet --bin relcheck -- metrics-check "$METRICS_OUT"
+if ! grep -q '"plan_cache":{"hits":' "$METRICS_OUT"; then
+    echo "serial run metrics carry no plan_cache counters" >&2
+    exit 1
+fi
+
 step "fault-injection smoke: each failpoint site, fixed seed"
 # Fire every site at probability 1 with a fixed seed; the run must still
 # terminate cleanly (exit 0 — injected faults are reported as DEGRADED/
@@ -92,7 +124,7 @@ step "crash-recovery smoke: index cache warm starts, kills, and recovery"
 CACHE_DIR="$(mktemp -d /tmp/relcheck-cache.XXXXXX)"
 COLD_OUT="$(mktemp /tmp/relcheck-cold.XXXXXX.txt)"
 WARM_OUT="$(mktemp /tmp/relcheck-warm.XXXXXX.txt)"
-trap 'rm -rf "$METRICS_OUT" "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT"' EXIT
+trap 'rm -rf "$METRICS_OUT" "$PLAN_A" "$PLAN_B" "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT"' EXIT
 
 run_cached() { # run_cached <outfile> [extra args...]
     local out="$1"; shift

@@ -5,6 +5,7 @@
 //!                          [--metrics PATH] [--deadline-ms N] [--index-cache DIR]
 //!                          [--fail-spec SPEC] [--fail-seed N]
 //! relcheck explain <spec-file> <constraint-name>
+//! relcheck plan <spec-file> [constraint-name] [--ordering STRATEGY]
 //! relcheck metrics-check <metrics.json>
 //! relcheck index <build|verify|repair|gc|apply> <spec-file> --index-cache DIR
 //!                [deltas...] [--ordering STRATEGY] [--fail-spec SPEC] [--fail-seed N]
@@ -34,6 +35,13 @@
 //! cannot be decided under injected faults report `DEGRADED`/`ERRORED`
 //! verdicts; only genuine `VIOLATED` verdicts make the exit code non-zero.
 //!
+//! `plan` prints the compiled [`relcheck::core_::CheckPlan`] for one (or
+//! every) constraint without executing it: the rewrite passes that ran,
+//! the formula before and after each one, the cost-gate decisions, and
+//! the degradation-ladder rungs the plan would execute. The output is
+//! deterministic — two invocations on the same spec emit byte-identical
+//! plans.
+//!
 //! Persistence: `--index-cache DIR` warm-starts the run from a durable
 //! on-disk index store (building and persisting whatever is missing or
 //! unusable); verdicts are identical to a cold run. The `index`
@@ -46,8 +54,11 @@
 
 use relcheck::core_::checker::{Checker, CheckerOptions, Verdict};
 use relcheck::core_::ordering::OrderingStrategy;
+use relcheck::core_::registry::ConstraintRegistry;
 use relcheck::core_::store::{Delta, IndexStore, VerifyStatus};
-use relcheck::core_::telemetry::{validate_metrics_json, RunMetrics};
+use relcheck::core_::telemetry::{
+    validate_metrics_json, FleetTelemetry, RunMetrics, WorkerTelemetry,
+};
 use relcheck::relstore::{Database, Raw};
 use relcheck::spec::{parse_spec, Spec};
 use std::path::{Path, PathBuf};
@@ -74,6 +85,7 @@ fn usage() -> String {
     "usage:\n  relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY] [--threads N] \
      [--metrics PATH] [--deadline-ms N] [--index-cache DIR] [--fail-spec SPEC] [--fail-seed N]\n  \
      relcheck explain <spec-file> <constraint-name>\n  \
+     relcheck plan <spec-file> [constraint-name] [--ordering STRATEGY]\n  \
      relcheck metrics-check <metrics.json>\n  \
      relcheck index <build|verify|repair|gc|apply> <spec-file> --index-cache DIR \
      [+REL:v1,v2 | -REL:v1,v2 ...]"
@@ -85,6 +97,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     match cmd.as_str() {
         "run" => cmd_run(&args[1..]),
         "explain" => cmd_explain(&args[1..]).map(|()| true),
+        "plan" => cmd_plan(&args[1..]).map(|()| true),
         "metrics-check" => cmd_metrics_check(&args[1..]).map(|()| true),
         "index" => cmd_index(&args[1..]),
         _ => Err(usage()),
@@ -227,12 +240,37 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         None => None,
     };
     println!();
+    let mut plan_cache = None;
     let (reports, fleet) = if force_sql {
         spec.constraints
             .iter()
             .map(|c| Ok((c.name.clone(), checker.check_sql(&c.formula)?)))
             .collect::<Result<Vec<_>, relcheck::core_::CoreError>>()
             .map(|rs| (rs, None))
+    } else if threads <= 1 {
+        // Serial runs go through the registry so repeated constraints
+        // (and future revalidation rounds) reuse compiled plans; the
+        // single-lane telemetry matches what the parallel front-end
+        // reports for one thread.
+        let mut registry = ConstraintRegistry::new();
+        for c in &spec.constraints {
+            if !registry.register(&c.name, c.formula.clone()) {
+                return Err(format!("duplicate constraint name {:?}", c.name));
+            }
+        }
+        let before = checker.logical_db().manager().stats();
+        registry.validate_all(&mut checker).map(|rs| {
+            let after = checker.logical_db().manager().stats();
+            let lane = WorkerTelemetry {
+                worker: 0,
+                constraints: (0..rs.len()).collect(),
+                bdd: after.delta_since(&before),
+                peak_nodes: after.peak_nodes,
+                depth_hwm: after.depth_hwm,
+            };
+            plan_cache = Some(registry.plan_cache_stats());
+            (rs, Some(FleetTelemetry::from_workers(vec![lane])))
+        })
     } else {
         let constraints: Vec<(String, relcheck::logic::Formula)> = spec
             .constraints
@@ -260,6 +298,7 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         if let Some(store) = &store {
             metrics.index_cache = Some(store.stats.clone());
         }
+        metrics.plan_cache = plan_cache;
         let doc = metrics.to_json();
         debug_assert!(validate_metrics_json(&doc).is_ok());
         std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -485,6 +524,45 @@ fn cmd_metrics_check(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     validate_metrics_json(&text).map_err(|e| format!("{path}: {e}"))?;
     println!("{path}: valid metrics document");
+    Ok(())
+}
+
+/// Print the compiled check plan for one constraint (or, with no name
+/// given, every constraint in the spec) without executing it.
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let spec_path = args.first().ok_or_else(usage)?;
+    let target = args.get(1).filter(|a| !a.starts_with("--"));
+    let ordering = match flag_value(args, "--ordering") {
+        Some(name) => ordering_from(name)?,
+        None => OrderingStrategy::ProbConverge,
+    };
+    let (spec, db) = load(spec_path)?;
+    let mut checker = Checker::new(
+        db,
+        CheckerOptions {
+            ordering,
+            ..Default::default()
+        },
+    );
+    let selected: Vec<_> = match target {
+        Some(name) => {
+            let c = spec
+                .constraints
+                .iter()
+                .find(|c| &c.name == name)
+                .ok_or_else(|| format!("no constraint named {name:?} in the spec"))?;
+            vec![c]
+        }
+        None => spec.constraints.iter().collect(),
+    };
+    if selected.is_empty() {
+        return Err("spec declares no constraints".to_owned());
+    }
+    for c in selected {
+        let plan = checker.plan(&c.formula).map_err(|e| e.to_string())?;
+        println!("\nconstraint {:?}: {}", c.name, c.formula);
+        println!("{}", plan.render());
+    }
     Ok(())
 }
 
