@@ -31,7 +31,7 @@ use relcheck_logic::eval::eval_sentence;
 use relcheck_logic::Formula;
 use relcheck_relstore::plan::execute;
 use relcheck_relstore::Relation;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -297,6 +297,13 @@ pub struct Checker {
     /// changes in a way tuple counters cannot see ([`Checker::rebuild_index`],
     /// [`Checker::mark_sql_only`]), so stale cached plans can never execute.
     epoch: u64,
+    /// Per-relation record of the epoch at which the relation was last
+    /// explicitly invalidated (`rebuild_index` / `mark_sql_only`). The
+    /// schema fingerprint already retires cached *plans* on any epoch
+    /// bump; this map lets verdict caches (the registry) retire cached
+    /// *verdicts* too, but only for constraints that actually read the
+    /// invalidated relation.
+    invalidated: HashMap<String, u64>,
 }
 
 impl Checker {
@@ -310,6 +317,7 @@ impl Checker {
             opts,
             sql_only: HashSet::new(),
             epoch: 0,
+            invalidated: HashMap::new(),
         }
     }
 
@@ -351,8 +359,10 @@ impl Checker {
     /// [`Checker::ensure_index`] would.
     pub fn rebuild_index(&mut self, name: &str) -> Result<bool> {
         // An explicit rebuild — recovery, or budget-out — changes what
-        // plans may assume about the environment; retire every cached plan.
+        // plans may assume about the environment; retire every cached plan,
+        // and record the relation so verdict caches retire theirs too.
         self.epoch += 1;
+        self.invalidated.insert(name.to_owned(), self.epoch);
         self.build_index_now(name)
     }
 
@@ -380,7 +390,23 @@ impl Checker {
         // epoch too so the invalidation does not depend on set contents
         // alone (e.g. mark, unmark-by-rebuild, re-mark round trips).
         self.epoch += 1;
+        self.invalidated.insert(name.to_owned(), self.epoch);
         self.sql_only.insert(name.to_owned());
+    }
+
+    /// The current plan-invalidation epoch (see [`Checker::rebuild_index`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch at which `name` was last explicitly invalidated via
+    /// [`Checker::rebuild_index`] or [`Checker::mark_sql_only`], or 0 if it
+    /// never was. A verdict cached at epoch `e` is stale for any constraint
+    /// reading a relation whose invalidation epoch exceeds `e` — the usual
+    /// trigger is maintenance that mutated rows out-of-band (the store's
+    /// recovery path) before rebuilding the index.
+    pub fn relation_invalidation_epoch(&self, name: &str) -> u64 {
+        self.invalidated.get(name).copied().unwrap_or(0)
     }
 
     /// Is this relation on the permanent SQL-only list?

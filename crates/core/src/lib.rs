@@ -34,6 +34,11 @@
 //!   over worker threads, each with a private BDD manager, with indices
 //!   shipped as manager-independent snapshots and reports merged back
 //!   deterministically.
+//! * [`serve`] — [`serve::ServeEngine`], the long-lived session engine
+//!   behind `relcheck serve`: deltas dirty relations, and each check
+//!   re-verifies only the constraints whose read-set intersects the
+//!   dirty set — the paper's "fast identification" applied to a
+//!   *changing* database instead of a cold batch.
 //!
 //! ```
 //! use relcheck_core::checker::{Checker, CheckerOptions};
@@ -65,6 +70,7 @@ pub mod parallel;
 pub mod plan;
 pub mod planner;
 pub mod registry;
+pub mod serve;
 pub mod sqlgen;
 pub mod store;
 pub mod telemetry;
@@ -76,8 +82,10 @@ pub use ordering::OrderingStrategy;
 pub use parallel::{IndexTransfer, ParallelChecker};
 pub use plan::{CheckPlan, PlanOptions};
 pub use registry::ConstraintRegistry;
+pub use serve::ServeEngine;
 pub use store::{Delta, IndexStore, VerifyStatus};
 pub use telemetry::{
     CheckTrace, DegradationSummary, FallbackReason, FleetTelemetry, IndexCacheMetrics, PassStat,
-    PlanCacheMetrics, RecoveryRecord, RewriteRule, RuleFiring, RunMetrics, WorkerTelemetry,
+    PlanCacheMetrics, RecoveryRecord, RewriteRule, RuleFiring, RunMetrics, ServeMetrics,
+    WorkerTelemetry,
 };

@@ -131,6 +131,17 @@ impl ParallelChecker {
     }
 }
 
+/// The read-set signature of a constraint: the relations its formula
+/// references, sorted and deduplicated. This is the exact signature the
+/// lane partitioner groups by, exported so other layers (the registry's
+/// dependency tracking, the serve engine's dirty-set intersection) make
+/// the same skip/recheck decisions the parallel scheduler makes.
+pub fn read_set(f: &Formula) -> Vec<String> {
+    let mut sig = Checker::referenced_relations(f);
+    sig.sort_unstable();
+    sig
+}
+
 /// Partition constraint indices `0..constraints.len()` into at most
 /// `threads` batches. Constraints with the same read-set signature (the
 /// sorted list of relations they reference) are grouped so a worker can
@@ -148,8 +159,7 @@ pub(crate) fn partition(constraints: &[(String, Formula)], threads: usize) -> Ve
     // Group by read-set signature, in order of first occurrence.
     let mut groups: Vec<(Vec<String>, Vec<usize>)> = Vec::new();
     for (i, (_, f)) in constraints.iter().enumerate() {
-        let mut sig = Checker::referenced_relations(f);
-        sig.sort_unstable();
+        let sig = read_set(f);
         match groups.iter_mut().find(|(s, _)| *s == sig) {
             Some((_, members)) => members.push(i),
             None => groups.push((sig, vec![i])),

@@ -24,6 +24,24 @@ struct Entry {
     formula: Formula,
     reads: HashSet<String>,
     last: Option<bool>,
+    /// [`Checker::epoch`] at the moment `last` was cached. A verdict is
+    /// stale — even with an empty touched set — once any relation in
+    /// `reads` has been explicitly invalidated (`rebuild_index` /
+    /// `mark_sql_only`) at a later epoch: those maintenance paths mutate
+    /// rows and indices out-of-band, so the cached boolean may no longer
+    /// describe the data.
+    validated_epoch: u64,
+}
+
+impl Entry {
+    /// Must this entry be re-checked given the touched-relation set?
+    fn dirty(&self, checker: &Checker, touched: &HashSet<&str>) -> bool {
+        self.last.is_none()
+            || self.reads.iter().any(|r| {
+                touched.contains(r.as_str())
+                    || checker.relation_invalidation_epoch(r) > self.validated_epoch
+            })
+    }
 }
 
 /// Verdict source in a [`ConstraintRegistry::revalidate`] report.
@@ -99,14 +117,26 @@ impl ConstraintRegistry {
         if self.entries.iter().any(|e| e.name == name) {
             return false;
         }
-        let reads = referenced(&formula);
+        // The exact signature the parallel partitioner groups by, so the
+        // registry's skip/recheck decisions agree with lane scheduling.
+        let reads = crate::parallel::read_set(&formula).into_iter().collect();
         self.entries.push(Entry {
             name: name.to_owned(),
             formula,
             reads,
             last: None,
+            validated_epoch: 0,
         });
         true
+    }
+
+    /// The relations a registered constraint reads (its read-set
+    /// signature, from [`crate::parallel::read_set`]).
+    pub fn read_set(&self, name: &str) -> Option<&HashSet<String>> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.reads)
     }
 
     /// Names in registration order.
@@ -174,10 +204,12 @@ impl ConstraintRegistry {
         for i in 0..self.entries.len() {
             let formula = self.entries[i].formula.clone();
             let report = self.check_cached(checker, &formula)?;
+            let epoch = checker.epoch();
             let e = &mut self.entries[i];
             // Undecided verdicts (degraded/errored) are never cached: the
             // constraint stays dirty and is re-checked next round.
             e.last = report.verdict.is_decided().then_some(report.holds);
+            e.validated_epoch = epoch;
             out.push((e.name.clone(), report));
         }
         Ok(out)
@@ -200,15 +232,46 @@ impl ConstraintRegistry {
             .map(|e| (e.name.clone(), e.formula.clone()))
             .collect();
         let reports = checker.check_all_parallel(&constraints, threads)?;
+        let epoch = checker.epoch();
         for (e, (_, r)) in self.entries.iter_mut().zip(&reports) {
             e.last = r.verdict.is_decided().then_some(r.holds);
+            e.validated_epoch = epoch;
         }
         Ok(reports)
     }
 
+    /// Re-check entry `i` if it is dirty with respect to `touched` (or
+    /// epoch-stale, or never validated); otherwise return its cached
+    /// verdict untouched.
+    fn revalidate_entry(
+        &mut self,
+        checker: &mut Checker,
+        i: usize,
+        touched: &HashSet<&str>,
+    ) -> Result<Verdict> {
+        let e = &self.entries[i];
+        if !e.dirty(checker, touched) {
+            return Ok(Verdict::Cached {
+                holds: e.last.expect("clean entries have a cached verdict"),
+            });
+        }
+        let formula = e.formula.clone();
+        let report = self.check_cached(checker, &formula)?;
+        let epoch = checker.epoch();
+        let e = &mut self.entries[i];
+        e.last = report.verdict.is_decided().then_some(report.holds);
+        e.validated_epoch = epoch;
+        Ok(Verdict::Checked {
+            holds: report.holds,
+        })
+    }
+
     /// After updates to `touched` relations, re-check only the constraints
     /// reading any of them; the rest report their cached verdict.
-    /// Constraints never validated before are always checked.
+    /// Constraints never validated before are always checked, as are
+    /// constraints whose cached verdict predates an explicit invalidation
+    /// ([`Checker::rebuild_index`] / [`Checker::mark_sql_only`]) of a
+    /// relation they read.
     pub fn revalidate(
         &mut self,
         checker: &mut Checker,
@@ -217,23 +280,29 @@ impl ConstraintRegistry {
         let touched: HashSet<&str> = touched.iter().copied().collect();
         let mut out = Vec::with_capacity(self.entries.len());
         for i in 0..self.entries.len() {
-            let e = &self.entries[i];
-            let dirty = e.last.is_none() || e.reads.iter().any(|r| touched.contains(r.as_str()));
-            let verdict = if dirty {
-                let formula = e.formula.clone();
-                let report = self.check_cached(checker, &formula)?;
-                self.entries[i].last = report.verdict.is_decided().then_some(report.holds);
-                Verdict::Checked {
-                    holds: report.holds,
-                }
-            } else {
-                Verdict::Cached {
-                    holds: e.last.expect("checked not-none above"),
-                }
-            };
+            let verdict = self.revalidate_entry(checker, i, &touched)?;
             out.push((self.entries[i].name.clone(), verdict));
         }
         Ok(out)
+    }
+
+    /// [`ConstraintRegistry::revalidate`] for a single named constraint:
+    /// re-checked only if its read-set intersects `touched` (or it is
+    /// stale/unvalidated), answered from cache otherwise. Other entries
+    /// are left exactly as they are — in particular their dirtiness with
+    /// respect to `touched` is not consumed. Returns `None` for an
+    /// unknown name.
+    pub fn revalidate_one(
+        &mut self,
+        checker: &mut Checker,
+        name: &str,
+        touched: &[&str],
+    ) -> Result<Option<Verdict>> {
+        let Some(i) = self.entries.iter().position(|e| e.name == name) else {
+            return Ok(None);
+        };
+        let touched: HashSet<&str> = touched.iter().copied().collect();
+        self.revalidate_entry(checker, i, &touched).map(Some)
     }
 
     /// Apply a batch of tuple deltas through the persistent store's
@@ -265,27 +334,6 @@ impl ConstraintRegistry {
             .map(|e| (e.name.clone(), e.last))
             .collect()
     }
-}
-
-fn referenced(f: &Formula) -> HashSet<String> {
-    fn go(f: &Formula, out: &mut HashSet<String>) {
-        match f {
-            Formula::Atom { relation, .. } => {
-                out.insert(relation.clone());
-            }
-            Formula::Not(g) => go(g, out),
-            Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| go(g, out)),
-            Formula::Implies(a, b) => {
-                go(a, out);
-                go(b, out);
-            }
-            Formula::Exists(_, g) | Formula::Forall(_, g) => go(g, out),
-            _ => {}
-        }
-    }
-    let mut out = HashSet::new();
-    go(f, &mut out);
-    out
 }
 
 #[cfg(test)]
@@ -365,6 +413,83 @@ mod tests {
             by_name["s-nonempty"],
             Verdict::Cached { holds: true }
         ));
+    }
+
+    #[test]
+    fn rebuild_index_retires_cached_verdicts() {
+        let (mut ck, mut reg) = setup();
+        reg.validate_all(&mut ck).unwrap();
+        // Mutate rows out-of-band — the store's recovery path writes
+        // straight into the relation without touching data versions —
+        // then rebuild the index. The registry sees no touched set;
+        // only the invalidation epoch says the cache is stale.
+        let one = ck.logical_db().db().code("k", &Raw::Int(1)).unwrap();
+        let two = ck.logical_db().db().code("k", &Raw::Int(2)).unwrap();
+        ck.logical_db_mut()
+            .db_mut()
+            .relation_mut("R")
+            .unwrap()
+            .insert(&[one, two])
+            .unwrap();
+        ck.rebuild_index("R").unwrap();
+        let verdicts = reg.revalidate(&mut ck, &[]).unwrap();
+        let by_name: HashMap<_, _> = verdicts.into_iter().collect();
+        assert!(matches!(
+            by_name["r-diagonal"],
+            Verdict::Checked { holds: false }
+        ));
+        // A constraint not reading R keeps its cache.
+        assert!(matches!(
+            by_name["s-nonempty"],
+            Verdict::Cached { holds: true }
+        ));
+    }
+
+    #[test]
+    fn mark_sql_only_retires_cached_verdicts() {
+        let (mut ck, mut reg) = setup();
+        reg.validate_all(&mut ck).unwrap();
+        ck.mark_sql_only("R");
+        let verdicts = reg.revalidate(&mut ck, &[]).unwrap();
+        let by_name: HashMap<_, _> = verdicts.into_iter().collect();
+        // Everything reading R re-checks (now via the SQL rung); the
+        // S-only constraint still answers from cache.
+        assert!(matches!(
+            by_name["r-diagonal"],
+            Verdict::Checked { holds: true }
+        ));
+        assert!(matches!(
+            by_name["r-covers-s"],
+            Verdict::Checked { holds: true }
+        ));
+        assert!(matches!(
+            by_name["s-nonempty"],
+            Verdict::Cached { holds: true }
+        ));
+    }
+
+    #[test]
+    fn revalidate_one_checks_only_the_named_constraint() {
+        let (mut ck, mut reg) = setup();
+        reg.validate_all(&mut ck).unwrap();
+        let one = ck.logical_db().db().code("k", &Raw::Int(1)).unwrap();
+        let two = ck.logical_db().db().code("k", &Raw::Int(2)).unwrap();
+        ck.logical_db_mut().insert_tuple("R", &[one, two]).unwrap();
+        // The named constraint re-checks against the touched set…
+        let v = reg
+            .revalidate_one(&mut ck, "r-diagonal", &["R"])
+            .unwrap()
+            .unwrap();
+        assert!(matches!(v, Verdict::Checked { holds: false }));
+        // …without consuming other entries' dirtiness: a later full
+        // revalidate over the same touched set still re-checks them.
+        let verdicts = reg.revalidate(&mut ck, &["R"]).unwrap();
+        let by_name: HashMap<_, _> = verdicts.into_iter().collect();
+        assert!(matches!(by_name["r-covers-s"], Verdict::Checked { .. }));
+        assert!(reg
+            .revalidate_one(&mut ck, "no-such", &[])
+            .unwrap()
+            .is_none());
     }
 
     #[test]

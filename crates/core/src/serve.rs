@@ -1,0 +1,691 @@
+//! Long-lived incremental check engine behind a line protocol.
+//!
+//! The paper's pitch is *fast identification* of violations as data
+//! changes; a cold `relcheck run` per update batch throws the warm state
+//! away each time. [`ServeEngine`] is the session-oriented alternative:
+//! it keeps the relation store, the BDD manager and its logical indices,
+//! the fingerprinted plan cache, and (optionally) the persistent
+//! [`IndexStore`] alive across requests, and re-checks **only the
+//! constraints whose read-set intersects the relations dirtied since the
+//! last check** — everything else answers from the registry's cached
+//! verdict. The read-set signature is the same one
+//! [`crate::parallel::read_set`] computes for lane partitioning, so the
+//! skip decisions agree with the parallel scheduler's grouping.
+//!
+//! The protocol is line-oriented (stdin or a unix socket in the CLI):
+//!
+//! ```text
+//! +REL:v1,v2,…      insert one tuple (the store's journal syntax)
+//! -REL:v1,v2,…      delete one tuple
+//! check [NAME]      revalidate (everything, or one constraint)
+//! stats             session counters
+//! quit              end the session
+//! ```
+//!
+//! Durability: with a store attached, deltas flow through
+//! [`IndexStore::journaled_apply`] — journal-first with fsync — so a
+//! killed session warm-starts to exactly the acknowledged state. A delta
+//! value outside a frozen BDD block's domain cannot be folded into the
+//! index in-place; the engine degrades that relation to the SQL rung
+//! ([`Checker::mark_sql_only`], which retires cached plans *and* cached
+//! verdicts) and keeps serving correct answers until a restart rebuilds
+//! wider blocks. Per-request deadlines and overload ride the existing
+//! degradation ladder: every re-check goes through
+//! [`crate::registry::ConstraintRegistry::check_cached`], whose deadline,
+//! node-budget, and panic handling are unchanged.
+
+use crate::checker::{CheckReport, Checker};
+use crate::error::{CoreError, Result};
+use crate::registry::{ConstraintRegistry, Verdict};
+use crate::store::{Delta, IndexStore};
+use crate::telemetry::{PlanCacheMetrics, ServeMetrics};
+use relcheck_logic::Formula;
+use relcheck_relstore::{Raw, StoreError};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// One parsed protocol command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `+REL:v,…` / `-REL:v,…` — apply one tuple delta.
+    Delta(String, Delta),
+    /// `check` / `check NAME` — revalidate and report verdicts.
+    Check(Option<String>),
+    /// `stats` — session counters.
+    Stats,
+    /// `quit` — end the session.
+    Quit,
+}
+
+/// Parse a `+REL:v1,v2,...` / `-REL:v1,v2,...` delta argument — the
+/// store's journal syntax, shared by the protocol, `relcheck index
+/// apply`, and scripts. Values that parse as integers become
+/// [`Raw::Int`]; everything else is a string.
+pub fn parse_delta(arg: &str) -> std::result::Result<(String, Delta), String> {
+    let bad = || format!("bad delta {arg:?} (expected +REL:v1,v2,... or -REL:v1,v2,...)");
+    let rest = arg
+        .strip_prefix('+')
+        .or_else(|| arg.strip_prefix('-'))
+        .ok_or_else(bad)?;
+    let (relation, values) = rest.split_once(':').ok_or_else(bad)?;
+    if relation.is_empty() || values.is_empty() {
+        return Err(bad());
+    }
+    let row: Vec<Raw> = values
+        .split(',')
+        .map(|v| match v.parse::<i64>() {
+            Ok(i) => Raw::Int(i),
+            Err(_) => Raw::Str(v.to_owned()),
+        })
+        .collect();
+    let delta = if arg.starts_with('+') {
+        Delta::Insert(row)
+    } else {
+        Delta::Delete(row)
+    };
+    Ok((relation.to_owned(), delta))
+}
+
+/// Parse one protocol line. Blank lines and `#` comments are no-ops
+/// (`Ok(None)`), so scripted sessions can be annotated.
+pub fn parse_command(line: &str) -> std::result::Result<Option<Command>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    if line.starts_with('+') || line.starts_with('-') {
+        let (relation, delta) = parse_delta(line)?;
+        return Ok(Some(Command::Delta(relation, delta)));
+    }
+    let mut parts = line.split_whitespace();
+    let cmd = parts.next().expect("non-empty line has a first token");
+    let command = match cmd {
+        "check" => Command::Check(parts.next().map(str::to_owned)),
+        "stats" => Command::Stats,
+        "quit" => Command::Quit,
+        other => {
+            return Err(format!(
+                "unknown command {other:?} (try +REL:v,... -REL:v,... check [name] stats quit)"
+            ))
+        }
+    };
+    if parts.next().is_some() {
+        return Err(format!("trailing arguments after {cmd:?}"));
+    }
+    Ok(Some(command))
+}
+
+/// The engine's answer to one protocol line.
+#[derive(Debug, Clone, Default)]
+pub struct Reply {
+    /// Lines to write back to the client.
+    pub lines: Vec<String>,
+    /// Whether the session should end.
+    pub quit: bool,
+}
+
+/// The long-lived incremental check engine (see module docs).
+pub struct ServeEngine {
+    checker: Checker,
+    registry: ConstraintRegistry,
+    store: Option<IndexStore>,
+    /// Relations dirtied by deltas since the last full check, in sorted
+    /// order (so `stats` output and revalidation order are deterministic).
+    dirty: BTreeSet<String>,
+    stats: ServeMetrics,
+}
+
+impl ServeEngine {
+    /// Build a session over a warm checker (callers warm-start the store
+    /// before handing it over) and prime the verdict cache with one full
+    /// validation — its reports are returned so the caller can print the
+    /// baseline, and its wall-clock cost lands in
+    /// [`ServeMetrics::full_ns`] as the incremental-vs-full yardstick.
+    /// Duplicate constraint names are rejected.
+    pub fn new(
+        checker: Checker,
+        constraints: &[(String, Formula)],
+        store: Option<IndexStore>,
+    ) -> Result<(ServeEngine, Vec<(String, CheckReport)>)> {
+        let mut engine = ServeEngine {
+            checker,
+            registry: ConstraintRegistry::new(),
+            store,
+            dirty: BTreeSet::new(),
+            stats: ServeMetrics::default(),
+        };
+        for (name, f) in constraints {
+            if !engine.registry.register(name, f.clone()) {
+                return Err(CoreError::Store(StoreError::DuplicateRelation(format!(
+                    "constraint {name}"
+                ))));
+            }
+        }
+        let start = Instant::now();
+        let reports = engine.registry.validate_all(&mut engine.checker)?;
+        engine.stats.full_ns = start.elapsed().as_nanos() as u64;
+        Ok((engine, reports))
+    }
+
+    /// Apply one tuple delta and mark its relation dirty. With a store
+    /// attached the delta is durably journaled first
+    /// ([`IndexStore::journaled_apply`]); without one it goes straight
+    /// through incremental index maintenance. Returns whether the
+    /// relation actually changed (duplicate inserts and misses don't).
+    pub fn apply(&mut self, relation: &str, delta: &Delta) -> Result<bool> {
+        let arity = self.checker.logical_db().db().relation(relation)?.arity();
+        if delta.values().len() != arity {
+            return Err(CoreError::Store(StoreError::ArityMismatch {
+                expected: arity,
+                got: delta.values().len(),
+            }));
+        }
+        let changed = match self.store.as_mut() {
+            Some(store) => match store.journaled_apply(&mut self.checker, relation, delta) {
+                Ok(changed) => changed,
+                // The delta is journaled (durable) but its value does not
+                // fit the frozen BDD block: degrade rather than lose it.
+                Err(CoreError::DomainOverflow { .. }) => self.degrade_overflow(relation, delta)?,
+                Err(e) => return Err(e),
+            },
+            None => self.apply_direct(relation, delta)?,
+        };
+        self.dirty.insert(relation.to_owned());
+        self.stats.deltas += 1;
+        Ok(changed)
+    }
+
+    /// Store-less delta path: encode, guard the frozen domain exactly
+    /// like [`IndexStore::journaled_apply`] does, then maintain the index
+    /// incrementally.
+    fn apply_direct(&mut self, relation: &str, delta: &Delta) -> Result<bool> {
+        let (row, classes) = self.encode(relation, delta)?;
+        if self.checker.logical_db().has_index(relation) {
+            for (code, class) in row.iter().zip(&classes) {
+                if u64::from(*code) >= self.checker.logical_db_mut().class_domain_size(class) {
+                    return self.degrade_overflow(relation, delta);
+                }
+            }
+        }
+        match delta {
+            Delta::Insert(_) => self.checker.logical_db_mut().insert_tuple(relation, &row),
+            Delta::Delete(_) => self.checker.logical_db_mut().delete_tuple(relation, &row),
+        }
+    }
+
+    fn encode(&mut self, relation: &str, delta: &Delta) -> Result<(Vec<u32>, Vec<String>)> {
+        let classes: Vec<String> = self
+            .checker
+            .logical_db()
+            .db()
+            .relation(relation)?
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.class.clone())
+            .collect();
+        let row = delta
+            .values()
+            .iter()
+            .zip(&classes)
+            .map(|(v, class)| {
+                self.checker
+                    .logical_db_mut()
+                    .db_mut()
+                    .encode_value(class, v)
+            })
+            .collect();
+        Ok((row, classes))
+    }
+
+    /// A delta value outside a frozen BDD block: the block cannot grow
+    /// in-place, so apply the delta rows-only and route the relation to
+    /// the SQL rung. `mark_sql_only` bumps the invalidation epoch, which
+    /// retires the relation's cached plans *and* cached verdicts, so the
+    /// session keeps serving correct (if slower) answers; the next warm
+    /// start re-interns the journal and rebuilds wider blocks.
+    fn degrade_overflow(&mut self, relation: &str, delta: &Delta) -> Result<bool> {
+        let (row, _) = self.encode(relation, delta)?;
+        let rel = self
+            .checker
+            .logical_db_mut()
+            .db_mut()
+            .relation_mut(relation)?;
+        let changed = match delta {
+            Delta::Insert(_) => rel.insert(&row)?,
+            Delta::Delete(_) => rel.delete(&row)?,
+        };
+        self.checker.mark_sql_only(relation);
+        Ok(changed)
+    }
+
+    /// Serve a `check`: re-verify exactly the constraints whose read-set
+    /// intersects the accumulated dirty set (plus anything unvalidated or
+    /// epoch-stale), answer the rest from cache, then clear the dirty
+    /// set. Returns `(name, verdict)` in registration order.
+    pub fn check_all(&mut self) -> Result<Vec<(String, Verdict)>> {
+        let start = Instant::now();
+        self.note_check();
+        let touched: Vec<&str> = self.dirty.iter().map(String::as_str).collect();
+        let verdicts = self.registry.revalidate(&mut self.checker, &touched)?;
+        self.dirty.clear();
+        for (_, v) in &verdicts {
+            match v {
+                Verdict::Checked { .. } => self.stats.constraints_checked += 1,
+                Verdict::Cached { .. } => self.stats.constraints_skipped += 1,
+            }
+        }
+        self.stats.incremental_ns += start.elapsed().as_nanos() as u64;
+        Ok(verdicts)
+    }
+
+    /// Serve a `check NAME`: the named constraint re-checks only if
+    /// dirty-intersecting/stale, from cache otherwise. The dirty set is
+    /// **not** consumed — other constraints keep their pending dirtiness
+    /// for the next full check. `None` for an unknown name.
+    pub fn check_one(&mut self, name: &str) -> Result<Option<Verdict>> {
+        let start = Instant::now();
+        self.note_check();
+        let touched: Vec<&str> = self.dirty.iter().map(String::as_str).collect();
+        let verdict = self
+            .registry
+            .revalidate_one(&mut self.checker, name, &touched)?;
+        match verdict {
+            Some(Verdict::Checked { .. }) => self.stats.constraints_checked += 1,
+            Some(Verdict::Cached { .. }) => self.stats.constraints_skipped += 1,
+            None => {}
+        }
+        self.stats.incremental_ns += start.elapsed().as_nanos() as u64;
+        Ok(verdict)
+    }
+
+    fn note_check(&mut self) {
+        self.stats.checks += 1;
+        self.stats.dirty_peak = self.stats.dirty_peak.max(self.dirty.len() as u64);
+        self.stats.dirty_total += self.dirty.len() as u64;
+    }
+
+    /// Handle one protocol line. Errors are folded into `err …` reply
+    /// lines — a bad command or a failed delta never ends the session.
+    pub fn handle_line(&mut self, line: &str) -> Reply {
+        let command = match parse_command(line) {
+            Ok(Some(command)) => command,
+            Ok(None) => return Reply::default(),
+            Err(e) => {
+                self.stats.requests += 1;
+                return Reply {
+                    lines: vec![format!("err {e}")],
+                    quit: false,
+                };
+            }
+        };
+        self.stats.requests += 1;
+        let mut reply = Reply::default();
+        match command {
+            Command::Delta(relation, delta) => {
+                let sign = match delta {
+                    Delta::Insert(_) => '+',
+                    Delta::Delete(_) => '-',
+                };
+                match self.apply(&relation, &delta) {
+                    Ok(changed) => reply.lines.push(format!(
+                        "ok delta {sign}{relation} applied={changed} dirty={}",
+                        self.dirty.len()
+                    )),
+                    Err(e) => reply.lines.push(format!("err delta {sign}{relation}: {e}")),
+                }
+            }
+            Command::Check(None) => {
+                let dirty = self.dirty.len();
+                match self.check_all() {
+                    Ok(verdicts) => {
+                        let mut checked = 0;
+                        let mut skipped = 0;
+                        for (name, v) in &verdicts {
+                            reply.lines.push(render_verdict(name, v));
+                            match v {
+                                Verdict::Checked { .. } => checked += 1,
+                                Verdict::Cached { .. } => skipped += 1,
+                            }
+                        }
+                        reply.lines.push(format!(
+                            "ok check checked={checked} skipped={skipped} dirty={dirty}"
+                        ));
+                    }
+                    Err(e) => reply.lines.push(format!("err check: {e}")),
+                }
+            }
+            Command::Check(Some(name)) => match self.check_one(&name) {
+                Ok(Some(v)) => {
+                    reply.lines.push(render_verdict(&name, &v));
+                    reply.lines.push(format!(
+                        "ok check checked={} skipped={} dirty={}",
+                        matches!(v, Verdict::Checked { .. }) as u8,
+                        matches!(v, Verdict::Cached { .. }) as u8,
+                        self.dirty.len()
+                    ));
+                }
+                Ok(None) => reply.lines.push(format!("err unknown constraint {name:?}")),
+                Err(e) => reply.lines.push(format!("err check {name}: {e}")),
+            },
+            Command::Stats => {
+                let s = &self.stats;
+                reply.lines.push(format!(
+                    "ok stats requests={} deltas={} checks={} checked={} skipped={} \
+                     dirty={} dirty_peak={} full_us={} incremental_us={}",
+                    s.requests,
+                    s.deltas,
+                    s.checks,
+                    s.constraints_checked,
+                    s.constraints_skipped,
+                    self.dirty.len(),
+                    s.dirty_peak,
+                    s.full_ns / 1_000,
+                    s.incremental_ns / 1_000,
+                ));
+            }
+            Command::Quit => {
+                reply.lines.push("ok bye".to_owned());
+                reply.quit = true;
+            }
+        }
+        reply
+    }
+
+    /// Flush durable state on clean shutdown: compact applied journal
+    /// records into fresh segments. Skipping this (a killed session)
+    /// costs the next warm start replay time, never correctness.
+    pub fn finish(&mut self) -> Result<()> {
+        if let Some(store) = self.store.as_mut() {
+            store.write_back(&mut self.checker)?;
+        }
+        Ok(())
+    }
+
+    /// Session counters so far.
+    pub fn stats(&self) -> ServeMetrics {
+        self.stats
+    }
+
+    /// Plan-cache counters accumulated by the session's registry.
+    pub fn plan_cache_stats(&self) -> PlanCacheMetrics {
+        self.registry.plan_cache_stats()
+    }
+
+    /// The relations dirtied since the last full check.
+    pub fn dirty(&self) -> &BTreeSet<String> {
+        &self.dirty
+    }
+
+    /// The session's registry (read-sets, cached verdicts).
+    pub fn registry(&self) -> &ConstraintRegistry {
+        &self.registry
+    }
+
+    /// The warm checker.
+    pub fn checker(&self) -> &Checker {
+        &self.checker
+    }
+
+    /// Mutable access to the warm checker — maintenance paths
+    /// (`rebuild_index`, `mark_sql_only`) route verdict invalidation
+    /// through the checker's epoch, so out-of-band mutations stay safe
+    /// as long as they end in one of those calls.
+    pub fn checker_mut(&mut self) -> &mut Checker {
+        &mut self.checker
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&IndexStore> {
+        self.store.as_ref()
+    }
+}
+
+/// One verdict line: aligned like `relcheck run`'s report so scripted
+/// sessions can diff name/status pairs against a batch run.
+fn render_verdict(name: &str, v: &Verdict) -> String {
+    let status = if v.holds() { "ok" } else { "VIOLATED" };
+    let source = match v {
+        Verdict::Checked { .. } => "checked",
+        Verdict::Cached { .. } => "cached",
+    };
+    format!("{name:<32} {status:<9} ({source})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::CheckerOptions;
+    use relcheck_logic::parse;
+    use relcheck_relstore::Database;
+
+    fn engine() -> ServeEngine {
+        let mut db = Database::new();
+        db.create_relation(
+            "R",
+            &[("x", "k"), ("y", "k")],
+            vec![
+                vec![Raw::Int(1), Raw::Int(1)],
+                vec![Raw::Int(2), Raw::Int(2)],
+            ],
+        )
+        .unwrap();
+        db.create_relation(
+            "S",
+            &[("x", "k")],
+            vec![vec![Raw::Int(1)], vec![Raw::Int(2)]],
+        )
+        .unwrap();
+        let checker = Checker::new(db, CheckerOptions::default());
+        let constraints = vec![
+            (
+                "r-diagonal".to_owned(),
+                parse("forall x, y. R(x, y) -> x = y").unwrap(),
+            ),
+            (
+                "r-covers-s".to_owned(),
+                parse("forall x. S(x) -> exists y. R(x, y)").unwrap(),
+            ),
+            ("s-nonempty".to_owned(), parse("exists x. S(x)").unwrap()),
+        ];
+        let (engine, reports) = ServeEngine::new(checker, &constraints, None).unwrap();
+        assert!(reports.iter().all(|(_, r)| r.holds));
+        engine
+    }
+
+    #[test]
+    fn parse_command_covers_the_protocol() {
+        assert_eq!(parse_command("").unwrap(), None);
+        assert_eq!(parse_command("  # comment").unwrap(), None);
+        assert_eq!(
+            parse_command("+R:1,2").unwrap(),
+            Some(Command::Delta(
+                "R".to_owned(),
+                Delta::Insert(vec![Raw::Int(1), Raw::Int(2)])
+            ))
+        );
+        assert_eq!(
+            parse_command("-S:Toronto").unwrap(),
+            Some(Command::Delta(
+                "S".to_owned(),
+                Delta::Delete(vec![Raw::str("Toronto")])
+            ))
+        );
+        assert_eq!(parse_command("check").unwrap(), Some(Command::Check(None)));
+        assert_eq!(
+            parse_command("check r-diagonal").unwrap(),
+            Some(Command::Check(Some("r-diagonal".to_owned())))
+        );
+        assert_eq!(parse_command("stats").unwrap(), Some(Command::Stats));
+        assert_eq!(parse_command("quit").unwrap(), Some(Command::Quit));
+        assert!(parse_command("bogus").is_err());
+        assert!(parse_command("check a b").is_err());
+        assert!(parse_command("+R").is_err());
+    }
+
+    #[test]
+    fn skip_iff_read_set_disjoint_from_dirty_set() {
+        let mut e = engine();
+        // Delta on S: exactly the S-readers re-check; the R-only
+        // constraint answers from cache.
+        e.apply("S", &Delta::Insert(vec![Raw::Int(1)])).unwrap();
+        let verdicts = e.check_all().unwrap();
+        let by_name: std::collections::HashMap<_, _> = verdicts.into_iter().collect();
+        assert!(matches!(
+            by_name["r-diagonal"],
+            Verdict::Cached { holds: true }
+        ));
+        assert!(matches!(
+            by_name["r-covers-s"],
+            Verdict::Checked { holds: true }
+        ));
+        assert!(matches!(
+            by_name["s-nonempty"],
+            Verdict::Checked { holds: true }
+        ));
+        let s = e.stats();
+        assert_eq!(s.constraints_checked, 2);
+        assert_eq!(s.constraints_skipped, 1);
+    }
+
+    #[test]
+    fn spanning_constraint_is_never_skipped() {
+        let mut e = engine();
+        // r-covers-s reads both relations: any delta re-checks it.
+        for delta in ["+R:3,3", "+S:2"] {
+            let (rel, d) = parse_delta(delta).unwrap();
+            e.apply(&rel, &d).unwrap();
+            let verdicts = e.check_all().unwrap();
+            let by_name: std::collections::HashMap<_, _> = verdicts.into_iter().collect();
+            assert!(
+                matches!(by_name["r-covers-s"], Verdict::Checked { .. }),
+                "spanning constraint skipped after {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_delta_answers_everything_from_cache() {
+        let mut e = engine();
+        let verdicts = e.check_all().unwrap();
+        assert!(verdicts
+            .iter()
+            .all(|(_, v)| matches!(v, Verdict::Cached { .. })));
+        let s = e.stats();
+        assert_eq!(s.constraints_skipped, 3);
+        assert_eq!(s.constraints_checked, 0);
+        assert_eq!(s.dirty_peak, 0);
+    }
+
+    #[test]
+    fn check_one_leaves_other_dirtiness_pending() {
+        let mut e = engine();
+        e.apply("R", &Delta::Insert(vec![Raw::Int(1), Raw::Int(2)]))
+            .unwrap();
+        let v = e.check_one("r-diagonal").unwrap().unwrap();
+        assert!(matches!(v, Verdict::Checked { holds: false }));
+        // The dirty set survives a targeted check…
+        assert!(e.dirty().contains("R"));
+        // …so the next full check still re-checks the other R-reader.
+        let verdicts = e.check_all().unwrap();
+        let by_name: std::collections::HashMap<_, _> = verdicts.into_iter().collect();
+        assert!(matches!(by_name["r-covers-s"], Verdict::Checked { .. }));
+        assert!(e.dirty().is_empty());
+        assert!(e.check_one("no-such").unwrap().is_none());
+    }
+
+    #[test]
+    fn protocol_session_end_to_end() {
+        let mut e = engine();
+        let r = e.handle_line("+R:1,2");
+        assert_eq!(r.lines, vec!["ok delta +R applied=true dirty=1"]);
+        let r = e.handle_line("check");
+        assert_eq!(
+            r.lines.last().unwrap(),
+            "ok check checked=2 skipped=1 dirty=1"
+        );
+        assert!(r
+            .lines
+            .iter()
+            .any(|l| l.starts_with("r-diagonal") && l.contains("VIOLATED")));
+        let r = e.handle_line("check s-nonempty");
+        assert_eq!(
+            r.lines.last().unwrap(),
+            "ok check checked=0 skipped=1 dirty=0"
+        );
+        let r = e.handle_line("+R:9,9");
+        // Arity is fine; applying the same tuple twice changes nothing.
+        assert_eq!(r.lines, vec!["ok delta +R applied=true dirty=1"]);
+        let r = e.handle_line("+R:9");
+        assert!(r.lines[0].starts_with("err delta +R:"), "{:?}", r.lines);
+        let r = e.handle_line("nonsense");
+        assert!(r.lines[0].starts_with("err unknown command"));
+        let r = e.handle_line("stats");
+        assert!(r.lines[0].starts_with("ok stats requests=7 deltas=2 checks=2"));
+        let r = e.handle_line("quit");
+        assert!(r.quit);
+        assert_eq!(r.lines, vec!["ok bye"]);
+    }
+
+    #[test]
+    fn maintenance_through_the_engine_retires_stale_verdicts() {
+        let mut e = engine();
+        // Out-of-band row mutation + rebuild (what store recovery does):
+        // no delta marks R dirty, but the epoch-based invalidation must
+        // force a re-check anyway.
+        let one = e
+            .checker()
+            .logical_db()
+            .db()
+            .code("k", &Raw::Int(1))
+            .unwrap();
+        let two = e
+            .checker()
+            .logical_db()
+            .db()
+            .code("k", &Raw::Int(2))
+            .unwrap();
+        e.checker_mut()
+            .logical_db_mut()
+            .db_mut()
+            .relation_mut("R")
+            .unwrap()
+            .insert(&[one, two])
+            .unwrap();
+        e.checker_mut().rebuild_index("R").unwrap();
+        let verdicts = e.check_all().unwrap();
+        let by_name: std::collections::HashMap<_, _> = verdicts.into_iter().collect();
+        assert!(matches!(
+            by_name["r-diagonal"],
+            Verdict::Checked { holds: false }
+        ));
+        assert!(matches!(
+            by_name["s-nonempty"],
+            Verdict::Cached { holds: true }
+        ));
+    }
+
+    #[test]
+    fn overflow_degrades_to_sql_and_stays_correct() {
+        let mut e = engine();
+        // Value 7 was never interned; the frozen "k" block cannot hold it.
+        e.apply("S", &Delta::Insert(vec![Raw::Int(7)])).unwrap();
+        assert!(e.checker().is_sql_only("S"));
+        let verdicts = e.check_all().unwrap();
+        let by_name: std::collections::HashMap<_, _> = verdicts.into_iter().collect();
+        // S(7) has no covering R tuple: the spanning constraint breaks,
+        // and the verdict is decided correctly on the SQL rung.
+        assert!(matches!(
+            by_name["r-covers-s"],
+            Verdict::Checked { holds: false }
+        ));
+        assert!(matches!(
+            by_name["s-nonempty"],
+            Verdict::Checked { holds: true }
+        ));
+        assert!(matches!(
+            by_name["r-diagonal"],
+            Verdict::Cached { holds: true }
+        ));
+    }
+}

@@ -338,7 +338,41 @@ pub struct IndexCacheMetrics {
     pub recoveries: Vec<RecoveryRecord>,
 }
 
-/// The top-level machine-readable report (`schema_version` 4). See
+/// Session counters for a `relcheck serve` run (`serve` in the schema,
+/// since v5). `None` on `RunMetrics` means the run was a batch job.
+///
+/// `checks`, `constraints_checked`, `constraints_skipped`, and the
+/// dirty-set gauges count only protocol `check` requests; the priming
+/// validation that warms the session is accounted separately in
+/// `full_ns`, so `incremental_ns` vs `full_ns` compares delta-driven
+/// re-checking against the cold full pass on the same session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeMetrics {
+    /// Protocol commands handled (deltas + checks + stats + quit).
+    pub requests: u64,
+    /// Tuple deltas applied (acknowledged, i.e. journaled when a store
+    /// is attached).
+    pub deltas: u64,
+    /// `check` requests served.
+    pub checks: u64,
+    /// Constraints re-checked across all `check` requests (their
+    /// read-set intersected the dirty set, or their verdict was stale).
+    pub constraints_checked: u64,
+    /// Constraints answered from the registry's cached verdict.
+    pub constraints_skipped: u64,
+    /// Largest dirty-relation set any `check` request saw.
+    pub dirty_peak: u64,
+    /// Sum of dirty-set sizes over all `check` requests (divide by
+    /// `checks` for the mean).
+    pub dirty_total: u64,
+    /// Wall-clock nanoseconds spent serving `check` requests.
+    pub incremental_ns: u64,
+    /// Wall-clock nanoseconds of the initial full validation that primed
+    /// the verdict cache.
+    pub full_ns: u64,
+}
+
+/// The top-level machine-readable report (`schema_version` 5). See
 /// `DESIGN.md` for field meanings and stability guarantees.
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
@@ -360,6 +394,9 @@ pub struct RunMetrics {
     /// [`crate::registry::ConstraintRegistry`]. Assembled by the caller
     /// after `from_reports`.
     pub plan_cache: Option<PlanCacheMetrics>,
+    /// Serve-session counters; `None` for batch runs. Assembled by the
+    /// caller after `from_reports`.
+    pub serve: Option<ServeMetrics>,
 }
 
 impl RunMetrics {
@@ -407,15 +444,16 @@ impl RunMetrics {
             degradation,
             index_cache: None,
             plan_cache: None,
+            serve: None,
         }
     }
 
-    /// Render the schema-version-4 JSON document.
+    /// Render the schema-version-5 JSON document.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.obj_open();
         w.key("schema_version");
-        w.raw("4");
+        w.raw("5");
         w.key("tool");
         w.string("relcheck");
         w.key("threads");
@@ -453,6 +491,28 @@ impl RunMetrics {
                 w.raw(&pc.hits.to_string());
                 w.key("misses");
                 w.raw(&pc.misses.to_string());
+                w.obj_close();
+            }
+        }
+        w.key("serve");
+        match &self.serve {
+            None => w.raw("null"),
+            Some(sv) => {
+                w.obj_open();
+                for (k, v) in [
+                    ("requests", sv.requests),
+                    ("deltas", sv.deltas),
+                    ("checks", sv.checks),
+                    ("constraints_checked", sv.constraints_checked),
+                    ("constraints_skipped", sv.constraints_skipped),
+                    ("dirty_peak", sv.dirty_peak),
+                    ("dirty_total", sv.dirty_total),
+                    ("incremental_ns", sv.incremental_ns),
+                    ("full_ns", sv.full_ns),
+                ] {
+                    w.key(k);
+                    w.raw(&v.to_string());
+                }
                 w.obj_close();
             }
         }
@@ -1083,7 +1143,7 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
         .get("schema_version")
         .and_then(Json::as_int)
         .ok_or("missing integer field \"schema_version\"")?;
-    if !(1..=4).contains(&version) {
+    if !(1..=5).contains(&version) {
         return Err(format!("unsupported schema_version {version}"));
     }
     doc.get("threads")
@@ -1443,6 +1503,47 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
             }
         }
     }
+    if version >= 5 {
+        let sv = doc.get("serve").ok_or("missing field \"serve\"")?;
+        if !matches!(sv, Json::Null) {
+            let mut fields = std::collections::HashMap::new();
+            for f in [
+                "requests",
+                "deltas",
+                "checks",
+                "constraints_checked",
+                "constraints_skipped",
+                "dirty_peak",
+                "dirty_total",
+                "incremental_ns",
+                "full_ns",
+            ] {
+                let v = sv
+                    .get(f)
+                    .and_then(Json::as_int)
+                    .ok_or(format!("serve: missing integer field {f:?}"))?;
+                if v < 0 {
+                    return Err(format!("serve.{f} = {v} < 0"));
+                }
+                fields.insert(f, v);
+            }
+            // Conservation: the peak dirty-set size is one of the sizes
+            // summed into the total, and every delta/check is a request.
+            if fields["dirty_peak"] > fields["dirty_total"] {
+                return Err(format!(
+                    "serve.dirty_peak = {} exceeds dirty_total = {}",
+                    fields["dirty_peak"], fields["dirty_total"]
+                ));
+            }
+            if fields["deltas"] + fields["checks"] > fields["requests"] {
+                return Err(format!(
+                    "serve.deltas + serve.checks = {} exceeds requests = {}",
+                    fields["deltas"] + fields["checks"],
+                    fields["requests"]
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -1492,6 +1593,7 @@ mod tests {
             degradation: DegradationSummary::default(),
             index_cache: None,
             plan_cache: None,
+            serve: None,
         };
         validate_metrics_json(&m.to_json()).unwrap();
     }
@@ -1517,6 +1619,7 @@ mod tests {
                 }],
             }),
             plan_cache: Some(PlanCacheMetrics { hits: 3, misses: 1 }),
+            serve: None,
         };
         validate_metrics_json(&m.to_json()).unwrap();
         // A rebuild with no recovery record explaining it must fail.
@@ -1540,6 +1643,53 @@ mod tests {
     }
 
     #[test]
+    fn serve_metrics_validate_and_conserve() {
+        let mut m = RunMetrics {
+            threads: 1,
+            telemetry_enabled: false,
+            constraints: Vec::new(),
+            fleet: None,
+            degradation: DegradationSummary::default(),
+            index_cache: None,
+            plan_cache: Some(PlanCacheMetrics { hits: 3, misses: 4 }),
+            serve: Some(ServeMetrics {
+                requests: 5,
+                deltas: 2,
+                checks: 2,
+                constraints_checked: 3,
+                constraints_skipped: 5,
+                dirty_peak: 2,
+                dirty_total: 3,
+                incremental_ns: 10,
+                full_ns: 20,
+            }),
+        };
+        validate_metrics_json(&m.to_json()).unwrap();
+        // The peak dirty-set size is one of the summed sizes: peak >
+        // total cannot happen in a faithful document.
+        m.serve.as_mut().unwrap().dirty_peak = 9;
+        let err = validate_metrics_json(&m.to_json()).unwrap_err();
+        assert!(err.contains("dirty_peak"), "{err}");
+        m.serve.as_mut().unwrap().dirty_peak = 2;
+        // Every delta and check is a request.
+        m.serve.as_mut().unwrap().requests = 1;
+        let err = validate_metrics_json(&m.to_json()).unwrap_err();
+        assert!(err.contains("requests"), "{err}");
+        m.serve.as_mut().unwrap().requests = 5;
+        // v5 documents must carry the field, even as null.
+        let doc = m.to_json();
+        let stripped = doc.replace(
+            &doc[doc.find(",\"serve\"").unwrap()..doc.rfind('}').unwrap()],
+            "",
+        );
+        let err = validate_metrics_json(&stripped).unwrap_err();
+        assert!(err.contains("serve"), "{err}");
+        // Batch runs carry it as null; that validates.
+        m.serve = None;
+        validate_metrics_json(&m.to_json()).unwrap();
+    }
+
+    #[test]
     fn validator_accepts_older_schema_versions() {
         // A v2 document has no index_cache field; the validator must not
         // demand one.
@@ -1551,15 +1701,16 @@ mod tests {
             degradation: DegradationSummary::default(),
             index_cache: None,
             plan_cache: None,
+            serve: None,
         };
         let v2 = m
             .to_json()
-            .replace("\"schema_version\":4", "\"schema_version\":2");
+            .replace("\"schema_version\":5", "\"schema_version\":2");
         validate_metrics_json(&v2).unwrap();
         // A v3 document has no plan_cache field; tolerated the same way.
         let doc = m.to_json();
         let v3 = doc
-            .replace("\"schema_version\":4", "\"schema_version\":3")
+            .replace("\"schema_version\":5", "\"schema_version\":3")
             .replace(",\"plan_cache\":null", "");
         validate_metrics_json(&v3).unwrap();
     }
@@ -1585,6 +1736,7 @@ mod tests {
             degradation: DegradationSummary::default(),
             index_cache: None,
             plan_cache: None,
+            serve: None,
         };
         validate_metrics_json(&good.to_json()).unwrap();
         fleet.total.created_nodes += 1;
@@ -1596,6 +1748,7 @@ mod tests {
             degradation: DegradationSummary::default(),
             index_cache: None,
             plan_cache: None,
+            serve: None,
         };
         let err = validate_metrics_json(&bad.to_json()).unwrap_err();
         assert!(err.contains("created_nodes"), "{err}");

@@ -1,0 +1,375 @@
+//! Acceptance tests for the long-lived serve engine: the differential
+//! harness pinning incremental re-checking to full re-checking, and the
+//! crash/restart story for store-backed sessions.
+//!
+//! The headline invariant: **a session's incremental verdicts are
+//! byte-identical to a cold full check of the current database state** —
+//! same names, same order, same outcomes — no matter which constraints
+//! the dirty-set/read-set intersection let the engine skip. The harness
+//! drives randomized SplitMix64-seeded delta scripts against a shadow
+//! row-set and diffs every `check` against a cold serial
+//! [`Checker::check_all`] *and* a cold [`ParallelChecker`] over the
+//! shadow rows.
+//!
+//! The crash tests reuse the failpoint idioms of `tests/store.rs`: the
+//! registry is process-global, so failpoint-armed tests serialize on a
+//! mutex and disarm via an RAII guard.
+
+use relcheck_bdd::failpoint;
+use relcheck_core::checker::{Checker, CheckerOptions};
+use relcheck_core::registry::Verdict;
+use relcheck_core::serve::ServeEngine;
+use relcheck_core::store::{Delta, IndexStore};
+use relcheck_core::ParallelChecker;
+use relcheck_datagen::SplitMix64;
+use relcheck_logic::{parse, Formula};
+use relcheck_relstore::{Database, Raw};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Clears the global failpoint registry on drop, so an assertion failure
+/// mid-test cannot leave later tests running under injected faults.
+struct FpGuard;
+
+impl Drop for FpGuard {
+    fn drop(&mut self) {
+        failpoint::clear();
+    }
+}
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh, empty scratch directory unique to this test invocation.
+fn scratch(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "relcheck-serve-test-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Three relations over two value classes. `R` and `S` share class `k`
+/// (so `r-covers-s` spans both), `T` sits alone on class `j` — deltas to
+/// `T` must never re-check the `k`-side constraints and vice versa.
+const SCHEMAS: [(&str, &[(&str, &str)]); 3] = [
+    ("R", &[("x", "k"), ("y", "k")]),
+    ("S", &[("x", "k")]),
+    ("T", &[("z", "j")]),
+];
+
+/// Every value a delta script may mention, per class. Interned into the
+/// database *before* the first index build freezes the BDD blocks, so
+/// random scripts exercise incremental index maintenance rather than the
+/// domain-overflow degradation path (which has its own tests).
+const K_UNIVERSE: i64 = 7;
+const J_UNIVERSE: i64 = 5;
+
+/// Shadow row-set: the plain, trusted model the engine is diffed against.
+type Shadow = BTreeMap<&'static str, BTreeSet<Vec<i64>>>;
+
+fn base_shadow() -> Shadow {
+    let mut shadow = Shadow::new();
+    shadow.insert("R", [vec![1, 1], vec![2, 2], vec![3, 3]].into());
+    shadow.insert("S", [vec![1], vec![2]].into());
+    shadow.insert("T", [vec![0], vec![1]].into());
+    shadow
+}
+
+/// Build a database holding exactly the shadow rows, with the full delta
+/// value universe interned so constraint constants and replayed deltas
+/// always have codes.
+fn db_from(shadow: &Shadow) -> Database {
+    let mut db = Database::new();
+    for (name, columns) in SCHEMAS {
+        let rows = shadow[name]
+            .iter()
+            .map(|row| row.iter().map(|&v| Raw::Int(v)).collect())
+            .collect();
+        db.create_relation(name, columns, rows).unwrap();
+    }
+    for v in 0..K_UNIVERSE {
+        db.encode_value("k", &Raw::Int(v));
+    }
+    for v in 0..J_UNIVERSE {
+        db.encode_value("j", &Raw::Int(v));
+    }
+    db
+}
+
+fn constraints() -> Vec<(String, Formula)> {
+    [
+        ("r-diagonal", "forall x, y. R(x, y) -> x = y"),
+        ("r-covers-s", "forall x. S(x) -> exists y. R(x, y)"),
+        ("t-bounded", "forall z. T(z) -> z in {0, 1, 2, 3}"),
+        ("s-nonempty", "exists x. S(x)"),
+    ]
+    .iter()
+    .map(|(name, text)| ((*name).to_owned(), parse(text).unwrap()))
+    .collect()
+}
+
+/// What a cold serial checker says about the shadow rows.
+fn cold_serial(shadow: &Shadow) -> Vec<(String, bool)> {
+    let mut ck = Checker::new(db_from(shadow), CheckerOptions::default());
+    ck.check_all(&constraints())
+        .unwrap()
+        .into_iter()
+        .map(|(name, report)| (name, report.holds))
+        .collect()
+}
+
+/// What a cold parallel checker (2 worker lanes) says about the shadow rows.
+fn cold_parallel(shadow: &Shadow) -> Vec<(String, bool)> {
+    let pc = ParallelChecker::new(db_from(shadow), CheckerOptions::default(), 2);
+    pc.check_all(&constraints())
+        .unwrap()
+        .into_iter()
+        .map(|(name, report)| (name, report.holds))
+        .collect()
+}
+
+/// One random delta drawn from the script distribution: a relation, a
+/// row from the pre-interned universe, and an insert/delete coin.
+fn random_delta(rng: &mut SplitMix64) -> (&'static str, Vec<i64>) {
+    let relation = SCHEMAS[rng.gen_range(0usize..SCHEMAS.len())].0;
+    let row = match relation {
+        "R" => vec![
+            rng.gen_range(0u64..K_UNIVERSE as u64) as i64,
+            rng.gen_range(0u64..K_UNIVERSE as u64) as i64,
+        ],
+        "S" => vec![rng.gen_range(0u64..K_UNIVERSE as u64) as i64],
+        _ => vec![rng.gen_range(0u64..J_UNIVERSE as u64) as i64],
+    };
+    (relation, row)
+}
+
+/// Apply one delta to both the engine and the shadow, asserting the two
+/// agree on whether the relation actually changed.
+fn apply_both(
+    engine: &mut ServeEngine,
+    shadow: &mut Shadow,
+    relation: &'static str,
+    row: Vec<i64>,
+    insert: bool,
+    context: &str,
+) {
+    let raw: Vec<Raw> = row.iter().map(|&v| Raw::Int(v)).collect();
+    let delta = if insert {
+        Delta::Insert(raw)
+    } else {
+        Delta::Delete(raw)
+    };
+    let changed = engine.apply(relation, &delta).unwrap();
+    let rows = shadow.get_mut(relation).unwrap();
+    let shadow_changed = if insert {
+        rows.insert(row.clone())
+    } else {
+        rows.remove(&row)
+    };
+    assert_eq!(
+        changed, shadow_changed,
+        "{context}: engine/shadow disagree on change for {relation} {row:?} insert={insert}"
+    );
+}
+
+/// The session's incremental verdicts, flattened to the differential
+/// signature (name, holds) in registration order.
+fn incremental(engine: &mut ServeEngine) -> Vec<(String, bool)> {
+    engine
+        .check_all()
+        .unwrap()
+        .into_iter()
+        .map(|(name, v)| (name, v.holds()))
+        .collect()
+}
+
+#[test]
+fn differential_random_scripts_match_cold_full_recheck() {
+    let _g = lock();
+    let mut total_skipped = 0u64;
+    for seed in [1u64, 42, 20070415] {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let mut shadow = base_shadow();
+        let (mut engine, reports) = ServeEngine::new(
+            Checker::new(db_from(&shadow), CheckerOptions::default()),
+            &constraints(),
+            None,
+        )
+        .unwrap();
+        assert!(
+            reports.iter().all(|(_, r)| r.holds),
+            "seed {seed}: base state should satisfy every constraint"
+        );
+        for step in 0..60 {
+            let context = format!("seed {seed} step {step}");
+            let (relation, row) = random_delta(&mut rng);
+            let insert = rng.gen_bool(0.6);
+            apply_both(&mut engine, &mut shadow, relation, row, insert, &context);
+            if rng.gen_bool(0.3) {
+                let got = incremental(&mut engine);
+                assert_eq!(got, cold_serial(&shadow), "{context}: serial differential");
+                assert_eq!(
+                    got,
+                    cold_parallel(&shadow),
+                    "{context}: parallel differential"
+                );
+            }
+        }
+        // Always finish on a check so every script's endpoint is diffed.
+        let got = incremental(&mut engine);
+        assert_eq!(
+            got,
+            cold_serial(&shadow),
+            "seed {seed}: final serial differential"
+        );
+        assert_eq!(
+            got,
+            cold_parallel(&shadow),
+            "seed {seed}: final parallel differential"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.deltas, 60);
+        total_skipped += stats.constraints_skipped;
+    }
+    // The differential must have exercised the skip path, not just
+    // re-checked everything every time — otherwise it proves nothing
+    // about read-set-driven caching.
+    assert!(
+        total_skipped > 0,
+        "random scripts never skipped a constraint; the differential is vacuous"
+    );
+}
+
+#[test]
+fn store_backed_script_survives_clean_restart() {
+    let _g = lock();
+    let dir = scratch("restart");
+    let mut shadow = base_shadow();
+
+    // Session 1: store-backed script with a clean shutdown (write_back).
+    {
+        let mut ck = Checker::new(db_from(&shadow), CheckerOptions::default());
+        let mut store = IndexStore::open(&dir).unwrap();
+        store.warm_start(&mut ck).unwrap();
+        let (mut engine, _) = ServeEngine::new(ck, &constraints(), Some(store)).unwrap();
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for step in 0..12 {
+            let (relation, row) = random_delta(&mut rng);
+            let insert = rng.gen_bool(0.6);
+            apply_both(
+                &mut engine,
+                &mut shadow,
+                relation,
+                row,
+                insert,
+                &format!("restart step {step}"),
+            );
+        }
+        assert_eq!(incremental(&mut engine), cold_serial(&shadow));
+        engine.finish().unwrap();
+    }
+
+    // Session 2: warm start over the base database must reconstruct the
+    // final session-1 state and answer exactly like a cold checker on it.
+    let mut ck = Checker::new(db_from(&base_shadow()), CheckerOptions::default());
+    let mut store = IndexStore::open(&dir).unwrap();
+    store.warm_start(&mut ck).unwrap();
+    let (mut engine, reports) = ServeEngine::new(ck, &constraints(), Some(store)).unwrap();
+    let primed: Vec<(String, bool)> = reports.into_iter().map(|(n, r)| (n, r.holds)).collect();
+    assert_eq!(
+        primed,
+        cold_serial(&shadow),
+        "warm-started baseline diverged"
+    );
+    // And the first incremental check answers everything from cache.
+    let verdicts = engine.check_all().unwrap();
+    assert!(verdicts
+        .iter()
+        .all(|(_, v)| matches!(v, Verdict::Cached { .. })));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_journal_append_loses_only_the_unacknowledged_delta() {
+    let _g = lock();
+    let dir = scratch("torn");
+
+    // Session 1: build the cache over the base rows.
+    {
+        let mut ck = Checker::new(db_from(&base_shadow()), CheckerOptions::default());
+        let mut store = IndexStore::open(&dir).unwrap();
+        store.warm_start(&mut ck).unwrap();
+        let (mut engine, _) = ServeEngine::new(ck, &constraints(), Some(store)).unwrap();
+        engine.finish().unwrap();
+    }
+
+    // Session 2: one acknowledged delta, then a torn journal append —
+    // the failpoint writes half the record and errors, exactly a crash
+    // mid-write. The session dies without write_back.
+    {
+        let mut ck = Checker::new(db_from(&base_shadow()), CheckerOptions::default());
+        let mut store = IndexStore::open(&dir).unwrap();
+        store.warm_start(&mut ck).unwrap();
+        let (mut engine, _) = ServeEngine::new(ck, &constraints(), Some(store)).unwrap();
+        // Acknowledged: R(1,2) breaks the diagonal.
+        assert!(engine
+            .apply("R", &Delta::Insert(vec![Raw::Int(1), Raw::Int(2)]))
+            .unwrap());
+        let verdicts: BTreeMap<String, Verdict> = engine.check_all().unwrap().into_iter().collect();
+        assert!(matches!(
+            verdicts["r-diagonal"],
+            Verdict::Checked { holds: false }
+        ));
+
+        let _fp = FpGuard;
+        failpoint::configure_spec("journal-append=1", 20070415).unwrap();
+        // Unacknowledged: deleting R(1,2) would restore the diagonal, but
+        // the append tears. The error reaches the caller and the relation
+        // is NOT marked dirty — the engine never claimed the delta.
+        let err = engine
+            .apply("R", &Delta::Delete(vec![Raw::Int(1), Raw::Int(2)]))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("journal"),
+            "unexpected error for torn append: {err}"
+        );
+        assert!(engine.dirty().is_empty());
+        // Crash: drop without finish().
+    }
+
+    // Session 3: warm start must replay the acknowledged delta, discard
+    // the torn tail, and answer exactly like the fault-free prefix —
+    // r-diagonal stays violated because the delete was never acknowledged.
+    let mut oracle = base_shadow();
+    oracle.get_mut("R").unwrap().insert(vec![1, 2]);
+    let mut ck = Checker::new(db_from(&base_shadow()), CheckerOptions::default());
+    let mut store = IndexStore::open(&dir).unwrap();
+    store.warm_start(&mut ck).unwrap();
+    assert_eq!(
+        store.stats.journal_replayed, 1,
+        "exactly the acknowledged delta replays"
+    );
+    let (engine, reports) = ServeEngine::new(ck, &constraints(), Some(store)).unwrap();
+    let primed: Vec<(String, bool)> = reports.into_iter().map(|(n, r)| (n, r.holds)).collect();
+    assert_eq!(
+        primed,
+        cold_serial(&oracle),
+        "post-crash verdicts diverged from fault-free run"
+    );
+    assert!(!primed.iter().find(|(n, _)| n == "r-diagonal").unwrap().1);
+    drop(engine);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -9,6 +9,8 @@
 //! relcheck metrics-check <metrics.json>
 //! relcheck index <build|verify|repair|gc|apply> <spec-file> --index-cache DIR
 //!                [deltas...] [--ordering STRATEGY] [--fail-spec SPEC] [--fail-seed N]
+//! relcheck serve <spec-file> [--index-cache DIR] [--socket PATH] [--ordering STRATEGY]
+//!                [--metrics PATH] [--deadline-ms N] [--fail-spec SPEC] [--fail-seed N]
 //! ```
 //!
 //! The spec file declares CSV-backed tables and named first-order
@@ -51,15 +53,28 @@
 //! journals tuple deltas (`+REL:v1,v2,...` inserts, `-REL:v1,v2,...`
 //! deletes) and folds them into the cached indices via incremental
 //! maintenance.
+//!
+//! `serve` keeps everything warm across requests: it loads the spec,
+//! primes every constraint once, then reads a line-oriented command
+//! protocol from stdin (or a unix socket with `--socket PATH`) —
+//! `+REL:v,…` / `-REL:v,…` tuple deltas, `check [name]`, `stats`,
+//! `quit`. Each check re-verifies only the constraints whose read-set
+//! intersects the relations dirtied since the last check; the rest
+//! answer from cached verdicts. With `--index-cache DIR` deltas are
+//! journaled durably before being applied, so a killed session
+//! warm-starts to the acknowledged state. `--metrics PATH` writes the
+//! schema-v5 document (with the `serve` block) on shutdown. The exit
+//! code reflects the final verdicts: 0 when nothing is violated.
 
-use relcheck::core_::checker::{Checker, CheckerOptions, Verdict};
+use relcheck::core_::checker::{CheckReport, Checker, CheckerOptions, Verdict};
 use relcheck::core_::ordering::OrderingStrategy;
 use relcheck::core_::registry::ConstraintRegistry;
+use relcheck::core_::serve::{parse_delta, ServeEngine};
 use relcheck::core_::store::{Delta, IndexStore, VerifyStatus};
 use relcheck::core_::telemetry::{
     validate_metrics_json, FleetTelemetry, RunMetrics, WorkerTelemetry,
 };
-use relcheck::relstore::{Database, Raw};
+use relcheck::relstore::Database;
 use relcheck::spec::{parse_spec, Spec};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -88,7 +103,9 @@ fn usage() -> String {
      relcheck plan <spec-file> [constraint-name] [--ordering STRATEGY]\n  \
      relcheck metrics-check <metrics.json>\n  \
      relcheck index <build|verify|repair|gc|apply> <spec-file> --index-cache DIR \
-     [+REL:v1,v2 | -REL:v1,v2 ...]"
+     [+REL:v1,v2 | -REL:v1,v2 ...]\n  \
+     relcheck serve <spec-file> [--index-cache DIR] [--socket PATH] [--ordering STRATEGY] \
+     [--metrics PATH] [--deadline-ms N] [--fail-spec SPEC] [--fail-seed N]"
         .to_owned()
 }
 
@@ -100,6 +117,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         "plan" => cmd_plan(&args[1..]).map(|()| true),
         "metrics-check" => cmd_metrics_check(&args[1..]).map(|()| true),
         "index" => cmd_index(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         _ => Err(usage()),
     }
 }
@@ -307,19 +325,7 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     let mut clean = true;
     let mut violated = Vec::new();
     for (c, (name, report)) in spec.constraints.iter().zip(&reports) {
-        let status = match report.verdict {
-            Verdict::Holds => "ok",
-            Verdict::Violated => "VIOLATED",
-            Verdict::Degraded => "DEGRADED",
-            Verdict::Errored => "ERRORED",
-        };
-        println!(
-            "{:<32} {:<9} via {:?} in {:.2?}",
-            name, status, report.method, report.elapsed
-        );
-        if let Some(err) = &report.error {
-            println!("{:<32} ^ {err}", "");
-        }
+        print_report_line(name, report);
         // Only a proven violation flips the exit code; `DEGRADED` and
         // `ERRORED` mean "undecided under faults", not "violated".
         if report.verdict == Verdict::Violated {
@@ -360,31 +366,214 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     Ok(clean)
 }
 
-/// Parse a `+REL:v1,v2,...` / `-REL:v1,v2,...` delta argument. Values
-/// that parse as integers become `Raw::Int`; everything else is a string.
-fn parse_delta(arg: &str) -> Result<(String, Delta), String> {
-    let bad = || format!("bad delta {arg:?} (expected +REL:v1,v2,... or -REL:v1,v2,...)");
-    let rest = arg
-        .strip_prefix('+')
-        .or_else(|| arg.strip_prefix('-'))
-        .ok_or_else(bad)?;
-    let (relation, values) = rest.split_once(':').ok_or_else(bad)?;
-    if relation.is_empty() || values.is_empty() {
-        return Err(bad());
-    }
-    let row: Vec<Raw> = values
-        .split(',')
-        .map(|v| match v.parse::<i64>() {
-            Ok(i) => Raw::Int(i),
-            Err(_) => Raw::Str(v.to_owned()),
-        })
-        .collect();
-    let delta = if arg.starts_with('+') {
-        Delta::Insert(row)
-    } else {
-        Delta::Delete(row)
+/// One verdict line of the `run`/`serve` baseline report.
+fn print_report_line(name: &str, report: &CheckReport) {
+    let status = match report.verdict {
+        Verdict::Holds => "ok",
+        Verdict::Violated => "VIOLATED",
+        Verdict::Degraded => "DEGRADED",
+        Verdict::Errored => "ERRORED",
     };
-    Ok((relation.to_owned(), delta))
+    println!(
+        "{:<32} {:<9} via {:?} in {:.2?}",
+        name, status, report.method, report.elapsed
+    );
+    if let Some(err) = &report.error {
+        println!("{:<32} ^ {err}", "");
+    }
+}
+
+/// `relcheck serve`: the long-lived incremental check session (see the
+/// module docs for the protocol).
+fn cmd_serve(args: &[String]) -> Result<bool, String> {
+    let spec_path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(usage)?;
+    let ordering = match flag_value(args, "--ordering") {
+        Some(name) => ordering_from(name)?,
+        None => OrderingStrategy::ProbConverge,
+    };
+    let metrics_path = flag_value(args, "--metrics").map(str::to_owned);
+    let deadline = flag_value(args, "--deadline-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| "--deadline-ms expects a number of milliseconds".to_owned())
+        })
+        .transpose()?
+        .map(std::time::Duration::from_millis);
+    let fail_seed: u64 = flag_value(args, "--fail-seed")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--fail-seed expects a number".to_owned())
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if let Some(spec) = flag_value(args, "--fail-spec") {
+        relcheck::bdd::failpoint::configure_spec(spec, fail_seed)
+            .map_err(|e| format!("--fail-spec: {e}"))?;
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+    let index_cache = flag_value(args, "--index-cache").map(str::to_owned);
+    let socket = flag_value(args, "--socket").map(str::to_owned);
+    let (spec, db) = load(spec_path)?;
+    if spec.constraints.is_empty() {
+        return Err("spec declares no constraints".to_owned());
+    }
+    let opts = CheckerOptions {
+        ordering,
+        telemetry: metrics_path.is_some(),
+        deadline,
+        ..Default::default()
+    };
+    let mut checker = Checker::new(db, opts);
+    let store = match &index_cache {
+        Some(dir) => {
+            let mut s =
+                IndexStore::open(dir).map_err(|e| format!("opening index cache {dir}: {e}"))?;
+            s.warm_start(&mut checker)
+                .map_err(|e| format!("warm-starting from {dir}: {e}"))?;
+            for rec in &s.stats.recoveries {
+                println!(
+                    "index-cache: recovered {:?} ({}): {}",
+                    rec.relation, rec.reason, rec.detail
+                );
+            }
+            println!(
+                "index-cache: {} hit(s), {} miss(es), {} rebuild(s), {} journal record(s) replayed",
+                s.stats.hits, s.stats.misses, s.stats.rebuilds, s.stats.journal_replayed
+            );
+            Some(s)
+        }
+        None => None,
+    };
+    let constraints: Vec<(String, relcheck::logic::Formula)> = spec
+        .constraints
+        .iter()
+        .map(|c| (c.name.clone(), c.formula.clone()))
+        .collect();
+    let before = checker.logical_db().manager().stats();
+    let (mut engine, reports) = ServeEngine::new(checker, &constraints, store)
+        .map_err(|e| format!("priming the session: {e}"))?;
+    println!();
+    for (name, report) in &reports {
+        print_report_line(name, report);
+    }
+    println!(
+        "\nserving {} constraint(s) over {} relation(s); commands: \
+         +REL:v,... -REL:v,... check [name] stats quit",
+        reports.len(),
+        engine.checker().logical_db().db().relation_names().count()
+    );
+    match &socket {
+        Some(path) => serve_socket(&mut engine, path)?,
+        None => serve_stdio(&mut engine)?,
+    }
+    engine
+        .finish()
+        .map_err(|e| format!("writing back index cache: {e}"))?;
+    if let Some(path) = &metrics_path {
+        let after = engine.checker().logical_db().manager().stats();
+        let lane = WorkerTelemetry {
+            worker: 0,
+            constraints: (0..reports.len()).collect(),
+            bdd: after.delta_since(&before),
+            peak_nodes: after.peak_nodes,
+            depth_hwm: after.depth_hwm,
+        };
+        let mut metrics =
+            RunMetrics::from_reports(&reports, Some(FleetTelemetry::from_workers(vec![lane])), 1);
+        metrics.index_cache = engine.store().map(|s| s.stats.clone());
+        metrics.plan_cache = Some(engine.plan_cache_stats());
+        metrics.serve = Some(engine.stats());
+        let doc = metrics.to_json();
+        debug_assert!(validate_metrics_json(&doc).is_ok());
+        std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("metrics written to {path}");
+    }
+    // The exit code reflects the final verdicts: any constraint whose
+    // last decided verdict is "violated" makes the session non-clean.
+    Ok(engine
+        .registry()
+        .cached()
+        .values()
+        .all(|v| *v != Some(false)))
+}
+
+/// Drive a serve session over stdin/stdout (the scripted-pipeline mode).
+fn serve_stdio(engine: &mut ServeEngine) -> Result<(), String> {
+    use std::io::{BufRead, Write};
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        let reply = engine.handle_line(&line);
+        for l in &reply.lines {
+            writeln!(out, "{l}").map_err(|e| format!("writing stdout: {e}"))?;
+        }
+        out.flush().map_err(|e| format!("writing stdout: {e}"))?;
+        if reply.quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Drive a serve session over a unix socket: clients connect one at a
+/// time (the engine is single-threaded state), each line is answered in
+/// order, and `quit` from any client ends the whole session. A client
+/// hanging up mid-session just returns the listener to `accept`.
+#[cfg(unix)]
+fn serve_socket(engine: &mut ServeEngine, path: &str) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixListener;
+    // A stale socket file from a killed session would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path).map_err(|e| format!("binding {path}: {e}"))?;
+    println!("listening on {path}");
+    let mut quit = false;
+    while !quit {
+        let (stream, _) = listener
+            .accept()
+            .map_err(|e| format!("accepting on {path}: {e}"))?;
+        let mut reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cloning socket: {e}"))?,
+        );
+        let mut writer = stream;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break, // client hung up; await the next one
+                Ok(_) => {}
+            }
+            let reply = engine.handle_line(&line);
+            let mut client_gone = false;
+            for l in &reply.lines {
+                if writeln!(writer, "{l}").is_err() {
+                    client_gone = true;
+                    break;
+                }
+            }
+            if reply.quit {
+                quit = true;
+                break;
+            }
+            if client_gone {
+                break;
+            }
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_engine: &mut ServeEngine, _path: &str) -> Result<(), String> {
+    Err("--socket is only supported on unix platforms".to_owned())
 }
 
 /// Manage the persistent index store directly: `build`, `verify`,
