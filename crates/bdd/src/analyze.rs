@@ -25,7 +25,7 @@ impl BddManager {
             if i <= 1 || !seen.insert(i) {
                 continue;
             }
-            let n = self.nodes[i as usize];
+            let n = self.arena.get(i);
             *counts.entry(n.level).or_insert(0) += 1;
             stack.push(n.low);
             stack.push(n.high);

@@ -17,6 +17,14 @@ use crate::replace::ReplaceMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DomainId(pub(crate) u32);
 
+impl DomainId {
+    /// The domain's declaration index in its manager — stable for the
+    /// manager's lifetime, usable as a compact cache/report key.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
 #[derive(Debug, Clone)]
 pub(crate) struct Domain {
     pub(crate) size: u64,

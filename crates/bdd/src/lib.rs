@@ -56,6 +56,7 @@ pub mod failpoint;
 pub mod fdd;
 mod hash;
 mod manager;
+pub mod order;
 mod quant;
 mod replace;
 mod sat;
@@ -65,7 +66,8 @@ pub use cache::{OpKind, OP_KINDS};
 pub use error::{BddError, Result};
 pub use fdd::{DomainId, DomainInfo};
 pub use manager::{
-    Bdd, BddManager, Budget, GcStats, ManagerStats, OpStats, StatsDelta, Var, NODE_BYTES,
+    Bdd, BddManager, Budget, CompactStats, GcStats, ManagerStats, OpStats, StatsDelta, Var,
+    NODE_BYTES,
 };
 pub use quant::VarSet;
 pub use replace::ReplaceMap;

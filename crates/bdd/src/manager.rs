@@ -19,8 +19,9 @@ use crate::quant::VarSetData;
 pub type Var = u32;
 
 /// Size in bytes of one BDD node in this implementation (the paper's BuDDy
-/// build used 20 bytes per node; ours packs into 12).
-pub const NODE_BYTES: usize = std::mem::size_of::<Node>();
+/// build used 20 bytes per node; ours packs into 12 — three `u32` lanes of
+/// the struct-of-arrays arena).
+pub const NODE_BYTES: usize = 3 * std::mem::size_of::<u32>();
 
 /// Sentinel level for the two terminal nodes.
 pub(crate) const LEVEL_TERMINAL: u32 = u32::MAX;
@@ -68,6 +69,80 @@ pub(crate) struct Node {
     pub(crate) high: u32,
 }
 
+/// The node store, laid out struct-of-arrays: three parallel `u32` vectors
+/// instead of one `Vec<Node>`. The hot loops of `apply`/`quant` spend most
+/// of their reads on *levels alone* (the top-variable comparison that
+/// steers the simultaneous descent), so giving levels their own contiguous
+/// array triples the number of nodes whose steering data fits in one cache
+/// line; lows and highs are only touched on the cofactor that is actually
+/// taken.
+#[derive(Debug, Default)]
+pub(crate) struct NodeArena {
+    levels: Vec<u32>,
+    lows: Vec<u32>,
+    highs: Vec<u32>,
+}
+
+impl NodeArena {
+    /// Arena with the two terminals pre-seeded at slots 0 and 1.
+    fn with_terminals() -> NodeArena {
+        NodeArena {
+            levels: vec![LEVEL_TERMINAL, LEVEL_TERMINAL],
+            lows: vec![0, 1],
+            highs: vec![0, 1],
+        }
+    }
+
+    /// Total slots, terminals included.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The level lane alone — the only field the descent steering reads.
+    #[inline]
+    pub(crate) fn level(&self, i: u32) -> u32 {
+        self.levels[i as usize]
+    }
+
+    /// Materialize one slot as a [`Node`] (gathers all three lanes).
+    #[inline]
+    pub(crate) fn get(&self, i: u32) -> Node {
+        let i = i as usize;
+        Node {
+            level: self.levels[i],
+            low: self.lows[i],
+            high: self.highs[i],
+        }
+    }
+
+    /// Overwrite one slot.
+    #[inline]
+    fn set(&mut self, i: u32, level: u32, low: u32, high: u32) {
+        let i = i as usize;
+        self.levels[i] = level;
+        self.lows[i] = low;
+        self.highs[i] = high;
+    }
+
+    /// Append a slot, returning its index.
+    #[inline]
+    fn push(&mut self, level: u32, low: u32, high: u32) -> u32 {
+        let i = self.levels.len() as u32;
+        self.levels.push(level);
+        self.lows.push(low);
+        self.highs.push(high);
+        i
+    }
+
+    /// Drop every slot at index `new_len` and beyond.
+    fn truncate(&mut self, new_len: usize) {
+        self.levels.truncate(new_len);
+        self.lows.truncate(new_len);
+        self.highs.truncate(new_len);
+    }
+}
+
 /// A resource budget for BDD operations: the node limit (the paper's
 /// size-threshold fallback trigger) plus an optional wall-clock deadline,
 /// enforced cooperatively at every memoized recursion boundary. Exceeding
@@ -96,6 +171,20 @@ pub struct GcStats {
     pub freed: usize,
     /// Live nodes after the sweep.
     pub live: usize,
+}
+
+/// Statistics returned by [`BddManager::compact`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Live nodes after compaction (equals the arena occupancy: the free
+    /// list is empty once compaction finishes).
+    pub live: usize,
+    /// Arena slots released back to the allocator (dead nodes plus the
+    /// free-list holes that compaction squeezed out).
+    pub reclaimed_slots: usize,
+    /// Live nodes that changed index (and therefore had their unique-table
+    /// entries rewritten).
+    pub relocated: usize,
 }
 
 /// Per-operation-kind counters: how often one recursive algorithm consulted
@@ -201,7 +290,7 @@ impl std::ops::AddAssign for StatsDelta {
 /// The shared-node BDD store. See the [crate-level docs](crate) for an
 /// overview and the paper mapping.
 pub struct BddManager {
-    pub(crate) nodes: Vec<Node>,
+    pub(crate) arena: NodeArena,
     unique: FxHashMap<(u32, u32, u32), u32>,
     free: Vec<u32>,
     pub(crate) cache: OpCache,
@@ -239,22 +328,8 @@ impl BddManager {
     /// Create a manager with a caller-chosen operation-cache size (slots,
     /// rounded up to a power of two).
     pub fn with_capacity(cache_slots: usize) -> Self {
-        let nodes = vec![
-            // false terminal
-            Node {
-                level: LEVEL_TERMINAL,
-                low: 0,
-                high: 0,
-            },
-            // true terminal
-            Node {
-                level: LEVEL_TERMINAL,
-                low: 1,
-                high: 1,
-            },
-        ];
         BddManager {
-            nodes,
+            arena: NodeArena::with_terminals(),
             unique: FxHashMap::default(),
             free: Vec::new(),
             cache: OpCache::new(cache_slots),
@@ -375,7 +450,15 @@ impl BddManager {
     /// the two terminals.
     #[inline]
     pub fn live_nodes(&self) -> usize {
-        self.nodes.len() - 2 - self.free.len()
+        self.arena.len() - 2 - self.free.len()
+    }
+
+    /// Total arena slots currently allocated, excluding the two terminals
+    /// (live nodes plus free-list holes). [`ManagerStats::peak_nodes`] is
+    /// the monotone high-water mark of this value.
+    #[inline]
+    pub fn arena_slots(&self) -> usize {
+        self.arena.len() - 2
     }
 
     /// Number of boolean variables allocated so far.
@@ -405,13 +488,15 @@ impl BddManager {
 
     #[inline]
     pub(crate) fn node(&self, f: Bdd) -> Node {
-        self.nodes[f.0 as usize]
+        self.arena.get(f.0)
     }
 
-    /// Level of the root node (`LEVEL_TERMINAL` for constants).
+    /// Level of the root node (`LEVEL_TERMINAL` for constants). Reads only
+    /// the arena's level lane — this is the steering probe of every
+    /// simultaneous descent, and the reason the arena is struct-of-arrays.
     #[inline]
     pub(crate) fn level(&self, f: Bdd) -> u32 {
-        self.nodes[f.0 as usize].level
+        self.arena.level(f.0)
     }
 
     /// The variable tested at the root, if `f` is not a constant.
@@ -453,26 +538,18 @@ impl BddManager {
         }
         let idx = match self.free.pop() {
             Some(i) => {
-                self.nodes[i as usize] = Node {
-                    level,
-                    low: low.0,
-                    high: high.0,
-                };
+                self.arena.set(i, level, low.0, high.0);
                 i
             }
-            None => {
-                let i = self.nodes.len() as u32;
-                self.nodes.push(Node {
-                    level,
-                    low: low.0,
-                    high: high.0,
-                });
-                i
-            }
+            None => self.arena.push(level, low.0, high.0),
         };
         self.unique.insert(key, idx);
         self.created_nodes += 1;
-        self.peak_nodes = self.peak_nodes.max(self.live_nodes());
+        // Arena high-water mark, not the live count: compaction and GC can
+        // shrink occupancy, but the peak must stay the honest footprint
+        // ceiling (monotone, so telemetry snapshots never see it move
+        // backwards mid-run).
+        self.peak_nodes = self.peak_nodes.max(self.arena_slots());
         Ok(Bdd(idx))
     }
 
@@ -506,7 +583,7 @@ impl BddManager {
             if i <= 1 || !seen.insert(i) {
                 continue;
             }
-            let n = self.nodes[i as usize];
+            let n = self.arena.get(i);
             stack.push(n.low);
             stack.push(n.high);
         }
@@ -523,7 +600,7 @@ impl BddManager {
             if i <= 1 || !seen.insert(i) {
                 continue;
             }
-            let n = self.nodes[i as usize];
+            let n = self.arena.get(i);
             stack.push(n.low);
             stack.push(n.high);
         }
@@ -540,7 +617,7 @@ impl BddManager {
             if i <= 1 || !seen.insert(i) {
                 continue;
             }
-            let n = self.nodes[i as usize];
+            let n = self.arena.get(i);
             vars.insert(n.level);
             stack.push(n.low);
             stack.push(n.high);
@@ -552,36 +629,18 @@ impl BddManager {
     /// `roots` is reclaimed onto the free list; the operation cache is
     /// invalidated (node indices may be recycled).
     pub fn gc(&mut self, roots: &[Bdd]) -> GcStats {
-        let mut marked = vec![false; self.nodes.len()];
-        marked[0] = true;
-        marked[1] = true;
-        let mut stack: Vec<u32> = roots.iter().map(|b| b.0).collect();
-        while let Some(i) = stack.pop() {
-            let i = i as usize;
-            if marked[i] {
-                continue;
-            }
-            marked[i] = true;
-            let n = self.nodes[i];
-            stack.push(n.low);
-            stack.push(n.high);
-        }
+        let mut marked = self.mark(roots);
         // Nodes already on the free list must not be freed twice.
         for &i in &self.free {
             marked[i as usize] = true;
         }
         let mut freed = 0;
-        #[allow(clippy::needless_range_loop)] // i indexes both marked and nodes
-        for i in 2..self.nodes.len() {
-            if !marked[i] {
-                let n = self.nodes[i];
+        for (i, &live) in marked.iter().enumerate().skip(2) {
+            if !live {
+                let n = self.arena.get(i as u32);
                 self.unique.remove(&(n.level, n.low, n.high));
                 // Poison the entry so stale handles fail fast in debug runs.
-                self.nodes[i] = Node {
-                    level: LEVEL_TERMINAL - 1,
-                    low: 0,
-                    high: 0,
-                };
+                self.arena.set(i as u32, LEVEL_TERMINAL - 1, 0, 0);
                 self.free.push(i as u32);
                 freed += 1;
             }
@@ -591,6 +650,81 @@ impl BddManager {
         GcStats {
             freed,
             live: self.live_nodes(),
+        }
+    }
+
+    /// Reachability bitmap from `roots` (terminals always marked).
+    fn mark(&self, roots: &[Bdd]) -> Vec<bool> {
+        let mut marked = vec![false; self.arena.len()];
+        marked[0] = true;
+        marked[1] = true;
+        let mut stack: Vec<u32> = roots.iter().map(|b| b.0).collect();
+        while let Some(i) = stack.pop() {
+            let i = i as usize;
+            if marked[i] {
+                continue;
+            }
+            marked[i] = true;
+            let n = self.arena.get(i as u32);
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        marked
+    }
+
+    /// In-place arena compaction: slide every node reachable from `roots`
+    /// down into the lowest-numbered slots (preserving relative order, so
+    /// children keep lower indices than parents), rewrite all child
+    /// pointers and unique-table entries, truncate the arena, and empty
+    /// the free list. Unreachable nodes are reclaimed as a side effect —
+    /// compaction subsumes a [`BddManager::gc`] sweep (and counts as one
+    /// in [`ManagerStats::gc_runs`]).
+    ///
+    /// The handles in `roots` are **remapped in place**; every other
+    /// outstanding [`Bdd`] handle is invalidated, exactly like handles not
+    /// passed to `gc`. The operation cache is invalidated (indices moved),
+    /// and [`ManagerStats::peak_nodes`] is untouched: it is the monotone
+    /// arena high-water mark, not the post-compaction occupancy.
+    pub fn compact(&mut self, roots: &mut [Bdd]) -> CompactStats {
+        let marked = self.mark(roots);
+        let slots_before = self.arena.len();
+        // Destination of every live slot: live nodes keep their relative
+        // order, so a node's children (always lower-indexed than their
+        // parent — `mk` creates bottom-up) are remapped before it.
+        let mut remap: Vec<u32> = vec![0; slots_before];
+        let mut next: u32 = 2;
+        let mut relocated = 0usize;
+        remap[1] = 1;
+        for i in 2..slots_before {
+            if marked[i] {
+                remap[i] = next;
+                if next as usize != i {
+                    relocated += 1;
+                }
+                next += 1;
+            }
+        }
+        self.unique.clear();
+        for i in 2..slots_before {
+            if !marked[i] {
+                continue;
+            }
+            let n = self.arena.get(i as u32);
+            let (level, low, high) = (n.level, remap[n.low as usize], remap[n.high as usize]);
+            self.arena.set(remap[i], level, low, high);
+            self.unique.insert((level, low, high), remap[i]);
+        }
+        self.arena.truncate(next as usize);
+        self.free.clear();
+        for r in roots.iter_mut() {
+            *r = Bdd(remap[r.0 as usize]);
+        }
+        self.cache.invalidate();
+        self.gc_runs += 1;
+        CompactStats {
+            live: self.live_nodes(),
+            reclaimed_slots: slots_before - next as usize,
+            relocated,
         }
     }
 
@@ -731,11 +865,84 @@ mod tests {
         let y = m.var(v1).unwrap();
         let _dead = m.and(x, y).unwrap();
         m.gc(&[x, y]);
-        let arena_len = m.nodes.len();
+        let arena_len = m.arena.len();
         // New allocation should reuse the freed slot, not grow the arena.
         let f = m.or(x, y).unwrap();
-        assert_eq!(m.nodes.len(), arena_len);
+        assert_eq!(m.arena.len(), arena_len);
         assert!(m.eval(f, |v| v == v0));
+    }
+
+    #[test]
+    fn compact_remaps_roots_and_preserves_semantics() {
+        let mut m = BddManager::new();
+        let v0 = m.new_var();
+        let v1 = m.new_var();
+        let v2 = m.new_var();
+        let x = m.var(v0).unwrap();
+        let y = m.var(v1).unwrap();
+        let z = m.var(v2).unwrap();
+        // Garbage first so live nodes end up at high indices.
+        for _ in 0..4 {
+            let j = m.xor(x, y).unwrap();
+            let _ = m.and(j, z).unwrap();
+        }
+        m.gc(&[x, y, z]);
+        let keep_a = m.and(x, y).unwrap();
+        let keep_b = m.or(keep_a, z).unwrap();
+        let size_a = m.size(keep_a);
+        let size_b = m.size(keep_b);
+        let mut roots = [keep_a, keep_b];
+        let stats = m.compact(&mut roots);
+        assert_eq!(stats.live, m.live_nodes());
+        assert_eq!(stats.live + 2, m.arena.len(), "free list squeezed out");
+        let (keep_a, keep_b) = (roots[0], roots[1]);
+        // Same functions, same structure.
+        assert_eq!(m.size(keep_a), size_a);
+        assert_eq!(m.size(keep_b), size_b);
+        for bits in 0..8u32 {
+            let assign = |v: Var| bits >> v & 1 == 1;
+            assert_eq!(m.eval(keep_a, assign), assign(v0) && assign(v1));
+            assert_eq!(
+                m.eval(keep_b, assign),
+                (assign(v0) && assign(v1)) || assign(v2)
+            );
+        }
+        // The compacted manager keeps hash-consing correctly: rebuilding a
+        // kept function returns the (remapped) canonical node.
+        let xa = m.var(v0).unwrap();
+        let xb = m.var(v1).unwrap();
+        let again = m.and(xa, xb).unwrap();
+        assert_eq!(again, keep_a);
+    }
+
+    #[test]
+    fn compact_is_idempotent_and_keeps_peak() {
+        let mut m = BddManager::new();
+        let d = {
+            for _ in 0..6 {
+                m.new_var();
+            }
+            let mut acc = Bdd::TRUE;
+            for v in 0..6 {
+                let x = m.var(v).unwrap();
+                acc = m.and(acc, x).unwrap();
+            }
+            acc
+        };
+        let _junk = {
+            let a = m.var(0).unwrap();
+            let b = m.var(5).unwrap();
+            m.xor(a, b).unwrap()
+        };
+        let peak_before = m.stats().peak_nodes;
+        let mut roots = [d];
+        let first = m.compact(&mut roots);
+        assert!(first.reclaimed_slots > 0);
+        let second = m.compact(&mut roots);
+        assert_eq!(second.reclaimed_slots, 0, "second pass finds nothing");
+        assert_eq!(second.relocated, 0);
+        assert_eq!(m.stats().peak_nodes, peak_before, "peak is monotone");
+        assert!(m.eval(roots[0], |_| true));
     }
 
     #[test]

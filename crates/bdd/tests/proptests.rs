@@ -124,6 +124,31 @@ proptest! {
     }
 
     #[test]
+    fn compaction_preserves_function_and_squeezes_arena(e in arb_expr(), g in arb_expr()) {
+        // Compile two expressions, drop one, compact: the kept root must be
+        // remapped to an equivalent function, the arena must hold exactly
+        // the live nodes, and rebuilding the dropped expression must still
+        // hash-cons correctly against the compacted tables.
+        let mut m = manager();
+        let f = e.to_bdd(&mut m);
+        let _dropped = g.to_bdd(&mut m);
+        let size_before = m.size(f);
+        let mut roots = [f];
+        let stats = m.compact(&mut roots);
+        let f = roots[0];
+        prop_assert_eq!(stats.live, m.live_nodes());
+        prop_assert_eq!(m.arena_slots(), m.live_nodes());
+        prop_assert_eq!(m.size(f), size_before);
+        for bits in 0u32..1 << NVARS {
+            prop_assert_eq!(m.eval(f, |v| bits >> v & 1 == 1), e.eval(bits));
+        }
+        let g2 = g.to_bdd(&mut m);
+        for bits in 0u32..1 << NVARS {
+            prop_assert_eq!(m.eval(g2, |v| bits >> v & 1 == 1), g.eval(bits));
+        }
+    }
+
+    #[test]
     fn sat_count_matches_brute_force(e in arb_expr()) {
         let mut m = manager();
         let f = e.to_bdd(&mut m);

@@ -102,6 +102,161 @@ fn node_limit_aborts_under_churn_never_corrupt() {
     );
 }
 
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn compaction_churn_preserves_semantics_and_layout() {
+    // Randomized build/insert/delete/GC/compact interleavings. After every
+    // compaction: the free list is fully squeezed out (arena slots == live
+    // nodes), the remapped root still matches the reference model, and the
+    // manager keeps allocating correctly (free-list integrity via reuse).
+    for seed0 in 0..4u64 {
+        let mut m = BddManager::with_capacity(1 << 10);
+        let d1 = m.add_domain(32).unwrap();
+        let d2 = m.add_domain(32).unwrap();
+        let doms = [d1, d2];
+        let mut root = Bdd::FALSE;
+        let mut model: std::collections::BTreeSet<(u64, u64)> = Default::default();
+        let mut seed = 0xC0FFEE ^ seed0;
+        for round in 0..150 {
+            let row = [splitmix(&mut seed) % 32, splitmix(&mut seed) % 32];
+            if splitmix(&mut seed).is_multiple_of(3) {
+                root = m.delete_row(root, &doms, &row).unwrap();
+                model.remove(&(row[0], row[1]));
+            } else {
+                root = m.insert_row(root, &doms, &row).unwrap();
+                model.insert((row[0], row[1]));
+            }
+            // Garbage of varying shape.
+            let junk_rows: Vec<Vec<u64>> = (0..(1 + splitmix(&mut seed) % 20))
+                .map(|_| vec![splitmix(&mut seed) % 32, splitmix(&mut seed) % 32])
+                .collect();
+            let junk = m.relation_from_rows(&doms, &junk_rows).unwrap();
+            let _ = m.xor(root, junk).unwrap();
+            match round % 5 {
+                0 => {
+                    let stats = m.gc(&[root]);
+                    assert_eq!(stats.live, m.live_nodes(), "round {round}: mark/live");
+                }
+                2 => {
+                    let mut roots = [root];
+                    let stats = m.compact(&mut roots);
+                    root = roots[0];
+                    assert_eq!(stats.live, m.live_nodes(), "round {round}: compact live");
+                    assert_eq!(
+                        m.arena_slots(),
+                        m.live_nodes(),
+                        "round {round}: compaction left free slots"
+                    );
+                }
+                _ => {}
+            }
+            assert_eq!(
+                m.tuple_count(root, &doms).unwrap(),
+                model.len() as f64,
+                "seed {seed0} round {round}: root diverged from model"
+            );
+        }
+        // Full-universe membership equality at the end.
+        for a in 0..32u64 {
+            for b in 0..32u64 {
+                assert_eq!(
+                    m.contains(root, &doms, &[a, b]).unwrap(),
+                    model.contains(&(a, b)),
+                    "seed {seed0}: membership of ({a},{b})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn serialize_round_trip_is_stable_across_compaction() {
+    // The export frame is structural (post-order ids), so compaction —
+    // which relocates handles but not structure — must leave the encoded
+    // bytes identical, and the decoded copy semantically equal. This is
+    // what keeps IndexStore warm starts frame-compatible with the arena.
+    let mut m = BddManager::new();
+    let doms = [m.add_domain(64).unwrap(), m.add_domain(64).unwrap()];
+    let mut seed = 99u64;
+    let rows: Vec<Vec<u64>> = (0..300)
+        .map(|_| vec![splitmix(&mut seed) % 64, splitmix(&mut seed) % 64])
+        .collect();
+    let mut root = m.relation_from_rows(&doms, &rows).unwrap();
+    // Junk, then poison the arena with freed slots.
+    let junk = m
+        .relation_from_rows(&doms, &[vec![1, 2], vec![3, 4]])
+        .unwrap();
+    let _ = m.and(root, junk).unwrap();
+    m.gc(&[root]);
+    let before = m.export_relation(root, &doms).unwrap();
+    let mut handles = [root];
+    let stats = m.compact(&mut handles);
+    root = handles[0];
+    assert!(stats.relocated > 0 || stats.reclaimed_slots > 0);
+    let after = m.export_relation(root, &doms).unwrap();
+    assert_eq!(
+        before.to_bytes(),
+        after.to_bytes(),
+        "compaction changed the serialized frame"
+    );
+    // Round-trip into a fresh manager agrees on count and membership.
+    let mut m2 = BddManager::new();
+    let (doms2, root2) = m2.import_relation(&after).unwrap();
+    assert_eq!(
+        m.tuple_count(root, &doms).unwrap(),
+        m2.tuple_count(root2, &doms2).unwrap()
+    );
+    for row in rows.iter().take(25) {
+        assert!(m2.contains(root2, &doms2, row).unwrap());
+    }
+}
+
+#[test]
+fn compaction_after_node_limit_aborts_never_corrupts() {
+    let mut m = BddManager::with_capacity(1 << 10);
+    let doms: Vec<DomainId> = (0..3).map(|_| m.add_domain(64).unwrap()).collect();
+    let base_rows: Vec<Vec<u64>> = (0..100u64)
+        .map(|i| vec![i % 64, i / 64, (i * 7) % 64])
+        .collect();
+    let mut base = m.relation_from_rows(&doms, &base_rows).unwrap();
+    let mut seed = 17u64;
+    let mut aborts = 0;
+    for round in 0..120 {
+        let headroom = (splitmix(&mut seed) % 250) as usize;
+        m.set_node_limit(Some(m.live_nodes() + headroom));
+        let rows: Vec<Vec<u64>> = (0..60)
+            .map(|_| (0..3).map(|_| splitmix(&mut seed) % 64).collect())
+            .collect();
+        match m
+            .relation_from_rows(&doms, &rows)
+            .and_then(|r| m.or(base, r))
+        {
+            Ok(_) => {}
+            Err(BddError::NodeLimit { .. }) => aborts += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        m.set_node_limit(None);
+        // Compact right after a possibly-partial structure was abandoned.
+        let mut roots = [base];
+        m.compact(&mut roots);
+        base = roots[0];
+        assert_eq!(
+            m.tuple_count(base, &doms).unwrap(),
+            100.0,
+            "round {round}: base corrupted after abort+compact"
+        );
+        assert_eq!(m.arena_slots(), m.live_nodes());
+    }
+    assert!(aborts > 0, "the stress must exercise the abort path");
+}
+
 #[test]
 fn canonicity_survives_recycling() {
     // Build the same function repeatedly across GC cycles; the handle must

@@ -29,12 +29,15 @@
 //! Flags: `--rows N` (customer rows, default 100000), `--samples N`
 //! (timed repetitions per configuration, default 3), `--metrics PATH`
 //! (write the schema-version-1 metrics JSON of a 4-worker telemetry run,
-//! the same document `relcheck run --metrics` emits).
+//! the same document `relcheck run --metrics` emits), `--json PATH`
+//! (run the BENCH measurement — serial vs 2/4-worker lanes in both
+//! transfer modes — and write the `BENCH_par_scaling.json` trajectory
+//! document).
 
 use relcheck_bench::{arg_str, arg_usize, ms, Table};
 use relcheck_core::checker::{Checker, CheckerOptions};
 use relcheck_core::parallel::{IndexTransfer, ParallelChecker};
-use relcheck_core::telemetry::{validate_metrics_json, RunMetrics};
+use relcheck_core::telemetry::{validate_bench_json, validate_metrics_json, RunMetrics};
 use relcheck_datagen::customer::{generate, CustomerConfig};
 use relcheck_logic::{parse, Formula};
 use relcheck_relstore::{Database, Relation, Schema};
@@ -224,5 +227,13 @@ fn main() {
         validate_metrics_json(&doc).expect("emitted metrics must be schema-valid");
         std::fs::write(&path, doc).expect("write metrics file");
         println!("metrics written to {path}");
+    }
+
+    // Optional: emit the BENCH trajectory document.
+    if let Some(path) = arg_str("--json") {
+        let doc = relcheck_bench::runs::par_scaling(rows).to_json();
+        validate_bench_json(&doc).expect("emitted bench document must be schema-valid");
+        std::fs::write(&path, doc).expect("write bench file");
+        println!("bench document written to {path}");
     }
 }

@@ -23,6 +23,8 @@
 //! rewrite ablations; `cargo bench -p relcheck-bench` runs them.
 
 pub mod queries;
+pub mod report;
+pub mod runs;
 
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,152 @@
+//! Machine-readable benchmark documents — the committed `BENCH_*.json`
+//! trajectory files.
+//!
+//! Each experiment binary can emit one schema-version-1 document (see
+//! `DESIGN.md` §"BENCH schema") recording, per measured configuration:
+//! wall time in nanoseconds, the manager's arena high-water mark, the
+//! operation-cache hit rate, and the variable ordering that was actually
+//! used. A document additionally carries `comparisons` — honest
+//! before/after pairs measured in the same process on the same host, the
+//! trajectory CI validates with `relcheck bench-check` (the validator
+//! itself lives in `relcheck_core::telemetry::validate_bench_json`, next
+//! to the metrics-schema validator).
+//!
+//! Timing fields (`wall_ns`, `*_before`/`*_after` wall pairs) vary run to
+//! run; every other field is a pure function of the workload seed, which
+//! is what the same-seed determinism test pins.
+
+/// One measured configuration (a query under a variant, a worker count,
+/// an update-stream strategy, …).
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// What was measured (e.g. `"Q3"`, `"workers-4"`, `"bdd-recheck"`).
+    pub name: String,
+    /// The engine configuration it ran under (e.g. `"shared-adaptive"`).
+    pub variant: String,
+    /// Wall-clock time, nanoseconds. The only non-deterministic field.
+    pub wall_ns: u64,
+    /// Manager arena high-water mark after the measurement.
+    pub peak_nodes: u64,
+    /// Operation-cache hit rate over the measured window, in `[0, 1]`
+    /// (`0` when the window performed no cache lookups).
+    pub cache_hit_rate: f64,
+    /// The ordering in effect: an `OrderingStrategy::name()`, an
+    /// `"adaptive:<candidate>"` pick, or `"n/a"` for non-BDD paths.
+    pub ordering: String,
+}
+
+/// An honest before/after pair: both sides measured in this run.
+#[derive(Debug, Clone)]
+pub struct BenchComparison {
+    /// What the comparison is about (e.g. `"table1-total"`).
+    pub name: String,
+    /// The variant measured as "before".
+    pub baseline: String,
+    /// The variant measured as "after".
+    pub candidate: String,
+    /// Baseline wall time, nanoseconds.
+    pub wall_ns_before: u64,
+    /// Candidate wall time, nanoseconds.
+    pub wall_ns_after: u64,
+    /// Baseline arena high-water mark.
+    pub peak_nodes_before: u64,
+    /// Candidate arena high-water mark.
+    pub peak_nodes_after: u64,
+}
+
+/// A full benchmark document for one experiment binary.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Which experiment: `"table1"`, `"par_scaling"`, or `"dynamic"`.
+    pub bench: String,
+    /// The knobs the run was invoked with, in document order.
+    pub config: Vec<(String, u64)>,
+    /// Per-configuration measurements.
+    pub entries: Vec<BenchEntry>,
+    /// Before/after pairs measured in this run.
+    pub comparisons: Vec<BenchComparison>,
+}
+
+/// Current BENCH document schema version.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl BenchReport {
+    /// Serialize to the schema-version-1 JSON document (pretty-printed,
+    /// one entry per line, trailing newline — diff-friendly for a
+    /// committed file).
+    pub fn to_json(&self) -> String {
+        let mut o = String::new();
+        o.push_str("{\n");
+        o.push_str(&format!(
+            "  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"kind\": \"bench\",\n"
+        ));
+        o.push_str(&format!("  \"bench\": \"{}\",\n", esc(&self.bench)));
+        o.push_str("  \"config\": {");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            o.push_str(&format!("\"{}\": {v}", esc(k)));
+        }
+        o.push_str("},\n  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            o.push_str(&format!(
+                "    {{\"name\": \"{}\", \"variant\": \"{}\", \"wall_ns\": {}, \
+                 \"peak_nodes\": {}, \"cache_hit_rate\": {:.4}, \"ordering\": \"{}\"}}{}\n",
+                esc(&e.name),
+                esc(&e.variant),
+                e.wall_ns,
+                e.peak_nodes,
+                e.cache_hit_rate,
+                esc(&e.ordering),
+                if i + 1 < self.entries.len() { "," } else { "" },
+            ));
+        }
+        o.push_str("  ],\n  \"comparisons\": [\n");
+        for (i, c) in self.comparisons.iter().enumerate() {
+            o.push_str(&format!(
+                "    {{\"name\": \"{}\", \"baseline\": \"{}\", \"candidate\": \"{}\", \
+                 \"wall_ns_before\": {}, \"wall_ns_after\": {}, \
+                 \"peak_nodes_before\": {}, \"peak_nodes_after\": {}}}{}\n",
+                esc(&c.name),
+                esc(&c.baseline),
+                esc(&c.candidate),
+                c.wall_ns_before,
+                c.wall_ns_after,
+                c.peak_nodes_before,
+                c.peak_nodes_after,
+                if i + 1 < self.comparisons.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        o.push_str("  ]\n}\n");
+        o
+    }
+}
+
+/// Cache hit rate of a [`relcheck_bdd::StatsDelta`] window, `0.0` when the
+/// window saw no lookups.
+pub fn hit_rate(d: &relcheck_bdd::StatsDelta) -> f64 {
+    let total = d.cache_hits + d.cache_misses;
+    if total == 0 {
+        0.0
+    } else {
+        d.cache_hits as f64 / total as f64
+    }
+}

@@ -1,0 +1,395 @@
+//! Measured runners behind the `--json` flag of the experiment binaries.
+//!
+//! Each runner performs its own, self-contained measurement (separate from
+//! the human-readable tables the binaries print) and returns a
+//! [`BenchReport`] ready to serialize. Keeping the runners in the library
+//! lets the test suite pin the same-seed determinism contract: everything
+//! but the wall-clock fields is a pure function of the workload seed.
+
+use crate::queries;
+use crate::report::{hit_rate, BenchComparison, BenchEntry, BenchReport};
+use relcheck_core::checker::{Checker, CheckerOptions};
+use relcheck_core::ordering::OrderingStrategy;
+use relcheck_core::parallel::{IndexTransfer, ParallelChecker};
+use relcheck_core::registry::ConstraintRegistry;
+use relcheck_datagen::customer::{generate, CustomerConfig};
+use relcheck_datagen::rng::SplitMix64;
+use relcheck_logic::{parse, Formula};
+use relcheck_relstore::{Database, Relation, Schema};
+use std::time::Instant;
+
+const TABLE1_RELATIONS: [&str; 5] = ["R1", "R2", "STUDENT", "COURSE", "TAKES"];
+
+/// The relation whose index dominates each Table 1 query, for the
+/// "ordering chosen" column.
+fn primary_relation(query: &str) -> &'static str {
+    if query == "Q5" {
+        "STUDENT"
+    } else {
+        "R1"
+    }
+}
+
+/// Table 1 before/after: the engine as configured before this line of
+/// work (per-constraint atom compilation, static Prob-Converge ordering)
+/// against the shared-subgraph manager with workload-adaptive ordering.
+/// Both variants run the identical warm-up + rebuild + timed-pass
+/// protocol so the comparison isolates the configuration, not cache
+/// warmth. Per-query wall time is the minimum over `samples` timed
+/// passes (sub-millisecond checks need it on a noisy host); the cache
+/// hit rate is taken from the first pass so it stays deterministic.
+pub fn table1(tuples: usize, samples: usize) -> BenchReport {
+    let samples = samples.max(1);
+    let variants: [(&str, CheckerOptions); 2] = [
+        (
+            "unshared-static",
+            CheckerOptions {
+                share_subgraphs: false,
+                ordering: OrderingStrategy::ProbConverge,
+                ..Default::default()
+            },
+        ),
+        (
+            "shared-adaptive",
+            CheckerOptions {
+                share_subgraphs: true,
+                ordering: OrderingStrategy::Adaptive,
+                ..Default::default()
+            },
+        ),
+    ];
+    let qs = queries::queries();
+    let mut entries = Vec::new();
+    let mut totals = Vec::new();
+    for (variant, opts) in variants {
+        let mut ck = Checker::new(queries::build(tuples, 77), opts);
+        for rel in TABLE1_RELATIONS {
+            ck.ensure_index(rel).unwrap();
+        }
+        // Warm-up pass: records the column workload (which the adaptive
+        // variant's rebuild consumes) and warms caches identically for
+        // both variants.
+        for (_, q) in &qs {
+            ck.check(q).unwrap();
+        }
+        for rel in TABLE1_RELATIONS {
+            ck.rebuild_index(rel).unwrap();
+        }
+        ck.logical_db_mut().gc();
+        let mut total_ns = 0u64;
+        for (name, q) in &qs {
+            let before = ck.logical_db().manager().stats();
+            let t0 = Instant::now();
+            ck.check(q).unwrap();
+            let mut wall_ns = t0.elapsed().as_nanos() as u64;
+            let stats = ck.logical_db().manager().stats();
+            for _ in 1..samples {
+                let t0 = Instant::now();
+                ck.check(q).unwrap();
+                wall_ns = wall_ns.min(t0.elapsed().as_nanos() as u64);
+            }
+            let ordering = match ck.logical_db().adaptive_pick(primary_relation(name)) {
+                Some(pick) => format!("adaptive:{pick}"),
+                None => opts.ordering.name().to_owned(),
+            };
+            total_ns += wall_ns;
+            entries.push(BenchEntry {
+                name: (*name).to_owned(),
+                variant: variant.to_owned(),
+                wall_ns,
+                peak_nodes: stats.peak_nodes as u64,
+                cache_hit_rate: hit_rate(&stats.delta_since(&before)),
+                ordering,
+            });
+        }
+        totals.push((
+            total_ns,
+            ck.logical_db().manager().stats().peak_nodes as u64,
+        ));
+    }
+    BenchReport {
+        bench: "table1".to_owned(),
+        config: vec![
+            ("tuples".to_owned(), tuples as u64),
+            ("samples".to_owned(), samples as u64),
+            ("seed".to_owned(), 77),
+        ],
+        entries,
+        comparisons: vec![BenchComparison {
+            name: "table1-total".to_owned(),
+            baseline: "unshared-static".to_owned(),
+            candidate: "shared-adaptive".to_owned(),
+            wall_ns_before: totals[0].0,
+            wall_ns_after: totals[1].0,
+            peak_nodes_before: totals[0].1,
+            peak_nodes_after: totals[1].1,
+        }],
+    }
+}
+
+fn customer_db(rows: usize, violation_rate: f64) -> Database {
+    let data = generate(&CustomerConfig {
+        rows,
+        dom_sizes: [100, 889, 2000, 40, 3000],
+        violation_rate,
+        seed: 11,
+    });
+    let mut db = Database::new();
+    for (class, size) in [
+        ("areacode", data.dom_sizes[0]),
+        ("city", data.dom_sizes[2]),
+        ("state", data.dom_sizes[3]),
+    ] {
+        db.ensure_class_size(class, size);
+    }
+    let cust = Relation::from_rows(
+        Schema::new(&[
+            ("areacode", "areacode"),
+            ("city", "city"),
+            ("state", "state"),
+        ]),
+        data.relation.rows().map(|r| vec![r[0], r[2], r[3]]),
+    )
+    .unwrap();
+    db.insert_relation("CUST", cust).unwrap();
+    let cs: Vec<Vec<u32>> = (0..data.dom_sizes[2] as u32)
+        .map(|c| vec![c, data.city_state[c as usize]])
+        .collect();
+    db.insert_relation(
+        "CITY_STATE",
+        Relation::from_rows(Schema::new(&[("city", "city"), ("state", "state")]), cs).unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+fn customer_battery() -> Vec<(String, Formula)> {
+    [
+        (
+            "reference-agrees",
+            "forall a, c, s, s2. CUST(a, c, s) & CITY_STATE(c, s2) -> s = s2",
+        ),
+        (
+            "city-determines-state",
+            "forall a1, c, s1, a2, s2. CUST(a1, c, s1) & CUST(a2, c, s2) -> s1 = s2",
+        ),
+        (
+            "areacode-determines-state",
+            "forall a, c1, s1, c2, s2. CUST(a, c1, s1) & CUST(a, c2, s2) -> s1 = s2",
+        ),
+        (
+            "cities-are-known",
+            "forall a, c, s. CUST(a, c, s) -> exists s2. CITY_STATE(c, s2)",
+        ),
+        (
+            "reference-is-functional",
+            "forall c, s1, s2. CITY_STATE(c, s1) & CITY_STATE(c, s2) -> s1 = s2",
+        ),
+    ]
+    .into_iter()
+    .map(|(n, s)| (n.to_owned(), parse(s).unwrap()))
+    .collect()
+}
+
+/// Parallel scaling: the serial engine against the parallel engine at 2
+/// and 4 workers in both index-transfer modes. The per-lane arena
+/// high-water mark (the largest any one lane's manager grew) is the
+/// `peak_nodes` of a parallel entry; the before/after pair contrasts the
+/// serial manager's peak with that sharded worst case.
+pub fn par_scaling(rows: usize) -> BenchReport {
+    let db = customer_db(rows, 0.001);
+    let battery = customer_battery();
+    let ordering = CheckerOptions::default().ordering.name().to_owned();
+    let mut entries = Vec::new();
+
+    let mut ck = Checker::new(db.clone(), CheckerOptions::default());
+    let t0 = Instant::now();
+    let serial_reports = ck.check_all(&battery).unwrap();
+    let serial_wall = t0.elapsed().as_nanos() as u64;
+    let serial_stats = ck.logical_db().manager().stats();
+    let serial_peak = serial_stats.peak_nodes as u64;
+    entries.push(BenchEntry {
+        name: "serial".to_owned(),
+        variant: "serial".to_owned(),
+        wall_ns: serial_wall,
+        peak_nodes: serial_peak,
+        cache_hit_rate: hit_rate(&serial_stats.delta_since(&Default::default())),
+        ordering: ordering.clone(),
+    });
+
+    let mut snapshot4 = (0u64, 0u64);
+    for workers in [2usize, 4] {
+        for transfer in [IndexTransfer::Snapshot, IndexTransfer::Rebuild] {
+            let pc = ParallelChecker::new(db.clone(), CheckerOptions::default(), workers)
+                .with_transfer(transfer);
+            let t0 = Instant::now();
+            let (reports, fleet) = pc.check_all_telemetry(&battery).unwrap();
+            let wall_ns = t0.elapsed().as_nanos() as u64;
+            for ((wn, w), (gn, g)) in serial_reports.iter().zip(&reports) {
+                assert_eq!(wn, gn);
+                assert_eq!(w.holds, g.holds, "{wn}: parallel diverged from serial");
+            }
+            let peak_nodes = fleet.workers.iter().map(|w| w.peak_nodes).max().unwrap() as u64;
+            let variant = match transfer {
+                IndexTransfer::Snapshot => "snapshot",
+                IndexTransfer::Rebuild => "rebuild",
+            };
+            if workers == 4 && transfer == IndexTransfer::Snapshot {
+                snapshot4 = (wall_ns, peak_nodes);
+            }
+            entries.push(BenchEntry {
+                name: format!("workers-{workers}"),
+                variant: variant.to_owned(),
+                wall_ns,
+                peak_nodes,
+                cache_hit_rate: hit_rate(&fleet.total),
+                ordering: ordering.clone(),
+            });
+        }
+    }
+    BenchReport {
+        bench: "par_scaling".to_owned(),
+        config: vec![("rows".to_owned(), rows as u64), ("seed".to_owned(), 11)],
+        entries,
+        comparisons: vec![BenchComparison {
+            name: "serial-vs-4-workers".to_owned(),
+            baseline: "serial".to_owned(),
+            candidate: "snapshot-4".to_owned(),
+            wall_ns_before: serial_wall,
+            wall_ns_after: snapshot4.0,
+            peak_nodes_before: serial_peak,
+            peak_nodes_after: snapshot4.1,
+        }],
+    }
+}
+
+/// Update-stream re-validation: per-batch SQL recheck vs full BDD recheck
+/// vs registry-filtered BDD recheck. `wall_ns` is the total validation
+/// time across all batches (maintenance excluded — it is identical work
+/// for the BDD strategies and near-free for SQL).
+pub fn dynamic(rows: usize, batches: usize, batch_size: usize) -> BenchReport {
+    let cs = customer_battery();
+    let dom = [100u64, 2000, 40];
+    let apply_batch = |ck: &mut Checker, rng: &mut SplitMix64| {
+        for _ in 0..batch_size {
+            let row = [
+                rng.gen_range(0..dom[0]) as u32,
+                rng.gen_range(0..dom[1]) as u32,
+                rng.gen_range(0..dom[2]) as u32,
+            ];
+            let fresh = ck.logical_db_mut().insert_tuple("CUST", &row).unwrap();
+            if fresh {
+                ck.logical_db_mut().delete_tuple("CUST", &row).unwrap();
+            }
+        }
+    };
+    let mut entries = Vec::new();
+    let mut verdict_log: Vec<Vec<bool>> = Vec::new();
+
+    // SQL recheck — no logical index, no BDD work.
+    {
+        let mut ck = Checker::new(customer_db(rows, 0.0), CheckerOptions::default());
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let mut wall_ns = 0u64;
+        for _ in 0..batches {
+            apply_batch(&mut ck, &mut rng);
+            let t0 = Instant::now();
+            let vs: Vec<bool> = cs
+                .iter()
+                .map(|(_, f)| ck.check_sql(f).unwrap().holds)
+                .collect();
+            wall_ns += t0.elapsed().as_nanos() as u64;
+            verdict_log.push(vs);
+        }
+        entries.push(BenchEntry {
+            name: "sql-recheck".to_owned(),
+            variant: "per-batch-validate".to_owned(),
+            wall_ns,
+            peak_nodes: 0,
+            cache_hit_rate: 0.0,
+            ordering: "n/a".to_owned(),
+        });
+    }
+
+    // The two BDD strategies share options and index warm-up.
+    let opts = CheckerOptions {
+        gc_between_checks: false,
+        ..Default::default()
+    };
+    let bdd_measure = |registry: bool| -> (u64, u64, f64, Vec<Vec<bool>>) {
+        let mut ck = Checker::new(customer_db(rows, 0.0), opts);
+        for rel in ["CUST", "CITY_STATE"] {
+            ck.ensure_index(rel).unwrap();
+        }
+        let mut reg = ConstraintRegistry::new();
+        if registry {
+            for (n, f) in &cs {
+                reg.register(n, f.clone());
+            }
+            reg.validate_all(&mut ck).unwrap();
+        }
+        let before = ck.logical_db().manager().stats();
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let mut wall_ns = 0u64;
+        let mut log = Vec::new();
+        for batch in 0..batches {
+            apply_batch(&mut ck, &mut rng);
+            let t0 = Instant::now();
+            let vs: Vec<bool> = if registry {
+                reg.revalidate(&mut ck, &["CUST"])
+                    .unwrap()
+                    .iter()
+                    .map(|(_, v)| v.holds())
+                    .collect()
+            } else {
+                cs.iter().map(|(_, f)| ck.check(f).unwrap().holds).collect()
+            };
+            wall_ns += t0.elapsed().as_nanos() as u64;
+            log.push(vs);
+            if batch % 8 == 7 {
+                ck.logical_db_mut().gc();
+            }
+        }
+        let stats = ck.logical_db().manager().stats();
+        (
+            wall_ns,
+            stats.peak_nodes as u64,
+            hit_rate(&stats.delta_since(&before)),
+            log,
+        )
+    };
+    let ordering = opts.ordering.name().to_owned();
+    let mut comparison_sides = Vec::new();
+    for (name, registry) in [("bdd-recheck", false), ("bdd-registry", true)] {
+        let (wall_ns, peak_nodes, rate, log) = bdd_measure(registry);
+        assert_eq!(log, verdict_log, "{name}: verdicts diverged from SQL");
+        comparison_sides.push((wall_ns, peak_nodes));
+        entries.push(BenchEntry {
+            name: name.to_owned(),
+            variant: "per-batch-validate".to_owned(),
+            wall_ns,
+            peak_nodes,
+            cache_hit_rate: rate,
+            ordering: ordering.clone(),
+        });
+    }
+    BenchReport {
+        bench: "dynamic".to_owned(),
+        config: vec![
+            ("rows".to_owned(), rows as u64),
+            ("batches".to_owned(), batches as u64),
+            ("batch_size".to_owned(), batch_size as u64),
+            ("seed".to_owned(), 5),
+        ],
+        entries,
+        comparisons: vec![BenchComparison {
+            name: "full-recheck-vs-registry".to_owned(),
+            baseline: "bdd-recheck".to_owned(),
+            candidate: "bdd-registry".to_owned(),
+            wall_ns_before: comparison_sides[0].0,
+            wall_ns_after: comparison_sides[1].0,
+            peak_nodes_before: comparison_sides[0].1,
+            peak_nodes_after: comparison_sides[1].1,
+        }],
+    }
+}

@@ -1,0 +1,134 @@
+//! BENCH trajectory documents: schema validity and same-seed determinism.
+//!
+//! The committed `BENCH_*.json` files are only trustworthy if (a) the
+//! emitters always produce schema-valid documents, (b) everything except
+//! wall-clock fields is a pure function of the workload seed (so a diff
+//! in a committed file means the engine changed, not the weather), and
+//! (c) the validator actually rejects malformed documents.
+
+use relcheck_bench::runs;
+use relcheck_core::telemetry::{parse_json, validate_bench_json, Json};
+
+/// Drop the wall-clock fields (the only legitimately non-deterministic
+/// ones) from a parsed document, recursively.
+fn strip_timing(v: &Json) -> Json {
+    match v {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| {
+                    !matches!(k.as_str(), "wall_ns" | "wall_ns_before" | "wall_ns_after")
+                })
+                .map(|(k, val)| (k.clone(), strip_timing(val)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(strip_timing).collect()),
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn table1_doc_is_valid_and_deterministic_modulo_timing() {
+    let a = runs::table1(2_000, 1).to_json();
+    let b = runs::table1(2_000, 1).to_json();
+    validate_bench_json(&a).unwrap();
+    validate_bench_json(&b).unwrap();
+    assert_eq!(
+        strip_timing(&parse_json(&a).unwrap()),
+        strip_timing(&parse_json(&b).unwrap()),
+        "same seed must reproduce every non-timing field"
+    );
+    // The honest before/after pair the trajectory is anchored on.
+    let doc = parse_json(&a).unwrap();
+    let comparisons = doc.get("comparisons").unwrap().as_arr().unwrap();
+    assert!(!comparisons.is_empty());
+    // The adaptive variant actually reports a pick, not the fallback.
+    let entries = doc.get("entries").unwrap().as_arr().unwrap();
+    assert!(entries
+        .iter()
+        .filter(|e| e.get("variant").unwrap().as_str() == Some("shared-adaptive"))
+        .all(|e| e
+            .get("ordering")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("adaptive:")));
+}
+
+#[test]
+fn dynamic_doc_is_valid_and_deterministic_modulo_timing() {
+    let a = runs::dynamic(2_000, 3, 20).to_json();
+    let b = runs::dynamic(2_000, 3, 20).to_json();
+    validate_bench_json(&a).unwrap();
+    validate_bench_json(&b).unwrap();
+    assert_eq!(
+        strip_timing(&parse_json(&a).unwrap()),
+        strip_timing(&parse_json(&b).unwrap()),
+    );
+}
+
+#[test]
+fn par_scaling_doc_is_valid() {
+    let doc = runs::par_scaling(2_000).to_json();
+    validate_bench_json(&doc).unwrap();
+    // Worker-lane peaks are per-lane arenas: each must stay at or below
+    // the serial manager's peak on the same battery.
+    let parsed = parse_json(&doc).unwrap();
+    let entries = parsed.get("entries").unwrap().as_arr().unwrap();
+    let serial_peak = entries[0].get("peak_nodes").unwrap().as_int().unwrap();
+    for e in &entries[1..] {
+        assert!(e.get("peak_nodes").unwrap().as_int().unwrap() <= serial_peak);
+    }
+}
+
+#[test]
+fn validator_rejects_malformed_documents() {
+    let good = runs::table1(2_000, 1).to_json();
+    validate_bench_json(&good).unwrap();
+    for (label, bad) in [
+        (
+            "version",
+            good.replace("\"schema_version\": 1", "\"schema_version\": 9"),
+        ),
+        (
+            "kind",
+            good.replace("\"kind\": \"bench\"", "\"kind\": \"metrics\""),
+        ),
+        (
+            "bench name",
+            good.replace("\"bench\": \"table1\"", "\"bench\": \"table9\""),
+        ),
+        (
+            "ordering",
+            good.replace(
+                "\"ordering\": \"prob-converge\"",
+                "\"ordering\": \"alphabetical\"",
+            ),
+        ),
+        (
+            "hit rate range",
+            good.replace("\"cache_hit_rate\": 0.", "\"cache_hit_rate\": 7."),
+        ),
+        (
+            "entry field",
+            good.replace("\"peak_nodes\"", "\"peek_nodes\""),
+        ),
+        (
+            "comparison required",
+            good.replace("\"wall_ns_before\"", "\"wall_ns_befor\""),
+        ),
+    ] {
+        assert!(bad != good, "{label}: tamper did not apply");
+        assert!(
+            validate_bench_json(&bad).is_err(),
+            "{label}: validator accepted a malformed document"
+        );
+    }
+    // table1 must carry at least one comparison.
+    let stripped = {
+        let start = good.find("\"comparisons\": [").unwrap();
+        let end = good[start..].find(']').unwrap() + start;
+        format!("{}\"comparisons\": [{}", &good[..start], &good[end..])
+    };
+    assert!(validate_bench_json(&stripped).is_err());
+}

@@ -62,6 +62,13 @@ pub struct CheckerOptions {
     /// [`BddError::Deadline`], which escalates down the degradation ladder
     /// exactly like a node-budget abort. `None` = no deadline.
     pub deadline: Option<Duration>,
+    /// Reuse compiled atom subgraphs across constraints over the same
+    /// relations (the [`crate::index::AtomAction`]-keyed cache). Sharing
+    /// never changes a verdict — a compiled atom is a pure function of the
+    /// index root and its action list — so this is on by default; `false`
+    /// is the escape hatch and the baseline side of the sharing
+    /// differential suite.
+    pub share_subgraphs: bool,
 }
 
 impl Default for CheckerOptions {
@@ -73,6 +80,7 @@ impl Default for CheckerOptions {
             gc_between_checks: true,
             telemetry: false,
             deadline: None,
+            share_subgraphs: true,
         }
     }
 }
@@ -312,6 +320,7 @@ impl Checker {
     pub fn new(db: relcheck_relstore::Database, opts: CheckerOptions) -> Checker {
         let mut ldb = LogicalDatabase::new(db);
         ldb.manager_mut().set_node_limit(opts.node_limit);
+        ldb.set_subgraph_sharing(opts.share_subgraphs);
         Checker {
             ldb,
             opts,
@@ -373,6 +382,7 @@ impl Checker {
             // makes the relation SQL-only instead of failing the check:
             // every later reference routes through the fallback ladder.
             Err(e) if budget_abort(&e).is_some() => {
+                self.ldb.shed_atom_cache();
                 self.ldb.gc();
                 self.sql_only.insert(name.to_owned());
                 Ok(false)
@@ -621,6 +631,10 @@ impl Checker {
                     let Some(abort) = budget_abort(&e) else {
                         return Err(e);
                     };
+                    // Under memory pressure the cache is the first thing to
+                    // go: shedding it makes the retry (and every later
+                    // rung) see the same headroom an unshared manager has.
+                    self.ldb.shed_atom_cache();
                     self.ldb.gc();
                     if matches!(abort, BddError::NodeLimit { .. }) {
                         // Rung 2: the GC may have freed enough scratch from
@@ -635,6 +649,7 @@ impl Checker {
                                 let Some(abort2) = budget_abort(&e2) else {
                                     return Err(e2);
                                 };
+                                self.ldb.shed_atom_cache();
                                 self.ldb.gc();
                                 fallback = Some(match abort2 {
                                     BddError::NodeLimit { limit, live } => {
@@ -818,6 +833,7 @@ impl Checker {
                     // unwind point (no unsafe code); disarm the deadline
                     // and drop scratch so the next constraint starts clean.
                     self.ldb.manager_mut().set_deadline(None);
+                    self.ldb.shed_atom_cache();
                     self.ldb.gc();
                     out.push((
                         name.clone(),
@@ -931,6 +947,7 @@ impl Checker {
             }
             Ok(None) => Ok(None),
             Err(e) if budget_abort(&e).is_some() => {
+                self.ldb.shed_atom_cache();
                 self.ldb.gc();
                 Ok(None)
             }

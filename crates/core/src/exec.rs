@@ -16,7 +16,7 @@
 //! `relcheck-logic`).
 
 use crate::error::{CoreError, Result};
-use crate::index::LogicalDatabase;
+use crate::index::{AtomAction, LogicalDatabase};
 use crate::plan::{BddStep, BddTest, PlanOptions, SqlStep};
 use crate::planner::{apply_pushdown, collect_atoms, rebuild};
 use crate::sqlgen::Shape;
@@ -302,14 +302,22 @@ impl Compiler<'_> {
             .index(relation)
             .ok_or_else(|| CoreError::MissingIndex(relation.to_owned()))?
             .clone();
+        // Feed the adaptive-ordering workload: constants weigh 1 (one
+        // restrict), variables 2 (join/rename traffic dominates descent
+        // depth). Recorded whether or not the cache hits below.
+        let usage: Vec<u64> = args
+            .iter()
+            .map(|t| match t {
+                Term::Const(_) => 1,
+                Term::Var(_) => 2,
+            })
+            .collect();
+        self.ldb.record_column_use(relation, &usage);
         // Resolve argument actions against the database before touching the
-        // manager (split borrows).
-        enum Action {
-            Pin(DomainId, u64),
-            RenameTo(DomainId, DomainId),
-            EqualTo(DomainId, DomainId),
-        }
-        let mut actions = Vec::with_capacity(args.len());
+        // manager (split borrows). The action list is also the subgraph
+        // cache key: the compiled BDD is a pure function of (index root,
+        // actions), so equal lists reuse one compilation.
+        let mut actions: Vec<AtomAction> = Vec::with_capacity(args.len());
         {
             let db = self.ldb.db();
             let rel = db.relation(relation)?;
@@ -323,7 +331,7 @@ impl Compiler<'_> {
                             // A constant outside the active domain: the atom
                             // is unsatisfiable.
                             None => return Ok(Bdd::FALSE),
-                            Some(code) => actions.push(Action::Pin(col_dom, code as u64)),
+                            Some(code) => actions.push(AtomAction::Pin(col_dom, code as u64)),
                         }
                     }
                     Term::Var(v) => {
@@ -333,22 +341,44 @@ impl Compiler<'_> {
                             // The variable claimed this very column: the
                             // atom already speaks its language.
                         } else if first && self.join_rename {
-                            actions.push(Action::RenameTo(col_dom, var_dom));
+                            actions.push(AtomAction::Rename(col_dom, var_dom));
                         } else {
                             // Repeated variable, or the naive equality-cube
                             // strategy: conjoin an equality and project the
                             // column block away.
-                            actions.push(Action::EqualTo(col_dom, var_dom));
+                            actions.push(AtomAction::Equal(col_dom, var_dom));
                         }
                     }
                 }
             }
         }
+        let renames: Vec<(DomainId, DomainId)> = actions
+            .iter()
+            .filter_map(|a| match a {
+                // Variables that claimed this very column need no move.
+                AtomAction::Rename(from, to) if from != to => Some((*from, *to)),
+                _ => None,
+            })
+            .collect();
+        if let Some(cached) = self.ldb.atom_cache_get(relation, &actions) {
+            // The R2 rewrite conceptually fired even though the rename was
+            // served from the cache — telemetry stays identical to a cold
+            // compile.
+            if !renames.is_empty() {
+                if let Some(rs) = self.rules.as_deref_mut() {
+                    rs.push(RuleFiring {
+                        rule: RewriteRule::R2JoinRename,
+                        count: renames.len() as u64,
+                    });
+                }
+            }
+            return Ok(cached);
+        }
         let mgr = self.ldb.manager_mut();
         let mut cur = idx.root;
         // 1. Pin constants (restrict: removes the block's variables).
         for a in &actions {
-            if let Action::Pin(d, code) = a {
+            if let AtomAction::Pin(d, code) = a {
                 let cube = mgr.value_cube(*d, *code)?;
                 cur = mgr.restrict(cur, cube)?;
             }
@@ -356,14 +386,6 @@ impl Compiler<'_> {
         // 2. Rename first-occurrence variable columns into query domains —
         //    the §4.2 rewrite: one linear-cost pass instead of equality
         //    conjunctions.
-        let renames: Vec<(DomainId, DomainId)> = actions
-            .iter()
-            .filter_map(|a| match a {
-                // Variables that claimed this very column need no move.
-                Action::RenameTo(from, to) if from != to => Some((*from, *to)),
-                _ => None,
-            })
-            .collect();
         if !renames.is_empty() {
             cur = mgr.replace_domains(cur, &renames)?;
             if let Some(rs) = self.rules.as_deref_mut() {
@@ -378,7 +400,7 @@ impl Compiler<'_> {
         //    blocks away.
         let mut quantify_out = Vec::new();
         for a in &actions {
-            if let Action::EqualTo(col_dom, var_dom) = a {
+            if let AtomAction::Equal(col_dom, var_dom) = a {
                 let eq = mgr.domain_eq(*col_dom, *var_dom)?;
                 cur = mgr.and(cur, eq)?;
                 quantify_out.push(*col_dom);
@@ -388,6 +410,7 @@ impl Compiler<'_> {
             let vs = mgr.domain_varset(&quantify_out);
             cur = mgr.exists(cur, vs)?;
         }
+        self.ldb.atom_cache_put(relation, actions, cur);
         Ok(cur)
     }
 

@@ -125,6 +125,34 @@ impl IndexSnapshot {
     }
 }
 
+/// One argument's resolved effect on a relation index — the
+/// manager-independent shape of what [`crate::exec`] does to compile an
+/// atom. A compiled atom is a pure function of the index root plus its
+/// action list, so `(relation, actions)` keys the shared-subgraph cache:
+/// two constraints mentioning the same `R(x, y)` shape resolve to equal
+/// keys and reuse one compiled BDD instead of re-running the restricts and
+/// renames per constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomAction {
+    /// Pin a column block to a dictionary code (constant argument).
+    Pin(DomainId, u64),
+    /// Rename a column block into a variable's query domain (§4.2).
+    Rename(DomainId, DomainId),
+    /// Conjoin equality with a variable's domain, then project the column
+    /// block away (repeated variables, or the naive join strategy).
+    Equal(DomainId, DomainId),
+}
+
+/// A cached compiled atom: valid while the data version and the source
+/// index root both still match (a rebuild under a different ordering can
+/// change the root without bumping the version).
+#[derive(Debug, Clone, Copy)]
+struct CachedAtom {
+    version: u64,
+    index_root: Bdd,
+    result: Bdd,
+}
+
 /// A database plus its BDD logical indices.
 pub struct LogicalDatabase {
     mgr: BddManager,
@@ -133,6 +161,12 @@ pub struct LogicalDatabase {
     class_sizes: HashMap<String, u64>,
     query_pools: HashMap<String, Vec<DomainId>>,
     version: u64,
+    atom_cache: HashMap<(String, Vec<AtomAction>), CachedAtom>,
+    atom_hits: u64,
+    atom_misses: u64,
+    sharing: bool,
+    workload: HashMap<String, Vec<u64>>,
+    adaptive_picks: HashMap<String, &'static str>,
 }
 
 impl LogicalDatabase {
@@ -145,7 +179,121 @@ impl LogicalDatabase {
             class_sizes: HashMap::new(),
             query_pools: HashMap::new(),
             version: 0,
+            atom_cache: HashMap::new(),
+            atom_hits: 0,
+            atom_misses: 0,
+            sharing: true,
+            workload: HashMap::new(),
+            adaptive_picks: HashMap::new(),
         }
+    }
+
+    /// Add `col_weights[i]` to column `i`'s recorded access weight for a
+    /// relation. The executor calls this once per compiled atom (cache
+    /// hits included), so the weights mirror the observed check workload —
+    /// the feature set [`OrderingStrategy::Adaptive`] scores candidate
+    /// orderings against on the next index (re)build.
+    pub fn record_column_use(&mut self, relation: &str, col_weights: &[u64]) {
+        let w = self
+            .workload
+            .entry(relation.to_owned())
+            .or_insert_with(|| vec![0; col_weights.len()]);
+        if w.len() < col_weights.len() {
+            w.resize(col_weights.len(), 0);
+        }
+        for (t, &d) in w.iter_mut().zip(col_weights) {
+            *t = t.saturating_add(d);
+        }
+    }
+
+    /// The recorded per-column access weights for a relation, if any check
+    /// has touched it.
+    pub fn column_weights(&self, relation: &str) -> Option<&[u64]> {
+        self.workload.get(relation).map(Vec::as_slice)
+    }
+
+    /// Which candidate shape the last adaptive build of this relation's
+    /// index picked (`"static"` when the fallback ordering won, else
+    /// `"concatenated"` / `"frequency"` / `"interleaved"`), or `None` if
+    /// the index was never built adaptively from a workload.
+    pub fn adaptive_pick(&self, relation: &str) -> Option<&'static str> {
+        self.adaptive_picks.get(relation).copied()
+    }
+
+    /// Enable or disable the shared-subgraph atom cache (enabled by
+    /// default). Disabling drops every cached entry — the escape hatch
+    /// behind `CheckerOptions::share_subgraphs`, and the baseline side of
+    /// the sharing differential tests.
+    pub fn set_subgraph_sharing(&mut self, on: bool) {
+        self.sharing = on;
+        if !on {
+            self.atom_cache.clear();
+        }
+    }
+
+    /// Is the shared-subgraph atom cache enabled?
+    pub fn subgraph_sharing(&self) -> bool {
+        self.sharing
+    }
+
+    /// Look up a compiled atom. A hit requires the stored entry to match
+    /// the current data version *and* the relation's current index root.
+    pub fn atom_cache_get(&mut self, relation: &str, key: &[AtomAction]) -> Option<Bdd> {
+        if !self.sharing {
+            return None;
+        }
+        let cur_root = self.indices.get(relation)?.root;
+        match self.atom_cache.get(&(relation.to_owned(), key.to_vec())) {
+            Some(c) if c.version == self.version && c.index_root == cur_root => {
+                self.atom_hits += 1;
+                Some(c.result)
+            }
+            _ => {
+                self.atom_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Install a compiled atom under the current data version. The cached
+    /// root is protected by [`LogicalDatabase::gc`] until it goes stale.
+    pub fn atom_cache_put(&mut self, relation: &str, key: Vec<AtomAction>, result: Bdd) {
+        if !self.sharing {
+            return;
+        }
+        let Some(idx) = self.indices.get(relation) else {
+            return;
+        };
+        let entry = CachedAtom {
+            version: self.version,
+            index_root: idx.root,
+            result,
+        };
+        self.atom_cache.insert((relation.to_owned(), key), entry);
+    }
+
+    /// `(hits, misses)` observed by the shared-subgraph atom cache.
+    pub fn atom_cache_stats(&self) -> (u64, u64) {
+        (self.atom_hits, self.atom_misses)
+    }
+
+    /// Drop every shared-subgraph cache entry, keeping sharing enabled —
+    /// the memory-pressure valve. The degradation ladder sheds the cache
+    /// on any node-budget abort before its GC-retry, so a tight budget
+    /// behaves exactly like an unshared manager instead of failing checks
+    /// that would fit without the cache's pinned roots.
+    pub fn shed_atom_cache(&mut self) {
+        self.atom_cache.clear();
+    }
+
+    /// Drop atom-cache entries that no longer match the current data
+    /// version or their relation's current index root.
+    fn prune_atom_cache(&mut self) {
+        let version = self.version;
+        let indices = &self.indices;
+        self.atom_cache.retain(|(rel, _), c| {
+            c.version == version && indices.get(rel).is_some_and(|i| i.root == c.index_root)
+        });
     }
 
     /// A monotone counter bumped by every operation that can change what a
@@ -247,7 +395,41 @@ impl LogicalDatabase {
             .into_iter()
             .map(|class| self.class_domain_size(&class))
             .collect();
-        let ordering = strategy.order(&rel, &dom_sizes);
+        let ordering = match strategy {
+            // The weight-aware adaptive path: score the candidate shapes
+            // against this relation's recorded workload; a build before any
+            // check ran (no weights) uses the strategy's static fallback.
+            OrderingStrategy::Adaptive
+                if self
+                    .workload
+                    .get(name)
+                    .is_some_and(|w| w.iter().any(|&x| x > 0)) =>
+            {
+                let mut weights = self.workload[name].clone();
+                weights.resize(rel.arity(), 0);
+                let bits: Vec<u32> = dom_sizes
+                    .iter()
+                    .map(|&s| relcheck_bdd::order::block_bits(s))
+                    .collect();
+                // The static fallback competes as a candidate in first
+                // position: on a tie (e.g. a flat workload) adaptive
+                // defers to it, so by its own cost model the pick is
+                // never worse than not adapting at all.
+                let mut cands = vec![("static", strategy.order(&rel, &dom_sizes))];
+                cands.extend(relcheck_bdd::order::candidates(&weights));
+                let mut best: Option<(&'static str, Vec<usize>, u128)> = None;
+                for (cand, order) in cands {
+                    let cost = relcheck_bdd::order::score(&order, &weights, &bits);
+                    if best.as_ref().is_none_or(|(_, _, b)| cost < *b) {
+                        best = Some((cand, order, cost));
+                    }
+                }
+                let (picked, order, _) = best.unwrap();
+                self.adaptive_picks.insert(name.to_owned(), picked);
+                order
+            }
+            _ => strategy.order(&rel, &dom_sizes),
+        };
         let mut domains: Vec<Option<DomainId>> = vec![None; rel.arity()];
         for &col in &ordering {
             domains[col] = Some(self.mgr.add_domain(dom_sizes[col])?);
@@ -382,10 +564,44 @@ impl LogicalDatabase {
         Ok(())
     }
 
-    /// Garbage-collect everything except the index roots.
+    /// Garbage-collect everything except the index roots and the still-valid
+    /// shared-subgraph cache entries (stale entries are pruned first so they
+    /// don't pin dead nodes).
     pub fn gc(&mut self) -> GcStats {
-        let roots: Vec<Bdd> = self.indices.values().map(|i| i.root).collect();
+        self.prune_atom_cache();
+        let mut roots: Vec<Bdd> = self.indices.values().map(|i| i.root).collect();
+        roots.extend(self.atom_cache.values().map(|c| c.result));
         self.mgr.gc(&roots)
+    }
+
+    /// Squeeze freed slots out of the manager's arena, rewriting the index
+    /// roots and atom cache to the relocated handles. Unlike
+    /// [`LogicalDatabase::gc`] this *shrinks* the arena (and restores its
+    /// cache-line density after churn), but it invalidates any [`Bdd`]
+    /// handle not owned by this database — callers must not hold BDDs
+    /// across it.
+    pub fn compact(&mut self) -> relcheck_bdd::CompactStats {
+        self.prune_atom_cache();
+        let names: Vec<String> = {
+            let mut n: Vec<String> = self.indices.keys().cloned().collect();
+            n.sort_unstable();
+            n
+        };
+        let keys: Vec<(String, Vec<AtomAction>)> = self.atom_cache.keys().cloned().collect();
+        let mut roots: Vec<Bdd> = names.iter().map(|n| self.indices[n].root).collect();
+        let cache_start = roots.len();
+        roots.extend(keys.iter().map(|k| self.atom_cache[k].result));
+        let stats = self.mgr.compact(&mut roots);
+        for (n, r) in names.iter().zip(&roots[..cache_start]) {
+            self.indices.get_mut(n).expect("key enumerated").root = *r;
+        }
+        for (k, r) in keys.iter().zip(&roots[cache_start..]) {
+            let root = self.indices[&k.0].root;
+            let c = self.atom_cache.get_mut(k).expect("key enumerated");
+            c.result = *r;
+            c.index_root = root;
+        }
+        stats
     }
 
     /// Total node count of all index roots (shared nodes counted once) —
@@ -639,6 +855,73 @@ mod tests {
                 assert_eq!(w, c, "seed {seed}: FD {lhs}->{rhs} verdict diverged");
             }
         }
+    }
+
+    #[test]
+    fn atom_cache_hits_and_invalidates() {
+        let mut ldb = LogicalDatabase::new(db());
+        ldb.build_index("R", OrderingStrategy::Schema).unwrap();
+        let idx = ldb.index("R").unwrap().clone();
+        let q = ldb.query_domain("city", 0).unwrap();
+        let key = vec![AtomAction::Rename(idx.domains[0], q)];
+        assert_eq!(ldb.atom_cache_get("R", &key), None, "cold cache misses");
+        let compiled = {
+            let mgr = ldb.manager_mut();
+            mgr.replace_domains(idx.root, &[(idx.domains[0], q)])
+                .unwrap()
+        };
+        ldb.atom_cache_put("R", key.clone(), compiled);
+        assert_eq!(ldb.atom_cache_get("R", &key), Some(compiled));
+        // The cached root survives GC.
+        ldb.gc();
+        assert_eq!(ldb.atom_cache_get("R", &key), Some(compiled));
+        // A data mutation invalidates the entry.
+        let city = ldb.db().code("city", &Raw::str("Oshawa")).unwrap();
+        let ac = ldb.db().code("areacode", &Raw::Int(416)).unwrap();
+        assert!(ldb.insert_tuple("R", &[city, ac]).unwrap());
+        assert_eq!(ldb.atom_cache_get("R", &key), None, "stale after insert");
+        let (hits, misses) = ldb.atom_cache_stats();
+        assert_eq!((hits, misses), (2, 2));
+        // Disabling sharing drops entries and stops counting.
+        ldb.set_subgraph_sharing(false);
+        ldb.atom_cache_put("R", key.clone(), compiled);
+        assert_eq!(ldb.atom_cache_get("R", &key), None);
+        assert_eq!(ldb.atom_cache_stats(), (2, 2));
+    }
+
+    #[test]
+    fn compact_preserves_indices_and_atom_cache() {
+        let mut ldb = LogicalDatabase::new(db());
+        ldb.build_index("R", OrderingStrategy::Schema).unwrap();
+        // Populate a cache entry and plenty of garbage.
+        let idx = ldb.index("R").unwrap().clone();
+        let q = ldb.query_domain("city", 0).unwrap();
+        let key = vec![AtomAction::Rename(idx.domains[0], q)];
+        let compiled = {
+            let mgr = ldb.manager_mut();
+            let _junk = mgr.value_set(idx.domains[1], &[0, 1, 2, 3]).unwrap();
+            mgr.replace_domains(idx.root, &[(idx.domains[0], q)])
+                .unwrap()
+        };
+        ldb.atom_cache_put("R", key.clone(), compiled);
+        let stats = ldb.compact();
+        assert!(stats.reclaimed_slots > 0, "garbage squeezed out");
+        // Index root still answers membership over the whole universe.
+        let idx = ldb.index("R").unwrap().clone();
+        assert_eq!(
+            ldb.manager_mut()
+                .tuple_count(idx.root, &idx.domains)
+                .unwrap(),
+            4.0
+        );
+        // The cache entry was remapped, not dropped: a lookup still hits,
+        // and the remapped handle equals a fresh compile of the same atom.
+        let cached = ldb.atom_cache_get("R", &key).expect("entry survives");
+        let fresh = ldb
+            .manager_mut()
+            .replace_domains(idx.root, &[(idx.domains[0], q)])
+            .unwrap();
+        assert_eq!(cached, fresh);
     }
 
     #[test]

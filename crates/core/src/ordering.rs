@@ -47,6 +47,15 @@ pub enum OrderingStrategy {
     /// after Rudell's dynamic reordering): never worse than
     /// [`OrderingStrategy::ProbConverge`], costs O(arity²) trial rebuilds.
     Sifted,
+    /// Workload-adaptive (our extension): score the candidate shapes in
+    /// [`relcheck_bdd::order`] against the per-column access weights the
+    /// [`crate::index::LogicalDatabase`] records while compiling atoms,
+    /// and build under the cheapest. A build with no recorded workload
+    /// (e.g. the first, before any check ran) falls back to
+    /// [`OrderingStrategy::ProbConverge`]; any static strategy remains the
+    /// escape hatch. The ordering-invariance suite pins that the pick can
+    /// never change a verdict.
+    Adaptive,
 }
 
 impl OrderingStrategy {
@@ -59,6 +68,7 @@ impl OrderingStrategy {
             OrderingStrategy::ProbConverge => "prob-converge",
             OrderingStrategy::MinCondEntropy => "min-cond-entropy",
             OrderingStrategy::Sifted => "sifted",
+            OrderingStrategy::Adaptive => "adaptive",
         }
     }
 
@@ -75,6 +85,7 @@ impl OrderingStrategy {
             OrderingStrategy::ProbConverge => 4,
             OrderingStrategy::MinCondEntropy => 5,
             OrderingStrategy::Sifted => 6,
+            OrderingStrategy::Adaptive => 7,
         }
     }
 
@@ -92,6 +103,11 @@ impl OrderingStrategy {
                     .map(|(o, _)| o)
                     .unwrap_or(seed)
             }
+            // Without workload weights (this signature has none) Adaptive
+            // degrades to the paper's recommended static heuristic; the
+            // weight-aware path lives in `LogicalDatabase::build_index`,
+            // which holds the recorded workload.
+            OrderingStrategy::Adaptive => prob_converge(rel, dom_sizes),
         }
     }
 }

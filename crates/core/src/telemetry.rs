@@ -921,6 +921,15 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The numeric value, if this is a number (integer or float).
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
 }
 
 /// Parse a JSON document (strict enough for round-tripping our own
@@ -1542,6 +1551,138 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
                     fields["requests"]
                 ));
             }
+        }
+    }
+    Ok(())
+}
+
+/// Orderings a BENCH entry may report: a static strategy name, an
+/// adaptive pick (`adaptive:<candidate>`), or `n/a` for paths that never
+/// touch a BDD (the SQL-recheck row of the dynamic benchmark).
+fn valid_bench_ordering(s: &str) -> bool {
+    if let Some(pick) = s.strip_prefix("adaptive:") {
+        return ["static", "concatenated", "frequency", "interleaved"].contains(&pick);
+    }
+    [
+        "schema",
+        "random",
+        "max-inf-gain",
+        "prob-converge",
+        "min-cond-entropy",
+        "sifted",
+        "adaptive",
+        "n/a",
+    ]
+    .contains(&s)
+}
+
+fn bench_str<'a>(v: &'a Json, at: &str, field: &str) -> std::result::Result<&'a str, String> {
+    let s = v
+        .get(field)
+        .and_then(Json::as_str)
+        .ok_or(format!("{at}: missing string field {field:?}"))?;
+    if s.is_empty() {
+        return Err(format!("{at}: {field:?} must be non-empty"));
+    }
+    Ok(s)
+}
+
+fn bench_count(v: &Json, at: &str, field: &str) -> std::result::Result<i64, String> {
+    let n = v
+        .get(field)
+        .and_then(Json::as_int)
+        .ok_or(format!("{at}: missing integer field {field:?}"))?;
+    if n < 0 {
+        return Err(format!("{at}: {field:?} must be non-negative, got {n}"));
+    }
+    Ok(n)
+}
+
+/// Validate a `BENCH_*.json` benchmark-trajectory document (schema
+/// version 1, see `DESIGN.md` §"BENCH schema"): required fields and
+/// types, hit rates in `[0, 1]`, known orderings, and — for the `table1`
+/// document — at least one before/after comparison, the acceptance
+/// anchor of the committed trajectory. Used by `relcheck bench-check`
+/// and the CI bench smoke.
+pub fn validate_bench_json(text: &str) -> std::result::Result<(), String> {
+    let doc = parse_json(text)?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_int)
+        .ok_or("missing integer field \"schema_version\"")?;
+    if version != 1 {
+        return Err(format!("unsupported bench schema_version {version}"));
+    }
+    if doc.get("kind").and_then(Json::as_str) != Some("bench") {
+        return Err("missing field \"kind\": \"bench\"".to_owned());
+    }
+    let bench = doc
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"bench\"")?;
+    if !["table1", "par_scaling", "dynamic"].contains(&bench) {
+        return Err(format!("unknown bench {bench:?}"));
+    }
+    match doc.get("config") {
+        Some(Json::Obj(fields)) => {
+            for (k, v) in fields {
+                if v.as_int().is_none_or(|n| n < 0) {
+                    return Err(format!("config.{k}: must be a non-negative integer"));
+                }
+            }
+        }
+        _ => return Err("missing object field \"config\"".to_owned()),
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"entries\"")?;
+    if entries.is_empty() {
+        return Err("\"entries\" must be non-empty".to_owned());
+    }
+    for (i, e) in entries.iter().enumerate() {
+        let at = format!("entries[{i}]");
+        bench_str(e, &at, "name")?;
+        bench_str(e, &at, "variant")?;
+        bench_count(e, &at, "wall_ns")?;
+        bench_count(e, &at, "peak_nodes")?;
+        let rate = e
+            .get("cache_hit_rate")
+            .and_then(Json::as_num)
+            .ok_or(format!("{at}: missing numeric field \"cache_hit_rate\""))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("{at}: cache_hit_rate {rate} outside [0, 1]"));
+        }
+        let ordering = bench_str(e, &at, "ordering")?;
+        if !valid_bench_ordering(ordering) {
+            return Err(format!("{at}: unknown ordering {ordering:?}"));
+        }
+    }
+    let comparisons = doc
+        .get("comparisons")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"comparisons\"")?;
+    if bench == "table1" && comparisons.is_empty() {
+        return Err("table1 must carry at least one before/after comparison".to_owned());
+    }
+    for (i, c) in comparisons.iter().enumerate() {
+        let at = format!("comparisons[{i}]");
+        bench_str(c, &at, "name")?;
+        bench_str(c, &at, "baseline")?;
+        bench_str(c, &at, "candidate")?;
+        for field in [
+            "wall_ns_before",
+            "wall_ns_after",
+            "peak_nodes_before",
+            "peak_nodes_after",
+        ] {
+            bench_count(c, &at, field)?;
+        }
+        if bench_count(c, &at, "wall_ns_before")? == 0 || bench_count(c, &at, "wall_ns_after")? == 0
+        {
+            return Err(format!(
+                "{at}: a measured comparison cannot have zero wall time"
+            ));
         }
     }
     Ok(())

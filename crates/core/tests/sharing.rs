@@ -1,0 +1,245 @@
+//! Shared-manager differential suite.
+//!
+//! The subgraph cache (`CheckerOptions::share_subgraphs`) reuses compiled
+//! atom BDDs across constraints over the same relations. Its safety
+//! argument — a compiled atom is a pure function of the index root and its
+//! action list — is pinned here differentially: `check_all` with sharing on
+//! must agree with per-constraint compilation (sharing off) on every
+//! verdict and method, serially, under 2-lane parallelism, and under fault
+//! injection at the index-build site. The suite also covers the core half
+//! of the ordering-invariance oracle: every ordering strategy, including
+//! the workload-adaptive one, yields the same verdicts.
+
+use relcheck_bdd::failpoint;
+use relcheck_core::checker::{CheckReport, Checker, CheckerOptions, Verdict};
+use relcheck_core::ordering::OrderingStrategy;
+use relcheck_datagen::customer::{generate, CustomerConfig};
+use relcheck_logic::{parse, Formula};
+use relcheck_relstore::{Database, Relation, Schema};
+use std::sync::Mutex;
+
+/// The failpoint registry is process-global; tests that arm it serialize
+/// on this mutex.
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Silence the default panic hook while faults are injected on purpose;
+/// the panics are caught and folded into reports, the stderr noise is not.
+fn quiet_panics() {
+    std::panic::set_hook(Box::new(|_| {}));
+}
+
+fn restore_panics() {
+    let _ = std::panic::take_hook();
+}
+
+fn customer_db(rows: usize, violation_rate: f64) -> Database {
+    let data = generate(&CustomerConfig {
+        rows,
+        dom_sizes: [40, 120, 150, 12, 200],
+        violation_rate,
+        seed: 31,
+    });
+    let mut db = Database::new();
+    for (class, size) in [
+        ("areacode", data.dom_sizes[0]),
+        ("city", data.dom_sizes[2]),
+        ("state", data.dom_sizes[3]),
+    ] {
+        db.ensure_class_size(class, size);
+    }
+    let cust = Relation::from_rows(
+        Schema::new(&[
+            ("areacode", "areacode"),
+            ("city", "city"),
+            ("state", "state"),
+        ]),
+        data.relation.rows().map(|r| vec![r[0], r[2], r[3]]),
+    )
+    .unwrap();
+    db.insert_relation("CUST", cust).unwrap();
+    let cs: Vec<Vec<u32>> = (0..data.dom_sizes[2] as u32)
+        .map(|c| vec![c, data.city_state[c as usize]])
+        .collect();
+    db.insert_relation(
+        "CITY_STATE",
+        Relation::from_rows(Schema::new(&[("city", "city"), ("state", "state")]), cs).unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+/// A battery deliberately heavy on repeated atom shapes: several
+/// constraints join CUST with itself or CITY_STATE the same way, so the
+/// subgraph cache has real sharing to exploit.
+fn battery() -> Vec<(String, Formula)> {
+    [
+        (
+            "reference-agrees",
+            "forall a, c, s, s2. CUST(a, c, s) & CITY_STATE(c, s2) -> s = s2",
+        ),
+        (
+            "city-determines-state",
+            "forall a1, c, s1, a2, s2. CUST(a1, c, s1) & CUST(a2, c, s2) -> s1 = s2",
+        ),
+        (
+            "areacode-determines-state",
+            "forall a, c1, s1, c2, s2. CUST(a, c1, s1) & CUST(a, c2, s2) -> s1 = s2",
+        ),
+        (
+            "cities-are-known",
+            "forall a, c, s. CUST(a, c, s) -> exists s2. CITY_STATE(c, s2)",
+        ),
+        (
+            "reference-is-functional",
+            "forall c, s1, s2. CITY_STATE(c, s1) & CITY_STATE(c, s2) -> s1 = s2",
+        ),
+        ("reference-nonempty", "exists c, s. CITY_STATE(c, s)"),
+    ]
+    .into_iter()
+    .map(|(n, s)| (n.to_owned(), parse(s).unwrap()))
+    .collect()
+}
+
+fn opts(share: bool) -> CheckerOptions {
+    CheckerOptions {
+        share_subgraphs: share,
+        ..Default::default()
+    }
+}
+
+fn assert_same(want: &[(String, CheckReport)], got: &[(String, CheckReport)], context: &str) {
+    assert_eq!(want.len(), got.len(), "{context}: length");
+    for ((wn, w), (gn, g)) in want.iter().zip(got) {
+        assert_eq!(wn, gn, "{context}: order");
+        assert_eq!(w.verdict, g.verdict, "{context}: {wn} verdict");
+        assert_eq!(w.method, g.method, "{context}: {wn} method");
+    }
+}
+
+#[test]
+fn sharing_matches_unshared_serially_and_actually_shares() {
+    let db = customer_db(1_500, 0.01);
+    let battery = battery();
+    let mut unshared = Checker::new(db.clone(), opts(false));
+    let want = unshared.check_all(&battery).unwrap();
+    assert_eq!(
+        unshared.logical_db().atom_cache_stats(),
+        (0, 0),
+        "escape hatch must not touch the cache"
+    );
+    let mut shared = Checker::new(db, opts(true));
+    let got = shared.check_all(&battery).unwrap();
+    assert_same(&want, &got, "serial");
+    let (hits, misses) = shared.logical_db().atom_cache_stats();
+    assert!(
+        hits > 0,
+        "the battery repeats atom shapes; sharing must fire (hits={hits}, misses={misses})"
+    );
+}
+
+#[test]
+fn sharing_matches_unshared_across_parallel_lanes() {
+    let db = customer_db(1_200, 0.02);
+    let battery = battery();
+    let mut baseline = Checker::new(db.clone(), opts(false));
+    let want = baseline.check_all(&battery).unwrap();
+    for share in [false, true] {
+        let mut ck = Checker::new(db.clone(), opts(share));
+        let got = ck.check_all_parallel(&battery, 2).unwrap();
+        assert_same(&want, &got, &format!("parallel share={share}"));
+    }
+}
+
+#[test]
+fn sharing_matches_unshared_under_index_build_faults() {
+    let _g = lock();
+    quiet_panics();
+    let db = customer_db(900, 0.02);
+    let battery = battery();
+    // Fault-free reference for the resilience invariant.
+    let clean = Checker::new(db.clone(), opts(false))
+        .check_all(&battery)
+        .unwrap();
+    for seed in [3u64, 11, 27] {
+        failpoint::configure_spec("index-build=0.6", seed).unwrap();
+        let want = Checker::new(db.clone(), opts(false))
+            .check_all(&battery)
+            .unwrap();
+        let got = Checker::new(db.clone(), opts(true))
+            .check_all(&battery)
+            .unwrap();
+        failpoint::clear();
+        restore_panics();
+        // Same seed ⇒ same injected faults ⇒ shared and unshared must walk
+        // the same ladder to the same answers.
+        assert_same(&want, &got, &format!("faults seed={seed}"));
+        // And the usual resilience invariant: never silently wrong.
+        for ((name, r), (_, c)) in got.iter().zip(&clean) {
+            match r.verdict {
+                Verdict::Holds | Verdict::Violated => {
+                    assert_eq!(r.verdict, c.verdict, "seed {seed}: {name} silently wrong")
+                }
+                Verdict::Degraded | Verdict::Errored => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn every_ordering_strategy_agrees_including_adaptive() {
+    let db = customer_db(1_000, 0.015);
+    let battery = battery();
+    let mut baseline = Checker::new(db.clone(), opts(true));
+    let want = baseline.check_all(&battery).unwrap();
+    for strategy in [
+        OrderingStrategy::Schema,
+        OrderingStrategy::Random(5),
+        OrderingStrategy::MaxInfGain,
+        OrderingStrategy::MinCondEntropy,
+        OrderingStrategy::Adaptive,
+    ] {
+        let mut ck = Checker::new(
+            db.clone(),
+            CheckerOptions {
+                ordering: strategy,
+                ..Default::default()
+            },
+        );
+        let got = ck.check_all(&battery).unwrap();
+        assert_same(&want, &got, strategy.name());
+    }
+}
+
+#[test]
+fn adaptive_rebuild_uses_recorded_workload_and_keeps_verdicts() {
+    let db = customer_db(1_000, 0.015);
+    let battery = battery();
+    let mut ck = Checker::new(
+        db,
+        CheckerOptions {
+            ordering: OrderingStrategy::Adaptive,
+            ..Default::default()
+        },
+    );
+    // First pass: indices are built before any workload exists (static
+    // fallback), and the checks record column usage.
+    let want = ck.check_all(&battery).unwrap();
+    assert!(ck.logical_db().adaptive_pick("CUST").is_none());
+    assert!(ck.logical_db().column_weights("CUST").is_some());
+    // Rebuild from the recorded workload: the adaptive scorer now picks a
+    // candidate shape, and verdicts must not move.
+    assert!(ck.rebuild_index("CUST").unwrap());
+    let picked = ck
+        .logical_db()
+        .adaptive_pick("CUST")
+        .expect("adaptive rebuild must score the workload");
+    assert!(["static", "concatenated", "frequency", "interleaved"].contains(&picked));
+    let got = ck.check_all(&battery).unwrap();
+    assert_same(&want, &got, "adaptive rebuild");
+}

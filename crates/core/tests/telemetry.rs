@@ -187,6 +187,45 @@ fn deltas_of_sequential_checks_sum_to_combined_delta() {
     );
 }
 
+/// `peak_nodes` is the arena high-water mark, not a live count: it bounds
+/// every later arena occupancy from above and never moves when GC or
+/// compaction shrinks the arena underneath it. (Regression: it used to
+/// track nodes net of the free list, so a sweep could *lower* the
+/// reported peak.)
+#[test]
+fn peak_nodes_is_an_arena_high_water_mark() {
+    let mut ck = telemetry_checker();
+    for (_, f) in battery() {
+        ck.check(&f).unwrap();
+        let m = ck.logical_db().manager();
+        assert!(
+            m.stats().peak_nodes >= m.arena_slots(),
+            "peak must dominate current arena occupancy"
+        );
+    }
+    let peak = ck.logical_db().manager().stats().peak_nodes;
+    assert!(peak > 0);
+    // A sweep frees nodes in place; the peak must not follow them down.
+    ck.logical_db_mut().gc();
+    assert_eq!(ck.logical_db().manager().stats().peak_nodes, peak);
+    // Compaction physically shrinks the arena below the peak; the peak
+    // still reports the worst case this workload ever reached.
+    let stats = ck.logical_db_mut().compact();
+    let m = ck.logical_db().manager();
+    assert_eq!(m.arena_slots(), m.live_nodes());
+    assert_eq!(
+        m.stats().peak_nodes,
+        peak,
+        "compaction lowered the high-water mark (reclaimed {})",
+        stats.reclaimed_slots
+    );
+    assert!(peak >= m.arena_slots());
+    // And the battery still answers afterwards: handles were remapped.
+    for (name, f) in battery() {
+        assert!(ck.check(&f).is_ok(), "{name}: check failed after compact");
+    }
+}
+
 fn firings(ck: &mut Checker, src: &str) -> Vec<(RewriteRule, u64)> {
     let f = parse(src).unwrap();
     let report = ck.check(&f).unwrap();

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Regenerate the committed benchmark trajectory (BENCH_*.json).
+#
+# Each experiment binary runs its self-contained BENCH measurement and
+# writes one schema-version-1 document to the repo root; the script then
+# validates all three with `relcheck bench-check`. Numbers are honest
+# wall-clock measurements on the current host — re-running on different
+# hardware produces different timings (and identical non-timing fields,
+# which is what the determinism test pins).
+#
+# Usage: scripts/bench.sh
+#   TUPLES=N   Table 1 size            (default 100000)
+#   ROWS=N     customer rows           (default 100000)
+#   SAMPLES=N  timed passes per query  (default 5)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+TUPLES="${TUPLES:-100000}"
+ROWS="${ROWS:-100000}"
+SAMPLES="${SAMPLES:-5}"
+
+step() { echo; echo "==> $*"; }
+
+step "build (release)"
+cargo build --release -p relcheck-bench -p relcheck
+
+step "table1: unshared+static vs shared+adaptive ($TUPLES tuples, $SAMPLES samples)"
+cargo run --release --quiet -p relcheck-bench --bin table1 -- \
+    --tuples "$TUPLES" --samples "$SAMPLES" --json BENCH_table1.json >/dev/null
+
+step "par_scaling: serial vs 2/4 workers ($ROWS rows)"
+cargo run --release --quiet -p relcheck-bench --bin par_scaling -- \
+    --rows "$ROWS" --samples 1 --json BENCH_par_scaling.json >/dev/null
+
+step "dynamic: SQL vs BDD vs BDD+registry re-validation ($ROWS rows)"
+cargo run --release --quiet -p relcheck-bench --bin dynamic -- \
+    --rows "$ROWS" --batches 20 --batch-size 100 --json BENCH_dynamic.json >/dev/null
+
+step "validate"
+cargo run --release --quiet --bin relcheck -- \
+    bench-check BENCH_table1.json BENCH_par_scaling.json BENCH_dynamic.json
+
+echo
+echo "bench.sh: trajectory regenerated"

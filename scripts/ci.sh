@@ -258,6 +258,24 @@ grep " via " "$BATCH_OUT" | awk '{print $1, $2}' | sort > "$BATCH_OUT.verdicts"
 diff "$SERVE_OUT.verdicts" "$BATCH_OUT.verdicts"
 rm -f "$SERVE_OUT.verdicts" "$BATCH_OUT.verdicts"
 
+step "bench smoke: small BENCH_table1.json emission + schema validation"
+# A small-size run of the table1 BENCH emitter must produce a document
+# that bench-check accepts, and the committed trajectory files (when
+# present) must stay schema-valid too.
+BENCH_OUT="$(mktemp /tmp/relcheck-bench.XXXXXX.json)"
+trap 'rm -rf "$METRICS_OUT" "$PLAN_A" "$PLAN_B" "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT" "$SERVE_DIR" "$SERVE_OUT" "$BATCH_OUT" "$BENCH_OUT"' EXIT
+cargo run --release --quiet -p relcheck-bench --bin table1 -- \
+    --tuples 2000 --samples 1 --json "$BENCH_OUT" >/dev/null
+cargo run --release --quiet --bin relcheck -- bench-check "$BENCH_OUT"
+committed=""
+for f in BENCH_table1.json BENCH_par_scaling.json BENCH_dynamic.json; do
+    [ -f "$f" ] && committed="$committed $f"
+done
+if [ -n "$committed" ]; then
+    # shellcheck disable=SC2086 # word-splitting the file list is intended
+    cargo run --release --quiet --bin relcheck -- bench-check $committed
+fi
+
 step "formatting (cargo fmt --check)"
 cargo fmt --all --check
 

@@ -7,6 +7,7 @@
 //! relcheck explain <spec-file> <constraint-name>
 //! relcheck plan <spec-file> [constraint-name] [--ordering STRATEGY]
 //! relcheck metrics-check <metrics.json>
+//! relcheck bench-check <BENCH.json>...
 //! relcheck index <build|verify|repair|gc|apply> <spec-file> --index-cache DIR
 //!                [deltas...] [--ordering STRATEGY] [--fail-spec SPEC] [--fail-seed N]
 //! relcheck serve <spec-file> [--index-cache DIR] [--socket PATH] [--ordering STRATEGY]
@@ -19,7 +20,8 @@
 //! `--sql`), prints a report, lists up to `--limit` violating tuples per
 //! violated constraint, and exits non-zero if anything is violated.
 //! Orderings: `prob-converge` (default), `max-inf-gain`, `min-cond-entropy`,
-//! `sifted`, `schema`, `random`. With `--threads N` (N > 1) the constraint
+//! `sifted`, `adaptive` (workload-scored, falls back to `prob-converge`
+//! before any check has run), `schema`, `random`. With `--threads N` (N > 1) the constraint
 //! set is checked on N worker threads, each with its own BDD manager;
 //! verdicts are identical to the serial pass. `--metrics PATH` enables
 //! telemetry and writes the machine-readable run report (the schema in
@@ -72,7 +74,7 @@ use relcheck::core_::registry::ConstraintRegistry;
 use relcheck::core_::serve::{parse_delta, ServeEngine};
 use relcheck::core_::store::{Delta, IndexStore, VerifyStatus};
 use relcheck::core_::telemetry::{
-    validate_metrics_json, FleetTelemetry, RunMetrics, WorkerTelemetry,
+    validate_bench_json, validate_metrics_json, FleetTelemetry, RunMetrics, WorkerTelemetry,
 };
 use relcheck::relstore::Database;
 use relcheck::spec::{parse_spec, Spec};
@@ -102,6 +104,7 @@ fn usage() -> String {
      relcheck explain <spec-file> <constraint-name>\n  \
      relcheck plan <spec-file> [constraint-name] [--ordering STRATEGY]\n  \
      relcheck metrics-check <metrics.json>\n  \
+     relcheck bench-check <BENCH.json>...\n  \
      relcheck index <build|verify|repair|gc|apply> <spec-file> --index-cache DIR \
      [+REL:v1,v2 | -REL:v1,v2 ...]\n  \
      relcheck serve <spec-file> [--index-cache DIR] [--socket PATH] [--ordering STRATEGY] \
@@ -116,6 +119,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         "explain" => cmd_explain(&args[1..]).map(|()| true),
         "plan" => cmd_plan(&args[1..]).map(|()| true),
         "metrics-check" => cmd_metrics_check(&args[1..]).map(|()| true),
+        "bench-check" => cmd_bench_check(&args[1..]).map(|()| true),
         "index" => cmd_index(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         _ => Err(usage()),
@@ -135,6 +139,7 @@ fn ordering_from(name: &str) -> Result<OrderingStrategy, String> {
         "max-inf-gain" => OrderingStrategy::MaxInfGain,
         "min-cond-entropy" => OrderingStrategy::MinCondEntropy,
         "sifted" => OrderingStrategy::Sifted,
+        "adaptive" => OrderingStrategy::Adaptive,
         "schema" => OrderingStrategy::Schema,
         "random" => OrderingStrategy::Random(0xBDD),
         other => return Err(format!("unknown ordering {other:?}")),
@@ -713,6 +718,20 @@ fn cmd_metrics_check(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     validate_metrics_json(&text).map_err(|e| format!("{path}: {e}"))?;
     println!("{path}: valid metrics document");
+    Ok(())
+}
+
+/// Validate one or more `BENCH_*.json` benchmark-trajectory documents
+/// against the BENCH schema (see DESIGN.md).
+fn cmd_bench_check(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err(usage());
+    }
+    for path in args {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        validate_bench_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: valid bench document");
+    }
     Ok(())
 }
 
