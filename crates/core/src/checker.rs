@@ -232,6 +232,24 @@ fn abort_reason(b: &BddError) -> FallbackReason {
 /// [`Checker::find_violations_bdd`] produces.
 pub type CodedViolations = (Vec<String>, Vec<Vec<u32>>);
 
+/// A bounded violation sample with an exact total, produced by
+/// [`Checker::find_violations_counted`] for certificate emission: the
+/// outer-∀ variable names in prefix order, their inferred attribute
+/// classes, up to `limit` witness rows of dictionary codes, and the exact
+/// number of violating assignments counted on the violation BDD itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountedViolations {
+    /// Outer universal variable names, prefix order.
+    pub vars: Vec<String>,
+    /// Attribute class of each variable (parallel to `vars`).
+    pub classes: Vec<String>,
+    /// Up to `limit` violating rows of dictionary codes.
+    pub rows: Vec<Vec<u32>>,
+    /// Exact violating-assignment count (`rows.len() as f64` iff
+    /// enumeration was exhaustive).
+    pub total: f64,
+}
+
 /// Index details inside an [`Explanation`].
 #[derive(Debug, Clone)]
 pub struct IndexInfo {
@@ -944,6 +962,76 @@ impl Checker {
                     .map(|r| r.into_iter().map(|v| v as u32).collect())
                     .collect();
                 Ok(Some((names, rows)))
+            }
+            Ok(None) => Ok(None),
+            Err(e) if budget_abort(&e).is_some() => {
+                self.ldb.shed_atom_cache();
+                self.ldb.gc();
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        };
+        if self.opts.gc_between_checks {
+            self.ldb.gc();
+        }
+        result
+    }
+
+    /// [`find_violations_bdd`] plus provenance for certificates: attribute
+    /// classes per variable and the **exact** violation count from
+    /// [`sat_count`] over the violation BDD (domain ranges are conjoined
+    /// into it, so the count never includes out-of-range encodings). Same
+    /// `None` conditions as [`find_violations_bdd`].
+    ///
+    /// [`find_violations_bdd`]: Checker::find_violations_bdd
+    /// [`sat_count`]: relcheck_bdd::BddManager::sat_count
+    pub fn find_violations_counted(
+        &mut self,
+        f: &Formula,
+        limit: usize,
+    ) -> Result<Option<CountedViolations>> {
+        let free = f.free_vars();
+        if !free.is_empty() {
+            return Err(CoreError::Logic(relcheck_logic::LogicError::FreeVariables(
+                free,
+            )));
+        }
+        for rel in Self::referenced_relations(f) {
+            if !self.ensure_index(&rel)? {
+                return Ok(None);
+            }
+        }
+        let result = match crate::exec::violations_bdd(&mut self.ldb, f, self.opts.plan) {
+            Ok(Some(vs)) => {
+                let doms: Vec<_> = vs.vars.iter().map(|(_, d, _)| *d).collect();
+                let vars: Vec<String> = vs.vars.iter().map(|(v, _, _)| v.clone()).collect();
+                let classes: Vec<String> = vs.vars.iter().map(|(_, _, c)| c.clone()).collect();
+                let mgr = self.ldb.manager_mut();
+                let count = mgr.tuple_count(vs.bdd, &doms).map_err(CoreError::Bdd);
+                let rows = count.and_then(|total| {
+                    let rows = mgr
+                        .rows_limited(vs.bdd, &doms, limit)
+                        .map_err(CoreError::Bdd)?;
+                    let rows: Vec<Vec<u32>> = rows
+                        .into_iter()
+                        .map(|r| r.into_iter().map(|v| v as u32).collect())
+                        .collect();
+                    Ok((rows, total))
+                });
+                match rows {
+                    Ok((rows, total)) => Ok(Some(CountedViolations {
+                        vars,
+                        classes,
+                        rows,
+                        total,
+                    })),
+                    Err(e) if budget_abort(&e).is_some() => {
+                        self.ldb.shed_atom_cache();
+                        self.ldb.gc();
+                        Ok(None)
+                    }
+                    Err(e) => Err(e),
+                }
             }
             Ok(None) => Ok(None),
             Err(e) if budget_abort(&e).is_some() => {

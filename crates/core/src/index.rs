@@ -455,33 +455,44 @@ impl LogicalDatabase {
 
     /// Insert a tuple into both the relation and its BDD index (if built).
     /// This is the paper's incremental-maintenance operation (Figure 4(b)).
+    ///
+    /// The index is maintained **before** the row store: `insert_row` is
+    /// idempotent (set union), so doing it first means a failure — an
+    /// injected fault, a node-budget abort — leaves both representations
+    /// untouched instead of tearing them apart. A torn delta would make
+    /// the BDD ladder and the naive re-checker disagree, which the audit
+    /// path treats as an engine bug.
     pub fn insert_tuple(&mut self, name: &str, row: &[u32]) -> Result<bool> {
+        self.db.relation(name)?; // surface unknown relations before any work
+        if let Some(idx) = self.indices.get(name) {
+            let domains = idx.domains.clone();
+            let root = idx.root;
+            let values: Vec<u64> = row.iter().map(|&v| v as u64).collect();
+            let new_root = self.mgr.insert_row(root, &domains, &values)?;
+            self.indices.get_mut(name).expect("just read").root = new_root;
+        }
         let fresh = self.db.relation_mut(name)?.insert(row)?;
         if fresh {
             self.version += 1;
-            if let Some(idx) = self.indices.get(name) {
-                let domains = idx.domains.clone();
-                let root = idx.root;
-                let values: Vec<u64> = row.iter().map(|&v| v as u64).collect();
-                let new_root = self.mgr.insert_row(root, &domains, &values)?;
-                self.indices.get_mut(name).expect("just read").root = new_root;
-            }
         }
         Ok(fresh)
     }
 
-    /// Delete a tuple from both representations.
+    /// Delete a tuple from both representations. Index first, like
+    /// [`insert_tuple`](Self::insert_tuple) — `delete_row` is idempotent
+    /// (set difference), so a failed maintenance step changes nothing.
     pub fn delete_tuple(&mut self, name: &str, row: &[u32]) -> Result<bool> {
+        self.db.relation(name)?;
+        if let Some(idx) = self.indices.get(name) {
+            let domains = idx.domains.clone();
+            let root = idx.root;
+            let values: Vec<u64> = row.iter().map(|&v| v as u64).collect();
+            let new_root = self.mgr.delete_row(root, &domains, &values)?;
+            self.indices.get_mut(name).expect("just read").root = new_root;
+        }
         let existed = self.db.relation_mut(name)?.delete(row)?;
         if existed {
             self.version += 1;
-            if let Some(idx) = self.indices.get(name) {
-                let domains = idx.domains.clone();
-                let root = idx.root;
-                let values: Vec<u64> = row.iter().map(|&v| v as u64).collect();
-                let new_root = self.mgr.delete_row(root, &domains, &values)?;
-                self.indices.get_mut(name).expect("just read").root = new_root;
-            }
         }
         Ok(existed)
     }

@@ -60,6 +60,7 @@
 //! assert!(!report.holds);
 //! ```
 
+pub mod certify;
 pub mod checker;
 pub mod compile;
 mod error;
@@ -75,6 +76,7 @@ pub mod sqlgen;
 pub mod store;
 pub mod telemetry;
 
+pub use certify::{AuditError, AuditOutcome, Certificate, Witnesses};
 pub use checker::{CheckReport, Checker, CheckerOptions, Method, Verdict};
 pub use error::{CoreError, Result};
 pub use index::{IndexSnapshot, LogicalDatabase};
@@ -85,7 +87,7 @@ pub use registry::ConstraintRegistry;
 pub use serve::ServeEngine;
 pub use store::{Delta, IndexStore, VerifyStatus};
 pub use telemetry::{
-    CheckTrace, DegradationSummary, FallbackReason, FleetTelemetry, IndexCacheMetrics, PassStat,
-    PlanCacheMetrics, RecoveryRecord, RewriteRule, RuleFiring, RunMetrics, ServeMetrics,
-    WorkerTelemetry,
+    AuditMetrics, CheckTrace, DegradationSummary, FallbackReason, FleetTelemetry,
+    IndexCacheMetrics, PassStat, PlanCacheMetrics, RecoveryRecord, RewriteRule, RuleFiring,
+    RunMetrics, ServeMetrics, WorkerTelemetry,
 };

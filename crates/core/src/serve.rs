@@ -18,6 +18,7 @@
 //! +REL:v1,v2,…      insert one tuple (the store's journal syntax)
 //! -REL:v1,v2,…      delete one tuple
 //! check [NAME]      revalidate (everything, or one constraint)
+//! certify [NAME]    re-check and emit audited violation certificates
 //! stats             session counters
 //! quit              end the session
 //! ```
@@ -34,11 +35,12 @@
 //! [`crate::registry::ConstraintRegistry::check_cached`], whose deadline,
 //! node-budget, and panic handling are unchanged.
 
+use crate::certify::{emit_certificate, verify_certificate, Certificate, DEFAULT_WITNESS_LIMIT};
 use crate::checker::{CheckReport, Checker};
 use crate::error::{CoreError, Result};
 use crate::registry::{ConstraintRegistry, Verdict};
 use crate::store::{Delta, IndexStore};
-use crate::telemetry::{PlanCacheMetrics, ServeMetrics};
+use crate::telemetry::{AuditMetrics, PlanCacheMetrics, ServeMetrics};
 use relcheck_logic::Formula;
 use relcheck_relstore::{Raw, StoreError};
 use std::collections::BTreeSet;
@@ -51,6 +53,9 @@ pub enum Command {
     Delta(String, Delta),
     /// `check` / `check NAME` — revalidate and report verdicts.
     Check(Option<String>),
+    /// `certify` / `certify NAME` — re-check, emit certificates, and
+    /// report each one's independent audit result.
+    Certify(Option<String>),
     /// `stats` — session counters.
     Stats,
     /// `quit` — end the session.
@@ -101,11 +106,13 @@ pub fn parse_command(line: &str) -> std::result::Result<Option<Command>, String>
     let cmd = parts.next().expect("non-empty line has a first token");
     let command = match cmd {
         "check" => Command::Check(parts.next().map(str::to_owned)),
+        "certify" => Command::Certify(parts.next().map(str::to_owned)),
         "stats" => Command::Stats,
         "quit" => Command::Quit,
         other => {
             return Err(format!(
-                "unknown command {other:?} (try +REL:v,... -REL:v,... check [name] stats quit)"
+                "unknown command {other:?} \
+                 (try +REL:v,... -REL:v,... check [name] certify [name] stats quit)"
             ))
         }
     };
@@ -133,6 +140,9 @@ pub struct ServeEngine {
     /// order (so `stats` output and revalidation order are deterministic).
     dirty: BTreeSet<String>,
     stats: ServeMetrics,
+    /// Witness cap for `certify` replies.
+    witness_limit: usize,
+    audit: AuditMetrics,
 }
 
 impl ServeEngine {
@@ -153,6 +163,8 @@ impl ServeEngine {
             store,
             dirty: BTreeSet::new(),
             stats: ServeMetrics::default(),
+            witness_limit: DEFAULT_WITNESS_LIMIT,
+            audit: AuditMetrics::default(),
         };
         for (name, f) in constraints {
             if !engine.registry.register(name, f.clone()) {
@@ -299,6 +311,79 @@ impl ServeEngine {
         Ok(verdict)
     }
 
+    /// Every registered constraint as `(name, formula)` — the spec the
+    /// audit re-checker verifies certificates against.
+    fn constraint_list(&self) -> Vec<(String, Formula)> {
+        self.registry
+            .names()
+            .iter()
+            .map(|n| {
+                (
+                    (*n).to_owned(),
+                    self.registry.formula(n).expect("listed name").clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Re-check one constraint **fresh** (through the plan cache, never
+    /// the verdict cache — a certificate must describe the data as it is
+    /// now), emit its certificate, and immediately audit it with the
+    /// independent re-checker. Returns `None` for an unknown name;
+    /// otherwise the certificate plus the audit rejection, if any
+    /// (undecided verdicts are not audited — they are uncertifiable by
+    /// construction and the certificate says so).
+    pub fn certify_one(
+        &mut self,
+        name: &str,
+    ) -> Result<Option<(Certificate, Option<crate::certify::AuditError>)>> {
+        let Some(f) = self.registry.formula(name).cloned() else {
+            return Ok(None);
+        };
+        let report = self.registry.check_cached(&mut self.checker, &f)?;
+        let cert = emit_certificate(&mut self.checker, name, &f, &report, self.witness_limit)?;
+        self.audit.emitted += 1;
+        if let Some(w) = &cert.witnesses {
+            self.audit.witnesses += w.tuples.len() as u64;
+        }
+        let audit = if cert.verdict.is_decided() {
+            let constraints = self.constraint_list();
+            match verify_certificate(self.checker.logical_db().db(), &constraints, &cert) {
+                Ok(_) => {
+                    self.audit.verified += 1;
+                    None
+                }
+                Err(e) => {
+                    self.audit.failed += 1;
+                    Some(e)
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Some((cert, audit)))
+    }
+
+    /// [`certify_one`] over every registered constraint, in registration
+    /// order.
+    ///
+    /// [`certify_one`]: ServeEngine::certify_one
+    pub fn certify_all(
+        &mut self,
+    ) -> Result<Vec<(Certificate, Option<crate::certify::AuditError>)>> {
+        let names: Vec<String> = self
+            .registry
+            .names()
+            .iter()
+            .map(|n| (*n).to_owned())
+            .collect();
+        let mut out = Vec::with_capacity(names.len());
+        for name in names {
+            out.push(self.certify_one(&name)?.expect("registered name certifies"));
+        }
+        Ok(out)
+    }
+
     fn note_check(&mut self) {
         self.stats.checks += 1;
         self.stats.dirty_peak = self.stats.dirty_peak.max(self.dirty.len() as u64);
@@ -368,6 +453,38 @@ impl ServeEngine {
                 Ok(None) => reply.lines.push(format!("err unknown constraint {name:?}")),
                 Err(e) => reply.lines.push(format!("err check {name}: {e}")),
             },
+            Command::Certify(name) => {
+                let targets: Vec<String> = match &name {
+                    Some(n) => vec![n.clone()],
+                    None => self
+                        .registry
+                        .names()
+                        .iter()
+                        .map(|n| (*n).to_owned())
+                        .collect(),
+                };
+                let (mut emitted, mut witnesses, mut failed) = (0u64, 0u64, 0u64);
+                for t in targets {
+                    match self.certify_one(&t) {
+                        Ok(Some((cert, audit))) => {
+                            emitted += 1;
+                            if let Some(w) = &cert.witnesses {
+                                witnesses += w.tuples.len() as u64;
+                            }
+                            reply.lines.push(cert.to_json());
+                            if let Some(e) = audit {
+                                failed += 1;
+                                reply.lines.push(format!("err certify {t}: {e}"));
+                            }
+                        }
+                        Ok(None) => reply.lines.push(format!("err unknown constraint {t:?}")),
+                        Err(e) => reply.lines.push(format!("err certify {t}: {e}")),
+                    }
+                }
+                reply.lines.push(format!(
+                    "ok certify emitted={emitted} witnesses={witnesses} failed={failed}"
+                ));
+            }
             Command::Stats => {
                 let s = &self.stats;
                 reply.lines.push(format!(
@@ -410,6 +527,17 @@ impl ServeEngine {
     /// Plan-cache counters accumulated by the session's registry.
     pub fn plan_cache_stats(&self) -> PlanCacheMetrics {
         self.registry.plan_cache_stats()
+    }
+
+    /// Certificate audit counters accumulated by `certify` requests.
+    pub fn audit_stats(&self) -> AuditMetrics {
+        self.audit
+    }
+
+    /// Cap the number of witness tuples each certificate carries
+    /// (default [`DEFAULT_WITNESS_LIMIT`]).
+    pub fn set_witness_limit(&mut self, limit: usize) {
+        self.witness_limit = limit;
     }
 
     /// The relations dirtied since the last full check.

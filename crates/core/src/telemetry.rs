@@ -372,7 +372,23 @@ pub struct ServeMetrics {
     pub full_ns: u64,
 }
 
-/// The top-level machine-readable report (`schema_version` 5). See
+/// Certificate audit counters (`audit` in the schema, since v6). `None`
+/// on [`RunMetrics`] means the run did not emit or verify certificates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditMetrics {
+    /// Certificates emitted.
+    pub emitted: u64,
+    /// Certificates that passed independent re-checking.
+    pub verified: u64,
+    /// Certificates rejected by the re-checker (tampering or an engine
+    /// bug) — any nonzero value here is an incident.
+    pub failed: u64,
+    /// Witness tuples carried across all emitted certificates (bounded
+    /// per certificate by `--witness-limit`).
+    pub witnesses: u64,
+}
+
+/// The top-level machine-readable report (`schema_version` 6). See
 /// `DESIGN.md` for field meanings and stability guarantees.
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
@@ -397,6 +413,9 @@ pub struct RunMetrics {
     /// Serve-session counters; `None` for batch runs. Assembled by the
     /// caller after `from_reports`.
     pub serve: Option<ServeMetrics>,
+    /// Certificate audit counters; `None` when the run did not certify.
+    /// Assembled by the caller after `from_reports`.
+    pub audit: Option<AuditMetrics>,
 }
 
 impl RunMetrics {
@@ -445,15 +464,16 @@ impl RunMetrics {
             index_cache: None,
             plan_cache: None,
             serve: None,
+            audit: None,
         }
     }
 
-    /// Render the schema-version-5 JSON document.
+    /// Render the schema-version-6 JSON document.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.obj_open();
         w.key("schema_version");
-        w.raw("5");
+        w.raw("6");
         w.key("tool");
         w.string("relcheck");
         w.key("threads");
@@ -509,6 +529,23 @@ impl RunMetrics {
                     ("dirty_total", sv.dirty_total),
                     ("incremental_ns", sv.incremental_ns),
                     ("full_ns", sv.full_ns),
+                ] {
+                    w.key(k);
+                    w.raw(&v.to_string());
+                }
+                w.obj_close();
+            }
+        }
+        w.key("audit");
+        match &self.audit {
+            None => w.raw("null"),
+            Some(a) => {
+                w.obj_open();
+                for (k, v) in [
+                    ("emitted", a.emitted),
+                    ("verified", a.verified),
+                    ("failed", a.failed),
+                    ("witnesses", a.witnesses),
                 ] {
                     w.key(k);
                     w.raw(&v.to_string());
@@ -783,14 +820,15 @@ fn write_fleet(w: &mut JsonWriter, fl: &FleetTelemetry) {
 }
 
 /// A tiny JSON emitter that tracks commas so callers write keys and values
-/// in order without bookkeeping.
-struct JsonWriter {
+/// in order without bookkeeping. Shared with the certificate writer
+/// (`crate::certify`), which needs the same byte-stable output.
+pub(crate) struct JsonWriter {
     out: String,
     need_comma: Vec<bool>,
 }
 
 impl JsonWriter {
-    fn new() -> JsonWriter {
+    pub(crate) fn new() -> JsonWriter {
         JsonWriter {
             out: String::new(),
             need_comma: vec![false],
@@ -806,29 +844,29 @@ impl JsonWriter {
         }
     }
 
-    fn obj_open(&mut self) {
+    pub(crate) fn obj_open(&mut self) {
         self.pre_value();
         self.out.push('{');
         self.need_comma.push(false);
     }
 
-    fn obj_close(&mut self) {
+    pub(crate) fn obj_close(&mut self) {
         self.need_comma.pop();
         self.out.push('}');
     }
 
-    fn arr_open(&mut self) {
+    pub(crate) fn arr_open(&mut self) {
         self.pre_value();
         self.out.push('[');
         self.need_comma.push(false);
     }
 
-    fn arr_close(&mut self) {
+    pub(crate) fn arr_close(&mut self) {
         self.need_comma.pop();
         self.out.push(']');
     }
 
-    fn key(&mut self, k: &str) {
+    pub(crate) fn key(&mut self, k: &str) {
         self.pre_value();
         self.out.push('"');
         self.out.push_str(k);
@@ -839,7 +877,7 @@ impl JsonWriter {
         }
     }
 
-    fn string(&mut self, s: &str) {
+    pub(crate) fn string(&mut self, s: &str) {
         self.pre_value();
         self.out.push('"');
         for ch in s.chars() {
@@ -858,12 +896,12 @@ impl JsonWriter {
         self.out.push('"');
     }
 
-    fn raw(&mut self, v: &str) {
+    pub(crate) fn raw(&mut self, v: &str) {
         self.pre_value();
         self.out.push_str(v);
     }
 
-    fn finish(self) -> String {
+    pub(crate) fn finish(self) -> String {
         self.out
     }
 }
@@ -1152,7 +1190,7 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
         .get("schema_version")
         .and_then(Json::as_int)
         .ok_or("missing integer field \"schema_version\"")?;
-    if !(1..=5).contains(&version) {
+    if !(1..=6).contains(&version) {
         return Err(format!("unsupported schema_version {version}"));
     }
     doc.get("threads")
@@ -1553,6 +1591,32 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
             }
         }
     }
+    if version >= 6 {
+        let au = doc.get("audit").ok_or("missing field \"audit\"")?;
+        if !matches!(au, Json::Null) {
+            let mut fields = std::collections::HashMap::new();
+            for f in ["emitted", "verified", "failed", "witnesses"] {
+                let v = au
+                    .get(f)
+                    .and_then(Json::as_int)
+                    .ok_or(format!("audit: missing integer field {f:?}"))?;
+                if v < 0 {
+                    return Err(format!("audit.{f} = {v} < 0"));
+                }
+                fields.insert(f, v);
+            }
+            // Conservation: in an emitting run every verification outcome
+            // refers to an emitted certificate. A verify-only run reports
+            // emitted = 0 and its verified/failed tallies stand alone.
+            if fields["emitted"] > 0 && fields["verified"] + fields["failed"] > fields["emitted"] {
+                return Err(format!(
+                    "audit.verified + audit.failed = {} exceeds emitted = {}",
+                    fields["verified"] + fields["failed"],
+                    fields["emitted"]
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -1735,6 +1799,7 @@ mod tests {
             index_cache: None,
             plan_cache: None,
             serve: None,
+            audit: None,
         };
         validate_metrics_json(&m.to_json()).unwrap();
     }
@@ -1761,6 +1826,7 @@ mod tests {
             }),
             plan_cache: Some(PlanCacheMetrics { hits: 3, misses: 1 }),
             serve: None,
+            audit: None,
         };
         validate_metrics_json(&m.to_json()).unwrap();
         // A rebuild with no recovery record explaining it must fail.
@@ -1804,6 +1870,7 @@ mod tests {
                 incremental_ns: 10,
                 full_ns: 20,
             }),
+            audit: None,
         };
         validate_metrics_json(&m.to_json()).unwrap();
         // The peak dirty-set size is one of the summed sizes: peak >
@@ -1843,17 +1910,63 @@ mod tests {
             index_cache: None,
             plan_cache: None,
             serve: None,
+            audit: None,
         };
         let v2 = m
             .to_json()
-            .replace("\"schema_version\":5", "\"schema_version\":2");
+            .replace("\"schema_version\":6", "\"schema_version\":2");
         validate_metrics_json(&v2).unwrap();
         // A v3 document has no plan_cache field; tolerated the same way.
         let doc = m.to_json();
         let v3 = doc
-            .replace("\"schema_version\":5", "\"schema_version\":3")
+            .replace("\"schema_version\":6", "\"schema_version\":3")
             .replace(",\"plan_cache\":null", "");
         validate_metrics_json(&v3).unwrap();
+        // A v5 document has no audit field; tolerated the same way.
+        let v5 = doc
+            .replace("\"schema_version\":6", "\"schema_version\":5")
+            .replace(",\"audit\":null", "");
+        validate_metrics_json(&v5).unwrap();
+    }
+
+    #[test]
+    fn validator_checks_audit_block() {
+        let mut m = RunMetrics {
+            threads: 1,
+            telemetry_enabled: false,
+            constraints: Vec::new(),
+            fleet: None,
+            degradation: DegradationSummary::default(),
+            index_cache: None,
+            plan_cache: None,
+            serve: None,
+            audit: Some(AuditMetrics {
+                emitted: 3,
+                verified: 3,
+                failed: 0,
+                witnesses: 7,
+            }),
+        };
+        validate_metrics_json(&m.to_json()).unwrap();
+        // Every verification outcome refers to an emitted certificate.
+        m.audit.as_mut().unwrap().failed = 2;
+        let err = validate_metrics_json(&m.to_json()).unwrap_err();
+        assert!(err.contains("audit.verified"), "{err}");
+        // Verify-only runs report emitted = 0; tallies stand alone.
+        m.audit = Some(AuditMetrics {
+            emitted: 0,
+            verified: 4,
+            failed: 1,
+            witnesses: 0,
+        });
+        validate_metrics_json(&m.to_json()).unwrap();
+        // v6 documents must carry the field, even as null.
+        m.audit = None;
+        let doc = m.to_json();
+        let stripped = doc.replace(",\"audit\":null", "");
+        let err = validate_metrics_json(&stripped).unwrap_err();
+        assert!(err.contains("audit"), "{err}");
+        validate_metrics_json(&doc).unwrap();
     }
 
     #[test]
@@ -1878,6 +1991,7 @@ mod tests {
             index_cache: None,
             plan_cache: None,
             serve: None,
+            audit: None,
         };
         validate_metrics_json(&good.to_json()).unwrap();
         fleet.total.created_nodes += 1;
@@ -1890,6 +2004,7 @@ mod tests {
             index_cache: None,
             plan_cache: None,
             serve: None,
+            audit: None,
         };
         let err = validate_metrics_json(&bad.to_json()).unwrap_err();
         assert!(err.contains("created_nodes"), "{err}");

@@ -1,0 +1,335 @@
+//! Chaos soak: long-running randomized serve sessions under fault
+//! injection at every failpoint site, with tight node budgets and
+//! deadlines — and after every certify pass, the trust-but-verify
+//! invariants:
+//!
+//! 1. every *decided* verdict's certificate independently re-checks
+//!    (both the engine's built-in audit and this test's own call through
+//!    the JSON round-trip), and
+//! 2. every tampered certificate is rejected.
+//!
+//! Operational faults (an injected error mid-certify, a failed delta)
+//! are expected and tolerated; a decided-but-unauditable certificate is
+//! the one thing that must never happen.
+//!
+//! The failpoint registry is process-global, so the tests serialize on
+//! one mutex. The quick soak runs three fixed seeds in CI; the extended
+//! soak (`--ignored`) keeps cycling fresh seeds until the
+//! `RELCHECK_CHAOS_SOAK_MS` budget (default 10 s) runs out.
+
+use relcheck_bdd::failpoint;
+use relcheck_core::certify::{parse_bundle, verify_certificate, AuditError, Certificate};
+use relcheck_core::checker::{Checker, CheckerOptions, Verdict};
+use relcheck_core::serve::ServeEngine;
+use relcheck_core::store::IndexStore;
+use relcheck_logic::{parse, Formula};
+use relcheck_relstore::{Database, Raw};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn quiet_panics() {
+    std::panic::set_hook(Box::new(|_| {}));
+}
+
+fn restore_panics() {
+    let _ = std::panic::take_hook();
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const CITIES: [&str; 4] = ["Toronto", "Newark", "Ithaca", "Boston"];
+const AREAS: [i64; 6] = [416, 647, 905, 212, 973, 607];
+const STATES: [&str; 4] = ["ON", "NY", "NJ", "MA"];
+
+/// Every pool value appears in the base data, so the frozen BDD domains
+/// cover the whole delta vocabulary — except the deliberately novel
+/// values some deltas inject to exercise the overflow-degradation path.
+fn chaos_db() -> Database {
+    let mut db = Database::new();
+    let mut rows = Vec::new();
+    for (i, &c) in CITIES.iter().enumerate() {
+        for (j, &a) in AREAS.iter().enumerate() {
+            rows.push(vec![
+                Raw::str(c),
+                Raw::Int(a),
+                Raw::str(STATES[(i + j) % STATES.len()]),
+            ]);
+        }
+    }
+    db.create_relation(
+        "CUST",
+        &[
+            ("city", "city"),
+            ("areacode", "areacode"),
+            ("state", "state"),
+        ],
+        rows,
+    )
+    .unwrap();
+    db.create_relation(
+        "CITY_STATE",
+        &[("city", "city"), ("state", "state")],
+        CITIES
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| vec![Raw::str(c), Raw::str(STATES[i % STATES.len()])])
+            .collect(),
+    )
+    .unwrap();
+    db
+}
+
+fn battery() -> Vec<(String, Formula)> {
+    [
+        (
+            "toronto-prefixes",
+            r#"forall c, a, s. CUST(c, a, s) & c = "Toronto" -> a in {416, 647, 905}"#,
+        ),
+        (
+            "city-determines-state",
+            "forall c, a1, s1, a2, s2. CUST(c, a1, s1) & CUST(c, a2, s2) -> s1 = s2",
+        ),
+        (
+            "reference-agrees",
+            "forall c, a, s, s2. CUST(c, a, s) & CITY_STATE(c, s2) -> s = s2",
+        ),
+        (
+            "cities-are-known",
+            "forall c, a, s. CUST(c, a, s) -> exists s2. CITY_STATE(c, s2)",
+        ),
+    ]
+    .into_iter()
+    .map(|(n, s)| (n.to_owned(), parse(s).unwrap()))
+    .collect()
+}
+
+#[derive(Debug, Default)]
+struct SoakStats {
+    certified: usize,
+    decided: usize,
+    undecided: usize,
+    tampered: usize,
+    faults: usize,
+}
+
+/// Tamper one field of a decided certificate and assert the auditor
+/// rejects it — through the JSON path, exactly like a doctored bundle on
+/// disk. Modes: fingerprint flip, verdict flip, witness-value rewrite.
+fn tamper_rejected(
+    db: &Database,
+    battery: &[(String, Formula)],
+    cert: &Certificate,
+    mode: u64,
+    ctx: &str,
+) {
+    let mut t = cert.clone();
+    match mode % 3 {
+        0 => t.constraint_fp ^= 1,
+        1 => {
+            t.verdict = if t.verdict == Verdict::Violated {
+                Verdict::Holds
+            } else {
+                Verdict::Violated
+            }
+        }
+        _ => match t.witnesses.as_mut().and_then(|w| w.tuples.first_mut()) {
+            Some(tuple) => tuple[0] = Raw::Int(9_999_983),
+            None => t.constraint_fp ^= 1,
+        },
+    }
+    let json = t.to_json();
+    let parsed = parse_bundle(&json).unwrap_or_else(|e| panic!("{ctx}: tampered parse: {e}"));
+    assert!(
+        verify_certificate(db, battery, &parsed[0]).is_err(),
+        "{ctx}: tampered certificate (mode {}) survived the audit:\n{json}",
+        mode % 3
+    );
+}
+
+/// One randomized serve session: prime fault-free, arm every failpoint
+/// site, then interleave deltas (mostly in-domain, occasionally novel →
+/// overflow degradation), incremental checks, and certify passes with
+/// the audit invariants asserted after each certificate.
+fn soak(seed: u64, steps: usize, store_dir: Option<&std::path::Path>) -> SoakStats {
+    let battery = battery();
+    let opts = CheckerOptions {
+        node_limit: Some(3_000),
+        deadline: Some(Duration::from_millis(50)),
+        telemetry: true,
+        ..Default::default()
+    };
+    let mut checker = Checker::new(chaos_db(), opts);
+    let store = store_dir.map(|dir| {
+        let mut s = IndexStore::open(dir).unwrap();
+        s.warm_start(&mut checker).unwrap();
+        s
+    });
+    let (mut engine, reports) = ServeEngine::new(checker, &battery, store).unwrap();
+    for (name, report) in &reports {
+        assert!(report.verdict.is_decided(), "fault-free priming: {name}");
+    }
+
+    // Arm after priming: the soak is about the *session* under chaos.
+    let p = 0.05 + (seed % 3) as f64 * 0.05;
+    let spec = failpoint::SITES
+        .iter()
+        .map(|s| format!("{s}={p}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    failpoint::configure_spec(&spec, seed).unwrap();
+
+    let mut rng = seed ^ 0xC4A0_5EED;
+    let mut stats = SoakStats::default();
+    for step in 0..steps {
+        match splitmix(&mut rng) % 8 {
+            0..=3 => {
+                let r = splitmix(&mut rng);
+                let novel = r.is_multiple_of(16);
+                let sign = if r.is_multiple_of(3) { '-' } else { '+' };
+                let line = if novel {
+                    format!("{sign}CUST:Atlantis,999,XX")
+                } else if r.is_multiple_of(5) {
+                    format!(
+                        "{sign}CITY_STATE:{},{}",
+                        CITIES[(r >> 8) as usize % CITIES.len()],
+                        STATES[(r >> 16) as usize % STATES.len()],
+                    )
+                } else {
+                    format!(
+                        "{sign}CUST:{},{},{}",
+                        CITIES[(r >> 8) as usize % CITIES.len()],
+                        AREAS[(r >> 16) as usize % AREAS.len()],
+                        STATES[(r >> 24) as usize % STATES.len()],
+                    )
+                };
+                // Both `ok delta` and `err delta` (an injected fault) are
+                // legitimate; atomic maintenance means a failed delta
+                // leaves the row store and the index consistent, which
+                // the next certify pass will prove.
+                let reply = engine.handle_line(&line);
+                if reply.lines.iter().any(|l| l.starts_with("err")) {
+                    stats.faults += 1;
+                }
+            }
+            4 => {
+                let _ = engine.handle_line("check");
+            }
+            5 => {
+                let name = &battery[splitmix(&mut rng) as usize % battery.len()].0;
+                let _ = engine.handle_line(&format!("check {name}"));
+            }
+            _ => {
+                for (name, _) in &battery {
+                    match engine.certify_one(name) {
+                        // An injected fault killed this certify attempt —
+                        // no certificate, no claim, nothing to audit.
+                        Err(_) => stats.faults += 1,
+                        Ok(None) => unreachable!("registered constraint"),
+                        Ok(Some((cert, audit))) => {
+                            stats.certified += 1;
+                            let ctx = format!("seed {seed:#x} step {step} {name}");
+                            let parsed = parse_bundle(&cert.to_json())
+                                .unwrap_or_else(|e| panic!("{ctx}: round-trip: {e}"));
+                            assert_eq!(parsed[0], cert, "{ctx}: round-trip drift");
+                            if cert.verdict.is_decided() {
+                                stats.decided += 1;
+                                assert!(
+                                    audit.is_none(),
+                                    "{ctx}: decided certificate failed its audit: {audit:?}"
+                                );
+                                let db = engine.checker().logical_db().db();
+                                verify_certificate(db, &battery, &parsed[0])
+                                    .unwrap_or_else(|e| panic!("{ctx}: independent audit: {e}"));
+                                let mode = splitmix(&mut rng);
+                                tamper_rejected(db, &battery, &cert, mode, &ctx);
+                                stats.tampered += 1;
+                            } else {
+                                stats.undecided += 1;
+                                let db = engine.checker().logical_db().db();
+                                assert!(
+                                    matches!(
+                                        verify_certificate(db, &battery, &parsed[0]),
+                                        Err(AuditError::Unauditable { .. })
+                                    ),
+                                    "{ctx}: undecided certificate must be unauditable"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    failpoint::clear();
+    stats
+}
+
+/// The CI soak: three fixed seeds (one per fault probability tier, one
+/// with a durable store so the journal/segment/manifest sites fire too),
+/// each long enough to exercise every invariant.
+#[test]
+fn chaos_soak_three_seeds() {
+    let _g = lock();
+    quiet_panics();
+    for (i, seed) in [0xC0FFEE_u64, 0xBEEF01, 0x5EED33].into_iter().enumerate() {
+        let store_dir = (i == 1).then(|| {
+            std::env::temp_dir().join(format!("relcheck-chaos-{}-{seed:x}", std::process::id()))
+        });
+        let stats = soak(seed, 96, store_dir.as_deref());
+        if let Some(dir) = &store_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        assert!(
+            stats.decided > 0,
+            "seed {seed:#x}: the soak never audited a decided verdict: {stats:?}"
+        );
+        assert!(
+            stats.tampered > 0,
+            "seed {seed:#x}: the soak never exercised tamper rejection: {stats:?}"
+        );
+    }
+    restore_panics();
+}
+
+/// The extended soak: keeps spinning fresh seeds until the
+/// `RELCHECK_CHAOS_SOAK_MS` wall-clock budget (default 10 s) is spent.
+/// Run with `cargo test -p relcheck-core --test chaos -- --ignored`.
+#[test]
+#[ignore = "wall-clock soak; CI runs it explicitly via scripts/ci.sh"]
+fn chaos_soak_extended() {
+    let _g = lock();
+    quiet_panics();
+    let budget_ms: u64 = std::env::var("RELCHECK_CHAOS_SOAK_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let deadline = Instant::now() + Duration::from_millis(budget_ms);
+    let mut seed = 0x50AC_0001_u64;
+    let mut rounds = 0usize;
+    let mut decided = 0usize;
+    let mut tampered = 0usize;
+    while Instant::now() < deadline {
+        let stats = soak(seed, 64, None);
+        decided += stats.decided;
+        tampered += stats.tampered;
+        rounds += 1;
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    }
+    restore_panics();
+    assert!(rounds > 0 && decided > 0 && tampered > 0);
+    println!("soak: {rounds} round(s), {decided} decided audit(s), {tampered} tamper rejection(s)");
+}

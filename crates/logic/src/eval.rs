@@ -31,6 +31,22 @@ impl<'a> EvalContext<'a> {
         if !free.is_empty() {
             return Err(LogicError::FreeVariables(free));
         }
+        Self::open(db, f)
+    }
+
+    /// Prepare an **open** formula — free variables allowed — for
+    /// evaluation under explicitly supplied environments (see
+    /// [`eval_with`]). This is the audit re-checker's entry point: a
+    /// witness substitution binds a constraint's outer universals directly,
+    /// without enumerating their domains. Fails with
+    /// [`LogicError::UnsortedVariable`] when a free variable's attribute
+    /// class cannot be inferred from the formula itself.
+    ///
+    /// [`eval_with`]: EvalContext::eval_with
+    pub fn open(db: &'a Database, f: &Formula) -> Result<EvalContext<'a>> {
+        // standardize_apart seeds its used-name set with the free
+        // variables, so bound variables shadowing a free name are always
+        // freshened — a caller-supplied binding can never be captured.
         let f = standardize_apart(f);
         let sorts = infer_sorts(db, &f)?;
         let mut extents = HashMap::new();
@@ -55,7 +71,21 @@ impl<'a> EvalContext<'a> {
 
     /// Decide the sentence.
     pub fn eval(&self) -> bool {
-        let mut env = HashMap::new();
+        self.eval_with(&HashMap::new())
+    }
+
+    /// Evaluate under a pre-seeded environment mapping free variables to
+    /// dictionary codes. `env` must bind every free variable of the
+    /// formula; codes must come from the class each variable was inferred
+    /// at ([`sorts`]).
+    ///
+    /// [`sorts`]: EvalContext::sorts
+    pub fn eval_with(&self, env: &HashMap<String, u32>) -> bool {
+        debug_assert!(
+            self.formula.free_vars().iter().all(|v| env.contains_key(v)),
+            "eval_with: environment must bind every free variable"
+        );
+        let mut env = env.clone();
         self.eval_rec(&self.formula.clone(), &mut env)
     }
 
@@ -231,6 +261,43 @@ mod tests {
         let db = db();
         let f = parse(r#"exists a. CUST("Nowhere", a)"#).unwrap();
         assert!(!eval_sentence(&db, &f).unwrap());
+    }
+
+    #[test]
+    fn open_context_evaluates_witness_substitutions() {
+        let db = db();
+        // Matrix of: forall c, a. CUST(c, a) & c = "Toronto" -> a in {416}.
+        let body = parse(r#"CUST(c, a) & c = "Toronto" -> a in {416}"#).unwrap();
+        let ctx = EvalContext::open(&db, &body).unwrap();
+        assert_eq!(ctx.sorts()["c"], "city");
+        assert_eq!(ctx.sorts()["a"], "areacode");
+        let code = |class: &str, raw: &Raw| db.code(class, raw).unwrap();
+        let env = |city: &str, area: i64| {
+            HashMap::from([
+                ("c".to_owned(), code("city", &Raw::str(city))),
+                ("a".to_owned(), code("areacode", &Raw::Int(area))),
+            ])
+        };
+        // (Toronto, 647) falsifies the matrix — a genuine witness.
+        assert!(!ctx.eval_with(&env("Toronto", 647)));
+        // (Toronto, 416) and (Oshawa, 905) satisfy it.
+        assert!(ctx.eval_with(&env("Toronto", 416)));
+        assert!(ctx.eval_with(&env("Oshawa", 905)));
+        // A bound variable shadowing a free name is freshened, so the
+        // outer binding survives evaluation of the inner scope: if the
+        // inner `a` were not renamed, its scope exit would unbind the
+        // free `a` and the second conjunct could never hold.
+        let shadow = parse("(exists a. CUST(c, a) & a = 647) & CUST(c, a)").unwrap();
+        let ctx2 = EvalContext::open(&db, &shadow).unwrap();
+        assert!(ctx2.eval_with(&env("Toronto", 416)));
+        assert!(!ctx2.eval_with(&env("Oshawa", 905)));
+        // A free variable sorted only through an equality with a constant
+        // is rejected, not guessed.
+        let unsortable = parse(r#"(exists c. CUST(c, a)) & c = "Toronto""#).unwrap();
+        assert!(matches!(
+            EvalContext::open(&db, &unsortable),
+            Err(LogicError::UnsortedVariable(_))
+        ));
     }
 
     #[test]

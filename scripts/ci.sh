@@ -258,6 +258,70 @@ grep " via " "$BATCH_OUT" | awk '{print $1, $2}' | sort > "$BATCH_OUT.verdicts"
 diff "$SERVE_OUT.verdicts" "$BATCH_OUT.verdicts"
 rm -f "$SERVE_OUT.verdicts" "$BATCH_OUT.verdicts"
 
+step "audit smoke: run → certify → verify → tamper → expect rejection"
+# The trust-but-verify loop end to end: a certified run writes a bundle
+# whose every decided certificate passes the independent re-check; a
+# single-character tamper of a witness value must be rejected (exit 1
+# from `audit verify`, with the typed error on the offending line).
+BUNDLE="$(mktemp /tmp/relcheck-bundle.XXXXXX.json)"
+TAMPERED="$(mktemp /tmp/relcheck-tampered.XXXXXX.json)"
+AUDIT_OUT="$(mktemp /tmp/relcheck-audit.XXXXXX.txt)"
+trap 'rm -rf "$METRICS_OUT" "$PLAN_A" "$PLAN_B" "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT" "$SERVE_DIR" "$SERVE_OUT" "$BATCH_OUT" "$BUNDLE" "$TAMPERED" "$AUDIT_OUT"' EXIT
+set +e
+cargo run --release --quiet --bin relcheck -- \
+    run testdata/phones.spec --certify "$BUNDLE" --metrics "$METRICS_OUT" >/dev/null
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+    # phones.spec plants violations: exit 1 is the certified-violations
+    # outcome; 0 would mean the fixture lost them, >=2 an operational or
+    # self-verification failure.
+    echo "certified run should exit 1 on the violation fixture (got $rc)" >&2
+    exit 1
+fi
+cargo run --release --quiet --bin relcheck -- metrics-check "$METRICS_OUT"
+if ! grep -q '"audit":{"emitted":4,"verified":4,"failed":0' "$METRICS_OUT"; then
+    echo "run metrics missing the schema-v6 audit block" >&2
+    exit 1
+fi
+cargo run --release --quiet --bin relcheck -- \
+    audit verify testdata/phones.spec "$BUNDLE" >"$AUDIT_OUT"
+if ! grep -q '4 verified, 0 unauditable, 0 failed' "$AUDIT_OUT"; then
+    echo "audit verify did not validate every certificate" >&2
+    exit 1
+fi
+# `audit emit` must reproduce a bundle that verifies identically.
+cargo run --release --quiet --bin relcheck -- \
+    audit emit testdata/phones.spec "$TAMPERED" >/dev/null
+cargo run --release --quiet --bin relcheck -- \
+    audit verify testdata/phones.spec "$TAMPERED" >/dev/null
+# Tamper one witness value (the 212 prefix violation becomes 213, a
+# value outside the areacode domain) and expect the typed rejection.
+sed 's/{"int":212}/{"int":213}/' "$BUNDLE" > "$TAMPERED"
+if cmp -s "$BUNDLE" "$TAMPERED"; then
+    echo "tamper sed matched nothing; fixture witnesses changed?" >&2
+    exit 1
+fi
+set +e
+cargo run --release --quiet --bin relcheck -- \
+    audit verify testdata/phones.spec "$TAMPERED" >"$AUDIT_OUT"
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+    echo "tampered bundle must fail audit verify with exit 1 (got $rc)" >&2
+    exit 1
+fi
+if ! grep -q 'FAILED' "$AUDIT_OUT"; then
+    echo "tampered bundle rejection missing the FAILED line" >&2
+    exit 1
+fi
+
+if [ "$QUICK" -eq 0 ]; then
+    step "chaos soak: serve-mode fault injection + certificate audits (~10 s)"
+    RELCHECK_CHAOS_SOAK_MS="${RELCHECK_CHAOS_SOAK_MS:-10000}" \
+        cargo test --release -q -p relcheck-core --test chaos -- --ignored
+fi
+
 step "bench smoke: small BENCH_table1.json emission + schema validation"
 # A small-size run of the table1 BENCH emitter must produce a document
 # that bench-check accepts, and the committed trajectory files (when

@@ -4,14 +4,18 @@
 //! relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY] [--threads N]
 //!                          [--metrics PATH] [--deadline-ms N] [--index-cache DIR]
 //!                          [--fail-spec SPEC] [--fail-seed N]
+//!                          [--certify PATH] [--witness-limit N]
 //! relcheck explain <spec-file> <constraint-name>
 //! relcheck plan <spec-file> [constraint-name] [--ordering STRATEGY]
+//! relcheck audit emit <spec-file> <bundle.json> [--witness-limit N] [--ordering STRATEGY]
+//! relcheck audit verify <spec-file> <bundle.json>
 //! relcheck metrics-check <metrics.json>
 //! relcheck bench-check <BENCH.json>...
 //! relcheck index <build|verify|repair|gc|apply> <spec-file> --index-cache DIR
 //!                [deltas...] [--ordering STRATEGY] [--fail-spec SPEC] [--fail-seed N]
 //! relcheck serve <spec-file> [--index-cache DIR] [--socket PATH] [--ordering STRATEGY]
 //!                [--metrics PATH] [--deadline-ms N] [--fail-spec SPEC] [--fail-seed N]
+//!                [--witness-limit N]
 //! ```
 //!
 //! The spec file declares CSV-backed tables and named first-order
@@ -39,6 +43,17 @@
 //! cannot be decided under injected faults report `DEGRADED`/`ERRORED`
 //! verdicts; only genuine `VIOLATED` verdicts make the exit code non-zero.
 //!
+//! Certificates: `run --certify PATH` writes a JSON bundle of one
+//! [`relcheck::core_::Certificate`] per constraint (witness tuples for
+//! violations, capped at `--witness-limit`, default 10) and self-verifies
+//! each decided certificate with the independent naive re-checker before
+//! exiting. `audit emit` produces the same bundle stand-alone; `audit
+//! verify` re-checks a bundle against the spec's CSVs using only the
+//! first-order interpreter — no planner, no rewrites, no BDDs — and exits
+//! 1 if any certificate fails the audit (tampered witnesses, forged
+//! verdicts, stale fingerprints). Undecided (`DEGRADED`/`ERRORED`)
+//! certificates are reported as unauditable rather than silently passed.
+//!
 //! `plan` prints the compiled [`relcheck::core_::CheckPlan`] for one (or
 //! every) constraint without executing it: the rewrite passes that ran,
 //! the formula before and after each one, the cost-gate decisions, and
@@ -59,23 +74,32 @@
 //! `serve` keeps everything warm across requests: it loads the spec,
 //! primes every constraint once, then reads a line-oriented command
 //! protocol from stdin (or a unix socket with `--socket PATH`) —
-//! `+REL:v,…` / `-REL:v,…` tuple deltas, `check [name]`, `stats`,
-//! `quit`. Each check re-verifies only the constraints whose read-set
-//! intersects the relations dirtied since the last check; the rest
-//! answer from cached verdicts. With `--index-cache DIR` deltas are
-//! journaled durably before being applied, so a killed session
-//! warm-starts to the acknowledged state. `--metrics PATH` writes the
-//! schema-v5 document (with the `serve` block) on shutdown. The exit
-//! code reflects the final verdicts: 0 when nothing is violated.
+//! `+REL:v,…` / `-REL:v,…` tuple deltas, `check [name]`, `certify
+//! [name]`, `stats`, `quit`. Each check re-verifies only the constraints
+//! whose read-set intersects the relations dirtied since the last check;
+//! the rest answer from cached verdicts. `certify` re-checks the named
+//! (or every) constraint fresh, emits its certificate as a JSON line,
+//! and self-verifies it with the naive re-checker. With `--index-cache
+//! DIR` deltas are journaled durably before being applied, so a killed
+//! session warm-starts to the acknowledged state. `--metrics PATH`
+//! writes the schema-v6 document (with the `serve` and `audit` blocks)
+//! on shutdown. The exit code reflects the final verdicts: 0 when
+//! nothing is violated.
 
+use relcheck::core_::certify::{
+    bundle_to_json, emit_certificates, parse_bundle, verify_bundle, AuditError, Certificate,
+    DEFAULT_WITNESS_LIMIT,
+};
 use relcheck::core_::checker::{CheckReport, Checker, CheckerOptions, Verdict};
 use relcheck::core_::ordering::OrderingStrategy;
 use relcheck::core_::registry::ConstraintRegistry;
 use relcheck::core_::serve::{parse_delta, ServeEngine};
 use relcheck::core_::store::{Delta, IndexStore, VerifyStatus};
 use relcheck::core_::telemetry::{
-    validate_bench_json, validate_metrics_json, FleetTelemetry, RunMetrics, WorkerTelemetry,
+    validate_bench_json, validate_metrics_json, AuditMetrics, FleetTelemetry, RunMetrics,
+    WorkerTelemetry,
 };
+use relcheck::logic::Formula;
 use relcheck::relstore::Database;
 use relcheck::spec::{parse_spec, Spec};
 use std::path::{Path, PathBuf};
@@ -100,15 +124,18 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage:\n  relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY] [--threads N] \
-     [--metrics PATH] [--deadline-ms N] [--index-cache DIR] [--fail-spec SPEC] [--fail-seed N]\n  \
+     [--metrics PATH] [--deadline-ms N] [--index-cache DIR] [--fail-spec SPEC] [--fail-seed N] \
+     [--certify PATH] [--witness-limit N]\n  \
      relcheck explain <spec-file> <constraint-name>\n  \
      relcheck plan <spec-file> [constraint-name] [--ordering STRATEGY]\n  \
+     relcheck audit emit <spec-file> <bundle.json> [--witness-limit N] [--ordering STRATEGY]\n  \
+     relcheck audit verify <spec-file> <bundle.json>\n  \
      relcheck metrics-check <metrics.json>\n  \
      relcheck bench-check <BENCH.json>...\n  \
      relcheck index <build|verify|repair|gc|apply> <spec-file> --index-cache DIR \
      [+REL:v1,v2 | -REL:v1,v2 ...]\n  \
      relcheck serve <spec-file> [--index-cache DIR] [--socket PATH] [--ordering STRATEGY] \
-     [--metrics PATH] [--deadline-ms N] [--fail-spec SPEC] [--fail-seed N]"
+     [--metrics PATH] [--deadline-ms N] [--fail-spec SPEC] [--fail-seed N] [--witness-limit N]"
         .to_owned()
 }
 
@@ -118,6 +145,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         "run" => cmd_run(&args[1..]),
         "explain" => cmd_explain(&args[1..]).map(|()| true),
         "plan" => cmd_plan(&args[1..]).map(|()| true),
+        "audit" => cmd_audit(&args[1..]),
         "metrics-check" => cmd_metrics_check(&args[1..]).map(|()| true),
         "bench-check" => cmd_bench_check(&args[1..]).map(|()| true),
         "index" => cmd_index(&args[1..]),
@@ -209,6 +237,8 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         return Err("--sql and --index-cache cannot be combined".to_owned());
     }
     let metrics_path = flag_value(args, "--metrics").map(str::to_owned);
+    let certify_path = flag_value(args, "--certify").map(str::to_owned);
+    let witness_limit = parse_witness_limit(args)?;
     let deadline = flag_value(args, "--deadline-ms")
         .map(|v| {
             v.parse::<u64>()
@@ -230,6 +260,11 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         // verdicts; keep the default hook from spraying backtraces for
         // faults we asked for.
         std::panic::set_hook(Box::new(|_| {}));
+    }
+    if force_sql && certify_path.is_some() {
+        // Certificate witnesses come off the violation BDD; a pure-SQL
+        // run has none to enumerate from.
+        return Err("--sql and --certify cannot be combined".to_owned());
     }
     let (spec, db) = load(spec_path)?;
     if spec.constraints.is_empty() {
@@ -316,16 +351,48 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
             );
         }
     }
+    // Emit + self-verify certificates before the metrics document so the
+    // audit counters land in its schema-v6 `audit` block.
+    let mut audit_metrics = None;
+    let mut audit_failures = Vec::new();
+    if let Some(path) = &certify_path {
+        let constraints: Vec<(String, Formula)> = spec
+            .constraints
+            .iter()
+            .map(|c| (c.name.clone(), c.formula.clone()))
+            .collect();
+        let certs = emit_certificates(&mut checker, &constraints, &reports, witness_limit)
+            .map_err(|e| format!("emitting certificates: {e}"))?;
+        let (stats, failures) = self_verify(checker.logical_db().db(), &constraints, &certs);
+        std::fs::write(path, bundle_to_json(&certs))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "certificates: {} emitted ({} witness tuple(s)), {} self-verified, {} failed; \
+             written to {path}",
+            stats.emitted, stats.witnesses, stats.verified, stats.failed
+        );
+        audit_metrics = Some(stats);
+        audit_failures = failures;
+    }
     if let Some(path) = &metrics_path {
         let mut metrics = RunMetrics::from_reports(&reports, fleet, threads);
         if let Some(store) = &store {
             metrics.index_cache = Some(store.stats.clone());
         }
         metrics.plan_cache = plan_cache;
+        metrics.audit = audit_metrics;
         let doc = metrics.to_json();
         debug_assert!(validate_metrics_json(&doc).is_ok());
         std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("metrics written to {path}");
+    }
+    if !audit_failures.is_empty() {
+        // A fresh certificate failing its own audit is an engine bug or
+        // a torn write, never a data problem — surface it as a hard error.
+        return Err(format!(
+            "certificate self-verification failed:\n  {}",
+            audit_failures.join("\n  ")
+        ));
     }
     let mut clean = true;
     let mut violated = Vec::new();
@@ -388,6 +455,172 @@ fn print_report_line(name: &str, report: &CheckReport) {
     }
 }
 
+fn parse_witness_limit(args: &[String]) -> Result<usize, String> {
+    flag_value(args, "--witness-limit")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--witness-limit expects a number".to_owned())
+        })
+        .transpose()
+        .map(|v| v.unwrap_or(DEFAULT_WITNESS_LIMIT))
+}
+
+/// Self-verify freshly emitted certificates with the independent naive
+/// re-checker and fold the outcomes into audit metrics. Undecided
+/// (degraded/errored) certificates are unauditable by design and count
+/// in neither the verified nor the failed bucket.
+fn self_verify(
+    db: &Database,
+    constraints: &[(String, Formula)],
+    certs: &[Certificate],
+) -> (AuditMetrics, Vec<String>) {
+    let mut stats = AuditMetrics {
+        emitted: certs.len() as u64,
+        witnesses: certs
+            .iter()
+            .filter_map(|c| c.witnesses.as_ref())
+            .map(|w| w.tuples.len() as u64)
+            .sum(),
+        ..Default::default()
+    };
+    let mut failures = Vec::new();
+    for (name, res) in verify_bundle(db, constraints, certs) {
+        match res {
+            Ok(_) => stats.verified += 1,
+            Err(AuditError::Unauditable { .. }) => {}
+            Err(e) => {
+                stats.failed += 1;
+                failures.push(format!("{name}: {e}"));
+            }
+        }
+    }
+    (stats, failures)
+}
+
+/// `relcheck audit <emit|verify>`: stand-alone certificate production and
+/// the independent re-check (see the module docs for the trust model).
+fn cmd_audit(args: &[String]) -> Result<bool, String> {
+    let sub = args.first().ok_or_else(usage)?.as_str();
+    let rest = &args[1..];
+    match sub {
+        "emit" => {
+            let spec_path = rest.first().ok_or_else(usage)?;
+            let out_path = rest
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| "audit emit: output bundle path is required".to_owned())?;
+            let witness_limit = parse_witness_limit(rest)?;
+            let ordering = match flag_value(rest, "--ordering") {
+                Some(name) => ordering_from(name)?,
+                None => OrderingStrategy::ProbConverge,
+            };
+            let (spec, db) = load(spec_path)?;
+            if spec.constraints.is_empty() {
+                return Err("spec declares no constraints".to_owned());
+            }
+            let mut checker = Checker::new(
+                db,
+                CheckerOptions {
+                    ordering,
+                    ..Default::default()
+                },
+            );
+            let mut registry = ConstraintRegistry::new();
+            for c in &spec.constraints {
+                if !registry.register(&c.name, c.formula.clone()) {
+                    return Err(format!("duplicate constraint name {:?}", c.name));
+                }
+            }
+            let reports = registry
+                .validate_all(&mut checker)
+                .map_err(|e| format!("checking constraints: {e}"))?;
+            let constraints: Vec<(String, Formula)> = spec
+                .constraints
+                .iter()
+                .map(|c| (c.name.clone(), c.formula.clone()))
+                .collect();
+            let certs = emit_certificates(&mut checker, &constraints, &reports, witness_limit)
+                .map_err(|e| format!("emitting certificates: {e}"))?;
+            println!();
+            for (cert, (_, report)) in certs.iter().zip(&reports) {
+                let w = cert.witnesses.as_ref().map_or(0, |w| w.tuples.len());
+                println!(
+                    "{:<32} {:<9} rung={} witnesses={}",
+                    cert.constraint,
+                    report.verdict.name(),
+                    cert.rung,
+                    w
+                );
+            }
+            let (stats, failures) = self_verify(checker.logical_db().db(), &constraints, &certs);
+            std::fs::write(out_path, bundle_to_json(&certs))
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            println!(
+                "\ncertificates: {} emitted ({} witness tuple(s)), {} self-verified, {} failed; \
+                 written to {out_path}",
+                stats.emitted, stats.witnesses, stats.verified, stats.failed
+            );
+            if !failures.is_empty() {
+                return Err(format!(
+                    "certificate self-verification failed:\n  {}",
+                    failures.join("\n  ")
+                ));
+            }
+            Ok(true)
+        }
+        "verify" => {
+            let spec_path = rest.first().ok_or_else(usage)?;
+            let bundle_path = rest
+                .get(1)
+                .ok_or_else(|| "audit verify: bundle path is required".to_owned())?;
+            let (spec, db) = load(spec_path)?;
+            let constraints: Vec<(String, Formula)> = spec
+                .constraints
+                .iter()
+                .map(|c| (c.name.clone(), c.formula.clone()))
+                .collect();
+            let text = std::fs::read_to_string(bundle_path)
+                .map_err(|e| format!("cannot read {bundle_path}: {e}"))?;
+            let certs = parse_bundle(&text).map_err(|e| format!("parsing {bundle_path}: {e}"))?;
+            println!();
+            let mut verified = 0usize;
+            let mut unauditable = 0usize;
+            let mut failed = 0usize;
+            for (name, res) in verify_bundle(&db, &constraints, &certs) {
+                match res {
+                    Ok(o) => {
+                        verified += 1;
+                        println!(
+                            "{:<32} ok        verdict={} witnesses={} recounted={}",
+                            name,
+                            o.verdict.name(),
+                            o.witnesses_checked,
+                            o.recounted
+                        );
+                    }
+                    Err(AuditError::Unauditable { verdict, .. }) => {
+                        // Undecided verdicts never silently pass: they are
+                        // named here and excluded from "verified".
+                        unauditable += 1;
+                        println!("{:<32} unauditable ({})", name, verdict.name());
+                    }
+                    Err(e) => {
+                        failed += 1;
+                        println!("{name:<32} FAILED    {e}");
+                    }
+                }
+            }
+            println!(
+                "\naudit: {} certificate(s) — {verified} verified, {unauditable} unauditable, \
+                 {failed} failed",
+                certs.len()
+            );
+            Ok(failed == 0)
+        }
+        other => Err(format!("unknown audit subcommand {other:?}\n{}", usage())),
+    }
+}
+
 /// `relcheck serve`: the long-lived incremental check session (see the
 /// module docs for the protocol).
 fn cmd_serve(args: &[String]) -> Result<bool, String> {
@@ -421,6 +654,7 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
     }
     let index_cache = flag_value(args, "--index-cache").map(str::to_owned);
     let socket = flag_value(args, "--socket").map(str::to_owned);
+    let witness_limit = parse_witness_limit(args)?;
     let (spec, db) = load(spec_path)?;
     if spec.constraints.is_empty() {
         return Err("spec declares no constraints".to_owned());
@@ -460,13 +694,14 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
     let before = checker.logical_db().manager().stats();
     let (mut engine, reports) = ServeEngine::new(checker, &constraints, store)
         .map_err(|e| format!("priming the session: {e}"))?;
+    engine.set_witness_limit(witness_limit);
     println!();
     for (name, report) in &reports {
         print_report_line(name, report);
     }
     println!(
         "\nserving {} constraint(s) over {} relation(s); commands: \
-         +REL:v,... -REL:v,... check [name] stats quit",
+         +REL:v,... -REL:v,... check [name] certify [name] stats quit",
         reports.len(),
         engine.checker().logical_db().db().relation_names().count()
     );
@@ -491,6 +726,7 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
         metrics.index_cache = engine.store().map(|s| s.stats.clone());
         metrics.plan_cache = Some(engine.plan_cache_stats());
         metrics.serve = Some(engine.stats());
+        metrics.audit = Some(engine.audit_stats());
         let doc = metrics.to_json();
         debug_assert!(validate_metrics_json(&doc).is_ok());
         std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
