@@ -330,6 +330,11 @@ pub struct Checker {
     /// *verdicts* too, but only for constraints that actually read the
     /// invalidated relation.
     invalidated: HashMap<String, u64>,
+    /// When set, checks enter the degradation ladder at the SQL rung
+    /// instead of building BDDs ([`FallbackReason::Overload`]). Flipped
+    /// per-request by the serve admission governor; never affects the
+    /// verdict, only the path that decides it.
+    shed_load: bool,
 }
 
 impl Checker {
@@ -345,6 +350,7 @@ impl Checker {
             sql_only: HashSet::new(),
             epoch: 0,
             invalidated: HashMap::new(),
+            shed_load: false,
         }
     }
 
@@ -361,6 +367,28 @@ impl Checker {
     /// The active options.
     pub fn options(&self) -> &CheckerOptions {
         &self.opts
+    }
+
+    /// Enter (or leave) load-shedding mode: while set, checks skip the
+    /// BDD rungs and enter the ladder at SQL, recorded in the trace as
+    /// [`FallbackReason::Overload`]. The SQL and brute-force rungs decide
+    /// the same verdict the full ladder would, so shedding trades memory
+    /// headroom for per-check speed without ever changing an answer.
+    pub fn set_shed_load(&mut self, shed: bool) {
+        self.shed_load = shed;
+    }
+
+    /// Whether load-shedding mode is active (see [`Checker::set_shed_load`]).
+    pub fn shed_load(&self) -> bool {
+        self.shed_load
+    }
+
+    /// Replace the per-check wall-clock deadline. The serve watchdog uses
+    /// this to arm a hard ceiling on every request it dispatches so a
+    /// stuck check escalates down the ladder instead of hanging the
+    /// engine actor.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.opts.deadline = deadline;
     }
 
     /// Force index construction for a relation now (otherwise lazy).
@@ -639,7 +667,13 @@ impl Checker {
             Some(prev) => *error = Some(format!("{prev}; {e}")),
             None => *error = Some(e),
         };
-        if let Some(step) = plan.bdd.as_ref() {
+        if self.shed_load && plan.bdd.is_some() {
+            // The admission governor shed this check: skip the BDD rungs
+            // and enter the ladder at SQL, which decides the same verdict
+            // without building node-heavy intermediates. Recorded as a
+            // fallback so the trace shows the ladder entered late.
+            fallback = Some(FallbackReason::Overload);
+        } else if let Some(step) = plan.bdd.as_ref() {
             // Rung 1: the paper's BDD path — execute the plan's BDD step.
             ladder.push("bdd");
             let sink = if tel { Some(&mut r2) } else { None };

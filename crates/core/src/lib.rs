@@ -84,10 +84,10 @@ pub use ordering::OrderingStrategy;
 pub use parallel::{IndexTransfer, ParallelChecker};
 pub use plan::{CheckPlan, PlanOptions};
 pub use registry::ConstraintRegistry;
-pub use serve::ServeEngine;
+pub use serve::{ApplyOutcome, ServeActor, ServeClient, ServeConfig, ServeEngine, Submission};
 pub use store::{Delta, IndexStore, VerifyStatus};
 pub use telemetry::{
     AuditMetrics, CheckTrace, DegradationSummary, FallbackReason, FleetTelemetry,
-    IndexCacheMetrics, PassStat, PlanCacheMetrics, RecoveryRecord, RewriteRule, RuleFiring,
-    RunMetrics, ServeMetrics, WorkerTelemetry,
+    IndexCacheMetrics, OverloadMetrics, PassStat, PlanCacheMetrics, RecoveryRecord, RewriteRule,
+    RuleFiring, RunMetrics, ServeMetrics, WorkerTelemetry,
 };

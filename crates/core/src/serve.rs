@@ -25,26 +25,49 @@
 //!
 //! Durability: with a store attached, deltas flow through
 //! [`IndexStore::journaled_apply`] — journal-first with fsync — so a
-//! killed session warm-starts to exactly the acknowledged state. A delta
-//! value outside a frozen BDD block's domain cannot be folded into the
-//! index in-place; the engine degrades that relation to the SQL rung
+//! killed session warm-starts to exactly the acknowledged state. A
+//! transiently failing append is retried with bounded deterministic
+//! backoff ([`IndexStore::journaled_apply_retrying`]); if the retry
+//! budget runs dry the delta is served rows-only — exact but not durable
+//! — and the reply says so (`durable=false`). A delta value outside a
+//! frozen BDD block's domain cannot be folded into the index in-place;
+//! the engine degrades that relation to the SQL rung
 //! ([`Checker::mark_sql_only`], which retires cached plans *and* cached
 //! verdicts) and keeps serving correct answers until a restart rebuilds
 //! wider blocks. Per-request deadlines and overload ride the existing
 //! degradation ladder: every re-check goes through
 //! [`crate::registry::ConstraintRegistry::check_cached`], whose deadline,
 //! node-budget, and panic handling are unchanged.
+//!
+//! Concurrency: the engine itself is single-threaded on purpose — one
+//! [`ServeActor`] thread owns it and serializes every request off a
+//! **bounded** queue, so verdict-order determinism is structural, not
+//! locked-in. Sessions (one thread per connection in the CLI) talk to it
+//! through cloned [`ServeClient`] handles whose `submit` runs the
+//! admission governor: Normal requests take the full ladder, Shed
+//! requests (queue backlog or slow last request) enter at the SQL rung
+//! ([`crate::telemetry::FallbackReason::Overload`]), and when the queue
+//! is full the request is Rejected with a typed `busy <retry-after-ms>`
+//! reply without ever touching the engine. `quit` (or the CLI's SIGTERM
+//! handler) starts a graceful drain: queued requests are finished, new
+//! ones see a closed session, and the actor hands the engine back for
+//! the final journal flush and metrics emission.
 
 use crate::certify::{emit_certificate, verify_certificate, Certificate, DEFAULT_WITNESS_LIMIT};
 use crate::checker::{CheckReport, Checker};
 use crate::error::{CoreError, Result};
 use crate::registry::{ConstraintRegistry, Verdict};
 use crate::store::{Delta, IndexStore};
-use crate::telemetry::{AuditMetrics, PlanCacheMetrics, ServeMetrics};
+use crate::telemetry::{AuditMetrics, OverloadMetrics, PlanCacheMetrics, ServeMetrics};
 use relcheck_logic::Formula;
 use relcheck_relstore::{Raw, StoreError};
 use std::collections::BTreeSet;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// One parsed protocol command.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,6 +145,28 @@ pub fn parse_command(line: &str) -> std::result::Result<Option<Command>, String>
     Ok(Some(command))
 }
 
+/// Decode one raw protocol line from the wire before it reaches
+/// [`parse_command`]: cap the length (a slowloris or binary stream must
+/// not buffer unbounded), reject embedded NULs and invalid UTF-8 with a
+/// typed message, and strip the trailing newline. Shared by the CLI's
+/// socket sessions and the protocol fuzz suite, so hardening and tests
+/// see the same code path.
+pub fn sanitize_line(bytes: &[u8], max_line_bytes: usize) -> std::result::Result<String, String> {
+    if bytes.len() > max_line_bytes {
+        return Err(format!(
+            "line exceeds {max_line_bytes} bytes (got {})",
+            bytes.len()
+        ));
+    }
+    if bytes.contains(&0) {
+        return Err("line contains a NUL byte".to_owned());
+    }
+    match std::str::from_utf8(bytes) {
+        Ok(s) => Ok(s.trim_end_matches(['\r', '\n']).to_owned()),
+        Err(e) => Err(format!("line is not valid UTF-8: {e}")),
+    }
+}
+
 /// The engine's answer to one protocol line.
 #[derive(Debug, Clone, Default)]
 pub struct Reply {
@@ -130,6 +175,26 @@ pub struct Reply {
     /// Whether the session should end.
     pub quit: bool,
 }
+
+/// What [`ServeEngine::apply`] did with one delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// Whether the relation actually changed (duplicate inserts and
+    /// deletes of absent tuples don't).
+    pub changed: bool,
+    /// Whether the delta is durably journaled. `false` only on the
+    /// retry-exhausted path: the delta is applied rows-only and the
+    /// relation degraded to the SQL rung, so answers stay exact but a
+    /// crash before the next successful write-back loses the delta.
+    pub durable: bool,
+    /// Journal-append retries spent before the append succeeded (0 when
+    /// storeless or first-try).
+    pub retries: u64,
+}
+
+/// Journal-append retry budget for the serve path (see
+/// [`IndexStore::journaled_apply_retrying`]).
+pub const JOURNAL_RETRY_LIMIT: u64 = 3;
 
 /// The long-lived incremental check engine (see module docs).
 pub struct ServeEngine {
@@ -143,6 +208,9 @@ pub struct ServeEngine {
     /// Witness cap for `certify` replies.
     witness_limit: usize,
     audit: AuditMetrics,
+    /// Journal-append retries absorbed across the session (the overload
+    /// block's `retries` counter).
+    journal_retries: u64,
 }
 
 impl ServeEngine {
@@ -165,6 +233,7 @@ impl ServeEngine {
             stats: ServeMetrics::default(),
             witness_limit: DEFAULT_WITNESS_LIMIT,
             audit: AuditMetrics::default(),
+            journal_retries: 0,
         };
         for (name, f) in constraints {
             if !engine.registry.register(name, f.clone()) {
@@ -180,11 +249,15 @@ impl ServeEngine {
     }
 
     /// Apply one tuple delta and mark its relation dirty. With a store
-    /// attached the delta is durably journaled first
-    /// ([`IndexStore::journaled_apply`]); without one it goes straight
-    /// through incremental index maintenance. Returns whether the
-    /// relation actually changed (duplicate inserts and misses don't).
-    pub fn apply(&mut self, relation: &str, delta: &Delta) -> Result<bool> {
+    /// attached the delta is durably journaled first, retrying transient
+    /// append failures with bounded backoff
+    /// ([`IndexStore::journaled_apply_retrying`]); if the retry budget
+    /// runs dry the delta is applied rows-only (exact, not durable) and
+    /// the relation degraded to the SQL rung rather than lost or left
+    /// half-applied. Without a store the delta goes straight through
+    /// incremental index maintenance. The outcome reports what happened
+    /// ([`ApplyOutcome`]).
+    pub fn apply(&mut self, relation: &str, delta: &Delta) -> Result<ApplyOutcome> {
         let arity = self.checker.logical_db().db().relation(relation)?.arity();
         if delta.values().len() != arity {
             return Err(CoreError::Store(StoreError::ArityMismatch {
@@ -192,19 +265,52 @@ impl ServeEngine {
                 got: delta.values().len(),
             }));
         }
-        let changed = match self.store.as_mut() {
-            Some(store) => match store.journaled_apply(&mut self.checker, relation, delta) {
-                Ok(changed) => changed,
-                // The delta is journaled (durable) but its value does not
-                // fit the frozen BDD block: degrade rather than lose it.
-                Err(CoreError::DomainOverflow { .. }) => self.degrade_overflow(relation, delta)?,
-                Err(e) => return Err(e),
+        let outcome = match self.store.as_mut() {
+            Some(store) => {
+                let (retries, result) = store.journaled_apply_retrying(
+                    &mut self.checker,
+                    relation,
+                    delta,
+                    JOURNAL_RETRY_LIMIT,
+                );
+                self.journal_retries += retries;
+                match result {
+                    Ok(changed) => ApplyOutcome {
+                        changed,
+                        durable: true,
+                        retries,
+                    },
+                    // The delta is journaled (durable) but its value does
+                    // not fit the frozen BDD block: degrade rather than
+                    // lose it.
+                    Err(CoreError::DomainOverflow { .. }) => ApplyOutcome {
+                        changed: self.degrade_overflow(relation, delta)?,
+                        durable: true,
+                        retries,
+                    },
+                    // Retry budget exhausted on a transient append
+                    // failure: the journal never acknowledged the delta,
+                    // so serve it rows-only and route the relation to the
+                    // SQL rung — index and journal can no longer diverge,
+                    // and the client is told durability was lost.
+                    Err(CoreError::Bdd(relcheck_bdd::BddError::FaultInjected { .. }))
+                    | Err(CoreError::Io { .. }) => ApplyOutcome {
+                        changed: self.degrade_overflow(relation, delta)?,
+                        durable: false,
+                        retries,
+                    },
+                    Err(e) => return Err(e),
+                }
+            }
+            None => ApplyOutcome {
+                changed: self.apply_direct(relation, delta)?,
+                durable: true,
+                retries: 0,
             },
-            None => self.apply_direct(relation, delta)?,
         };
         self.dirty.insert(relation.to_owned());
         self.stats.deltas += 1;
-        Ok(changed)
+        Ok(outcome)
     }
 
     /// Store-less delta path: encode, guard the frozen domain exactly
@@ -413,9 +519,14 @@ impl ServeEngine {
                     Delta::Delete(_) => '-',
                 };
                 match self.apply(&relation, &delta) {
-                    Ok(changed) => reply.lines.push(format!(
-                        "ok delta {sign}{relation} applied={changed} dirty={}",
-                        self.dirty.len()
+                    // The durable marker appears only on the degraded
+                    // path, so fault-free replies stay byte-identical to
+                    // every earlier protocol version.
+                    Ok(out) => reply.lines.push(format!(
+                        "ok delta {sign}{relation} applied={} dirty={}{}",
+                        out.changed,
+                        self.dirty.len(),
+                        if out.durable { "" } else { " durable=false" }
                     )),
                     Err(e) => reply.lines.push(format!("err delta {sign}{relation}: {e}")),
                 }
@@ -534,6 +645,12 @@ impl ServeEngine {
         self.audit
     }
 
+    /// Journal-append retries absorbed across the session (see
+    /// [`ApplyOutcome::retries`]).
+    pub fn journal_retries(&self) -> u64 {
+        self.journal_retries
+    }
+
     /// Cap the number of witness tuples each certificate carries
     /// (default [`DEFAULT_WITNESS_LIMIT`]).
     pub fn set_witness_limit(&mut self, limit: usize) {
@@ -567,6 +684,314 @@ impl ServeEngine {
     pub fn store(&self) -> Option<&IndexStore> {
         self.store.as_ref()
     }
+}
+
+/// Tunables for the serving layer: queue bound, session cap, timeouts,
+/// and the shed trigger. All surfaced as `relcheck serve` flags.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Bound of the actor's request queue; a `try_send` against a full
+    /// queue is the Reject tier (`busy` reply, engine untouched).
+    pub queue_depth: usize,
+    /// Maximum concurrent socket sessions; further connections are
+    /// turned away with a `busy` line.
+    pub max_sessions: usize,
+    /// Per-connection idle cap: a client that sends nothing for this
+    /// long is disconnected (slowloris cannot pin a session thread).
+    pub idle_timeout: Duration,
+    /// Shed trigger: when the last request's service time reaches this,
+    /// or the queue is more than half full, new requests enter the
+    /// ladder at the SQL rung. Zero sheds every request (useful to force
+    /// the tier in tests and smokes).
+    pub shed_threshold: Duration,
+    /// Longest raw protocol line accepted from a socket before the
+    /// session replies with a typed error instead of buffering on.
+    pub max_line_bytes: usize,
+    /// Watchdog ceiling: every request is dispatched with at most this
+    /// much wall-clock deadline, so a stuck check escalates down the
+    /// ladder to `Degraded` instead of hanging the actor. A tighter
+    /// user-configured `--deadline-ms` wins.
+    pub hard_deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_depth: 64,
+            max_sessions: 8,
+            idle_timeout: Duration::from_secs(30),
+            shed_threshold: Duration::from_millis(500),
+            max_line_bytes: 64 * 1024,
+            hard_deadline: Duration::from_secs(4),
+        }
+    }
+}
+
+/// One queued request: the raw line, the admission tier it was accepted
+/// at, and the channel its reply goes back on.
+struct Request {
+    line: String,
+    shed: bool,
+    reply: SyncSender<Reply>,
+}
+
+/// State shared between the actor thread and every client handle: the
+/// governor's live signals (queue depth, last service time) and the
+/// admission counters.
+struct ActorShared {
+    depth: AtomicUsize,
+    last_service_ns: AtomicU64,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    draining: AtomicBool,
+}
+
+/// What a [`ServeClient::submit`] came back with.
+#[derive(Debug, Clone)]
+pub enum Submission {
+    /// The request was admitted and served.
+    Reply(Reply),
+    /// Reject tier: the bounded queue was full. The engine never saw the
+    /// request; the client should wait roughly `retry_after_ms` and try
+    /// again (the protocol line is `busy <retry-after-ms>`).
+    Busy {
+        /// Suggested client backoff — the last request's service time,
+        /// floored at 1ms.
+        retry_after_ms: u64,
+    },
+    /// The session is draining or the engine is gone; no reply will ever
+    /// come. The connection should close.
+    Closed,
+}
+
+/// A cloneable handle submitting protocol lines to a [`ServeActor`].
+/// Each `submit` runs the admission governor, then blocks until the
+/// engine's reply (or the queue's verdict) comes back.
+#[derive(Clone)]
+pub struct ServeClient {
+    tx: SyncSender<Request>,
+    shared: Arc<ActorShared>,
+    cfg: ServeConfig,
+}
+
+impl ServeClient {
+    /// Submit one protocol line through admission control.
+    pub fn submit(&self, line: &str) -> Submission {
+        if self.shared.draining.load(Ordering::Acquire) {
+            return Submission::Closed;
+        }
+        // Governor tiers, cheapest signal first: a backlog past half the
+        // queue bound or a slow last request sheds; a full queue rejects.
+        let depth = self.shared.depth.load(Ordering::Acquire);
+        let last = Duration::from_nanos(self.shared.last_service_ns.load(Ordering::Acquire));
+        let shed = 2 * depth > self.cfg.queue_depth || last >= self.cfg.shed_threshold;
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let req = Request {
+            line: line.to_owned(),
+            shed,
+            reply: reply_tx,
+        };
+        match self.tx.try_send(req) {
+            Ok(()) => {
+                self.shared.depth.fetch_add(1, Ordering::AcqRel);
+                self.shared.admitted.fetch_add(1, Ordering::AcqRel);
+                if shed {
+                    self.shared.shed.fetch_add(1, Ordering::AcqRel);
+                }
+                match reply_rx.recv() {
+                    Ok(reply) => Submission::Reply(reply),
+                    // The actor dropped the request (hard shutdown racing
+                    // the drain window); never served, session over.
+                    Err(_) => Submission::Closed,
+                }
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.rejected.fetch_add(1, Ordering::AcqRel);
+                Submission::Busy {
+                    retry_after_ms: (last.as_millis() as u64).max(1),
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => Submission::Closed,
+        }
+    }
+
+    /// Whether the session is draining (quit seen or shutdown begun).
+    /// Accept loops poll this to stop taking connections.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// The config the governor runs with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+}
+
+/// The engine actor: a single thread owning the [`ServeEngine`], fed by
+/// a bounded queue of requests from any number of [`ServeClient`]s (see
+/// module docs for the overload model).
+pub struct ServeActor {
+    tx: Option<SyncSender<Request>>,
+    shared: Arc<ActorShared>,
+    join: Option<JoinHandle<(ServeEngine, u64, u64)>>,
+    cfg: ServeConfig,
+}
+
+impl ServeActor {
+    /// Move the engine onto its actor thread and start serving.
+    pub fn spawn(engine: ServeEngine, cfg: ServeConfig) -> ServeActor {
+        let (tx, rx) = mpsc::sync_channel(cfg.queue_depth.max(1));
+        let shared = Arc::new(ActorShared {
+            depth: AtomicUsize::new(0),
+            last_service_ns: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+        });
+        let loop_shared = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name("relcheck-serve-engine".to_owned())
+            .spawn(move || engine_loop(engine, rx, loop_shared, cfg))
+            .expect("spawn engine actor thread");
+        ServeActor {
+            tx: Some(tx),
+            shared,
+            join: Some(join),
+            cfg,
+        }
+    }
+
+    /// A new client handle for this actor.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            tx: self
+                .tx
+                .clone()
+                .expect("actor accepts clients until shutdown"),
+            shared: Arc::clone(&self.shared),
+            cfg: self.cfg,
+        }
+    }
+
+    /// Stop the actor: close the queue (a drain, if `quit` has not
+    /// already drained it), join the thread, and hand back the engine —
+    /// still warm, ready for `finish()` — plus the session's overload
+    /// counters.
+    pub fn shutdown(mut self) -> (ServeEngine, OverloadMetrics) {
+        drop(self.tx.take());
+        let (engine, watchdog_fires, drained) = self
+            .join
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .expect("engine actor thread never panics (requests are unwind-isolated)");
+        let overload = OverloadMetrics {
+            admitted: self.shared.admitted.load(Ordering::Acquire),
+            shed: self.shared.shed.load(Ordering::Acquire),
+            rejected: self.shared.rejected.load(Ordering::Acquire),
+            retries: engine.journal_retries(),
+            watchdog_fires,
+            drained,
+        };
+        (engine, overload)
+    }
+}
+
+/// Serve one admitted request on the actor thread: arm the shed tier and
+/// the watchdog deadline, run the line unwind-isolated, and restore the
+/// engine to its normal-tier state. Returns the reply and the service
+/// time.
+fn service_request(
+    engine: &mut ServeEngine,
+    req: &Request,
+    deadline: Option<Duration>,
+) -> (Reply, Duration) {
+    engine.checker_mut().set_shed_load(req.shed);
+    engine.checker_mut().set_deadline(deadline);
+    let start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| engine.handle_line(&req.line)));
+    let elapsed = start.elapsed();
+    engine.checker_mut().set_shed_load(false);
+    let reply = match outcome {
+        Ok(reply) => reply,
+        Err(payload) => {
+            // The registry's check path already unwind-isolates checks;
+            // this catches everything else (a parse or bookkeeping bug)
+            // so one poisoned request cannot take down every session.
+            // Clear any armed manager deadline and reclaim dead nodes
+            // before the next request.
+            engine
+                .checker_mut()
+                .logical_db_mut()
+                .manager_mut()
+                .set_deadline(None);
+            engine.checker_mut().logical_db_mut().gc();
+            let msg: &str = if let Some(s) = payload.downcast_ref::<&str>() {
+                s
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s
+            } else {
+                "non-string panic payload"
+            };
+            Reply {
+                lines: vec![format!("err internal: request failed: {msg}")],
+                quit: false,
+            }
+        }
+    };
+    (reply, elapsed)
+}
+
+/// The actor thread body: serialize requests, feed the governor's
+/// signals back, and drain gracefully on `quit` or queue close. Returns
+/// the engine and the (watchdog_fires, drained) counters.
+fn engine_loop(
+    mut engine: ServeEngine,
+    rx: Receiver<Request>,
+    shared: Arc<ActorShared>,
+    cfg: ServeConfig,
+) -> (ServeEngine, u64, u64) {
+    // The watchdog ceiling: a tighter user deadline wins, and the
+    // original option is restored before the engine is handed back.
+    let base_deadline = engine.checker().options().deadline;
+    let deadline = Some(base_deadline.map_or(cfg.hard_deadline, |d| d.min(cfg.hard_deadline)));
+    let mut watchdog_fires = 0u64;
+    let mut drained = 0u64;
+    while let Ok(req) = rx.recv() {
+        shared.depth.fetch_sub(1, Ordering::AcqRel);
+        let (reply, elapsed) = service_request(&mut engine, &req, deadline);
+        if elapsed >= cfg.hard_deadline {
+            watchdog_fires += 1;
+        }
+        shared
+            .last_service_ns
+            .store(elapsed.as_nanos() as u64, Ordering::Release);
+        let quit = reply.quit;
+        if quit {
+            // Stop admitting *before* the goodbye is visible, so a client
+            // that saw `ok bye` can never slip another request in.
+            shared.draining.store(true, Ordering::Release);
+        }
+        // A client that hung up before its reply is not an error.
+        let _ = req.reply.send(reply);
+        if quit {
+            // Graceful drain: finish every request already admitted.
+            while let Ok(queued) = rx.try_recv() {
+                shared.depth.fetch_sub(1, Ordering::AcqRel);
+                let (reply, _) = service_request(&mut engine, &queued, deadline);
+                let _ = queued.reply.send(reply);
+                drained += 1;
+            }
+            break;
+        }
+    }
+    // Queue closed without a quit (stdin EOF, or the CLI shutting down
+    // after SIGTERM): nothing left to drain, same graceful exit.
+    shared.draining.store(true, Ordering::Release);
+    engine.checker_mut().set_deadline(base_deadline);
+    (engine, watchdog_fires, drained)
 }
 
 /// One verdict line: aligned like `relcheck run`'s report so scripted

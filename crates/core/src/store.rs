@@ -50,6 +50,7 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Magic for segment files.
 pub const SEGMENT_MAGIC: [u8; 4] = *b"RCS1";
@@ -209,6 +210,17 @@ fn io_err(op: &'static str, path: &Path, e: &std::io::Error) -> CoreError {
         path: path.display().to_string(),
         message: e.to_string(),
     }
+}
+
+/// Journal-append failures worth retrying: injected faults (the chaos
+/// model for a flaky disk) and real I/O errors. Anything else — arity or
+/// schema problems, domain overflow — is deterministic and retrying
+/// cannot help.
+fn transient_append_failure(e: &CoreError) -> bool {
+    matches!(
+        e,
+        CoreError::Bdd(BddError::FaultInjected { .. }) | CoreError::Io { .. }
+    )
 }
 
 /// Keep file names portable: alphanumerics pass, everything else becomes
@@ -971,6 +983,82 @@ impl IndexStore {
     /// (the next warm start rebuilds with wider blocks).
     pub fn journaled_apply(&mut self, ck: &mut Checker, name: &str, delta: &Delta) -> Result<bool> {
         self.append_delta(name, delta)?;
+        self.apply_after_journal(ck, name, delta)
+    }
+
+    /// [`IndexStore::journaled_apply`] with bounded deterministic
+    /// retry-with-backoff around the journal append — the serve engine's
+    /// resilience path. A transient append failure (injected fault or I/O
+    /// error) first has its torn tail truncated back to the pre-append
+    /// length — the caller is alive and repairing, unlike the kill -9
+    /// model plain [`IndexStore::append_delta`] preserves — then the
+    /// append retries after a short exponential backoff, up to
+    /// `max_retries` times. Returns the retries spent alongside the
+    /// apply result; on `Err` the delta was never acknowledged and the
+    /// caller decides how to degrade.
+    pub fn journaled_apply_retrying(
+        &mut self,
+        ck: &mut Checker,
+        name: &str,
+        delta: &Delta,
+        max_retries: u64,
+    ) -> (u64, Result<bool>) {
+        let path = self.dir.join(journal_file_name(name));
+        let mut retries = 0u64;
+        loop {
+            let pre_len = fs::metadata(&path).map(|m| m.len()).ok();
+            // Decorrelate the failpoint key per (acknowledged-record
+            // sequence, attempt): the registry decides purely from
+            // (seed, site, key), so retrying under the original key
+            // would fail identically forever.
+            let key = if retries == 0 {
+                failpoint::key_str(name)
+            } else {
+                let seq = self.journal_counts.get(name).copied().unwrap_or(0);
+                failpoint::key_str(&format!("{name}#{seq}#retry{retries}"))
+            };
+            match self.append_delta_keyed(name, delta, key) {
+                Ok(()) => break,
+                Err(e) if retries < max_retries && transient_append_failure(&e) => {
+                    self.truncate_journal_to(name, pre_len);
+                    std::thread::sleep(Duration::from_millis(1 << retries.min(3)));
+                    retries += 1;
+                }
+                Err(e) => {
+                    // Give up — but still roll back the torn tail: the
+                    // caller stays alive, and a later successful append
+                    // landing after torn bytes would truncate away an
+                    // *acknowledged* record on the next replay.
+                    self.truncate_journal_to(name, pre_len);
+                    return (retries, Err(e));
+                }
+            }
+        }
+        (retries, self.apply_after_journal(ck, name, delta))
+    }
+
+    /// Roll a relation's journal back to a known-good length after a
+    /// failed append left a torn tail (`None` = the append created the
+    /// file, so remove it). Best-effort: recovery's replay truncates torn
+    /// tails anyway; this just keeps the live file appendable.
+    fn truncate_journal_to(&self, name: &str, len: Option<u64>) {
+        let path = self.dir.join(journal_file_name(name));
+        match len {
+            Some(len) => {
+                if let Ok(f) = fs::OpenOptions::new().write(true).open(&path) {
+                    let _ = f.set_len(len);
+                    let _ = f.sync_all();
+                }
+            }
+            None => {
+                let _ = fs::remove_file(&path);
+            }
+        }
+    }
+
+    /// The post-append half of [`IndexStore::journaled_apply`]: encode,
+    /// guard the frozen domain, maintain the index, mark dirty.
+    fn apply_after_journal(&mut self, ck: &mut Checker, name: &str, delta: &Delta) -> Result<bool> {
         let classes: Vec<String> = ck
             .logical_db()
             .db()
@@ -1006,6 +1094,14 @@ impl IndexStore {
     /// record lands on disk and the append reports failure (the delta is
     /// *not* acknowledged, matching what the next open will conclude).
     pub fn append_delta(&mut self, name: &str, delta: &Delta) -> Result<()> {
+        self.append_delta_keyed(name, delta, failpoint::key_str(name))
+    }
+
+    /// [`IndexStore::append_delta`] with an explicit failpoint key — the
+    /// retry path varies the key per attempt so a deterministic fault
+    /// decision does not condemn every retry (see
+    /// [`IndexStore::journaled_apply_retrying`]).
+    fn append_delta_keyed(&mut self, name: &str, delta: &Delta, fp_key: u64) -> Result<()> {
         let path = self.dir.join(journal_file_name(name));
         if !path.exists() {
             let mut f = fs::File::create(&path).map_err(|e| io_err("create", &path, &e))?;
@@ -1018,9 +1114,7 @@ impl IndexStore {
             .append(true)
             .open(&path)
             .map_err(|e| io_err("open", &path, &e))?;
-        if failpoint::enabled()
-            && failpoint::should_fail(failpoint::JOURNAL_APPEND, failpoint::key_str(name))
-        {
+        if failpoint::enabled() && failpoint::should_fail(failpoint::JOURNAL_APPEND, fp_key) {
             let _ = f.write_all(&record[..record.len() / 2]);
             let _ = f.sync_all();
             return Err(CoreError::Bdd(BddError::FaultInjected {

@@ -129,6 +129,10 @@ pub enum FallbackReason {
     /// The check was killed outright — a caught panic payload or an
     /// injected-fault description (`relcheck run --fail-spec`).
     Panic(String),
+    /// The admission governor shed this request: under overload the serve
+    /// engine enters the ladder at the SQL rung (still exact, just
+    /// cheaper on memory) instead of building BDDs.
+    Overload,
 }
 
 /// Wall-clock phase breakdown of one check (captured only with telemetry
@@ -388,7 +392,32 @@ pub struct AuditMetrics {
     pub witnesses: u64,
 }
 
-/// The top-level machine-readable report (`schema_version` 6). See
+/// Admission-governor counters for a `relcheck serve` run (`overload` in
+/// the schema, since v7). `None` on [`RunMetrics`] means the run was a
+/// batch job. Conservation: `shed <= admitted` and `drained <= admitted`
+/// (`metrics-check` enforces both).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadMetrics {
+    /// Requests accepted onto the engine queue (Normal + Shed tiers).
+    pub admitted: u64,
+    /// Admitted requests served at the Shed tier: the ladder entered at
+    /// the SQL rung ([`FallbackReason::Overload`]) instead of BDD.
+    pub shed: u64,
+    /// Requests turned away with a `busy <retry-after-ms>` reply because
+    /// the bounded queue was full (the engine never saw them).
+    pub rejected: u64,
+    /// Journal-append retries that eventually succeeded (transient store
+    /// faults absorbed before the rows-only degrade would have fired).
+    pub retries: u64,
+    /// Checks whose service time overran the hard deadline — the armed
+    /// watchdog escalated them down the ladder instead of hanging.
+    pub watchdog_fires: u64,
+    /// Queued requests still served after drain began (`quit`/SIGTERM):
+    /// the graceful-drain path finishes in-flight work, never drops it.
+    pub drained: u64,
+}
+
+/// The top-level machine-readable report (`schema_version` 7). See
 /// `DESIGN.md` for field meanings and stability guarantees.
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
@@ -416,6 +445,9 @@ pub struct RunMetrics {
     /// Certificate audit counters; `None` when the run did not certify.
     /// Assembled by the caller after `from_reports`.
     pub audit: Option<AuditMetrics>,
+    /// Admission-governor counters; `None` for batch runs. Assembled by
+    /// the caller after `from_reports`.
+    pub overload: Option<OverloadMetrics>,
 }
 
 impl RunMetrics {
@@ -465,15 +497,16 @@ impl RunMetrics {
             plan_cache: None,
             serve: None,
             audit: None,
+            overload: None,
         }
     }
 
-    /// Render the schema-version-6 JSON document.
+    /// Render the schema-version-7 JSON document.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.obj_open();
         w.key("schema_version");
-        w.raw("6");
+        w.raw("7");
         w.key("tool");
         w.string("relcheck");
         w.key("threads");
@@ -546,6 +579,25 @@ impl RunMetrics {
                     ("verified", a.verified),
                     ("failed", a.failed),
                     ("witnesses", a.witnesses),
+                ] {
+                    w.key(k);
+                    w.raw(&v.to_string());
+                }
+                w.obj_close();
+            }
+        }
+        w.key("overload");
+        match &self.overload {
+            None => w.raw("null"),
+            Some(ov) => {
+                w.obj_open();
+                for (k, v) in [
+                    ("admitted", ov.admitted),
+                    ("shed", ov.shed),
+                    ("rejected", ov.rejected),
+                    ("retries", ov.retries),
+                    ("watchdog_fires", ov.watchdog_fires),
+                    ("drained", ov.drained),
                 ] {
                     w.key(k);
                     w.raw(&v.to_string());
@@ -739,6 +791,12 @@ fn write_trace(w: &mut JsonWriter, t: &CheckTrace) {
             w.string("panic");
             w.key("message");
             w.string(msg);
+            w.obj_close();
+        }
+        Some(FallbackReason::Overload) => {
+            w.obj_open();
+            w.key("reason");
+            w.string("overload");
             w.obj_close();
         }
     }
@@ -1190,7 +1248,7 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
         .get("schema_version")
         .and_then(Json::as_int)
         .ok_or("missing integer field \"schema_version\"")?;
-    if !(1..=6).contains(&version) {
+    if !(1..=7).contains(&version) {
         return Err(format!("unsupported schema_version {version}"));
     }
     doc.get("threads")
@@ -1323,7 +1381,16 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
                             .get("reason")
                             .and_then(Json::as_str)
                             .ok_or(format!("{at}.trace.fallback: missing \"reason\""))?;
-                        let reasons: &[&str] = if version >= 2 {
+                        let reasons: &[&str] = if version >= 7 {
+                            &[
+                                "node_limit",
+                                "unindexed_relation",
+                                "deadline",
+                                "retry_exhausted",
+                                "panic",
+                                "overload",
+                            ]
+                        } else if version >= 2 {
                             &[
                                 "node_limit",
                                 "unindexed_relation",
@@ -1617,6 +1684,58 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
             }
         }
     }
+    if version >= 7 {
+        let ov = doc.get("overload").ok_or("missing field \"overload\"")?;
+        if !matches!(ov, Json::Null) {
+            let mut fields = std::collections::HashMap::new();
+            for f in [
+                "admitted",
+                "shed",
+                "rejected",
+                "retries",
+                "watchdog_fires",
+                "drained",
+            ] {
+                let v = ov
+                    .get(f)
+                    .and_then(Json::as_int)
+                    .ok_or(format!("overload: missing integer field {f:?}"))?;
+                if v < 0 {
+                    return Err(format!("overload.{f} = {v} < 0"));
+                }
+                fields.insert(f, v);
+            }
+            // Conservation: shed requests are a subset of admitted ones
+            // (rejected requests never reach the engine), and the drain
+            // phase only serves requests that were already admitted.
+            if fields["shed"] > fields["admitted"] {
+                return Err(format!(
+                    "overload.shed = {} exceeds admitted = {}",
+                    fields["shed"], fields["admitted"]
+                ));
+            }
+            if fields["drained"] > fields["admitted"] {
+                return Err(format!(
+                    "overload.drained = {} exceeds admitted = {}",
+                    fields["drained"], fields["admitted"]
+                ));
+            }
+            // Every engine-visible request was admitted by the governor
+            // (the engine skips blank/comment lines, so <=, not ==).
+            if let Some(sv) = doc.get("serve") {
+                if !matches!(sv, Json::Null) {
+                    if let Some(reqs) = sv.get("requests").and_then(Json::as_int) {
+                        if reqs > fields["admitted"] {
+                            return Err(format!(
+                                "serve.requests = {} exceeds overload.admitted = {}",
+                                reqs, fields["admitted"]
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -1800,6 +1919,7 @@ mod tests {
             plan_cache: None,
             serve: None,
             audit: None,
+            overload: None,
         };
         validate_metrics_json(&m.to_json()).unwrap();
     }
@@ -1827,6 +1947,7 @@ mod tests {
             plan_cache: Some(PlanCacheMetrics { hits: 3, misses: 1 }),
             serve: None,
             audit: None,
+            overload: None,
         };
         validate_metrics_json(&m.to_json()).unwrap();
         // A rebuild with no recovery record explaining it must fail.
@@ -1871,6 +1992,7 @@ mod tests {
                 full_ns: 20,
             }),
             audit: None,
+            overload: None,
         };
         validate_metrics_json(&m.to_json()).unwrap();
         // The peak dirty-set size is one of the summed sizes: peak >
@@ -1911,22 +2033,89 @@ mod tests {
             plan_cache: None,
             serve: None,
             audit: None,
+            overload: None,
         };
         let v2 = m
             .to_json()
-            .replace("\"schema_version\":6", "\"schema_version\":2");
+            .replace("\"schema_version\":7", "\"schema_version\":2");
         validate_metrics_json(&v2).unwrap();
         // A v3 document has no plan_cache field; tolerated the same way.
         let doc = m.to_json();
         let v3 = doc
-            .replace("\"schema_version\":6", "\"schema_version\":3")
+            .replace("\"schema_version\":7", "\"schema_version\":3")
             .replace(",\"plan_cache\":null", "");
         validate_metrics_json(&v3).unwrap();
         // A v5 document has no audit field; tolerated the same way.
         let v5 = doc
-            .replace("\"schema_version\":6", "\"schema_version\":5")
+            .replace("\"schema_version\":7", "\"schema_version\":5")
             .replace(",\"audit\":null", "");
         validate_metrics_json(&v5).unwrap();
+        // A v6 document has no overload field; tolerated the same way.
+        let v6 = doc
+            .replace("\"schema_version\":7", "\"schema_version\":6")
+            .replace(",\"overload\":null", "");
+        validate_metrics_json(&v6).unwrap();
+    }
+
+    #[test]
+    fn validator_checks_overload_block() {
+        let mut m = RunMetrics {
+            threads: 1,
+            telemetry_enabled: false,
+            constraints: Vec::new(),
+            fleet: None,
+            degradation: DegradationSummary::default(),
+            index_cache: None,
+            plan_cache: None,
+            serve: Some(ServeMetrics {
+                requests: 5,
+                deltas: 2,
+                checks: 2,
+                constraints_checked: 3,
+                constraints_skipped: 5,
+                dirty_peak: 2,
+                dirty_total: 3,
+                incremental_ns: 10,
+                full_ns: 20,
+            }),
+            audit: None,
+            overload: Some(OverloadMetrics {
+                admitted: 6,
+                shed: 2,
+                rejected: 3,
+                retries: 1,
+                watchdog_fires: 0,
+                drained: 1,
+            }),
+        };
+        validate_metrics_json(&m.to_json()).unwrap();
+        // Shed requests are a subset of admitted ones.
+        m.overload.as_mut().unwrap().shed = 9;
+        let err = validate_metrics_json(&m.to_json()).unwrap_err();
+        assert!(err.contains("overload.shed"), "{err}");
+        m.overload.as_mut().unwrap().shed = 2;
+        // The drain phase only serves admitted requests.
+        m.overload.as_mut().unwrap().drained = 9;
+        let err = validate_metrics_json(&m.to_json()).unwrap_err();
+        assert!(err.contains("overload.drained"), "{err}");
+        m.overload.as_mut().unwrap().drained = 1;
+        // Every engine-visible request went through admission.
+        m.serve.as_mut().unwrap().requests = 9;
+        m.serve.as_mut().unwrap().constraints_skipped = 9;
+        let err = validate_metrics_json(&m.to_json()).unwrap_err();
+        assert!(err.contains("overload.admitted"), "{err}");
+        m.serve.as_mut().unwrap().requests = 5;
+        // v7 documents must carry the field, even as null; batch runs
+        // carry it as null and that validates.
+        m.overload = None;
+        let doc = m.to_json();
+        validate_metrics_json(&doc).unwrap();
+        let stripped = doc.replace(",\"overload\":null", "");
+        let err = validate_metrics_json(&stripped).unwrap_err();
+        assert!(err.contains("overload"), "{err}");
+        // The overload ladder-entry reason is v7 vocabulary only.
+        let v6 = doc.replace("\"schema_version\":7", "\"schema_version\":6");
+        validate_metrics_json(&v6).unwrap();
     }
 
     #[test]
@@ -1946,6 +2135,7 @@ mod tests {
                 failed: 0,
                 witnesses: 7,
             }),
+            overload: None,
         };
         validate_metrics_json(&m.to_json()).unwrap();
         // Every verification outcome refers to an emitted certificate.
@@ -1992,6 +2182,7 @@ mod tests {
             plan_cache: None,
             serve: None,
             audit: None,
+            overload: None,
         };
         validate_metrics_json(&good.to_json()).unwrap();
         fleet.total.created_nodes += 1;
@@ -2005,6 +2196,7 @@ mod tests {
             plan_cache: None,
             serve: None,
             audit: None,
+            overload: None,
         };
         let err = validate_metrics_json(&bad.to_json()).unwrap_err();
         assert!(err.contains("created_nodes"), "{err}");

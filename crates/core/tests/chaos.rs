@@ -20,10 +20,11 @@
 use relcheck_bdd::failpoint;
 use relcheck_core::certify::{parse_bundle, verify_certificate, AuditError, Certificate};
 use relcheck_core::checker::{Checker, CheckerOptions, Verdict};
-use relcheck_core::serve::ServeEngine;
+use relcheck_core::serve::{ServeActor, ServeClient, ServeConfig, ServeEngine, Submission};
 use relcheck_core::store::IndexStore;
 use relcheck_logic::{parse, Formula};
 use relcheck_relstore::{Database, Raw};
+use std::collections::BTreeSet;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -302,6 +303,273 @@ fn chaos_soak_three_seeds() {
             "seed {seed:#x}: the soak never exercised tamper rejection: {stats:?}"
         );
     }
+    restore_panics();
+}
+
+/// One CUST row, as a concurrent client's shadow tracks it.
+type Row = (String, i64, String);
+
+/// What one concurrent client did: the final state of the rows it owns,
+/// and its admission bookkeeping (cross-checked against the actor's
+/// overload counters after shutdown).
+struct ClientOutcome {
+    owned: BTreeSet<Row>,
+    replies: u64,
+    busy: u64,
+}
+
+/// One concurrent client session. Client `id` owns exactly the CUST rows
+/// with areacode `AREAS[id]` — ownership is disjoint, so however the
+/// actor interleaves the clients, each row's final presence is decided
+/// by its owner's last delta and the endpoint is deterministic.
+///
+/// The shadow is updated from the engine's *reply* (`applied=true`), not
+/// from intent: an injected fault that rejects a delta leaves both the
+/// engine and the shadow unchanged, so the oracle survives chaos.
+fn concurrent_client(client: ServeClient, id: usize, steps: usize, seed: u64) -> ClientOutcome {
+    let area = AREAS[id];
+    let mut owned: BTreeSet<Row> = CITIES
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let j = AREAS.iter().position(|&a| a == area).unwrap();
+            (
+                c.to_owned(),
+                area,
+                STATES[(i + j) % STATES.len()].to_owned(),
+            )
+        })
+        .collect();
+    let mut rng_state = seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let (mut replies, mut busy) = (0u64, 0u64);
+    let names = [
+        "toronto-prefixes",
+        "city-determines-state",
+        "reference-agrees",
+        "cities-are-known",
+    ];
+    for _ in 0..steps {
+        let r = splitmix(&mut rng_state);
+        let mut delta_row: Option<(bool, Row)> = None;
+        let line = match r % 8 {
+            0..=4 => {
+                let insert = !r.is_multiple_of(3);
+                let row: Row = if id == 0 && r.is_multiple_of(17) {
+                    // Novel city: exercises overflow degradation while
+                    // staying inside client 0's ownership region.
+                    ("Atlantis".to_owned(), area, "XX".to_owned())
+                } else {
+                    (
+                        CITIES[(r >> 8) as usize % CITIES.len()].to_owned(),
+                        area,
+                        STATES[(r >> 16) as usize % STATES.len()].to_owned(),
+                    )
+                };
+                let sign = if insert { '+' } else { '-' };
+                let line = format!("{sign}CUST:{},{},{}", row.0, row.1, row.2);
+                delta_row = Some((insert, row));
+                line
+            }
+            5 => "check".to_owned(),
+            6 => format!("check {}", names[(r >> 32) as usize % names.len()]),
+            // Hostile garbage mid-stream: must come back as a typed err.
+            _ => "definitely-not-a-command".to_owned(),
+        };
+        let reply = loop {
+            match client.submit(&line) {
+                Submission::Reply(reply) => break reply,
+                Submission::Busy { retry_after_ms } => {
+                    busy += 1;
+                    std::thread::sleep(Duration::from_micros(200 * retry_after_ms.min(5)));
+                }
+                // Drained under us (a disconnecting peer's quit) — not
+                // reachable in this harness, but a client must cope.
+                Submission::Closed => {
+                    return ClientOutcome {
+                        owned,
+                        replies,
+                        busy,
+                    }
+                }
+            }
+        };
+        replies += 1;
+        assert!(!reply.lines.is_empty(), "client {id}: empty reply");
+        if line.starts_with("defin") {
+            assert!(
+                reply.lines.iter().all(|l| l.starts_with("err ")),
+                "client {id}: garbage not err-typed: {:?}",
+                reply.lines
+            );
+        }
+        if let Some((insert, row)) = delta_row {
+            let applied = reply
+                .lines
+                .iter()
+                .any(|l| l.starts_with("ok delta") && l.contains("applied=true"));
+            if applied {
+                if insert {
+                    owned.insert(row);
+                } else {
+                    owned.remove(&row);
+                }
+            }
+        }
+    }
+    ClientOutcome {
+        owned,
+        replies,
+        busy,
+    }
+}
+
+/// The tentpole invariant under concurrency: N clients hammer one actor
+/// through a deliberately tiny queue with every failpoint armed, some
+/// disconnecting early — and the session's final decided verdicts are
+/// identical to a cold, serial, fault-free check of the same endpoint,
+/// with every certificate still auditing. Overload accounting is
+/// cross-checked against what the clients actually observed.
+#[test]
+fn concurrent_sessions_serialize_to_the_fault_free_verdicts() {
+    let _g = lock();
+    quiet_panics();
+    let battery = battery();
+    let dir = std::env::temp_dir().join(format!("relcheck-chaos-conc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut checker = Checker::new(chaos_db(), CheckerOptions::default());
+    let mut store = IndexStore::open(&dir).unwrap();
+    store.warm_start(&mut checker).unwrap();
+    let (engine, reports) = ServeEngine::new(checker, &battery, Some(store)).unwrap();
+    assert!(reports.iter().all(|(_, r)| r.verdict.is_decided()));
+
+    // Queue bound 2 against 4 clients: contention is the point. Shed
+    // threshold zero pins every admitted request to the shed tier, so
+    // the whole soak runs on the exact SQL rung.
+    let cfg = ServeConfig {
+        queue_depth: 2,
+        shed_threshold: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let actor = ServeActor::spawn(engine, cfg);
+    let p = 0.03;
+    let spec = failpoint::SITES
+        .iter()
+        .map(|s| format!("{s}={p}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    failpoint::configure_spec(&spec, 0xC0C0_A11E).unwrap();
+
+    let handles: Vec<_> = (0..4)
+        .map(|id| {
+            let client = actor.client();
+            // Client 3 disconnects early, mid-session.
+            let steps = if id == 3 { 12 } else { 48 };
+            std::thread::spawn(move || concurrent_client(client, id, steps, 0x5EED_C0DE))
+        })
+        .collect();
+    let outcomes: Vec<ClientOutcome> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    failpoint::clear();
+
+    // Fault-free endpoint check through the same admission path, then a
+    // graceful quit.
+    let main_client = actor.client();
+    let Submission::Reply(final_check) = main_client.submit("check") else {
+        panic!("endpoint check was not admitted on an idle queue");
+    };
+    assert!(final_check
+        .lines
+        .last()
+        .is_some_and(|l| l.starts_with("ok check ")));
+    let Submission::Reply(bye) = main_client.submit("quit") else {
+        panic!("quit was not admitted on an idle queue");
+    };
+    assert!(bye.quit);
+    drop(main_client);
+    let (mut engine, overload) = actor.shutdown();
+
+    // Admission accounting: every reply a client received was admitted
+    // exactly once, every Busy was rejected exactly once.
+    let client_replies: u64 = outcomes.iter().map(|o| o.replies).sum();
+    let client_busy: u64 = outcomes.iter().map(|o| o.busy).sum();
+    assert_eq!(overload.admitted, client_replies + 2, "admitted != replies");
+    assert_eq!(overload.rejected, client_busy, "rejected != busy replies");
+    assert_eq!(
+        overload.shed, overload.admitted,
+        "shed_threshold=0 sheds all"
+    );
+
+    // The deterministic endpoint: base rows for unowned areacodes plus
+    // each client's final owned set, CITY_STATE untouched.
+    let owned_areas: BTreeSet<i64> = (0..4).map(|id| AREAS[id]).collect();
+    let mut final_rows: BTreeSet<Row> = BTreeSet::new();
+    for (i, &c) in CITIES.iter().enumerate() {
+        for (j, &a) in AREAS.iter().enumerate() {
+            if !owned_areas.contains(&a) {
+                final_rows.insert((c.to_owned(), a, STATES[(i + j) % STATES.len()].to_owned()));
+            }
+        }
+    }
+    for o in &outcomes {
+        final_rows.extend(o.owned.iter().cloned());
+    }
+    let mut cold_db = Database::new();
+    cold_db
+        .create_relation(
+            "CUST",
+            &[
+                ("city", "city"),
+                ("areacode", "areacode"),
+                ("state", "state"),
+            ],
+            final_rows
+                .iter()
+                .map(|(c, a, s)| vec![Raw::str(c), Raw::Int(*a), Raw::str(s)])
+                .collect(),
+        )
+        .unwrap();
+    cold_db
+        .create_relation(
+            "CITY_STATE",
+            &[("city", "city"), ("state", "state")],
+            CITIES
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| vec![Raw::str(c), Raw::str(STATES[i % STATES.len()])])
+                .collect(),
+        )
+        .unwrap();
+    let mut cold = Checker::new(cold_db, CheckerOptions::default());
+    let oracle: Vec<(String, bool)> = cold
+        .check_all(&battery)
+        .unwrap()
+        .into_iter()
+        .map(|(n, r)| {
+            assert!(r.verdict.is_decided(), "cold oracle undecided on {n}");
+            (n, r.holds)
+        })
+        .collect();
+    let got: Vec<(String, bool)> = engine
+        .check_all()
+        .unwrap()
+        .into_iter()
+        .map(|(n, v)| (n, v.holds()))
+        .collect();
+    assert_eq!(
+        got, oracle,
+        "session endpoint diverged from fault-free cold check"
+    );
+
+    // Certificates still audit at the endpoint.
+    for (name, _) in &battery {
+        let (cert, audit) = engine.certify_one(name).unwrap().unwrap();
+        assert!(cert.verdict.is_decided(), "{name}: endpoint cert undecided");
+        assert!(audit.is_none(), "{name}: endpoint audit failed: {audit:?}");
+        let parsed = parse_bundle(&cert.to_json()).unwrap();
+        verify_certificate(engine.checker().logical_db().db(), &battery, &parsed[0])
+            .unwrap_or_else(|e| panic!("{name}: independent endpoint audit: {e}"));
+    }
+    engine.finish().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
     restore_panics();
 }
 

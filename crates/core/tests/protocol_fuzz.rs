@@ -1,0 +1,199 @@
+//! Protocol-hardening fuzz suite for the serve wire layer: a
+//! SplitMix64-driven mutation fuzzer feeding [`sanitize_line`],
+//! [`parse_command`]/[`parse_delta`], and a live [`ServeEngine`] with
+//! hostile input — oversized lines, invalid UTF-8, embedded NULs,
+//! truncated and spliced deltas, byte flips, and pathological repeats.
+//!
+//! The contract under fuzz: **no panic, ever, and every rejection is a
+//! typed error** — `sanitize_line` returns a message, `parse_command`
+//! returns a message, and the engine's reply lines for garbage start
+//! with `err `. The engine must also stay *usable*: after any amount of
+//! garbage, a well-formed `check` still answers.
+//!
+//! [`sanitize_line`]: relcheck_core::serve::sanitize_line
+//! [`parse_command`]: relcheck_core::serve::parse_command
+//! [`parse_delta`]: relcheck_core::serve::parse_delta
+
+use relcheck_core::checker::{Checker, CheckerOptions};
+use relcheck_core::serve::{parse_command, parse_delta, sanitize_line, ServeEngine};
+use relcheck_datagen::SplitMix64;
+use relcheck_logic::parse;
+use relcheck_relstore::{Database, Raw};
+
+/// Line cap for the fuzz run: small enough that the oversized-line
+/// mutator actually trips it, large enough that most mutants pass.
+const CAP: usize = 256;
+
+/// Seed corpus: every protocol production, plus comments and blanks.
+const CORPUS: [&str; 12] = [
+    "+R:1,2",
+    "-R:1,2",
+    "+S:3",
+    "-S:0",
+    "check",
+    "check r-diagonal",
+    "certify",
+    "certify r-diagonal",
+    "stats",
+    "quit",
+    "# a comment line",
+    "",
+];
+
+/// Bytes the mutators inject: NUL, an invalid UTF-8 continuation, a
+/// lone high bit, protocol metacharacters, and plain ASCII.
+const INJECT: [u8; 10] = [0x00, 0x80, 0xC3, 0xFF, b'+', b'-', b':', b',', b' ', b'Z'];
+
+fn mutate(rng: &mut SplitMix64) -> Vec<u8> {
+    let mut bytes: Vec<u8> = CORPUS[rng.gen_range(0usize..CORPUS.len())]
+        .as_bytes()
+        .to_vec();
+    for _ in 0..rng.gen_range(0u64..4) {
+        match rng.gen_range(0u64..6) {
+            // Flip one byte to an injected value.
+            0 if !bytes.is_empty() => {
+                let at = rng.gen_range(0usize..bytes.len());
+                bytes[at] = INJECT[rng.gen_range(0usize..INJECT.len())];
+            }
+            // Truncate mid-token (torn deltas, half commands).
+            1 if !bytes.is_empty() => {
+                bytes.truncate(rng.gen_range(0usize..bytes.len()));
+            }
+            // Insert an injected byte.
+            2 => {
+                let at = rng.gen_range(0usize..bytes.len() + 1);
+                bytes.insert(at, INJECT[rng.gen_range(0usize..INJECT.len())]);
+            }
+            // Splice another corpus entry on (no separator).
+            3 => {
+                bytes.extend_from_slice(CORPUS[rng.gen_range(0usize..CORPUS.len())].as_bytes());
+            }
+            // Pathological repeat, occasionally far past the cap.
+            4 => {
+                let unit = INJECT[rng.gen_range(0usize..INJECT.len())];
+                let n = if rng.gen_bool(0.2) {
+                    CAP + rng.gen_range(1usize..2 * CAP)
+                } else {
+                    rng.gen_range(1usize..32)
+                };
+                bytes.extend(std::iter::repeat_n(unit, n));
+            }
+            // Leave as-is (valid lines must keep working mid-fuzz).
+            _ => {}
+        }
+    }
+    bytes
+}
+
+fn fuzz_engine() -> ServeEngine {
+    let mut db = Database::new();
+    db.create_relation(
+        "R",
+        &[("x", "k"), ("y", "k")],
+        vec![
+            vec![Raw::Int(1), Raw::Int(1)],
+            vec![Raw::Int(2), Raw::Int(2)],
+        ],
+    )
+    .unwrap();
+    db.create_relation("S", &[("x", "k")], vec![vec![Raw::Int(1)]])
+        .unwrap();
+    for v in 0..8 {
+        db.encode_value("k", &Raw::Int(v));
+    }
+    let constraints = vec![
+        (
+            "r-diagonal".to_owned(),
+            parse("forall x, y. R(x, y) -> x = y").unwrap(),
+        ),
+        (
+            "r-covers-s".to_owned(),
+            parse("forall x. S(x) -> exists y. R(x, y)").unwrap(),
+        ),
+    ];
+    let (engine, _) = ServeEngine::new(
+        Checker::new(db, CheckerOptions::default()),
+        &constraints,
+        None,
+    )
+    .unwrap();
+    engine
+}
+
+#[test]
+fn mutated_protocol_lines_never_panic_and_always_err_typed() {
+    let mut engine = fuzz_engine();
+    for seed in [1u64, 42, 20070415] {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        for step in 0..4000 {
+            let context = format!("seed {seed} step {step}");
+            let bytes = mutate(&mut rng);
+            // Layer 1: the wire decoder. Its accept/reject decision must
+            // exactly match its documented contract.
+            let sanitized = sanitize_line(&bytes, CAP);
+            let should_reject =
+                bytes.len() > CAP || bytes.contains(&0) || std::str::from_utf8(&bytes).is_err();
+            match &sanitized {
+                Ok(line) => {
+                    assert!(!should_reject, "{context}: accepted a hostile line");
+                    assert!(
+                        !line.ends_with(['\r', '\n']),
+                        "{context}: newline not stripped"
+                    );
+                    // Layer 2: the parser — a typed message or a command,
+                    // never a panic.
+                    if let Err(msg) = parse_command(line) {
+                        assert!(!msg.is_empty(), "{context}: untyped parse error");
+                    }
+                    // Layer 3: the live engine answers every sanitized
+                    // line; rejections are `err `-typed reply lines.
+                    let reply = engine.handle_line(line);
+                    for l in &reply.lines {
+                        assert!(!l.is_empty(), "{context}: empty reply line");
+                    }
+                    if parse_command(line).is_err() {
+                        assert!(
+                            reply.lines.iter().all(|l| l.starts_with("err ")),
+                            "{context}: garbage answered without err: {:?}",
+                            reply.lines
+                        );
+                    }
+                }
+                Err(msg) => {
+                    assert!(should_reject, "{context}: rejected a clean line: {msg}");
+                    assert!(!msg.is_empty(), "{context}: untyped sanitize error");
+                }
+            }
+        }
+        // The engine survived the storm in working order.
+        let reply = engine.handle_line("check");
+        assert!(
+            reply
+                .lines
+                .last()
+                .is_some_and(|l| l.starts_with("ok check ")),
+            "seed {seed}: engine unusable after fuzzing: {:?}",
+            reply.lines
+        );
+    }
+}
+
+#[test]
+fn truncated_deltas_are_typed_errors() {
+    // Every strict prefix of a valid delta is either a shorter valid
+    // delta or a typed parse error — never a panic.
+    let full = "+R:1,2";
+    for end in 0..full.len() {
+        let prefix = &full[..end];
+        match parse_command(prefix) {
+            Ok(_) => {}
+            Err(msg) => assert!(!msg.is_empty(), "untyped error for prefix {prefix:?}"),
+        }
+        if !prefix.is_empty() && prefix != "+" && prefix != "-" {
+            // parse_delta itself (the CLI `index apply` entry) too.
+            if let Err(msg) = parse_delta(prefix) {
+                assert!(!msg.is_empty());
+            }
+        }
+    }
+}

@@ -18,7 +18,7 @@
 use relcheck_bdd::failpoint;
 use relcheck_core::checker::{Checker, CheckerOptions};
 use relcheck_core::registry::Verdict;
-use relcheck_core::serve::ServeEngine;
+use relcheck_core::serve::{ServeActor, ServeConfig, ServeEngine, Submission, JOURNAL_RETRY_LIMIT};
 use relcheck_core::store::{Delta, IndexStore};
 use relcheck_core::ParallelChecker;
 use relcheck_datagen::SplitMix64;
@@ -172,7 +172,12 @@ fn apply_both(
     } else {
         Delta::Delete(raw)
     };
-    let changed = engine.apply(relation, &delta).unwrap();
+    let outcome = engine.apply(relation, &delta).unwrap();
+    assert!(
+        outcome.durable,
+        "{context}: fault-free applies are always durable"
+    );
+    let changed = outcome.changed;
     let rows = shadow.get_mut(relation).unwrap();
     let shadow_changed = if insert {
         rows.insert(row.clone())
@@ -316,18 +321,24 @@ fn torn_journal_append_loses_only_the_unacknowledged_delta() {
         engine.finish().unwrap();
     }
 
-    // Session 2: one acknowledged delta, then a torn journal append —
-    // the failpoint writes half the record and errors, exactly a crash
-    // mid-write. The session dies without write_back.
+    // Session 2: one acknowledged delta, then a journal append that tears
+    // on every attempt (p=1 fails regardless of the retry-varied key).
+    // The retry budget runs dry, so the engine applies the delta
+    // rows-only, reports it non-durable, and degrades the relation to the
+    // SQL rung — the session keeps answering exactly, but the delta is
+    // NOT journaled. The session then dies without write_back.
     {
         let mut ck = Checker::new(db_from(&base_shadow()), CheckerOptions::default());
         let mut store = IndexStore::open(&dir).unwrap();
         store.warm_start(&mut ck).unwrap();
         let (mut engine, _) = ServeEngine::new(ck, &constraints(), Some(store)).unwrap();
         // Acknowledged: R(1,2) breaks the diagonal.
-        assert!(engine
-            .apply("R", &Delta::Insert(vec![Raw::Int(1), Raw::Int(2)]))
-            .unwrap());
+        assert!(
+            engine
+                .apply("R", &Delta::Insert(vec![Raw::Int(1), Raw::Int(2)]))
+                .unwrap()
+                .durable
+        );
         let verdicts: BTreeMap<String, Verdict> = engine.check_all().unwrap().into_iter().collect();
         assert!(matches!(
             verdicts["r-diagonal"],
@@ -336,23 +347,32 @@ fn torn_journal_append_loses_only_the_unacknowledged_delta() {
 
         let _fp = FpGuard;
         failpoint::configure_spec("journal-append=1", 20070415).unwrap();
-        // Unacknowledged: deleting R(1,2) would restore the diagonal, but
-        // the append tears. The error reaches the caller and the relation
-        // is NOT marked dirty — the engine never claimed the delta.
-        let err = engine
+        // Unjournaled: deleting R(1,2) restores the diagonal in the live
+        // session, but every append attempt tears, so the outcome is
+        // exact-but-not-durable and the live verdict still flips.
+        let outcome = engine
             .apply("R", &Delta::Delete(vec![Raw::Int(1), Raw::Int(2)]))
-            .unwrap_err();
+            .unwrap();
+        assert!(outcome.changed);
         assert!(
-            err.to_string().contains("journal"),
-            "unexpected error for torn append: {err}"
+            !outcome.durable,
+            "exhausted retries must surrender durability"
         );
-        assert!(engine.dirty().is_empty());
+        assert_eq!(outcome.retries, JOURNAL_RETRY_LIMIT);
+        assert_eq!(engine.journal_retries(), JOURNAL_RETRY_LIMIT);
+        assert!(engine.dirty().contains("R"));
+        let verdicts: BTreeMap<String, Verdict> = engine.check_all().unwrap().into_iter().collect();
+        assert!(
+            verdicts["r-diagonal"].holds(),
+            "rows-only delta must still flip the live verdict"
+        );
         // Crash: drop without finish().
     }
 
-    // Session 3: warm start must replay the acknowledged delta, discard
-    // the torn tail, and answer exactly like the fault-free prefix —
-    // r-diagonal stays violated because the delete was never acknowledged.
+    // Session 3: warm start must replay the acknowledged delta, find no
+    // torn tail (retry attempts truncate their own debris), and answer
+    // exactly like the fault-free prefix — r-diagonal is violated again
+    // because the delete was never journaled.
     let mut oracle = base_shadow();
     oracle.get_mut("R").unwrap().insert(vec![1, 2]);
     let mut ck = Checker::new(db_from(&base_shadow()), CheckerOptions::default());
@@ -372,4 +392,182 @@ fn torn_journal_append_loses_only_the_unacknowledged_delta() {
     assert!(!primed.iter().find(|(n, _)| n == "r-diagonal").unwrap().1);
     drop(engine);
     let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flaky_journal_appends_retry_to_durability_and_replay_cleanly() {
+    let _g = lock();
+    let dir = scratch("flaky");
+    let mut shadow = base_shadow();
+
+    // Session 1: a delta script under a journal that tears transiently.
+    // Attempt 0 uses the legacy per-relation key, retries re-key per
+    // (sequence, attempt) — so a relation whose first attempt fires
+    // deterministically still converges within the retry budget.
+    {
+        let mut ck = Checker::new(db_from(&shadow), CheckerOptions::default());
+        let mut store = IndexStore::open(&dir).unwrap();
+        store.warm_start(&mut ck).unwrap();
+        let (mut engine, _) = ServeEngine::new(ck, &constraints(), Some(store)).unwrap();
+        let fp = FpGuard;
+        failpoint::configure_spec("journal-append=0.4", 11).unwrap();
+        let mut rng = SplitMix64::seed_from_u64(3);
+        for step in 0..16 {
+            let (relation, row) = random_delta(&mut rng);
+            let insert = rng.gen_bool(0.6);
+            // apply_both asserts every outcome is durable: under this
+            // seed the budget always suffices, so flakiness is absorbed
+            // invisibly to the client.
+            apply_both(
+                &mut engine,
+                &mut shadow,
+                relation,
+                row,
+                insert,
+                &format!("flaky step {step}"),
+            );
+        }
+        assert!(
+            engine.journal_retries() > 0,
+            "seed 11 must exercise the retry path, else the test is vacuous"
+        );
+        assert_eq!(incremental(&mut engine), cold_serial(&shadow));
+        drop(fp);
+        engine.finish().unwrap();
+    }
+
+    // Session 2: the journal the retries produced must replay to exactly
+    // the script's endpoint — no duplicated or half-written records from
+    // the failed attempts (each retry truncates its own torn tail).
+    let mut ck = Checker::new(db_from(&base_shadow()), CheckerOptions::default());
+    let mut store = IndexStore::open(&dir).unwrap();
+    store.warm_start(&mut ck).unwrap();
+    let (_engine, reports) = ServeEngine::new(ck, &constraints(), Some(store)).unwrap();
+    let primed: Vec<(String, bool)> = reports.into_iter().map(|(n, r)| (n, r.holds)).collect();
+    assert_eq!(
+        primed,
+        cold_serial(&shadow),
+        "restart after flaky session diverged"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Drive one scripted line through a [`ServeClient`], asserting it was
+/// admitted (single sequential submitters can never overfill the queue).
+fn submit_ok(client: &relcheck_core::ServeClient, line: &str) -> Vec<String> {
+    match client.submit(line) {
+        Submission::Reply(reply) => reply.lines,
+        other => panic!("sequential submit was not admitted: {other:?}"),
+    }
+}
+
+#[test]
+fn actor_replies_are_byte_identical_to_the_direct_engine() {
+    let _g = lock();
+    // Timing-free script: deltas (valid, no-op, malformed), full and
+    // single checks, unknown commands. `stats` is excluded — its reply
+    // embeds wall-clock micros and is legitimately run-dependent.
+    let script = [
+        "+R:1,2",
+        "check",
+        "# annotated pause",
+        "",
+        "-R:1,2",
+        "-R:6,6", // absent row: applied=false
+        "check r-diagonal",
+        "+BOGUS:1",
+        "not-a-command",
+        "+R:malformed", // arity mismatch: typed err reply
+        "check",
+        "quit",
+    ];
+    let direct: Vec<String> = {
+        let (mut engine, _) = ServeEngine::new(
+            Checker::new(db_from(&base_shadow()), CheckerOptions::default()),
+            &constraints(),
+            None,
+        )
+        .unwrap();
+        script
+            .iter()
+            .flat_map(|line| engine.handle_line(line).lines)
+            .collect()
+    };
+    // Same script through the actor, once per admission tier: Normal, and
+    // shed-everything (threshold zero). Shedding changes the ladder entry
+    // rung, never the reply bytes.
+    for shed_everything in [false, true] {
+        let (engine, _) = ServeEngine::new(
+            Checker::new(db_from(&base_shadow()), CheckerOptions::default()),
+            &constraints(),
+            None,
+        )
+        .unwrap();
+        let cfg = ServeConfig {
+            shed_threshold: if shed_everything {
+                std::time::Duration::ZERO
+            } else {
+                std::time::Duration::from_secs(3600)
+            },
+            ..ServeConfig::default()
+        };
+        let actor = ServeActor::spawn(engine, cfg);
+        let client = actor.client();
+        let via_actor: Vec<String> = script
+            .iter()
+            .flat_map(|line| submit_ok(&client, line))
+            .collect();
+        assert_eq!(
+            via_actor, direct,
+            "actor replies diverged (shed_everything={shed_everything})"
+        );
+        // After quit the session drains: later submits are turned away.
+        assert!(client.is_draining());
+        assert!(matches!(client.submit("check"), Submission::Closed));
+        drop(client);
+        let (_engine, overload) = actor.shutdown();
+        assert_eq!(overload.admitted, script.len() as u64);
+        assert_eq!(overload.rejected, 0);
+        assert_eq!(
+            overload.shed,
+            if shed_everything {
+                script.len() as u64
+            } else {
+                0
+            }
+        );
+        assert_eq!(overload.retries, 0);
+        assert_eq!(overload.drained, 0);
+    }
+}
+
+#[test]
+fn shed_tier_enters_the_ladder_at_sql_and_preserves_the_verdict() {
+    let _g = lock();
+    let opts = CheckerOptions {
+        telemetry: true,
+        ..CheckerOptions::default()
+    };
+    let mut shadow = base_shadow();
+    shadow.get_mut("R").unwrap().insert(vec![1, 2]); // breaks r-diagonal
+    let diagonal = parse("forall x, y. R(x, y) -> x = y").unwrap();
+    let mut normal = Checker::new(db_from(&shadow), opts);
+    let baseline = normal.check(&diagonal).unwrap();
+    let base_trace = baseline.metrics.as_ref().unwrap();
+    assert_eq!(base_trace.ladder.first(), Some(&"bdd"));
+    assert!(!baseline.holds);
+
+    let mut shedding = Checker::new(db_from(&shadow), opts);
+    shedding.set_shed_load(true);
+    let shed = shedding.check(&diagonal).unwrap();
+    let shed_trace = shed.metrics.as_ref().unwrap();
+    // The BDD rung is skipped entirely: the ladder *starts* at sql, the
+    // trace records why, and the verdict is exactly the BDD rung's.
+    assert_eq!(shed_trace.ladder.first(), Some(&"sql"));
+    assert!(matches!(
+        shed_trace.fallback,
+        Some(relcheck_core::FallbackReason::Overload)
+    ));
+    assert_eq!(shed.holds, baseline.holds);
+    assert_eq!(shed.verdict, baseline.verdict);
 }

@@ -258,6 +258,123 @@ grep " via " "$BATCH_OUT" | awk '{print $1, $2}' | sort > "$BATCH_OUT.verdicts"
 diff "$SERVE_OUT.verdicts" "$BATCH_OUT.verdicts"
 rm -f "$SERVE_OUT.verdicts" "$BATCH_OUT.verdicts"
 
+step "overload smoke: 8 concurrent socket clients vs a depth-1 queue"
+# A deliberately starved server: queue depth 1, shed threshold 0 (every
+# admitted request runs on the exact SQL rung), 8 clients hammering it
+# with certify/check traffic. The server must shed and reject under the
+# load, keep every decided verdict correct, drain gracefully on quit,
+# and emit a schema-v7 metrics document whose overload counters validate.
+OVER_DIR="$(mktemp -d /tmp/relcheck-overload.XXXXXX)"
+trap 'rm -rf "$METRICS_OUT" "$PLAN_A" "$PLAN_B" "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT" "$SERVE_DIR" "$SERVE_OUT" "$BATCH_OUT" "$OVER_DIR"' EXIT
+SOCK="$OVER_DIR/relcheck.sock"
+BIN=./target/release/relcheck
+"$BIN" serve testdata/phones.spec --socket "$SOCK" \
+    --queue-depth 1 --shed-threshold-ms 0 --max-sessions 8 \
+    --idle-timeout-ms 10000 --metrics "$OVER_DIR/metrics.json" \
+    >"$OVER_DIR/server.out" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 200); do
+    [ -S "$SOCK" ] && break
+    sleep 0.05
+done
+if [ ! -S "$SOCK" ]; then
+    echo "overload server never opened its socket" >&2
+    cat "$OVER_DIR/server.out" >&2
+    exit 1
+fi
+# Stale-socket guard: a second server against the *live* socket must
+# refuse with a typed operational error, not steal the path.
+set +e
+"$BIN" serve testdata/phones.spec --socket "$SOCK" </dev/null \
+    >"$OVER_DIR/second.out" 2>&1
+rc=$?
+set -e
+if [ "$rc" -lt 2 ] || ! grep -q "already serving" "$OVER_DIR/second.out"; then
+    echo "second server did not refuse the live socket (exit $rc)" >&2
+    exit 1
+fi
+if [ ! -S "$SOCK" ]; then
+    echo "refused server unlinked the live socket" >&2
+    exit 1
+fi
+CLIENT_PIDS=""
+for i in $(seq 1 8); do
+    printf 'certify\ncheck\ncertify\ncheck\ncertify\ncheck\ncertify\ncheck\ncertify\ncheck\ncertify\ncheck\n' | \
+        "$BIN" connect "$SOCK" >"$OVER_DIR/client$i.out" 2>&1 &
+    CLIENT_PIDS="$CLIENT_PIDS $!"
+done
+# shellcheck disable=SC2086 # word-splitting the pid list is intended
+wait $CLIENT_PIDS
+# Quiet final client: its decided verdicts are the endpoint to diff.
+printf 'check\nquit\n' | "$BIN" connect "$SOCK" >"$OVER_DIR/final.out"
+set +e
+wait "$SERVER_PID"
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+    # phones.spec plants violations: a graceful drain exits 1.
+    echo "overloaded server should drain and exit 1 (got $rc)" >&2
+    cat "$OVER_DIR/server.out" >&2
+    exit 1
+fi
+cargo run --release --quiet --bin relcheck -- metrics-check "$OVER_DIR/metrics.json"
+if ! grep -Eq '"overload":\{"admitted":[1-9]' "$OVER_DIR/metrics.json"; then
+    echo "overload metrics block missing or empty" >&2
+    exit 1
+fi
+if ! grep -Eq '"shed":[1-9]' "$OVER_DIR/metrics.json"; then
+    echo "starved server never shed a request" >&2
+    exit 1
+fi
+if ! grep -Eq '"rejected":[1-9]' "$OVER_DIR/metrics.json"; then
+    echo "starved server never rejected a request" >&2
+    exit 1
+fi
+# Under all that shedding, the decided verdicts must match a batch run.
+grep ' (checked)\| (cached)' "$OVER_DIR/final.out" | awk '{print $1, $2}' | sort \
+    > "$OVER_DIR/final.verdicts"
+set +e
+"$BIN" run testdata/phones.spec >"$OVER_DIR/batch.out"
+rc=$?
+set -e
+if [ "$rc" -ge 2 ]; then
+    echo "overload batch reference failed operationally (exit $rc)" >&2
+    exit 1
+fi
+grep " via " "$OVER_DIR/batch.out" | awk '{print $1, $2}' | sort \
+    > "$OVER_DIR/batch.verdicts"
+diff "$OVER_DIR/final.verdicts" "$OVER_DIR/batch.verdicts"
+
+# Fault-armed stdin regression: a journal that tears on every append
+# exhausts the retry budget, degrades the delta to rows-only — reply
+# marked `durable=false` — and the session still answers exactly (the
+# dirtied relation re-checks on the SQL rung, the rest stay cached).
+# The reply bytes and retry count are deterministic.
+set +e
+printf '+CITY_STATE:Selkirk,MB\ncheck\nquit\n' | \
+    "$BIN" serve testdata/phones.spec --index-cache "$OVER_DIR/fault-cache" \
+    --fail-spec journal-append=1 --fail-seed 20070415 \
+    --metrics "$OVER_DIR/fault.json" >"$OVER_DIR/fault.out"
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+    echo "fault-armed serve should exit 1 on the violation fixture (got $rc)" >&2
+    exit 1
+fi
+cargo run --release --quiet --bin relcheck -- metrics-check "$OVER_DIR/fault.json"
+if ! grep -q 'ok delta +CITY_STATE applied=true dirty=1 durable=false' "$OVER_DIR/fault.out"; then
+    echo "retry-exhausted delta reply missing the durable=false marker" >&2
+    exit 1
+fi
+if ! grep -q 'ok check checked=2 skipped=2 dirty=1' "$OVER_DIR/fault.out"; then
+    echo "fault-armed session lost read-set-driven skipping" >&2
+    exit 1
+fi
+if ! grep -Eq '"overload":\{"admitted":3,"shed":0,"rejected":0,"retries":3' "$OVER_DIR/fault.json"; then
+    echo "fault-armed session metrics missing the absorbed retries" >&2
+    exit 1
+fi
+
 step "audit smoke: run → certify → verify → tamper → expect rejection"
 # The trust-but-verify loop end to end: a certified run writes a bundle
 # whose every decided certificate passes the independent re-check; a

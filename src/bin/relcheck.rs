@@ -15,7 +15,9 @@
 //!                [deltas...] [--ordering STRATEGY] [--fail-spec SPEC] [--fail-seed N]
 //! relcheck serve <spec-file> [--index-cache DIR] [--socket PATH] [--ordering STRATEGY]
 //!                [--metrics PATH] [--deadline-ms N] [--fail-spec SPEC] [--fail-seed N]
-//!                [--witness-limit N]
+//!                [--witness-limit N] [--max-sessions N] [--queue-depth N]
+//!                [--idle-timeout-ms N] [--shed-threshold-ms N]
+//! relcheck connect <socket-path>
 //! ```
 //!
 //! The spec file declares CSV-backed tables and named first-order
@@ -80,11 +82,28 @@
 //! the rest answer from cached verdicts. `certify` re-checks the named
 //! (or every) constraint fresh, emits its certificate as a JSON line,
 //! and self-verifies it with the naive re-checker. With `--index-cache
-//! DIR` deltas are journaled durably before being applied, so a killed
+//! DIR` deltas are journaled durably before being applied (transient
+//! append failures retry with bounded backoff; exhaustion degrades the
+//! delta rows-only and the reply carries `durable=false`), so a killed
 //! session warm-starts to the acknowledged state. `--metrics PATH`
-//! writes the schema-v6 document (with the `serve` and `audit` blocks)
-//! on shutdown. The exit code reflects the final verdicts: 0 when
-//! nothing is violated.
+//! writes the schema-v7 document (with the `serve`, `audit`, and
+//! `overload` blocks) on shutdown. The exit code reflects the final
+//! verdicts: 0 when nothing is violated.
+//!
+//! Overload resilience: every request — stdin or socket — flows through
+//! a single engine-actor thread behind a bounded queue
+//! (`--queue-depth`). Socket mode serves up to `--max-sessions`
+//! concurrent connections, each on its own panic-isolated thread with an
+//! idle cap (`--idle-timeout-ms`) and a line-length cap, so a slowloris
+//! or garbage stream cannot wedge anyone else. The admission governor
+//! sheds requests into the SQL rung of the degradation ladder (exact,
+//! cheaper on memory) when the queue backs up or the last request was
+//! slower than `--shed-threshold-ms`, and rejects with a typed `busy
+//! <retry-after-ms>` line when the queue is full. `quit` (or SIGTERM in
+//! socket mode) drains gracefully: in-flight requests finish, the
+//! journal flushes, and the final metrics are emitted. `connect` is the
+//! matching scriptable client: stdin lines go to the socket, replies to
+//! stdout.
 
 use relcheck::core_::certify::{
     bundle_to_json, emit_certificates, parse_bundle, verify_bundle, AuditError, Certificate,
@@ -93,7 +112,9 @@ use relcheck::core_::certify::{
 use relcheck::core_::checker::{CheckReport, Checker, CheckerOptions, Verdict};
 use relcheck::core_::ordering::OrderingStrategy;
 use relcheck::core_::registry::ConstraintRegistry;
-use relcheck::core_::serve::{parse_delta, ServeEngine};
+use relcheck::core_::serve::{
+    parse_delta, ServeActor, ServeClient, ServeConfig, ServeEngine, Submission,
+};
 use relcheck::core_::store::{Delta, IndexStore, VerifyStatus};
 use relcheck::core_::telemetry::{
     validate_bench_json, validate_metrics_json, AuditMetrics, FleetTelemetry, RunMetrics,
@@ -135,7 +156,9 @@ fn usage() -> String {
      relcheck index <build|verify|repair|gc|apply> <spec-file> --index-cache DIR \
      [+REL:v1,v2 | -REL:v1,v2 ...]\n  \
      relcheck serve <spec-file> [--index-cache DIR] [--socket PATH] [--ordering STRATEGY] \
-     [--metrics PATH] [--deadline-ms N] [--fail-spec SPEC] [--fail-seed N] [--witness-limit N]"
+     [--metrics PATH] [--deadline-ms N] [--fail-spec SPEC] [--fail-seed N] [--witness-limit N] \
+     [--max-sessions N] [--queue-depth N] [--idle-timeout-ms N] [--shed-threshold-ms N]\n  \
+     relcheck connect <socket-path>"
         .to_owned()
 }
 
@@ -150,6 +173,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         "bench-check" => cmd_bench_check(&args[1..]).map(|()| true),
         "index" => cmd_index(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "connect" => cmd_connect(&args[1..]),
         _ => Err(usage()),
     }
 }
@@ -655,6 +679,37 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
     let index_cache = flag_value(args, "--index-cache").map(str::to_owned);
     let socket = flag_value(args, "--socket").map(str::to_owned);
     let witness_limit = parse_witness_limit(args)?;
+    let mut cfg = ServeConfig::default();
+    if let Some(v) = flag_value(args, "--max-sessions") {
+        cfg.max_sessions = v
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or("--max-sessions expects a number >= 1")?;
+    }
+    if let Some(v) = flag_value(args, "--queue-depth") {
+        cfg.queue_depth = v
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or("--queue-depth expects a number >= 1")?;
+    }
+    if let Some(v) = flag_value(args, "--idle-timeout-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| "--idle-timeout-ms expects a number of milliseconds".to_owned())?;
+        cfg.idle_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(v) = flag_value(args, "--shed-threshold-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| "--shed-threshold-ms expects a number of milliseconds".to_owned())?;
+        cfg.shed_threshold = std::time::Duration::from_millis(ms);
+    }
+    // The watchdog ceiling tracks the shed trigger (a request 8x slower
+    // than "slow" is stuck); a user-configured --deadline-ms tighter
+    // than this wins inside the actor.
+    cfg.hard_deadline = (cfg.shed_threshold * 8).max(std::time::Duration::from_secs(1));
     let (spec, db) = load(spec_path)?;
     if spec.constraints.is_empty() {
         return Err("spec declares no constraints".to_owned());
@@ -705,10 +760,17 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
         reports.len(),
         engine.checker().logical_db().db().relation_names().count()
     );
-    match &socket {
-        Some(path) => serve_socket(&mut engine, path)?,
-        None => serve_stdio(&mut engine)?,
-    }
+    // The engine moves onto its actor thread; stdin and socket sessions
+    // alike talk to it through admission-controlled client handles.
+    let actor = ServeActor::spawn(engine, cfg);
+    let client = actor.client();
+    let served = match &socket {
+        Some(path) => serve_socket(&client, path),
+        None => serve_stdio(&client),
+    };
+    drop(client);
+    let (mut engine, overload) = actor.shutdown();
+    served?;
     engine
         .finish()
         .map_err(|e| format!("writing back index cache: {e}"))?;
@@ -727,6 +789,7 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
         metrics.plan_cache = Some(engine.plan_cache_stats());
         metrics.serve = Some(engine.stats());
         metrics.audit = Some(engine.audit_stats());
+        metrics.overload = Some(overload);
         let doc = metrics.to_json();
         debug_assert!(validate_metrics_json(&doc).is_ok());
         std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -742,79 +805,320 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
 }
 
 /// Drive a serve session over stdin/stdout (the scripted-pipeline mode).
-fn serve_stdio(engine: &mut ServeEngine) -> Result<(), String> {
+/// A single sequential client cannot overfill the queue, so replies are
+/// byte-identical to the pre-actor engine loop; shed-tier requests
+/// change the ladder entry rung, never the reply bytes.
+fn serve_stdio(client: &ServeClient) -> Result<(), String> {
     use std::io::{BufRead, Write};
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| format!("reading stdin: {e}"))?;
-        let reply = engine.handle_line(&line);
-        for l in &reply.lines {
-            writeln!(out, "{l}").map_err(|e| format!("writing stdout: {e}"))?;
-        }
-        out.flush().map_err(|e| format!("writing stdout: {e}"))?;
-        if reply.quit {
-            break;
-        }
-    }
-    Ok(())
-}
-
-/// Drive a serve session over a unix socket: clients connect one at a
-/// time (the engine is single-threaded state), each line is answered in
-/// order, and `quit` from any client ends the whole session. A client
-/// hanging up mid-session just returns the listener to `accept`.
-#[cfg(unix)]
-fn serve_socket(engine: &mut ServeEngine, path: &str) -> Result<(), String> {
-    use std::io::{BufRead, BufReader, Write};
-    use std::os::unix::net::UnixListener;
-    // A stale socket file from a killed session would make bind fail.
-    let _ = std::fs::remove_file(path);
-    let listener = UnixListener::bind(path).map_err(|e| format!("binding {path}: {e}"))?;
-    println!("listening on {path}");
-    let mut quit = false;
-    while !quit {
-        let (stream, _) = listener
-            .accept()
-            .map_err(|e| format!("accepting on {path}: {e}"))?;
-        let mut reader = BufReader::new(
-            stream
-                .try_clone()
-                .map_err(|e| format!("cloning socket: {e}"))?,
-        );
-        let mut writer = stream;
-        let mut line = String::new();
-        loop {
-            line.clear();
-            match reader.read_line(&mut line) {
-                Ok(0) | Err(_) => break, // client hung up; await the next one
-                Ok(_) => {}
-            }
-            let reply = engine.handle_line(&line);
-            let mut client_gone = false;
-            for l in &reply.lines {
-                if writeln!(writer, "{l}").is_err() {
-                    client_gone = true;
+        match client.submit(&line) {
+            Submission::Reply(reply) => {
+                for l in &reply.lines {
+                    writeln!(out, "{l}").map_err(|e| format!("writing stdout: {e}"))?;
+                }
+                out.flush().map_err(|e| format!("writing stdout: {e}"))?;
+                if reply.quit {
                     break;
                 }
             }
-            if reply.quit {
-                quit = true;
-                break;
+            Submission::Busy { retry_after_ms } => {
+                writeln!(out, "busy {retry_after_ms}")
+                    .map_err(|e| format!("writing stdout: {e}"))?;
+                out.flush().map_err(|e| format!("writing stdout: {e}"))?;
             }
-            if client_gone {
-                break;
+            Submission::Closed => break,
+        }
+    }
+    Ok(())
+}
+
+/// SIGTERM latch for graceful drain in socket mode. The handler only
+/// flips an atomic (async-signal-safe); the accept loop polls it and
+/// turns it into a synthetic `quit`.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static RECEIVED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigterm(_signum: i32) {
+        RECEIVED.store(true, Ordering::SeqCst);
+    }
+
+    /// Install the handler (idempotent). Uses the libc `signal` symbol
+    /// directly — the workspace links no libc crate.
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        // SAFETY: installing an async-signal-safe handler for a signal
+        // this process owns; the handler touches only a static atomic.
+        unsafe {
+            signal(SIGTERM, on_sigterm);
+        }
+    }
+
+    /// Whether SIGTERM has arrived since `install`.
+    pub fn received() -> bool {
+        RECEIVED.load(Ordering::SeqCst)
+    }
+}
+
+/// Serve over a unix socket: up to `--max-sessions` concurrent clients,
+/// each on its own panic-isolated session thread feeding the shared
+/// engine actor. `quit` from any client — or SIGTERM — drains the
+/// session gracefully; extra connections beyond the cap get a `busy`
+/// line and are closed.
+#[cfg(unix)]
+fn serve_socket(client: &ServeClient, path: &str) -> Result<(), String> {
+    use std::io::Write;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    // Unlink-then-bind is not atomic: probing with a connect first keeps
+    // a live server's socket safe — only a dead socket (connection
+    // refused) may be reclaimed.
+    if std::fs::metadata(path).is_ok() {
+        match UnixStream::connect(path) {
+            Ok(_) => {
+                return Err(format!(
+                    "already serving: a live relcheck session owns {path}"
+                ))
+            }
+            Err(_) => {
+                std::fs::remove_file(path)
+                    .map_err(|e| format!("removing stale socket {path}: {e}"))?;
             }
         }
+    }
+    let listener = UnixListener::bind(path).map_err(|e| format!("binding {path}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("configuring {path}: {e}"))?;
+    println!("listening on {path}");
+    sigterm::install();
+    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if client.is_draining() {
+            break;
+        }
+        if sigterm::received() {
+            // Graceful drain: the synthetic quit finishes everything
+            // already admitted before the actor stops.
+            let _ = client.submit("quit");
+            break;
+        }
+        sessions.retain(|h| !h.is_finished());
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if sessions.len() >= client.config().max_sessions {
+                    let mut stream = stream;
+                    let _ = writeln!(stream, "busy 1000");
+                    continue; // dropped: over the session cap
+                }
+                let session_client = client.clone();
+                sessions.push(std::thread::spawn(move || {
+                    // One poisoned session must not take down the
+                    // listener or any other client.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        session_loop(&session_client, stream)
+                    }));
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(path);
+                return Err(format!("accepting on {path}: {e}"));
+            }
+        }
+    }
+    for h in sessions {
+        let _ = h.join();
     }
     let _ = std::fs::remove_file(path);
     Ok(())
 }
 
+/// How one bounded line read ended (see [`read_line_bounded`]).
+#[cfg(unix)]
+enum LineRead {
+    /// A complete line is in the buffer.
+    Line,
+    /// Clean end of stream.
+    Eof,
+    /// The line exceeded the cap before a newline arrived.
+    TooLong,
+    /// Nothing arrived for the idle timeout.
+    IdleTimeout,
+    /// The session is draining; stop reading.
+    Draining,
+    /// Read error (client vanished).
+    Gone,
+}
+
+/// Read one `\n`-terminated line with a hard byte cap, slicing the
+/// blocking read into short timeouts so idle tracking and drain checks
+/// stay responsive. The cap fires *during* the read — a slowloris
+/// feeding an endless line is cut off at the cap, not buffered.
+#[cfg(unix)]
+fn read_line_bounded<R: std::io::BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    client: &ServeClient,
+    slice: std::time::Duration,
+) -> LineRead {
+    use std::io::ErrorKind;
+    let cfg = client.config();
+    let mut idle = std::time::Duration::ZERO;
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => return LineRead::Eof,
+            Ok(chunk) => {
+                idle = std::time::Duration::ZERO;
+                let (take, done) = match chunk.iter().position(|b| *b == b'\n') {
+                    Some(pos) => (pos + 1, true),
+                    None => (chunk.len(), false),
+                };
+                buf.extend_from_slice(&chunk[..take]);
+                reader.consume(take);
+                // +1 for the newline sanitize_line strips again.
+                if buf.len() > cfg.max_line_bytes + 1 {
+                    return LineRead::TooLong;
+                }
+                if done {
+                    return LineRead::Line;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                idle += slice;
+                if client.is_draining() {
+                    return LineRead::Draining;
+                }
+                if idle >= cfg.idle_timeout {
+                    return LineRead::IdleTimeout;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return LineRead::Gone,
+        }
+    }
+}
+
+/// One socket session: bounded reads, typed protocol errors for garbage
+/// input, admission-controlled submits, and a clean goodbye on drain.
+#[cfg(unix)]
+fn session_loop(client: &ServeClient, stream: std::os::unix::net::UnixStream) {
+    use relcheck::core_::serve::sanitize_line;
+    use std::io::{BufReader, Write};
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let slice = std::time::Duration::from_millis(50);
+    let _ = read_half.set_read_timeout(Some(slice));
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        match read_line_bounded(&mut reader, &mut buf, client, slice) {
+            LineRead::Line => {}
+            LineRead::Eof | LineRead::Gone => return,
+            LineRead::TooLong => {
+                let _ = writeln!(
+                    writer,
+                    "err line exceeds {} bytes, closing",
+                    client.config().max_line_bytes
+                );
+                return;
+            }
+            LineRead::IdleTimeout => {
+                let _ = writeln!(writer, "err idle timeout, closing");
+                return;
+            }
+            LineRead::Draining => {
+                let _ = writeln!(writer, "err session draining, closing");
+                return;
+            }
+        }
+        let line = match sanitize_line(&buf, client.config().max_line_bytes) {
+            Ok(line) => line,
+            Err(e) => {
+                if writeln!(writer, "err {e}").is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        match client.submit(&line) {
+            Submission::Reply(reply) => {
+                for l in &reply.lines {
+                    if writeln!(writer, "{l}").is_err() {
+                        return;
+                    }
+                }
+                if writer.flush().is_err() || reply.quit {
+                    return;
+                }
+            }
+            Submission::Busy { retry_after_ms } => {
+                if writeln!(writer, "busy {retry_after_ms}").is_err() || writer.flush().is_err() {
+                    return;
+                }
+            }
+            Submission::Closed => return,
+        }
+    }
+}
+
 #[cfg(not(unix))]
-fn serve_socket(_engine: &mut ServeEngine, _path: &str) -> Result<(), String> {
+fn serve_socket(_client: &ServeClient, _path: &str) -> Result<(), String> {
     Err("--socket is only supported on unix platforms".to_owned())
+}
+
+/// Scriptable client for a `relcheck serve --socket` session: stdin
+/// lines go to the socket, replies stream to stdout. On stdin EOF the
+/// write half shuts down and remaining replies drain before exit.
+#[cfg(unix)]
+fn cmd_connect(args: &[String]) -> Result<bool, String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    let path = args.first().ok_or_else(usage)?;
+    let stream = UnixStream::connect(path).map_err(|e| format!("connecting {path}: {e}"))?;
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| format!("cloning socket: {e}"))?;
+    let printer = std::thread::spawn(move || {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for line in BufReader::new(read_half).lines() {
+            let Ok(line) = line else { break };
+            if writeln!(out, "{line}").is_err() {
+                break;
+            }
+            let _ = out.flush();
+        }
+    });
+    let mut writer = stream;
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        if writeln!(writer, "{line}").is_err() {
+            break; // server gone; drain what it already sent
+        }
+    }
+    let _ = writer.shutdown(std::net::Shutdown::Write);
+    let _ = printer.join();
+    Ok(true)
+}
+
+#[cfg(not(unix))]
+fn cmd_connect(_args: &[String]) -> Result<bool, String> {
+    Err("connect is only supported on unix platforms".to_owned())
 }
 
 /// Manage the persistent index store directly: `build`, `verify`,
