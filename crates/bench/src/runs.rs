@@ -8,9 +8,10 @@
 
 use crate::queries;
 use crate::report::{hit_rate, BenchComparison, BenchEntry, BenchReport};
-use relcheck_core::checker::{Checker, CheckerOptions};
+use relcheck_core::checker::{CheckReport, Checker, CheckerOptions};
 use relcheck_core::ordering::OrderingStrategy;
 use relcheck_core::parallel::{IndexTransfer, ParallelChecker};
+use relcheck_core::policy::{advise, apply_advice, WorkloadProfile};
 use relcheck_core::registry::ConstraintRegistry;
 use relcheck_datagen::customer::{generate, CustomerConfig};
 use relcheck_datagen::rng::SplitMix64;
@@ -32,15 +33,45 @@ fn primary_relation(query: &str) -> &'static str {
 
 /// Table 1 before/after: the engine as configured before this line of
 /// work (per-constraint atom compilation, static Prob-Converge ordering)
-/// against the shared-subgraph manager with workload-adaptive ordering.
-/// Both variants run the identical warm-up + rebuild + timed-pass
+/// against the shared-subgraph manager with workload-adaptive ordering,
+/// and against the workload-advised configuration (the adaptive engine
+/// with its apply cache sized from a recorded profile of the same
+/// battery — what `--route auto` does with a persisted profile).
+/// All variants run the identical warm-up + rebuild + timed-pass
 /// protocol so the comparison isolates the configuration, not cache
 /// warmth. Per-query wall time is the minimum over `samples` timed
 /// passes (sub-millisecond checks need it on a noisy host); the cache
 /// hit rate is taken from the first pass so it stays deterministic.
 pub fn table1(tuples: usize, samples: usize) -> BenchReport {
     let samples = samples.max(1);
-    let variants: [(&str, CheckerOptions); 2] = [
+    let qs = queries::queries();
+    let constraints: Vec<(String, Formula)> = qs
+        .iter()
+        .map(|(n, q)| ((*n).to_owned(), q.clone()))
+        .collect();
+    // Profiling pass: the shared-adaptive configuration runs the battery
+    // once and records a workload profile — exactly what a prior
+    // `relcheck run --index-cache` would have persisted for this
+    // workload. The advised variant consumes it.
+    let profile = {
+        let mut ck = Checker::new(
+            queries::build(tuples, 77),
+            CheckerOptions {
+                share_subgraphs: true,
+                ordering: OrderingStrategy::Adaptive,
+                ..Default::default()
+            },
+        );
+        for rel in TABLE1_RELATIONS {
+            ck.ensure_index(rel).unwrap();
+        }
+        let reports: Vec<(String, CheckReport)> = constraints
+            .iter()
+            .map(|(n, q)| (n.clone(), ck.check(q).unwrap()))
+            .collect();
+        WorkloadProfile::record(&ck, &constraints, &reports)
+    };
+    let variants: [(&str, CheckerOptions); 3] = [
         (
             "unshared-static",
             CheckerOptions {
@@ -57,8 +88,16 @@ pub fn table1(tuples: usize, samples: usize) -> BenchReport {
                 ..Default::default()
             },
         ),
+        (
+            "shared-advised",
+            CheckerOptions {
+                share_subgraphs: true,
+                ordering: OrderingStrategy::Adaptive,
+                apply_cache_slots: Some(profile.cache_slots()),
+                ..Default::default()
+            },
+        ),
     ];
-    let qs = queries::queries();
     let mut entries = Vec::new();
     let mut totals = Vec::new();
     for (variant, opts) in variants {
@@ -66,9 +105,17 @@ pub fn table1(tuples: usize, samples: usize) -> BenchReport {
         for rel in TABLE1_RELATIONS {
             ck.ensure_index(rel).unwrap();
         }
+        if variant == "shared-advised" {
+            // Apply the recorded advice before the warm-up: seeds the
+            // profiled column weights (so the rebuild below scores
+            // against the recorded workload, not just the warm-up's)
+            // and applies any route changes, exactly like `--route auto`.
+            let advice = advise(&profile, &mut ck, &constraints);
+            apply_advice(&mut ck, &advice).unwrap();
+        }
         // Warm-up pass: records the column workload (which the adaptive
-        // variant's rebuild consumes) and warms caches identically for
-        // both variants.
+        // variants' rebuild consumes) and warms caches identically for
+        // all variants.
         for (_, q) in &qs {
             ck.check(q).unwrap();
         }
@@ -115,15 +162,41 @@ pub fn table1(tuples: usize, samples: usize) -> BenchReport {
             ("seed".to_owned(), 77),
         ],
         entries,
-        comparisons: vec![BenchComparison {
-            name: "table1-total".to_owned(),
-            baseline: "unshared-static".to_owned(),
-            candidate: "shared-adaptive".to_owned(),
-            wall_ns_before: totals[0].0,
-            wall_ns_after: totals[1].0,
-            peak_nodes_before: totals[0].1,
-            peak_nodes_after: totals[1].1,
-        }],
+        comparisons: vec![
+            BenchComparison {
+                name: "table1-total".to_owned(),
+                baseline: "unshared-static".to_owned(),
+                candidate: "shared-adaptive".to_owned(),
+                wall_ns_before: totals[0].0,
+                wall_ns_after: totals[1].0,
+                peak_nodes_before: totals[0].1,
+                peak_nodes_after: totals[1].1,
+            },
+            // The workload-advised engine against the static default it
+            // replaces: advice bundles subgraph sharing, adaptive ordering,
+            // and a profile-sized apply cache (ROADMAP item 1's sizing rung).
+            BenchComparison {
+                name: "table1-advised".to_owned(),
+                baseline: "unshared-static".to_owned(),
+                candidate: "shared-advised".to_owned(),
+                wall_ns_before: totals[0].0,
+                wall_ns_after: totals[2].0,
+                peak_nodes_before: totals[0].1,
+                peak_nodes_after: totals[2].1,
+            },
+            // Cache sizing isolated: the same shared-adaptive engine with
+            // only the apply-cache slots changed by the advisor. Kept even
+            // when the delta is noise-level so the trajectory stays honest.
+            BenchComparison {
+                name: "table1-advised-cache".to_owned(),
+                baseline: "shared-adaptive".to_owned(),
+                candidate: "shared-advised".to_owned(),
+                wall_ns_before: totals[1].0,
+                wall_ns_after: totals[2].0,
+                peak_nodes_before: totals[1].1,
+                peak_nodes_after: totals[2].1,
+            },
+        ],
     }
 }
 

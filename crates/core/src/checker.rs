@@ -69,6 +69,12 @@ pub struct CheckerOptions {
     /// is the escape hatch and the baseline side of the sharing
     /// differential suite.
     pub share_subgraphs: bool,
+    /// BDD apply-cache slot count. `None` = the policy default
+    /// ([`crate::policy::DEFAULT_CACHE_SLOTS`]); `relcheck run --route
+    /// auto` passes a workload-derived size
+    /// ([`crate::policy::WorkloadProfile::cache_slots`]). Sizing only
+    /// affects memoization hit rates, never verdicts.
+    pub apply_cache_slots: Option<usize>,
 }
 
 impl Default for CheckerOptions {
@@ -81,6 +87,7 @@ impl Default for CheckerOptions {
             telemetry: false,
             deadline: None,
             share_subgraphs: true,
+            apply_cache_slots: None,
         }
     }
 }
@@ -341,7 +348,8 @@ impl Checker {
     /// Wrap a database. Indices are built lazily as constraints reference
     /// relations.
     pub fn new(db: relcheck_relstore::Database, opts: CheckerOptions) -> Checker {
-        let mut ldb = LogicalDatabase::new(db);
+        let slots = crate::policy::manager_cache_slots(opts.apply_cache_slots);
+        let mut ldb = LogicalDatabase::with_cache_slots(db, slots);
         ldb.manager_mut().set_node_limit(opts.node_limit);
         ldb.set_subgraph_sharing(opts.share_subgraphs);
         Checker {
@@ -667,7 +675,7 @@ impl Checker {
             Some(prev) => *error = Some(format!("{prev}; {e}")),
             None => *error = Some(e),
         };
-        if self.shed_load && plan.bdd.is_some() {
+        if crate::policy::shed_entry_skips_bdd(self.shed_load, plan.bdd.is_some()) {
             // The admission governor shed this check: skip the BDD rungs
             // and enter the ladder at SQL, which decides the same verdict
             // without building node-heavy intermediates. Recorded as a

@@ -170,10 +170,21 @@ pub struct LogicalDatabase {
 }
 
 impl LogicalDatabase {
-    /// Wrap a database. No indices are built yet.
+    /// Wrap a database. No indices are built yet. The manager gets the
+    /// default apply-cache size; [`LogicalDatabase::with_cache_slots`]
+    /// sizes it from a recorded workload instead.
     pub fn new(db: Database) -> LogicalDatabase {
+        LogicalDatabase::with_cache_slots(db, crate::policy::DEFAULT_CACHE_SLOTS)
+    }
+
+    /// Wrap a database with an explicitly-sized BDD apply-cache —
+    /// `relcheck run --route auto` passes
+    /// [`crate::policy::WorkloadProfile::cache_slots`] here so the cache
+    /// matches the observed peak node population instead of the fixed
+    /// default.
+    pub fn with_cache_slots(db: Database, cache_slots: usize) -> LogicalDatabase {
         LogicalDatabase {
-            mgr: BddManager::new(),
+            mgr: BddManager::with_capacity(cache_slots),
             db,
             indices: HashMap::new(),
             class_sizes: HashMap::new(),
@@ -414,17 +425,14 @@ impl LogicalDatabase {
                 // The static fallback competes as a candidate in first
                 // position: on a tie (e.g. a flat workload) adaptive
                 // defers to it, so by its own cost model the pick is
-                // never worse than not adapting at all.
-                let mut cands = vec![("static", strategy.order(&rel, &dom_sizes))];
-                cands.extend(relcheck_bdd::order::candidates(&weights));
-                let mut best: Option<(&'static str, Vec<usize>, u128)> = None;
-                for (cand, order) in cands {
-                    let cost = relcheck_bdd::order::score(&order, &weights, &bits);
-                    if best.as_ref().is_none_or(|(_, _, b)| cost < *b) {
-                        best = Some((cand, order, cost));
-                    }
-                }
-                let (picked, order, _) = best.unwrap();
+                // never worse than not adapting at all. The scoring rule
+                // lives in `policy` so `relcheck advise` predicts exactly
+                // the pick a rebuild would make.
+                let (picked, order) = crate::policy::choose_ordering(
+                    strategy.order(&rel, &dom_sizes),
+                    &weights,
+                    &bits,
+                );
                 self.adaptive_picks.insert(name.to_owned(), picked);
                 order
             }

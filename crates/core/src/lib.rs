@@ -70,6 +70,7 @@ pub mod ordering;
 pub mod parallel;
 pub mod plan;
 pub mod planner;
+pub mod policy;
 pub mod registry;
 pub mod serve;
 pub mod sqlgen;
@@ -82,12 +83,13 @@ pub use error::{CoreError, Result};
 pub use index::{IndexSnapshot, LogicalDatabase};
 pub use ordering::OrderingStrategy;
 pub use parallel::{IndexTransfer, ParallelChecker};
-pub use plan::{CheckPlan, PlanOptions};
+pub use plan::{plans_to_json, CheckPlan, PlanOptions};
+pub use policy::{Advice, AppliedAdvice, IndexAdvice, Route, RoutePolicy, WorkloadProfile};
 pub use registry::ConstraintRegistry;
 pub use serve::{ApplyOutcome, ServeActor, ServeClient, ServeConfig, ServeEngine, Submission};
 pub use store::{Delta, IndexStore, VerifyStatus};
 pub use telemetry::{
     AuditMetrics, CheckTrace, DegradationSummary, FallbackReason, FleetTelemetry,
-    IndexCacheMetrics, OverloadMetrics, PassStat, PlanCacheMetrics, RecoveryRecord, RewriteRule,
-    RuleFiring, RunMetrics, ServeMetrics, WorkerTelemetry,
+    IndexCacheMetrics, OverloadMetrics, PassStat, PlanCacheMetrics, PolicyMetrics, RecoveryRecord,
+    RewriteRule, RuleFiring, RunMetrics, ServeMetrics, WorkerTelemetry,
 };

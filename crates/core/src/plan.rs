@@ -287,6 +287,122 @@ impl CheckPlan {
     }
 }
 
+/// Render a set of named plans as a machine-readable JSON document —
+/// the `relcheck plan --json` output. Same plans → byte-identical text
+/// (same discipline as [`CheckPlan::render`] and the metrics emitter);
+/// fingerprints are emitted as 16-digit hex strings because they are
+/// full-width u64 values. Validated by
+/// [`crate::telemetry::validate_plan_json`].
+pub fn plans_to_json(plans: &[(String, CheckPlan)]) -> String {
+    use crate::telemetry::JsonWriter;
+    let onoff = |w: &mut JsonWriter, b: bool| w.raw(if b { "true" } else { "false" });
+    let mut w = JsonWriter::new();
+    w.obj_open();
+    w.key("schema_version");
+    w.raw("1");
+    w.key("kind");
+    w.string("plan");
+    w.key("plans");
+    w.arr_open();
+    for (name, p) in plans {
+        w.obj_open();
+        w.key("name");
+        w.string(name);
+        w.key("constraint");
+        w.string(&p.constraint);
+        w.key("constraint_fp");
+        w.string(&format!("{:016x}", p.constraint_fp));
+        w.key("schema_fp");
+        w.string(&format!("{:016x}", p.schema_fp));
+        w.key("options");
+        w.obj_open();
+        w.key("prenex");
+        onoff(&mut w, p.options.prenex);
+        w.key("strip_leading");
+        onoff(&mut w, p.options.strip_leading);
+        w.key("pushdown");
+        onoff(&mut w, p.options.pushdown);
+        w.key("gate_pushdown");
+        onoff(&mut w, p.options.gate_pushdown);
+        w.key("join_rename");
+        onoff(&mut w, p.options.join_rename);
+        w.key("fused_quant");
+        onoff(&mut w, p.options.fused_quant);
+        w.obj_close();
+        w.key("passes");
+        w.arr_open();
+        for pass in &p.passes {
+            w.obj_open();
+            w.key("pass");
+            w.string(pass.pass);
+            w.key("rule");
+            match pass.rule {
+                Some(r) => w.string(r.name()),
+                None => w.raw("null"),
+            }
+            w.key("fired");
+            w.raw(&pass.fired.to_string());
+            w.key("gated");
+            w.raw(&pass.gated.to_string());
+            w.key("before");
+            w.string(&pass.before);
+            w.key("after");
+            w.string(&pass.after);
+            w.obj_close();
+        }
+        w.arr_close();
+        w.key("bdd");
+        match &p.bdd {
+            Some(step) => {
+                w.obj_open();
+                w.key("test");
+                w.string(match step.test {
+                    BddTest::ViolationsEmpty => "violations-empty",
+                    BddTest::Satisfiable => "satisfiable",
+                });
+                w.key("stripped");
+                w.arr_open();
+                for v in &step.stripped {
+                    w.string(v);
+                }
+                w.arr_close();
+                w.key("join_rename");
+                onoff(&mut w, step.join_rename);
+                w.key("fused_quant");
+                onoff(&mut w, step.fused_quant);
+                w.obj_close();
+            }
+            None => w.raw("null"),
+        }
+        w.key("sql");
+        match &p.sql {
+            Some(step) => {
+                w.obj_open();
+                w.key("shape");
+                w.string(&format!("{:?}", step.translated.shape).to_lowercase());
+                w.key("columns");
+                w.arr_open();
+                for c in &step.translated.columns {
+                    w.string(c);
+                }
+                w.arr_close();
+                w.obj_close();
+            }
+            None => w.raw("null"),
+        }
+        w.key("ladder");
+        w.arr_open();
+        for rung in p.ladder() {
+            w.string(rung);
+        }
+        w.arr_close();
+        w.obj_close();
+    }
+    w.arr_close();
+    w.obj_close();
+    w.finish()
+}
+
 /// The R1/R3/R4 firings a pass list implies, in application order: one
 /// [`RuleFiring`] per pass that maps to a paper rule and fired at least
 /// once (zero-fire passes are evidence the pass ran, not rule events).

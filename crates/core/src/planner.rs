@@ -46,12 +46,11 @@ pub fn plan_check(
     let mut passes = Vec::new();
     let mut atoms = Vec::new();
     collect_atoms(f, &mut atoms);
-    let any_sql_only = atoms.iter().any(|(rel, _)| sql_only.contains(rel));
-    let bdd = if any_sql_only {
-        None
-    } else {
-        Some(bdd_step(db, f, options, &mut passes))
-    };
+    // The BDD-vs-SQL routing rule is owned by `policy` (one over-budget
+    // relation sinks the whole BDD step); the planner only applies it.
+    let route_bdd =
+        crate::policy::bdd_route_allowed(atoms.iter().map(|(rel, _)| rel.as_str()), sql_only);
+    let bdd = route_bdd.then(|| bdd_step(db, f, options, &mut passes));
     let sql = sqlgen::violation_plan(db, f).map(|translated| SqlStep { translated });
     CheckPlan {
         constraint: f.to_string(),

@@ -56,9 +56,12 @@
 use crate::certify::{emit_certificate, verify_certificate, Certificate, DEFAULT_WITNESS_LIMIT};
 use crate::checker::{CheckReport, Checker};
 use crate::error::{CoreError, Result};
+use crate::policy::WorkloadProfile;
 use crate::registry::{ConstraintRegistry, Verdict};
 use crate::store::{Delta, IndexStore};
-use crate::telemetry::{AuditMetrics, OverloadMetrics, PlanCacheMetrics, ServeMetrics};
+use crate::telemetry::{
+    AuditMetrics, OverloadMetrics, PlanCacheMetrics, PolicyMetrics, ServeMetrics,
+};
 use relcheck_logic::Formula;
 use relcheck_relstore::{Raw, StoreError};
 use std::collections::BTreeSet;
@@ -79,6 +82,9 @@ pub enum Command {
     /// `certify` / `certify NAME` — re-check, emit certificates, and
     /// report each one's independent audit result.
     Certify(Option<String>),
+    /// `advise` — re-record the workload profile, run the cost-model
+    /// advisor, apply its routing advice, and report what changed.
+    Advise,
     /// `stats` — session counters.
     Stats,
     /// `quit` — end the session.
@@ -130,12 +136,13 @@ pub fn parse_command(line: &str) -> std::result::Result<Option<Command>, String>
     let command = match cmd {
         "check" => Command::Check(parts.next().map(str::to_owned)),
         "certify" => Command::Certify(parts.next().map(str::to_owned)),
+        "advise" => Command::Advise,
         "stats" => Command::Stats,
         "quit" => Command::Quit,
         other => {
             return Err(format!(
                 "unknown command {other:?} \
-                 (try +REL:v,... -REL:v,... check [name] certify [name] stats quit)"
+                 (try +REL:v,... -REL:v,... check [name] certify [name] advise stats quit)"
             ))
         }
     };
@@ -211,7 +218,27 @@ pub struct ServeEngine {
     /// Journal-append retries absorbed across the session (the overload
     /// block's `retries` counter).
     journal_retries: u64,
+    /// The baseline validation's reports, retained so re-recorded
+    /// profiles keep their per-relation routing attribution (the
+    /// post-baseline protocol returns [`Verdict`]s, not reports).
+    baseline: Vec<(String, CheckReport)>,
+    /// The session's workload profile, re-recorded (replaced, never
+    /// merged — manager counters are cumulative, see
+    /// [`WorkloadProfile::record`]) on every `advise`.
+    profile: WorkloadProfile,
+    /// Counters from the most recent advise, `None` until one runs.
+    policy: Option<PolicyMetrics>,
+    /// How many advise passes ran (explicit `advise` commands plus
+    /// periodic re-advises).
+    readvises: u64,
 }
+
+/// Deltas between automatic re-advise passes: every
+/// `READVISE_INTERVAL`-th applied delta re-records the profile and
+/// re-applies the advisor, so a drifting workload re-routes without an
+/// explicit `advise`. Large enough that short scripted sessions (CI
+/// smokes apply a handful of deltas) never trigger one.
+pub const READVISE_INTERVAL: u64 = 64;
 
 impl ServeEngine {
     /// Build a session over a warm checker (callers warm-start the store
@@ -234,6 +261,10 @@ impl ServeEngine {
             witness_limit: DEFAULT_WITNESS_LIMIT,
             audit: AuditMetrics::default(),
             journal_retries: 0,
+            baseline: Vec::new(),
+            profile: WorkloadProfile::default(),
+            policy: None,
+            readvises: 0,
         };
         for (name, f) in constraints {
             if !engine.registry.register(name, f.clone()) {
@@ -245,6 +276,8 @@ impl ServeEngine {
         let start = Instant::now();
         let reports = engine.registry.validate_all(&mut engine.checker)?;
         engine.stats.full_ns = start.elapsed().as_nanos() as u64;
+        engine.baseline = reports.clone();
+        engine.profile = WorkloadProfile::record(&engine.checker, constraints, &engine.baseline);
         Ok((engine, reports))
     }
 
@@ -310,7 +343,33 @@ impl ServeEngine {
         };
         self.dirty.insert(relation.to_owned());
         self.stats.deltas += 1;
+        // Periodic re-advise: a long-running session's workload drifts,
+        // so every READVISE_INTERVAL-th delta re-runs the advisor. Best
+        // effort — route maintenance failing (e.g. a rebuild hitting an
+        // injected fault) must not fail the delta that triggered it; the
+        // session just keeps its current routing until the next pass.
+        if self.stats.deltas.is_multiple_of(READVISE_INTERVAL) {
+            let _ = self.advise_now();
+        }
         Ok(outcome)
+    }
+
+    /// Re-record the workload profile from the live checker (replacing
+    /// the previous recording) and apply the cost-model advisor's
+    /// routing advice. Any route change bumps the checker epoch, so
+    /// cached verdicts reading a re-routed relation retire on the next
+    /// check — advising never changes a verdict, only how it is reached.
+    pub fn advise_now(&mut self) -> Result<(crate::policy::Advice, crate::policy::AppliedAdvice)> {
+        self.profile =
+            WorkloadProfile::record(&self.checker, &self.registry.constraints(), &self.baseline);
+        let (advice, applied) = self
+            .registry
+            .apply_policy(&mut self.checker, &self.profile)?;
+        self.readvises += 1;
+        let mut metrics = advice.metrics(&self.profile, Some(&applied));
+        metrics.readvises = self.readvises;
+        self.policy = Some(metrics);
+        Ok((advice, applied))
     }
 
     /// Store-less delta path: encode, guard the frozen domain exactly
@@ -596,6 +655,31 @@ impl ServeEngine {
                     "ok certify emitted={emitted} witnesses={witnesses} failed={failed}"
                 ));
             }
+            Command::Advise => match self.advise_now() {
+                Ok((advice, applied)) => {
+                    for a in &advice.relations {
+                        reply.lines.push(format!(
+                            "advise {} route={} ordering={} predicted_bdd={} predicted_sql={}",
+                            a.relation,
+                            a.route.name(),
+                            a.ordering,
+                            a.predicted_bdd_cost,
+                            a.predicted_sql_cost
+                        ));
+                    }
+                    reply.lines.push(format!(
+                        "ok advise relations={} sql_routed={} sql_marked={} rebuilt={} \
+                         cache_slots={} readvises={}",
+                        advice.relations.len(),
+                        advice.sql_routed().len(),
+                        applied.sql_marked.len(),
+                        applied.rebuilt.len(),
+                        advice.cache_slots,
+                        self.readvises
+                    ));
+                }
+                Err(e) => reply.lines.push(format!("err advise: {e}")),
+            },
             Command::Stats => {
                 let s = &self.stats;
                 reply.lines.push(format!(
@@ -649,6 +733,17 @@ impl ServeEngine {
     /// [`ApplyOutcome::retries`]).
     pub fn journal_retries(&self) -> u64 {
         self.journal_retries
+    }
+
+    /// Counters from the session's most recent advise pass (`None`
+    /// until one runs) — the metrics document's `policy` block.
+    pub fn policy_metrics(&self) -> Option<PolicyMetrics> {
+        self.policy
+    }
+
+    /// The session's most recently recorded workload profile.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
     }
 
     /// Cap the number of witness tuples each certificate carries
@@ -783,9 +878,15 @@ impl ServeClient {
         }
         // Governor tiers, cheapest signal first: a backlog past half the
         // queue bound or a slow last request sheds; a full queue rejects.
+        // The shed rule itself is owned by `policy`.
         let depth = self.shared.depth.load(Ordering::Acquire);
         let last = Duration::from_nanos(self.shared.last_service_ns.load(Ordering::Acquire));
-        let shed = 2 * depth > self.cfg.queue_depth || last >= self.cfg.shed_threshold;
+        let shed = crate::policy::admission_should_shed(
+            depth,
+            self.cfg.queue_depth,
+            last,
+            self.cfg.shed_threshold,
+        );
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         let req = Request {
             line: line.to_owned(),
@@ -1069,11 +1170,36 @@ mod tests {
             parse_command("check r-diagonal").unwrap(),
             Some(Command::Check(Some("r-diagonal".to_owned())))
         );
+        assert_eq!(parse_command("advise").unwrap(), Some(Command::Advise));
         assert_eq!(parse_command("stats").unwrap(), Some(Command::Stats));
         assert_eq!(parse_command("quit").unwrap(), Some(Command::Quit));
         assert!(parse_command("bogus").is_err());
         assert!(parse_command("check a b").is_err());
+        assert!(parse_command("advise now").is_err());
         assert!(parse_command("+R").is_err());
+    }
+
+    #[test]
+    fn advise_command_reports_and_never_changes_verdicts() {
+        let mut e = engine();
+        let before = e.check_all().unwrap();
+        let r = e.handle_line("advise");
+        let last = r.lines.last().unwrap();
+        assert!(last.starts_with("ok advise relations=2"), "{last:?}");
+        assert!(last.contains("readvises=1"), "{last:?}");
+        // Per-relation lines precede the summary, sorted by name.
+        assert!(r.lines[0].starts_with("advise R route="), "{:?}", r.lines);
+        assert!(r.lines[1].starts_with("advise S route="), "{:?}", r.lines);
+        // Advise is deterministic: a second pass reports the same
+        // advice (only the pass counter moves).
+        let r2 = e.handle_line("advise");
+        assert_eq!(r.lines[..r.lines.len() - 1], r2.lines[..r2.lines.len() - 1]);
+        // Routing never changes a verdict.
+        let after = e.check_all().unwrap();
+        for ((name, b), (_, a)) in before.iter().zip(&after) {
+            assert_eq!(b.holds(), a.holds(), "{name}");
+        }
+        assert!(e.policy_metrics().unwrap().readvises == 2);
     }
 
     #[test]

@@ -174,6 +174,33 @@ pub struct PlanCacheMetrics {
     pub misses: u64,
 }
 
+/// Workload-driven policy counters (schema v8): what the
+/// [`crate::policy`] advisor recommended and what applying it did.
+/// `None` at the [`RunMetrics`] level means the run never consulted the
+/// advisor (static routing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyMetrics {
+    /// Relations the advisor examined.
+    pub relations: u64,
+    /// Relations advised to keep (or build) a BDD index.
+    pub advised_bdd: u64,
+    /// Relations advised to route to the SQL rung.
+    pub advised_sql: u64,
+    /// Relations newly marked SQL-only when the advice was applied.
+    pub applied_sql_only: u64,
+    /// Indexed relations rebuilt under a different advised ordering.
+    pub applied_rebuilds: u64,
+    /// Relations whose recorded weights were re-seeded into the live
+    /// workload.
+    pub reseeded: u64,
+    /// Periodic re-advise passes a serve session ran.
+    pub readvises: u64,
+    /// The apply-cache slot count the advice recommended.
+    pub cache_slots: u64,
+    /// Checks in the workload profile the advice was computed from.
+    pub profile_checks: u64,
+}
+
 /// Structured trace of one `Checker::check` call. Attached to
 /// [`crate::checker::CheckReport::metrics`] when
 /// `CheckerOptions::telemetry` is set.
@@ -417,7 +444,7 @@ pub struct OverloadMetrics {
     pub drained: u64,
 }
 
-/// The top-level machine-readable report (`schema_version` 7). See
+/// The top-level machine-readable report (`schema_version` 8). See
 /// `DESIGN.md` for field meanings and stability guarantees.
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
@@ -448,6 +475,10 @@ pub struct RunMetrics {
     /// Admission-governor counters; `None` for batch runs. Assembled by
     /// the caller after `from_reports`.
     pub overload: Option<OverloadMetrics>,
+    /// Workload-driven policy counters; `None` when the run never
+    /// consulted the advisor. Assembled by the caller after
+    /// `from_reports`.
+    pub policy: Option<PolicyMetrics>,
 }
 
 impl RunMetrics {
@@ -498,15 +529,16 @@ impl RunMetrics {
             serve: None,
             audit: None,
             overload: None,
+            policy: None,
         }
     }
 
-    /// Render the schema-version-7 JSON document.
+    /// Render the schema-version-8 JSON document.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.obj_open();
         w.key("schema_version");
-        w.raw("7");
+        w.raw("8");
         w.key("tool");
         w.string("relcheck");
         w.key("threads");
@@ -598,6 +630,28 @@ impl RunMetrics {
                     ("retries", ov.retries),
                     ("watchdog_fires", ov.watchdog_fires),
                     ("drained", ov.drained),
+                ] {
+                    w.key(k);
+                    w.raw(&v.to_string());
+                }
+                w.obj_close();
+            }
+        }
+        w.key("policy");
+        match &self.policy {
+            None => w.raw("null"),
+            Some(p) => {
+                w.obj_open();
+                for (k, v) in [
+                    ("relations", p.relations),
+                    ("advised_bdd", p.advised_bdd),
+                    ("advised_sql", p.advised_sql),
+                    ("applied_sql_only", p.applied_sql_only),
+                    ("applied_rebuilds", p.applied_rebuilds),
+                    ("reseeded", p.reseeded),
+                    ("readvises", p.readvises),
+                    ("cache_slots", p.cache_slots),
+                    ("profile_checks", p.profile_checks),
                 ] {
                     w.key(k);
                     w.raw(&v.to_string());
@@ -1248,7 +1302,7 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
         .get("schema_version")
         .and_then(Json::as_int)
         .ok_or("missing integer field \"schema_version\"")?;
-    if !(1..=7).contains(&version) {
+    if !(1..=8).contains(&version) {
         return Err(format!("unsupported schema_version {version}"));
     }
     doc.get("threads")
@@ -1736,6 +1790,207 @@ pub fn validate_metrics_json(text: &str) -> std::result::Result<(), String> {
             }
         }
     }
+    if version >= 8 {
+        let po = doc.get("policy").ok_or("missing field \"policy\"")?;
+        if !matches!(po, Json::Null) {
+            let mut fields = std::collections::HashMap::new();
+            for f in [
+                "relations",
+                "advised_bdd",
+                "advised_sql",
+                "applied_sql_only",
+                "applied_rebuilds",
+                "reseeded",
+                "readvises",
+                "cache_slots",
+                "profile_checks",
+            ] {
+                let v = po
+                    .get(f)
+                    .and_then(Json::as_int)
+                    .ok_or(format!("policy: missing integer field {f:?}"))?;
+                if v < 0 {
+                    return Err(format!("policy.{f} = {v} < 0"));
+                }
+                fields.insert(f, v);
+            }
+            // Conservation: every examined relation got exactly one
+            // route, and only SQL-advised relations can be newly marked.
+            if fields["advised_bdd"] + fields["advised_sql"] != fields["relations"] {
+                return Err(format!(
+                    "policy.advised_bdd + policy.advised_sql = {} but relations = {}",
+                    fields["advised_bdd"] + fields["advised_sql"],
+                    fields["relations"]
+                ));
+            }
+            if fields["applied_sql_only"] > fields["advised_sql"] {
+                return Err(format!(
+                    "policy.applied_sql_only = {} exceeds advised_sql = {}",
+                    fields["applied_sql_only"], fields["advised_sql"]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate a `relcheck plan --json` document (schema version 1, kind
+/// `"plan"`): required fields and types, pass/rule/ladder vocabulary,
+/// hex-string fingerprints, and that the emitted ladder matches the
+/// presence of the bdd/sql steps.
+pub fn validate_plan_json(text: &str) -> std::result::Result<(), String> {
+    let doc = parse_json(text)?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_int)
+        .ok_or("missing integer field \"schema_version\"")?;
+    if version != 1 {
+        return Err(format!("unsupported plan schema_version {version}"));
+    }
+    let kind = doc
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"kind\"")?;
+    if kind != "plan" {
+        return Err(format!("kind must be \"plan\", got {kind:?}"));
+    }
+    let plans = doc
+        .get("plans")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"plans\"")?;
+    for (i, p) in plans.iter().enumerate() {
+        let at = format!("plans[{i}]");
+        for field in ["name", "constraint"] {
+            p.get(field)
+                .and_then(Json::as_str)
+                .ok_or(format!("{at}: missing string field {field:?}"))?;
+        }
+        for field in ["constraint_fp", "schema_fp"] {
+            let fp = p
+                .get(field)
+                .and_then(Json::as_str)
+                .ok_or(format!("{at}: missing string field {field:?}"))?;
+            if fp.len() != 16 || !fp.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err(format!("{at}: {field} must be 16 hex digits, got {fp:?}"));
+            }
+        }
+        let opts = p
+            .get("options")
+            .ok_or(format!("{at}: missing field \"options\""))?;
+        for field in [
+            "prenex",
+            "strip_leading",
+            "pushdown",
+            "gate_pushdown",
+            "join_rename",
+            "fused_quant",
+        ] {
+            if !matches!(opts.get(field), Some(Json::Bool(_))) {
+                return Err(format!("{at}.options: missing boolean field {field:?}"));
+            }
+        }
+        let passes = p
+            .get("passes")
+            .and_then(Json::as_arr)
+            .ok_or(format!("{at}: missing array field \"passes\""))?;
+        for pass in passes {
+            let name = pass
+                .get("pass")
+                .and_then(Json::as_str)
+                .ok_or(format!("{at}: pass entry missing \"pass\""))?;
+            if ![
+                "prenex-pullup",
+                "strip-leading-block",
+                "refutation-nnf",
+                "forall-pushdown",
+            ]
+            .contains(&name)
+            {
+                return Err(format!("{at}: unknown pass {name:?}"));
+            }
+            match pass.get("rule") {
+                Some(Json::Null) => {}
+                Some(Json::Str(r)) if ["R1", "R2", "R3", "R4"].contains(&r.as_str()) => {}
+                other => return Err(format!("{at}: pass {name:?} has bad rule {other:?}")),
+            }
+            for field in ["fired", "gated"] {
+                let n = pass
+                    .get(field)
+                    .and_then(Json::as_int)
+                    .ok_or(format!("{at}: pass {name:?} missing {field:?}"))?;
+                if n < 0 {
+                    return Err(format!("{at}: pass {name:?} has {field} = {n} < 0"));
+                }
+            }
+            for field in ["before", "after"] {
+                pass.get(field)
+                    .and_then(Json::as_str)
+                    .ok_or(format!("{at}: pass {name:?} missing string {field:?}"))?;
+            }
+        }
+        let bdd = p.get("bdd").ok_or(format!("{at}: missing field \"bdd\""))?;
+        let has_bdd = !matches!(bdd, Json::Null);
+        if has_bdd {
+            let test = bdd
+                .get("test")
+                .and_then(Json::as_str)
+                .ok_or(format!("{at}.bdd: missing string field \"test\""))?;
+            if !["violations-empty", "satisfiable"].contains(&test) {
+                return Err(format!("{at}.bdd: unknown test {test:?}"));
+            }
+            let stripped = bdd
+                .get("stripped")
+                .and_then(Json::as_arr)
+                .ok_or(format!("{at}.bdd: missing array field \"stripped\""))?;
+            for v in stripped {
+                if !matches!(v, Json::Str(_)) {
+                    return Err(format!("{at}.bdd: stripped entries must be strings"));
+                }
+            }
+            for field in ["join_rename", "fused_quant"] {
+                if !matches!(bdd.get(field), Some(Json::Bool(_))) {
+                    return Err(format!("{at}.bdd: missing boolean field {field:?}"));
+                }
+            }
+        }
+        let sql = p.get("sql").ok_or(format!("{at}: missing field \"sql\""))?;
+        let has_sql = !matches!(sql, Json::Null);
+        if has_sql {
+            sql.get("shape")
+                .and_then(Json::as_str)
+                .ok_or(format!("{at}.sql: missing string field \"shape\""))?;
+            let columns = sql
+                .get("columns")
+                .and_then(Json::as_arr)
+                .ok_or(format!("{at}.sql: missing array field \"columns\""))?;
+            for c in columns {
+                if !matches!(c, Json::Str(_)) {
+                    return Err(format!("{at}.sql: column entries must be strings"));
+                }
+            }
+        }
+        let ladder = p
+            .get("ladder")
+            .and_then(Json::as_arr)
+            .ok_or(format!("{at}: missing array field \"ladder\""))?;
+        let mut want = Vec::new();
+        if has_bdd {
+            want.push("bdd");
+        }
+        if has_sql {
+            want.push("sql");
+        }
+        want.push("brute_force");
+        let got: Vec<&str> = ladder.iter().filter_map(Json::as_str).collect();
+        if got.len() != ladder.len() {
+            return Err(format!("{at}: ladder entries must be strings"));
+        }
+        if got != want {
+            return Err(format!(
+                "{at}: ladder {got:?} does not match steps (want {want:?})"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -1920,6 +2175,7 @@ mod tests {
             serve: None,
             audit: None,
             overload: None,
+            policy: None,
         };
         validate_metrics_json(&m.to_json()).unwrap();
     }
@@ -1948,6 +2204,7 @@ mod tests {
             serve: None,
             audit: None,
             overload: None,
+            policy: None,
         };
         validate_metrics_json(&m.to_json()).unwrap();
         // A rebuild with no recovery record explaining it must fail.
@@ -1993,6 +2250,7 @@ mod tests {
             }),
             audit: None,
             overload: None,
+            policy: None,
         };
         validate_metrics_json(&m.to_json()).unwrap();
         // The peak dirty-set size is one of the summed sizes: peak >
@@ -2034,27 +2292,33 @@ mod tests {
             serve: None,
             audit: None,
             overload: None,
+            policy: None,
         };
         let v2 = m
             .to_json()
-            .replace("\"schema_version\":7", "\"schema_version\":2");
+            .replace("\"schema_version\":8", "\"schema_version\":2");
         validate_metrics_json(&v2).unwrap();
         // A v3 document has no plan_cache field; tolerated the same way.
         let doc = m.to_json();
         let v3 = doc
-            .replace("\"schema_version\":7", "\"schema_version\":3")
+            .replace("\"schema_version\":8", "\"schema_version\":3")
             .replace(",\"plan_cache\":null", "");
         validate_metrics_json(&v3).unwrap();
         // A v5 document has no audit field; tolerated the same way.
         let v5 = doc
-            .replace("\"schema_version\":7", "\"schema_version\":5")
+            .replace("\"schema_version\":8", "\"schema_version\":5")
             .replace(",\"audit\":null", "");
         validate_metrics_json(&v5).unwrap();
         // A v6 document has no overload field; tolerated the same way.
         let v6 = doc
-            .replace("\"schema_version\":7", "\"schema_version\":6")
+            .replace("\"schema_version\":8", "\"schema_version\":6")
             .replace(",\"overload\":null", "");
         validate_metrics_json(&v6).unwrap();
+        // A v7 document has no policy field; tolerated the same way.
+        let v7 = doc
+            .replace("\"schema_version\":8", "\"schema_version\":7")
+            .replace(",\"policy\":null", "");
+        validate_metrics_json(&v7).unwrap();
     }
 
     #[test]
@@ -2087,6 +2351,7 @@ mod tests {
                 watchdog_fires: 0,
                 drained: 1,
             }),
+            policy: None,
         };
         validate_metrics_json(&m.to_json()).unwrap();
         // Shed requests are a subset of admitted ones.
@@ -2114,8 +2379,57 @@ mod tests {
         let err = validate_metrics_json(&stripped).unwrap_err();
         assert!(err.contains("overload"), "{err}");
         // The overload ladder-entry reason is v7 vocabulary only.
-        let v6 = doc.replace("\"schema_version\":7", "\"schema_version\":6");
+        let v6 = doc.replace("\"schema_version\":8", "\"schema_version\":6");
         validate_metrics_json(&v6).unwrap();
+    }
+
+    #[test]
+    fn validator_checks_policy_block() {
+        let mut m = RunMetrics {
+            threads: 1,
+            telemetry_enabled: false,
+            constraints: Vec::new(),
+            fleet: None,
+            degradation: DegradationSummary::default(),
+            index_cache: None,
+            plan_cache: None,
+            serve: None,
+            audit: None,
+            overload: None,
+            policy: Some(PolicyMetrics {
+                relations: 4,
+                advised_bdd: 3,
+                advised_sql: 1,
+                applied_sql_only: 1,
+                applied_rebuilds: 2,
+                reseeded: 6,
+                readvises: 0,
+                cache_slots: 1 << 18,
+                profile_checks: 9,
+            }),
+        };
+        validate_metrics_json(&m.to_json()).unwrap();
+        // Every advised relation got exactly one route.
+        m.policy.as_mut().unwrap().advised_bdd = 9;
+        let err = validate_metrics_json(&m.to_json()).unwrap_err();
+        assert!(err.contains("policy.advised"), "{err}");
+        m.policy.as_mut().unwrap().advised_bdd = 3;
+        // Only SQL-routed relations can be marked sql-only.
+        m.policy.as_mut().unwrap().applied_sql_only = 5;
+        let err = validate_metrics_json(&m.to_json()).unwrap_err();
+        assert!(err.contains("policy.applied_sql_only"), "{err}");
+        m.policy.as_mut().unwrap().applied_sql_only = 1;
+        // v8 documents must carry the field, even as null; static runs
+        // carry it as null and that validates.
+        m.policy = None;
+        let doc = m.to_json();
+        validate_metrics_json(&doc).unwrap();
+        let stripped = doc.replace(",\"policy\":null", "");
+        let err = validate_metrics_json(&stripped).unwrap_err();
+        assert!(err.contains("policy"), "{err}");
+        // A v7 document may omit the block entirely.
+        let v7 = stripped.replace("\"schema_version\":8", "\"schema_version\":7");
+        validate_metrics_json(&v7).unwrap();
     }
 
     #[test]
@@ -2136,6 +2450,7 @@ mod tests {
                 witnesses: 7,
             }),
             overload: None,
+            policy: None,
         };
         validate_metrics_json(&m.to_json()).unwrap();
         // Every verification outcome refers to an emitted certificate.
@@ -2183,6 +2498,7 @@ mod tests {
             serve: None,
             audit: None,
             overload: None,
+            policy: None,
         };
         validate_metrics_json(&good.to_json()).unwrap();
         fleet.total.created_nodes += 1;
@@ -2197,6 +2513,7 @@ mod tests {
             serve: None,
             audit: None,
             overload: None,
+            policy: None,
         };
         let err = validate_metrics_json(&bad.to_json()).unwrap_err();
         assert!(err.contains("created_nodes"), "{err}");

@@ -433,6 +433,63 @@ if ! grep -q 'FAILED' "$AUDIT_OUT"; then
     exit 1
 fi
 
+step "advise smoke: record workload → advise → --route auto differential"
+# Record a workload profile into a fresh cache dir, then: the advise
+# report must be byte-identical across two runs (the determinism the
+# tooling pins), `--route auto` must produce exactly the static run's
+# verdict lines, and both metrics documents must carry a schema-v8
+# policy block that validates.
+ADVISE_DIR="$(mktemp -d /tmp/relcheck-advise.XXXXXX)"
+ADVISE_A="$(mktemp /tmp/relcheck-advise-a.XXXXXX.txt)"
+ADVISE_B="$(mktemp /tmp/relcheck-advise-b.XXXXXX.txt)"
+ROUTE_STATIC="$(mktemp /tmp/relcheck-route-static.XXXXXX.txt)"
+ROUTE_AUTO="$(mktemp /tmp/relcheck-route-auto.XXXXXX.txt)"
+trap 'rm -rf "$METRICS_OUT" "$PLAN_A" "$PLAN_B" "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT" "$SERVE_DIR" "$SERVE_OUT" "$BATCH_OUT" "$BUNDLE" "$TAMPERED" "$AUDIT_OUT" "$ADVISE_DIR" "$ADVISE_A" "$ADVISE_B" "$ROUTE_STATIC" "$ROUTE_AUTO"' EXIT
+set +e
+cargo run --release --quiet --bin relcheck -- \
+    run testdata/phones.spec --index-cache "$ADVISE_DIR" \
+    --metrics "$METRICS_OUT" >"$ROUTE_STATIC"
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+    echo "profile-recording run should exit 1 on the violation fixture (got $rc)" >&2
+    exit 1
+fi
+if [ ! -f "$ADVISE_DIR/workload.profile" ]; then
+    echo "run did not persist the workload profile next to the index cache" >&2
+    exit 1
+fi
+# Two advise passes over the same recorded workload: byte-identical.
+cargo run --release --quiet --bin relcheck -- \
+    advise testdata/phones.spec --index-cache "$ADVISE_DIR" >"$ADVISE_A"
+cargo run --release --quiet --bin relcheck -- \
+    advise testdata/phones.spec --index-cache "$ADVISE_DIR" >"$ADVISE_B"
+cmp "$ADVISE_A" "$ADVISE_B"
+# Auto-routed run: verdict lines byte-identical to the static run, and
+# the metrics document gains a validating policy block.
+set +e
+cargo run --release --quiet --bin relcheck -- \
+    run testdata/phones.spec --index-cache "$ADVISE_DIR" --route auto \
+    --metrics "$METRICS_OUT" >"$ROUTE_AUTO"
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+    echo "--route auto changed the run exit code (got $rc, want 1)" >&2
+    exit 1
+fi
+grep " via " "$ROUTE_STATIC" | awk '{print $1, $2}' > "$ROUTE_STATIC.verdicts"
+grep " via " "$ROUTE_AUTO" | awk '{print $1, $2}' > "$ROUTE_AUTO.verdicts"
+diff "$ROUTE_STATIC.verdicts" "$ROUTE_AUTO.verdicts"
+cargo run --release --quiet --bin relcheck -- metrics-check "$METRICS_OUT"
+if ! grep -q '"schema_version":8' "$METRICS_OUT"; then
+    echo "auto-routed run metrics is not schema v8" >&2
+    exit 1
+fi
+if ! grep -q '"policy":{' "$METRICS_OUT"; then
+    echo "auto-routed run metrics missing the policy block" >&2
+    exit 1
+fi
+
 if [ "$QUICK" -eq 0 ]; then
     step "chaos soak: serve-mode fault injection + certificate audits (~10 s)"
     RELCHECK_CHAOS_SOAK_MS="${RELCHECK_CHAOS_SOAK_MS:-10000}" \

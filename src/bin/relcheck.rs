@@ -111,14 +111,16 @@ use relcheck::core_::certify::{
 };
 use relcheck::core_::checker::{CheckReport, Checker, CheckerOptions, Verdict};
 use relcheck::core_::ordering::OrderingStrategy;
+use relcheck::core_::plan::plans_to_json;
+use relcheck::core_::policy::{advise, apply_advice, render_report, WorkloadProfile};
 use relcheck::core_::registry::ConstraintRegistry;
 use relcheck::core_::serve::{
     parse_delta, ServeActor, ServeClient, ServeConfig, ServeEngine, Submission,
 };
 use relcheck::core_::store::{Delta, IndexStore, VerifyStatus};
 use relcheck::core_::telemetry::{
-    validate_bench_json, validate_metrics_json, AuditMetrics, FleetTelemetry, RunMetrics,
-    WorkerTelemetry,
+    validate_bench_json, validate_metrics_json, validate_plan_json, AuditMetrics, FleetTelemetry,
+    RunMetrics, WorkerTelemetry,
 };
 use relcheck::logic::Formula;
 use relcheck::relstore::Database;
@@ -145,10 +147,11 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage:\n  relcheck run <spec-file> [--limit N] [--sql] [--ordering STRATEGY] [--threads N] \
-     [--metrics PATH] [--deadline-ms N] [--index-cache DIR] [--fail-spec SPEC] [--fail-seed N] \
-     [--certify PATH] [--witness-limit N]\n  \
+     [--metrics PATH] [--deadline-ms N] [--index-cache DIR] [--route auto|static] \
+     [--fail-spec SPEC] [--fail-seed N] [--certify PATH] [--witness-limit N]\n  \
      relcheck explain <spec-file> <constraint-name>\n  \
-     relcheck plan <spec-file> [constraint-name] [--ordering STRATEGY]\n  \
+     relcheck plan <spec-file> [constraint-name] [--ordering STRATEGY] [--json]\n  \
+     relcheck advise <spec-file> [--index-cache DIR] [--ordering STRATEGY]\n  \
      relcheck audit emit <spec-file> <bundle.json> [--witness-limit N] [--ordering STRATEGY]\n  \
      relcheck audit verify <spec-file> <bundle.json>\n  \
      relcheck metrics-check <metrics.json>\n  \
@@ -168,6 +171,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         "run" => cmd_run(&args[1..]),
         "explain" => cmd_explain(&args[1..]).map(|()| true),
         "plan" => cmd_plan(&args[1..]).map(|()| true),
+        "advise" => cmd_advise(&args[1..]).map(|()| true),
         "audit" => cmd_audit(&args[1..]),
         "metrics-check" => cmd_metrics_check(&args[1..]).map(|()| true),
         "bench-check" => cmd_bench_check(&args[1..]).map(|()| true),
@@ -200,6 +204,17 @@ fn ordering_from(name: &str) -> Result<OrderingStrategy, String> {
 
 /// Load the spec and its CSV tables into a database.
 fn load(spec_path: &str) -> Result<(Spec, Database), String> {
+    load_with(spec_path, true)
+}
+
+/// [`load`] without the per-table progress lines — for commands whose
+/// stdout must be byte-deterministic report text (`advise`) or a single
+/// machine-readable document (`plan --json`).
+fn load_quiet(spec_path: &str) -> Result<(Spec, Database), String> {
+    load_with(spec_path, false)
+}
+
+fn load_with(spec_path: &str, verbose: bool) -> Result<(Spec, Database), String> {
     let text =
         std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
     let spec = parse_spec(&text).map_err(|e| e.to_string())?;
@@ -222,12 +237,14 @@ fn load(spec_path: &str) -> Result<(Spec, Database), String> {
             .collect();
         db.create_relation_from_csv_bytes(&t.name, &columns, &csv, t.has_header)
             .map_err(|e| format!("loading table {}: {e}", t.name))?;
-        println!(
-            "loaded {:<16} {:>8} rows from {}",
-            t.name,
-            db.relation(&t.name).map_err(|e| e.to_string())?.len(),
-            csv_path.display()
-        );
+        if verbose {
+            println!(
+                "loaded {:<16} {:>8} rows from {}",
+                t.name,
+                db.relation(&t.name).map_err(|e| e.to_string())?.len(),
+                csv_path.display()
+            );
+        }
     }
     Ok((spec, db))
 }
@@ -259,6 +276,14 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     let index_cache = flag_value(args, "--index-cache").map(str::to_owned);
     if force_sql && index_cache.is_some() {
         return Err("--sql and --index-cache cannot be combined".to_owned());
+    }
+    let route_auto = match flag_value(args, "--route") {
+        Some("auto") => true,
+        Some("static") | None => false,
+        Some(other) => return Err(format!("--route expects auto or static, got {other:?}")),
+    };
+    if force_sql && route_auto {
+        return Err("--sql and --route auto cannot be combined".to_owned());
     }
     let metrics_path = flag_value(args, "--metrics").map(str::to_owned);
     let certify_path = flag_value(args, "--certify").map(str::to_owned);
@@ -294,10 +319,30 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     if spec.constraints.is_empty() {
         return Err("spec declares no constraints".to_owned());
     }
+    // A persisted workload profile (written by earlier --index-cache
+    // runs) informs auto routing and apply-cache sizing. Corruption is a
+    // warning, never an error: the run proceeds with a cold profile.
+    let loaded_profile = match &index_cache {
+        Some(dir) => match WorkloadProfile::load(Path::new(dir)) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("relcheck: warning: workload profile unreadable ({e}); starting cold");
+                None
+            }
+        },
+        None => None,
+    };
     let opts = CheckerOptions {
         ordering,
         telemetry: metrics_path.is_some(),
         deadline,
+        // Size the shared apply cache from the recorded workload before
+        // the manager exists — only auto mode changes behaviour.
+        apply_cache_slots: if route_auto {
+            loaded_profile.as_ref().map(WorkloadProfile::cache_slots)
+        } else {
+            None
+        },
         ..Default::default()
     };
     let mut checker = Checker::new(db, opts);
@@ -321,6 +366,32 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         }
         None => None,
     };
+    let run_constraints: Vec<(String, Formula)> = spec
+        .constraints
+        .iter()
+        .map(|c| (c.name.clone(), c.formula.clone()))
+        .collect();
+    // Auto routing: score the recorded workload through the cost model
+    // and apply the advice before any check runs. Every route change
+    // goes through the epoch-bumping invalidation paths, so verdicts
+    // are unaffected — only the path to them.
+    let mut policy_metrics = None;
+    if route_auto {
+        let prof = loaded_profile.clone().unwrap_or_default();
+        let advice = advise(&prof, &mut checker, &run_constraints);
+        let applied =
+            apply_advice(&mut checker, &advice).map_err(|e| format!("applying advice: {e}"))?;
+        println!(
+            "route auto: {} relation(s) advised, {} sql-routed ({} newly marked), \
+             {} rebuilt, apply cache {} slot(s)",
+            advice.relations.len(),
+            advice.sql_routed().len(),
+            applied.sql_marked.len(),
+            applied.rebuilt.len(),
+            advice.cache_slots
+        );
+        policy_metrics = Some(advice.metrics(&prof, Some(&applied)));
+    }
     println!();
     let mut plan_cache = None;
     let (reports, fleet) = if force_sql {
@@ -375,6 +446,25 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
             );
         }
     }
+    // Persist the workload profile next to the index cache: this run's
+    // recording merged into whatever earlier runs accumulated. Like the
+    // segment writes, a failure costs the next run advice, never
+    // correctness.
+    if let Some(dir) = &index_cache {
+        let recorded = WorkloadProfile::record(&checker, &run_constraints, &reports);
+        let mut merged = loaded_profile.clone().unwrap_or_default();
+        merged.merge(&recorded);
+        if let Some(pc) = plan_cache {
+            merged.note_plan_cache(pc);
+        }
+        match merged.save(Path::new(dir)) {
+            Ok(()) => println!(
+                "workload profile: {} check(s) recorded into {dir}",
+                merged.checks
+            ),
+            Err(e) => eprintln!("relcheck: warning: could not save workload profile: {e}"),
+        }
+    }
     // Emit + self-verify certificates before the metrics document so the
     // audit counters land in its schema-v6 `audit` block.
     let mut audit_metrics = None;
@@ -405,6 +495,7 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         }
         metrics.plan_cache = plan_cache;
         metrics.audit = audit_metrics;
+        metrics.policy = policy_metrics;
         let doc = metrics.to_json();
         debug_assert!(validate_metrics_json(&doc).is_ok());
         std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -756,7 +847,7 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
     }
     println!(
         "\nserving {} constraint(s) over {} relation(s); commands: \
-         +REL:v,... -REL:v,... check [name] certify [name] stats quit",
+         +REL:v,... -REL:v,... check [name] certify [name] advise stats quit",
         reports.len(),
         engine.checker().logical_db().db().relation_names().count()
     );
@@ -790,6 +881,7 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
         metrics.serve = Some(engine.stats());
         metrics.audit = Some(engine.audit_stats());
         metrics.overload = Some(overload);
+        metrics.policy = engine.policy_metrics();
         let doc = metrics.to_json();
         debug_assert!(validate_metrics_json(&doc).is_ok());
         std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -1280,11 +1372,17 @@ fn cmd_bench_check(args: &[String]) -> Result<(), String> {
 fn cmd_plan(args: &[String]) -> Result<(), String> {
     let spec_path = args.first().ok_or_else(usage)?;
     let target = args.get(1).filter(|a| !a.starts_with("--"));
+    let json = args.iter().any(|a| a == "--json");
     let ordering = match flag_value(args, "--ordering") {
         Some(name) => ordering_from(name)?,
         None => OrderingStrategy::ProbConverge,
     };
-    let (spec, db) = load(spec_path)?;
+    // JSON mode prints exactly one machine-readable line to stdout.
+    let (spec, db) = if json {
+        load_quiet(spec_path)?
+    } else {
+        load(spec_path)?
+    };
     let mut checker = Checker::new(
         db,
         CheckerOptions {
@@ -1306,11 +1404,93 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
     if selected.is_empty() {
         return Err("spec declares no constraints".to_owned());
     }
+    if json {
+        let plans = selected
+            .iter()
+            .map(|c| {
+                checker
+                    .plan(&c.formula)
+                    .map(|p| (c.name.clone(), p))
+                    .map_err(|e| e.to_string())
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let doc = plans_to_json(&plans);
+        validate_plan_json(&doc).map_err(|e| format!("emitted plan document invalid: {e}"))?;
+        println!("{doc}");
+        return Ok(());
+    }
     for c in selected {
         let plan = checker.plan(&c.formula).map_err(|e| e.to_string())?;
         println!("\nconstraint {:?}: {}", c.name, c.formula);
         println!("{}", plan.render());
     }
+    Ok(())
+}
+
+/// `relcheck advise`: print the workload-driven routing report. With
+/// `--index-cache` the profile recorded by earlier runs in that
+/// directory feeds the cost model (and the warm indexes make the BDD
+/// cost honest); without one — or when no profile exists yet — a
+/// one-shot in-memory recording of this invocation's own validation
+/// pass stands in. Read-only: never writes the cache or the profile.
+/// Everything on stdout is the report itself, byte-identical across
+/// runs for a fixed recorded workload; incidental progress goes to
+/// stderr.
+fn cmd_advise(args: &[String]) -> Result<(), String> {
+    let spec_path = args.first().ok_or_else(usage)?;
+    let ordering = match flag_value(args, "--ordering") {
+        Some(name) => ordering_from(name)?,
+        None => OrderingStrategy::ProbConverge,
+    };
+    let index_cache = flag_value(args, "--index-cache").map(str::to_owned);
+    let (spec, db) = load_quiet(spec_path)?;
+    if spec.constraints.is_empty() {
+        return Err("spec declares no constraints".to_owned());
+    }
+    let mut checker = Checker::new(
+        db,
+        CheckerOptions {
+            ordering,
+            ..Default::default()
+        },
+    );
+    let mut profile = None;
+    if let Some(dir) = &index_cache {
+        let mut s = IndexStore::open(dir).map_err(|e| format!("opening index cache {dir}: {e}"))?;
+        s.warm_start(&mut checker)
+            .map_err(|e| format!("warm-starting from {dir}: {e}"))?;
+        eprintln!(
+            "index-cache: {} hit(s), {} miss(es), {} rebuild(s)",
+            s.stats.hits, s.stats.misses, s.stats.rebuilds
+        );
+        profile = WorkloadProfile::load(Path::new(dir))
+            .map_err(|e| format!("loading workload profile from {dir}: {e}"))?;
+    }
+    let constraints: Vec<(String, Formula)> = spec
+        .constraints
+        .iter()
+        .map(|c| (c.name.clone(), c.formula.clone()))
+        .collect();
+    let profile = match profile {
+        Some(p) => p,
+        None => {
+            eprintln!("no recorded profile; recording this invocation's own checks");
+            let mut registry = ConstraintRegistry::new();
+            for (name, f) in &constraints {
+                if !registry.register(name, f.clone()) {
+                    return Err(format!("duplicate constraint name {name:?}"));
+                }
+            }
+            let reports = registry
+                .validate_all(&mut checker)
+                .map_err(|e| format!("checking constraints: {e}"))?;
+            let mut p = WorkloadProfile::record(&checker, &constraints, &reports);
+            p.note_plan_cache(registry.plan_cache_stats());
+            p
+        }
+    };
+    let advice = advise(&profile, &mut checker, &constraints);
+    print!("{}", render_report(&profile, &advice));
     Ok(())
 }
 
